@@ -1,0 +1,147 @@
+//! Criterion micro-benchmarks of the computational kernels behind every
+//! figure:
+//!
+//! * `distance_table` — building the table of equivalent distances (the
+//!   setup cost of every experiment, Figures 1–6);
+//! * `quality` — full `F_G` evaluation and the O(1) swap delta (the inner
+//!   loop of Figures 1/2/4);
+//! * `search` — one full tabu run per testbed (Figures 1–5) and the
+//!   exhaustive enumeration (the §4.2 optimality check);
+//! * `netsim` — simulator throughput in cycles/second (Figures 3/5/6).
+
+use commsched_bench::Testbed;
+use commsched_core::{similarity_fg, Partition, SwapEvaluator};
+use commsched_distance::{equivalent_distance_table, equivalent_distance_table_parallel};
+use commsched_netsim::{SimConfig, Simulator, TrafficPattern};
+use commsched_search::{ExhaustiveSearch, Mapper, TabuParams, TabuSearch};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::hint::black_box;
+
+fn bench_distance_table(c: &mut Criterion) {
+    let mut group = c.benchmark_group("distance_table");
+    for testbed in [Testbed::paper_16(), Testbed::paper_24()] {
+        group.bench_with_input(
+            BenchmarkId::new("serial", testbed.name),
+            &testbed,
+            |b, t| {
+                b.iter(|| {
+                    equivalent_distance_table(black_box(&t.topology), &t.routing).unwrap()
+                })
+            },
+        );
+        group.bench_with_input(
+            BenchmarkId::new("parallel4", testbed.name),
+            &testbed,
+            |b, t| {
+                b.iter(|| {
+                    equivalent_distance_table_parallel(black_box(&t.topology), &t.routing, 4)
+                        .unwrap()
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+fn bench_quality(c: &mut Criterion) {
+    let testbed = Testbed::paper_24();
+    let mut rng = StdRng::seed_from_u64(1);
+    let p = Partition::random_balanced(24, 4, &mut rng).unwrap();
+    let mut group = c.benchmark_group("quality");
+    group.bench_function("similarity_fg_full_24", |b| {
+        b.iter(|| similarity_fg(black_box(&p), &testbed.table))
+    });
+    let eval = SwapEvaluator::new(p.clone(), &testbed.table);
+    group.bench_function("swap_delta_o1", |b| {
+        b.iter(|| black_box(&eval).delta_fg(0, 23))
+    });
+    group.bench_function("evaluator_build_24", |b| {
+        b.iter(|| SwapEvaluator::new(black_box(p.clone()), &testbed.table))
+    });
+    group.finish();
+}
+
+fn bench_search(c: &mut Criterion) {
+    let mut group = c.benchmark_group("search");
+    group.sample_size(10);
+    for testbed in [Testbed::paper_16(), Testbed::paper_24()] {
+        group.bench_with_input(
+            BenchmarkId::new("tabu_full", testbed.name),
+            &testbed,
+            |b, t| {
+                let params = TabuParams::scaled(t.topology.num_switches());
+                b.iter(|| {
+                    let mut rng = StdRng::seed_from_u64(7);
+                    TabuSearch::new(params).search(&t.table, &t.sizes(), &mut rng)
+                })
+            },
+        );
+    }
+    let t8 = Testbed::extra_random(8, 99);
+    group.bench_function("exhaustive_8sw", |b| {
+        b.iter(|| {
+            let mut rng = StdRng::seed_from_u64(0);
+            ExhaustiveSearch.search(&t8.table, &[2, 2, 2, 2], &mut rng)
+        })
+    });
+    group.finish();
+}
+
+fn bench_netsim(c: &mut Criterion) {
+    let mut group = c.benchmark_group("netsim");
+    group.sample_size(10);
+    for testbed in [Testbed::paper_16(), Testbed::paper_24()] {
+        let (op, _, _) = testbed.tabu_mapping();
+        let clusters = testbed.host_clusters(&op);
+        group.bench_with_input(
+            BenchmarkId::new("run_4k_cycles", testbed.name),
+            &testbed,
+            |b, t| {
+                let cfg = SimConfig {
+                    injection_rate: 0.2,
+                    warmup_cycles: 1_000,
+                    measure_cycles: 3_000,
+                    ..Default::default()
+                };
+                b.iter(|| {
+                    let pattern = TrafficPattern::new(clusters.clone());
+                    let mut sim =
+                        Simulator::new(&t.topology, &t.routing, pattern, cfg).unwrap();
+                    black_box(sim.run())
+                })
+            },
+        );
+        group.bench_with_input(
+            BenchmarkId::new("run_4k_cycles_adaptive_3vc", testbed.name),
+            &testbed,
+            |b, t| {
+                let cfg = SimConfig {
+                    injection_rate: 0.2,
+                    warmup_cycles: 1_000,
+                    measure_cycles: 3_000,
+                    virtual_channels: 3,
+                    fully_adaptive: true,
+                    ..Default::default()
+                };
+                b.iter(|| {
+                    let pattern = TrafficPattern::new(clusters.clone());
+                    let mut sim =
+                        Simulator::new(&t.topology, &t.routing, pattern, cfg).unwrap();
+                    black_box(sim.run())
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_distance_table,
+    bench_quality,
+    bench_search,
+    bench_netsim
+);
+criterion_main!(benches);

@@ -1,0 +1,48 @@
+//! Figure 1: tabu-search trace `F(P_i)` vs. total iteration in a 16-switch
+//! network, 10 random starting points.
+//!
+//! Regenerates the plotted series: every row is one iteration; seed starts
+//! are marked (the peaks of the figure). The paper's qualitative claims to
+//! check: F drops rapidly in the first few iterations after each start, and
+//! the global minimum is reached from only a subset of the starts.
+
+use commsched_bench::Testbed;
+
+fn main() {
+    let testbed = Testbed::paper_16();
+    let (best, q, trace) = testbed.tabu_mapping();
+
+    println!("# Figure 1: Tabu search in a 16-switch network");
+    println!("# network = {} ({} switches, {} links)",
+        testbed.name,
+        testbed.topology.num_switches(),
+        testbed.topology.num_links());
+    println!("# columns: iteration seed F_G seed_start");
+    for e in &trace.events {
+        println!(
+            "{:>5} {:>3} {:>10.6} {}",
+            e.iteration,
+            e.seed,
+            e.fg,
+            if e.is_seed_start { "*" } else { "" }
+        );
+    }
+    println!();
+    println!("# minimum F_G over trace  = {:.6}", trace.min_fg().unwrap());
+    println!("# best mapping            = {best}");
+    println!("# F_G = {:.6}, D_G = {:.6}, Cc = {:.3}", q.fg, q.dg, q.cc);
+    let starts = trace.seed_starts().count();
+    let reached: Vec<usize> = {
+        // Which seeds reached the global minimum.
+        let min = trace.min_fg().unwrap();
+        let mut seeds: Vec<usize> = trace
+            .events
+            .iter()
+            .filter(|e| (e.fg - min).abs() < 1e-9)
+            .map(|e| e.seed)
+            .collect();
+        seeds.dedup();
+        seeds
+    };
+    println!("# seeds = {starts}, seeds reaching the minimum = {reached:?}");
+}

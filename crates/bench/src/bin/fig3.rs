@@ -1,0 +1,46 @@
+//! Figure 3: simulation results for a 16-switch network.
+//!
+//! Latency vs. accepted traffic for the mapping provided by the scheduling
+//! technique (OP) and randomly generated mappings (R1..Rn), each swept from
+//! low load (S1) to past saturation (S9). The paper's headline: OP's
+//! throughput is ≈85 % higher than any random mapping's, and OP's `Cc` is
+//! clearly the largest.
+//!
+//! Usage: `fig3 [num_random_mappings] ` (default 4; the paper generated 9).
+
+use commsched_bench::{print_sweep, Testbed};
+
+fn main() {
+    let num_random: u64 = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(4);
+
+    let testbed = Testbed::paper_16();
+    let hps = testbed.topology.hosts_per_switch();
+    let (op, q_op, _) = testbed.tabu_mapping();
+
+    println!("# Figure 3: simulation results for a 16-switch network");
+    println!("# OP = tabu mapping, Ri = random mappings; 9 points to 1.2x saturation");
+    let rates = testbed.shared_rates(&op, 9);
+
+    let op_sweep = testbed.sweep_mapping(&op, &rates);
+    print_sweep("OP", q_op.cc, &op_sweep, hps);
+    println!();
+
+    let mut best_random: f64 = 0.0;
+    for i in 1..=num_random {
+        let (rp, rq) = testbed.random_mapping(i);
+        let sweep = testbed.sweep_mapping(&rp, &rates);
+        print_sweep(&format!("R{i}"), rq.cc, &sweep, hps);
+        println!();
+        best_random = best_random.max(sweep.throughput());
+    }
+
+    let ratio = op_sweep.throughput() / best_random;
+    println!("# OP throughput            = {:.4} flits/switch/cycle", op_sweep.throughput());
+    println!("# best random throughput   = {best_random:.4} flits/switch/cycle");
+    println!(
+        "# OP / best-random ratio   = {ratio:.2}x  (paper: ~1.85x over any random mapping)"
+    );
+}

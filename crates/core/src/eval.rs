@@ -1,0 +1,269 @@
+//! Incremental evaluation of `F_G` under pairwise swaps.
+//!
+//! The tabu search evaluates every cross-cluster swap at every iteration —
+//! `O(N²)` candidate moves. Recomputing Eq. 2 from scratch per move costs
+//! `O(N²)` each, which the search cannot afford. [`SwapEvaluator`] caches,
+//! for every switch `v` and cluster `c`, the partial sum
+//! `S(v, c) = Σ_{u ∈ c} T²(v, u)`, so that
+//!
+//! * the `F_G` change of a candidate swap is `O(1)`,
+//! * applying a swap updates the cache in `O(N)`.
+//!
+//! Since swaps never change cluster *sizes*, the normalization of Eq. 2
+//! (intracluster pair count × quadratic average distance) is constant and
+//! cached once.
+
+use crate::partition::Partition;
+use crate::quality::intra_square_sum;
+use commsched_distance::DistanceTable;
+use commsched_topology::SwitchId;
+
+/// An objective that a swap-based local search can optimize: a value, an
+/// O(1)-ish delta for a candidate cross-cluster swap, and an in-place
+/// apply. Implemented by [`SwapEvaluator`] (the paper's `F_G`) and
+/// [`crate::weighted::WeightedSwapEvaluator`] (per-application traffic
+/// weights).
+pub trait SwapObjective {
+    /// Current objective value (lower is better).
+    fn value(&self) -> f64;
+
+    /// Objective change if switches `a` and `b` (in different clusters)
+    /// swapped assignments.
+    fn delta(&self, a: SwitchId, b: SwitchId) -> f64;
+
+    /// Apply the swap of `a` and `b`.
+    fn apply(&mut self, a: SwitchId, b: SwitchId);
+
+    /// The working partition.
+    fn partition(&self) -> &Partition;
+
+    /// Consume the objective, returning the working partition.
+    fn into_partition(self) -> Partition
+    where
+        Self: Sized;
+}
+
+/// Incremental `F_G` evaluator over a working partition.
+#[derive(Debug, Clone)]
+pub struct SwapEvaluator<'t> {
+    table: &'t DistanceTable,
+    partition: Partition,
+    /// `sums[v * M + c] = Σ_{u ∈ cluster c} T²(v, u)`.
+    sums: Vec<f64>,
+    /// Current numerator of Eq. 2 (sum of squared intracluster distances).
+    intra_sum: f64,
+    /// Constant denominator: `intra_pairs × mean_square`.
+    norm: f64,
+}
+
+impl<'t> SwapEvaluator<'t> {
+    /// Build the evaluator for `partition` over `table`.
+    ///
+    /// # Panics
+    /// Panics if the partition and table sizes disagree.
+    pub fn new(partition: Partition, table: &'t DistanceTable) -> Self {
+        assert_eq!(
+            partition.num_switches(),
+            table.n(),
+            "partition/table size mismatch"
+        );
+        let n = partition.num_switches();
+        let m = partition.num_clusters();
+        let mut sums = vec![0.0; n * m];
+        for v in 0..n {
+            for u in 0..n {
+                if u != v {
+                    sums[v * m + partition.cluster_of(u)] += table.get_sq(v, u);
+                }
+            }
+        }
+        let intra_sum = intra_square_sum(&partition, table);
+        let norm = partition.intra_pairs() as f64 * table.mean_square();
+        Self {
+            table,
+            partition,
+            sums,
+            intra_sum,
+            norm,
+        }
+    }
+
+    /// The working partition.
+    pub fn partition(&self) -> &Partition {
+        &self.partition
+    }
+
+    /// Consume the evaluator, returning the working partition.
+    pub fn into_partition(self) -> Partition {
+        self.partition
+    }
+
+    /// Current `F_G` value (Eq. 2).
+    pub fn fg(&self) -> f64 {
+        if self.norm == 0.0 {
+            0.0
+        } else {
+            self.intra_sum / self.norm
+        }
+    }
+
+    #[inline]
+    fn sum(&self, v: SwitchId, cluster: usize) -> f64 {
+        self.sums[v * self.partition.num_clusters() + cluster]
+    }
+
+    /// Change in the Eq.-2 numerator if switches `a` and `b` (in different
+    /// clusters) swapped assignments. Negative is an improvement.
+    pub fn delta_intra(&self, a: SwitchId, b: SwitchId) -> f64 {
+        let ca = self.partition.cluster_of(a);
+        let cb = self.partition.cluster_of(b);
+        debug_assert_ne!(ca, cb, "swap within a cluster");
+        let t_ab = self.table.get_sq(a, b);
+        self.sum(a, cb) + self.sum(b, ca) - self.sum(a, ca) - self.sum(b, cb) - 2.0 * t_ab
+    }
+
+    /// Change in `F_G` if `a` and `b` swapped (O(1)).
+    pub fn delta_fg(&self, a: SwitchId, b: SwitchId) -> f64 {
+        if self.norm == 0.0 {
+            0.0
+        } else {
+            self.delta_intra(a, b) / self.norm
+        }
+    }
+
+    /// Apply the swap of `a` and `b`, updating the cache in O(N).
+    pub fn apply_swap(&mut self, a: SwitchId, b: SwitchId) {
+        let ca = self.partition.cluster_of(a);
+        let cb = self.partition.cluster_of(b);
+        debug_assert_ne!(ca, cb, "swap within a cluster");
+        self.intra_sum += self.delta_intra(a, b);
+        let m = self.partition.num_clusters();
+        let n = self.partition.num_switches();
+        for v in 0..n {
+            let ta = self.table.get_sq(v, a);
+            let tb = self.table.get_sq(v, b);
+            // Cluster ca loses a, gains b; cluster cb loses b, gains a.
+            self.sums[v * m + ca] += tb - ta;
+            self.sums[v * m + cb] += ta - tb;
+        }
+        self.partition.swap(a, b);
+    }
+}
+
+impl SwapObjective for SwapEvaluator<'_> {
+    fn value(&self) -> f64 {
+        self.fg()
+    }
+
+    fn delta(&self, a: SwitchId, b: SwitchId) -> f64 {
+        self.delta_fg(a, b)
+    }
+
+    fn apply(&mut self, a: SwitchId, b: SwitchId) {
+        self.apply_swap(a, b);
+    }
+
+    fn partition(&self) -> &Partition {
+        SwapEvaluator::partition(self)
+    }
+
+    fn into_partition(self) -> Partition {
+        SwapEvaluator::into_partition(self)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::quality::similarity_fg;
+    use commsched_distance::equivalent_distance_table;
+    use commsched_routing::UpDownRouting;
+    use commsched_topology::designed;
+    use rand::rngs::StdRng;
+    use rand::Rng;
+    use rand::SeedableRng;
+
+    fn assert_close(a: f64, b: f64) {
+        assert!((a - b).abs() < 1e-9, "{a} != {b}");
+    }
+
+    fn setup() -> (DistanceTable, Partition) {
+        let t = designed::paper_24_switch();
+        let r = UpDownRouting::new(&t, 0).unwrap();
+        let table = equivalent_distance_table(&t, &r).unwrap();
+        let mut rng = StdRng::seed_from_u64(4);
+        let p = Partition::random_balanced(24, 4, &mut rng).unwrap();
+        (table, p)
+    }
+
+    #[test]
+    fn initial_fg_matches_direct() {
+        let (table, p) = setup();
+        let eval = SwapEvaluator::new(p.clone(), &table);
+        assert_close(eval.fg(), similarity_fg(&p, &table));
+    }
+
+    #[test]
+    fn delta_matches_recompute_for_all_swaps() {
+        let (table, p) = setup();
+        let eval = SwapEvaluator::new(p.clone(), &table);
+        let base = similarity_fg(&p, &table);
+        for a in 0..24 {
+            for b in (a + 1)..24 {
+                if p.cluster_of(a) == p.cluster_of(b) {
+                    continue;
+                }
+                let mut q = p.clone();
+                q.swap(a, b);
+                let direct = similarity_fg(&q, &table) - base;
+                assert_close(eval.delta_fg(a, b), direct);
+            }
+        }
+    }
+
+    #[test]
+    fn apply_swap_keeps_cache_consistent() {
+        let (table, p) = setup();
+        let mut eval = SwapEvaluator::new(p, &table);
+        let mut rng = StdRng::seed_from_u64(99);
+        for _ in 0..200 {
+            let a = rng.gen_range(0..24);
+            let b = rng.gen_range(0..24);
+            if eval.partition().cluster_of(a) == eval.partition().cluster_of(b) {
+                continue;
+            }
+            eval.apply_swap(a, b);
+            let fresh = SwapEvaluator::new(eval.partition().clone(), &table);
+            assert_close(eval.fg(), fresh.fg());
+        }
+    }
+
+    #[test]
+    fn swap_and_inverse_cancel() {
+        let (table, p) = setup();
+        let mut eval = SwapEvaluator::new(p.clone(), &table);
+        let before = eval.fg();
+        eval.apply_swap(0, 23);
+        eval.apply_swap(0, 23);
+        assert_close(eval.fg(), before);
+        assert_eq!(eval.partition(), &p);
+    }
+
+    #[test]
+    fn into_partition_returns_current_state() {
+        let (table, p) = setup();
+        let mut eval = SwapEvaluator::new(p.clone(), &table);
+        eval.apply_swap(0, 23);
+        let out = eval.into_partition();
+        assert_ne!(out, p);
+        assert_eq!(out.sizes(), p.sizes());
+    }
+
+    #[test]
+    #[should_panic(expected = "size mismatch")]
+    fn size_mismatch_panics() {
+        let (table, _) = setup();
+        let p = Partition::new(vec![0, 1], 2).unwrap();
+        let _ = SwapEvaluator::new(p, &table);
+    }
+}

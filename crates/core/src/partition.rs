@@ -1,0 +1,397 @@
+//! Network partitions: the assignment of switches to clusters.
+//!
+//! Under the paper's simplifying assumptions (one process per processor,
+//! logical clusters sized as integer multiples of a switch's host count),
+//! a mapping of processes to processors is fully described by a *network
+//! partition*: which cluster each switch serves. [`Partition`] is that
+//! object; the process-level view lives in [`crate::mapping`].
+
+use commsched_topology::SwitchId;
+use rand::seq::SliceRandom;
+use rand::Rng;
+
+/// Index of a cluster within a partition.
+pub type ClusterId = usize;
+
+/// Errors raised when constructing a partition.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum PartitionError {
+    /// `assign` was empty.
+    Empty,
+    /// A cluster id in `assign` was `>= num_clusters`.
+    ClusterOutOfRange {
+        /// The switch with the bad assignment.
+        switch: SwitchId,
+        /// The offending cluster id.
+        cluster: ClusterId,
+        /// Declared number of clusters.
+        num_clusters: usize,
+    },
+    /// Some cluster has no switches.
+    EmptyCluster(ClusterId),
+    /// Cluster size list does not sum to the number of switches.
+    SizesMismatch {
+        /// Sum of the requested sizes.
+        total: usize,
+        /// Number of switches to partition.
+        switches: usize,
+    },
+}
+
+impl std::fmt::Display for PartitionError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            PartitionError::Empty => write!(f, "empty partition"),
+            PartitionError::ClusterOutOfRange {
+                switch,
+                cluster,
+                num_clusters,
+            } => write!(
+                f,
+                "switch {switch} assigned to cluster {cluster} (only {num_clusters} clusters)"
+            ),
+            PartitionError::EmptyCluster(c) => write!(f, "cluster {c} is empty"),
+            PartitionError::SizesMismatch { total, switches } => {
+                write!(f, "cluster sizes sum to {total}, expected {switches}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for PartitionError {}
+
+/// A partition of `N` switches into `M` non-empty clusters.
+///
+/// # Example
+///
+/// ```
+/// use commsched_core::Partition;
+///
+/// let p = Partition::from_clusters(&[vec![0, 1], vec![2, 3]]).unwrap();
+/// assert_eq!(p.cluster_of(2), 1);
+/// assert_eq!(p.intra_pairs(), 2);
+/// assert_eq!(p.to_string(), "(0,1) (2,3)"); // the paper's Figure-2 format
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct Partition {
+    assign: Vec<ClusterId>,
+    num_clusters: usize,
+}
+
+impl Partition {
+    /// Build from a per-switch cluster assignment.
+    ///
+    /// # Errors
+    /// See [`PartitionError`].
+    pub fn new(assign: Vec<ClusterId>, num_clusters: usize) -> Result<Self, PartitionError> {
+        if assign.is_empty() {
+            return Err(PartitionError::Empty);
+        }
+        let mut seen = vec![false; num_clusters];
+        for (switch, &c) in assign.iter().enumerate() {
+            if c >= num_clusters {
+                return Err(PartitionError::ClusterOutOfRange {
+                    switch,
+                    cluster: c,
+                    num_clusters,
+                });
+            }
+            seen[c] = true;
+        }
+        if let Some(c) = seen.iter().position(|&s| !s) {
+            return Err(PartitionError::EmptyCluster(c));
+        }
+        Ok(Self {
+            assign,
+            num_clusters,
+        })
+    }
+
+    /// Build from explicit cluster member lists.
+    ///
+    /// # Errors
+    /// [`PartitionError::Empty`] if there are no switches;
+    /// [`PartitionError::EmptyCluster`] if a member list is empty. Member
+    /// lists must cover `0..N` exactly once; violations are reported as
+    /// [`PartitionError::SizesMismatch`].
+    pub fn from_clusters(clusters: &[Vec<SwitchId>]) -> Result<Self, PartitionError> {
+        let total: usize = clusters.iter().map(Vec::len).sum();
+        if total == 0 {
+            return Err(PartitionError::Empty);
+        }
+        if let Some(empty) = clusters.iter().position(Vec::is_empty) {
+            return Err(PartitionError::EmptyCluster(empty));
+        }
+        let mut assign = vec![usize::MAX; total];
+        for (c, members) in clusters.iter().enumerate() {
+            for &s in members {
+                if s >= total || assign[s] != usize::MAX {
+                    return Err(PartitionError::SizesMismatch {
+                        total,
+                        switches: assign.len(),
+                    });
+                }
+                assign[s] = c;
+            }
+        }
+        Self::new(assign, clusters.len())
+    }
+
+    /// Uniformly random partition with the given cluster sizes.
+    ///
+    /// This is the paper's "random mapping" baseline (the `R_i` labels of
+    /// Figures 3 and 5).
+    ///
+    /// # Errors
+    /// [`PartitionError::SizesMismatch`] if the sizes don't sum to
+    /// `num_switches`; [`PartitionError::EmptyCluster`] on a zero size.
+    pub fn random<R: Rng + ?Sized>(
+        num_switches: usize,
+        sizes: &[usize],
+        rng: &mut R,
+    ) -> Result<Self, PartitionError> {
+        let total: usize = sizes.iter().sum();
+        if total != num_switches {
+            return Err(PartitionError::SizesMismatch {
+                total,
+                switches: num_switches,
+            });
+        }
+        if let Some(c) = sizes.iter().position(|&s| s == 0) {
+            return Err(PartitionError::EmptyCluster(c));
+        }
+        let mut switches: Vec<SwitchId> = (0..num_switches).collect();
+        switches.shuffle(rng);
+        let mut assign = vec![0; num_switches];
+        let mut cursor = 0;
+        for (c, &size) in sizes.iter().enumerate() {
+            for &s in &switches[cursor..cursor + size] {
+                assign[s] = c;
+            }
+            cursor += size;
+        }
+        Self::new(assign, sizes.len())
+    }
+
+    /// Balanced random partition: `clusters` clusters of `n / clusters`
+    /// switches each.
+    ///
+    /// # Errors
+    /// [`PartitionError::SizesMismatch`] if `clusters` does not divide `n`.
+    pub fn random_balanced<R: Rng + ?Sized>(
+        num_switches: usize,
+        clusters: usize,
+        rng: &mut R,
+    ) -> Result<Self, PartitionError> {
+        if clusters == 0 || !num_switches.is_multiple_of(clusters) {
+            return Err(PartitionError::SizesMismatch {
+                total: num_switches,
+                switches: num_switches,
+            });
+        }
+        let sizes = vec![num_switches / clusters; clusters];
+        Self::random(num_switches, &sizes, rng)
+    }
+
+    /// Number of switches.
+    pub fn num_switches(&self) -> usize {
+        self.assign.len()
+    }
+
+    /// Number of clusters.
+    pub fn num_clusters(&self) -> usize {
+        self.num_clusters
+    }
+
+    /// Cluster of switch `s`.
+    #[inline]
+    pub fn cluster_of(&self, s: SwitchId) -> ClusterId {
+        self.assign[s]
+    }
+
+    /// The raw assignment vector.
+    pub fn assignment(&self) -> &[ClusterId] {
+        &self.assign
+    }
+
+    /// Size of each cluster.
+    pub fn sizes(&self) -> Vec<usize> {
+        let mut sizes = vec![0; self.num_clusters];
+        for &c in &self.assign {
+            sizes[c] += 1;
+        }
+        sizes
+    }
+
+    /// Members of each cluster, sorted.
+    pub fn clusters(&self) -> Vec<Vec<SwitchId>> {
+        let mut out = vec![Vec::new(); self.num_clusters];
+        for (s, &c) in self.assign.iter().enumerate() {
+            out[c].push(s);
+        }
+        out
+    }
+
+    /// Total number of intracluster unordered pairs
+    /// (`Σ xᵢ(xᵢ−1)/2`, Eq. 3 of the paper).
+    pub fn intra_pairs(&self) -> usize {
+        self.sizes().iter().map(|&x| x * (x - 1) / 2).sum()
+    }
+
+    /// Total number of intercluster unordered pairs.
+    pub fn inter_pairs(&self) -> usize {
+        let n = self.num_switches();
+        n * (n - 1) / 2 - self.intra_pairs()
+    }
+
+    /// Swap the cluster assignments of switches `a` and `b` in place.
+    ///
+    /// # Panics
+    /// Panics (debug) if the two switches are in the same cluster — such a
+    /// swap is a no-op the search must never propose.
+    pub fn swap(&mut self, a: SwitchId, b: SwitchId) {
+        debug_assert_ne!(
+            self.assign[a], self.assign[b],
+            "swap within a cluster is a no-op"
+        );
+        self.assign.swap(a, b);
+    }
+
+    /// Canonical relabeling: clusters renumbered by their smallest member.
+    /// Two partitions that differ only in cluster labels canonicalize to
+    /// the same value — used to compare search results with ground truth.
+    pub fn canonical(&self) -> Partition {
+        let mut first_seen: Vec<Option<ClusterId>> = vec![None; self.num_clusters];
+        let mut next = 0;
+        let mut assign = Vec::with_capacity(self.assign.len());
+        for &c in &self.assign {
+            let label = *first_seen[c].get_or_insert_with(|| {
+                let l = next;
+                next += 1;
+                l
+            });
+            assign.push(label);
+        }
+        Partition {
+            assign,
+            num_clusters: self.num_clusters,
+        }
+    }
+
+    /// `true` when both partitions induce the same grouping, ignoring
+    /// cluster labels.
+    pub fn same_grouping(&self, other: &Partition) -> bool {
+        self.num_switches() == other.num_switches() && self.canonical() == other.canonical()
+    }
+}
+
+impl std::fmt::Display for Partition {
+    /// Formats like the paper's Figure 2: `(5,6,8,15) (0,1,11,12) ...`.
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        for (i, members) in self.clusters().iter().enumerate() {
+            if i > 0 {
+                write!(f, " ")?;
+            }
+            write!(f, "(")?;
+            for (k, s) in members.iter().enumerate() {
+                if k > 0 {
+                    write!(f, ",")?;
+                }
+                write!(f, "{s}")?;
+            }
+            write!(f, ")")?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn new_validates() {
+        assert!(Partition::new(vec![0, 1, 0, 1], 2).is_ok());
+        assert_eq!(Partition::new(vec![], 0).unwrap_err(), PartitionError::Empty);
+        assert!(matches!(
+            Partition::new(vec![0, 2], 2).unwrap_err(),
+            PartitionError::ClusterOutOfRange { switch: 1, cluster: 2, .. }
+        ));
+        assert_eq!(
+            Partition::new(vec![0, 0], 2).unwrap_err(),
+            PartitionError::EmptyCluster(1)
+        );
+    }
+
+    #[test]
+    fn from_clusters_roundtrip() {
+        let p = Partition::from_clusters(&[vec![0, 3], vec![1, 2]]).unwrap();
+        assert_eq!(p.assignment(), &[0, 1, 1, 0]);
+        assert_eq!(p.clusters(), vec![vec![0, 3], vec![1, 2]]);
+    }
+
+    #[test]
+    fn from_clusters_rejects_overlap_and_gap() {
+        assert!(Partition::from_clusters(&[vec![0, 1], vec![1, 2]]).is_err());
+        assert!(Partition::from_clusters(&[vec![0, 1], vec![3, 4]]).is_err());
+        assert!(Partition::from_clusters(&[vec![0], vec![]]).is_err());
+    }
+
+    #[test]
+    fn random_respects_sizes() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let p = Partition::random(10, &[4, 3, 3], &mut rng).unwrap();
+        assert_eq!(p.sizes(), vec![4, 3, 3]);
+        assert_eq!(p.intra_pairs(), 6 + 3 + 3);
+        assert_eq!(p.inter_pairs(), 45 - 12);
+    }
+
+    #[test]
+    fn random_rejects_bad_sizes() {
+        let mut rng = StdRng::seed_from_u64(1);
+        assert!(Partition::random(10, &[4, 4], &mut rng).is_err());
+        assert!(Partition::random(4, &[4, 0], &mut rng).is_err());
+        assert!(Partition::random_balanced(10, 3, &mut rng).is_err());
+        assert!(Partition::random_balanced(10, 0, &mut rng).is_err());
+    }
+
+    #[test]
+    fn random_balanced_shape() {
+        let mut rng = StdRng::seed_from_u64(9);
+        let p = Partition::random_balanced(16, 4, &mut rng).unwrap();
+        assert_eq!(p.sizes(), vec![4; 4]);
+    }
+
+    #[test]
+    fn random_is_seed_deterministic() {
+        let a = Partition::random_balanced(16, 4, &mut StdRng::seed_from_u64(5)).unwrap();
+        let b = Partition::random_balanced(16, 4, &mut StdRng::seed_from_u64(5)).unwrap();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn swap_exchanges_assignments() {
+        let mut p = Partition::new(vec![0, 0, 1, 1], 2).unwrap();
+        p.swap(1, 2);
+        assert_eq!(p.assignment(), &[0, 1, 0, 1]);
+        assert_eq!(p.sizes(), vec![2, 2]);
+    }
+
+    #[test]
+    fn canonical_ignores_labels() {
+        let a = Partition::new(vec![0, 0, 1, 1], 2).unwrap();
+        let b = Partition::new(vec![1, 1, 0, 0], 2).unwrap();
+        assert_ne!(a, b);
+        assert!(a.same_grouping(&b));
+        let c = Partition::new(vec![0, 1, 0, 1], 2).unwrap();
+        assert!(!a.same_grouping(&c));
+    }
+
+    #[test]
+    fn display_matches_paper_figure_style() {
+        let p = Partition::from_clusters(&[vec![0, 1], vec![2, 3]]).unwrap();
+        assert_eq!(p.to_string(), "(0,1) (2,3)");
+    }
+}

@@ -1,0 +1,262 @@
+//! The paper's quality functions (§4.1, Eqs. 1–5).
+//!
+//! Given a distance table `T` and a network partition `P` with clusters
+//! `A₁..A_M`:
+//!
+//! * `F_{Aᵢ}` (Eq. 1) — quadratic sum of intracluster distances;
+//! * `F_G`   (Eq. 2) — mean squared intracluster distance, normalized by
+//!   the quadratic average over *all* node pairs. `F_G == 1` for the
+//!   expected random mapping; values near 0 mean very cheap intracluster
+//!   communication;
+//! * `D_{Aᵢ}` (Eq. 4) — quadratic sum of distances from `Aᵢ` to the rest;
+//! * `D_G`   (Eq. 5) — mean squared intercluster distance, same
+//!   normalization. `D_G == 1` when every node is its own cluster;
+//! * `Cc = D_G / F_G` — the **clustering coefficient**, the intracluster /
+//!   intercluster bandwidth relationship the scheduler maximizes.
+
+use crate::partition::Partition;
+use commsched_distance::DistanceTable;
+use commsched_topology::SwitchId;
+
+/// Quadratic sum of intracluster distances of one cluster (Eq. 1).
+pub fn cluster_similarity(members: &[SwitchId], table: &DistanceTable) -> f64 {
+    let mut acc = 0.0;
+    for (k, &a) in members.iter().enumerate() {
+        for &b in &members[k + 1..] {
+            acc += table.get_sq(a, b);
+        }
+    }
+    acc
+}
+
+/// Quadratic sum of distances from every node of `members` to every node
+/// outside it (Eq. 4).
+pub fn cluster_dissimilarity(
+    members: &[SwitchId],
+    partition: &Partition,
+    table: &DistanceTable,
+) -> f64 {
+    let cluster = partition.cluster_of(members[0]);
+    let mut acc = 0.0;
+    for &a in members {
+        for b in 0..partition.num_switches() {
+            if partition.cluster_of(b) != cluster {
+                acc += table.get_sq(a, b);
+            }
+        }
+    }
+    acc
+}
+
+/// Sum over clusters of Eq. 1 — the numerator of `F_G` before
+/// normalization.
+pub fn intra_square_sum(partition: &Partition, table: &DistanceTable) -> f64 {
+    let mut acc = 0.0;
+    let assign = partition.assignment();
+    for i in 0..partition.num_switches() {
+        for j in (i + 1)..partition.num_switches() {
+            if assign[i] == assign[j] {
+                acc += table.get_sq(i, j);
+            }
+        }
+    }
+    acc
+}
+
+/// The global similarity function `F_G` (Eq. 2).
+///
+/// Returns 0 when the partition has no intracluster pairs (all clusters
+/// singletons): there is no intracluster communication to cost.
+pub fn similarity_fg(partition: &Partition, table: &DistanceTable) -> f64 {
+    let pairs = partition.intra_pairs();
+    if pairs == 0 {
+        return 0.0;
+    }
+    let mean_sq = table.mean_square();
+    if mean_sq == 0.0 {
+        return 0.0;
+    }
+    intra_square_sum(partition, table) / pairs as f64 / mean_sq
+}
+
+/// The global dissimilarity function `D_G` (Eq. 5).
+///
+/// Returns 0 when the partition is a single cluster (no intercluster
+/// pairs).
+pub fn dissimilarity_dg(partition: &Partition, table: &DistanceTable) -> f64 {
+    let pairs = partition.inter_pairs();
+    if pairs == 0 {
+        return 0.0;
+    }
+    let mean_sq = table.mean_square();
+    if mean_sq == 0.0 {
+        return 0.0;
+    }
+    let inter_sum = table.total_square() - intra_square_sum(partition, table);
+    inter_sum / pairs as f64 / mean_sq
+}
+
+/// The clustering coefficient `Cc = D_G / F_G` (§4.1).
+///
+/// `+∞` when `F_G == 0` (perfectly collapsed clusters with distinct
+/// intercluster distances); `NaN` only when both functions vanish.
+pub fn clustering_coefficient(partition: &Partition, table: &DistanceTable) -> f64 {
+    dissimilarity_dg(partition, table) / similarity_fg(partition, table)
+}
+
+/// All three quality figures of a mapping, computed in one pass.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Quality {
+    /// Global similarity `F_G` (Eq. 2) — lower is better.
+    pub fg: f64,
+    /// Global dissimilarity `D_G` (Eq. 5) — higher is better.
+    pub dg: f64,
+    /// Clustering coefficient `Cc = D_G / F_G` — higher is better.
+    pub cc: f64,
+}
+
+/// Evaluate all quality figures of `partition` under `table`.
+pub fn quality(partition: &Partition, table: &DistanceTable) -> Quality {
+    let fg = similarity_fg(partition, table);
+    let dg = dissimilarity_dg(partition, table);
+    Quality { fg, dg, cc: dg / fg }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use commsched_distance::{equivalent_distance_table, hop_distance_table};
+    use commsched_routing::ShortestPathRouting;
+    use commsched_topology::designed;
+
+    fn assert_close(a: f64, b: f64) {
+        assert!((a - b).abs() < 1e-9, "{a} != {b}");
+    }
+
+    /// Line of 4 nodes, shortest-path routing: T = |i - j|.
+    fn line4_table() -> DistanceTable {
+        let t = designed::line(4, 1);
+        let r = ShortestPathRouting::new(&t).unwrap();
+        equivalent_distance_table(&t, &r).unwrap()
+    }
+
+    #[test]
+    fn single_cluster_has_unit_fg() {
+        // With one cluster containing everything, the numerator equals the
+        // total and F_G normalizes to exactly 1.
+        let table = line4_table();
+        let p = Partition::new(vec![0, 0, 0, 0], 1).unwrap();
+        assert_close(similarity_fg(&p, &table), 1.0);
+        assert_close(dissimilarity_dg(&p, &table), 0.0);
+    }
+
+    #[test]
+    fn singletons_have_unit_dg() {
+        // With every node its own cluster, D_G is exactly 1 (the paper's
+        // "each network node as a cluster" reference point).
+        let table = line4_table();
+        let p = Partition::new(vec![0, 1, 2, 3], 4).unwrap();
+        assert_close(dissimilarity_dg(&p, &table), 1.0);
+        assert_close(similarity_fg(&p, &table), 0.0);
+    }
+
+    #[test]
+    fn contiguous_beats_interleaved_on_line() {
+        let table = line4_table();
+        let good = Partition::new(vec![0, 0, 1, 1], 2).unwrap();
+        let bad = Partition::new(vec![0, 1, 0, 1], 2).unwrap();
+        let qg = quality(&good, &table);
+        let qb = quality(&bad, &table);
+        assert!(qg.fg < qb.fg, "contiguous has cheaper intracluster cost");
+        assert!(qg.dg > qb.dg, "contiguous has larger intercluster spread");
+        assert!(qg.cc > qb.cc);
+    }
+
+    #[test]
+    fn hand_computed_fg_on_line() {
+        // T² for line4: pairs (0,1)=1 (0,2)=4 (0,3)=9 (1,2)=1 (1,3)=4 (2,3)=1
+        // total = 20, mean over 6 pairs = 20/6.
+        // Partition {0,1}{2,3}: intra sum = 1 + 1 = 2 over 2 pairs -> 1.
+        // F_G = 1 / (20/6) = 0.3.
+        let table = line4_table();
+        let p = Partition::new(vec![0, 0, 1, 1], 2).unwrap();
+        assert_close(similarity_fg(&p, &table), 0.3);
+        // D_G: inter sum = 20 - 2 = 18 over 4 pairs = 4.5; /(20/6) = 1.35.
+        assert_close(dissimilarity_dg(&p, &table), 1.35);
+        assert_close(clustering_coefficient(&p, &table), 4.5);
+    }
+
+    #[test]
+    fn intra_plus_inter_equals_total() {
+        let table = line4_table();
+        let p = Partition::new(vec![0, 1, 1, 0], 2).unwrap();
+        let intra = intra_square_sum(&p, &table);
+        let members = p.clusters();
+        let inter: f64 = members
+            .iter()
+            .map(|m| cluster_dissimilarity(m, &p, &table))
+            .sum::<f64>()
+            / 2.0; // each unordered pair counted from both sides
+        assert_close(intra + inter, table.total_square());
+    }
+
+    #[test]
+    fn cluster_similarity_matches_sum() {
+        let table = line4_table();
+        let p = Partition::new(vec![0, 0, 1, 1], 2).unwrap();
+        let total: f64 = p
+            .clusters()
+            .iter()
+            .map(|m| cluster_similarity(m, &table))
+            .sum();
+        assert_close(total, intra_square_sum(&p, &table));
+    }
+
+    #[test]
+    fn quality_consistent_with_parts() {
+        let t = designed::ring(8, 1);
+        let r = ShortestPathRouting::new(&t).unwrap();
+        let table = equivalent_distance_table(&t, &r).unwrap();
+        let p = Partition::new(vec![0, 0, 0, 0, 1, 1, 1, 1], 2).unwrap();
+        let q = quality(&p, &table);
+        assert_close(q.fg, similarity_fg(&p, &table));
+        assert_close(q.dg, dissimilarity_dg(&p, &table));
+        assert_close(q.cc, q.dg / q.fg);
+    }
+
+    #[test]
+    fn ring_of_rings_ground_truth_maximizes_cc() {
+        // The designed 24-switch network: the physical rings must beat any
+        // random balanced partition on Cc.
+        use rand::rngs::StdRng;
+        use rand::SeedableRng;
+        let t = designed::paper_24_switch();
+        let r = ShortestPathRouting::new(&t).unwrap();
+        let table = equivalent_distance_table(&t, &r).unwrap();
+        let truth =
+            Partition::from_clusters(&designed::ring_of_rings_clusters(4, 6)).unwrap();
+        let cc_truth = clustering_coefficient(&truth, &table);
+        let mut rng = StdRng::seed_from_u64(77);
+        for _ in 0..20 {
+            let random = Partition::random_balanced(24, 4, &mut rng).unwrap();
+            if random.same_grouping(&truth) {
+                continue;
+            }
+            assert!(
+                cc_truth > clustering_coefficient(&random, &table),
+                "ground truth should dominate random partitions"
+            );
+        }
+    }
+
+    #[test]
+    fn hop_table_gives_same_ordering_on_line() {
+        // Sanity: with the hop metric the contiguous split still wins.
+        let t = designed::line(4, 1);
+        let r = ShortestPathRouting::new(&t).unwrap();
+        let table = hop_distance_table(&r);
+        let good = Partition::new(vec![0, 0, 1, 1], 2).unwrap();
+        let bad = Partition::new(vec![0, 1, 0, 1], 2).unwrap();
+        assert!(similarity_fg(&good, &table) < similarity_fg(&bad, &table));
+    }
+}

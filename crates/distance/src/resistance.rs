@@ -1,0 +1,274 @@
+//! Effective resistance of a unit-resistor network.
+//!
+//! The paper's equivalent distance between two switches is the electrical
+//! resistance between them when every link on a minimal legal route is
+//! replaced by a 1 Ω resistor (§3). This module solves that circuit: build
+//! the graph Laplacian over the sub-network's nodes, ground one terminal,
+//! inject a unit current at the other, and read off the potential.
+
+use crate::linalg::{solve, LinalgError, Matrix};
+use commsched_topology::SwitchId;
+
+/// Errors from the resistance computation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ResistanceError {
+    /// The two terminals are not connected in the given edge set.
+    TerminalsDisconnected,
+    /// A terminal does not appear as an endpoint of any edge.
+    TerminalNotInNetwork(SwitchId),
+    /// Internal solver failure (should not occur on a connected circuit).
+    Solver(LinalgError),
+}
+
+impl std::fmt::Display for ResistanceError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ResistanceError::TerminalsDisconnected => {
+                write!(f, "terminals are not connected in the sub-network")
+            }
+            ResistanceError::TerminalNotInNetwork(s) => {
+                write!(f, "terminal {s} not present in the sub-network")
+            }
+            ResistanceError::Solver(e) => write!(f, "solver error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for ResistanceError {}
+
+/// Effective resistance between `a` and `b` in a network of unit
+/// resistors. Edges may be listed in any order; duplicates are
+/// idempotently ignored (a link appears once in the circuit no matter how
+/// many routes traverse it).
+///
+/// # Errors
+/// See [`ResistanceError`].
+pub fn effective_resistance(
+    edges: &[(SwitchId, SwitchId)],
+    a: SwitchId,
+    b: SwitchId,
+) -> Result<f64, ResistanceError> {
+    let weighted: Vec<(SwitchId, SwitchId, f64)> =
+        edges.iter().map(|&(u, v)| (u, v, 1.0)).collect();
+    effective_resistance_weighted(&weighted, a, b)
+}
+
+/// Effective resistance between `a` and `b` with per-edge resistances
+/// (heterogeneous link speeds: a slower link has a larger resistance).
+/// Duplicate edges (same endpoints) keep the first listed resistance.
+///
+/// # Errors
+/// See [`ResistanceError`].
+///
+/// # Panics
+/// Debug-asserts that every resistance is strictly positive (callers pass
+/// slowdowns ≥ 1 by construction).
+pub fn effective_resistance_weighted(
+    edges: &[(SwitchId, SwitchId, f64)],
+    a: SwitchId,
+    b: SwitchId,
+) -> Result<f64, ResistanceError> {
+    if a == b {
+        return Ok(0.0);
+    }
+    debug_assert!(
+        edges.iter().all(|&(_, _, r)| r > 0.0),
+        "resistances must be positive"
+    );
+    // Compact the node ids appearing in the edge set.
+    let mut nodes: Vec<SwitchId> = edges.iter().flat_map(|&(u, v, _)| [u, v]).collect();
+    nodes.sort_unstable();
+    nodes.dedup();
+    let index_of = |s: SwitchId| nodes.binary_search(&s).ok();
+    let ia = index_of(a).ok_or(ResistanceError::TerminalNotInNetwork(a))?;
+    let ib = index_of(b).ok_or(ResistanceError::TerminalNotInNetwork(b))?;
+    let k = nodes.len();
+
+    // Deduplicate edges (unordered endpoints), keeping the first weight.
+    let mut dedup: Vec<(usize, usize, f64)> = Vec::with_capacity(edges.len());
+    let mut seen = std::collections::HashSet::with_capacity(edges.len());
+    for &(u, v, r) in edges {
+        let (iu, iv) = (
+            index_of(u).expect("endpoint indexed"),
+            index_of(v).expect("endpoint indexed"),
+        );
+        if iu == iv {
+            continue;
+        }
+        let key = (iu.min(iv), iu.max(iv));
+        if seen.insert(key) {
+            dedup.push((key.0, key.1, r));
+        }
+    }
+
+    // Connectivity check between the terminals (the Laplacian minor would be
+    // singular otherwise; detect it explicitly for a better error).
+    let plain: Vec<(usize, usize)> = dedup.iter().map(|&(u, v, _)| (u, v)).collect();
+    if !connected(k, &plain, ia, ib) {
+        return Err(ResistanceError::TerminalsDisconnected);
+    }
+
+    // Laplacian with row/column `ib` removed (grounding b); entries are
+    // conductances 1/r.
+    let reduced = |i: usize| if i < ib { Some(i) } else if i == ib { None } else { Some(i - 1) };
+    let mut lap = Matrix::zeros(k - 1, k - 1);
+    for &(u, v, r) in &dedup {
+        let g = 1.0 / r;
+        let (ru, rv) = (reduced(u), reduced(v));
+        if let Some(ru) = ru {
+            lap.add(ru, ru, g);
+        }
+        if let Some(rv) = rv {
+            lap.add(rv, rv, g);
+        }
+        if let (Some(ru), Some(rv)) = (ru, rv) {
+            lap.add(ru, rv, -g);
+            lap.add(rv, ru, -g);
+        }
+    }
+    let mut rhs = vec![0.0; k - 1];
+    let ra = reduced(ia).expect("a != b so a is not the grounded node");
+    rhs[ra] = 1.0;
+    let potentials = solve(lap, rhs).map_err(ResistanceError::Solver)?;
+    Ok(potentials[ra])
+}
+
+fn connected(k: usize, edges: &[(usize, usize)], from: usize, to: usize) -> bool {
+    let mut adj = vec![Vec::new(); k];
+    for &(u, v) in edges {
+        adj[u].push(v);
+        adj[v].push(u);
+    }
+    let mut seen = vec![false; k];
+    let mut stack = vec![from];
+    seen[from] = true;
+    while let Some(u) = stack.pop() {
+        if u == to {
+            return true;
+        }
+        for &v in &adj[u] {
+            if !seen[v] {
+                seen[v] = true;
+                stack.push(v);
+            }
+        }
+    }
+    false
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn assert_close(a: f64, b: f64) {
+        assert!((a - b).abs() < 1e-9, "{a} != {b}");
+    }
+
+    #[test]
+    fn single_resistor() {
+        assert_close(effective_resistance(&[(0, 1)], 0, 1).unwrap(), 1.0);
+    }
+
+    #[test]
+    fn series_chain() {
+        let edges = [(0, 1), (1, 2), (2, 3)];
+        assert_close(effective_resistance(&edges, 0, 3).unwrap(), 3.0);
+        assert_close(effective_resistance(&edges, 0, 2).unwrap(), 2.0);
+    }
+
+    #[test]
+    fn two_parallel_paths() {
+        // Square 0-1-2 and 0-3-2: two 2 Ω paths in parallel -> 1 Ω.
+        let edges = [(0, 1), (1, 2), (0, 3), (3, 2)];
+        assert_close(effective_resistance(&edges, 0, 2).unwrap(), 1.0);
+    }
+
+    #[test]
+    fn direct_plus_detour() {
+        // Triangle: 1 Ω direct in parallel with 2 Ω detour -> 2/3 Ω.
+        let edges = [(0, 1), (1, 2), (0, 2)];
+        assert_close(effective_resistance(&edges, 0, 2).unwrap(), 2.0 / 3.0);
+    }
+
+    #[test]
+    fn wheatstone_balanced() {
+        // Balanced Wheatstone bridge of unit resistors: bridge edge carries
+        // no current; R = 1.
+        let edges = [(0, 1), (0, 2), (1, 3), (2, 3), (1, 2)];
+        assert_close(effective_resistance(&edges, 0, 3).unwrap(), 1.0);
+    }
+
+    #[test]
+    fn same_terminal_zero() {
+        assert_close(effective_resistance(&[(0, 1)], 1, 1).unwrap(), 0.0);
+    }
+
+    #[test]
+    fn duplicate_edges_ignored() {
+        // The same physical link listed twice must still count once.
+        let once = effective_resistance(&[(0, 1), (1, 2)], 0, 2).unwrap();
+        let twice = effective_resistance(&[(0, 1), (0, 1), (1, 2)], 0, 2).unwrap();
+        assert_close(once, twice);
+    }
+
+    #[test]
+    fn missing_terminal_detected() {
+        assert_eq!(
+            effective_resistance(&[(0, 1)], 0, 5).unwrap_err(),
+            ResistanceError::TerminalNotInNetwork(5)
+        );
+    }
+
+    #[test]
+    fn disconnected_terminals_detected() {
+        assert_eq!(
+            effective_resistance(&[(0, 1), (2, 3)], 0, 3).unwrap_err(),
+            ResistanceError::TerminalsDisconnected
+        );
+    }
+
+    #[test]
+    fn weighted_series_and_parallel_laws() {
+        // Series: 2 Ω + 3 Ω = 5 Ω.
+        let edges = [(0, 1, 2.0), (1, 2, 3.0)];
+        assert_close(effective_resistance_weighted(&edges, 0, 2).unwrap(), 5.0);
+        // Parallel: 2 Ω ∥ 3 Ω = 6/5 Ω.
+        let edges = [(0, 1, 2.0), (0, 2, 1e9), (0, 1, 3.0)];
+        // duplicate endpoints keep the FIRST weight -> 2 Ω only
+        let _ = edges;
+        let par = [(0, 1, 2.0), (0, 2, 3.0), (2, 1, 1e-12)];
+        // ~ 2 ∥ 3: the 2-hop path has ~3 Ω total.
+        let r = effective_resistance_weighted(&par, 0, 1).unwrap();
+        assert!((r - 6.0 / 5.0).abs() < 1e-6, "{r}");
+    }
+
+    #[test]
+    fn weighted_duplicate_keeps_first() {
+        let a = effective_resistance_weighted(&[(0, 1, 2.0), (0, 1, 9.0)], 0, 1).unwrap();
+        assert_close(a, 2.0);
+    }
+
+    #[test]
+    fn unit_weights_match_unweighted() {
+        let plain = effective_resistance(&[(0, 1), (1, 2), (0, 2)], 0, 2).unwrap();
+        let weighted = effective_resistance_weighted(
+            &[(0, 1, 1.0), (1, 2, 1.0), (0, 2, 1.0)],
+            0,
+            2,
+        )
+        .unwrap();
+        assert_close(plain, weighted);
+    }
+
+    #[test]
+    fn resistance_bounded_by_shortest_path() {
+        // Adding any parallel structure can only decrease resistance below
+        // the series length of one path.
+        let edges = [(0, 1), (1, 2), (2, 3), (0, 4), (4, 3)];
+        let r = effective_resistance(&edges, 0, 3).unwrap();
+        assert!(r < 2.0 + 1e-9);
+        assert!(r > 0.0);
+        // 3 Ω parallel 2 Ω = 6/5.
+        assert_close(r, 1.2);
+    }
+}

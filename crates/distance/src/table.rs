@@ -1,0 +1,422 @@
+//! The table of equivalent distances (the paper's `T_N`).
+
+use crate::resistance::{effective_resistance_weighted, ResistanceError};
+use commsched_routing::Routing;
+use commsched_topology::{SwitchId, Topology};
+
+/// A symmetric `N × N` table of internode distances with zero diagonal.
+///
+/// `T[i][j]` is the equivalent distance between switches `i` and `j`. The
+/// table "does not satisfy the triangular inequality, and thus it does not
+/// define a metric space" (§3) — it is a cost measurement, not a metric.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DistanceTable {
+    n: usize,
+    /// Row-major full matrix (kept symmetric by construction).
+    data: Vec<f64>,
+}
+
+impl DistanceTable {
+    /// Build from a closure giving the distance for each unordered pair
+    /// `i < j`.
+    pub fn from_fn<F: FnMut(SwitchId, SwitchId) -> f64>(n: usize, mut f: F) -> Self {
+        let mut data = vec![0.0; n * n];
+        for i in 0..n {
+            for j in (i + 1)..n {
+                let d = f(i, j);
+                data[i * n + j] = d;
+                data[j * n + i] = d;
+            }
+        }
+        Self { n, data }
+    }
+
+    /// Number of switches.
+    pub fn n(&self) -> usize {
+        self.n
+    }
+
+    /// Distance between `i` and `j`.
+    #[inline]
+    pub fn get(&self, i: SwitchId, j: SwitchId) -> f64 {
+        self.data[i * self.n + j]
+    }
+
+    /// Squared distance between `i` and `j` (the quality functions work on
+    /// squared distances throughout).
+    #[inline]
+    pub fn get_sq(&self, i: SwitchId, j: SwitchId) -> f64 {
+        let d = self.get(i, j);
+        d * d
+    }
+
+    /// Sum of squared distances over all unordered pairs.
+    pub fn total_square(&self) -> f64 {
+        let mut acc = 0.0;
+        for i in 0..self.n {
+            for j in (i + 1)..self.n {
+                acc += self.get_sq(i, j);
+            }
+        }
+        acc
+    }
+
+    /// Quadratic average over all unordered pairs: `Σ T²_{ij} / (N(N-1)/2)`
+    /// — the normalization denominator of the paper's Eq. 2 and Eq. 5.
+    ///
+    /// Returns 0 for `n < 2`.
+    pub fn mean_square(&self) -> f64 {
+        if self.n < 2 {
+            return 0.0;
+        }
+        self.total_square() / (self.n * (self.n - 1) / 2) as f64
+    }
+
+    /// Maximum off-diagonal entry (0 for `n < 2`).
+    pub fn max_distance(&self) -> f64 {
+        let mut best = 0.0f64;
+        for i in 0..self.n {
+            for j in (i + 1)..self.n {
+                best = best.max(self.get(i, j));
+            }
+        }
+        best
+    }
+
+    /// Row `i` of the table.
+    pub fn row(&self, i: SwitchId) -> &[f64] {
+        &self.data[i * self.n..(i + 1) * self.n]
+    }
+
+    /// Triples `(i, j, k)` violating the triangle inequality
+    /// (`T[i][k] > T[i][j] + T[j][k] + tol`).
+    ///
+    /// The paper remarks (§3) that the table of equivalent distances "does
+    /// not satisfy the triangular inequality, and thus it does not define
+    /// a metric space" — because every pair's resistance is computed on a
+    /// *different* sub-network. This diagnostic makes that concrete; an
+    /// up*/down*-routed ring exhibits violations (e.g. the forbidden-turn
+    /// detour pair).
+    pub fn triangle_violations(&self, tol: f64) -> Vec<(SwitchId, SwitchId, SwitchId)> {
+        let mut out = Vec::new();
+        for i in 0..self.n {
+            for k in 0..self.n {
+                if i == k {
+                    continue;
+                }
+                let direct = self.get(i, k);
+                for j in 0..self.n {
+                    if j == i || j == k {
+                        continue;
+                    }
+                    if direct > self.get(i, j) + self.get(j, k) + tol {
+                        out.push((i, j, k));
+                    }
+                }
+            }
+        }
+        out
+    }
+}
+
+/// Errors from table construction.
+#[derive(Debug, Clone, PartialEq)]
+pub enum TableError {
+    /// Topology and routing disagree on the switch count.
+    SizeMismatch {
+        /// Switches in the topology.
+        topology: usize,
+        /// Switches in the router.
+        routing: usize,
+    },
+    /// The resistance solver failed for a pair.
+    Resistance {
+        /// Source switch.
+        src: SwitchId,
+        /// Destination switch.
+        dst: SwitchId,
+        /// Underlying error.
+        error: ResistanceError,
+    },
+}
+
+impl std::fmt::Display for TableError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            TableError::SizeMismatch { topology, routing } => {
+                write!(f, "topology has {topology} switches, routing {routing}")
+            }
+            TableError::Resistance { src, dst, error } => {
+                write!(f, "resistance failed for pair ({src}, {dst}): {error}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for TableError {}
+
+fn pair_resistance(
+    topo: &Topology,
+    routing: &dyn Routing,
+    i: SwitchId,
+    j: SwitchId,
+) -> Result<f64, TableError> {
+    let links = routing.minimal_route_links(i, j);
+    let edges: Vec<(SwitchId, SwitchId, f64)> = links
+        .iter()
+        .map(|&l| {
+            let link = topo.link(l);
+            // Heterogeneous link speeds: a slower link resists more.
+            (link.a, link.b, f64::from(topo.link_slowdown(l)))
+        })
+        .collect();
+    effective_resistance_weighted(&edges, i, j).map_err(|error| TableError::Resistance {
+        src: i,
+        dst: j,
+        error,
+    })
+}
+
+/// Build the table of equivalent distances for `topo` under `routing`
+/// (§3 of the paper): for each pair, the links on minimal legal routes form
+/// a unit-resistor network whose effective resistance is the entry.
+///
+/// # Errors
+/// See [`TableError`].
+pub fn equivalent_distance_table(
+    topo: &Topology,
+    routing: &dyn Routing,
+) -> Result<DistanceTable, TableError> {
+    check_sizes(topo, routing)?;
+    let n = topo.num_switches();
+    let mut result = Ok(());
+    let table = DistanceTable::from_fn(n, |i, j| match pair_resistance(topo, routing, i, j) {
+        Ok(d) => d,
+        Err(e) => {
+            if result.is_ok() {
+                result = Err(e);
+            }
+            f64::NAN
+        }
+    });
+    result.map(|()| table)
+}
+
+/// Parallel variant of [`equivalent_distance_table`], splitting the pair
+/// list across `threads` OS threads. Produces bit-identical results to the
+/// serial build.
+///
+/// # Errors
+/// See [`TableError`].
+pub fn equivalent_distance_table_parallel(
+    topo: &Topology,
+    routing: &dyn Routing,
+    threads: usize,
+) -> Result<DistanceTable, TableError> {
+    check_sizes(topo, routing)?;
+    let n = topo.num_switches();
+    let pairs: Vec<(SwitchId, SwitchId)> = (0..n)
+        .flat_map(|i| ((i + 1)..n).map(move |j| (i, j)))
+        .collect();
+    let threads = threads.max(1).min(pairs.len().max(1));
+    let chunk = pairs.len().div_ceil(threads);
+    type PairChunk = Vec<((SwitchId, SwitchId), f64)>;
+    let results: Vec<Result<PairChunk, TableError>> =
+        std::thread::scope(|scope| {
+            let handles: Vec<_> = pairs
+                .chunks(chunk.max(1))
+                .map(|slice| {
+                    scope.spawn(move || {
+                        slice
+                            .iter()
+                            .map(|&(i, j)| pair_resistance(topo, routing, i, j).map(|d| ((i, j), d)))
+                            .collect()
+                    })
+                })
+                .collect();
+            handles.into_iter().map(|h| h.join().expect("worker panicked")).collect()
+        });
+    let mut data = vec![0.0; n * n];
+    for res in results {
+        for ((i, j), d) in res? {
+            data[i * n + j] = d;
+            data[j * n + i] = d;
+        }
+    }
+    Ok(DistanceTable { n, data })
+}
+
+/// Plain hop-distance table under the same routing algorithm (the ablation
+/// baseline: what you get if you skip the electrical model and use legal
+/// route length directly).
+pub fn hop_distance_table(routing: &dyn Routing) -> DistanceTable {
+    let n = routing.num_switches();
+    DistanceTable::from_fn(n, |i, j| f64::from(routing.route_distance(i, j)))
+}
+
+fn check_sizes(topo: &Topology, routing: &dyn Routing) -> Result<(), TableError> {
+    if topo.num_switches() != routing.num_switches() {
+        return Err(TableError::SizeMismatch {
+            topology: topo.num_switches(),
+            routing: routing.num_switches(),
+        });
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use commsched_routing::{ShortestPathRouting, UpDownRouting};
+    use commsched_topology::designed;
+
+    fn assert_close(a: f64, b: f64) {
+        assert!((a - b).abs() < 1e-9, "{a} != {b}");
+    }
+
+    #[test]
+    fn line_distances_are_hop_counts() {
+        // A line has unique paths: equivalent distance == hop distance.
+        let t = designed::line(5, 1);
+        let r = ShortestPathRouting::new(&t).unwrap();
+        let table = equivalent_distance_table(&t, &r).unwrap();
+        for i in 0..5 {
+            for j in 0..5 {
+                assert_close(table.get(i, j), (i as f64 - j as f64).abs());
+            }
+        }
+    }
+
+    #[test]
+    fn parallel_paths_reduce_distance() {
+        // Even ring antipodes: two parallel arcs halve the resistance.
+        let t = designed::ring(4, 1);
+        let r = ShortestPathRouting::new(&t).unwrap();
+        let table = equivalent_distance_table(&t, &r).unwrap();
+        // 0 <-> 2: two 2-hop arcs in parallel -> 1.
+        assert_close(table.get(0, 2), 1.0);
+        // Adjacent: single minimal path (the direct link) -> 1.
+        assert_close(table.get(0, 1), 1.0);
+    }
+
+    #[test]
+    fn updown_detour_is_costlier() {
+        let t = designed::ring(6, 1);
+        let ud = UpDownRouting::new(&t, 0).unwrap();
+        let sp = ShortestPathRouting::new(&t).unwrap();
+        let t_ud = equivalent_distance_table(&t, &ud).unwrap();
+        let t_sp = equivalent_distance_table(&t, &sp).unwrap();
+        // The forbidden turn forces 2->4 over the root: 4 series links.
+        assert_close(t_ud.get(2, 4), 4.0);
+        assert_close(t_sp.get(2, 4), 2.0);
+        // Routing constraints can only remove links, never add shorter ones.
+        for i in 0..6 {
+            for j in 0..6 {
+                assert!(t_ud.get(i, j) >= t_sp.get(i, j) - 1e-9);
+            }
+        }
+    }
+
+    #[test]
+    fn table_is_symmetric_with_zero_diagonal() {
+        let t = designed::paper_24_switch();
+        let r = UpDownRouting::new(&t, 0).unwrap();
+        let table = equivalent_distance_table(&t, &r).unwrap();
+        for i in 0..24 {
+            assert_eq!(table.get(i, i), 0.0);
+            for j in 0..24 {
+                assert_close(table.get(i, j), table.get(j, i));
+            }
+        }
+    }
+
+    #[test]
+    fn resistance_bounded_by_route_distance() {
+        let t = designed::mesh(3, 3, 1);
+        let r = UpDownRouting::new(&t, 0).unwrap();
+        let table = equivalent_distance_table(&t, &r).unwrap();
+        for i in 0..9 {
+            for j in 0..9 {
+                if i != j {
+                    let d = f64::from(r.route_distance(i, j));
+                    assert!(table.get(i, j) <= d + 1e-9);
+                    assert!(table.get(i, j) > 0.0);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn parallel_build_matches_serial() {
+        let t = designed::paper_24_switch();
+        let r = UpDownRouting::new(&t, 0).unwrap();
+        let serial = equivalent_distance_table(&t, &r).unwrap();
+        for threads in [1, 2, 7, 64] {
+            let par = equivalent_distance_table_parallel(&t, &r, threads).unwrap();
+            assert_eq!(serial, par, "threads = {threads}");
+        }
+    }
+
+    #[test]
+    fn hop_table_matches_routing() {
+        let t = designed::ring(6, 1);
+        let r = UpDownRouting::new(&t, 0).unwrap();
+        let table = hop_distance_table(&r);
+        assert_close(table.get(2, 4), 4.0);
+        assert_close(table.get(1, 2), 1.0);
+    }
+
+    #[test]
+    fn mean_square_normalization() {
+        // 3-node line: distances 1, 1, 2 -> squares 1, 1, 4 -> mean 2.
+        let t = designed::line(3, 1);
+        let r = ShortestPathRouting::new(&t).unwrap();
+        let table = equivalent_distance_table(&t, &r).unwrap();
+        assert_close(table.total_square(), 6.0);
+        assert_close(table.mean_square(), 2.0);
+        assert_close(table.max_distance(), 2.0);
+    }
+
+    #[test]
+    fn size_mismatch_detected() {
+        let t = designed::ring(6, 1);
+        let other = designed::ring(5, 1);
+        let r = ShortestPathRouting::new(&other).unwrap();
+        assert!(matches!(
+            equivalent_distance_table(&t, &r),
+            Err(TableError::SizeMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn updown_table_is_not_a_metric() {
+        // §3: the ring's forbidden-turn detour makes T(2,4) = 4 while
+        // T(2,3) + T(3,4) = 2 — a triangle violation.
+        let t = designed::ring(6, 1);
+        let r = UpDownRouting::new(&t, 0).unwrap();
+        let table = equivalent_distance_table(&t, &r).unwrap();
+        let violations = table.triangle_violations(1e-9);
+        assert!(
+            violations.contains(&(2, 3, 4)),
+            "expected the (2,3,4) violation, got {violations:?}"
+        );
+    }
+
+    #[test]
+    fn unconstrained_tree_table_is_a_metric() {
+        // Without routing constraints on a tree, T = hop distance, which
+        // IS a metric: no violations.
+        let t = designed::line(6, 1);
+        let r = ShortestPathRouting::new(&t).unwrap();
+        let table = equivalent_distance_table(&t, &r).unwrap();
+        assert!(table.triangle_violations(1e-9).is_empty());
+    }
+
+    #[test]
+    fn row_accessor() {
+        let t = designed::line(3, 1);
+        let r = ShortestPathRouting::new(&t).unwrap();
+        let table = equivalent_distance_table(&t, &r).unwrap();
+        assert_eq!(table.row(0), &[0.0, 1.0, 2.0]);
+    }
+}

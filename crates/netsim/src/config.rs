@@ -1,0 +1,182 @@
+//! Simulator configuration.
+
+/// How a header chooses among the free minimal-route output channels.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum SelectionPolicy {
+    /// First candidate in next-hop order (deterministic routing).
+    Deterministic,
+    /// Prefer the candidate whose downstream buffer is emptiest; ties break
+    /// toward the lowest switch id (partially adaptive routing, the usual
+    /// choice for up*/down* networks).
+    #[default]
+    Adaptive,
+}
+
+/// Configuration of one simulation run.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SimConfig {
+    /// Message length in flits (paper-scale default: 16).
+    pub msg_len: usize,
+    /// Input-buffer capacity per channel, in flits.
+    pub buffer_flits: usize,
+    /// Offered load: flits per workstation per cycle. A message is
+    /// generated per host per cycle with probability
+    /// `injection_rate / msg_len`.
+    pub injection_rate: f64,
+    /// Warm-up cycles excluded from measurement.
+    pub warmup_cycles: u64,
+    /// Measured cycles.
+    pub measure_cycles: u64,
+    /// Output-selection policy.
+    pub selection: SelectionPolicy,
+    /// RNG seed (message generation and destination sampling).
+    pub seed: u64,
+    /// Extension (future work): fraction of traffic sent outside the own
+    /// logical cluster (0.0 in all paper experiments).
+    pub intercluster_fraction: f64,
+    /// Cycles without any flit movement (while messages are in flight)
+    /// after which the run is declared deadlocked.
+    pub deadlock_threshold: u64,
+    /// Virtual channels per physical channel (1 = the paper's setting:
+    /// plain wormhole on the supplied deadlock-free router).
+    pub virtual_channels: usize,
+    /// Duato's fully adaptive protocol: with `virtual_channels >= 2`,
+    /// VCs 1.. may take any topological minimal path and VC 0 is the
+    /// escape channel restricted to the supplied router. Ignored when
+    /// `virtual_channels < 2`.
+    pub fully_adaptive: bool,
+}
+
+impl Default for SimConfig {
+    fn default() -> Self {
+        Self {
+            msg_len: 16,
+            buffer_flits: 4,
+            injection_rate: 0.1,
+            warmup_cycles: 2_000,
+            measure_cycles: 8_000,
+            selection: SelectionPolicy::default(),
+            seed: 0xC0FFEE,
+            intercluster_fraction: 0.0,
+            deadlock_threshold: 20_000,
+            virtual_channels: 1,
+            fully_adaptive: false,
+        }
+    }
+}
+
+impl SimConfig {
+    /// This configuration with a different offered load.
+    pub fn with_rate(mut self, injection_rate: f64) -> Self {
+        self.injection_rate = injection_rate;
+        self
+    }
+
+    /// This configuration with a different seed.
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Validate the configuration.
+    ///
+    /// # Errors
+    /// Returns a description of the first invalid field.
+    pub fn validate(&self) -> Result<(), &'static str> {
+        if self.msg_len < 2 {
+            return Err("msg_len must be at least 2 (header + tail)");
+        }
+        if self.buffer_flits == 0 {
+            return Err("buffer_flits must be positive");
+        }
+        if !(0.0..=f64::from(u16::MAX)).contains(&self.injection_rate) {
+            return Err("injection_rate must be non-negative and finite");
+        }
+        if !(0.0..=1.0).contains(&self.intercluster_fraction) {
+            return Err("intercluster_fraction must be in [0, 1]");
+        }
+        if self.measure_cycles == 0 {
+            return Err("measure_cycles must be positive");
+        }
+        if self.virtual_channels == 0 {
+            return Err("virtual_channels must be positive");
+        }
+        if self.virtual_channels > 16 {
+            return Err("virtual_channels implausibly large (max 16)");
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_is_valid() {
+        assert_eq!(SimConfig::default().validate(), Ok(()));
+    }
+
+    #[test]
+    fn builders_set_fields() {
+        let c = SimConfig::default().with_rate(0.4).with_seed(9);
+        assert_eq!(c.injection_rate, 0.4);
+        assert_eq!(c.seed, 9);
+    }
+
+    #[test]
+    fn invalid_configs_rejected() {
+        assert!(SimConfig {
+            msg_len: 1,
+            ..Default::default()
+        }
+        .validate()
+        .is_err());
+        assert!(SimConfig {
+            buffer_flits: 0,
+            ..Default::default()
+        }
+        .validate()
+        .is_err());
+        assert!(SimConfig {
+            injection_rate: -0.1,
+            ..Default::default()
+        }
+        .validate()
+        .is_err());
+        assert!(SimConfig {
+            intercluster_fraction: 1.5,
+            ..Default::default()
+        }
+        .validate()
+        .is_err());
+        assert!(SimConfig {
+            measure_cycles: 0,
+            ..Default::default()
+        }
+        .validate()
+        .is_err());
+        assert!(SimConfig {
+            virtual_channels: 0,
+            ..Default::default()
+        }
+        .validate()
+        .is_err());
+        assert!(SimConfig {
+            virtual_channels: 99,
+            ..Default::default()
+        }
+        .validate()
+        .is_err());
+    }
+
+    #[test]
+    fn vc_config_valid() {
+        let c = SimConfig {
+            virtual_channels: 3,
+            fully_adaptive: true,
+            ..Default::default()
+        };
+        assert_eq!(c.validate(), Ok(()));
+    }
+}

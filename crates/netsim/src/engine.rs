@@ -1,0 +1,1346 @@
+//! The cycle-driven flit-level wormhole simulator.
+//!
+//! Modelled after the evaluation methodology of Duato (§5): the network is
+//! simulated at the flit level; switching is wormhole, links carry one flit
+//! per cycle per direction, and each virtual channel has a small input
+//! buffer at its downstream end. A message's header claims (virtual)
+//! channels hop by hop along minimal routes supplied by the routing
+//! algorithm; body flits follow in pipeline; the tail releases each channel
+//! as it passes.
+//!
+//! ## Channel model
+//!
+//! Three *physical* channel kinds, all with identical flow control:
+//!
+//! * **switch→switch** — two per topology link (one per direction);
+//! * **injection** (host→switch) — the host's source queue streams each
+//!   message's flits into a switch input buffer;
+//! * **delivery** (switch→host) — the sink; flits are consumed on arrival.
+//!
+//! Every physical channel is split into `virtual_channels` virtual
+//! channels (VCs), each with its own `buffer_flits`-deep buffer; the
+//! physical link transmits at most one flit per cycle, arbitrated
+//! round-robin among VCs with a ready flit.
+//!
+//! ## Routing modes
+//!
+//! * `virtual_channels = 1` (default, the paper's setting): all traffic
+//!   follows minimal routes of the supplied router — up*/down* in the
+//!   paper's experiments, which is deadlock-free without VCs.
+//! * `fully_adaptive = true` with `virtual_channels ≥ 2`: Duato's
+//!   methodology — VCs 1.. are *adaptive* and may follow any topological
+//!   minimal path; VC 0 is the *escape* channel restricted to the supplied
+//!   (deadlock-free) router. A header blocked on every adaptive candidate
+//!   falls back to the escape channel and stays on the escape network for
+//!   the rest of its route ("sticky escape"), which keeps the escape
+//!   channel-dependency graph acyclic and the whole scheme deadlock-free.
+//!
+//! ## Cycle structure
+//!
+//! 1. *Generation*: every workstation flips a Bernoulli coin (rate
+//!    `injection_rate / msg_len`).
+//! 2. *Allocation*: headers at the front of a VC buffer request an output
+//!    VC; free VCs are granted in rotating-priority order across inputs.
+//! 3. *Transfer*: a monotone fixed point computes the optimistic set of VC
+//!    moves (a full buffer may still accept a flit if it drains in the
+//!    same cycle), then physical-link exclusivity is enforced by a
+//!    shrinking revocation pass (round-robin winner per physical channel,
+//!    cascading space re-checks).
+//!
+//! A watchdog aborts and flags the run if no flit moves for a configurable
+//! number of cycles while messages are in flight.
+
+use crate::config::{SelectionPolicy, SimConfig};
+use crate::stats::SimStats;
+use crate::traffic::TrafficPattern;
+use commsched_routing::{RouteState, Routing, ShortestPathRouting};
+use commsched_topology::{SwitchId, Topology};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::collections::VecDeque;
+
+type MsgId = u32;
+/// Index of a physical channel.
+type PhysId = usize;
+/// Global index of a virtual channel (`phys * V + vc`).
+type VcId = usize;
+
+/// Errors raised when constructing a simulator.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SimError {
+    /// Invalid configuration field.
+    Config(&'static str),
+    /// The traffic pattern's host count does not match the topology.
+    HostCountMismatch {
+        /// Hosts in the traffic pattern.
+        pattern: usize,
+        /// Workstations in the topology.
+        topology: usize,
+    },
+    /// Topology and routing disagree on the switch count.
+    RoutingMismatch {
+        /// Switches in the topology.
+        topology: usize,
+        /// Switches in the router.
+        routing: usize,
+    },
+}
+
+impl std::fmt::Display for SimError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SimError::Config(msg) => write!(f, "invalid config: {msg}"),
+            SimError::HostCountMismatch { pattern, topology } => {
+                write!(f, "pattern has {pattern} hosts, topology {topology}")
+            }
+            SimError::RoutingMismatch { topology, routing } => {
+                write!(f, "topology has {topology} switches, routing {routing}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for SimError {}
+
+/// Metadata of one in-flight or delivered message.
+#[derive(Debug, Clone, Copy)]
+struct Message {
+    dst_host: usize,
+    gen_cycle: u64,
+    /// Cycle the header entered the network; `u64::MAX` until then.
+    inject_cycle: u64,
+    /// Whether the message has committed to the escape network.
+    escape: bool,
+    /// Escape-phase bit (meaningful while `escape`, or always in
+    /// single-VC mode where every hop follows the supplied router).
+    descended: bool,
+}
+
+/// Contiguous run of one message's flits inside a VC buffer: flit indices
+/// `lo..hi` (header is flit 0, tail is `msg_len - 1`).
+#[derive(Debug, Clone, Copy)]
+struct Buf {
+    msg: MsgId,
+    lo: u32,
+    hi: u32,
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum ChannelKind {
+    /// Switch-to-switch, downstream buffers at `to`.
+    Switch { from: SwitchId, to: SwitchId },
+    /// Host source into its switch's input buffers.
+    Inject { host: usize },
+    /// Switch to host sink.
+    Deliver { host: usize },
+}
+
+/// One virtual channel's state.
+#[derive(Debug, Clone, Default)]
+struct VirtualChannel {
+    /// Flits currently in the downstream buffer (all of one message).
+    buf: Option<Buf>,
+    /// Message that has claimed this VC (allocation → tail departure).
+    owner: Option<MsgId>,
+    /// For VCs ending at a switch: the onward VC allocated to the
+    /// buffered message.
+    fwd: Option<VcId>,
+    /// For VCs starting at a switch: the input VC feeding them.
+    feeder: Option<VcId>,
+}
+
+impl VirtualChannel {
+    fn occupancy(&self) -> u32 {
+        self.buf.map_or(0, |b| b.hi - b.lo)
+    }
+}
+
+/// One physical channel: its kind, the round-robin arbitration pointer
+/// over its VCs, and its slowdown period (a flit may cross only on cycles
+/// divisible by `period`; 1 = full speed).
+#[derive(Debug, Clone)]
+struct PhysChannel {
+    kind: ChannelKind,
+    rr: usize,
+    period: u64,
+}
+
+/// The flit-level network simulator for one (topology, routing, mapping)
+/// triple.
+pub struct Simulator<'a> {
+    topo: &'a Topology,
+    routing: &'a dyn Routing,
+    /// Minimal router for the adaptive VCs (built when `fully_adaptive`).
+    adaptive: Option<ShortestPathRouting>,
+    pattern: TrafficPattern,
+    cfg: SimConfig,
+    vcs_per_phys: usize,
+    rng: StdRng,
+    phys: Vec<PhysChannel>,
+    vcs: Vec<VirtualChannel>,
+    /// Input physical channels of each switch.
+    inputs: Vec<Vec<PhysId>>,
+    inject_base: PhysId,
+    deliver_base: PhysId,
+    messages: Vec<Message>,
+    /// Pending messages per host (head is streaming).
+    queues: Vec<VecDeque<MsgId>>,
+    /// Next flit index of the streaming (head) message per host.
+    next_flit: Vec<u32>,
+    /// Injection VC the head message streams on, once claimed.
+    inject_vc: Vec<Option<VcId>>,
+    cycle: u64,
+    last_progress: u64,
+    generated: u64,
+    delivered_msgs: u64,
+    delivered_flits: u64,
+    sum_net_latency: f64,
+    sum_total_latency: f64,
+    max_queue: usize,
+    /// Flits forwarded per physical channel (cumulative; diagnostics).
+    channel_flits: Vec<u64>,
+    /// Network latency of every delivered message (cumulative).
+    latencies: Vec<u32>,
+    // Scratch for the transfer fixed point.
+    will_send: Vec<bool>,
+}
+
+impl<'a> Simulator<'a> {
+    /// Build a simulator.
+    ///
+    /// # Errors
+    /// See [`SimError`].
+    pub fn new(
+        topo: &'a Topology,
+        routing: &'a dyn Routing,
+        pattern: TrafficPattern,
+        cfg: SimConfig,
+    ) -> Result<Self, SimError> {
+        cfg.validate().map_err(SimError::Config)?;
+        if pattern.num_hosts() != topo.num_hosts() {
+            return Err(SimError::HostCountMismatch {
+                pattern: pattern.num_hosts(),
+                topology: topo.num_hosts(),
+            });
+        }
+        if routing.num_switches() != topo.num_switches() {
+            return Err(SimError::RoutingMismatch {
+                topology: topo.num_switches(),
+                routing: routing.num_switches(),
+            });
+        }
+        let adaptive = if cfg.fully_adaptive && cfg.virtual_channels >= 2 {
+            Some(ShortestPathRouting::new(topo).map_err(|_| SimError::Config(
+                "fully adaptive routing needs a connected topology",
+            ))?)
+        } else {
+            None
+        };
+
+        let num_hosts = topo.num_hosts();
+        let mut phys = Vec::with_capacity(2 * topo.num_links() + 2 * num_hosts);
+        for (id, link) in topo.links().iter().enumerate() {
+            let period = u64::from(topo.link_slowdown(id));
+            phys.push(PhysChannel {
+                kind: ChannelKind::Switch {
+                    from: link.a,
+                    to: link.b,
+                },
+                rr: 0,
+                period,
+            });
+            phys.push(PhysChannel {
+                kind: ChannelKind::Switch {
+                    from: link.b,
+                    to: link.a,
+                },
+                rr: 0,
+                period,
+            });
+        }
+        let inject_base = phys.len();
+        for host in 0..num_hosts {
+            phys.push(PhysChannel {
+                kind: ChannelKind::Inject { host },
+                rr: 0,
+                period: 1,
+            });
+        }
+        let deliver_base = phys.len();
+        for host in 0..num_hosts {
+            phys.push(PhysChannel {
+                kind: ChannelKind::Deliver { host },
+                rr: 0,
+                period: 1,
+            });
+        }
+
+        let hps = topo.hosts_per_switch();
+        let mut inputs = vec![Vec::new(); topo.num_switches()];
+        for (c, ch) in phys.iter().enumerate() {
+            match ch.kind {
+                ChannelKind::Switch { to, .. } => inputs[to].push(c),
+                ChannelKind::Inject { host } => inputs[host / hps].push(c),
+                ChannelKind::Deliver { .. } => {}
+            }
+        }
+
+        let v = cfg.virtual_channels;
+        let rng = StdRng::seed_from_u64(cfg.seed);
+        Ok(Self {
+            topo,
+            routing,
+            adaptive,
+            pattern,
+            cfg,
+            vcs_per_phys: v,
+            rng,
+            will_send: vec![false; phys.len() * v],
+            vcs: vec![VirtualChannel::default(); phys.len() * v],
+            channel_flits: vec![0; phys.len()],
+            latencies: Vec::new(),
+            phys,
+            inputs,
+            inject_base,
+            deliver_base,
+            messages: Vec::new(),
+            queues: vec![VecDeque::new(); num_hosts],
+            next_flit: vec![0; num_hosts],
+            inject_vc: vec![None; num_hosts],
+            cycle: 0,
+            last_progress: 0,
+            generated: 0,
+            delivered_msgs: 0,
+            delivered_flits: 0,
+            sum_net_latency: 0.0,
+            sum_total_latency: 0.0,
+            max_queue: 0,
+        })
+    }
+
+    fn switch_of_host(&self, host: usize) -> SwitchId {
+        host / self.topo.hosts_per_switch()
+    }
+
+    /// Physical channel from switch `s` toward neighbour `v`.
+    fn link_channel(&self, s: SwitchId, v: SwitchId) -> PhysId {
+        let link = self
+            .topo
+            .link_between(s, v)
+            .expect("routing only proposes neighbours");
+        if self.topo.link(link).a == s {
+            2 * link
+        } else {
+            2 * link + 1
+        }
+    }
+
+    #[inline]
+    fn vc_id(&self, phys: PhysId, vc: usize) -> VcId {
+        phys * self.vcs_per_phys + vc
+    }
+
+    /// Cumulative flits forwarded over each topology link (both
+    /// directions summed), indexed by `LinkId`. Diagnostics: with
+    /// up*/down* routing the links near the spanning-tree root carry a
+    /// disproportionate share (the §2 motivation for the distance model).
+    pub fn link_flit_counts(&self) -> Vec<u64> {
+        let mut per_link = vec![0u64; self.topo.num_links()];
+        for (c, &count) in self.channel_flits.iter().enumerate() {
+            if let ChannelKind::Switch { .. } = self.phys[c].kind {
+                per_link[c / 2] += count;
+            }
+        }
+        per_link
+    }
+
+    /// Cumulative flits injected by each workstation.
+    pub fn host_injected_flits(&self) -> Vec<u64> {
+        (0..self.topo.num_hosts())
+            .map(|h| self.channel_flits[self.inject_base + h])
+            .collect()
+    }
+
+    /// Network latencies (cycles) of every message delivered so far.
+    pub fn latencies(&self) -> &[u32] {
+        &self.latencies
+    }
+
+    /// Histogram of delivered-message network latencies over `bins` equal
+    /// bins spanning the observed range; `None` before any delivery.
+    pub fn latency_histogram(&self, bins: usize) -> Option<commsched_stats::Histogram> {
+        let max = *self.latencies.iter().max()?;
+        let mut h = commsched_stats::Histogram::new(0.0, f64::from(max) + 1.0, bins.max(1));
+        for &l in &self.latencies {
+            h.record(f64::from(l));
+        }
+        Some(h)
+    }
+
+    /// Run warm-up plus `batches` consecutive measurement windows of
+    /// `measure_cycles` each, reporting batch-means estimates with 95 %
+    /// confidence half-widths.
+    ///
+    /// # Panics
+    /// Panics if `batches == 0`.
+    pub fn run_batched(&mut self, batches: usize) -> crate::stats::BatchedStats {
+        assert!(batches > 0, "need at least one batch");
+        self.advance(self.cfg.warmup_cycles);
+        let switches = self.topo.num_switches() as f64;
+        let mut accepted = Vec::with_capacity(batches);
+        let mut latency = Vec::with_capacity(batches);
+        let mut deadlocked = false;
+        for _ in 0..batches {
+            let flit0 = self.delivered_flits;
+            let msg0 = self.delivered_msgs;
+            let net0 = self.sum_net_latency;
+            deadlocked |= self.advance(self.cfg.measure_cycles);
+            let dflits = (self.delivered_flits - flit0) as f64;
+            let dmsgs = (self.delivered_msgs - msg0) as f64;
+            accepted.push(dflits / (self.cfg.measure_cycles as f64 * switches));
+            latency.push(if dmsgs == 0.0 {
+                f64::NAN
+            } else {
+                (self.sum_net_latency - net0) / dmsgs
+            });
+        }
+        let (accepted_mean, accepted_half_width) =
+            crate::stats::mean_and_half_width(&accepted);
+        let (latency_mean, latency_half_width) = crate::stats::mean_and_half_width(&latency);
+        crate::stats::BatchedStats {
+            batches,
+            accepted_mean,
+            accepted_half_width,
+            latency_mean,
+            latency_half_width,
+            deadlocked,
+        }
+    }
+
+    /// Run warm-up plus measurement and report the measured window.
+    pub fn run(&mut self) -> SimStats {
+        self.advance(self.cfg.warmup_cycles);
+        // Snapshot after warm-up.
+        let gen0 = self.generated;
+        let msg0 = self.delivered_msgs;
+        let flit0 = self.delivered_flits;
+        let net0 = self.sum_net_latency;
+        let tot0 = self.sum_total_latency;
+        self.max_queue = self.queues.iter().map(VecDeque::len).max().unwrap_or(0);
+        let deadlocked = self.advance(self.cfg.measure_cycles);
+
+        let cycles = self.cfg.measure_cycles;
+        let dmsgs = self.delivered_msgs - msg0;
+        let dflits = self.delivered_flits - flit0;
+        let switches = self.topo.num_switches() as f64;
+        let hosts = self.topo.num_hosts() as f64;
+        SimStats {
+            cycles,
+            offered_flits_per_host_cycle: self.cfg.injection_rate,
+            generated_messages: self.generated - gen0,
+            delivered_messages: dmsgs,
+            delivered_flits: dflits,
+            avg_network_latency: if dmsgs == 0 {
+                f64::NAN
+            } else {
+                (self.sum_net_latency - net0) / dmsgs as f64
+            },
+            avg_total_latency: if dmsgs == 0 {
+                f64::NAN
+            } else {
+                (self.sum_total_latency - tot0) / dmsgs as f64
+            },
+            accepted_flits_per_switch_cycle: dflits as f64 / (cycles as f64 * switches),
+            accepted_flits_per_host_cycle: dflits as f64 / (cycles as f64 * hosts),
+            max_source_queue: self.max_queue,
+            deadlocked,
+        }
+    }
+
+    /// Advance `cycles` cycles; returns `true` if the deadlock watchdog
+    /// fired.
+    fn advance(&mut self, cycles: u64) -> bool {
+        let end = self.cycle + cycles;
+        while self.cycle < end {
+            self.generate();
+            self.allocate();
+            let moved = self.transfer();
+            if moved {
+                self.last_progress = self.cycle;
+            } else if self.in_flight() {
+                if self.cycle - self.last_progress >= self.cfg.deadlock_threshold {
+                    return true;
+                }
+            } else {
+                self.last_progress = self.cycle;
+            }
+            self.max_queue = self
+                .max_queue
+                .max(self.queues.iter().map(VecDeque::len).max().unwrap_or(0));
+            self.cycle += 1;
+        }
+        false
+    }
+
+    fn in_flight(&self) -> bool {
+        self.queues.iter().any(|q| !q.is_empty())
+            || self.vcs.iter().any(|c| c.owner.is_some())
+    }
+
+    /// Phase 1: Bernoulli message generation at every workstation.
+    fn generate(&mut self) {
+        let base = self.cfg.injection_rate / self.cfg.msg_len as f64;
+        if base <= 0.0 {
+            return;
+        }
+        for host in 0..self.pattern.num_hosts() {
+            if !self.pattern.has_peer(host) && self.cfg.intercluster_fraction == 0.0 {
+                continue;
+            }
+            let p = (base * self.pattern.rate_multiplier(host)).min(1.0);
+            if p <= 0.0 || self.rng.gen::<f64>() >= p {
+                continue;
+            }
+            let Some(dst) =
+                self.pattern
+                    .destination(host, self.cfg.intercluster_fraction, &mut self.rng)
+            else {
+                continue;
+            };
+            let id = self.messages.len() as MsgId;
+            self.messages.push(Message {
+                dst_host: dst,
+                gen_cycle: self.cycle,
+                inject_cycle: u64::MAX,
+                escape: false,
+                descended: false,
+            });
+            self.queues[host].push_back(id);
+            self.generated += 1;
+        }
+    }
+
+    /// First free VC of `out_phys` among indices `from..V`; `None` if all
+    /// busy.
+    fn free_vc(&self, out_phys: PhysId, from: usize) -> Option<VcId> {
+        (from..self.vcs_per_phys)
+            .map(|v| self.vc_id(out_phys, v))
+            .find(|&id| self.vcs[id].owner.is_none())
+    }
+
+    /// Phase 2: output-VC allocation for headers, plus injection-VC
+    /// claiming by source-queue heads.
+    fn allocate(&mut self) {
+        // Source queues claim an injection VC for their head message.
+        for host in 0..self.queues.len() {
+            if self.inject_vc[host].is_some() {
+                continue;
+            }
+            if let Some(&msg) = self.queues[host].front() {
+                let phys = self.inject_base + host;
+                if let Some(vc) = self.free_vc(phys, 0) {
+                    self.vcs[vc].owner = Some(msg);
+                    self.inject_vc[host] = Some(vc);
+                }
+            }
+        }
+        // Headers request outputs, rotating priority across inputs.
+        for s in 0..self.topo.num_switches() {
+            let k = self.inputs[s].len();
+            if k == 0 {
+                continue;
+            }
+            let start = (self.cycle as usize) % k;
+            for i in 0..k {
+                let phys_in = self.inputs[s][(start + i) % k];
+                for v in 0..self.vcs_per_phys {
+                    let ic = self.vc_id(phys_in, v);
+                    if self.vcs[ic].fwd.is_some() {
+                        continue;
+                    }
+                    let Some(buf) = self.vcs[ic].buf else {
+                        continue;
+                    };
+                    if buf.lo != 0 {
+                        continue; // header has already moved on
+                    }
+                    self.route_header(s, ic, buf.msg);
+                }
+            }
+        }
+    }
+
+    /// Try to allocate an output VC for the header of `msg` buffered at
+    /// input VC `ic` of switch `s`.
+    fn route_header(&mut self, s: SwitchId, ic: VcId, msg: MsgId) {
+        let dst_host = self.messages[msg as usize].dst_host;
+        let dst_switch = self.switch_of_host(dst_host);
+        if s == dst_switch {
+            let out_phys = self.deliver_base + dst_host;
+            if let Some(out) = self.free_vc(out_phys, 0) {
+                self.grant(ic, out, msg);
+            }
+            return;
+        }
+
+        // Adaptive attempt: any topological minimal next hop over an
+        // adaptive VC (indices 1..V). Only before committing to escape.
+        if let Some(adaptive) = &self.adaptive {
+            if !self.messages[msg as usize].escape {
+                let hops = adaptive.next_hops(RouteState::start(s), dst_switch);
+                let mut choice: Option<(VcId, u32)> = None;
+                for hop in hops {
+                    let out_phys = self.link_channel(s, hop.node);
+                    let Some(out) = self.free_vc(out_phys, 1) else {
+                        continue;
+                    };
+                    let occ = self.vcs[out].occupancy();
+                    match self.cfg.selection {
+                        SelectionPolicy::Deterministic => {
+                            choice = Some((out, occ));
+                            break;
+                        }
+                        SelectionPolicy::Adaptive => {
+                            if choice.is_none_or(|(_, best)| occ < best) {
+                                choice = Some((out, occ));
+                            }
+                        }
+                    }
+                }
+                if let Some((out, _)) = choice {
+                    self.grant(ic, out, msg);
+                    return;
+                }
+                // Fall through to the escape attempt below. If granted,
+                // the message commits to the escape network from here
+                // with a fresh phase.
+            }
+        }
+
+        // Escape (or single-router) attempt: minimal next hops of the
+        // supplied router; VC 0 when running the adaptive protocol, any
+        // free VC otherwise.
+        let descended = if self.adaptive.is_some() && !self.messages[msg as usize].escape {
+            false // entering the escape network fresh
+        } else {
+            self.messages[msg as usize].descended
+        };
+        let state = RouteState { node: s, descended };
+        let hops = self.routing.next_hops(state, dst_switch);
+        let escape_only = self.adaptive.is_some();
+        let mut choice: Option<(VcId, bool, u32)> = None;
+        for hop in hops {
+            let out_phys = self.link_channel(s, hop.node);
+            let out = if escape_only {
+                let vc0 = self.vc_id(out_phys, 0);
+                if self.vcs[vc0].owner.is_some() {
+                    continue;
+                }
+                vc0
+            } else {
+                match self.free_vc(out_phys, 0) {
+                    Some(vc) => vc,
+                    None => continue,
+                }
+            };
+            let occ = self.vcs[out].occupancy();
+            match self.cfg.selection {
+                SelectionPolicy::Deterministic => {
+                    choice = Some((out, hop.descended, occ));
+                    break;
+                }
+                SelectionPolicy::Adaptive => {
+                    if choice.is_none_or(|(_, _, best)| occ < best) {
+                        choice = Some((out, hop.descended, occ));
+                    }
+                }
+            }
+        }
+        if let Some((out, new_descended, _)) = choice {
+            let m = &mut self.messages[msg as usize];
+            if escape_only {
+                m.escape = true;
+            }
+            m.descended = new_descended;
+            self.grant(ic, out, msg);
+        }
+    }
+
+    fn grant(&mut self, input: VcId, output: VcId, msg: MsgId) {
+        self.vcs[input].fwd = Some(output);
+        self.vcs[output].owner = Some(msg);
+        self.vcs[output].feeder = Some(input);
+    }
+
+    /// Whether VC `id` has a flit available to send this cycle.
+    fn has_source(&self, id: VcId) -> bool {
+        let phys = id / self.vcs_per_phys;
+        match self.phys[phys].kind {
+            ChannelKind::Inject { host } => {
+                self.inject_vc[host] == Some(id)
+                    && self.vcs[id].owner == self.queues[host].front().copied()
+                    && self.vcs[id].owner.is_some()
+            }
+            _ => self.vcs[id]
+                .feeder
+                .is_some_and(|ic| self.vcs[ic].buf.is_some()),
+        }
+    }
+
+    /// Phase 3: move flits. Returns whether any flit moved.
+    fn transfer(&mut self) -> bool {
+        // Monotone increasing fixed point on `will_send`, ignoring
+        // physical-link exclusivity.
+        for w in &mut self.will_send {
+            *w = false;
+        }
+        let cap = self.cfg.buffer_flits as u32;
+        let total_vcs = self.vcs.len();
+        loop {
+            let mut changed = false;
+            for id in 0..total_vcs {
+                if self.will_send[id] || !self.has_source(id) {
+                    continue;
+                }
+                let phys = id / self.vcs_per_phys;
+                // A slowed-down link only transfers on its duty cycles.
+                if !self.cycle.is_multiple_of(self.phys[phys].period) {
+                    continue;
+                }
+                let has_space = match self.phys[phys].kind {
+                    ChannelKind::Deliver { .. } => true,
+                    _ => {
+                        self.vcs[id].occupancy() < cap
+                            || self.vcs[id].fwd.is_some_and(|f| self.will_send[f])
+                    }
+                };
+                if has_space {
+                    self.will_send[id] = true;
+                    changed = true;
+                }
+            }
+            if !changed {
+                break;
+            }
+        }
+
+        // Physical exclusivity: keep at most one winning VC per physical
+        // channel (round-robin preference), then re-check space conditions
+        // that relied on revoked drains; iterate to a (shrinking) fixpoint.
+        if self.vcs_per_phys > 1 {
+            // Initial arbitration.
+            for (p, ch) in self.phys.iter_mut().enumerate() {
+                let base = p * self.vcs_per_phys;
+                let winners: Vec<usize> = (0..self.vcs_per_phys)
+                    .filter(|&v| self.will_send[base + v])
+                    .collect();
+                if winners.len() <= 1 {
+                    continue;
+                }
+                // Pick the first winner at or after the rr pointer.
+                let keep = *winners
+                    .iter()
+                    .find(|&&v| v >= ch.rr)
+                    .unwrap_or(&winners[0]);
+                for &v in &winners {
+                    if v != keep {
+                        self.will_send[base + v] = false;
+                    }
+                }
+                ch.rr = (keep + 1) % self.vcs_per_phys;
+            }
+            // Cascade: revoke sends whose full buffers no longer drain.
+            loop {
+                let mut changed = false;
+                for id in 0..total_vcs {
+                    if !self.will_send[id] {
+                        continue;
+                    }
+                    let phys = id / self.vcs_per_phys;
+                    if matches!(self.phys[phys].kind, ChannelKind::Deliver { .. }) {
+                        continue;
+                    }
+                    let ok = self.vcs[id].occupancy() < cap
+                        || self.vcs[id].fwd.is_some_and(|f| self.will_send[f]);
+                    if !ok {
+                        self.will_send[id] = false;
+                        changed = true;
+                    }
+                }
+                if !changed {
+                    break;
+                }
+            }
+        }
+
+        // Apply the moves.
+        let len = self.cfg.msg_len as u32;
+        let mut moved = false;
+        for id in 0..total_vcs {
+            if !self.will_send[id] {
+                continue;
+            }
+            moved = true;
+            let phys = id / self.vcs_per_phys;
+            self.channel_flits[phys] += 1;
+            // Pop the flit from the VC's source.
+            let (msg, idx) = match self.phys[phys].kind {
+                ChannelKind::Inject { host } => {
+                    let msg = self.vcs[id].owner.expect("inject source checked");
+                    let idx = self.next_flit[host];
+                    self.next_flit[host] += 1;
+                    if idx == 0 {
+                        self.messages[msg as usize].inject_cycle = self.cycle;
+                    }
+                    if idx + 1 == len {
+                        self.queues[host].pop_front();
+                        self.next_flit[host] = 0;
+                        self.inject_vc[host] = None;
+                    }
+                    (msg, idx)
+                }
+                _ => {
+                    let ic = self.vcs[id].feeder.expect("feeder checked");
+                    let buf = self.vcs[ic].buf.as_mut().expect("source checked");
+                    let msg = buf.msg;
+                    let idx = buf.lo;
+                    buf.lo += 1;
+                    if buf.lo == buf.hi {
+                        self.vcs[ic].buf = None;
+                    }
+                    if idx + 1 == len {
+                        // Tail left the feeder: release it.
+                        self.vcs[ic].owner = None;
+                        self.vcs[ic].fwd = None;
+                        self.vcs[id].feeder = None;
+                    }
+                    (msg, idx)
+                }
+            };
+            // Push it into the VC's downstream buffer / sink.
+            match self.phys[phys].kind {
+                ChannelKind::Deliver { .. } => {
+                    self.delivered_flits += 1;
+                    if idx + 1 == len {
+                        self.vcs[id].owner = None;
+                        let m = self.messages[msg as usize];
+                        self.delivered_msgs += 1;
+                        let now = self.cycle + 1; // tail consumed at cycle end
+                        self.sum_net_latency += (now - m.inject_cycle) as f64;
+                        self.sum_total_latency += (now - m.gen_cycle) as f64;
+                        self.latencies.push((now - m.inject_cycle) as u32);
+                    }
+                }
+                _ => match self.vcs[id].buf.as_mut() {
+                    Some(buf) => {
+                        debug_assert_eq!(buf.msg, msg, "buffer holds one message");
+                        debug_assert_eq!(buf.hi, idx, "flits arrive in order");
+                        buf.hi += 1;
+                    }
+                    None => {
+                        self.vcs[id].buf = Some(Buf {
+                            msg,
+                            lo: idx,
+                            hi: idx + 1,
+                        });
+                    }
+                },
+            }
+        }
+        moved
+    }
+}
+
+/// Convenience: build and run one simulation.
+///
+/// `host_clusters[h]` is the logical cluster of workstation `h` (as
+/// produced by `ProcessMapping::host_clusters`).
+///
+/// # Errors
+/// See [`SimError`].
+pub fn simulate(
+    topo: &Topology,
+    routing: &dyn Routing,
+    host_clusters: &[usize],
+    cfg: SimConfig,
+) -> Result<SimStats, SimError> {
+    let pattern = TrafficPattern::new(host_clusters.to_vec());
+    Simulator::new(topo, routing, pattern, cfg).map(|mut sim| sim.run())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use commsched_routing::UpDownRouting;
+    use commsched_topology::designed;
+
+    fn updown(topo: &Topology) -> UpDownRouting {
+        UpDownRouting::new(topo, 0).unwrap()
+    }
+
+    /// Two switches, one host each, both hosts in one cluster.
+    fn tiny() -> Topology {
+        designed::line(2, 1)
+    }
+
+    #[test]
+    fn zero_rate_is_silent() {
+        let topo = tiny();
+        let routing = updown(&topo);
+        let cfg = SimConfig {
+            injection_rate: 0.0,
+            warmup_cycles: 10,
+            measure_cycles: 100,
+            ..Default::default()
+        };
+        let stats = simulate(&topo, &routing, &[0, 0], cfg).unwrap();
+        assert_eq!(stats.generated_messages, 0);
+        assert_eq!(stats.delivered_flits, 0);
+        assert!(!stats.deadlocked);
+    }
+
+    #[test]
+    fn low_load_delivers_everything() {
+        let topo = tiny();
+        let routing = updown(&topo);
+        let cfg = SimConfig {
+            injection_rate: 0.05,
+            warmup_cycles: 500,
+            measure_cycles: 5_000,
+            seed: 1,
+            ..Default::default()
+        };
+        let stats = simulate(&topo, &routing, &[0, 0], cfg).unwrap();
+        assert!(stats.generated_messages > 0);
+        let offered = 0.05;
+        assert!(
+            (stats.accepted_flits_per_host_cycle - offered).abs() < 0.02,
+            "accepted {} vs offered {offered}",
+            stats.accepted_flits_per_host_cycle
+        );
+        assert!(!stats.deadlocked);
+        assert!(stats.max_source_queue <= 2);
+    }
+
+    #[test]
+    fn zero_load_latency_close_to_pipeline_bound() {
+        // One hop: channels crossed = inject + link + deliver = 3;
+        // tail delivered after ~ 3 + (L - 1) cycles from injection.
+        let topo = tiny();
+        let routing = updown(&topo);
+        let cfg = SimConfig {
+            msg_len: 16,
+            injection_rate: 0.01,
+            warmup_cycles: 200,
+            measure_cycles: 20_000,
+            seed: 2,
+            ..Default::default()
+        };
+        let stats = simulate(&topo, &routing, &[0, 0], cfg).unwrap();
+        let bound = 3.0 + 15.0;
+        assert!(
+            stats.avg_network_latency >= bound - 1e-9,
+            "latency {} below pipeline bound {bound}",
+            stats.avg_network_latency
+        );
+        assert!(
+            stats.avg_network_latency < bound + 8.0,
+            "latency {} too far above bound {bound} at near-zero load",
+            stats.avg_network_latency
+        );
+    }
+
+    #[test]
+    fn saturation_caps_accepted_traffic() {
+        let topo = tiny();
+        let routing = updown(&topo);
+        let cfg = SimConfig {
+            injection_rate: 2.0, // far beyond the 1 flit/cycle link
+            warmup_cycles: 1_000,
+            measure_cycles: 5_000,
+            seed: 3,
+            ..Default::default()
+        };
+        let stats = simulate(&topo, &routing, &[0, 0], cfg).unwrap();
+        assert!(stats.accepted_flits_per_host_cycle < 1.01);
+        assert!(stats.accepted_flits_per_host_cycle > 0.3);
+        assert!(stats.max_source_queue > 10);
+        assert!(!stats.deadlocked);
+    }
+
+    #[test]
+    fn same_switch_traffic_bypasses_links() {
+        let topo = designed::ring(3, 2);
+        let routing = updown(&topo);
+        let clusters = vec![0, 0, 1, 1, 2, 2];
+        let cfg = SimConfig {
+            injection_rate: 0.5,
+            warmup_cycles: 500,
+            measure_cycles: 4_000,
+            seed: 4,
+            ..Default::default()
+        };
+        let stats = simulate(&topo, &routing, &clusters, cfg).unwrap();
+        assert!(stats.delivered_messages > 0);
+        assert!(!stats.deadlocked);
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let topo = designed::ring(6, 2);
+        let routing = updown(&topo);
+        let clusters: Vec<usize> = (0..12).map(|h| h / 6).collect();
+        let cfg = SimConfig {
+            injection_rate: 0.2,
+            warmup_cycles: 300,
+            measure_cycles: 2_000,
+            seed: 99,
+            ..Default::default()
+        };
+        let a = simulate(&topo, &routing, &clusters, cfg).unwrap();
+        let b = simulate(&topo, &routing, &clusters, cfg).unwrap();
+        assert_eq!(a.delivered_flits, b.delivered_flits);
+        assert_eq!(a.generated_messages, b.generated_messages);
+        assert_eq!(a.avg_network_latency, b.avg_network_latency);
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let topo = designed::ring(6, 2);
+        let routing = updown(&topo);
+        let clusters: Vec<usize> = (0..12).map(|h| h / 6).collect();
+        let cfg = SimConfig {
+            injection_rate: 0.2,
+            warmup_cycles: 300,
+            measure_cycles: 2_000,
+            ..Default::default()
+        };
+        let a = simulate(&topo, &routing, &clusters, cfg.with_seed(1)).unwrap();
+        let b = simulate(&topo, &routing, &clusters, cfg.with_seed(2)).unwrap();
+        assert_ne!(a.delivered_flits, b.delivered_flits);
+    }
+
+    #[test]
+    fn conservation_no_flits_lost() {
+        let topo = designed::ring(4, 2);
+        let routing = updown(&topo);
+        let clusters = vec![0, 0, 0, 0, 1, 1, 1, 1];
+        let pattern = TrafficPattern::new(clusters);
+        let cfg = SimConfig {
+            injection_rate: 0.3,
+            warmup_cycles: 0,
+            measure_cycles: 2_000,
+            seed: 7,
+            ..Default::default()
+        };
+        let mut sim = Simulator::new(&topo, &routing, pattern, cfg).unwrap();
+        sim.advance(2_000);
+        sim.cfg.injection_rate = 0.0;
+        sim.advance(5_000);
+        assert!(!sim.in_flight(), "network drained");
+        assert_eq!(
+            sim.delivered_flits,
+            sim.generated * cfg.msg_len as u64,
+            "every generated flit delivered"
+        );
+        assert_eq!(sim.delivered_msgs, sim.generated);
+    }
+
+    #[test]
+    fn conservation_with_virtual_channels() {
+        let topo = designed::ring(4, 2);
+        let routing = updown(&topo);
+        let clusters = vec![0, 0, 0, 0, 1, 1, 1, 1];
+        for (vcs, adaptive) in [(2, false), (3, true), (2, true)] {
+            let pattern = TrafficPattern::new(clusters.clone());
+            let cfg = SimConfig {
+                injection_rate: 0.4,
+                warmup_cycles: 0,
+                measure_cycles: 2_000,
+                seed: 8,
+                virtual_channels: vcs,
+                fully_adaptive: adaptive,
+                ..Default::default()
+            };
+            let mut sim = Simulator::new(&topo, &routing, pattern, cfg).unwrap();
+            sim.advance(2_000);
+            sim.cfg.injection_rate = 0.0;
+            sim.advance(8_000);
+            assert!(!sim.in_flight(), "vcs={vcs} adaptive={adaptive}: drained");
+            assert_eq!(
+                sim.delivered_flits,
+                sim.generated * cfg.msg_len as u64,
+                "vcs={vcs} adaptive={adaptive}: flit conservation"
+            );
+        }
+    }
+
+    #[test]
+    fn adaptive_routing_does_not_deadlock_under_pressure() {
+        // Heavy load on the 24-switch network with the full Duato
+        // protocol: adaptive VCs + up*/down* escape.
+        let topo = designed::paper_24_switch();
+        let routing = updown(&topo);
+        let clusters: Vec<usize> = (0..96).map(|h| (h / 4) / 6).collect();
+        let cfg = SimConfig {
+            injection_rate: 1.0,
+            warmup_cycles: 1_000,
+            measure_cycles: 4_000,
+            seed: 10,
+            virtual_channels: 3,
+            fully_adaptive: true,
+            ..Default::default()
+        };
+        let stats = simulate(&topo, &routing, &clusters, cfg).unwrap();
+        assert!(!stats.deadlocked);
+        assert!(stats.delivered_messages > 0);
+    }
+
+    #[test]
+    fn adaptive_improves_random_mapping_throughput() {
+        // A random (bad) mapping forces long detours; adaptive minimal
+        // routing should accept at least as much traffic as escape-only.
+        use rand::seq::SliceRandom;
+        let topo = designed::paper_24_switch();
+        let routing = updown(&topo);
+        let mut hosts: Vec<usize> = (0..96).map(|h| (h / 4) / 6).collect();
+        let mut rng = StdRng::seed_from_u64(4);
+        // Scramble switch assignment (keep 4 hosts per switch together).
+        let mut switch_clusters: Vec<usize> = (0..24).map(|s| s / 6).collect();
+        switch_clusters.shuffle(&mut rng);
+        for h in 0..96 {
+            hosts[h] = switch_clusters[h / 4];
+        }
+        let base = SimConfig {
+            injection_rate: 0.5,
+            warmup_cycles: 1_000,
+            measure_cycles: 4_000,
+            seed: 11,
+            ..Default::default()
+        };
+        let escape = simulate(&topo, &routing, &hosts, base).unwrap();
+        let adaptive = simulate(
+            &topo,
+            &routing,
+            &hosts,
+            SimConfig {
+                virtual_channels: 3,
+                fully_adaptive: true,
+                ..base
+            },
+        )
+        .unwrap();
+        assert!(!escape.deadlocked && !adaptive.deadlocked);
+        assert!(
+            adaptive.accepted_flits_per_switch_cycle
+                >= 0.95 * escape.accepted_flits_per_switch_cycle,
+            "adaptive {} vs escape {}",
+            adaptive.accepted_flits_per_switch_cycle,
+            escape.accepted_flits_per_switch_cycle
+        );
+    }
+
+    #[test]
+    fn paper_network_runs_clean() {
+        let topo = designed::paper_24_switch();
+        let routing = updown(&topo);
+        let clusters: Vec<usize> = (0..96).map(|h| (h / 4) / 6).collect();
+        let cfg = SimConfig {
+            injection_rate: 0.1,
+            warmup_cycles: 500,
+            measure_cycles: 2_000,
+            seed: 5,
+            ..Default::default()
+        };
+        let stats = simulate(&topo, &routing, &clusters, cfg).unwrap();
+        assert!(stats.delivered_messages > 100);
+        assert!(!stats.deadlocked);
+        assert!(stats.avg_network_latency.is_finite());
+    }
+
+    #[test]
+    fn updown_overloads_links_near_root() {
+        // §2: "the routing algorithm tends to overload links located near
+        // the root switch."
+        let topo = designed::mesh(3, 3, 2);
+        let routing = UpDownRouting::new(&topo, 0).unwrap();
+        let clusters = vec![0; 18];
+        let pattern = TrafficPattern::new(clusters);
+        let cfg = SimConfig {
+            injection_rate: 0.3,
+            warmup_cycles: 0,
+            measure_cycles: 6_000,
+            seed: 21,
+            ..Default::default()
+        };
+        let mut sim = Simulator::new(&topo, &routing, pattern, cfg).unwrap();
+        let _ = sim.run();
+        let per_link = sim.link_flit_counts();
+        let total: u64 = per_link.iter().sum();
+        let avg = total as f64 / per_link.len() as f64;
+        let root_load: u64 = topo
+            .neighbors(0)
+            .iter()
+            .map(|&(_, l)| per_link[l])
+            .sum();
+        let root_avg = root_load as f64 / topo.degree(0) as f64;
+        assert!(
+            root_avg > avg,
+            "root links {root_avg:.0} should exceed average {avg:.0}"
+        );
+        let injected = sim.host_injected_flits();
+        assert!(injected.iter().all(|&f| f > 0));
+    }
+
+    #[test]
+    fn multi_process_time_sharing_runs_clean() {
+        // Relaxed one-process-per-processor: every workstation of a 2-ring
+        // campus runs one process of each application, so all traffic is
+        // intracluster yet spans the whole machine.
+        use crate::traffic::DestinationPolicy;
+        let topo = designed::ring_of_rings(2, 4, 2); // 8 switches, 16 hosts
+        let routing = updown(&topo);
+        let shared: Vec<Vec<usize>> = (0..16).map(|_| vec![0, 1]).collect();
+        let pattern = TrafficPattern::multi_process(shared, DestinationPolicy::Uniform);
+        let cfg = SimConfig {
+            injection_rate: 0.1,
+            warmup_cycles: 500,
+            measure_cycles: 3_000,
+            seed: 50,
+            ..Default::default()
+        };
+        let mut sim = Simulator::new(&topo, &routing, pattern, cfg).unwrap();
+        let shared_stats = sim.run();
+        assert!(!shared_stats.deadlocked);
+        assert!(shared_stats.delivered_messages > 0);
+
+        // Dedicated placement (one app per ring) keeps traffic local and
+        // must show lower latency at the same offered load.
+        let dedicated: Vec<usize> = (0..16).map(|h| (h / 2) / 4).collect();
+        let ded_stats = simulate(&topo, &routing, &dedicated, cfg).unwrap();
+        assert!(
+            ded_stats.avg_network_latency < shared_stats.avg_network_latency,
+            "dedicated {} vs shared {}",
+            ded_stats.avg_network_latency,
+            shared_stats.avg_network_latency
+        );
+    }
+
+    #[test]
+    fn batched_run_gives_tight_intervals_at_low_load() {
+        let topo = designed::ring(4, 2);
+        let routing = updown(&topo);
+        let clusters = vec![0, 0, 0, 0, 1, 1, 1, 1];
+        let pattern = TrafficPattern::new(clusters);
+        let cfg = SimConfig {
+            injection_rate: 0.1,
+            warmup_cycles: 500,
+            measure_cycles: 2_000,
+            seed: 31,
+            ..Default::default()
+        };
+        let mut sim = Simulator::new(&topo, &routing, pattern, cfg).unwrap();
+        let b = sim.run_batched(8);
+        assert_eq!(b.batches, 8);
+        assert!(!b.deadlocked);
+        assert!(b.accepted_mean > 0.0);
+        // Unsaturated traffic is stable: the CI is a small fraction of the
+        // mean.
+        assert!(
+            b.accepted_half_width < 0.2 * b.accepted_mean,
+            "accepted {} ± {}",
+            b.accepted_mean,
+            b.accepted_half_width
+        );
+        assert!(b.latency_mean.is_finite());
+        assert!(b.latency_half_width < 0.2 * b.latency_mean);
+    }
+
+    #[test]
+    fn latency_histogram_covers_all_deliveries() {
+        let topo = designed::ring(4, 2);
+        let routing = updown(&topo);
+        let clusters = vec![0, 0, 0, 0, 1, 1, 1, 1];
+        let pattern = TrafficPattern::new(clusters);
+        let cfg = SimConfig {
+            injection_rate: 0.2,
+            warmup_cycles: 0,
+            measure_cycles: 3_000,
+            seed: 32,
+            ..Default::default()
+        };
+        let mut sim = Simulator::new(&topo, &routing, pattern, cfg).unwrap();
+        let stats = sim.run();
+        let h = sim.latency_histogram(20).unwrap();
+        assert_eq!(h.count(), sim.latencies().len() as u64);
+        assert!(h.count() >= stats.delivered_messages);
+        assert_eq!(h.overflow(), 0, "range spans the max latency");
+        // Minimum recorded latency respects the pipeline floor.
+        let min = sim.latencies().iter().min().copied().unwrap();
+        assert!(min as usize >= 2 + cfg.msg_len - 1);
+        // Empty simulator has no histogram.
+        let pattern = TrafficPattern::new(vec![0; 8]);
+        let quiet_cfg = SimConfig {
+            injection_rate: 0.0,
+            ..cfg
+        };
+        let mut quiet = Simulator::new(&topo, &routing, pattern, quiet_cfg).unwrap();
+        let _ = quiet.run();
+        assert!(quiet.latency_histogram(10).is_none());
+    }
+
+    #[test]
+    fn host_count_mismatch_rejected() {
+        let topo = tiny();
+        let routing = updown(&topo);
+        let err = simulate(&topo, &routing, &[0, 0, 0], SimConfig::default()).unwrap_err();
+        assert_eq!(
+            err,
+            SimError::HostCountMismatch {
+                pattern: 3,
+                topology: 2
+            }
+        );
+    }
+
+    #[test]
+    fn routing_mismatch_rejected() {
+        let topo = tiny();
+        let other = designed::ring(4, 1);
+        let routing = updown(&other);
+        let err = simulate(&topo, &routing, &[0, 0], SimConfig::default()).unwrap_err();
+        assert!(matches!(err, SimError::RoutingMismatch { .. }));
+    }
+
+    #[test]
+    fn config_error_propagates() {
+        let topo = tiny();
+        let routing = updown(&topo);
+        let cfg = SimConfig {
+            msg_len: 1,
+            ..Default::default()
+        };
+        assert!(matches!(
+            simulate(&topo, &routing, &[0, 0], cfg),
+            Err(SimError::Config(_))
+        ));
+    }
+
+    #[test]
+    fn deterministic_policy_also_works() {
+        let topo = designed::ring(6, 2);
+        let routing = updown(&topo);
+        let clusters: Vec<usize> = (0..12).map(|h| h / 6).collect();
+        let cfg = SimConfig {
+            injection_rate: 0.2,
+            warmup_cycles: 300,
+            measure_cycles: 2_000,
+            selection: SelectionPolicy::Deterministic,
+            seed: 11,
+            ..Default::default()
+        };
+        let stats = simulate(&topo, &routing, &clusters, cfg).unwrap();
+        assert!(stats.delivered_messages > 0);
+        assert!(!stats.deadlocked);
+    }
+}

@@ -1,0 +1,249 @@
+//! Load sweeps: the paper's simulation points S1..S9.
+//!
+//! Each network/mapping pair is simulated "from low traffic (simulation
+//! point S1) to saturation (simulation point S9)" (§5.2). This module finds
+//! the saturation rate by bracketing + bisection and lays out evenly spaced
+//! offered loads across that range, producing the latency/throughput curves
+//! of Figures 3 and 5.
+
+use crate::config::SimConfig;
+use crate::engine::{simulate, SimError};
+use crate::stats::SimStats;
+use commsched_routing::Routing;
+use commsched_stats::{Curve, CurvePoint};
+use commsched_topology::Topology;
+
+/// Parameters of a paper-style sweep.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SweepConfig {
+    /// Number of simulation points (the paper uses 9: S1..S9).
+    pub points: usize,
+    /// A run is saturated when accepted < `saturation_threshold` × offered.
+    pub saturation_threshold: f64,
+    /// Upper bound for the saturation search (flits/host/cycle).
+    pub max_rate: f64,
+    /// The last simulation point is placed at `overdrive` × saturation to
+    /// show the post-saturation regime.
+    pub overdrive: f64,
+}
+
+impl Default for SweepConfig {
+    fn default() -> Self {
+        Self {
+            points: 9,
+            saturation_threshold: 0.95,
+            max_rate: 4.0,
+            overdrive: 1.2,
+        }
+    }
+}
+
+/// One sweep point: offered rate plus the measured statistics.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SweepPoint {
+    /// Offered load (flits per host per cycle).
+    pub rate: f64,
+    /// Measured statistics.
+    pub stats: SimStats,
+}
+
+/// A full sweep of one mapping.
+#[derive(Debug, Clone, Default)]
+pub struct LoadSweep {
+    /// Points ordered by offered load.
+    pub points: Vec<SweepPoint>,
+}
+
+impl LoadSweep {
+    /// Convert to a [`Curve`] in the paper's units (flits per switch per
+    /// cycle on the traffic axis, network latency in cycles).
+    pub fn curve(&self) -> Curve {
+        Curve::new(
+            self.points
+                .iter()
+                .map(|p| CurvePoint {
+                    offered: p.rate,
+                    accepted: p.stats.accepted_flits_per_switch_cycle,
+                    latency: p.stats.avg_network_latency,
+                })
+                .collect(),
+        )
+    }
+
+    /// The throughput the paper reports: maximum accepted traffic over the
+    /// sweep, in flits per switch per cycle.
+    pub fn throughput(&self) -> f64 {
+        self.points
+            .iter()
+            .map(|p| p.stats.accepted_flits_per_switch_cycle)
+            .fold(0.0, f64::max)
+    }
+}
+
+/// Run one simulation per offered rate.
+///
+/// # Errors
+/// See [`SimError`].
+pub fn sweep(
+    topo: &Topology,
+    routing: &dyn Routing,
+    host_clusters: &[usize],
+    base: SimConfig,
+    rates: &[f64],
+) -> Result<LoadSweep, SimError> {
+    let mut points = Vec::with_capacity(rates.len());
+    for &rate in rates {
+        let stats = simulate(topo, routing, host_clusters, base.with_rate(rate))?;
+        points.push(SweepPoint { rate, stats });
+    }
+    Ok(LoadSweep { points })
+}
+
+/// Find (approximately) the offered rate at which the network saturates:
+/// bracket by doubling from `start`, then bisect to `tol` relative width.
+///
+/// # Errors
+/// See [`SimError`].
+pub fn find_saturation_rate(
+    topo: &Topology,
+    routing: &dyn Routing,
+    host_clusters: &[usize],
+    base: SimConfig,
+    cfg: SweepConfig,
+) -> Result<f64, SimError> {
+    let threshold = cfg.saturation_threshold;
+    let saturated = |rate: f64| -> Result<bool, SimError> {
+        let stats = simulate(topo, routing, host_clusters, base.with_rate(rate))?;
+        Ok(stats.deadlocked || !stats.is_unsaturated(threshold))
+    };
+    // Bracket.
+    let mut lo = 0.0_f64;
+    let mut hi = 0.02_f64;
+    while hi < cfg.max_rate && !saturated(hi)? {
+        lo = hi;
+        hi *= 2.0;
+    }
+    if hi >= cfg.max_rate {
+        return Ok(cfg.max_rate);
+    }
+    // Bisect.
+    for _ in 0..6 {
+        let mid = 0.5 * (lo + hi);
+        if saturated(mid)? {
+            hi = mid;
+        } else {
+            lo = mid;
+        }
+    }
+    Ok(0.5 * (lo + hi))
+}
+
+/// The paper's S1..S9 protocol: find the saturation rate, then sweep
+/// `cfg.points` evenly spaced offered loads from low traffic to
+/// `cfg.overdrive` × saturation.
+///
+/// Returns the sweep and the estimated saturation rate.
+///
+/// # Errors
+/// See [`SimError`].
+pub fn paper_sweep(
+    topo: &Topology,
+    routing: &dyn Routing,
+    host_clusters: &[usize],
+    base: SimConfig,
+    cfg: SweepConfig,
+) -> Result<(LoadSweep, f64), SimError> {
+    let sat = find_saturation_rate(topo, routing, host_clusters, base, cfg)?;
+    let rates = sweep_rates(sat, cfg.points, cfg.overdrive);
+    let sw = sweep(topo, routing, host_clusters, base, &rates)?;
+    Ok((sw, sat))
+}
+
+/// Evenly spaced offered rates from `top/points` up to
+/// `overdrive × saturation` (the S1..S9 grid).
+pub fn sweep_rates(saturation: f64, points: usize, overdrive: f64) -> Vec<f64> {
+    let points = points.max(1);
+    let top = saturation * overdrive;
+    (1..=points)
+        .map(|i| top * i as f64 / points as f64)
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use commsched_routing::UpDownRouting;
+    use commsched_topology::designed;
+
+    fn quick_cfg() -> SimConfig {
+        SimConfig {
+            warmup_cycles: 300,
+            measure_cycles: 1_500,
+            seed: 3,
+            ..Default::default()
+        }
+    }
+
+    #[test]
+    fn sweep_rates_grid() {
+        let rates = sweep_rates(0.9, 9, 1.2);
+        assert_eq!(rates.len(), 9);
+        assert!((rates[8] - 1.08).abs() < 1e-12);
+        assert!((rates[0] - 0.12).abs() < 1e-12);
+        // Strictly increasing.
+        assert!(rates.windows(2).all(|w| w[1] > w[0]));
+    }
+
+    #[test]
+    fn saturation_found_for_tiny_net() {
+        let topo = designed::line(2, 1);
+        let routing = UpDownRouting::new(&topo, 0).unwrap();
+        let sat = find_saturation_rate(
+            &topo,
+            &routing,
+            &[0, 0],
+            quick_cfg(),
+            SweepConfig::default(),
+        )
+        .unwrap();
+        // The single link caps throughput at <= 1 flit/host/cycle.
+        assert!(sat > 0.2, "saturation {sat} implausibly low");
+        assert!(sat <= 1.1, "saturation {sat} beyond link capacity");
+    }
+
+    #[test]
+    fn paper_sweep_shape() {
+        let topo = designed::ring(4, 2);
+        let routing = UpDownRouting::new(&topo, 0).unwrap();
+        let clusters: Vec<usize> = (0..8).map(|h| h / 4).collect();
+        let (sw, sat) = paper_sweep(
+            &topo,
+            &routing,
+            &clusters,
+            quick_cfg(),
+            SweepConfig {
+                points: 5,
+                ..Default::default()
+            },
+        )
+        .unwrap();
+        assert_eq!(sw.points.len(), 5);
+        assert!(sat > 0.0);
+        let curve = sw.curve();
+        assert_eq!(curve.points.len(), 5);
+        // Latency grows (weakly) with load up to saturation.
+        assert!(
+            curve.points.last().unwrap().latency >= curve.points[0].latency,
+            "latency should not shrink with load"
+        );
+        assert!(sw.throughput() > 0.0);
+    }
+
+    #[test]
+    fn sweep_propagates_errors() {
+        let topo = designed::line(2, 1);
+        let routing = UpDownRouting::new(&topo, 0).unwrap();
+        let err = sweep(&topo, &routing, &[0], quick_cfg(), &[0.1]).unwrap_err();
+        assert!(matches!(err, SimError::HostCountMismatch { .. }));
+    }
+}

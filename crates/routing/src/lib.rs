@@ -1,0 +1,114 @@
+#![warn(missing_docs)]
+
+//! Routing algorithms for switch-based networks.
+//!
+//! The paper's communication-cost model (§3) is defined relative to the
+//! routing algorithm: only the links that lie on *shortest paths supplied by
+//! the routing algorithm* enter the equivalent-distance computation. The
+//! evaluation networks use the up*/down* routing scheme of Autonet
+//! ([`UpDownRouting`]); an unconstrained shortest-path router
+//! ([`ShortestPathRouting`]) is provided as a baseline and for regular
+//! topologies.
+//!
+//! All routers expose the same object-safe [`Routing`] trait:
+//!
+//! * [`Routing::route_distance`] — length of the shortest *legal* route,
+//! * [`Routing::minimal_route_links`] — the union of links over all minimal
+//!   legal routes (the resistor network of the distance model),
+//! * [`Routing::next_hops`] — per-hop minimal-route choices for the
+//!   flit-level simulator (which tracks the up*/down* phase in
+//!   [`RouteState::descended`]).
+//!
+//! # Example
+//!
+//! ```
+//! use commsched_topology::designed;
+//! use commsched_routing::{Routing, UpDownRouting};
+//!
+//! let topo = designed::ring(6, 4);
+//! let routing = UpDownRouting::new(&topo, 0).unwrap();
+//! // In a 6-ring rooted at 0, the hop distance between neighbours is 1.
+//! assert_eq!(routing.route_distance(1, 2), 1);
+//! ```
+
+pub mod paths;
+pub mod shortest;
+pub mod updown;
+
+pub use paths::enumerate_minimal_routes;
+pub use shortest::ShortestPathRouting;
+pub use updown::UpDownRouting;
+
+use commsched_topology::SwitchId;
+
+/// Per-message routing state carried by the simulator.
+///
+/// For up*/down* routing, `descended` records whether the message has
+/// already taken a "down" link; once set, "up" links are illegal. Routers
+/// that do not distinguish phases ignore the flag.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct RouteState {
+    /// Switch the message head currently occupies.
+    pub node: SwitchId,
+    /// Whether the message has started descending (up*/down* phase bit).
+    pub descended: bool,
+}
+
+impl RouteState {
+    /// Initial state for a message injected at `src`.
+    pub fn start(src: SwitchId) -> Self {
+        Self {
+            node: src,
+            descended: false,
+        }
+    }
+}
+
+/// Errors raised while constructing a router.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum RoutingError {
+    /// The topology is disconnected; some pairs would be unroutable.
+    Disconnected,
+    /// The requested root switch does not exist.
+    RootOutOfRange {
+        /// Requested root.
+        root: SwitchId,
+        /// Number of switches.
+        num_switches: usize,
+    },
+}
+
+impl std::fmt::Display for RoutingError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            RoutingError::Disconnected => write!(f, "topology is disconnected"),
+            RoutingError::RootOutOfRange { root, num_switches } => {
+                write!(f, "root {root} out of range (n = {num_switches})")
+            }
+        }
+    }
+}
+
+impl std::error::Error for RoutingError {}
+
+/// Object-safe interface shared by all routing algorithms.
+pub trait Routing: Send + Sync {
+    /// Number of switches in the routed topology.
+    fn num_switches(&self) -> usize;
+
+    /// Length (hops) of the shortest route the algorithm supplies from
+    /// `src` to `dst`. Zero when `src == dst`.
+    fn route_distance(&self, src: SwitchId, dst: SwitchId) -> u32;
+
+    /// Ids of the links lying on at least one minimal route from `src` to
+    /// `dst`, deduplicated and sorted. Empty when `src == dst`.
+    fn minimal_route_links(&self, src: SwitchId, dst: SwitchId)
+        -> Vec<commsched_topology::LinkId>;
+
+    /// Legal next states from `state` that remain on a minimal route to
+    /// `dst`. Empty iff `state.node == dst`.
+    fn next_hops(&self, state: RouteState, dst: SwitchId) -> Vec<RouteState>;
+
+    /// Human-readable algorithm name (for reports).
+    fn name(&self) -> &'static str;
+}

@@ -1,0 +1,150 @@
+//! Exhaustive enumeration of minimal routes.
+//!
+//! Used by tests and diagnostics to cross-check
+//! [`Routing::minimal_route_links`]: the union of links over the enumerated
+//! routes must equal the link set the router reports.
+
+use crate::{RouteState, Routing};
+use commsched_topology::SwitchId;
+
+/// Enumerate every minimal route from `src` to `dst` as a switch sequence
+/// (starting with `src`, ending with `dst`). Stops early and returns `None`
+/// if more than `limit` routes exist (guards against exponential blow-up on
+/// path-rich topologies).
+pub fn enumerate_minimal_routes(
+    routing: &dyn Routing,
+    src: SwitchId,
+    dst: SwitchId,
+    limit: usize,
+) -> Option<Vec<Vec<SwitchId>>> {
+    let mut out = Vec::new();
+    let mut prefix = vec![src];
+    if src == dst {
+        out.push(prefix);
+        return Some(out);
+    }
+    if dfs(routing, RouteState::start(src), dst, &mut prefix, &mut out, limit) {
+        Some(out)
+    } else {
+        None
+    }
+}
+
+fn dfs(
+    routing: &dyn Routing,
+    state: RouteState,
+    dst: SwitchId,
+    prefix: &mut Vec<SwitchId>,
+    out: &mut Vec<Vec<SwitchId>>,
+    limit: usize,
+) -> bool {
+    if state.node == dst {
+        if out.len() >= limit {
+            return false;
+        }
+        out.push(prefix.clone());
+        return true;
+    }
+    for next in routing.next_hops(state, dst) {
+        prefix.push(next.node);
+        let ok = dfs(routing, next, dst, prefix, out, limit);
+        prefix.pop();
+        if !ok {
+            return false;
+        }
+    }
+    true
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{ShortestPathRouting, UpDownRouting};
+    use commsched_topology::designed;
+
+    #[test]
+    fn single_route_on_line() {
+        let t = designed::line(4, 1);
+        let r = ShortestPathRouting::new(&t).unwrap();
+        let routes = enumerate_minimal_routes(&r, 0, 3, 100).unwrap();
+        assert_eq!(routes, vec![vec![0, 1, 2, 3]]);
+    }
+
+    #[test]
+    fn two_routes_on_even_ring_antipodes() {
+        let t = designed::ring(4, 1);
+        let r = ShortestPathRouting::new(&t).unwrap();
+        let mut routes = enumerate_minimal_routes(&r, 0, 2, 100).unwrap();
+        routes.sort();
+        assert_eq!(routes, vec![vec![0, 1, 2], vec![0, 3, 2]]);
+    }
+
+    #[test]
+    fn limit_enforced() {
+        let t = designed::hypercube(4, 1);
+        let r = ShortestPathRouting::new(&t).unwrap();
+        // 0 -> 15 has 4! = 24 shortest routes in a 4-cube.
+        assert!(enumerate_minimal_routes(&r, 0, 15, 10).is_none());
+        let routes = enumerate_minimal_routes(&r, 0, 15, 100).unwrap();
+        assert_eq!(routes.len(), 24);
+    }
+
+    #[test]
+    fn src_equals_dst() {
+        let t = designed::ring(4, 1);
+        let r = ShortestPathRouting::new(&t).unwrap();
+        assert_eq!(
+            enumerate_minimal_routes(&r, 2, 2, 10).unwrap(),
+            vec![vec![2]]
+        );
+    }
+
+    #[test]
+    fn route_union_matches_minimal_links() {
+        let t = designed::mesh(3, 3, 1);
+        for routing in [
+            Box::new(ShortestPathRouting::new(&t).unwrap()) as Box<dyn crate::Routing>,
+            Box::new(UpDownRouting::new(&t, 0).unwrap()),
+        ] {
+            for src in 0..9 {
+                for dst in 0..9 {
+                    if src == dst {
+                        continue;
+                    }
+                    let routes =
+                        enumerate_minimal_routes(routing.as_ref(), src, dst, 100_000).unwrap();
+                    let mut union: Vec<_> = routes
+                        .iter()
+                        .flat_map(|route| {
+                            route
+                                .windows(2)
+                                .map(|w| t.link_between(w[0], w[1]).unwrap())
+                        })
+                        .collect();
+                    union.sort_unstable();
+                    union.dedup();
+                    assert_eq!(
+                        union,
+                        routing.minimal_route_links(src, dst),
+                        "{} {src}->{dst}",
+                        routing.name()
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn every_enumerated_route_has_minimal_length() {
+        let t = designed::paper_24_switch();
+        let r = UpDownRouting::new(&t, 0).unwrap();
+        for (src, dst) in [(0usize, 12usize), (3, 20), (7, 18)] {
+            let d = r.route_distance(src, dst) as usize;
+            let routes = enumerate_minimal_routes(&r, src, dst, 100_000).unwrap();
+            assert!(!routes.is_empty());
+            for route in routes {
+                assert_eq!(route.len(), d + 1);
+            }
+        }
+    }
+}

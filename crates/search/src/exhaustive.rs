@@ -1,0 +1,209 @@
+//! Exhaustive (exact) search over partitions with fixed cluster sizes.
+//!
+//! The paper validates tabu search by exhaustive enumeration "for small
+//! size networks (up to 16 switches)". Enumeration is over *groupings*:
+//! clusters of equal size are unlabeled, so each distinct grouping is
+//! visited exactly once (16 switches into 4×4 clusters = 2 627 625
+//! groupings, not 16!/(4!)⁴).
+
+use crate::{check_sizes, Mapper, SearchResult};
+use commsched_core::{similarity_fg, Partition};
+use commsched_distance::DistanceTable;
+use rand::RngCore;
+
+/// Visit every grouping of `n` switches into clusters of the given sizes
+/// exactly once (equal-sized clusters unlabeled). The callback receives the
+/// per-switch assignment; return `false` from it to stop early.
+///
+/// # Panics
+/// Panics if `sizes` is not a valid cluster-size vector for `n`.
+pub fn enumerate_partitions<F: FnMut(&[usize]) -> bool>(n: usize, sizes: &[usize], mut f: F) {
+    assert!(check_sizes(n, sizes), "invalid cluster sizes");
+    let mut assign = vec![usize::MAX; n];
+    let mut remaining: Vec<usize> = sizes.to_vec();
+    recurse(0, n, sizes, &mut remaining, &mut assign, &mut f);
+}
+
+/// Returns `false` to propagate an early stop.
+fn recurse<F: FnMut(&[usize]) -> bool>(
+    switch: usize,
+    n: usize,
+    sizes: &[usize],
+    remaining: &mut [usize],
+    assign: &mut [usize],
+    f: &mut F,
+) -> bool {
+    if switch == n {
+        return f(assign);
+    }
+    let mut tried_empty_of_size: Vec<usize> = Vec::new();
+    for c in 0..sizes.len() {
+        if remaining[c] == 0 {
+            continue;
+        }
+        let is_empty = remaining[c] == sizes[c];
+        if is_empty {
+            // Symmetry breaking: among still-empty clusters of one size,
+            // only the first may receive this switch.
+            if tried_empty_of_size.contains(&sizes[c]) {
+                continue;
+            }
+            tried_empty_of_size.push(sizes[c]);
+        }
+        assign[switch] = c;
+        remaining[c] -= 1;
+        let keep_going = recurse(switch + 1, n, sizes, remaining, assign, f);
+        remaining[c] += 1;
+        assign[switch] = usize::MAX;
+        if !keep_going {
+            return false;
+        }
+    }
+    true
+}
+
+/// Count the groupings of `n` switches into clusters of the given sizes:
+/// the multinomial coefficient divided by the permutations of equal-sized
+/// clusters.
+pub fn count_partitions(n: usize, sizes: &[usize]) -> u128 {
+    assert!(check_sizes(n, sizes), "invalid cluster sizes");
+    // n! / (Π sᵢ!) / (Π multiplicity_of_size!)
+    let fact = |k: usize| -> u128 { (1..=k as u128).product::<u128>().max(1) };
+    let mut value = fact(n);
+    for &s in sizes {
+        value /= fact(s);
+    }
+    let mut sorted = sizes.to_vec();
+    sorted.sort_unstable();
+    let mut i = 0;
+    while i < sorted.len() {
+        let mut j = i;
+        while j + 1 < sorted.len() && sorted[j + 1] == sorted[i] {
+            j += 1;
+        }
+        value /= fact(j - i + 1);
+        i = j + 1;
+    }
+    value
+}
+
+/// Exact minimizer of `F_G` by full enumeration.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct ExhaustiveSearch;
+
+impl Mapper for ExhaustiveSearch {
+    fn name(&self) -> &'static str {
+        "exhaustive"
+    }
+
+    fn search(
+        &self,
+        table: &DistanceTable,
+        sizes: &[usize],
+        _rng: &mut dyn RngCore,
+    ) -> SearchResult {
+        let mut best: Option<(f64, Partition)> = None;
+        let mut evaluations = 0u64;
+        enumerate_partitions(table.n(), sizes, |assign| {
+            let p = Partition::new(assign.to_vec(), sizes.len())
+                .expect("enumerated assignment is valid");
+            let fg = similarity_fg(&p, table);
+            evaluations += 1;
+            if best.as_ref().is_none_or(|(f, _)| fg < *f) {
+                best = Some((fg, p));
+            }
+            true
+        });
+        let (fg, partition) = best.expect("at least one grouping exists");
+        SearchResult {
+            partition,
+            fg,
+            evaluations,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::testutil::{dumbbell_table, dumbbell_truth};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn counts_match_enumeration() {
+        for (n, sizes) in [
+            (4usize, vec![2usize, 2]),
+            (6, vec![3, 3]),
+            (6, vec![2, 2, 2]),
+            (6, vec![4, 2]),
+            (8, vec![4, 4]),
+            (7, vec![3, 2, 2]),
+        ] {
+            let mut seen = 0u128;
+            enumerate_partitions(n, &sizes, |_| {
+                seen += 1;
+                true
+            });
+            assert_eq!(seen, count_partitions(n, &sizes), "n={n} sizes={sizes:?}");
+        }
+    }
+
+    #[test]
+    fn known_counts() {
+        // 4 into 2+2 unlabeled: 3 groupings.
+        assert_eq!(count_partitions(4, &[2, 2]), 3);
+        // 6 into 2+2+2: 15.
+        assert_eq!(count_partitions(6, &[2, 2, 2]), 15);
+        // 8 into 4+4: 35.
+        assert_eq!(count_partitions(8, &[4, 4]), 35);
+        // The paper's 16 into 4x4: 2,627,625.
+        assert_eq!(count_partitions(16, &[4, 4, 4, 4]), 2_627_625);
+    }
+
+    #[test]
+    fn no_duplicate_groupings() {
+        let mut seen = std::collections::HashSet::new();
+        enumerate_partitions(6, &[2, 2, 2], |assign| {
+            let p = Partition::new(assign.to_vec(), 3).unwrap();
+            assert!(seen.insert(p.canonical()), "duplicate grouping {assign:?}");
+            true
+        });
+        assert_eq!(seen.len(), 15);
+    }
+
+    #[test]
+    fn early_stop_respected() {
+        let mut visits = 0;
+        enumerate_partitions(8, &[4, 4], |_| {
+            visits += 1;
+            visits < 10
+        });
+        assert_eq!(visits, 10);
+    }
+
+    #[test]
+    fn finds_dumbbell_optimum() {
+        let table = dumbbell_table();
+        let mut rng = StdRng::seed_from_u64(0);
+        let res = ExhaustiveSearch.search(&table, &[4, 4], &mut rng);
+        assert!(res.partition.same_grouping(&dumbbell_truth()));
+        assert_eq!(res.evaluations, 35);
+    }
+
+    #[test]
+    fn unequal_sizes_enumeration() {
+        let table = dumbbell_table();
+        let mut rng = StdRng::seed_from_u64(0);
+        let res = ExhaustiveSearch.search(&table, &[6, 2], &mut rng);
+        // 8 into 6+2: C(8,2) = 28 groupings.
+        assert_eq!(res.evaluations, 28);
+        assert_eq!(res.partition.sizes(), vec![6, 2]);
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid cluster sizes")]
+    fn invalid_sizes_panic() {
+        enumerate_partitions(4, &[3, 3], |_| true);
+    }
+}

@@ -1,0 +1,134 @@
+#![warn(missing_docs)]
+
+//! Heuristic search methods for the mapping problem (§4.2 and §2).
+//!
+//! The mapping of processes to processors is NP-complete; the paper
+//! minimizes the global similarity function `F_G` with a **tabu search**
+//! variant ([`tabu::TabuSearch`]) and reports that it matched or beat the
+//! other heuristics it tried at lower cost. This crate implements:
+//!
+//! * [`tabu`] — the paper's method: best-improving cross-cluster swap;
+//!   at a local minimum take the least-worsening swap and forbid the
+//!   inverse for `h` iterations; stop a seed when the same local minimum is
+//!   reached three times or the iteration budget is spent; restart from
+//!   multiple random seeds (10 in the paper);
+//! * [`exhaustive`] — exact enumeration of balanced partitions (feasible up
+//!   to 16 switches, as in the paper's optimality check);
+//! * [`astar`] — A* tree search with an admissible completion bound (§2);
+//! * [`clustering`] — classical agglomerative clustering, the baseline §3
+//!   argues cannot work on the non-metric table;
+//! * [`anneal`] — simulated annealing (§2);
+//! * [`genetic`] — a genetic algorithm and genetic simulated annealing
+//!   (§2);
+//! * [`kernighan_lin`] — Kernighan–Lin pass-based refinement, the classic
+//!   graph-partitioning comparator;
+//! * [`descent`] — steepest descent and random sampling baselines;
+//! * [`parallel`] — a deterministic multi-threaded multi-seed driver;
+//! * [`compute`] — computation-side baselines (OLB, min-min, max-min) for
+//!   the future-work combined scheduling experiments.
+//!
+//! All methods implement the [`Mapper`] trait: given a distance table and
+//! cluster sizes, produce the lowest-`F_G` partition they can find.
+
+pub mod anneal;
+pub mod astar;
+pub mod clustering;
+pub mod compute;
+pub mod descent;
+pub mod exhaustive;
+pub mod genetic;
+pub mod kernighan_lin;
+pub mod parallel;
+pub mod tabu;
+
+pub use anneal::{SimulatedAnnealing, SimulatedAnnealingParams};
+pub use astar::AStarSearch;
+pub use clustering::AgglomerativeClustering;
+pub use descent::{RandomSampling, SteepestDescent};
+pub use exhaustive::{enumerate_partitions, ExhaustiveSearch};
+pub use genetic::{GeneticParams, GeneticSearch, GeneticSimulatedAnnealing};
+pub use kernighan_lin::KernighanLin;
+pub use parallel::parallel_multi_seed;
+pub use tabu::{TabuParams, TabuSearch, TabuTrace, TraceEvent};
+
+use commsched_core::Partition;
+use commsched_distance::DistanceTable;
+use rand::RngCore;
+
+/// Result of one mapping search.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SearchResult {
+    /// Best partition found.
+    pub partition: Partition,
+    /// Its `F_G` value (the minimized target function).
+    pub fg: f64,
+    /// Number of objective/delta evaluations spent (cost proxy for the
+    /// heuristic-comparison ablation).
+    pub evaluations: u64,
+}
+
+/// A mapping search method: minimize `F_G` over partitions of
+/// `table.n()` switches with the given cluster sizes.
+pub trait Mapper: Send + Sync {
+    /// Method name for reports.
+    fn name(&self) -> &'static str;
+
+    /// Run the search. Deterministic given the `rng` state.
+    ///
+    /// # Panics
+    /// Implementations may panic if `sizes` does not sum to `table.n()` or
+    /// contains zeros; validate with [`check_sizes`] first when unsure.
+    fn search(
+        &self,
+        table: &DistanceTable,
+        sizes: &[usize],
+        rng: &mut dyn RngCore,
+    ) -> SearchResult;
+}
+
+/// Validate that `sizes` is a plausible cluster-size vector for `n`
+/// switches. Returns `false` on empty sizes, zero entries, or wrong total.
+pub fn check_sizes(n: usize, sizes: &[usize]) -> bool {
+    !sizes.is_empty() && sizes.iter().all(|&s| s > 0) && sizes.iter().sum::<usize>() == n
+}
+
+/// Shared test helpers for the search implementations.
+#[cfg(test)]
+pub(crate) mod testutil {
+    use commsched_distance::{equivalent_distance_table, DistanceTable};
+    use commsched_routing::ShortestPathRouting;
+    use commsched_topology::designed;
+
+    /// Distance table of a "two obvious clusters" dumbbell: two 4-cycles
+    /// joined by one link. Optimal 2×4 partition = the two squares.
+    pub fn dumbbell_table() -> DistanceTable {
+        let topo = commsched_topology::TopologyBuilder::new(8, 1)
+            .links([
+                (0, 1),
+                (1, 2),
+                (2, 3),
+                (3, 0),
+                (4, 5),
+                (5, 6),
+                (6, 7),
+                (7, 4),
+                (3, 4),
+            ])
+            .build()
+            .unwrap();
+        let routing = ShortestPathRouting::new(&topo).unwrap();
+        equivalent_distance_table(&topo, &routing).unwrap()
+    }
+
+    /// Table for the paper's designed 24-switch network.
+    pub fn rings_table() -> DistanceTable {
+        let topo = designed::paper_24_switch();
+        let routing = commsched_routing::UpDownRouting::new(&topo, 0).unwrap();
+        equivalent_distance_table(&topo, &routing).unwrap()
+    }
+
+    /// The optimal dumbbell grouping.
+    pub fn dumbbell_truth() -> commsched_core::Partition {
+        commsched_core::Partition::new(vec![0, 0, 0, 0, 1, 1, 1, 1], 2).unwrap()
+    }
+}

@@ -1,0 +1,100 @@
+//! Deterministic parallel multi-seed driver.
+//!
+//! The tabu search's restarts are independent, so they parallelize
+//! trivially. `parallel_multi_seed` runs a mapper once per seed across a
+//! thread pool and returns the best result, with a *deterministic* winner:
+//! ties in `F_G` break toward the lowest seed index, so the outcome is
+//! independent of thread scheduling.
+
+use crate::{Mapper, SearchResult};
+use commsched_distance::DistanceTable;
+use parking_lot::Mutex;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// Run `mapper` once per seed `base_seed..base_seed + seeds` across
+/// `threads` worker threads; return the best result and its seed.
+///
+/// Deterministic: the same inputs always return the same `(seed, result)`.
+///
+/// # Panics
+/// Panics if `seeds == 0` or a worker panics.
+pub fn parallel_multi_seed<M: Mapper>(
+    mapper: &M,
+    table: &DistanceTable,
+    sizes: &[usize],
+    base_seed: u64,
+    seeds: usize,
+    threads: usize,
+) -> (u64, SearchResult) {
+    assert!(seeds > 0, "need at least one seed");
+    let threads = threads.max(1).min(seeds);
+    let next = Mutex::new(0usize);
+    let results: Mutex<Vec<(u64, SearchResult)>> = Mutex::new(Vec::with_capacity(seeds));
+
+    crossbeam::thread::scope(|scope| {
+        for _ in 0..threads {
+            scope.spawn(|_| loop {
+                let idx = {
+                    let mut guard = next.lock();
+                    if *guard >= seeds {
+                        break;
+                    }
+                    let i = *guard;
+                    *guard += 1;
+                    i
+                };
+                let seed = base_seed + idx as u64;
+                let mut rng = StdRng::seed_from_u64(seed);
+                let result = mapper.search(table, sizes, &mut rng);
+                results.lock().push((seed, result));
+            });
+        }
+    })
+    .expect("search worker panicked");
+
+    let mut all = results.into_inner();
+    // Deterministic winner: best F_G, ties to the lowest seed.
+    all.sort_by(|a, b| {
+        a.1.fg
+            .partial_cmp(&b.1.fg)
+            .expect("finite F_G")
+            .then(a.0.cmp(&b.0))
+    });
+    all.into_iter().next().expect("at least one seed ran")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::tabu::TabuSearch;
+    use crate::testutil::{dumbbell_table, dumbbell_truth};
+
+    #[test]
+    fn parallel_matches_quality_of_serial() {
+        let table = dumbbell_table();
+        let mapper = TabuSearch::default();
+        let (_, par) = parallel_multi_seed(&mapper, &table, &[4, 4], 100, 8, 4);
+        assert!(par.partition.same_grouping(&dumbbell_truth()));
+    }
+
+    #[test]
+    fn deterministic_across_thread_counts() {
+        let table = dumbbell_table();
+        let mapper = TabuSearch::default();
+        let (s1, r1) = parallel_multi_seed(&mapper, &table, &[4, 4], 7, 6, 1);
+        let (s2, r2) = parallel_multi_seed(&mapper, &table, &[4, 4], 7, 6, 4);
+        let (s3, r3) = parallel_multi_seed(&mapper, &table, &[4, 4], 7, 6, 16);
+        assert_eq!(s1, s2);
+        assert_eq!(s2, s3);
+        assert_eq!(r1.partition, r2.partition);
+        assert_eq!(r2.partition, r3.partition);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one seed")]
+    fn zero_seeds_panics() {
+        let table = dumbbell_table();
+        let _ = parallel_multi_seed(&TabuSearch::default(), &table, &[4, 4], 0, 0, 2);
+    }
+}

@@ -1,0 +1,530 @@
+//! The paper's tabu-search variant (§4.2).
+//!
+//! From a random mapping, each iteration applies the cross-cluster node
+//! swap with the greatest decrease of the target function `F_G`. When no
+//! swap decreases `F_G` (a local minimum), the swap with the *smallest
+//! increase* is applied instead, and the inverse swap becomes tabu for `h`
+//! iterations. A seed's search ends when the same local-minimum value has
+//! been reached three times or the iteration budget is exhausted; the whole
+//! search repeats from `seeds` random starting points and keeps the best
+//! local minimum seen.
+//!
+//! The per-iteration `F(P_i)` trace is recorded so the harness can
+//! regenerate Figure 1.
+
+use crate::{check_sizes, Mapper, SearchResult};
+use commsched_core::{Partition, SwapEvaluator, SwapObjective, WeightedSwapEvaluator};
+use commsched_distance::DistanceTable;
+use commsched_topology::SwitchId;
+use rand::RngCore;
+use std::collections::HashMap;
+
+/// Tuning parameters of the tabu search.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TabuParams {
+    /// Random restarts (the paper uses 10).
+    pub seeds: usize,
+    /// Iteration budget per seed (the paper uses 20).
+    pub max_iterations: usize,
+    /// Stop a seed once the same local minimum is reached this many times
+    /// (the paper uses 3).
+    pub local_min_repeats: usize,
+    /// Tabu tenure `h`: how many iterations the inverse of an uphill move
+    /// stays forbidden. Unreported in the paper; default 4 (ablated in the
+    /// bench suite).
+    pub tenure: usize,
+}
+
+impl Default for TabuParams {
+    fn default() -> Self {
+        Self {
+            seeds: 10,
+            max_iterations: 20,
+            local_min_repeats: 3,
+            tenure: 4,
+        }
+    }
+}
+
+impl TabuParams {
+    /// Parameters exactly as reported in the paper.
+    pub fn paper() -> Self {
+        Self::default()
+    }
+
+    /// A heavier-duty setting for networks larger than the paper's:
+    /// budget scaled with the switch count.
+    pub fn scaled(n: usize) -> Self {
+        Self {
+            seeds: 10,
+            max_iterations: (3 * n).max(20),
+            local_min_repeats: 3,
+            tenure: 4,
+        }
+    }
+}
+
+/// One event of the search trace: the `F_G` value after a given total
+/// iteration (Figure 1's plotted series).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TraceEvent {
+    /// Total iteration number across all seeds (X axis of Figure 1).
+    pub iteration: usize,
+    /// Seed (restart) index this event belongs to.
+    pub seed: usize,
+    /// `F_G` of the current mapping.
+    pub fg: f64,
+    /// Whether this event is the random starting point of a seed.
+    pub is_seed_start: bool,
+}
+
+/// Full trace of a tabu run.
+#[derive(Debug, Clone, Default)]
+pub struct TabuTrace {
+    /// Events in chronological order.
+    pub events: Vec<TraceEvent>,
+}
+
+impl TabuTrace {
+    /// The seed-start events (the peaks of Figure 1).
+    pub fn seed_starts(&self) -> impl Iterator<Item = &TraceEvent> {
+        self.events.iter().filter(|e| e.is_seed_start)
+    }
+
+    /// Minimum `F_G` over the whole trace.
+    pub fn min_fg(&self) -> Option<f64> {
+        self.events
+            .iter()
+            .map(|e| e.fg)
+            .fold(None, |acc, x| Some(acc.map_or(x, |a: f64| a.min(x))))
+    }
+}
+
+/// The tabu-search mapper.
+///
+/// # Example
+///
+/// ```
+/// use commsched_search::{Mapper, TabuSearch};
+/// use commsched_distance::equivalent_distance_table;
+/// use commsched_routing::UpDownRouting;
+/// use commsched_topology::designed;
+/// use rand::SeedableRng;
+///
+/// let topo = designed::paper_24_switch();
+/// let routing = UpDownRouting::new(&topo, 0).unwrap();
+/// let table = equivalent_distance_table(&topo, &routing).unwrap();
+/// let mut rng = rand::rngs::StdRng::seed_from_u64(42);
+/// let result = TabuSearch::default().search(&table, &[6, 6, 6, 6], &mut rng);
+/// // The paper's Figure 4: the search identifies the four physical rings.
+/// assert_eq!(result.partition.sizes(), vec![6, 6, 6, 6]);
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct TabuSearch {
+    /// Tuning parameters.
+    pub params: TabuParams,
+}
+
+impl TabuSearch {
+    /// Mapper with the paper's parameters.
+    pub fn new(params: TabuParams) -> Self {
+        Self { params }
+    }
+
+    /// Run the search and also return the iteration trace (Figure 1).
+    ///
+    /// # Panics
+    /// Panics if `sizes` is not a valid cluster-size vector for the table.
+    pub fn search_traced(
+        &self,
+        table: &DistanceTable,
+        sizes: &[usize],
+        rng: &mut dyn RngCore,
+    ) -> (SearchResult, TabuTrace) {
+        self.search_objective(table.n(), sizes, rng, |start| {
+            SwapEvaluator::new(start, table)
+        })
+    }
+
+    /// Run the search against the weighted similarity function (per-
+    /// application traffic weights — the paper's future-work setting).
+    ///
+    /// # Panics
+    /// Panics on invalid sizes, a weight-count mismatch, or non-positive
+    /// weights.
+    pub fn search_weighted(
+        &self,
+        table: &DistanceTable,
+        sizes: &[usize],
+        weights: &[f64],
+        rng: &mut dyn RngCore,
+    ) -> (SearchResult, TabuTrace) {
+        self.search_objective(table.n(), sizes, rng, |start| {
+            WeightedSwapEvaluator::new(start, table, weights.to_vec())
+        })
+    }
+
+    /// Generic driver: run the multi-seed tabu protocol against any
+    /// [`SwapObjective`], built per seed from a random starting partition.
+    ///
+    /// # Panics
+    /// Panics if `sizes` is not a valid cluster-size vector for `n`.
+    pub fn search_objective<O, F>(
+        &self,
+        n: usize,
+        sizes: &[usize],
+        rng: &mut dyn RngCore,
+        make_objective: F,
+    ) -> (SearchResult, TabuTrace)
+    where
+        O: SwapObjective,
+        F: Fn(Partition) -> O,
+    {
+        assert!(
+            check_sizes(n, sizes),
+            "invalid cluster sizes {sizes:?} for {n} switches"
+        );
+        let mut trace = TabuTrace::default();
+        let mut best: Option<(f64, Partition)> = None;
+        let mut evaluations = 0u64;
+        let mut global_iter = 0usize;
+
+        for seed_idx in 0..self.params.seeds {
+            let start = Partition::random(n, sizes, rng)
+                .expect("validated sizes always produce a partition");
+            let (seed_best, seed_evals) = self.run_seed(
+                make_objective(start),
+                seed_idx,
+                &mut global_iter,
+                &mut trace,
+            );
+            evaluations += seed_evals;
+            if best.as_ref().is_none_or(|(f, _)| seed_best.0 < *f) {
+                best = Some(seed_best);
+            }
+        }
+
+        let (fg, partition) = best.expect("at least one seed");
+        (
+            SearchResult {
+                partition,
+                fg,
+                evaluations,
+            },
+            trace,
+        )
+    }
+
+    /// Run one seed; returns the best local minimum `(value, partition)`
+    /// and the evaluation count.
+    fn run_seed<O: SwapObjective>(
+        &self,
+        mut eval: O,
+        seed_idx: usize,
+        global_iter: &mut usize,
+        trace: &mut TabuTrace,
+    ) -> ((f64, Partition), u64) {
+        const EPS: f64 = 1e-12;
+        let mut evaluations = 0u64;
+        trace.events.push(TraceEvent {
+            iteration: *global_iter,
+            seed: seed_idx,
+            fg: eval.value(),
+            is_seed_start: true,
+        });
+
+        // Tabu list: forbidden swap -> first iteration it is allowed again.
+        let mut tabu: HashMap<(SwitchId, SwitchId), usize> = HashMap::new();
+        // Local minima seen this seed: (value, hit count).
+        let mut minima: Vec<(f64, usize)> = Vec::new();
+        let mut seed_best: (f64, Partition) = (eval.value(), eval.partition().clone());
+        let mut iterations = 0usize;
+
+        let n = eval.partition().num_switches();
+        loop {
+            // Scan all cross-cluster swaps.
+            let mut best_any: Option<(f64, SwitchId, SwitchId)> = None;
+            let mut best_allowed: Option<(f64, SwitchId, SwitchId)> = None;
+            for a in 0..n {
+                for b in (a + 1)..n {
+                    if eval.partition().cluster_of(a) == eval.partition().cluster_of(b) {
+                        continue;
+                    }
+                    let delta = eval.delta(a, b);
+                    evaluations += 1;
+                    if best_any.is_none_or(|(d, _, _)| delta < d) {
+                        best_any = Some((delta, a, b));
+                    }
+                    let is_tabu = tabu.get(&(a, b)).is_some_and(|&until| iterations < until);
+                    if !is_tabu && best_allowed.is_none_or(|(d, _, _)| delta < d) {
+                        best_allowed = Some((delta, a, b));
+                    }
+                }
+            }
+            let Some((best_delta_any, _, _)) = best_any else {
+                // Degenerate: a single cluster, nothing to swap.
+                break;
+            };
+
+            let at_local_min = best_delta_any >= -EPS;
+            if at_local_min {
+                // Record this local minimum.
+                let fg = eval.value();
+                if fg < seed_best.0 {
+                    seed_best = (fg, eval.partition().clone());
+                }
+                let hits = match minima
+                    .iter_mut()
+                    .find(|(v, _)| (*v - fg).abs() <= 1e-9)
+                {
+                    Some((_, count)) => {
+                        *count += 1;
+                        *count
+                    }
+                    None => {
+                        minima.push((fg, 1));
+                        1
+                    }
+                };
+                if hits >= self.params.local_min_repeats {
+                    break;
+                }
+                if iterations >= self.params.max_iterations {
+                    break;
+                }
+                // Escape: smallest-increase non-tabu move; forbid its
+                // inverse for `tenure` iterations.
+                let Some((_, a, b)) = best_allowed else {
+                    break; // everything tabu: give up this seed
+                };
+                eval.apply(a, b);
+                tabu.insert((a, b), iterations + 1 + self.params.tenure);
+            } else {
+                // Greedy improving move. Improving moves respect the tabu
+                // list too; if the list blocks every improving move, fall
+                // back to the raw best (which may be the blocked one — the
+                // aspiration-by-default of taking a strictly improving step
+                // can never re-enter a visited local minimum cycle).
+                let (_, a, b) = best_allowed
+                    .filter(|&(d, _, _)| d < -EPS)
+                    .or(best_any)
+                    .expect("best_any is Some here");
+                eval.apply(a, b);
+            }
+
+            iterations += 1;
+            *global_iter += 1;
+            trace.events.push(TraceEvent {
+                iteration: *global_iter,
+                seed: seed_idx,
+                fg: eval.value(),
+                is_seed_start: false,
+            });
+            // Hard stop even if still descending: the budget is the budget.
+            if iterations >= self.params.max_iterations + self.params.tenure * 4 {
+                let fg = eval.value();
+                if fg < seed_best.0 {
+                    seed_best = (fg, eval.partition().clone());
+                }
+                break;
+            }
+        }
+        // Account for the final state.
+        let fg = eval.value();
+        if fg < seed_best.0 {
+            seed_best = (fg, eval.into_partition());
+        }
+        (seed_best, evaluations)
+    }
+}
+
+impl Mapper for TabuSearch {
+    fn name(&self) -> &'static str {
+        "tabu"
+    }
+
+    fn search(
+        &self,
+        table: &DistanceTable,
+        sizes: &[usize],
+        rng: &mut dyn RngCore,
+    ) -> SearchResult {
+        self.search_traced(table, sizes, rng).0
+    }
+}
+
+/// Convenience: run the paper-configured tabu search with a fixed seed.
+pub fn tabu_map(table: &DistanceTable, sizes: &[usize], seed: u64) -> SearchResult {
+    use rand::SeedableRng;
+    let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+    TabuSearch::default().search(table, sizes, &mut rng)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::testutil::{dumbbell_table, dumbbell_truth, rings_table};
+    use commsched_core::similarity_fg;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn finds_dumbbell_clusters() {
+        let table = dumbbell_table();
+        let mut rng = StdRng::seed_from_u64(1);
+        let res = TabuSearch::default().search(&table, &[4, 4], &mut rng);
+        assert!(res.partition.same_grouping(&dumbbell_truth()));
+    }
+
+    #[test]
+    fn finds_the_four_rings() {
+        // The Figure-4 experiment: tabu identifies the designed topology.
+        let table = rings_table();
+        let mut rng = StdRng::seed_from_u64(2);
+        let res = TabuSearch::new(TabuParams::scaled(24)).search(&table, &[6, 6, 6, 6], &mut rng);
+        let truth = commsched_core::Partition::from_clusters(
+            &commsched_topology::designed::ring_of_rings_clusters(4, 6),
+        )
+        .unwrap();
+        assert!(
+            res.partition.same_grouping(&truth),
+            "got {} (fg {}), want {} (fg {})",
+            res.partition,
+            res.fg,
+            truth,
+            similarity_fg(&truth, &table)
+        );
+    }
+
+    #[test]
+    fn result_fg_is_consistent() {
+        let table = dumbbell_table();
+        let mut rng = StdRng::seed_from_u64(3);
+        let res = TabuSearch::default().search(&table, &[4, 4], &mut rng);
+        let direct = similarity_fg(&res.partition, &table);
+        assert!((res.fg - direct).abs() < 1e-9);
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let table = rings_table();
+        let run = |seed| {
+            let mut rng = StdRng::seed_from_u64(seed);
+            TabuSearch::default().search(&table, &[6, 6, 6, 6], &mut rng)
+        };
+        assert_eq!(run(7), run(7));
+    }
+
+    #[test]
+    fn trace_has_one_start_per_seed() {
+        let table = dumbbell_table();
+        let mut rng = StdRng::seed_from_u64(5);
+        let params = TabuParams {
+            seeds: 4,
+            ..TabuParams::default()
+        };
+        let (res, trace) = TabuSearch::new(params).search_traced(&table, &[4, 4], &mut rng);
+        assert_eq!(trace.seed_starts().count(), 4);
+        // The reported minimum equals the trace minimum.
+        assert!((trace.min_fg().unwrap() - res.fg).abs() < 1e-9);
+        // Iterations increase monotonically.
+        for w in trace.events.windows(2) {
+            assert!(w[1].iteration >= w[0].iteration);
+        }
+    }
+
+    #[test]
+    fn trace_descends_quickly_after_start() {
+        // Figure 1's qualitative shape: F decreases in the first few
+        // iterations after each starting point.
+        let table = rings_table();
+        let mut rng = StdRng::seed_from_u64(11);
+        let (_, trace) =
+            TabuSearch::default().search_traced(&table, &[6, 6, 6, 6], &mut rng);
+        for (i, e) in trace.events.iter().enumerate() {
+            if e.is_seed_start {
+                if let Some(next) = trace.events.get(i + 1) {
+                    if !next.is_seed_start {
+                        assert!(next.fg <= e.fg + 1e-12, "first move must not be uphill");
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn single_cluster_degenerate() {
+        let table = dumbbell_table();
+        let mut rng = StdRng::seed_from_u64(1);
+        let res = TabuSearch::default().search(&table, &[8], &mut rng);
+        // Only one possible partition; F_G = 1 by Eq. 2.
+        assert!((res.fg - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid cluster sizes")]
+    fn invalid_sizes_panic() {
+        let table = dumbbell_table();
+        let mut rng = StdRng::seed_from_u64(1);
+        let _ = TabuSearch::default().search(&table, &[3, 3], &mut rng);
+    }
+
+    #[test]
+    fn uphill_moves_are_tabu_guarded() {
+        // Run long enough that escapes happen; the search must terminate
+        // (no infinite 2-cycle thanks to the tabu list).
+        let table = rings_table();
+        let params = TabuParams {
+            seeds: 2,
+            max_iterations: 40,
+            local_min_repeats: 3,
+            tenure: 4,
+        };
+        let mut rng = StdRng::seed_from_u64(13);
+        let (res, trace) = TabuSearch::new(params).search_traced(&table, &[6, 6, 6, 6], &mut rng);
+        assert!(res.fg.is_finite());
+        assert!(!trace.events.is_empty());
+    }
+
+    #[test]
+    fn weighted_search_places_heavy_app_tightest() {
+        use commsched_core::{cluster_similarity, weighted_similarity_fg};
+        let table = rings_table();
+        // Application 0 has 20x the traffic of the others.
+        let weights = [20.0, 1.0, 1.0, 1.0];
+        let params = TabuParams::scaled(24);
+        let mut rng = StdRng::seed_from_u64(3);
+        let (res, _) =
+            TabuSearch::new(params).search_weighted(&table, &[6, 6, 6, 6], &weights, &mut rng);
+        // Consistency with the direct weighted formula.
+        let direct = weighted_similarity_fg(&res.partition, &table, &weights);
+        assert!((res.fg - direct).abs() < 1e-9);
+        // The heavy application's cluster must be the tightest one (or tied).
+        let clusters = res.partition.clusters();
+        let cost0 = cluster_similarity(&clusters[0], &table);
+        for members in &clusters[1..] {
+            assert!(cost0 <= cluster_similarity(members, &table) + 1e-9);
+        }
+    }
+
+    #[test]
+    fn weighted_search_with_uniform_weights_matches_unweighted() {
+        let table = dumbbell_table();
+        let params = TabuParams::default();
+        let mut rng = StdRng::seed_from_u64(9);
+        let (w, _) =
+            TabuSearch::new(params).search_weighted(&table, &[4, 4], &[2.0, 2.0], &mut rng);
+        let mut rng = StdRng::seed_from_u64(9);
+        let u = TabuSearch::new(params).search(&table, &[4, 4], &mut rng);
+        assert_eq!(w.partition, u.partition);
+        assert!((w.fg - u.fg).abs() < 1e-9);
+    }
+
+    #[test]
+    fn tabu_map_convenience() {
+        let table = dumbbell_table();
+        let res = tabu_map(&table, &[4, 4], 42);
+        assert!(res.partition.same_grouping(&dumbbell_truth()));
+        assert!(res.evaluations > 0);
+    }
+}

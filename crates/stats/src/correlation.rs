@@ -1,0 +1,210 @@
+//! Correlation coefficients.
+//!
+//! The paper's Figure 6 reports the Pearson correlation between the
+//! clustering coefficient `Cc` of each mapping and the network performance
+//! measured at each simulation point. [`pearson`] is the workhorse;
+//! [`spearman`] and [`kendall_tau`] are provided for the rank-based
+//! robustness checks used in the extended evaluation.
+
+use crate::{descriptive::mean, Result, StatsError};
+
+fn check_paired(xs: &[f64], ys: &[f64]) -> Result<()> {
+    if xs.is_empty() {
+        return Err(StatsError::Empty);
+    }
+    if xs.len() != ys.len() {
+        return Err(StatsError::LengthMismatch {
+            left: xs.len(),
+            right: ys.len(),
+        });
+    }
+    Ok(())
+}
+
+/// Pearson product-moment correlation coefficient of paired samples.
+///
+/// # Errors
+/// Returns an error for empty input, mismatched lengths, or when either
+/// series has zero variance (correlation undefined).
+pub fn pearson(xs: &[f64], ys: &[f64]) -> Result<f64> {
+    check_paired(xs, ys)?;
+    let mx = mean(xs)?;
+    let my = mean(ys)?;
+    let mut sxy = 0.0;
+    let mut sxx = 0.0;
+    let mut syy = 0.0;
+    for (&x, &y) in xs.iter().zip(ys) {
+        let dx = x - mx;
+        let dy = y - my;
+        sxy += dx * dy;
+        sxx += dx * dx;
+        syy += dy * dy;
+    }
+    if sxx == 0.0 || syy == 0.0 {
+        return Err(StatsError::Degenerate("zero variance in correlation input"));
+    }
+    Ok(sxy / (sxx.sqrt() * syy.sqrt()))
+}
+
+/// Fractional ranks (average rank for ties), 1-based.
+fn ranks(xs: &[f64]) -> Vec<f64> {
+    let mut idx: Vec<usize> = (0..xs.len()).collect();
+    idx.sort_by(|&a, &b| xs[a].partial_cmp(&xs[b]).expect("NaN in rank input"));
+    let mut out = vec![0.0; xs.len()];
+    let mut i = 0;
+    while i < idx.len() {
+        let mut j = i;
+        while j + 1 < idx.len() && xs[idx[j + 1]] == xs[idx[i]] {
+            j += 1;
+        }
+        // Average 1-based rank over the tie group [i, j].
+        let avg = (i + j) as f64 / 2.0 + 1.0;
+        for &k in &idx[i..=j] {
+            out[k] = avg;
+        }
+        i = j + 1;
+    }
+    out
+}
+
+/// Spearman rank correlation coefficient of paired samples.
+///
+/// Computed as the Pearson correlation of the fractional ranks, which
+/// handles ties correctly.
+///
+/// # Errors
+/// Same error conditions as [`pearson`].
+pub fn spearman(xs: &[f64], ys: &[f64]) -> Result<f64> {
+    check_paired(xs, ys)?;
+    pearson(&ranks(xs), &ranks(ys))
+}
+
+/// Kendall's tau-b rank correlation coefficient of paired samples.
+///
+/// Uses the O(n²) pair-counting definition with the tie correction
+/// (tau-b); fine for the small sample sizes used in the evaluation.
+///
+/// # Errors
+/// Same error conditions as [`pearson`].
+pub fn kendall_tau(xs: &[f64], ys: &[f64]) -> Result<f64> {
+    check_paired(xs, ys)?;
+    let n = xs.len();
+    let mut concordant = 0i64;
+    let mut discordant = 0i64;
+    let mut ties_x = 0i64;
+    let mut ties_y = 0i64;
+    for i in 0..n {
+        for j in (i + 1)..n {
+            let dx = xs[i] - xs[j];
+            let dy = ys[i] - ys[j];
+            if dx == 0.0 && dy == 0.0 {
+                // Tied in both: counted in neither correction term.
+            } else if dx == 0.0 {
+                ties_x += 1;
+            } else if dy == 0.0 {
+                ties_y += 1;
+            } else if dx * dy > 0.0 {
+                concordant += 1;
+            } else {
+                discordant += 1;
+            }
+        }
+    }
+    let n0 = (n * (n - 1) / 2) as i64;
+    let denom = (((n0 - ties_x) as f64) * ((n0 - ties_y) as f64)).sqrt();
+    if denom == 0.0 {
+        return Err(StatsError::Degenerate("all pairs tied in kendall tau"));
+    }
+    Ok((concordant - discordant) as f64 / denom)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn assert_close(a: f64, b: f64) {
+        assert!((a - b).abs() < 1e-10, "{a} != {b}");
+    }
+
+    #[test]
+    fn pearson_perfect_positive() {
+        let xs = [1.0, 2.0, 3.0, 4.0];
+        let ys = [2.0, 4.0, 6.0, 8.0];
+        assert_close(pearson(&xs, &ys).unwrap(), 1.0);
+    }
+
+    #[test]
+    fn pearson_perfect_negative() {
+        let xs = [1.0, 2.0, 3.0];
+        let ys = [3.0, 2.0, 1.0];
+        assert_close(pearson(&xs, &ys).unwrap(), -1.0);
+    }
+
+    #[test]
+    fn pearson_uncorrelated() {
+        // Symmetric cross pattern has exactly zero correlation.
+        let xs = [1.0, 1.0, -1.0, -1.0];
+        let ys = [1.0, -1.0, 1.0, -1.0];
+        assert_close(pearson(&xs, &ys).unwrap(), 0.0);
+    }
+
+    #[test]
+    fn pearson_known_value() {
+        // Hand-computed small example.
+        let xs = [1.0, 2.0, 3.0, 5.0];
+        let ys = [1.0, 4.0, 3.0, 6.0];
+        // mx = 2.75, my = 3.5
+        // sxy = (−1.75)(−2.5)+(−0.75)(0.5)+(0.25)(−0.5)+(2.25)(2.5) = 9.5
+        // sxx = 3.0625+0.5625+0.0625+5.0625 = 8.75
+        // syy = 6.25+0.25+0.25+6.25 = 13
+        let expect = 9.5 / (8.75f64.sqrt() * 13f64.sqrt());
+        assert_close(pearson(&xs, &ys).unwrap(), expect);
+    }
+
+    #[test]
+    fn pearson_constant_errors() {
+        assert!(pearson(&[1.0, 1.0], &[1.0, 2.0]).is_err());
+    }
+
+    #[test]
+    fn pearson_mismatch_errors() {
+        assert_eq!(
+            pearson(&[1.0], &[1.0, 2.0]),
+            Err(StatsError::LengthMismatch { left: 1, right: 2 })
+        );
+    }
+
+    #[test]
+    fn ranks_with_ties() {
+        let r = ranks(&[10.0, 20.0, 20.0, 30.0]);
+        assert_eq!(r, vec![1.0, 2.5, 2.5, 4.0]);
+    }
+
+    #[test]
+    fn spearman_monotone_nonlinear() {
+        // Monotone but nonlinear relation: Spearman is exactly 1.
+        let xs = [1.0, 2.0, 3.0, 4.0];
+        let ys = [1.0, 8.0, 27.0, 64.0];
+        assert_close(spearman(&xs, &ys).unwrap(), 1.0);
+        assert!(pearson(&xs, &ys).unwrap() < 1.0);
+    }
+
+    #[test]
+    fn kendall_perfect() {
+        let xs = [1.0, 2.0, 3.0];
+        let ys = [10.0, 20.0, 30.0];
+        assert_close(kendall_tau(&xs, &ys).unwrap(), 1.0);
+        let zs = [30.0, 20.0, 10.0];
+        assert_close(kendall_tau(&xs, &zs).unwrap(), -1.0);
+    }
+
+    #[test]
+    fn kendall_with_ties() {
+        // One tie in x; tau-b applies the correction term.
+        let xs = [1.0, 1.0, 2.0];
+        let ys = [1.0, 2.0, 3.0];
+        // pairs: (0,1) tie_x, (0,2) concordant, (1,2) concordant
+        // n0 = 3, ties_x = 1, ties_y = 0 -> tau = 2 / sqrt(2 * 3)
+        assert_close(kendall_tau(&xs, &ys).unwrap(), 2.0 / 6.0f64.sqrt());
+    }
+}

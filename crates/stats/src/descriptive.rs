@@ -1,0 +1,184 @@
+//! Descriptive statistics on `f64` slices.
+
+use crate::{Result, StatsError};
+
+/// Arithmetic mean of `xs`.
+///
+/// # Errors
+/// Returns [`StatsError::Empty`] if `xs` is empty.
+pub fn mean(xs: &[f64]) -> Result<f64> {
+    if xs.is_empty() {
+        return Err(StatsError::Empty);
+    }
+    Ok(xs.iter().sum::<f64>() / xs.len() as f64)
+}
+
+/// Population variance of `xs` (divides by `n`, not `n - 1`).
+///
+/// # Errors
+/// Returns [`StatsError::Empty`] if `xs` is empty.
+pub fn variance(xs: &[f64]) -> Result<f64> {
+    let m = mean(xs)?;
+    Ok(xs.iter().map(|x| (x - m) * (x - m)).sum::<f64>() / xs.len() as f64)
+}
+
+/// Population standard deviation of `xs`.
+///
+/// # Errors
+/// Returns [`StatsError::Empty`] if `xs` is empty.
+pub fn stddev(xs: &[f64]) -> Result<f64> {
+    Ok(variance(xs)?.sqrt())
+}
+
+/// Geometric mean of `xs`. All elements must be strictly positive.
+///
+/// # Errors
+/// Returns [`StatsError::Empty`] for empty input and
+/// [`StatsError::Degenerate`] if any element is not strictly positive.
+pub fn geometric_mean(xs: &[f64]) -> Result<f64> {
+    if xs.is_empty() {
+        return Err(StatsError::Empty);
+    }
+    if xs.iter().any(|&x| x <= 0.0) {
+        return Err(StatsError::Degenerate("geometric mean of non-positive value"));
+    }
+    let log_sum: f64 = xs.iter().map(|x| x.ln()).sum();
+    Ok((log_sum / xs.len() as f64).exp())
+}
+
+/// Minimum of `xs` (NaN-free input assumed; NaNs are skipped).
+///
+/// # Errors
+/// Returns [`StatsError::Empty`] if `xs` is empty.
+pub fn min(xs: &[f64]) -> Result<f64> {
+    xs.iter().copied().fold(None, |acc: Option<f64>, x| {
+        Some(match acc {
+            Some(a) => a.min(x),
+            None => x,
+        })
+    })
+    .ok_or(StatsError::Empty)
+}
+
+/// Maximum of `xs` (NaN-free input assumed; NaNs are skipped).
+///
+/// # Errors
+/// Returns [`StatsError::Empty`] if `xs` is empty.
+pub fn max(xs: &[f64]) -> Result<f64> {
+    xs.iter().copied().fold(None, |acc: Option<f64>, x| {
+        Some(match acc {
+            Some(a) => a.max(x),
+            None => x,
+        })
+    })
+    .ok_or(StatsError::Empty)
+}
+
+/// Median of `xs`.
+///
+/// # Errors
+/// Returns [`StatsError::Empty`] if `xs` is empty.
+pub fn median(xs: &[f64]) -> Result<f64> {
+    percentile(xs, 50.0)
+}
+
+/// Percentile of `xs` using linear interpolation between order statistics.
+///
+/// `p` is in `[0, 100]`.
+///
+/// # Errors
+/// Returns [`StatsError::Empty`] if `xs` is empty, and
+/// [`StatsError::Degenerate`] if `p` is outside `[0, 100]`.
+pub fn percentile(xs: &[f64], p: f64) -> Result<f64> {
+    if xs.is_empty() {
+        return Err(StatsError::Empty);
+    }
+    if !(0.0..=100.0).contains(&p) {
+        return Err(StatsError::Degenerate("percentile outside [0, 100]"));
+    }
+    let mut sorted = xs.to_vec();
+    sorted.sort_by(|a, b| a.partial_cmp(b).expect("NaN in percentile input"));
+    let rank = p / 100.0 * (sorted.len() - 1) as f64;
+    let lo = rank.floor() as usize;
+    let hi = rank.ceil() as usize;
+    if lo == hi {
+        Ok(sorted[lo])
+    } else {
+        let w = rank - lo as f64;
+        Ok(sorted[lo] * (1.0 - w) + sorted[hi] * w)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn assert_close(a: f64, b: f64) {
+        assert!((a - b).abs() < 1e-12, "{a} != {b}");
+    }
+
+    #[test]
+    fn mean_basic() {
+        assert_close(mean(&[1.0, 2.0, 3.0]).unwrap(), 2.0);
+    }
+
+    #[test]
+    fn mean_single() {
+        assert_close(mean(&[7.5]).unwrap(), 7.5);
+    }
+
+    #[test]
+    fn mean_empty_errors() {
+        assert_eq!(mean(&[]), Err(StatsError::Empty));
+    }
+
+    #[test]
+    fn variance_basic() {
+        // Population variance of [2, 4, 4, 4, 5, 5, 7, 9] is 4.
+        let xs = [2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0];
+        assert_close(variance(&xs).unwrap(), 4.0);
+        assert_close(stddev(&xs).unwrap(), 2.0);
+    }
+
+    #[test]
+    fn variance_constant_is_zero() {
+        assert_close(variance(&[3.0, 3.0, 3.0]).unwrap(), 0.0);
+    }
+
+    #[test]
+    fn geometric_mean_basic() {
+        assert_close(geometric_mean(&[1.0, 4.0]).unwrap(), 2.0);
+        assert_close(geometric_mean(&[2.0, 2.0, 2.0]).unwrap(), 2.0);
+    }
+
+    #[test]
+    fn geometric_mean_rejects_nonpositive() {
+        assert!(geometric_mean(&[1.0, 0.0]).is_err());
+        assert!(geometric_mean(&[1.0, -2.0]).is_err());
+    }
+
+    #[test]
+    fn min_max_basic() {
+        let xs = [3.0, -1.0, 2.0];
+        assert_close(min(&xs).unwrap(), -1.0);
+        assert_close(max(&xs).unwrap(), 3.0);
+        assert!(min(&[]).is_err());
+        assert!(max(&[]).is_err());
+    }
+
+    #[test]
+    fn median_odd_even() {
+        assert_close(median(&[3.0, 1.0, 2.0]).unwrap(), 2.0);
+        assert_close(median(&[4.0, 1.0, 2.0, 3.0]).unwrap(), 2.5);
+    }
+
+    #[test]
+    fn percentile_bounds() {
+        let xs = [10.0, 20.0, 30.0, 40.0];
+        assert_close(percentile(&xs, 0.0).unwrap(), 10.0);
+        assert_close(percentile(&xs, 100.0).unwrap(), 40.0);
+        assert_close(percentile(&xs, 50.0).unwrap(), 25.0);
+        assert!(percentile(&xs, 101.0).is_err());
+        assert!(percentile(&xs, -0.1).is_err());
+    }
+}

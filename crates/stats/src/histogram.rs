@@ -1,0 +1,154 @@
+//! Fixed-width histogram, used for latency distributions in the simulator
+//! reports.
+
+/// A histogram over `[lo, hi)` with equally sized bins plus overflow and
+/// underflow counters.
+#[derive(Debug, Clone)]
+pub struct Histogram {
+    lo: f64,
+    hi: f64,
+    bins: Vec<u64>,
+    underflow: u64,
+    overflow: u64,
+    count: u64,
+}
+
+impl Histogram {
+    /// Create a histogram over `[lo, hi)` with `bins` equally sized bins.
+    ///
+    /// # Panics
+    /// Panics if `bins == 0` or `lo >= hi`.
+    pub fn new(lo: f64, hi: f64, bins: usize) -> Self {
+        assert!(bins > 0, "histogram needs at least one bin");
+        assert!(lo < hi, "histogram range must be non-empty");
+        Self {
+            lo,
+            hi,
+            bins: vec![0; bins],
+            underflow: 0,
+            overflow: 0,
+            count: 0,
+        }
+    }
+
+    /// Record one sample.
+    pub fn record(&mut self, x: f64) {
+        self.count += 1;
+        if x < self.lo {
+            self.underflow += 1;
+        } else if x >= self.hi {
+            self.overflow += 1;
+        } else {
+            let w = (self.hi - self.lo) / self.bins.len() as f64;
+            let mut idx = ((x - self.lo) / w) as usize;
+            // Guard against floating point landing exactly on the upper edge.
+            if idx >= self.bins.len() {
+                idx = self.bins.len() - 1;
+            }
+            self.bins[idx] += 1;
+        }
+    }
+
+    /// Total number of recorded samples (including under/overflow).
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Number of samples below the range.
+    pub fn underflow(&self) -> u64 {
+        self.underflow
+    }
+
+    /// Number of samples at or above the upper bound.
+    pub fn overflow(&self) -> u64 {
+        self.overflow
+    }
+
+    /// Per-bin counts.
+    pub fn bins(&self) -> &[u64] {
+        &self.bins
+    }
+
+    /// `(lower_edge, upper_edge, count)` for each bin.
+    pub fn iter_bins(&self) -> impl Iterator<Item = (f64, f64, u64)> + '_ {
+        let w = (self.hi - self.lo) / self.bins.len() as f64;
+        self.bins
+            .iter()
+            .enumerate()
+            .map(move |(i, &c)| (self.lo + w * i as f64, self.lo + w * (i + 1) as f64, c))
+    }
+
+    /// Approximate quantile from bin midpoints; `None` if no in-range sample.
+    pub fn approx_quantile(&self, q: f64) -> Option<f64> {
+        let in_range: u64 = self.bins.iter().sum();
+        if in_range == 0 {
+            return None;
+        }
+        let target = (q.clamp(0.0, 1.0) * in_range as f64).ceil().max(1.0) as u64;
+        let mut acc = 0;
+        let w = (self.hi - self.lo) / self.bins.len() as f64;
+        for (i, &c) in self.bins.iter().enumerate() {
+            acc += c;
+            if acc >= target {
+                return Some(self.lo + w * (i as f64 + 0.5));
+            }
+        }
+        None
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn records_into_correct_bins() {
+        let mut h = Histogram::new(0.0, 10.0, 10);
+        h.record(0.5);
+        h.record(9.9);
+        h.record(5.0);
+        assert_eq!(h.bins()[0], 1);
+        assert_eq!(h.bins()[9], 1);
+        assert_eq!(h.bins()[5], 1);
+        assert_eq!(h.count(), 3);
+    }
+
+    #[test]
+    fn under_and_overflow() {
+        let mut h = Histogram::new(0.0, 1.0, 4);
+        h.record(-0.1);
+        h.record(1.0); // upper edge is exclusive
+        h.record(2.0);
+        assert_eq!(h.underflow(), 1);
+        assert_eq!(h.overflow(), 2);
+        assert_eq!(h.count(), 3);
+        assert_eq!(h.bins().iter().sum::<u64>(), 0);
+    }
+
+    #[test]
+    fn iter_bins_edges() {
+        let h = Histogram::new(0.0, 4.0, 2);
+        let edges: Vec<_> = h.iter_bins().collect();
+        assert_eq!(edges.len(), 2);
+        assert_eq!(edges[0].0, 0.0);
+        assert_eq!(edges[0].1, 2.0);
+        assert_eq!(edges[1].1, 4.0);
+    }
+
+    #[test]
+    fn approx_quantile_midpoint() {
+        let mut h = Histogram::new(0.0, 10.0, 10);
+        for _ in 0..10 {
+            h.record(2.5);
+        }
+        assert_eq!(h.approx_quantile(0.5), Some(2.5));
+        let empty = Histogram::new(0.0, 1.0, 2);
+        assert_eq!(empty.approx_quantile(0.5), None);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one bin")]
+    fn zero_bins_panics() {
+        let _ = Histogram::new(0.0, 1.0, 0);
+    }
+}

@@ -1,0 +1,59 @@
+#![warn(missing_docs)]
+
+//! Statistics utilities for the commsched workspace.
+//!
+//! This crate provides the statistical machinery needed by the evaluation
+//! harness of the ICPP 2000 reproduction: descriptive statistics, Pearson and
+//! Spearman correlation (used to reproduce Figure 6, the correlation of the
+//! clustering coefficient with network performance), simple linear
+//! regression, histograms, and helpers for post-processing latency/throughput
+//! curves produced by the network simulator.
+//!
+//! Everything is implemented in-tree on `f64` slices; no external numeric
+//! dependencies are used.
+
+pub mod correlation;
+pub mod descriptive;
+pub mod histogram;
+pub mod regression;
+pub mod series;
+
+pub use correlation::{kendall_tau, pearson, spearman};
+pub use descriptive::{geometric_mean, max, mean, median, min, percentile, stddev, variance};
+pub use histogram::Histogram;
+pub use regression::{linear_fit, LinearFit};
+pub use series::{normalize, saturation_point, Curve, CurvePoint};
+
+/// Error type for statistics computations.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum StatsError {
+    /// The input slice was empty where at least one element is required.
+    Empty,
+    /// Two paired inputs had different lengths.
+    LengthMismatch {
+        /// Length of the first input.
+        left: usize,
+        /// Length of the second input.
+        right: usize,
+    },
+    /// The computation is undefined for the given input (e.g. correlation of
+    /// a constant series, which has zero variance).
+    Degenerate(&'static str),
+}
+
+impl std::fmt::Display for StatsError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            StatsError::Empty => write!(f, "empty input"),
+            StatsError::LengthMismatch { left, right } => {
+                write!(f, "length mismatch: {left} vs {right}")
+            }
+            StatsError::Degenerate(what) => write!(f, "degenerate input: {what}"),
+        }
+    }
+}
+
+impl std::error::Error for StatsError {}
+
+/// Convenience alias for results in this crate.
+pub type Result<T> = std::result::Result<T, StatsError>;

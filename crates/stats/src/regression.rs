@@ -1,0 +1,105 @@
+//! Ordinary least-squares linear regression on paired samples.
+
+use crate::{descriptive::mean, Result, StatsError};
+
+/// Result of a simple linear fit `y ≈ slope · x + intercept`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LinearFit {
+    /// Fitted slope.
+    pub slope: f64,
+    /// Fitted intercept.
+    pub intercept: f64,
+    /// Coefficient of determination (R²) of the fit.
+    pub r_squared: f64,
+}
+
+/// Fit `y ≈ slope · x + intercept` by ordinary least squares.
+///
+/// # Errors
+/// Returns an error for empty input, mismatched lengths, or when `xs` is
+/// constant (slope undefined).
+pub fn linear_fit(xs: &[f64], ys: &[f64]) -> Result<LinearFit> {
+    if xs.is_empty() {
+        return Err(StatsError::Empty);
+    }
+    if xs.len() != ys.len() {
+        return Err(StatsError::LengthMismatch {
+            left: xs.len(),
+            right: ys.len(),
+        });
+    }
+    let mx = mean(xs)?;
+    let my = mean(ys)?;
+    let mut sxy = 0.0;
+    let mut sxx = 0.0;
+    let mut syy = 0.0;
+    for (&x, &y) in xs.iter().zip(ys) {
+        sxy += (x - mx) * (y - my);
+        sxx += (x - mx) * (x - mx);
+        syy += (y - my) * (y - my);
+    }
+    if sxx == 0.0 {
+        return Err(StatsError::Degenerate("constant x in linear fit"));
+    }
+    let slope = sxy / sxx;
+    let intercept = my - slope * mx;
+    // R² = 1 - SS_res / SS_tot; for a constant y the fit is exact.
+    let r_squared = if syy == 0.0 {
+        1.0
+    } else {
+        let ss_res: f64 = xs
+            .iter()
+            .zip(ys)
+            .map(|(&x, &y)| {
+                let e = y - (slope * x + intercept);
+                e * e
+            })
+            .sum();
+        1.0 - ss_res / syy
+    };
+    Ok(LinearFit {
+        slope,
+        intercept,
+        r_squared,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn assert_close(a: f64, b: f64) {
+        assert!((a - b).abs() < 1e-10, "{a} != {b}");
+    }
+
+    #[test]
+    fn exact_line() {
+        let xs = [0.0, 1.0, 2.0, 3.0];
+        let ys = [1.0, 3.0, 5.0, 7.0];
+        let fit = linear_fit(&xs, &ys).unwrap();
+        assert_close(fit.slope, 2.0);
+        assert_close(fit.intercept, 1.0);
+        assert_close(fit.r_squared, 1.0);
+    }
+
+    #[test]
+    fn noisy_line_r2_below_one() {
+        let xs = [0.0, 1.0, 2.0, 3.0];
+        let ys = [1.0, 3.5, 4.5, 7.0];
+        let fit = linear_fit(&xs, &ys).unwrap();
+        assert!(fit.r_squared > 0.9 && fit.r_squared < 1.0);
+    }
+
+    #[test]
+    fn constant_y_is_flat() {
+        let fit = linear_fit(&[1.0, 2.0, 3.0], &[5.0, 5.0, 5.0]).unwrap();
+        assert_close(fit.slope, 0.0);
+        assert_close(fit.intercept, 5.0);
+        assert_close(fit.r_squared, 1.0);
+    }
+
+    #[test]
+    fn constant_x_errors() {
+        assert!(linear_fit(&[2.0, 2.0], &[1.0, 3.0]).is_err());
+    }
+}

@@ -1,0 +1,136 @@
+//! Property tests for the statistics crate.
+
+use commsched_stats::{
+    kendall_tau, linear_fit, mean, normalize, pearson, percentile, spearman, stddev, Histogram,
+};
+use proptest::prelude::*;
+
+fn finite_vec(len: std::ops::Range<usize>) -> impl Strategy<Value = Vec<f64>> {
+    proptest::collection::vec(-1e6f64..1e6, len)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Correlation coefficients live in [-1, 1].
+    #[test]
+    fn correlations_bounded(
+        xs in finite_vec(2..40),
+        ys in finite_vec(2..40),
+    ) {
+        let n = xs.len().min(ys.len());
+        let (xs, ys) = (&xs[..n], &ys[..n]);
+        for r in [pearson(xs, ys), spearman(xs, ys), kendall_tau(xs, ys)]
+            .into_iter()
+            .flatten()
+        {
+            prop_assert!((-1.0 - 1e-9..=1.0 + 1e-9).contains(&r), "r = {r}");
+        }
+    }
+
+    /// Pearson is invariant under positive affine transforms and flips
+    /// sign under negation.
+    #[test]
+    fn pearson_affine_invariance(
+        xs in finite_vec(3..30),
+        ys in finite_vec(3..30),
+        a in 0.1f64..10.0,
+        b in -100.0f64..100.0,
+    ) {
+        let n = xs.len().min(ys.len());
+        let (xs, ys) = (&xs[..n], &ys[..n]);
+        if let Ok(r) = pearson(xs, ys) {
+            let xs2: Vec<f64> = xs.iter().map(|x| a * x + b).collect();
+            let r2 = pearson(&xs2, ys).unwrap();
+            prop_assert!((r - r2).abs() < 1e-6);
+            let xs3: Vec<f64> = xs.iter().map(|x| -x).collect();
+            let r3 = pearson(&xs3, ys).unwrap();
+            prop_assert!((r + r3).abs() < 1e-6);
+        }
+    }
+
+    /// Spearman only depends on ranks: any strictly monotone transform
+    /// leaves it unchanged.
+    #[test]
+    fn spearman_monotone_invariance(
+        xs in finite_vec(3..30),
+        ys in finite_vec(3..30),
+    ) {
+        let n = xs.len().min(ys.len());
+        let (xs, ys) = (&xs[..n], &ys[..n]);
+        if let Ok(r) = spearman(xs, ys) {
+            let xs2: Vec<f64> = xs.iter().map(|x| x.powi(3)).collect();
+            let r2 = spearman(&xs2, ys).unwrap();
+            prop_assert!((r - r2).abs() < 1e-9);
+        }
+    }
+
+    /// The mean lies between min and max; stddev is non-negative.
+    #[test]
+    fn mean_and_stddev_sanity(xs in finite_vec(1..50)) {
+        let m = mean(&xs).unwrap();
+        let lo = xs.iter().copied().fold(f64::INFINITY, f64::min);
+        let hi = xs.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+        prop_assert!(m >= lo - 1e-9 && m <= hi + 1e-9);
+        prop_assert!(stddev(&xs).unwrap() >= 0.0);
+    }
+
+    /// Percentiles are monotone in p and bounded by the data range.
+    #[test]
+    fn percentiles_monotone(xs in finite_vec(1..40)) {
+        let p25 = percentile(&xs, 25.0).unwrap();
+        let p50 = percentile(&xs, 50.0).unwrap();
+        let p75 = percentile(&xs, 75.0).unwrap();
+        prop_assert!(p25 <= p50 && p50 <= p75);
+        prop_assert!(p25 >= percentile(&xs, 0.0).unwrap() - 1e-9);
+        prop_assert!(p75 <= percentile(&xs, 100.0).unwrap() + 1e-9);
+    }
+
+    /// Normalization maps into [0, 1] and preserves order.
+    #[test]
+    fn normalize_preserves_order(xs in finite_vec(2..40)) {
+        let n = normalize(&xs);
+        prop_assert_eq!(n.len(), xs.len());
+        for &v in &n {
+            prop_assert!((0.0..=1.0).contains(&v));
+        }
+        for i in 0..xs.len() {
+            for j in 0..xs.len() {
+                if xs[i] < xs[j] {
+                    prop_assert!(n[i] <= n[j] + 1e-12);
+                }
+            }
+        }
+    }
+
+    /// OLS residual orthogonality: R² of the fit on a perfectly linear
+    /// relation is 1; on the fitted line the slope/intercept reproduce it.
+    #[test]
+    fn linear_fit_recovers_lines(
+        xs in proptest::collection::vec(-1e3f64..1e3, 3..30),
+        slope in -100.0f64..100.0,
+        intercept in -100.0f64..100.0,
+    ) {
+        // Need non-constant xs.
+        prop_assume!(xs.iter().any(|&x| (x - xs[0]).abs() > 1e-6));
+        let ys: Vec<f64> = xs.iter().map(|x| slope * x + intercept).collect();
+        let fit = linear_fit(&xs, &ys).unwrap();
+        prop_assert!((fit.slope - slope).abs() < 1e-6 * (1.0 + slope.abs()));
+        prop_assert!((fit.intercept - intercept).abs() < 1e-4 * (1.0 + intercept.abs()));
+        prop_assert!(fit.r_squared > 1.0 - 1e-9);
+    }
+
+    /// Histogram counts always sum to the number of recorded samples.
+    #[test]
+    fn histogram_conservation(xs in finite_vec(0..100)) {
+        let mut h = Histogram::new(-1000.0, 1000.0, 16);
+        for &x in &xs {
+            h.record(x);
+        }
+        let binned: u64 = h.bins().iter().sum();
+        prop_assert_eq!(
+            binned + h.underflow() + h.overflow(),
+            xs.len() as u64
+        );
+    }
+}

@@ -1,0 +1,279 @@
+//! Designed (non-random) topologies.
+//!
+//! Includes the specially designed 24-switch network of Figure 4 — four
+//! interconnected rings of six switches — along with classic regular
+//! topologies used by the extended evaluation and the test-suite.
+
+use crate::graph::{SwitchId, Topology, TopologyBuilder};
+
+/// A ring of `n` switches (`n >= 3`).
+///
+/// # Panics
+/// Panics if `n < 3`.
+pub fn ring(n: usize, hosts_per_switch: usize) -> Topology {
+    assert!(n >= 3, "ring needs at least 3 switches");
+    TopologyBuilder::new(n, hosts_per_switch)
+        .links((0..n).map(|i| (i, (i + 1) % n)))
+        .build()
+        .expect("ring is always valid")
+}
+
+/// A line (path) of `n` switches (`n >= 2`).
+///
+/// # Panics
+/// Panics if `n < 2`.
+pub fn line(n: usize, hosts_per_switch: usize) -> Topology {
+    assert!(n >= 2, "line needs at least 2 switches");
+    TopologyBuilder::new(n, hosts_per_switch)
+        .links((0..n - 1).map(|i| (i, i + 1)))
+        .build()
+        .expect("line is always valid")
+}
+
+/// A star: switch 0 in the centre, switches `1..n` as leaves (`n >= 2`).
+///
+/// # Panics
+/// Panics if `n < 2`.
+pub fn star(n: usize, hosts_per_switch: usize) -> Topology {
+    assert!(n >= 2, "star needs at least 2 switches");
+    TopologyBuilder::new(n, hosts_per_switch)
+        .links((1..n).map(|i| (0, i)))
+        .build()
+        .expect("star is always valid")
+}
+
+/// The complete graph on `n` switches (`n >= 2`).
+///
+/// # Panics
+/// Panics if `n < 2`.
+pub fn complete(n: usize, hosts_per_switch: usize) -> Topology {
+    assert!(n >= 2, "complete graph needs at least 2 switches");
+    let mut b = TopologyBuilder::new(n, hosts_per_switch);
+    for i in 0..n {
+        for j in (i + 1)..n {
+            b = b.link(i, j);
+        }
+    }
+    b.build().expect("complete graph is always valid")
+}
+
+/// A `w × h` 2-D mesh (`w, h >= 2`). Switch `(x, y)` has index `y * w + x`.
+///
+/// # Panics
+/// Panics if `w < 2` or `h < 2`.
+pub fn mesh(w: usize, h: usize, hosts_per_switch: usize) -> Topology {
+    assert!(w >= 2 && h >= 2, "mesh needs both dimensions >= 2");
+    let mut b = TopologyBuilder::new(w * h, hosts_per_switch);
+    for y in 0..h {
+        for x in 0..w {
+            let s = y * w + x;
+            if x + 1 < w {
+                b = b.link(s, s + 1);
+            }
+            if y + 1 < h {
+                b = b.link(s, s + w);
+            }
+        }
+    }
+    b.build().expect("mesh is always valid")
+}
+
+/// A `w × h` 2-D torus (`w, h >= 3` so wrap links are distinct).
+///
+/// # Panics
+/// Panics if `w < 3` or `h < 3`.
+pub fn torus(w: usize, h: usize, hosts_per_switch: usize) -> Topology {
+    assert!(w >= 3 && h >= 3, "torus needs both dimensions >= 3");
+    let mut b = TopologyBuilder::new(w * h, hosts_per_switch);
+    for y in 0..h {
+        for x in 0..w {
+            let s = y * w + x;
+            b = b.link(s, y * w + (x + 1) % w);
+            b = b.link(s, ((y + 1) % h) * w + x);
+        }
+    }
+    b.build().expect("torus is always valid")
+}
+
+/// A hypercube of dimension `dim` (`1 <= dim <= 16`).
+///
+/// # Panics
+/// Panics if `dim` is 0 or greater than 16.
+pub fn hypercube(dim: u32, hosts_per_switch: usize) -> Topology {
+    assert!((1..=16).contains(&dim), "hypercube dimension out of range");
+    let n = 1usize << dim;
+    let mut b = TopologyBuilder::new(n, hosts_per_switch);
+    for s in 0..n {
+        for d in 0..dim {
+            let t = s ^ (1 << d);
+            if s < t {
+                b = b.link(s, t);
+            }
+        }
+    }
+    b.build().expect("hypercube is always valid")
+}
+
+/// The Figure-4 network: `rings` interconnected rings of `ring_size`
+/// switches each. Ring `r` occupies switches `r*ring_size ..
+/// (r+1)*ring_size`; consecutive rings (cyclically) are joined by a single
+/// bridge link, giving well-defined physical clusters with scarce
+/// inter-cluster bandwidth.
+///
+/// With the defaults (`rings = 4`, `ring_size = 6`) this is the paper's
+/// specially designed 24-switch network.
+///
+/// # Panics
+/// Panics if `rings < 2` or `ring_size < 3`.
+pub fn ring_of_rings(rings: usize, ring_size: usize, hosts_per_switch: usize) -> Topology {
+    assert!(rings >= 2, "need at least two rings");
+    assert!(ring_size >= 3, "each ring needs at least 3 switches");
+    let mut b = TopologyBuilder::new(rings * ring_size, hosts_per_switch);
+    for r in 0..rings {
+        let base = r * ring_size;
+        for i in 0..ring_size {
+            b = b.link(base + i, base + (i + 1) % ring_size);
+        }
+    }
+    // One bridge between consecutive rings. Stagger the bridge endpoints so
+    // no switch carries two bridges (keeps the inter-switch degree <= 4 and
+    // the clusters symmetric).
+    for r in 0..rings {
+        let next = (r + 1) % rings;
+        let from = r * ring_size; // first switch of ring r
+        let to = next * ring_size + ring_size / 2; // opposite side of next ring
+        if rings == 2 && r == 1 {
+            // Avoid a duplicate bridge in the two-ring case; add a second
+            // distinct bridge for redundancy instead.
+            let from2 = ring_size - 1;
+            let to2 = ring_size + ring_size - 1;
+            b = b.link(from2, to2);
+        } else {
+            b = b.link(from, to);
+        }
+    }
+    b.build().expect("ring-of-rings is always valid")
+}
+
+/// The paper's specially designed 24-switch network (Figure 4): four
+/// interconnected rings of six switches, four hosts per switch.
+pub fn paper_24_switch() -> Topology {
+    ring_of_rings(4, 6, 4)
+}
+
+/// Ground-truth clusters for [`ring_of_rings`]: switch `s` belongs to ring
+/// `s / ring_size`.
+pub fn ring_of_rings_clusters(rings: usize, ring_size: usize) -> Vec<Vec<SwitchId>> {
+    (0..rings)
+        .map(|r| (r * ring_size..(r + 1) * ring_size).collect())
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ring_structure() {
+        let t = ring(6, 4);
+        assert_eq!(t.num_links(), 6);
+        assert!((0..6).all(|s| t.degree(s) == 2));
+        assert_eq!(t.diameter(), Some(3));
+    }
+
+    #[test]
+    fn line_structure() {
+        let t = line(5, 1);
+        assert_eq!(t.num_links(), 4);
+        assert_eq!(t.degree(0), 1);
+        assert_eq!(t.degree(2), 2);
+        assert_eq!(t.diameter(), Some(4));
+    }
+
+    #[test]
+    fn star_structure() {
+        let t = star(5, 1);
+        assert_eq!(t.degree(0), 4);
+        assert!((1..5).all(|s| t.degree(s) == 1));
+        assert_eq!(t.diameter(), Some(2));
+    }
+
+    #[test]
+    fn complete_structure() {
+        let t = complete(5, 1);
+        assert_eq!(t.num_links(), 10);
+        assert_eq!(t.diameter(), Some(1));
+    }
+
+    #[test]
+    fn mesh_structure() {
+        let t = mesh(3, 3, 1);
+        assert_eq!(t.num_switches(), 9);
+        assert_eq!(t.num_links(), 12);
+        assert_eq!(t.degree(4), 4); // centre
+        assert_eq!(t.degree(0), 2); // corner
+        assert_eq!(t.diameter(), Some(4));
+    }
+
+    #[test]
+    fn torus_structure() {
+        let t = torus(4, 4, 1);
+        assert_eq!(t.num_switches(), 16);
+        assert_eq!(t.num_links(), 32);
+        assert!((0..16).all(|s| t.degree(s) == 4));
+        assert_eq!(t.diameter(), Some(4));
+    }
+
+    #[test]
+    fn hypercube_structure() {
+        let t = hypercube(4, 1);
+        assert_eq!(t.num_switches(), 16);
+        assert_eq!(t.num_links(), 32);
+        assert!((0..16).all(|s| t.degree(s) == 4));
+        assert_eq!(t.diameter(), Some(4));
+    }
+
+    #[test]
+    fn paper_24_switch_structure() {
+        let t = paper_24_switch();
+        assert_eq!(t.num_switches(), 24);
+        assert_eq!(t.num_hosts(), 96);
+        // 4 rings x 6 links + 4 bridges.
+        assert_eq!(t.num_links(), 28);
+        assert!(t.is_connected());
+        // Every switch fits in the paper's 4 inter-switch ports.
+        assert!((0..24).all(|s| t.degree(s) <= 4));
+        // Ring members have degree 2 or 3 (bridge endpoints have 3).
+        let bridges = (0..24).filter(|&s| t.degree(s) == 3).count();
+        assert_eq!(bridges, 8); // 4 bridges x 2 endpoints
+    }
+
+    #[test]
+    fn ring_of_rings_two_rings() {
+        let t = ring_of_rings(2, 4, 1);
+        assert!(t.is_connected());
+        // 2 rings x 4 links + 2 bridges.
+        assert_eq!(t.num_links(), 10);
+    }
+
+    #[test]
+    fn ground_truth_clusters() {
+        let c = ring_of_rings_clusters(4, 6);
+        assert_eq!(c.len(), 4);
+        assert_eq!(c[0], vec![0, 1, 2, 3, 4, 5]);
+        assert_eq!(c[3], vec![18, 19, 20, 21, 22, 23]);
+    }
+
+    #[test]
+    fn intra_ring_distances_beat_inter_ring() {
+        let t = paper_24_switch();
+        // Max distance within a ring of 6 is 3; crossing rings costs more on
+        // average because bridges are scarce.
+        let d0 = t.bfs_distances(1);
+        let intra_max = (0..6).map(|s| d0[s]).max().unwrap();
+        let inter_min_avg: f64 =
+            (6..12).map(|s| f64::from(d0[s])).sum::<f64>() / 6.0;
+        assert!(intra_max <= 3);
+        assert!(inter_min_avg > f64::from(intra_max));
+    }
+}

@@ -1,0 +1,267 @@
+//! Plain-text serialization of topologies.
+//!
+//! A tiny line-oriented format, stable across versions, so networks can be
+//! stored, diffed, and exchanged with other tools:
+//!
+//! ```text
+//! # commsched topology v1
+//! switches 16
+//! hosts_per_switch 4
+//! link 0 1
+//! link 0 7
+//! ...
+//! ```
+//!
+//! Comments (`#`) and blank lines are ignored when parsing.
+
+use crate::graph::{Topology, TopologyBuilder, TopologyError};
+use std::fmt::Write as _;
+
+/// Errors raised while parsing the text format.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ParseError {
+    /// A line did not match any known directive.
+    BadLine {
+        /// 1-based line number.
+        line: usize,
+        /// The offending content.
+        content: String,
+    },
+    /// A directive had a malformed or missing argument.
+    BadArgument {
+        /// 1-based line number.
+        line: usize,
+        /// The directive name.
+        directive: &'static str,
+    },
+    /// The `switches` directive is missing.
+    MissingHeader,
+    /// A directive appeared twice.
+    DuplicateDirective(&'static str),
+    /// Structural validation failed.
+    Invalid(TopologyError),
+}
+
+impl std::fmt::Display for ParseError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ParseError::BadLine { line, content } => {
+                write!(f, "line {line}: unrecognized '{content}'")
+            }
+            ParseError::BadArgument { line, directive } => {
+                write!(f, "line {line}: bad argument for '{directive}'")
+            }
+            ParseError::MissingHeader => write!(f, "missing 'switches' directive"),
+            ParseError::DuplicateDirective(d) => write!(f, "duplicate '{d}' directive"),
+            ParseError::Invalid(e) => write!(f, "invalid topology: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+/// Serialize a topology to the text format.
+pub fn to_text(topo: &Topology) -> String {
+    let mut out = String::new();
+    writeln!(out, "# commsched topology v1").expect("write to string");
+    writeln!(out, "switches {}", topo.num_switches()).expect("write to string");
+    writeln!(out, "hosts_per_switch {}", topo.hosts_per_switch()).expect("write to string");
+    for (id, l) in topo.links().iter().enumerate() {
+        let slowdown = topo.link_slowdown(id);
+        if slowdown == 1 {
+            writeln!(out, "link {} {}", l.a, l.b).expect("write to string");
+        } else {
+            writeln!(out, "link {} {} {slowdown}", l.a, l.b).expect("write to string");
+        }
+    }
+    out
+}
+
+/// Parse the text format.
+///
+/// # Errors
+/// See [`ParseError`].
+pub fn from_text(text: &str) -> Result<Topology, ParseError> {
+    let mut switches: Option<usize> = None;
+    let mut hosts: usize = 0;
+    let mut hosts_seen = false;
+    let mut links: Vec<(usize, usize, u32)> = Vec::new();
+
+    for (idx, raw) in text.lines().enumerate() {
+        let line = idx + 1;
+        let content = raw.trim();
+        if content.is_empty() || content.starts_with('#') {
+            continue;
+        }
+        let mut parts = content.split_whitespace();
+        match parts.next() {
+            Some("switches") => {
+                if switches.is_some() {
+                    return Err(ParseError::DuplicateDirective("switches"));
+                }
+                let n = parts
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .ok_or(ParseError::BadArgument {
+                        line,
+                        directive: "switches",
+                    })?;
+                switches = Some(n);
+            }
+            Some("hosts_per_switch") => {
+                if hosts_seen {
+                    return Err(ParseError::DuplicateDirective("hosts_per_switch"));
+                }
+                hosts = parts
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .ok_or(ParseError::BadArgument {
+                        line,
+                        directive: "hosts_per_switch",
+                    })?;
+                hosts_seen = true;
+            }
+            Some("link") => {
+                let a = parts.next().and_then(|v| v.parse().ok());
+                let b = parts.next().and_then(|v| v.parse().ok());
+                let slowdown = match parts.next() {
+                    None => Some(1u32),
+                    Some(v) => v.parse().ok(),
+                };
+                match (a, b, slowdown) {
+                    (Some(a), Some(b), Some(s)) => links.push((a, b, s)),
+                    _ => {
+                        return Err(ParseError::BadArgument {
+                            line,
+                            directive: "link",
+                        })
+                    }
+                }
+            }
+            _ => {
+                return Err(ParseError::BadLine {
+                    line,
+                    content: content.to_string(),
+                })
+            }
+        }
+        // Reject trailing junk on directive lines.
+        if parts.next().is_some() {
+            return Err(ParseError::BadLine {
+                line,
+                content: content.to_string(),
+            });
+        }
+    }
+
+    let n = switches.ok_or(ParseError::MissingHeader)?;
+    let mut b = TopologyBuilder::new(n, hosts);
+    for (u, v, slowdown) in links {
+        b = b.link_with_slowdown(u, v, slowdown);
+    }
+    b.build().map_err(ParseError::Invalid)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::designed;
+
+    #[test]
+    fn round_trip_preserves_structure() {
+        for topo in [
+            designed::ring(6, 4),
+            designed::paper_24_switch(),
+            designed::mesh(3, 4, 2),
+        ] {
+            let text = to_text(&topo);
+            let back = from_text(&text).unwrap();
+            assert_eq!(back.num_switches(), topo.num_switches());
+            assert_eq!(back.hosts_per_switch(), topo.hosts_per_switch());
+            assert_eq!(back.links(), topo.links());
+        }
+    }
+
+    #[test]
+    fn comments_and_blanks_ignored() {
+        let text = "\n# hello\nswitches 3\n\nhosts_per_switch 1\nlink 0 1\n# mid\nlink 1 2\nlink 2 0\n";
+        let t = from_text(text).unwrap();
+        assert_eq!(t.num_switches(), 3);
+        assert_eq!(t.num_links(), 3);
+    }
+
+    #[test]
+    fn missing_header_rejected() {
+        assert_eq!(
+            from_text("hosts_per_switch 1\n").unwrap_err(),
+            ParseError::MissingHeader
+        );
+    }
+
+    #[test]
+    fn bad_lines_rejected() {
+        assert!(matches!(
+            from_text("switches 2\nfrobnicate 1\n").unwrap_err(),
+            ParseError::BadLine { line: 2, .. }
+        ));
+        assert!(matches!(
+            from_text("switches two\n").unwrap_err(),
+            ParseError::BadArgument { directive: "switches", .. }
+        ));
+        assert!(matches!(
+            from_text("switches 2\nlink 0\n").unwrap_err(),
+            ParseError::BadArgument { directive: "link", .. }
+        ));
+        // A third link field is the slowdown; a FOURTH is junk.
+        assert!(matches!(
+            from_text("switches 2\nlink 0 1 9 9\n").unwrap_err(),
+            ParseError::BadLine { .. }
+        ));
+        assert!(matches!(
+            from_text("switches 2\nlink 0 1 fast\n").unwrap_err(),
+            ParseError::BadArgument { directive: "link", .. }
+        ));
+    }
+
+    #[test]
+    fn duplicates_rejected() {
+        assert_eq!(
+            from_text("switches 2\nswitches 3\n").unwrap_err(),
+            ParseError::DuplicateDirective("switches")
+        );
+        assert_eq!(
+            from_text("switches 2\nhosts_per_switch 1\nhosts_per_switch 2\n").unwrap_err(),
+            ParseError::DuplicateDirective("hosts_per_switch")
+        );
+    }
+
+    #[test]
+    fn slowdowns_round_trip() {
+        let t = TopologyBuilder::new(3, 2)
+            .link(0, 1)
+            .link_with_slowdown(1, 2, 10)
+            .link_with_slowdown(0, 2, 4)
+            .build()
+            .unwrap();
+        let text = to_text(&t);
+        assert!(text.contains("link 1 2 10"));
+        let back = from_text(&text).unwrap();
+        for id in 0..3 {
+            assert_eq!(back.link_slowdown(id), t.link_slowdown(id));
+        }
+    }
+
+    #[test]
+    fn structural_validation_applies() {
+        // Disconnected graph is rejected by the builder.
+        assert!(matches!(
+            from_text("switches 4\nhosts_per_switch 1\nlink 0 1\nlink 2 3\n").unwrap_err(),
+            ParseError::Invalid(TopologyError::Disconnected)
+        ));
+        // Self-loops too.
+        assert!(matches!(
+            from_text("switches 2\nhosts_per_switch 1\nlink 1 1\n").unwrap_err(),
+            ParseError::Invalid(TopologyError::SelfLoop(1))
+        ));
+    }
+}

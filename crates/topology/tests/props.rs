@@ -1,0 +1,126 @@
+//! Property tests for the topology generators and graph queries.
+
+use commsched_topology::{
+    designed, random_regular, RandomTopologyConfig, TopologyBuilder,
+};
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Random regular topologies honour every structural constraint of
+    /// §5.1 for any seed and feasible size.
+    #[test]
+    fn random_regular_structural_invariants(
+        seed in any::<u64>(),
+        n in prop_oneof![Just(8usize), Just(10), Just(12), Just(16), Just(20), Just(24)],
+    ) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let t = random_regular(RandomTopologyConfig::paper(n), &mut rng).unwrap();
+        prop_assert_eq!(t.num_switches(), n);
+        prop_assert_eq!(t.num_links(), n * 3 / 2);
+        prop_assert!(t.is_connected());
+        for s in 0..n {
+            prop_assert_eq!(t.degree(s), 3);
+            // Neighbour lists are sorted, unique, and reciprocal.
+            let nb = t.neighbors(s);
+            for w in nb.windows(2) {
+                prop_assert!(w[0].0 < w[1].0);
+            }
+            for &(v, _) in nb {
+                prop_assert!(t.has_link(v, s));
+                prop_assert_ne!(v, s);
+            }
+        }
+    }
+
+    /// BFS distances satisfy the metric axioms reachable by construction.
+    #[test]
+    fn bfs_distances_are_a_metric(seed in any::<u64>()) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let t = random_regular(RandomTopologyConfig::paper(12), &mut rng).unwrap();
+        let d: Vec<Vec<u32>> = (0..12).map(|s| t.bfs_distances(s)).collect();
+        for i in 0..12 {
+            prop_assert_eq!(d[i][i], 0);
+            for j in 0..12 {
+                prop_assert_eq!(d[i][j], d[j][i]);
+                for k in 0..12 {
+                    prop_assert!(d[i][k] <= d[i][j] + d[j][k]);
+                }
+                if i != j {
+                    prop_assert!(d[i][j] >= 1);
+                }
+            }
+        }
+    }
+
+    /// The diameter is the max BFS distance and average distance is
+    /// between 1 and the diameter.
+    #[test]
+    fn diameter_and_average_consistent(seed in any::<u64>()) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let t = random_regular(RandomTopologyConfig::paper(16), &mut rng).unwrap();
+        let diam = t.diameter().unwrap();
+        let avg = t.average_distance().unwrap();
+        prop_assert!(avg >= 1.0);
+        prop_assert!(avg <= f64::from(diam));
+        let max_by_hand = (0..16)
+            .map(|s| *t.bfs_distances(s).iter().max().unwrap())
+            .max()
+            .unwrap();
+        prop_assert_eq!(diam, max_by_hand);
+    }
+
+    /// Cut sizes are symmetric in the bipartition and bounded by the link
+    /// count.
+    #[test]
+    fn cut_size_complement_invariant(
+        seed in any::<u64>(),
+        mask in any::<u16>(),
+    ) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let t = random_regular(RandomTopologyConfig::paper(16), &mut rng).unwrap();
+        let set: Vec<bool> = (0..16).map(|i| mask & (1 << i) != 0).collect();
+        let complement: Vec<bool> = set.iter().map(|b| !b).collect();
+        let c1 = t.cut_size(&set);
+        prop_assert_eq!(c1, t.cut_size(&complement));
+        prop_assert!(c1 <= t.num_links());
+    }
+}
+
+#[test]
+fn designed_families_are_connected_and_sized() {
+    for (t, n, links) in [
+        (designed::ring(9, 1), 9, 9),
+        (designed::line(7, 1), 7, 6),
+        (designed::star(6, 1), 6, 5),
+        (designed::complete(6, 1), 6, 15),
+        (designed::mesh(4, 5, 1), 20, 31),
+        (designed::torus(3, 5, 1), 15, 30),
+        (designed::hypercube(5, 1), 32, 80),
+        (designed::ring_of_rings(3, 5, 1), 15, 18),
+    ] {
+        assert_eq!(t.num_switches(), n);
+        assert_eq!(t.num_links(), links);
+        assert!(t.is_connected());
+    }
+}
+
+#[test]
+fn builder_is_order_insensitive() {
+    let a = TopologyBuilder::new(4, 1)
+        .links([(0, 1), (1, 2), (2, 3)])
+        .build()
+        .unwrap();
+    let b = TopologyBuilder::new(4, 1)
+        .links([(2, 3), (0, 1), (2, 1)])
+        .build()
+        .unwrap();
+    for s in 0..4 {
+        let na: Vec<_> = a.neighbors(s).iter().map(|&(v, _)| v).collect();
+        let nb: Vec<_> = b.neighbors(s).iter().map(|&(v, _)| v).collect();
+        assert_eq!(na, nb);
+    }
+}

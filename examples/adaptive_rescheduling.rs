@@ -1,0 +1,118 @@
+//! Closing the future-work loop: measure → estimate → reschedule.
+//!
+//! The paper's §6 lists two open problems: *measuring* the communication
+//! requirements of running applications, and *integrating* the technique
+//! with process scheduling. This example chains the library's answers to
+//! both:
+//!
+//! 1. Four applications run on an unweighted tabu placement; application 0
+//!    is secretly a bandwidth hog (8× the injection rate).
+//! 2. The simulator's per-workstation injected-flit counters are read —
+//!    exactly what a NIC would expose.
+//! 3. `estimate_app_weights` turns them into per-application weights.
+//! 4. The tabu search re-runs against the *weighted* criterion and the
+//!    new placement is simulated again.
+//!
+//! The rescheduled placement gives the heavy application the
+//! best-connected switches and lowers its latency.
+//!
+//! Run: `cargo run --release --example adaptive_rescheduling`
+
+use commsched::core::{cluster_similarity, ProcessMapping, Workload};
+use commsched::estimate::estimate_app_weights;
+use commsched::netsim::{SimConfig, Simulator, TrafficPattern};
+use commsched::topology::{random_regular, RandomTopologyConfig};
+use commsched::{RoutingKind, Scheduler};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn simulate_with_hog(
+    sched: &Scheduler,
+    mapping: &ProcessMapping,
+    multipliers: &[f64],
+) -> (commsched::netsim::SimStats, Vec<u64>, f64) {
+    let pattern = TrafficPattern::new(mapping.host_clusters().to_vec())
+        .with_rate_multipliers(multipliers.to_vec());
+    let cfg = SimConfig {
+        injection_rate: 0.06,
+        warmup_cycles: 1_500,
+        measure_cycles: 8_000,
+        seed: 12,
+        ..Default::default()
+    };
+    let mut sim = Simulator::new(sched.topology(), sched.routing(), pattern, cfg)
+        .expect("valid sim");
+    let stats = sim.run();
+    let injected = sim.host_injected_flits();
+    // The hog's latency proxy: average hop cost of its cluster.
+    let hog_cluster: Vec<usize> = mapping
+        .partition()
+        .clusters()
+        .first()
+        .cloned()
+        .unwrap_or_default();
+    let hog_cost = cluster_similarity(&hog_cluster, sched.table());
+    (stats, injected, hog_cost)
+}
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let mut rng = StdRng::seed_from_u64(321);
+    let topology = random_regular(RandomTopologyConfig::paper(16), &mut rng)?;
+    let sched = Scheduler::new(topology, RoutingKind::UpDown { root: 0 })?;
+    let workload = Workload::balanced(sched.topology(), 4)?;
+
+    // Ground truth (unknown to the scheduler): app 0 injects 8x more.
+    let true_multiplier = |app: usize| if app == 0 { 8.0 } else { 1.0 };
+
+    // Round 1: the system before our scheduler kicks in — a
+    // communication-oblivious (random) placement.
+    let round1 = sched.random_mapping(&workload, 17)?;
+    let mult1: Vec<f64> = round1
+        .mapping
+        .host_clusters()
+        .iter()
+        .map(|&app| true_multiplier(app))
+        .collect();
+    let (stats1, injected, hog_cost1) = simulate_with_hog(&sched, &round1.mapping, &mult1);
+    println!("round 1 (oblivious):  {}", round1.partition);
+    println!(
+        "  accepted = {:.4} f/sw/cy, latency = {:.1} cy, hog-cluster cost = {hog_cost1:.2}",
+        stats1.accepted_flits_per_switch_cycle, stats1.avg_network_latency
+    );
+
+    // Measure + estimate.
+    let weights = estimate_app_weights(round1.mapping.host_clusters(), &injected)?;
+    println!("\nestimated app weights from NIC counters: {weights:?}");
+    assert!(weights[0] > 4.0, "the hog must stand out");
+
+    // Round 2: weighted reschedule through the facade API.
+    let round2 = sched.schedule_weighted(&workload, &weights, 18)?;
+    let mult2: Vec<f64> = round2
+        .mapping
+        .host_clusters()
+        .iter()
+        .map(|&app| true_multiplier(app))
+        .collect();
+    let (stats2, _, hog_cost2) = simulate_with_hog(&sched, &round2.mapping, &mult2);
+    println!("\nround 2 (weighted):   {}", round2.partition);
+    println!(
+        "  accepted = {:.4} f/sw/cy, latency = {:.1} cy, hog-cluster cost = {hog_cost2:.2}",
+        stats2.accepted_flits_per_switch_cycle, stats2.avg_network_latency
+    );
+
+    println!(
+        "\nhog-cluster intracluster cost: {hog_cost1:.2} -> {hog_cost2:.2} ({}).",
+        if hog_cost2 <= hog_cost1 + 1e-9 {
+            "improved or equal"
+        } else {
+            "regressed"
+        }
+    );
+    assert!(hog_cost2 <= hog_cost1 + 1e-9);
+    assert!(
+        stats2.avg_network_latency <= stats1.avg_network_latency,
+        "rescheduling must not worsen latency"
+    );
+    Ok(())
+}
+

@@ -1,0 +1,81 @@
+//! Online scheduling: applications arrive and depart over time.
+//!
+//! The paper's §6 leaves "the integration of the proposed scheduling
+//! technique with process scheduling" to future work; `DynamicScheduler`
+//! is that integration. This example plays an arrival/departure trace on
+//! the campus network and prints each placement decision, the cost the
+//! application gets, and machine utilization — showing how the
+//! communication criterion keeps arriving applications on well-connected
+//! switch groups without migrating running ones.
+//!
+//! Run: `cargo run --release --example dynamic_arrivals`
+
+use commsched::topology::designed;
+use commsched::{DynamicScheduler, RoutingKind, Scheduler};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let topology = designed::paper_24_switch();
+    let scheduler = Scheduler::new(topology, RoutingKind::UpDown { root: 0 })?;
+    let mut online = DynamicScheduler::new(scheduler);
+
+    println!("event                      placement                cost   utilization");
+    let mut ids = Vec::new();
+
+    // Morning: three medium applications arrive.
+    for name in ["render-farm", "cfd-solver", "db-analytics"] {
+        let p = online.admit(name, 24)?;
+        let cost = online.app_cost(p.id)?;
+        println!(
+            "+ {name:<22} {:<24} {cost:>6.1}   {:>4.0}%",
+            format!("{:?}", p.switches),
+            online.utilization() * 100.0
+        );
+        ids.push(p.id);
+    }
+
+    // A small interactive job squeezes into the remaining ring.
+    let small = online.admit("notebook", 8)?;
+    println!(
+        "+ {:<22} {:<24} {:>6.1}   {:>4.0}%",
+        "notebook",
+        format!("{:?}", small.switches),
+        online.app_cost(small.id)?,
+        online.utilization() * 100.0
+    );
+
+    // Midday: the CFD solver finishes; a large ML job arrives and reuses
+    // the freed switches.
+    online.release(ids[1])?;
+    println!(
+        "- {:<22} {:<24} {:>6}   {:>4.0}%",
+        "cfd-solver",
+        "(released)",
+        "",
+        online.utilization() * 100.0
+    );
+    let ml = online.admit("ml-training", 24)?;
+    println!(
+        "+ {:<22} {:<24} {:>6.1}   {:>4.0}%",
+        "ml-training",
+        format!("{:?}", ml.switches),
+        online.app_cost(ml.id)?,
+        online.utilization() * 100.0
+    );
+
+    // An oversized request is rejected cleanly.
+    match online.admit("too-big", 48) {
+        Err(e) => println!("x {:<22} rejected: {e}", "too-big"),
+        Ok(_) => unreachable!("capacity check must fire"),
+    }
+
+    println!("\nfinal placements:");
+    for p in online.placements() {
+        println!(
+            "  {:<14} switches {:?} (cost {:.1})",
+            p.name,
+            p.switches,
+            online.app_cost(p.id)?
+        );
+    }
+    Ok(())
+}

@@ -1,0 +1,17 @@
+//! The `commsched` command-line tool: generate networks, schedule
+//! workloads, and run flit-level simulations from the shell. See
+//! `commsched help` for usage.
+
+use commsched::cli;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match cli::parse(&args).and_then(|cmd| cli::run(&cmd)) {
+        Ok(out) => print!("{out}"),
+        Err(msg) => {
+            eprintln!("error: {msg}");
+            eprintln!("{}", cli::USAGE);
+            std::process::exit(2);
+        }
+    }
+}

@@ -1,0 +1,544 @@
+//! Command-line interface plumbing for the `commsched` binary.
+//!
+//! Subcommands:
+//!
+//! * `topology`  — generate a network (random or designed) and print it;
+//! * `schedule`  — run the communication-aware scheduler on a network;
+//! * `simulate`  — one flit-level simulation at a fixed offered load;
+//! * `sweep`     — the paper's S1..S9 load sweep for a mapping.
+//!
+//! Parsing is hand-rolled (`--flag value` pairs) and separated from
+//! execution so both halves are unit-testable.
+
+use crate::{RoutingKind, Scheduler};
+use commsched_core::Workload;
+use commsched_netsim::{paper_sweep, simulate, SimConfig, SweepConfig};
+use commsched_topology::{designed, random_regular, RandomTopologyConfig, Topology};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::fmt::Write as _;
+
+/// A parsed CLI invocation.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Command {
+    /// Print usage.
+    Help,
+    /// Generate and print a topology (optionally saving it to a file).
+    Topology {
+        /// Network to build.
+        spec: TopologySpec,
+        /// Optional path to save the text format to.
+        save: Option<String>,
+    },
+    /// Schedule a balanced workload on a topology.
+    Schedule {
+        /// Network to schedule on.
+        topology: TopologySpec,
+        /// Number of equal applications.
+        clusters: usize,
+        /// Search seed.
+        seed: u64,
+        /// Optional per-application traffic weights.
+        weights: Option<Vec<f64>>,
+    },
+    /// Run one simulation at a fixed rate.
+    Simulate {
+        /// Network to simulate.
+        topology: TopologySpec,
+        /// Number of equal applications.
+        clusters: usize,
+        /// Search seed (the mapping is the scheduled one).
+        seed: u64,
+        /// Offered load in flits per workstation per cycle.
+        rate: f64,
+        /// Compare against a random mapping too.
+        compare_random: bool,
+        /// Virtual channels per physical channel.
+        vcs: usize,
+        /// Duato's fully adaptive protocol (needs vcs >= 2).
+        adaptive: bool,
+    },
+    /// Run the paper's S1..S9 sweep.
+    Sweep {
+        /// Network to sweep.
+        topology: TopologySpec,
+        /// Number of equal applications.
+        clusters: usize,
+        /// Search seed.
+        seed: u64,
+    },
+}
+
+/// How to construct the network.
+#[derive(Debug, Clone, PartialEq)]
+pub enum TopologySpec {
+    /// Random `degree`-regular network.
+    Random {
+        /// Switch count.
+        switches: usize,
+        /// Inter-switch degree.
+        degree: usize,
+        /// Workstations per switch.
+        hosts: usize,
+        /// Generator seed.
+        seed: u64,
+    },
+    /// The paper's four-rings-of-six network.
+    Paper24,
+    /// A ring of `n` switches.
+    Ring {
+        /// Switch count.
+        switches: usize,
+        /// Workstations per switch.
+        hosts: usize,
+    },
+    /// Load from a topology file (`commsched_topology::io` text format).
+    File {
+        /// Path to the file.
+        path: String,
+    },
+}
+
+impl TopologySpec {
+    /// Materialize the topology.
+    ///
+    /// # Errors
+    /// Random generation can fail for infeasible parameters.
+    pub fn build(&self) -> Result<Topology, String> {
+        match self {
+            &TopologySpec::Random {
+                switches,
+                degree,
+                hosts,
+                seed,
+            } => {
+                let cfg = RandomTopologyConfig {
+                    switches,
+                    degree,
+                    hosts_per_switch: hosts,
+                    max_attempts: 10_000,
+                };
+                let mut rng = StdRng::seed_from_u64(seed);
+                random_regular(cfg, &mut rng).map_err(|e| e.to_string())
+            }
+            TopologySpec::Paper24 => Ok(designed::paper_24_switch()),
+            &TopologySpec::Ring { switches, hosts } => Ok(designed::ring(switches, hosts)),
+            TopologySpec::File { ref path } => {
+                let text = std::fs::read_to_string(path)
+                    .map_err(|e| format!("cannot read '{path}': {e}"))?;
+                commsched_topology::from_text(&text).map_err(|e| e.to_string())
+            }
+        }
+    }
+}
+
+/// Usage text.
+pub const USAGE: &str = "\
+commsched — communication-aware task scheduling (ICPP 2000 reproduction)
+
+USAGE:
+  commsched topology [--kind random|paper24|ring|file] [--switches N]
+                     [--degree D] [--hosts H] [--topo-seed S]
+                     [--input FILE] [--save FILE]
+  commsched schedule <topology flags> [--clusters M] [--seed S]
+                     [--weights w1,w2,...]
+  commsched simulate <topology flags> [--clusters M] [--seed S] [--rate R]
+                     [--compare-random] [--vcs V] [--adaptive]
+  commsched sweep    <topology flags> [--clusters M] [--seed S]
+  commsched help
+
+DEFAULTS: --kind random --switches 16 --degree 3 --hosts 4 --topo-seed 2000
+          --clusters 4 --seed 42 --rate 0.1
+";
+
+fn parse_flags(args: &[String]) -> Result<std::collections::HashMap<String, String>, String> {
+    let mut map = std::collections::HashMap::new();
+    let mut i = 0;
+    while i < args.len() {
+        let a = &args[i];
+        let Some(key) = a.strip_prefix("--") else {
+            return Err(format!("unexpected argument '{a}'"));
+        };
+        if key == "compare-random" || key == "adaptive" {
+            map.insert(key.to_string(), "true".to_string());
+            i += 1;
+            continue;
+        }
+        let Some(value) = args.get(i + 1) else {
+            return Err(format!("flag --{key} needs a value"));
+        };
+        map.insert(key.to_string(), value.clone());
+        i += 2;
+    }
+    Ok(map)
+}
+
+fn parse_topology(
+    flags: &std::collections::HashMap<String, String>,
+) -> Result<TopologySpec, String> {
+    let get = |k: &str, d: &str| flags.get(k).cloned().unwrap_or_else(|| d.to_string());
+    let kind = get("kind", "random");
+    let switches: usize = get("switches", "16").parse().map_err(|_| "bad --switches")?;
+    let hosts: usize = get("hosts", "4").parse().map_err(|_| "bad --hosts")?;
+    match kind.as_str() {
+        "random" => Ok(TopologySpec::Random {
+            switches,
+            degree: get("degree", "3").parse().map_err(|_| "bad --degree")?,
+            hosts,
+            seed: get("topo-seed", "2000").parse().map_err(|_| "bad --topo-seed")?,
+        }),
+        "paper24" => Ok(TopologySpec::Paper24),
+        "ring" => Ok(TopologySpec::Ring { switches, hosts }),
+        "file" => Ok(TopologySpec::File {
+            path: flags
+                .get("input")
+                .cloned()
+                .ok_or("kind 'file' needs --input <path>")?,
+        }),
+        other => Err(format!("unknown topology kind '{other}'")),
+    }
+}
+
+/// Parse an argument list (without the program name).
+///
+/// # Errors
+/// Returns a human-readable message on malformed input.
+pub fn parse(args: &[String]) -> Result<Command, String> {
+    let Some(sub) = args.first() else {
+        return Ok(Command::Help);
+    };
+    let flags = parse_flags(&args[1..])?;
+    let get = |k: &str, d: &str| flags.get(k).cloned().unwrap_or_else(|| d.to_string());
+    let clusters: usize = get("clusters", "4").parse().map_err(|_| "bad --clusters")?;
+    let seed: u64 = get("seed", "42").parse().map_err(|_| "bad --seed")?;
+    match sub.as_str() {
+        "help" | "--help" | "-h" => Ok(Command::Help),
+        "topology" => Ok(Command::Topology {
+            spec: parse_topology(&flags)?,
+            save: flags.get("save").cloned(),
+        }),
+        "schedule" => Ok(Command::Schedule {
+            topology: parse_topology(&flags)?,
+            clusters,
+            seed,
+            weights: match flags.get("weights") {
+                None => None,
+                Some(ws) => Some(
+                    ws.split(',')
+                        .map(|w| w.parse::<f64>().map_err(|_| "bad --weights".to_string()))
+                        .collect::<Result<Vec<_>, _>>()?,
+                ),
+            },
+        }),
+        "simulate" => Ok(Command::Simulate {
+            topology: parse_topology(&flags)?,
+            clusters,
+            seed,
+            rate: get("rate", "0.1").parse().map_err(|_| "bad --rate")?,
+            compare_random: flags.contains_key("compare-random"),
+            vcs: get("vcs", "1").parse().map_err(|_| "bad --vcs")?,
+            adaptive: flags.contains_key("adaptive"),
+        }),
+        "sweep" => Ok(Command::Sweep {
+            topology: parse_topology(&flags)?,
+            clusters,
+            seed,
+        }),
+        other => Err(format!("unknown subcommand '{other}'")),
+    }
+}
+
+/// Execute a parsed command; returns the text to print.
+///
+/// # Errors
+/// Propagates construction/scheduling/simulation failures as strings.
+pub fn run(cmd: &Command) -> Result<String, String> {
+    let mut out = String::new();
+    match cmd {
+        Command::Help => out.push_str(USAGE),
+        Command::Topology { spec, save } => {
+            let topo = spec.build()?;
+            writeln!(
+                out,
+                "switches: {}  links: {}  workstations: {}  diameter: {:?}",
+                topo.num_switches(),
+                topo.num_links(),
+                topo.num_hosts(),
+                topo.diameter()
+            )
+            .expect("write to string");
+            for l in topo.links() {
+                writeln!(out, "{} -- {}", l.a, l.b).expect("write to string");
+            }
+            if let Some(path) = save {
+                std::fs::write(path, commsched_topology::to_text(&topo))
+                    .map_err(|e| format!("cannot write '{path}': {e}"))?;
+                writeln!(out, "saved to {path}").expect("write to string");
+            }
+        }
+        Command::Schedule {
+            topology,
+            clusters,
+            seed,
+            weights,
+        } => {
+            let topo = topology.build()?;
+            let sched =
+                Scheduler::new(topo, RoutingKind::UpDown { root: 0 }).map_err(|e| e.to_string())?;
+            let wl = Workload::balanced(sched.topology(), *clusters).map_err(|e| e.to_string())?;
+            match weights {
+                None => {
+                    let o = sched.schedule(&wl, *seed).map_err(|e| e.to_string())?;
+                    writeln!(out, "partition: {}", o.partition).expect("write to string");
+                    writeln!(
+                        out,
+                        "F_G = {:.6}  D_G = {:.6}  Cc = {:.3}",
+                        o.quality.fg, o.quality.dg, o.quality.cc
+                    )
+                    .expect("write to string");
+                }
+                Some(ws) => {
+                    use commsched_search::{TabuParams, TabuSearch};
+                    if ws.len() != *clusters {
+                        return Err("need one weight per cluster".into());
+                    }
+                    let sizes = wl.switch_demands(sched.topology().hosts_per_switch());
+                    let mut rng = StdRng::seed_from_u64(*seed);
+                    let (res, _) = TabuSearch::new(TabuParams::scaled(
+                        sched.topology().num_switches(),
+                    ))
+                    .search_weighted(sched.table(), &sizes, ws, &mut rng);
+                    writeln!(out, "partition: {}", res.partition).expect("write to string");
+                    writeln!(out, "weighted F_G = {:.6}", res.fg).expect("write to string");
+                }
+            }
+        }
+        Command::Simulate {
+            topology,
+            clusters,
+            seed,
+            rate,
+            compare_random,
+            vcs,
+            adaptive,
+        } => {
+            let topo = topology.build()?;
+            let sched =
+                Scheduler::new(topo, RoutingKind::UpDown { root: 0 }).map_err(|e| e.to_string())?;
+            let wl = Workload::balanced(sched.topology(), *clusters).map_err(|e| e.to_string())?;
+            let o = sched.schedule(&wl, *seed).map_err(|e| e.to_string())?;
+            let cfg = SimConfig {
+                virtual_channels: *vcs,
+                fully_adaptive: *adaptive,
+                ..SimConfig::default().with_rate(*rate)
+            };
+            let stats = simulate(
+                sched.topology(),
+                sched.routing(),
+                o.mapping.host_clusters(),
+                cfg,
+            )
+            .map_err(|e| e.to_string())?;
+            writeln!(
+                out,
+                "scheduled: accepted = {:.4} flits/switch/cycle, latency = {:.1} cycles{}",
+                stats.accepted_flits_per_switch_cycle,
+                stats.avg_network_latency,
+                if stats.deadlocked { " [DEADLOCK]" } else { "" }
+            )
+            .expect("write to string");
+            if *compare_random {
+                let r = sched.random_mapping(&wl, *seed).map_err(|e| e.to_string())?;
+                let rs = simulate(
+                    sched.topology(),
+                    sched.routing(),
+                    r.mapping.host_clusters(),
+                    cfg,
+                )
+                .map_err(|e| e.to_string())?;
+                writeln!(
+                    out,
+                    "random:    accepted = {:.4} flits/switch/cycle, latency = {:.1} cycles",
+                    rs.accepted_flits_per_switch_cycle, rs.avg_network_latency
+                )
+                .expect("write to string");
+            }
+        }
+        Command::Sweep {
+            topology,
+            clusters,
+            seed,
+        } => {
+            let topo = topology.build()?;
+            let sched =
+                Scheduler::new(topo, RoutingKind::UpDown { root: 0 }).map_err(|e| e.to_string())?;
+            let wl = Workload::balanced(sched.topology(), *clusters).map_err(|e| e.to_string())?;
+            let o = sched.schedule(&wl, *seed).map_err(|e| e.to_string())?;
+            let (sweep, sat) = paper_sweep(
+                sched.topology(),
+                sched.routing(),
+                o.mapping.host_clusters(),
+                SimConfig::default(),
+                SweepConfig::default(),
+            )
+            .map_err(|e| e.to_string())?;
+            writeln!(out, "saturation ~ {sat:.3} flits/host/cycle").expect("write to string");
+            writeln!(out, "point  offered(f/host/cy)  accepted(f/sw/cy)  latency(cy)")
+                .expect("write to string");
+            for (i, p) in sweep.points.iter().enumerate() {
+                writeln!(
+                    out,
+                    "S{:<5} {:>14.4} {:>18.4} {:>12.1}",
+                    i + 1,
+                    p.rate,
+                    p.stats.accepted_flits_per_switch_cycle,
+                    p.stats.avg_network_latency
+                )
+                .expect("write to string");
+            }
+        }
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn argv(s: &str) -> Vec<String> {
+        s.split_whitespace().map(String::from).collect()
+    }
+
+    #[test]
+    fn empty_args_is_help() {
+        assert_eq!(parse(&[]).unwrap(), Command::Help);
+        assert_eq!(parse(&argv("help")).unwrap(), Command::Help);
+    }
+
+    #[test]
+    fn parse_topology_defaults() {
+        let cmd = parse(&argv("topology")).unwrap();
+        assert_eq!(
+            cmd,
+            Command::Topology {
+                spec: TopologySpec::Random {
+                    switches: 16,
+                    degree: 3,
+                    hosts: 4,
+                    seed: 2000
+                },
+                save: None,
+            }
+        );
+    }
+
+    #[test]
+    fn parse_schedule_with_weights() {
+        let cmd = parse(&argv(
+            "schedule --kind paper24 --clusters 4 --seed 7 --weights 10,1,1,1",
+        ))
+        .unwrap();
+        match cmd {
+            Command::Schedule {
+                topology,
+                clusters,
+                seed,
+                weights,
+            } => {
+                assert_eq!(topology, TopologySpec::Paper24);
+                assert_eq!(clusters, 4);
+                assert_eq!(seed, 7);
+                assert_eq!(weights, Some(vec![10.0, 1.0, 1.0, 1.0]));
+            }
+            other => panic!("wrong parse: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn parse_rejects_garbage() {
+        assert!(parse(&argv("frobnicate")).is_err());
+        assert!(parse(&argv("schedule --switches nope")).is_err());
+        assert!(parse(&argv("schedule stray")).is_err());
+        assert!(parse(&argv("simulate --rate")).is_err());
+        assert!(parse(&argv("topology --kind dodecahedron")).is_err());
+    }
+
+    #[test]
+    fn run_topology_lists_links() {
+        let out = run(&Command::Topology {
+            spec: TopologySpec::Ring {
+                switches: 4,
+                hosts: 1,
+            },
+            save: None,
+        })
+        .unwrap();
+        assert!(out.contains("switches: 4"));
+        assert!(out.contains("0 -- 1"));
+    }
+
+    #[test]
+    fn save_and_load_topology_file() {
+        let dir = std::env::temp_dir().join("commsched-cli-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("ring.topo");
+        let path_str = path.to_str().unwrap().to_string();
+        let out = run(&Command::Topology {
+            spec: TopologySpec::Ring {
+                switches: 6,
+                hosts: 4,
+            },
+            save: Some(path_str.clone()),
+        })
+        .unwrap();
+        assert!(out.contains("saved to"));
+        // Load it back through the file kind.
+        let out2 = run(&Command::Topology {
+            spec: TopologySpec::File { path: path_str },
+            save: None,
+        })
+        .unwrap();
+        assert!(out2.contains("switches: 6"));
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn file_kind_requires_input() {
+        assert!(parse(&argv("topology --kind file")).is_err());
+        let err = run(&Command::Topology {
+            spec: TopologySpec::File {
+                path: "/nonexistent/definitely-missing.topo".into(),
+            },
+            save: None,
+        })
+        .unwrap_err();
+        assert!(err.contains("cannot read"));
+    }
+
+    #[test]
+    fn run_schedule_paper24() {
+        let out = run(&parse(&argv("schedule --kind paper24")).unwrap()).unwrap();
+        assert!(out.contains("Cc ="));
+        assert!(out.contains("(0,1,2,3,4,5)"));
+    }
+
+    #[test]
+    fn run_weighted_schedule() {
+        let out = run(&parse(&argv(
+            "schedule --kind ring --switches 8 --clusters 2 --weights 5,1",
+        ))
+        .unwrap())
+        .unwrap();
+        assert!(out.contains("weighted F_G ="));
+    }
+
+    #[test]
+    fn weight_count_mismatch_errors() {
+        let err = run(&parse(&argv(
+            "schedule --kind ring --switches 8 --clusters 2 --weights 1,2,3",
+        ))
+        .unwrap())
+        .unwrap_err();
+        assert!(err.contains("one weight per cluster"));
+    }
+}

@@ -1,0 +1,147 @@
+//! Estimation of application communication requirements from observation.
+//!
+//! The paper's §6 names "the measurement of the communication requirements
+//! of the applications running on the machine" as the first open problem of
+//! a complete communication-aware strategy. This module closes the loop at
+//! the granularity the weighted criterion needs: given the per-workstation
+//! injected-flit counters the simulator (or a real NIC) exposes, estimate a
+//! per-application traffic weight, ready to feed
+//! `TabuSearch::search_weighted`.
+
+use commsched_core::ClusterId;
+
+/// Errors from weight estimation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum EstimateError {
+    /// Input slices disagree in length.
+    LengthMismatch {
+        /// Host labels provided.
+        labels: usize,
+        /// Counters provided.
+        counters: usize,
+    },
+    /// No host observed any traffic — nothing to estimate.
+    NoTraffic,
+    /// Empty input.
+    Empty,
+}
+
+impl std::fmt::Display for EstimateError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            EstimateError::LengthMismatch { labels, counters } => {
+                write!(f, "{labels} host labels vs {counters} counters")
+            }
+            EstimateError::NoTraffic => write!(f, "no traffic observed"),
+            EstimateError::Empty => write!(f, "empty input"),
+        }
+    }
+}
+
+impl std::error::Error for EstimateError {}
+
+/// Estimate one traffic weight per application from per-workstation
+/// injected-flit counters: the mean injected volume per process of each
+/// application, normalized so the lightest non-idle application has
+/// weight 1. Idle applications get a small positive floor (weights must
+/// stay positive for the weighted criterion).
+///
+/// # Errors
+/// See [`EstimateError`].
+pub fn estimate_app_weights(
+    host_clusters: &[ClusterId],
+    injected_flits: &[u64],
+) -> Result<Vec<f64>, EstimateError> {
+    if host_clusters.is_empty() {
+        return Err(EstimateError::Empty);
+    }
+    if host_clusters.len() != injected_flits.len() {
+        return Err(EstimateError::LengthMismatch {
+            labels: host_clusters.len(),
+            counters: injected_flits.len(),
+        });
+    }
+    let apps = host_clusters.iter().max().expect("non-empty") + 1;
+    let mut volume = vec![0u64; apps];
+    let mut hosts = vec![0u64; apps];
+    for (&app, &flits) in host_clusters.iter().zip(injected_flits) {
+        volume[app] += flits;
+        hosts[app] += 1;
+    }
+    let per_process: Vec<f64> = volume
+        .iter()
+        .zip(&hosts)
+        .map(|(&v, &h)| if h == 0 { 0.0 } else { v as f64 / h as f64 })
+        .collect();
+    let floor = per_process
+        .iter()
+        .copied()
+        .filter(|&x| x > 0.0)
+        .fold(f64::INFINITY, f64::min);
+    if !floor.is_finite() {
+        return Err(EstimateError::NoTraffic);
+    }
+    Ok(per_process
+        .iter()
+        .map(|&x| if x > 0.0 { x / floor } else { 0.01 })
+        .collect())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn uniform_traffic_gives_uniform_weights() {
+        let labels = vec![0, 0, 1, 1];
+        let flits = vec![100, 100, 100, 100];
+        let w = estimate_app_weights(&labels, &flits).unwrap();
+        assert_eq!(w, vec![1.0, 1.0]);
+    }
+
+    #[test]
+    fn heavy_app_gets_proportional_weight() {
+        let labels = vec![0, 0, 1, 1];
+        let flits = vec![800, 800, 100, 100];
+        let w = estimate_app_weights(&labels, &flits).unwrap();
+        assert_eq!(w, vec![8.0, 1.0]);
+    }
+
+    #[test]
+    fn unbalanced_host_counts_normalized_per_process() {
+        // App 0 has 3 hosts with 300 total; app 1 has 1 host with 100:
+        // per-process volumes are equal.
+        let labels = vec![0, 0, 0, 1];
+        let flits = vec![100, 100, 100, 100];
+        let w = estimate_app_weights(&labels, &flits).unwrap();
+        assert_eq!(w, vec![1.0, 1.0]);
+    }
+
+    #[test]
+    fn idle_app_gets_positive_floor() {
+        let labels = vec![0, 0, 1, 1];
+        let flits = vec![500, 500, 0, 0];
+        let w = estimate_app_weights(&labels, &flits).unwrap();
+        assert_eq!(w[0], 1.0);
+        assert!(w[1] > 0.0 && w[1] < 0.1);
+    }
+
+    #[test]
+    fn errors_reported() {
+        assert_eq!(
+            estimate_app_weights(&[], &[]).unwrap_err(),
+            EstimateError::Empty
+        );
+        assert_eq!(
+            estimate_app_weights(&[0, 1], &[1]).unwrap_err(),
+            EstimateError::LengthMismatch {
+                labels: 2,
+                counters: 1
+            }
+        );
+        assert_eq!(
+            estimate_app_weights(&[0, 1], &[0, 0]).unwrap_err(),
+            EstimateError::NoTraffic
+        );
+    }
+}

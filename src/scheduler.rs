@@ -1,0 +1,350 @@
+//! High-level communication-aware scheduler: the end-to-end pipeline of the
+//! paper in one object.
+//!
+//! [`Scheduler`] owns a topology, builds the routing and the table of
+//! equivalent distances once, and then maps workloads: given a set of
+//! logical clusters, it runs the tabu search to find a near-optimal network
+//! partition and realizes it as a process-to-processor mapping.
+
+use commsched_core::{quality, Partition, ProcessMapping, Quality, Workload, WorkloadError};
+use commsched_distance::{equivalent_distance_table_parallel, DistanceTable, TableError};
+use commsched_routing::{Routing, RoutingError, ShortestPathRouting, UpDownRouting};
+use commsched_search::{parallel_multi_seed, TabuParams, TabuSearch};
+use commsched_topology::{SwitchId, Topology};
+
+/// Which routing algorithm the scheduler models.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RoutingKind {
+    /// Autonet-style up*/down* routing rooted at the given switch (the
+    /// paper's setting).
+    UpDown {
+        /// Root of the spanning tree.
+        root: SwitchId,
+    },
+    /// Unconstrained shortest-path routing.
+    ShortestPath,
+}
+
+impl Default for RoutingKind {
+    fn default() -> Self {
+        RoutingKind::UpDown { root: 0 }
+    }
+}
+
+/// Errors from scheduler construction or scheduling.
+#[derive(Debug)]
+pub enum ScheduleError {
+    /// Router construction failed.
+    Routing(RoutingError),
+    /// Distance-table construction failed.
+    Table(TableError),
+    /// The workload does not fit the topology.
+    Workload(WorkloadError),
+    /// Weighted scheduling got a bad weight vector.
+    BadWeights {
+        /// Weights supplied.
+        got: usize,
+        /// Applications in the workload.
+        expected: usize,
+    },
+}
+
+impl std::fmt::Display for ScheduleError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ScheduleError::Routing(e) => write!(f, "routing: {e}"),
+            ScheduleError::Table(e) => write!(f, "distance table: {e}"),
+            ScheduleError::Workload(e) => write!(f, "workload: {e}"),
+            ScheduleError::BadWeights { got, expected } => {
+                write!(f, "need {expected} positive weights, got {got}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ScheduleError {}
+
+impl From<RoutingError> for ScheduleError {
+    fn from(e: RoutingError) -> Self {
+        ScheduleError::Routing(e)
+    }
+}
+
+impl From<TableError> for ScheduleError {
+    fn from(e: TableError) -> Self {
+        ScheduleError::Table(e)
+    }
+}
+
+impl From<WorkloadError> for ScheduleError {
+    fn from(e: WorkloadError) -> Self {
+        ScheduleError::Workload(e)
+    }
+}
+
+/// Result of scheduling one workload.
+#[derive(Debug, Clone)]
+pub struct ScheduleOutcome {
+    /// The network partition found by the search.
+    pub partition: Partition,
+    /// Its quality figures (`F_G`, `D_G`, `Cc`).
+    pub quality: Quality,
+    /// The realized process-to-processor mapping.
+    pub mapping: ProcessMapping,
+    /// RNG seed of the winning search restart.
+    pub winning_seed: u64,
+}
+
+/// The communication-aware scheduler.
+pub struct Scheduler {
+    topology: Topology,
+    routing: Box<dyn Routing>,
+    table: DistanceTable,
+    tabu: TabuParams,
+    threads: usize,
+    search_seeds: usize,
+}
+
+impl Scheduler {
+    /// Build the scheduler: constructs the router and the table of
+    /// equivalent distances for `topology`.
+    ///
+    /// # Errors
+    /// See [`ScheduleError`].
+    pub fn new(topology: Topology, routing_kind: RoutingKind) -> Result<Self, ScheduleError> {
+        let routing: Box<dyn Routing> = match routing_kind {
+            RoutingKind::UpDown { root } => Box::new(UpDownRouting::new(&topology, root)?),
+            RoutingKind::ShortestPath => Box::new(ShortestPathRouting::new(&topology)?),
+        };
+        let threads = std::thread::available_parallelism().map_or(4, usize::from);
+        let table = equivalent_distance_table_parallel(&topology, routing.as_ref(), threads)?;
+        let tabu = TabuParams::scaled(topology.num_switches());
+        Ok(Self {
+            topology,
+            routing,
+            table,
+            tabu,
+            threads,
+            search_seeds: 10,
+        })
+    }
+
+    /// Override the tabu parameters (paper defaults: 10 seeds, 20
+    /// iterations, 3 local-minimum repeats).
+    pub fn with_tabu_params(mut self, params: TabuParams) -> Self {
+        self.tabu = params;
+        self
+    }
+
+    /// Set the number of independent search restarts run in parallel.
+    pub fn with_search_seeds(mut self, seeds: usize) -> Self {
+        self.search_seeds = seeds.max(1);
+        self
+    }
+
+    /// The scheduled topology.
+    pub fn topology(&self) -> &Topology {
+        &self.topology
+    }
+
+    /// The routing model.
+    pub fn routing(&self) -> &dyn Routing {
+        self.routing.as_ref()
+    }
+
+    /// The table of equivalent distances.
+    pub fn table(&self) -> &DistanceTable {
+        &self.table
+    }
+
+    /// Quality figures of an arbitrary partition under this scheduler's
+    /// distance table.
+    pub fn evaluate(&self, partition: &Partition) -> Quality {
+        quality(partition, &self.table)
+    }
+
+    /// Schedule `workload`: find a near-optimal partition with the tabu
+    /// search (multi-seeded, deterministic given `seed`) and place the
+    /// processes.
+    ///
+    /// # Errors
+    /// See [`ScheduleError`].
+    pub fn schedule(
+        &self,
+        workload: &Workload,
+        seed: u64,
+    ) -> Result<ScheduleOutcome, ScheduleError> {
+        workload.validate(&self.topology)?;
+        let sizes = workload.switch_demands(self.topology.hosts_per_switch());
+        let mapper = TabuSearch::new(self.tabu);
+        let (winning_seed, result) = parallel_multi_seed(
+            &mapper,
+            &self.table,
+            &sizes,
+            seed,
+            self.search_seeds,
+            self.threads,
+        );
+        let mapping = ProcessMapping::place(&self.topology, workload, &result.partition)?;
+        Ok(ScheduleOutcome {
+            quality: self.evaluate(&result.partition),
+            partition: result.partition,
+            mapping,
+            winning_seed,
+        })
+    }
+
+    /// Schedule `workload` against the *weighted* similarity function:
+    /// one traffic weight per application (the future-work setting of
+    /// unequal communication requirements). Weights can come from
+    /// [`crate::estimate::estimate_app_weights`].
+    ///
+    /// # Errors
+    /// See [`ScheduleError`]; requires one strictly positive weight per
+    /// application ([`ScheduleError::BadWeights`] otherwise).
+    pub fn schedule_weighted(
+        &self,
+        workload: &Workload,
+        weights: &[f64],
+        seed: u64,
+    ) -> Result<ScheduleOutcome, ScheduleError> {
+        use rand::rngs::StdRng;
+        use rand::SeedableRng;
+        workload.validate(&self.topology)?;
+        if weights.len() != workload.clusters.len() || weights.iter().any(|&w| w <= 0.0) {
+            return Err(ScheduleError::BadWeights {
+                got: weights.len(),
+                expected: workload.clusters.len(),
+            });
+        }
+        let sizes = workload.switch_demands(self.topology.hosts_per_switch());
+        let mut rng = StdRng::seed_from_u64(seed);
+        let (result, _) = TabuSearch::new(self.tabu).search_weighted(
+            &self.table,
+            &sizes,
+            weights,
+            &mut rng,
+        );
+        let mapping = ProcessMapping::place(&self.topology, workload, &result.partition)?;
+        Ok(ScheduleOutcome {
+            quality: self.evaluate(&result.partition),
+            partition: result.partition,
+            mapping,
+            winning_seed: seed,
+        })
+    }
+
+    /// The paper's baseline: place `workload` on a uniformly random
+    /// partition (the `R_i` mappings of Figures 3 and 5).
+    ///
+    /// # Errors
+    /// See [`ScheduleError`].
+    pub fn random_mapping(
+        &self,
+        workload: &Workload,
+        seed: u64,
+    ) -> Result<ScheduleOutcome, ScheduleError> {
+        use rand::rngs::StdRng;
+        use rand::SeedableRng;
+        workload.validate(&self.topology)?;
+        let sizes = workload.switch_demands(self.topology.hosts_per_switch());
+        let mut rng = StdRng::seed_from_u64(seed);
+        let partition = Partition::random(self.topology.num_switches(), &sizes, &mut rng)
+            .expect("validated workload sizes");
+        let mapping = ProcessMapping::place(&self.topology, workload, &partition)?;
+        Ok(ScheduleOutcome {
+            quality: self.evaluate(&partition),
+            partition,
+            mapping,
+            winning_seed: seed,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use commsched_topology::designed;
+
+    #[test]
+    fn schedules_the_designed_network() {
+        let topo = designed::paper_24_switch();
+        let sched = Scheduler::new(topo, RoutingKind::UpDown { root: 0 }).unwrap();
+        let workload = Workload::balanced(sched.topology(), 4).unwrap();
+        let outcome = sched.schedule(&workload, 1).unwrap();
+        let truth = Partition::from_clusters(&designed::ring_of_rings_clusters(4, 6)).unwrap();
+        assert!(outcome.partition.same_grouping(&truth));
+        assert!(outcome.quality.cc > 1.0);
+        // Mapping covers all 96 hosts.
+        assert_eq!(outcome.mapping.num_hosts(), 96);
+    }
+
+    #[test]
+    fn scheduled_beats_random() {
+        let topo = designed::paper_24_switch();
+        let sched = Scheduler::new(topo, RoutingKind::UpDown { root: 0 }).unwrap();
+        let workload = Workload::balanced(sched.topology(), 4).unwrap();
+        let op = sched.schedule(&workload, 1).unwrap();
+        for seed in 0..5 {
+            let r = sched.random_mapping(&workload, seed).unwrap();
+            if r.partition.same_grouping(&op.partition) {
+                continue;
+            }
+            assert!(op.quality.cc > r.quality.cc);
+            assert!(op.quality.fg < r.quality.fg);
+        }
+    }
+
+    #[test]
+    fn shortest_path_variant_works() {
+        let topo = designed::ring(8, 4);
+        let sched = Scheduler::new(topo, RoutingKind::ShortestPath).unwrap();
+        let workload = Workload::balanced(sched.topology(), 4).unwrap();
+        let outcome = sched.schedule(&workload, 2).unwrap();
+        // Ring of 8 into 4 clusters of 2: optimal clusters are adjacent
+        // pairs; every cluster's two switches must be neighbours.
+        for members in outcome.partition.clusters() {
+            assert_eq!(members.len(), 2);
+            assert!(sched.topology().has_link(members[0], members[1]));
+        }
+    }
+
+    #[test]
+    fn workload_mismatch_reported() {
+        let topo = designed::ring(6, 4);
+        let sched = Scheduler::new(topo, RoutingKind::default()).unwrap();
+        let bad = Workload::balanced(&designed::ring(8, 4), 4).unwrap();
+        assert!(matches!(
+            sched.schedule(&bad, 0),
+            Err(ScheduleError::Workload(_))
+        ));
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let topo = designed::ring(8, 4);
+        let sched = Scheduler::new(topo, RoutingKind::default()).unwrap();
+        let workload = Workload::balanced(sched.topology(), 2).unwrap();
+        let a = sched.schedule(&workload, 5).unwrap();
+        let b = sched.schedule(&workload, 5).unwrap();
+        assert_eq!(a.partition, b.partition);
+        assert_eq!(a.winning_seed, b.winning_seed);
+    }
+
+    #[test]
+    fn weighted_schedule_validates_and_runs() {
+        let topo = designed::paper_24_switch();
+        let sched = Scheduler::new(topo, RoutingKind::default()).unwrap();
+        let workload = Workload::balanced(sched.topology(), 4).unwrap();
+        let outcome = sched
+            .schedule_weighted(&workload, &[10.0, 1.0, 1.0, 1.0], 2)
+            .unwrap();
+        assert_eq!(outcome.mapping.num_hosts(), 96);
+        // Wrong weight count rejected.
+        assert!(sched.schedule_weighted(&workload, &[1.0], 2).is_err());
+        // Non-positive weights rejected.
+        assert!(sched
+            .schedule_weighted(&workload, &[1.0, 1.0, 0.0, 1.0], 2)
+            .is_err());
+    }
+}

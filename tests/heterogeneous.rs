@@ -1,0 +1,114 @@
+//! Heterogeneous link speeds end-to-end: the distance model charges slow
+//! links more, the scheduler routes applications around them, and the
+//! simulator's throughput reflects them.
+
+use commsched::core::Workload;
+use commsched::netsim::{simulate, SimConfig};
+use commsched::topology::TopologyBuilder;
+use commsched::{RoutingKind, Scheduler};
+
+/// A 4-ring with alternating fast/slow links: 0-1 fast, 1-2 slow,
+/// 2-3 fast, 3-0 slow.
+fn alternating_ring(slow: u32) -> commsched::topology::Topology {
+    TopologyBuilder::new(4, 4)
+        .link(0, 1)
+        .link_with_slowdown(1, 2, slow)
+        .link(2, 3)
+        .link_with_slowdown(3, 0, slow)
+        .build()
+        .unwrap()
+}
+
+/// Hop counts cannot distinguish the two balanced pairings of the
+/// alternating ring; the speed-aware distance table must pick the pairing
+/// along the fast links.
+#[test]
+fn scheduler_groups_along_fast_links() {
+    let topo = alternating_ring(8);
+    let sched = Scheduler::new(topo, RoutingKind::ShortestPath).unwrap();
+    // The fast pairs are electrically close.
+    assert!(sched.table().get(0, 1) < sched.table().get(1, 2));
+    let wl = Workload::balanced(sched.topology(), 2).unwrap();
+    let outcome = sched.schedule(&wl, 3).unwrap();
+    let fast = commsched::core::Partition::new(vec![0, 0, 1, 1], 2).unwrap();
+    assert!(
+        outcome.partition.same_grouping(&fast),
+        "expected the fast pairing, got {}",
+        outcome.partition
+    );
+}
+
+/// With homogeneous speeds the same network is symmetric: both pairings
+/// tie, so the slowdown is genuinely what breaks the tie above.
+#[test]
+fn homogeneous_ring_is_symmetric() {
+    let topo = alternating_ring(1);
+    assert!(topo.is_link_homogeneous());
+    let sched = Scheduler::new(topo, RoutingKind::ShortestPath).unwrap();
+    let fast = sched.evaluate(&commsched::core::Partition::new(vec![0, 0, 1, 1], 2).unwrap());
+    let other = sched.evaluate(&commsched::core::Partition::new(vec![0, 1, 1, 0], 2).unwrap());
+    assert!((fast.fg - other.fg).abs() < 1e-9);
+}
+
+/// A slow link caps throughput at 1/slowdown flits per cycle per
+/// direction.
+#[test]
+fn slow_link_caps_throughput() {
+    let slow = 4u32;
+    let topo = TopologyBuilder::new(2, 1)
+        .link_with_slowdown(0, 1, slow)
+        .build()
+        .unwrap();
+    let sched = Scheduler::new(topo, RoutingKind::UpDown { root: 0 }).unwrap();
+    let cfg = SimConfig {
+        injection_rate: 1.0, // far beyond the slow link's capacity
+        warmup_cycles: 1_000,
+        measure_cycles: 6_000,
+        seed: 9,
+        ..Default::default()
+    };
+    let stats = simulate(sched.topology(), sched.routing(), &[0, 0], cfg).unwrap();
+    assert!(!stats.deadlocked);
+    let cap = 1.0 / f64::from(slow);
+    assert!(
+        stats.accepted_flits_per_host_cycle <= cap + 0.02,
+        "accepted {} above slow-link cap {cap}",
+        stats.accepted_flits_per_host_cycle
+    );
+    assert!(
+        stats.accepted_flits_per_host_cycle > 0.5 * cap,
+        "accepted {} implausibly low for cap {cap}",
+        stats.accepted_flits_per_host_cycle
+    );
+}
+
+/// End-to-end: on the alternating ring, the speed-aware mapping accepts
+/// more traffic than the pairing that straddles slow links.
+#[test]
+fn fast_pairing_outperforms_slow_pairing_in_simulation() {
+    let topo = alternating_ring(6);
+    let sched = Scheduler::new(topo, RoutingKind::UpDown { root: 0 }).unwrap();
+    let cfg = SimConfig {
+        injection_rate: 0.4,
+        warmup_cycles: 800,
+        measure_cycles: 4_000,
+        seed: 12,
+        ..Default::default()
+    };
+    // Fast pairing: apps on {0,1} and {2,3}; slow pairing: {1,2} and {3,0}.
+    let fast_clusters: Vec<usize> = (0..16).map(|h| if h / 4 <= 1 { 0 } else { 1 }).collect();
+    let slow_clusters: Vec<usize> = (0..16)
+        .map(|h| match h / 4 {
+            1 | 2 => 0,
+            _ => 1,
+        })
+        .collect();
+    let fast = simulate(sched.topology(), sched.routing(), &fast_clusters, cfg).unwrap();
+    let slow = simulate(sched.topology(), sched.routing(), &slow_clusters, cfg).unwrap();
+    assert!(
+        fast.accepted_flits_per_switch_cycle > 1.2 * slow.accepted_flits_per_switch_cycle,
+        "fast pairing {} vs slow pairing {}",
+        fast.accepted_flits_per_switch_cycle,
+        slow.accepted_flits_per_switch_cycle
+    );
+}

@@ -1,0 +1,59 @@
+//! The §4.2 optimality claim as an integration test: on small networks the
+//! tabu minimum equals the exhaustive optimum. (The 16-switch case runs in
+//! the `verify_optimality` release binary; debug-profile tests cover 8 and
+//! 12 switches.)
+
+use commsched::distance::equivalent_distance_table;
+use commsched::routing::UpDownRouting;
+use commsched::search::{ExhaustiveSearch, Mapper, TabuParams, TabuSearch};
+use commsched::topology::{random_regular, RandomTopologyConfig};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn check_optimality(switches: usize, topo_seed: u64) {
+    let mut rng = StdRng::seed_from_u64(topo_seed);
+    let topo = random_regular(RandomTopologyConfig::paper(switches), &mut rng).unwrap();
+    let routing = UpDownRouting::new(&topo, 0).unwrap();
+    let table = equivalent_distance_table(&topo, &routing).unwrap();
+    let sizes = vec![switches / 4; 4];
+
+    let mut rng = StdRng::seed_from_u64(99);
+    let tabu = TabuSearch::new(TabuParams::scaled(switches)).search(&table, &sizes, &mut rng);
+    let exact = ExhaustiveSearch.search(&table, &sizes, &mut rng);
+
+    assert!(
+        (tabu.fg - exact.fg).abs() < 1e-9,
+        "{switches} switches (seed {topo_seed}): tabu {} vs exact {}",
+        tabu.fg,
+        exact.fg
+    );
+}
+
+#[test]
+fn tabu_matches_exhaustive_8_switches() {
+    for seed in [10, 11, 12] {
+        check_optimality(8, seed);
+    }
+}
+
+#[test]
+fn tabu_matches_exhaustive_12_switches() {
+    check_optimality(12, 20);
+}
+
+#[test]
+fn tabu_never_below_exhaustive() {
+    // Regardless of seed, tabu can never return a value below the true
+    // optimum — guards against evaluation bugs that report impossible F_G.
+    let mut rng = StdRng::seed_from_u64(31);
+    let topo = random_regular(RandomTopologyConfig::paper(8), &mut rng).unwrap();
+    let routing = UpDownRouting::new(&topo, 0).unwrap();
+    let table = equivalent_distance_table(&topo, &routing).unwrap();
+    let mut rng2 = StdRng::seed_from_u64(0);
+    let exact = ExhaustiveSearch.search(&table, &[2, 2, 2, 2], &mut rng2);
+    for seed in 0..10u64 {
+        let mut rng3 = StdRng::seed_from_u64(seed);
+        let tabu = TabuSearch::default().search(&table, &[2, 2, 2, 2], &mut rng3);
+        assert!(tabu.fg >= exact.fg - 1e-9);
+    }
+}

@@ -1,0 +1,94 @@
+//! End-to-end pipeline tests: topology → routing → distance table → tabu
+//! search → quality, across topology families.
+
+use commsched::core::{quality, Partition, Workload};
+use commsched::topology::{designed, random_regular, RandomTopologyConfig};
+use commsched::{RoutingKind, Scheduler};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+#[test]
+fn scheduler_pipeline_on_random_networks() {
+    for seed in [1u64, 2, 3] {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let topo = random_regular(RandomTopologyConfig::paper(16), &mut rng).unwrap();
+        let sched = Scheduler::new(topo, RoutingKind::UpDown { root: 0 }).unwrap();
+        let wl = Workload::balanced(sched.topology(), 4).unwrap();
+        let outcome = sched.schedule(&wl, 10).unwrap();
+        assert_eq!(outcome.partition.sizes(), vec![4, 4, 4, 4]);
+        assert!(outcome.quality.fg > 0.0 && outcome.quality.fg < 1.0,
+            "scheduled F_G should beat the random expectation of 1: {}", outcome.quality.fg);
+        assert!(outcome.quality.cc > 1.0);
+        // Beats the mean of random placements.
+        let mut random_ccs = Vec::new();
+        for s in 0..5 {
+            random_ccs.push(sched.random_mapping(&wl, s).unwrap().quality.cc);
+        }
+        let mean: f64 = random_ccs.iter().sum::<f64>() / random_ccs.len() as f64;
+        assert!(outcome.quality.cc > mean);
+    }
+}
+
+#[test]
+fn scheduler_works_across_topology_families() {
+    for (name, topo, clusters) in [
+        ("ring", designed::ring(8, 4), 4),
+        ("mesh", designed::mesh(4, 4, 4), 4),
+        ("torus", designed::torus(4, 4, 4), 4),
+        ("hypercube", designed::hypercube(4, 4), 4),
+        ("rings", designed::ring_of_rings(2, 4, 4), 2),
+    ] {
+        let sched = Scheduler::new(topo, RoutingKind::UpDown { root: 0 })
+            .unwrap_or_else(|e| panic!("{name}: {e}"));
+        let wl = Workload::balanced(sched.topology(), clusters).unwrap();
+        let outcome = sched.schedule(&wl, 3).unwrap();
+        assert!(
+            outcome.quality.fg.is_finite() && outcome.quality.fg > 0.0,
+            "{name}: F_G = {}",
+            outcome.quality.fg
+        );
+    }
+}
+
+#[test]
+fn two_rings_identified_exactly() {
+    let topo = designed::ring_of_rings(2, 4, 4);
+    let sched = Scheduler::new(topo, RoutingKind::UpDown { root: 0 }).unwrap();
+    let wl = Workload::balanced(sched.topology(), 2).unwrap();
+    let outcome = sched.schedule(&wl, 0).unwrap();
+    let truth = Partition::from_clusters(&designed::ring_of_rings_clusters(2, 4)).unwrap();
+    assert!(outcome.partition.same_grouping(&truth));
+}
+
+#[test]
+fn quality_is_routing_sensitive() {
+    // The same topology under different routings gives different tables;
+    // an up*/down* root near one cluster skews the distances.
+    let topo = designed::ring(8, 4);
+    let ud = Scheduler::new(topo.clone(), RoutingKind::UpDown { root: 0 }).unwrap();
+    let sp = Scheduler::new(topo, RoutingKind::ShortestPath).unwrap();
+    let p = Partition::new(vec![0, 0, 1, 1, 2, 2, 3, 3], 4).unwrap();
+    let q_ud = quality(&p, ud.table());
+    let q_sp = quality(&p, sp.table());
+    // Up*/down* forbids some minimal paths: distances (and thus the
+    // absolute F values) must differ.
+    assert_ne!(q_ud.fg, q_sp.fg);
+}
+
+#[test]
+fn workload_validation_round_trip() {
+    let topo = designed::ring(8, 4);
+    let sched = Scheduler::new(topo, RoutingKind::default()).unwrap();
+    // 3 clusters cannot split 32 hosts into switch-aligned groups evenly.
+    assert!(Workload::balanced(sched.topology(), 3).is_err());
+    let wl = Workload::balanced(sched.topology(), 2).unwrap();
+    let outcome = sched.schedule(&wl, 0).unwrap();
+    assert_eq!(outcome.mapping.num_hosts(), 32);
+    // Every host's cluster matches its switch's cluster.
+    for h in 0..32 {
+        assert_eq!(
+            outcome.mapping.cluster_of_host(h),
+            outcome.partition.cluster_of(h / 4)
+        );
+    }
+}

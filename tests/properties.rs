@@ -1,0 +1,130 @@
+//! Property-based cross-crate invariants (proptest).
+
+use commsched::core::{
+    dissimilarity_dg, intra_square_sum, similarity_fg, Partition, SwapEvaluator,
+};
+use commsched::distance::{equivalent_distance_table, hop_distance_table, DistanceTable};
+use commsched::routing::{Routing, ShortestPathRouting, UpDownRouting};
+use commsched::topology::{random_regular, RandomTopologyConfig, Topology};
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// A random 3-regular topology from a proptest-chosen seed.
+fn arb_topology() -> impl Strategy<Value = Topology> {
+    (any::<u64>(), prop_oneof![Just(8usize), Just(12), Just(16)]).prop_map(|(seed, n)| {
+        let mut rng = StdRng::seed_from_u64(seed);
+        random_regular(RandomTopologyConfig::paper(n), &mut rng).expect("regular net exists")
+    })
+}
+
+fn table_of(topo: &Topology) -> DistanceTable {
+    let routing = UpDownRouting::new(topo, 0).expect("connected");
+    equivalent_distance_table(topo, &routing).expect("routable")
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// The distance table is symmetric, zero on the diagonal, strictly
+    /// positive off it, and bounded above by the legal route length.
+    #[test]
+    fn distance_table_invariants(topo in arb_topology()) {
+        let routing = UpDownRouting::new(&topo, 0).unwrap();
+        let table = equivalent_distance_table(&topo, &routing).unwrap();
+        let n = topo.num_switches();
+        for i in 0..n {
+            prop_assert_eq!(table.get(i, i), 0.0);
+            for j in 0..n {
+                prop_assert!((table.get(i, j) - table.get(j, i)).abs() < 1e-9);
+                if i != j {
+                    prop_assert!(table.get(i, j) > 0.0);
+                    prop_assert!(
+                        table.get(i, j) <= f64::from(routing.route_distance(i, j)) + 1e-9
+                    );
+                }
+            }
+        }
+    }
+
+    /// Routing constraints only lengthen *route distances* (hops). Note the
+    /// same is NOT true of the equivalent-distance tables: an up*/down*
+    /// detour can traverse a region with more parallel paths than the
+    /// single forbidden shortest path, lowering the effective resistance —
+    /// exactly the kind of routing effect the model is built to capture.
+    #[test]
+    fn updown_routes_never_shorter(topo in arb_topology()) {
+        let ud = UpDownRouting::new(&topo, 0).unwrap();
+        let sp = ShortestPathRouting::new(&topo).unwrap();
+        for i in 0..topo.num_switches() {
+            for j in 0..topo.num_switches() {
+                prop_assert!(ud.route_distance(i, j) >= sp.route_distance(i, j));
+            }
+        }
+    }
+
+    /// Eq. 2/Eq. 5 bookkeeping: intracluster and intercluster quadratic
+    /// sums split the total, and the weighted mean of F_G and D_G (by pair
+    /// counts, scaled by the mean square) is exactly 1.
+    #[test]
+    fn quality_function_identities(
+        topo in arb_topology(),
+        partition_seed in any::<u64>(),
+    ) {
+        let table = table_of(&topo);
+        let n = topo.num_switches();
+        let mut rng = StdRng::seed_from_u64(partition_seed);
+        let p = Partition::random_balanced(n, 4, &mut rng).unwrap();
+
+        let intra = intra_square_sum(&p, &table);
+        prop_assert!(intra <= table.total_square() + 1e-9);
+
+        let fg = similarity_fg(&p, &table);
+        let dg = dissimilarity_dg(&p, &table);
+        let pairs_intra = p.intra_pairs() as f64;
+        let pairs_inter = p.inter_pairs() as f64;
+        let total_pairs = pairs_intra + pairs_inter;
+        // fg*intra_pairs + dg*inter_pairs = total / mean_square = total pairs.
+        let lhs = fg * pairs_intra + dg * pairs_inter;
+        prop_assert!((lhs - total_pairs).abs() < 1e-6,
+            "identity violated: {} vs {}", lhs, total_pairs);
+    }
+
+    /// The incremental evaluator agrees with the direct formula after any
+    /// random swap sequence.
+    #[test]
+    fn swap_evaluator_consistency(
+        topo in arb_topology(),
+        seed in any::<u64>(),
+        swaps in proptest::collection::vec((any::<u32>(), any::<u32>()), 0..30),
+    ) {
+        let table = table_of(&topo);
+        let n = topo.num_switches();
+        let mut rng = StdRng::seed_from_u64(seed);
+        let p = Partition::random_balanced(n, 4, &mut rng).unwrap();
+        let mut eval = SwapEvaluator::new(p, &table);
+        for (a, b) in swaps {
+            let (a, b) = (a as usize % n, b as usize % n);
+            if eval.partition().cluster_of(a) == eval.partition().cluster_of(b) {
+                continue;
+            }
+            eval.apply_swap(a, b);
+        }
+        let direct = similarity_fg(eval.partition(), &table);
+        prop_assert!((eval.fg() - direct).abs() < 1e-9);
+    }
+
+    /// Hop tables dominate resistance tables entrywise (parallel paths can
+    /// only lower the effective resistance below the hop count).
+    #[test]
+    fn resistance_bounded_by_hops(topo in arb_topology()) {
+        let routing = UpDownRouting::new(&topo, 0).unwrap();
+        let res = equivalent_distance_table(&topo, &routing).unwrap();
+        let hops = hop_distance_table(&routing);
+        for i in 0..topo.num_switches() {
+            for j in 0..topo.num_switches() {
+                prop_assert!(res.get(i, j) <= hops.get(i, j) + 1e-9);
+            }
+        }
+    }
+}
