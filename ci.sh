@@ -1,0 +1,21 @@
+#!/usr/bin/env sh
+# Offline CI gate: formatting, lints, and the tier-1 build+test cycle.
+# Everything runs against the vendored in-tree dependency shims, so no
+# network (and no crates.io registry) is needed.
+set -eu
+
+cd "$(dirname "$0")"
+
+echo "==> cargo fmt --check"
+cargo fmt --all --check
+
+echo "==> cargo clippy --workspace -- -D warnings"
+cargo clippy --workspace --all-targets -- -D warnings
+
+echo "==> cargo build --release"
+cargo build --release
+
+echo "==> cargo test -q --workspace"
+cargo test -q --workspace
+
+echo "==> ci.sh: all green"

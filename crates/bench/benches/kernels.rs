@@ -26,9 +26,7 @@ fn bench_distance_table(c: &mut Criterion) {
             BenchmarkId::new("serial", testbed.name),
             &testbed,
             |b, t| {
-                b.iter(|| {
-                    equivalent_distance_table(black_box(&t.topology), &t.routing).unwrap()
-                })
+                b.iter(|| equivalent_distance_table(black_box(&t.topology), &t.routing).unwrap())
             },
         );
         group.bench_with_input(
@@ -107,8 +105,7 @@ fn bench_netsim(c: &mut Criterion) {
                 };
                 b.iter(|| {
                     let pattern = TrafficPattern::new(clusters.clone());
-                    let mut sim =
-                        Simulator::new(&t.topology, &t.routing, pattern, cfg).unwrap();
+                    let mut sim = Simulator::new(&t.topology, &t.routing, pattern, cfg).unwrap();
                     black_box(sim.run())
                 })
             },
@@ -127,8 +124,7 @@ fn bench_netsim(c: &mut Criterion) {
                 };
                 b.iter(|| {
                     let pattern = TrafficPattern::new(clusters.clone());
-                    let mut sim =
-                        Simulator::new(&t.topology, &t.routing, pattern, cfg).unwrap();
+                    let mut sim = Simulator::new(&t.topology, &t.routing, pattern, cfg).unwrap();
                     black_box(sim.run())
                 })
             },

@@ -59,10 +59,9 @@ fn ablate_seeds(testbed: &Testbed) {
 
 fn ablate_metric(testbed: &Testbed) {
     println!("# ablation: equivalent-resistance table vs plain hop table (24-switch)");
-    let truth = Partition::from_clusters(&commsched_topology::designed::ring_of_rings_clusters(
-        4, 6,
-    ))
-    .expect("valid ground truth");
+    let truth =
+        Partition::from_clusters(&commsched_topology::designed::ring_of_rings_clusters(4, 6))
+            .expect("valid ground truth");
     for (label, table) in [
         ("resistance", testbed.table.clone()),
         ("hops", hop_distance_table(&testbed.routing)),
@@ -163,8 +162,7 @@ fn ablate_sim_params(testbed: &Testbed) {
                 buffer_flits: buffer,
                 ..testbed.sim_config()
             };
-            let s = simulate(&testbed.topology, &testbed.routing, &clusters, cfg)
-                .expect("sim");
+            let s = simulate(&testbed.topology, &testbed.routing, &clusters, cfg).expect("sim");
             println!(
                 "  {msg_len:<8} {buffer:<7} {:<18.4} {:.1}",
                 s.accepted_flits_per_switch_cycle, s.avg_network_latency
@@ -183,8 +181,7 @@ fn ablate_root(testbed: &Testbed) {
     println!("# root  degree  OP_F_G      accepted(f/sw/cy at 0.5 f/host/cy)");
     let threads = std::thread::available_parallelism().map_or(4, usize::from);
     for root in [0usize, 5, 10, 15] {
-        let routing =
-            UpDownRouting::new(&testbed.topology, root).expect("connected testbed");
+        let routing = UpDownRouting::new(&testbed.topology, root).expect("connected testbed");
         let table = equivalent_distance_table_parallel(&testbed.topology, &routing, threads)
             .expect("routable");
         let mut rng = StdRng::seed_from_u64(SEARCH_SEED);

@@ -13,10 +13,12 @@ fn main() {
     let (best, q, trace) = testbed.tabu_mapping();
 
     println!("# Figure 1: Tabu search in a 16-switch network");
-    println!("# network = {} ({} switches, {} links)",
+    println!(
+        "# network = {} ({} switches, {} links)",
         testbed.name,
         testbed.topology.num_switches(),
-        testbed.topology.num_links());
+        testbed.topology.num_links()
+    );
     println!("# columns: iteration seed F_G seed_start");
     for e in &trace.events {
         println!(

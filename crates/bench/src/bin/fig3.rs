@@ -38,9 +38,10 @@ fn main() {
     }
 
     let ratio = op_sweep.throughput() / best_random;
-    println!("# OP throughput            = {:.4} flits/switch/cycle", op_sweep.throughput());
-    println!("# best random throughput   = {best_random:.4} flits/switch/cycle");
     println!(
-        "# OP / best-random ratio   = {ratio:.2}x  (paper: ~1.85x over any random mapping)"
+        "# OP throughput            = {:.4} flits/switch/cycle",
+        op_sweep.throughput()
     );
+    println!("# best random throughput   = {best_random:.4} flits/switch/cycle");
+    println!("# OP / best-random ratio   = {ratio:.2}x  (paper: ~1.85x over any random mapping)");
 }

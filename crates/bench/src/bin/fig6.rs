@@ -28,8 +28,17 @@ fn correlation_experiment(testbed: &Testbed, num_random: u64) {
         sweeps.push(testbed.sweep_mapping(&rp, &rates));
     }
 
-    println!("# network {}: {} mappings (OP + {num_random} random)", testbed.name, ccs.len());
-    println!("# Cc values: {:?}", ccs.iter().map(|c| (c * 1000.0).round() / 1000.0).collect::<Vec<_>>());
+    println!(
+        "# network {}: {} mappings (OP + {num_random} random)",
+        testbed.name,
+        ccs.len()
+    );
+    println!(
+        "# Cc values: {:?}",
+        ccs.iter()
+            .map(|c| (c * 1000.0).round() / 1000.0)
+            .collect::<Vec<_>>()
+    );
     println!("# point  r(Cc, accepted)   r(Cc, -latency)");
     for k in 0..rates.len() {
         let accepted: Vec<f64> = sweeps
@@ -59,10 +68,7 @@ fn correlation_experiment(testbed: &Testbed, num_random: u64) {
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
-    let num_random: u64 = args
-        .iter()
-        .find_map(|a| a.parse().ok())
-        .unwrap_or(6);
+    let num_random: u64 = args.iter().find_map(|a| a.parse().ok()).unwrap_or(6);
     let extra = args.iter().any(|a| a == "--extra");
 
     println!("# Figure 6: correlation of Cc with network performance");

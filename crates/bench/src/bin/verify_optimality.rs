@@ -33,8 +33,7 @@ fn main() {
             .expect("random testbed network");
         let routing = UpDownRouting::new(&topo, 0).expect("connected");
         let threads = std::thread::available_parallelism().map_or(4, usize::from);
-        let table =
-            equivalent_distance_table_parallel(&topo, &routing, threads).expect("routable");
+        let table = equivalent_distance_table_parallel(&topo, &routing, threads).expect("routable");
         let sizes = vec![n / 4; 4];
 
         let mut rng = StdRng::seed_from_u64(SEARCH_SEED);

@@ -171,7 +171,10 @@ pub fn print_sweep(label: &str, cc: f64, sweep: &LoadSweep, hosts_per_switch: us
             p.stats.avg_network_latency,
         );
     }
-    println!("  throughput = {:.4} flits/switch/cycle", sweep.throughput());
+    println!(
+        "  throughput = {:.4} flits/switch/cycle",
+        sweep.throughput()
+    );
 }
 
 /// The routing used by every experiment, exposed for the benches.

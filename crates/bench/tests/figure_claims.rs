@@ -125,7 +125,16 @@ fn fig6_correlation_by_regime() {
     let cfg = quick(&t);
     let sweeps: Vec<_> = partitions
         .iter()
-        .map(|p| sweep(&t.topology, &t.routing, &t.host_clusters(p), cfg, &[low, high]).unwrap())
+        .map(|p| {
+            sweep(
+                &t.topology,
+                &t.routing,
+                &t.host_clusters(p),
+                cfg,
+                &[low, high],
+            )
+            .unwrap()
+        })
         .collect();
     let neg_latency_low: Vec<f64> = sweeps
         .iter()

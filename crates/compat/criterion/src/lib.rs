@@ -1,0 +1,190 @@
+#![warn(missing_docs)]
+
+//! Offline stand-in for the `criterion` crate.
+//!
+//! Implements the API surface the workspace benches use — `Criterion`,
+//! `bench_function`, `benchmark_group` (with `sample_size`,
+//! `bench_with_input`, `finish`), `BenchmarkId`, `criterion_group!`,
+//! `criterion_main!` — on a plain wall-clock harness: each benchmark is
+//! warmed up once, then timed over a fixed number of samples and reported
+//! as mean time per iteration on stdout. No statistics beyond min/mean are
+//! attempted; this keeps `cargo bench` runnable without crates.io access.
+
+use std::time::{Duration, Instant};
+
+/// Identifier for a parameterized benchmark (`group/function/parameter`).
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    name: String,
+}
+
+impl BenchmarkId {
+    /// `function_name/parameter` id.
+    pub fn new<P: std::fmt::Display>(function_name: &str, parameter: P) -> Self {
+        Self {
+            name: format!("{function_name}/{parameter}"),
+        }
+    }
+}
+
+impl std::fmt::Display for BenchmarkId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.name)
+    }
+}
+
+/// Per-benchmark timing context passed to the closure.
+pub struct Bencher {
+    samples: usize,
+    /// Measured mean duration of one iteration, filled by [`Bencher::iter`].
+    mean: Duration,
+    min: Duration,
+}
+
+impl Bencher {
+    /// Time `routine`: one warm-up call, then `samples` timed calls.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut routine: F) {
+        std::hint::black_box(routine());
+        let mut total = Duration::ZERO;
+        let mut min = Duration::MAX;
+        for _ in 0..self.samples {
+            let start = Instant::now();
+            std::hint::black_box(routine());
+            let dt = start.elapsed();
+            total += dt;
+            min = min.min(dt);
+        }
+        self.mean = total / self.samples as u32;
+        self.min = min;
+    }
+}
+
+fn run_bench<F: FnMut(&mut Bencher)>(label: &str, samples: usize, mut f: F) {
+    let mut b = Bencher {
+        samples,
+        mean: Duration::ZERO,
+        min: Duration::MAX,
+    };
+    f(&mut b);
+    println!(
+        "bench: {label:<50} mean {:>12.3?}  min {:>12.3?}  ({} samples)",
+        b.mean, b.min, samples
+    );
+}
+
+/// A named group of benchmarks sharing a sample size.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    samples: usize,
+    _criterion: &'a mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Set the number of timed samples per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.samples = n.max(1);
+        self
+    }
+
+    /// Run one benchmark in the group.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: &str, f: F) -> &mut Self {
+        run_bench(&format!("{}/{id}", self.name), self.samples, f);
+        self
+    }
+
+    /// Run one benchmark with an explicit input value.
+    pub fn bench_with_input<I: ?Sized, F: FnMut(&mut Bencher, &I)>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self {
+        run_bench(&format!("{}/{id}", self.name), self.samples, |b| {
+            f(b, input);
+        });
+        self
+    }
+
+    /// End the group (no-op; reports are printed as benchmarks run).
+    pub fn finish(&mut self) {}
+}
+
+/// The benchmark harness entry point.
+#[derive(Default)]
+pub struct Criterion {}
+
+impl Criterion {
+    /// Number of timed samples per benchmark unless a group overrides it.
+    const DEFAULT_SAMPLES: usize = 20;
+
+    /// Run a stand-alone benchmark.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: &str, f: F) -> &mut Self {
+        run_bench(id, Self::DEFAULT_SAMPLES, f);
+        self
+    }
+
+    /// Open a named benchmark group.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: name.to_string(),
+            samples: Self::DEFAULT_SAMPLES,
+            _criterion: self,
+        }
+    }
+}
+
+/// Declare a group of benchmark functions.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Declare the bench binary's `main`, running the given groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_function_times_the_closure() {
+        let mut c = Criterion::default();
+        let mut runs = 0usize;
+        c.bench_function("noop", |b| {
+            b.iter(|| {
+                runs += 1;
+            })
+        });
+        // One warm-up plus DEFAULT_SAMPLES timed runs.
+        assert_eq!(runs, Criterion::DEFAULT_SAMPLES + 1);
+    }
+
+    #[test]
+    fn groups_honour_sample_size() {
+        let mut c = Criterion::default();
+        let mut runs = 0usize;
+        {
+            let mut g = c.benchmark_group("g");
+            g.sample_size(5);
+            g.bench_with_input(BenchmarkId::new("f", 3), &2usize, |b, &x| {
+                b.iter(|| {
+                    runs += x;
+                })
+            });
+            g.finish();
+        }
+        assert_eq!(runs, 2 * 6);
+    }
+}

@@ -238,13 +238,23 @@ mod tests {
         }
     }
 
+    /// A pair of switches in different clusters (a legal swap), independent
+    /// of the RNG stream that produced the partition.
+    fn cross_cluster_pair(p: &Partition) -> (usize, usize) {
+        (1..24)
+            .map(|b| (0, b))
+            .find(|&(a, b)| p.cluster_of(a) != p.cluster_of(b))
+            .expect("a balanced 4-way partition has cross-cluster pairs")
+    }
+
     #[test]
     fn swap_and_inverse_cancel() {
         let (table, p) = setup();
+        let (a, b) = cross_cluster_pair(&p);
         let mut eval = SwapEvaluator::new(p.clone(), &table);
         let before = eval.fg();
-        eval.apply_swap(0, 23);
-        eval.apply_swap(0, 23);
+        eval.apply_swap(a, b);
+        eval.apply_swap(a, b);
         assert_close(eval.fg(), before);
         assert_eq!(eval.partition(), &p);
     }
@@ -252,8 +262,9 @@ mod tests {
     #[test]
     fn into_partition_returns_current_state() {
         let (table, p) = setup();
+        let (a, b) = cross_cluster_pair(&p);
         let mut eval = SwapEvaluator::new(p.clone(), &table);
-        eval.apply_swap(0, 23);
+        eval.apply_swap(a, b);
         let out = eval.into_partition();
         assert_ne!(out, p);
         assert_eq!(out.sizes(), p.sizes());

@@ -291,7 +291,10 @@ mod tests {
     #[test]
     fn validate_rejects_empty() {
         let t = designed::ring(4, 4);
-        assert_eq!(Workload::default().validate(&t).unwrap_err(), WorkloadError::Empty);
+        assert_eq!(
+            Workload::default().validate(&t).unwrap_err(),
+            WorkloadError::Empty
+        );
         let wl = Workload {
             clusters: vec![LogicalCluster::new("a", 16), LogicalCluster::new("b", 0)],
         };

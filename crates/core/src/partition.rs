@@ -314,10 +314,17 @@ mod tests {
     #[test]
     fn new_validates() {
         assert!(Partition::new(vec![0, 1, 0, 1], 2).is_ok());
-        assert_eq!(Partition::new(vec![], 0).unwrap_err(), PartitionError::Empty);
+        assert_eq!(
+            Partition::new(vec![], 0).unwrap_err(),
+            PartitionError::Empty
+        );
         assert!(matches!(
             Partition::new(vec![0, 2], 2).unwrap_err(),
-            PartitionError::ClusterOutOfRange { switch: 1, cluster: 2, .. }
+            PartitionError::ClusterOutOfRange {
+                switch: 1,
+                cluster: 2,
+                ..
+            }
         ));
         assert_eq!(
             Partition::new(vec![0, 0], 2).unwrap_err(),

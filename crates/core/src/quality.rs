@@ -119,7 +119,11 @@ pub struct Quality {
 pub fn quality(partition: &Partition, table: &DistanceTable) -> Quality {
     let fg = similarity_fg(partition, table);
     let dg = dissimilarity_dg(partition, table);
-    Quality { fg, dg, cc: dg / fg }
+    Quality {
+        fg,
+        dg,
+        cc: dg / fg,
+    }
 }
 
 #[cfg(test)]
@@ -233,8 +237,7 @@ mod tests {
         let t = designed::paper_24_switch();
         let r = ShortestPathRouting::new(&t).unwrap();
         let table = equivalent_distance_table(&t, &r).unwrap();
-        let truth =
-            Partition::from_clusters(&designed::ring_of_rings_clusters(4, 6)).unwrap();
+        let truth = Partition::from_clusters(&designed::ring_of_rings_clusters(4, 6)).unwrap();
         let cc_truth = clustering_coefficient(&truth, &table);
         let mut rng = StdRng::seed_from_u64(77);
         for _ in 0..20 {

@@ -158,10 +158,7 @@ impl<'t> WeightedSwapEvaluator<'t> {
             partition.num_clusters(),
             "one weight per cluster"
         );
-        assert!(
-            weights.iter().all(|&w| w > 0.0),
-            "weights must be positive"
-        );
+        assert!(weights.iter().all(|&w| w > 0.0), "weights must be positive");
         let n = partition.num_switches();
         let m = partition.num_clusters();
         let mut sums = vec![0.0; n * m];

@@ -98,7 +98,10 @@ pub fn table_from_text(text: &str) -> Result<DistanceTable, TableParseError> {
             }
             Some("row") => {
                 let row: Result<Vec<f64>, _> = parts
-                    .map(|v| v.parse::<f64>().map_err(|_| TableParseError::BadEntry { line }))
+                    .map(|v| {
+                        v.parse::<f64>()
+                            .map_err(|_| TableParseError::BadEntry { line })
+                    })
                     .collect();
                 let row = row?;
                 if row.iter().any(|x| !x.is_finite()) {

@@ -38,5 +38,5 @@ pub use linalg::{solve, LinalgError, Matrix};
 pub use resistance::{effective_resistance, effective_resistance_weighted, ResistanceError};
 pub use table::{
     equivalent_distance_table, equivalent_distance_table_parallel, hop_distance_table,
-    DistanceTable, TableError,
+    DistanceTable, SharedDistanceTable, TableError,
 };

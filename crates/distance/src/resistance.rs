@@ -110,7 +110,15 @@ pub fn effective_resistance_weighted(
 
     // Laplacian with row/column `ib` removed (grounding b); entries are
     // conductances 1/r.
-    let reduced = |i: usize| if i < ib { Some(i) } else if i == ib { None } else { Some(i - 1) };
+    let reduced = |i: usize| {
+        if i < ib {
+            Some(i)
+        } else if i == ib {
+            None
+        } else {
+            Some(i - 1)
+        }
+    };
     let mut lap = Matrix::zeros(k - 1, k - 1);
     for &(u, v, r) in &dedup {
         let g = 1.0 / r;
@@ -251,12 +259,8 @@ mod tests {
     #[test]
     fn unit_weights_match_unweighted() {
         let plain = effective_resistance(&[(0, 1), (1, 2), (0, 2)], 0, 2).unwrap();
-        let weighted = effective_resistance_weighted(
-            &[(0, 1, 1.0), (1, 2, 1.0), (0, 2, 1.0)],
-            0,
-            2,
-        )
-        .unwrap();
+        let weighted =
+            effective_resistance_weighted(&[(0, 1, 1.0), (1, 2, 1.0), (0, 2, 1.0)], 0, 2).unwrap();
         assert_close(plain, weighted);
     }
 

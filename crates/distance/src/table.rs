@@ -4,6 +4,14 @@ use crate::resistance::{effective_resistance_weighted, ResistanceError};
 use commsched_routing::Routing;
 use commsched_topology::{SwitchId, Topology};
 
+/// A cheaply clonable, immutable handle to a finished table.
+///
+/// Long-running consumers (the `commsched-service` distance-table cache)
+/// key finished tables by topology fingerprint and hand them to
+/// concurrent jobs; sharing an `Arc` makes each hand-off a pointer bump
+/// instead of an `N²` copy.
+pub type SharedDistanceTable = std::sync::Arc<DistanceTable>;
+
 /// A symmetric `N × N` table of internode distances with zero diagonal.
 ///
 /// `T[i][j]` is the equivalent distance between switches `i` and `j`. The
@@ -86,6 +94,11 @@ impl DistanceTable {
     /// Row `i` of the table.
     pub fn row(&self, i: SwitchId) -> &[f64] {
         &self.data[i * self.n..(i + 1) * self.n]
+    }
+
+    /// Wrap the finished table in a [`SharedDistanceTable`] handle.
+    pub fn into_shared(self) -> SharedDistanceTable {
+        std::sync::Arc::new(self)
     }
 
     /// Triples `(i, j, k)` violating the triangle inequality
@@ -221,21 +234,23 @@ pub fn equivalent_distance_table_parallel(
     let threads = threads.max(1).min(pairs.len().max(1));
     let chunk = pairs.len().div_ceil(threads);
     type PairChunk = Vec<((SwitchId, SwitchId), f64)>;
-    let results: Vec<Result<PairChunk, TableError>> =
-        std::thread::scope(|scope| {
-            let handles: Vec<_> = pairs
-                .chunks(chunk.max(1))
-                .map(|slice| {
-                    scope.spawn(move || {
-                        slice
-                            .iter()
-                            .map(|&(i, j)| pair_resistance(topo, routing, i, j).map(|d| ((i, j), d)))
-                            .collect()
-                    })
+    let results: Vec<Result<PairChunk, TableError>> = std::thread::scope(|scope| {
+        let handles: Vec<_> = pairs
+            .chunks(chunk.max(1))
+            .map(|slice| {
+                scope.spawn(move || {
+                    slice
+                        .iter()
+                        .map(|&(i, j)| pair_resistance(topo, routing, i, j).map(|d| ((i, j), d)))
+                        .collect()
                 })
-                .collect();
-            handles.into_iter().map(|h| h.join().expect("worker panicked")).collect()
-        });
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("worker panicked"))
+            .collect()
+    });
     let mut data = vec![0.0; n * n];
     for res in results {
         for ((i, j), d) in res? {
@@ -272,6 +287,17 @@ mod tests {
 
     fn assert_close(a: f64, b: f64) {
         assert!((a - b).abs() < 1e-9, "{a} != {b}");
+    }
+
+    #[test]
+    fn shared_handle_is_a_cheap_alias() {
+        let t = designed::line(3, 1);
+        let r = ShortestPathRouting::new(&t).unwrap();
+        let shared = equivalent_distance_table(&t, &r).unwrap().into_shared();
+        let other = std::sync::Arc::clone(&shared);
+        assert!(std::sync::Arc::ptr_eq(&shared, &other));
+        // Deref gives the full table API.
+        assert_close(other.get(0, 2), 2.0);
     }
 
     #[test]

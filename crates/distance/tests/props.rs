@@ -1,8 +1,6 @@
 //! Property tests for the resistance model and the linear solver.
 
-use commsched_distance::{
-    effective_resistance, equivalent_distance_table, solve, Matrix,
-};
+use commsched_distance::{effective_resistance, equivalent_distance_table, solve, Matrix};
 use commsched_routing::ShortestPathRouting;
 use commsched_topology::TopologyBuilder;
 use proptest::prelude::*;

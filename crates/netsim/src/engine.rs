@@ -230,9 +230,9 @@ impl<'a> Simulator<'a> {
             });
         }
         let adaptive = if cfg.fully_adaptive && cfg.virtual_channels >= 2 {
-            Some(ShortestPathRouting::new(topo).map_err(|_| SimError::Config(
-                "fully adaptive routing needs a connected topology",
-            ))?)
+            Some(ShortestPathRouting::new(topo).map_err(|_| {
+                SimError::Config("fully adaptive routing needs a connected topology")
+            })?)
         } else {
             None
         };
@@ -404,8 +404,7 @@ impl<'a> Simulator<'a> {
                 (self.sum_net_latency - net0) / dmsgs
             });
         }
-        let (accepted_mean, accepted_half_width) =
-            crate::stats::mean_and_half_width(&accepted);
+        let (accepted_mean, accepted_half_width) = crate::stats::mean_and_half_width(&accepted);
         let (latency_mean, latency_half_width) = crate::stats::mean_and_half_width(&latency);
         crate::stats::BatchedStats {
             batches,
@@ -483,8 +482,7 @@ impl<'a> Simulator<'a> {
     }
 
     fn in_flight(&self) -> bool {
-        self.queues.iter().any(|q| !q.is_empty())
-            || self.vcs.iter().any(|c| c.owner.is_some())
+        self.queues.iter().any(|q| !q.is_empty()) || self.vcs.iter().any(|c| c.owner.is_some())
     }
 
     /// Phase 1: Bernoulli message generation at every workstation.
@@ -738,10 +736,7 @@ impl<'a> Simulator<'a> {
                     continue;
                 }
                 // Pick the first winner at or after the rr pointer.
-                let keep = *winners
-                    .iter()
-                    .find(|&&v| v >= ch.rr)
-                    .unwrap_or(&winners[0]);
+                let keep = *winners.iter().find(|&&v| v >= ch.rr).unwrap_or(&winners[0]);
                 for &v in &winners {
                     if v != keep {
                         self.will_send[base + v] = false;
@@ -1178,11 +1173,7 @@ mod tests {
         let per_link = sim.link_flit_counts();
         let total: u64 = per_link.iter().sum();
         let avg = total as f64 / per_link.len() as f64;
-        let root_load: u64 = topo
-            .neighbors(0)
-            .iter()
-            .map(|&(_, l)| per_link[l])
-            .sum();
+        let root_load: u64 = topo.neighbors(0).iter().map(|&(_, l)| per_link[l]).sum();
         let root_avg = root_load as f64 / topo.degree(0) as f64;
         assert!(
             root_avg > avg,

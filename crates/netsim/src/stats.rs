@@ -34,8 +34,7 @@ impl SimStats {
     /// Whether the run accepted (nearly) all offered traffic: the
     /// conventional "not saturated" test, accepted ≥ `threshold` × offered.
     pub fn is_unsaturated(&self, threshold: f64) -> bool {
-        self.accepted_flits_per_host_cycle
-            >= threshold * self.offered_flits_per_host_cycle
+        self.accepted_flits_per_host_cycle >= threshold * self.offered_flits_per_host_cycle
     }
 }
 
@@ -65,9 +64,9 @@ pub struct BatchedStats {
 /// (clamped to the asymptotic 1.96 beyond the table).
 pub fn t_critical_95(df: usize) -> f64 {
     const TABLE: [f64; 30] = [
-        12.706, 4.303, 3.182, 2.776, 2.571, 2.447, 2.365, 2.306, 2.262, 2.228, 2.201, 2.179,
-        2.160, 2.145, 2.131, 2.120, 2.110, 2.101, 2.093, 2.086, 2.080, 2.074, 2.069, 2.064,
-        2.060, 2.056, 2.052, 2.048, 2.045, 2.042,
+        12.706, 4.303, 3.182, 2.776, 2.571, 2.447, 2.365, 2.306, 2.262, 2.228, 2.201, 2.179, 2.160,
+        2.145, 2.131, 2.120, 2.110, 2.101, 2.093, 2.086, 2.080, 2.074, 2.069, 2.064, 2.060, 2.056,
+        2.052, 2.048, 2.045, 2.042,
     ];
     match df {
         0 => f64::INFINITY,

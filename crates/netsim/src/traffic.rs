@@ -190,7 +190,10 @@ impl TrafficPattern {
             DestinationPolicy::RingNeighbor => {
                 // The next member after src's first occurrence whose host
                 // differs (cyclic scan).
-                let own_pos = peers.iter().position(|&h| h == src).expect("src is a member");
+                let own_pos = peers
+                    .iter()
+                    .position(|&h| h == src)
+                    .expect("src is a member");
                 (1..peers.len())
                     .map(|k| peers[(own_pos + k) % peers.len()])
                     .find(|&h| h != src)
@@ -300,10 +303,8 @@ mod tests {
 
     #[test]
     fn ring_neighbor_is_deterministic_cycle() {
-        let p = TrafficPattern::with_policy(
-            vec![0, 0, 0, 1, 1, 1],
-            DestinationPolicy::RingNeighbor,
-        );
+        let p =
+            TrafficPattern::with_policy(vec![0, 0, 0, 1, 1, 1], DestinationPolicy::RingNeighbor);
         let mut rng = StdRng::seed_from_u64(6);
         assert_eq!(p.destination(0, 0.0, &mut rng), Some(1));
         assert_eq!(p.destination(1, 0.0, &mut rng), Some(2));
@@ -362,20 +363,16 @@ mod tests {
     fn multi_process_same_host_only_cluster_is_silent() {
         // App 1 lives entirely on host 0 (two processes): its messages
         // never enter the network; app 0 still communicates.
-        let p = TrafficPattern::multi_process(
-            vec![vec![0, 1, 1], vec![0]],
-            DestinationPolicy::Uniform,
-        );
+        let p =
+            TrafficPattern::multi_process(vec![vec![0, 1, 1], vec![0]], DestinationPolicy::Uniform);
         let mut rng = StdRng::seed_from_u64(41);
         for _ in 0..300 {
             // Host 0's eligible sender is only the app-0 process.
             assert_eq!(p.destination(0, 0.0, &mut rng), Some(1));
         }
         // A host whose only clusters are host-local has no destination.
-        let q = TrafficPattern::multi_process(
-            vec![vec![0, 0], vec![1, 1]],
-            DestinationPolicy::Uniform,
-        );
+        let q =
+            TrafficPattern::multi_process(vec![vec![0, 0], vec![1, 1]], DestinationPolicy::Uniform);
         assert!(!q.has_peer(0));
         assert_eq!(q.destination(0, 0.0, &mut rng), None);
     }
@@ -432,9 +429,7 @@ mod tests {
     #[test]
     #[should_panic(expected = "fraction in [0, 1]")]
     fn bad_hotspot_fraction_panics() {
-        let _ = TrafficPattern::with_policy(
-            vec![0, 0],
-            DestinationPolicy::Hotspot { fraction: 1.5 },
-        );
+        let _ =
+            TrafficPattern::with_policy(vec![0, 0], DestinationPolicy::Hotspot { fraction: 1.5 });
     }
 }

@@ -102,8 +102,7 @@ pub trait Routing: Send + Sync {
 
     /// Ids of the links lying on at least one minimal route from `src` to
     /// `dst`, deduplicated and sorted. Empty when `src == dst`.
-    fn minimal_route_links(&self, src: SwitchId, dst: SwitchId)
-        -> Vec<commsched_topology::LinkId>;
+    fn minimal_route_links(&self, src: SwitchId, dst: SwitchId) -> Vec<commsched_topology::LinkId>;
 
     /// Legal next states from `state` that remain on a minimal route to
     /// `dst`. Empty iff `state.node == dst`.

@@ -23,7 +23,14 @@ pub fn enumerate_minimal_routes(
         out.push(prefix);
         return Some(out);
     }
-    if dfs(routing, RouteState::start(src), dst, &mut prefix, &mut out, limit) {
+    if dfs(
+        routing,
+        RouteState::start(src),
+        dst,
+        &mut prefix,
+        &mut out,
+        limit,
+    ) {
         Some(out)
     } else {
         None

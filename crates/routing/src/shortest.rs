@@ -129,10 +129,7 @@ mod tests {
         // 0 -> 2 only via 0-1-2.
         let links = r.minimal_route_links(0, 2);
         let expect = {
-            let mut v = vec![
-                t.link_between(0, 1).unwrap(),
-                t.link_between(1, 2).unwrap(),
-            ];
+            let mut v = vec![t.link_between(0, 1).unwrap(), t.link_between(1, 2).unwrap()];
             v.sort_unstable();
             v
         };

@@ -261,9 +261,7 @@ mod tests {
         for s in 0..6 {
             assert_eq!(r.route_distance(s, s), 0);
             assert!(r.minimal_route_links(s, s).is_empty());
-            assert!(r
-                .next_hops(RouteState::start(s), s)
-                .is_empty());
+            assert!(r.next_hops(RouteState::start(s), s).is_empty());
         }
     }
 
@@ -297,7 +295,13 @@ mod tests {
         let (_, r) = ring6();
         // From 2 toward 4 the only minimal next hop is up to 1.
         let hops = r.next_hops(RouteState::start(2), 4);
-        assert_eq!(hops, vec![RouteState { node: 1, descended: false }]);
+        assert_eq!(
+            hops,
+            vec![RouteState {
+                node: 1,
+                descended: false
+            }]
+        );
         // After descending 0 -> 5, the phase bit must be set.
         let hops = r.next_hops(
             RouteState {
@@ -306,7 +310,13 @@ mod tests {
             },
             4,
         );
-        assert_eq!(hops, vec![RouteState { node: 5, descended: true }]);
+        assert_eq!(
+            hops,
+            vec![RouteState {
+                node: 5,
+                descended: true
+            }]
+        );
     }
 
     #[test]
@@ -321,10 +331,7 @@ mod tests {
                 let mut frontier = vec![RouteState::start(src)];
                 let mut d = r.route_distance(src, dst);
                 while d > 0 {
-                    let next: Vec<_> = frontier
-                        .iter()
-                        .flat_map(|&s| r.next_hops(s, dst))
-                        .collect();
+                    let next: Vec<_> = frontier.iter().flat_map(|&s| r.next_hops(s, dst)).collect();
                     assert!(!next.is_empty(), "stuck at distance {d} for {src}->{dst}");
                     frontier = next;
                     d -= 1;

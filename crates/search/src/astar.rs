@@ -74,12 +74,7 @@ impl Ord for Node {
 
 /// Admissible completion bound: every unassigned switch must pay at least
 /// its cheapest attachment to a cluster with free capacity.
-fn heuristic(
-    table: &DistanceTable,
-    assign: &[usize],
-    remaining: &[usize],
-    n: usize,
-) -> f64 {
+fn heuristic(table: &DistanceTable, assign: &[usize], remaining: &[usize], n: usize) -> f64 {
     let mut h = 0.0;
     for v in assign.len()..n {
         let mut best = f64::INFINITY;

@@ -243,11 +243,7 @@ mod tests {
 
     #[test]
     fn schedules_cover_all_tasks_exactly_once() {
-        let etc = EtcMatrix::from_vec(
-            6,
-            3,
-            (0..18).map(|i| 1.0 + (i % 5) as f64).collect(),
-        );
+        let etc = EtcMatrix::from_vec(6, 3, (0..18).map(|i| 1.0 + (i % 5) as f64).collect());
         for s in [olb(&etc), uda(&etc), min_min(&etc), max_min(&etc)] {
             assert_eq!(s.machine.len(), 6);
             assert!(s.machine.iter().all(|&m| m < 3));

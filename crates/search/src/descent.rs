@@ -146,10 +146,10 @@ mod tests {
     #[test]
     fn sampling_improves_with_more_samples() {
         let table = dumbbell_table();
-        let few = RandomSampling { samples: 2 }
-            .search(&table, &[4, 4], &mut StdRng::seed_from_u64(10));
-        let many = RandomSampling { samples: 500 }
-            .search(&table, &[4, 4], &mut StdRng::seed_from_u64(10));
+        let few =
+            RandomSampling { samples: 2 }.search(&table, &[4, 4], &mut StdRng::seed_from_u64(10));
+        let many =
+            RandomSampling { samples: 500 }.search(&table, &[4, 4], &mut StdRng::seed_from_u64(10));
         assert!(many.fg <= few.fg + 1e-12);
         assert_eq!(many.evaluations, 500);
     }
@@ -157,8 +157,8 @@ mod tests {
     #[test]
     fn sampling_respects_sizes() {
         let table = dumbbell_table();
-        let res = RandomSampling { samples: 10 }
-            .search(&table, &[6, 2], &mut StdRng::seed_from_u64(3));
+        let res =
+            RandomSampling { samples: 10 }.search(&table, &[6, 2], &mut StdRng::seed_from_u64(3));
         assert_eq!(res.partition.sizes(), vec![6, 2]);
     }
 }

@@ -61,10 +61,7 @@ fn random_population(
 }
 
 /// Tournament selection of 2: pick two random individuals, keep the fitter.
-fn tournament<'a>(
-    pop: &'a [(f64, Partition)],
-    rng: &mut dyn RngCore,
-) -> &'a (f64, Partition) {
+fn tournament<'a>(pop: &'a [(f64, Partition)], rng: &mut dyn RngCore) -> &'a (f64, Partition) {
     let a = &pop[rng.gen_range(0..pop.len())];
     let b = &pop[rng.gen_range(0..pop.len())];
     if a.0 <= b.0 {
@@ -77,12 +74,7 @@ fn tournament<'a>(
 /// Uniform crossover with size repair: take each gene from a random parent,
 /// then move switches out of overfull clusters into underfull ones until
 /// the size vector matches.
-fn crossover(
-    a: &Partition,
-    b: &Partition,
-    sizes: &[usize],
-    rng: &mut dyn RngCore,
-) -> Partition {
+fn crossover(a: &Partition, b: &Partition, sizes: &[usize], rng: &mut dyn RngCore) -> Partition {
     let n = a.num_switches();
     let m = sizes.len();
     let mut assign: Vec<usize> = (0..n)
@@ -239,14 +231,10 @@ impl Mapper for GeneticSimulatedAnnealing {
             // the worst, with a mutation kick.
             if generation % 10 == 9 {
                 let best_idx = (0..pop.len())
-                    .min_by(|&x, &y| {
-                        pop[x].fg().partial_cmp(&pop[y].fg()).expect("finite")
-                    })
+                    .min_by(|&x, &y| pop[x].fg().partial_cmp(&pop[y].fg()).expect("finite"))
                     .expect("non-empty");
                 let worst_idx = (0..pop.len())
-                    .max_by(|&x, &y| {
-                        pop[x].fg().partial_cmp(&pop[y].fg()).expect("finite")
-                    })
+                    .max_by(|&x, &y| pop[x].fg().partial_cmp(&pop[y].fg()).expect("finite"))
                     .expect("non-empty");
                 if best_idx != worst_idx {
                     let mut clone = pop[best_idx].partition().clone();

@@ -37,12 +37,7 @@ impl Default for KernighanLin {
 
 /// One KL pass over the cluster pair `(ca, cb)`: returns the objective
 /// improvement (>= 0) left applied on `eval`.
-fn kl_pass(
-    eval: &mut SwapEvaluator<'_>,
-    ca: usize,
-    cb: usize,
-    evaluations: &mut u64,
-) -> f64 {
+fn kl_pass(eval: &mut SwapEvaluator<'_>, ca: usize, cb: usize, evaluations: &mut u64) -> f64 {
     let n = eval.partition().num_switches();
     let mut locked = vec![false; n];
     // Sequence of applied swaps and the cumulative objective delta after

@@ -78,12 +78,8 @@ pub trait Mapper: Send + Sync {
     /// # Panics
     /// Implementations may panic if `sizes` does not sum to `table.n()` or
     /// contains zeros; validate with [`check_sizes`] first when unsure.
-    fn search(
-        &self,
-        table: &DistanceTable,
-        sizes: &[usize],
-        rng: &mut dyn RngCore,
-    ) -> SearchResult;
+    fn search(&self, table: &DistanceTable, sizes: &[usize], rng: &mut dyn RngCore)
+        -> SearchResult;
 }
 
 /// Validate that `sizes` is a plausible cluster-size vector for `n`

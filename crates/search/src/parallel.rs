@@ -8,9 +8,9 @@
 
 use crate::{Mapper, SearchResult};
 use commsched_distance::DistanceTable;
-use parking_lot::Mutex;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
+use std::sync::Mutex;
 
 /// Run `mapper` once per seed `base_seed..base_seed + seeds` across
 /// `threads` worker threads; return the best result and its seed.
@@ -32,11 +32,11 @@ pub fn parallel_multi_seed<M: Mapper>(
     let next = Mutex::new(0usize);
     let results: Mutex<Vec<(u64, SearchResult)>> = Mutex::new(Vec::with_capacity(seeds));
 
-    crossbeam::thread::scope(|scope| {
+    std::thread::scope(|scope| {
         for _ in 0..threads {
-            scope.spawn(|_| loop {
+            scope.spawn(|| loop {
                 let idx = {
-                    let mut guard = next.lock();
+                    let mut guard = next.lock().expect("seed counter lock");
                     if *guard >= seeds {
                         break;
                     }
@@ -47,13 +47,15 @@ pub fn parallel_multi_seed<M: Mapper>(
                 let seed = base_seed + idx as u64;
                 let mut rng = StdRng::seed_from_u64(seed);
                 let result = mapper.search(table, sizes, &mut rng);
-                results.lock().push((seed, result));
+                results
+                    .lock()
+                    .expect("result collection lock")
+                    .push((seed, result));
             });
         }
-    })
-    .expect("search worker panicked");
+    });
 
-    let mut all = results.into_inner();
+    let mut all = results.into_inner().expect("search worker panicked");
     // Deterministic winner: best F_G, ties to the lowest seed.
     all.sort_by(|a, b| {
         a.1.fg

@@ -273,10 +273,7 @@ impl TabuSearch {
                 if fg < seed_best.0 {
                     seed_best = (fg, eval.partition().clone());
                 }
-                let hits = match minima
-                    .iter_mut()
-                    .find(|(v, _)| (*v - fg).abs() <= 1e-9)
-                {
+                let hits = match minima.iter_mut().find(|(v, _)| (*v - fg).abs() <= 1e-9) {
                     Some((_, count)) => {
                         *count += 1;
                         *count
@@ -439,8 +436,7 @@ mod tests {
         // iterations after each starting point.
         let table = rings_table();
         let mut rng = StdRng::seed_from_u64(11);
-        let (_, trace) =
-            TabuSearch::default().search_traced(&table, &[6, 6, 6, 6], &mut rng);
+        let (_, trace) = TabuSearch::default().search_traced(&table, &[6, 6, 6, 6], &mut rng);
         for (i, e) in trace.events.iter().enumerate() {
             if e.is_seed_start {
                 if let Some(next) = trace.events.get(i + 1) {

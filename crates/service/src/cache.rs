@@ -1,0 +1,319 @@
+//! The distance-table cache: LRU + single-flight over resistive solves.
+//!
+//! Building a table of equivalent distances is the expensive step of a
+//! scheduling request (one linear solve per switch). The cache keys the
+//! finished `(routing, table)` pair by `(topology fingerprint, routing
+//! spec)`. Concurrent requests for the same key are *single-flighted*:
+//! the first computes while the rest block on a condvar and then share
+//! the result — they count as hits, because they obtained the table
+//! without solving.
+
+use commsched_distance::SharedDistanceTable;
+use commsched_routing::Routing;
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+
+/// The routing half of a cache key (the scheduler's routing choices,
+/// hashable so they can key the cache).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum RoutingSpec {
+    /// Up*/down* routing rooted at `root` (the paper's setting).
+    UpDown {
+        /// Root of the spanning tree.
+        root: usize,
+    },
+    /// Unconstrained shortest-path routing.
+    ShortestPath,
+}
+
+impl std::fmt::Display for RoutingSpec {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            RoutingSpec::UpDown { root } => write!(f, "updown:{root}"),
+            RoutingSpec::ShortestPath => write!(f, "shortest"),
+        }
+    }
+}
+
+/// A routing and its table of equivalent distances, built once and
+/// shared by every job that schedules on the same network.
+pub struct RoutedTable {
+    /// The routing model.
+    pub routing: Box<dyn Routing>,
+    /// The table of equivalent distances under that routing, as a
+    /// shareable handle so jobs can keep it past an LRU eviction.
+    pub table: SharedDistanceTable,
+}
+
+type Key = (u64, RoutingSpec);
+
+enum Slot {
+    /// Some thread is building this entry; waiters block on the condvar.
+    Building,
+    /// Finished; `last_used` orders LRU eviction.
+    Ready {
+        value: Arc<RoutedTable>,
+        last_used: u64,
+    },
+}
+
+struct CacheInner {
+    entries: HashMap<Key, Slot>,
+    clock: u64,
+}
+
+/// LRU + single-flight cache of [`RoutedTable`]s.
+pub struct DistanceCache {
+    capacity: usize,
+    inner: Mutex<CacheInner>,
+    ready: Condvar,
+    hits: AtomicU64,
+    misses: AtomicU64,
+}
+
+impl DistanceCache {
+    /// A cache evicting least-recently-used entries beyond `capacity`
+    /// (at least 1).
+    pub fn new(capacity: usize) -> Self {
+        Self {
+            capacity: capacity.max(1),
+            inner: Mutex::new(CacheInner {
+                entries: HashMap::new(),
+                clock: 0,
+            }),
+            ready: Condvar::new(),
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+        }
+    }
+
+    /// Times a lookup found (or waited for) an existing entry.
+    pub fn hits(&self) -> u64 {
+        self.hits.load(Ordering::Relaxed)
+    }
+
+    /// Times a lookup had to build the entry.
+    pub fn misses(&self) -> u64 {
+        self.misses.load(Ordering::Relaxed)
+    }
+
+    /// Number of finished entries currently held.
+    pub fn len(&self) -> usize {
+        let inner = self.inner.lock().expect("cache lock");
+        inner
+            .entries
+            .values()
+            .filter(|s| matches!(s, Slot::Ready { .. }))
+            .count()
+    }
+
+    /// Whether no finished entries are held.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Fetch the entry for `key`, building it with `build` on a miss.
+    ///
+    /// Exactly one caller runs `build` per key at a time; concurrent
+    /// callers for the same key block until it finishes and then share
+    /// the value (counted as hits). If `build` fails the error goes to
+    /// the building caller and waiters retry (the next one becomes the
+    /// builder).
+    ///
+    /// # Errors
+    /// Propagates `build`'s error.
+    pub fn get_or_build<F>(&self, key: Key, build: F) -> Result<Arc<RoutedTable>, String>
+    where
+        F: FnOnce() -> Result<RoutedTable, String>,
+    {
+        let mut inner = self.inner.lock().expect("cache lock");
+        loop {
+            match inner.entries.get(&key) {
+                Some(Slot::Ready { .. }) => {
+                    inner.clock += 1;
+                    let stamp = inner.clock;
+                    let Some(Slot::Ready { value, last_used }) = inner.entries.get_mut(&key) else {
+                        unreachable!("entry vanished under the lock");
+                    };
+                    *last_used = stamp;
+                    let out = Arc::clone(value);
+                    self.hits.fetch_add(1, Ordering::Relaxed);
+                    return Ok(out);
+                }
+                Some(Slot::Building) => {
+                    inner = self.ready.wait(inner).expect("cache lock");
+                }
+                None => {
+                    inner.entries.insert(key, Slot::Building);
+                    self.misses.fetch_add(1, Ordering::Relaxed);
+                    drop(inner);
+                    let built = build();
+                    let mut inner = self.inner.lock().expect("cache lock");
+                    match built {
+                        Ok(value) => {
+                            let value = Arc::new(value);
+                            inner.clock += 1;
+                            let stamp = inner.clock;
+                            inner.entries.insert(
+                                key,
+                                Slot::Ready {
+                                    value: Arc::clone(&value),
+                                    last_used: stamp,
+                                },
+                            );
+                            Self::evict_over_capacity(&mut inner, self.capacity, key);
+                            self.ready.notify_all();
+                            return Ok(value);
+                        }
+                        Err(e) => {
+                            inner.entries.remove(&key);
+                            self.ready.notify_all();
+                            return Err(e);
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    /// Evict least-recently-used *ready* entries (never the one just
+    /// inserted, never in-flight builds) until at most `capacity` ready
+    /// entries remain.
+    fn evict_over_capacity(inner: &mut CacheInner, capacity: usize, keep: Key) {
+        loop {
+            let ready = inner
+                .entries
+                .iter()
+                .filter(|(_, s)| matches!(s, Slot::Ready { .. }))
+                .count();
+            if ready <= capacity {
+                return;
+            }
+            let victim = inner
+                .entries
+                .iter()
+                .filter_map(|(k, s)| match s {
+                    Slot::Ready { last_used, .. } if *k != keep => Some((*k, *last_used)),
+                    _ => None,
+                })
+                .min_by_key(|&(_, stamp)| stamp)
+                .map(|(k, _)| k);
+            match victim {
+                Some(k) => {
+                    inner.entries.remove(&k);
+                }
+                None => return,
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use commsched_distance::equivalent_distance_table;
+    use commsched_routing::UpDownRouting;
+    use commsched_topology::designed;
+
+    fn build_for(n: usize) -> RoutedTable {
+        let topo = designed::ring(n, 1);
+        let routing = UpDownRouting::new(&topo, 0).unwrap();
+        let table = equivalent_distance_table(&topo, &routing)
+            .unwrap()
+            .into_shared();
+        RoutedTable {
+            routing: Box::new(routing),
+            table,
+        }
+    }
+
+    fn key(fp: u64) -> Key {
+        (fp, RoutingSpec::UpDown { root: 0 })
+    }
+
+    #[test]
+    fn hit_after_miss() {
+        let cache = DistanceCache::new(4);
+        let a = cache.get_or_build(key(1), || Ok(build_for(4))).unwrap();
+        let b = cache
+            .get_or_build(key(1), || panic!("must not rebuild"))
+            .unwrap();
+        assert!(Arc::ptr_eq(&a, &b));
+        assert_eq!((cache.hits(), cache.misses()), (1, 1));
+        assert_eq!(cache.len(), 1);
+    }
+
+    #[test]
+    fn distinct_keys_do_not_share() {
+        let cache = DistanceCache::new(4);
+        let a = cache.get_or_build(key(1), || Ok(build_for(4))).unwrap();
+        let b = cache
+            .get_or_build((1, RoutingSpec::ShortestPath), || Ok(build_for(4)))
+            .unwrap();
+        assert!(!Arc::ptr_eq(&a, &b));
+        assert_eq!(cache.misses(), 2);
+    }
+
+    #[test]
+    fn evicts_least_recently_used() {
+        let cache = DistanceCache::new(2);
+        cache.get_or_build(key(1), || Ok(build_for(4))).unwrap();
+        cache.get_or_build(key(2), || Ok(build_for(5))).unwrap();
+        // Touch 1 so 2 is the LRU victim.
+        cache.get_or_build(key(1), || panic!("cached")).unwrap();
+        cache.get_or_build(key(3), || Ok(build_for(6))).unwrap();
+        assert_eq!(cache.len(), 2);
+        // 1 survived, 2 was evicted (rebuilding it is a miss).
+        cache
+            .get_or_build(key(1), || panic!("still cached"))
+            .unwrap();
+        let mut rebuilt = false;
+        cache
+            .get_or_build(key(2), || {
+                rebuilt = true;
+                Ok(build_for(5))
+            })
+            .unwrap();
+        assert!(rebuilt);
+    }
+
+    #[test]
+    fn build_failure_propagates_and_clears_slot() {
+        let cache = DistanceCache::new(2);
+        let Err(err) = cache.get_or_build(key(9), || Err("boom".into())) else {
+            panic!("expected the build error to propagate");
+        };
+        assert_eq!(err, "boom");
+        // The slot is free again: a retry builds.
+        cache.get_or_build(key(9), || Ok(build_for(4))).unwrap();
+        assert_eq!(cache.misses(), 2);
+    }
+
+    #[test]
+    fn concurrent_same_key_single_flights() {
+        use std::sync::atomic::AtomicUsize;
+        let cache = Arc::new(DistanceCache::new(4));
+        let builds = Arc::new(AtomicUsize::new(0));
+        std::thread::scope(|scope| {
+            for _ in 0..4 {
+                let cache = Arc::clone(&cache);
+                let builds = Arc::clone(&builds);
+                scope.spawn(move || {
+                    cache
+                        .get_or_build(key(7), || {
+                            builds.fetch_add(1, Ordering::SeqCst);
+                            // Widen the race window so the other threads
+                            // really do arrive while this build runs.
+                            std::thread::sleep(std::time::Duration::from_millis(50));
+                            Ok(build_for(6))
+                        })
+                        .unwrap();
+                });
+            }
+        });
+        assert_eq!(builds.load(Ordering::SeqCst), 1);
+        assert_eq!(cache.misses(), 1);
+        assert_eq!(cache.hits(), 3);
+    }
+}

@@ -1,0 +1,218 @@
+//! A small blocking client for the line protocol, shared by the CLI's
+//! `submit`/`status` subcommands and the integration tests.
+
+use crate::jobs::JobId;
+use crate::protocol;
+use commsched_topology::Topology;
+use std::io::{BufRead, BufReader, Write};
+use std::net::{TcpStream, ToSocketAddrs};
+use std::time::Duration;
+
+/// One connection to a running daemon.
+pub struct Client {
+    reader: BufReader<TcpStream>,
+    writer: TcpStream,
+}
+
+/// Client-side failures: transport errors or `ERR` responses.
+#[derive(Debug)]
+pub enum ClientError {
+    /// Socket-level failure.
+    Io(std::io::Error),
+    /// The server answered `ERR <message>`.
+    Server(String),
+    /// The server answered something the client cannot interpret.
+    Protocol(String),
+}
+
+impl std::fmt::Display for ClientError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ClientError::Io(e) => write!(f, "io: {e}"),
+            ClientError::Server(m) => write!(f, "server: {m}"),
+            ClientError::Protocol(m) => write!(f, "protocol: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for ClientError {}
+
+impl From<std::io::Error> for ClientError {
+    fn from(e: std::io::Error) -> Self {
+        ClientError::Io(e)
+    }
+}
+
+impl Client {
+    /// Connect to `addr` (e.g. `127.0.0.1:7477`).
+    ///
+    /// # Errors
+    /// Propagates connection failures.
+    pub fn connect<A: ToSocketAddrs>(addr: A) -> Result<Self, ClientError> {
+        let stream = TcpStream::connect(addr)?;
+        let writer = stream.try_clone()?;
+        Ok(Self {
+            reader: BufReader::new(stream),
+            writer,
+        })
+    }
+
+    fn send(&mut self, line: &str) -> Result<(), ClientError> {
+        self.writer.write_all(line.as_bytes())?;
+        self.writer.write_all(b"\n")?;
+        Ok(())
+    }
+
+    fn read_line(&mut self) -> Result<String, ClientError> {
+        let mut line = String::new();
+        if self.reader.read_line(&mut line)? == 0 {
+            return Err(ClientError::Protocol("connection closed".into()));
+        }
+        Ok(line.trim_end().to_string())
+    }
+
+    /// One `OK`-prefixed reply: returns the payload after `OK `, or the
+    /// server's error.
+    fn expect_ok(&mut self) -> Result<String, ClientError> {
+        let line = self.read_line()?;
+        if let Some(rest) = line.strip_prefix("OK") {
+            Ok(rest.trim_start().to_string())
+        } else if let Some(rest) = line.strip_prefix("ERR") {
+            Err(ClientError::Server(rest.trim_start().to_string()))
+        } else {
+            Err(ClientError::Protocol(format!("unexpected reply '{line}'")))
+        }
+    }
+
+    /// Read the body of a multi-line response up to the `.` terminator.
+    fn read_block(&mut self) -> Result<Vec<String>, ClientError> {
+        let mut lines = Vec::new();
+        loop {
+            let line = self.read_line()?;
+            if line == "." {
+                return Ok(lines);
+            }
+            lines.push(line);
+        }
+    }
+
+    /// Liveness check.
+    ///
+    /// # Errors
+    /// See [`ClientError`].
+    pub fn ping(&mut self) -> Result<(), ClientError> {
+        self.send("PING")?;
+        self.expect_ok().map(drop)
+    }
+
+    /// Upload a topology; returns its fingerprint.
+    ///
+    /// # Errors
+    /// See [`ClientError`].
+    pub fn add_topology(&mut self, topo: &Topology) -> Result<u64, ClientError> {
+        let text = commsched_topology::to_text(topo);
+        let lines: Vec<&str> = text.lines().collect();
+        self.send(&format!("ADDTOPO {}", lines.len()))?;
+        for l in &lines {
+            self.send(l)?;
+        }
+        let fp = self.expect_ok()?;
+        protocol::parse_fingerprint(&fp)
+            .ok_or_else(|| ClientError::Protocol(format!("bad fingerprint '{fp}'")))
+    }
+
+    /// Submit a raw `SUBMIT` argument string, e.g.
+    /// `SCHEDULE topo=paper24 clusters=4 seed=42`; returns the job id.
+    ///
+    /// # Errors
+    /// See [`ClientError`]; a full queue surfaces as
+    /// `ClientError::Server("queue-full")`.
+    pub fn submit_raw(&mut self, args: &str) -> Result<JobId, ClientError> {
+        self.send(&format!("SUBMIT {args}"))?;
+        let id = self.expect_ok()?;
+        id.parse()
+            .map_err(|_| ClientError::Protocol(format!("bad job id '{id}'")))
+    }
+
+    /// A job's state as the server spells it (`queued`, `running`, ...).
+    ///
+    /// # Errors
+    /// See [`ClientError`].
+    pub fn status(&mut self, job: JobId) -> Result<String, ClientError> {
+        self.send(&format!("STATUS {job}"))?;
+        self.expect_ok()
+    }
+
+    /// Poll until the job leaves the queue/worker, returning its final
+    /// state (`done`, `failed`, or `cancelled`).
+    ///
+    /// # Errors
+    /// See [`ClientError`].
+    pub fn wait(&mut self, job: JobId, poll: Duration) -> Result<String, ClientError> {
+        loop {
+            let state = self.status(job)?;
+            if state != "queued" && state != "running" {
+                return Ok(state);
+            }
+            std::thread::sleep(poll);
+        }
+    }
+
+    /// Fetch a finished job's payload lines.
+    ///
+    /// # Errors
+    /// See [`ClientError`].
+    pub fn result(&mut self, job: JobId) -> Result<Vec<String>, ClientError> {
+        self.send(&format!("RESULT {job}"))?;
+        self.expect_ok()?;
+        self.read_block()
+    }
+
+    /// Cancel a queued job.
+    ///
+    /// # Errors
+    /// See [`ClientError`].
+    pub fn cancel(&mut self, job: JobId) -> Result<(), ClientError> {
+        self.send(&format!("CANCEL {job}"))?;
+        self.expect_ok().map(drop)
+    }
+
+    /// The server's `key value` stats lines.
+    ///
+    /// # Errors
+    /// See [`ClientError`].
+    pub fn stats(&mut self) -> Result<Vec<(String, String)>, ClientError> {
+        self.send("STATS")?;
+        self.expect_ok()?;
+        Ok(self
+            .read_block()?
+            .iter()
+            .filter_map(|l| {
+                l.split_once(' ')
+                    .map(|(k, v)| (k.to_string(), v.to_string()))
+            })
+            .collect())
+    }
+
+    /// One stats value parsed as `u64` (missing/unparsable → `None`).
+    ///
+    /// # Errors
+    /// See [`ClientError`].
+    pub fn stat_u64(&mut self, key: &str) -> Result<Option<u64>, ClientError> {
+        Ok(self
+            .stats()?
+            .into_iter()
+            .find(|(k, _)| k == key)
+            .and_then(|(_, v)| v.parse().ok()))
+    }
+
+    /// Ask the daemon to drain and stop; returns the server's farewell
+    /// (e.g. `drained 12`).
+    ///
+    /// # Errors
+    /// See [`ClientError`].
+    pub fn shutdown(&mut self) -> Result<String, ClientError> {
+        self.send("SHUTDOWN")?;
+        self.expect_ok()
+    }
+}

@@ -1,0 +1,619 @@
+//! The job queue, worker pool, and job execution pipeline.
+//!
+//! [`ServiceCore`] is the daemon's brain, independent of any socket:
+//! a bounded FIFO of jobs, a pool of worker threads, the topology
+//! registry, the distance-table cache, and the stats block. The TCP
+//! layer ([`crate::server`]) is a thin translator on top, which keeps
+//! everything here directly unit-testable.
+
+use crate::cache::{DistanceCache, RoutedTable, RoutingSpec};
+use crate::protocol::{JobKind, JobSpec, TopoRef};
+use crate::registry::TopologyRegistry;
+use crate::stats::ServiceStats;
+use commsched_core::{quality, ProcessMapping, Workload};
+use commsched_distance::equivalent_distance_table_parallel;
+use commsched_netsim::{paper_sweep, SimConfig, SweepConfig};
+use commsched_routing::{ShortestPathRouting, UpDownRouting};
+use commsched_search::{parallel_multi_seed, TabuParams, TabuSearch};
+use commsched_topology::{designed, random_regular, RandomTopologyConfig, Topology};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::collections::{HashMap, VecDeque};
+use std::sync::{Arc, Condvar, Mutex};
+use std::time::Instant;
+
+/// Identifier of a submitted job (issued sequentially from 1).
+pub type JobId = u64;
+
+/// Lifecycle of a job.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum JobState {
+    /// Accepted, waiting for a worker.
+    Queued,
+    /// A worker is executing it.
+    Running,
+    /// Finished successfully; the result payload is available.
+    Done,
+    /// Finished with an error.
+    Failed,
+    /// Removed from the queue before a worker picked it up.
+    Cancelled,
+}
+
+impl std::fmt::Display for JobState {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(match self {
+            JobState::Queued => "queued",
+            JobState::Running => "running",
+            JobState::Done => "done",
+            JobState::Failed => "failed",
+            JobState::Cancelled => "cancelled",
+        })
+    }
+}
+
+/// Why a submission was not accepted.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SubmitError {
+    /// The bounded queue is at capacity (backpressure; retry later).
+    QueueFull,
+    /// The service is draining and accepts no new work.
+    ShuttingDown,
+}
+
+impl std::fmt::Display for SubmitError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SubmitError::QueueFull => f.write_str("queue-full"),
+            SubmitError::ShuttingDown => f.write_str("shutting-down"),
+        }
+    }
+}
+
+impl std::error::Error for SubmitError {}
+
+struct JobRecord {
+    spec: JobSpec,
+    state: JobState,
+    /// Payload lines for `RESULT` once `Done`.
+    result: Vec<String>,
+    /// Error message once `Failed`.
+    error: String,
+    submitted_at: Instant,
+}
+
+struct QueueState {
+    pending: VecDeque<JobId>,
+    jobs: HashMap<JobId, JobRecord>,
+    next_id: JobId,
+    accepting: bool,
+    running: usize,
+}
+
+/// Sizing knobs of a [`ServiceCore`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ServiceCoreConfig {
+    /// Maximum queued (not yet running) jobs before submissions bounce.
+    pub queue_capacity: usize,
+    /// Distance-table cache entries kept (LRU beyond this).
+    pub cache_capacity: usize,
+    /// Independent tabu restarts per schedule job.
+    pub search_seeds: usize,
+    /// Threads used *within* one job's search.
+    pub search_threads: usize,
+    /// Threads used to build one distance table.
+    pub table_threads: usize,
+}
+
+impl Default for ServiceCoreConfig {
+    fn default() -> Self {
+        let hw = std::thread::available_parallelism().map_or(2, usize::from);
+        Self {
+            queue_capacity: 16,
+            cache_capacity: 8,
+            search_seeds: 4,
+            search_threads: 1,
+            table_threads: hw,
+        }
+    }
+}
+
+/// The socket-independent daemon core: registry + cache + queue + stats.
+pub struct ServiceCore {
+    /// Uploaded topologies, deduped by fingerprint.
+    pub registry: TopologyRegistry,
+    /// Routing/distance-table cache.
+    pub cache: DistanceCache,
+    /// Lifetime counters and latency histograms.
+    pub stats: ServiceStats,
+    config: ServiceCoreConfig,
+    state: Mutex<QueueState>,
+    /// Signals workers that work arrived or draining began.
+    work_cv: Condvar,
+    /// Signals drainers that a job left the queue/worker.
+    done_cv: Condvar,
+}
+
+impl ServiceCore {
+    /// A fresh core with the given sizing.
+    pub fn new(config: ServiceCoreConfig) -> Self {
+        Self {
+            registry: TopologyRegistry::new(),
+            cache: DistanceCache::new(config.cache_capacity),
+            stats: ServiceStats::new(),
+            config,
+            state: Mutex::new(QueueState {
+                pending: VecDeque::new(),
+                jobs: HashMap::new(),
+                next_id: 1,
+                accepting: true,
+                running: 0,
+            }),
+            work_cv: Condvar::new(),
+            done_cv: Condvar::new(),
+        }
+    }
+
+    /// The sizing this core was built with.
+    pub fn config(&self) -> &ServiceCoreConfig {
+        &self.config
+    }
+
+    /// Enqueue a job.
+    ///
+    /// # Errors
+    /// [`SubmitError::QueueFull`] under backpressure,
+    /// [`SubmitError::ShuttingDown`] while draining.
+    pub fn submit(&self, spec: JobSpec) -> Result<JobId, SubmitError> {
+        let mut state = self.state.lock().expect("queue lock");
+        if !state.accepting {
+            self.stats.note_rejected();
+            return Err(SubmitError::ShuttingDown);
+        }
+        if state.pending.len() >= self.config.queue_capacity {
+            self.stats.note_rejected();
+            return Err(SubmitError::QueueFull);
+        }
+        let id = state.next_id;
+        state.next_id += 1;
+        state.jobs.insert(
+            id,
+            JobRecord {
+                spec,
+                state: JobState::Queued,
+                result: Vec::new(),
+                error: String::new(),
+                submitted_at: Instant::now(),
+            },
+        );
+        state.pending.push_back(id);
+        self.stats.note_submitted();
+        self.work_cv.notify_one();
+        Ok(id)
+    }
+
+    /// The state of a job, if the id is known.
+    pub fn status(&self, id: JobId) -> Option<JobState> {
+        let state = self.state.lock().expect("queue lock");
+        state.jobs.get(&id).map(|r| r.state)
+    }
+
+    /// The result payload of a `Done` job.
+    ///
+    /// # Errors
+    /// `unknown-job` for unissued ids, `job-failed: ...` for failures,
+    /// `not-done (<state>)` otherwise.
+    pub fn result_lines(&self, id: JobId) -> Result<Vec<String>, String> {
+        let state = self.state.lock().expect("queue lock");
+        let Some(rec) = state.jobs.get(&id) else {
+            return Err("unknown-job".into());
+        };
+        match rec.state {
+            JobState::Done => Ok(rec.result.clone()),
+            JobState::Failed => Err(format!("job-failed: {}", rec.error)),
+            other => Err(format!("not-done ({other})")),
+        }
+    }
+
+    /// Cancel a still-queued job. Running jobs run to completion (the
+    /// search is not interruptible); finished jobs are immutable.
+    ///
+    /// # Errors
+    /// `unknown-job` or `not-cancellable (<state>)`.
+    pub fn cancel(&self, id: JobId) -> Result<(), String> {
+        let mut state = self.state.lock().expect("queue lock");
+        let Some(rec) = state.jobs.get(&id) else {
+            return Err("unknown-job".into());
+        };
+        match rec.state {
+            JobState::Queued => {
+                state.pending.retain(|&p| p != id);
+                state.jobs.get_mut(&id).expect("checked above").state = JobState::Cancelled;
+                self.stats.note_cancelled();
+                self.done_cv.notify_all();
+                Ok(())
+            }
+            other => Err(format!("not-cancellable ({other})")),
+        }
+    }
+
+    /// `key value` lines for `STATS`: queue gauges, cache and registry
+    /// counters, then the [`ServiceStats`] block.
+    pub fn stats_lines(&self) -> Vec<String> {
+        let (queued, running) = {
+            let state = self.state.lock().expect("queue lock");
+            (state.pending.len(), state.running)
+        };
+        let mut out = vec![
+            format!("jobs_queued {queued}"),
+            format!("jobs_running {running}"),
+            format!("cache_hits {}", self.cache.hits()),
+            format!("cache_misses {}", self.cache.misses()),
+            format!("cache_entries {}", self.cache.len()),
+            format!("topologies {}", self.registry.len()),
+        ];
+        out.extend(self.stats.report_lines());
+        out
+    }
+
+    /// Stop accepting work and block until every accepted job has left
+    /// the queue and every running job has finished. Idempotent; safe to
+    /// call from several threads. Workers exit their loop once drained.
+    pub fn drain(&self) {
+        let mut state = self.state.lock().expect("queue lock");
+        state.accepting = false;
+        self.work_cv.notify_all();
+        while !state.pending.is_empty() || state.running > 0 {
+            state = self.done_cv.wait(state).expect("queue lock");
+        }
+    }
+
+    /// A worker: pops and executes jobs until the core is drained.
+    /// Spawn one thread per worker with this as its body.
+    pub fn worker_loop(self: &Arc<Self>) {
+        loop {
+            let (id, spec, submitted_at) = {
+                let mut state = self.state.lock().expect("queue lock");
+                loop {
+                    if let Some(id) = state.pending.pop_front() {
+                        state.running += 1;
+                        let rec = state.jobs.get_mut(&id).expect("queued job exists");
+                        rec.state = JobState::Running;
+                        break (id, rec.spec, rec.submitted_at);
+                    }
+                    if !state.accepting {
+                        return;
+                    }
+                    state = self.work_cv.wait(state).expect("queue lock");
+                }
+            };
+            let started = Instant::now();
+            let wait_ms = started.duration_since(submitted_at).as_secs_f64() * 1e3;
+            let outcome = self.execute(spec);
+            let run_ms = started.elapsed().as_secs_f64() * 1e3;
+            let mut state = self.state.lock().expect("queue lock");
+            let rec = state.jobs.get_mut(&id).expect("running job exists");
+            match outcome {
+                Ok(lines) => {
+                    rec.state = JobState::Done;
+                    rec.result = lines;
+                    self.stats.note_finished(true, wait_ms, run_ms);
+                }
+                Err(e) => {
+                    rec.state = JobState::Failed;
+                    rec.error = e;
+                    self.stats.note_finished(false, wait_ms, run_ms);
+                }
+            }
+            state.running -= 1;
+            self.done_cv.notify_all();
+        }
+    }
+
+    /// Resolve a [`TopoRef`] to a registered topology. Builtin specs are
+    /// registered on first use so later jobs (and `fp:` references) share
+    /// one copy.
+    fn resolve_topology(&self, topo: TopoRef) -> Result<Arc<Topology>, String> {
+        let built = match topo {
+            TopoRef::Registered(fp) => {
+                return self
+                    .registry
+                    .get(fp)
+                    .ok_or_else(|| format!("unknown-topology {fp:016x}"));
+            }
+            TopoRef::Paper24 => designed::paper_24_switch(),
+            TopoRef::Ring { switches, hosts } => designed::ring(switches, hosts),
+            TopoRef::Random {
+                switches,
+                degree,
+                hosts,
+                seed,
+            } => {
+                let cfg = RandomTopologyConfig {
+                    switches,
+                    degree,
+                    hosts_per_switch: hosts,
+                    max_attempts: 10_000,
+                };
+                let mut rng = StdRng::seed_from_u64(seed);
+                random_regular(cfg, &mut rng).map_err(|e| e.to_string())?
+            }
+        };
+        let (fp, _) = self.registry.register(built);
+        self.registry.get(fp).ok_or_else(|| "registry race".into())
+    }
+
+    /// The cached routing + distance table for a topology.
+    fn routed_table(
+        &self,
+        topo: &Arc<Topology>,
+        routing: RoutingSpec,
+    ) -> Result<Arc<RoutedTable>, String> {
+        let key = (topo.fingerprint(), routing);
+        let topo = Arc::clone(topo);
+        let threads = self.config.table_threads;
+        self.cache.get_or_build(key, move || {
+            let routing: Box<dyn commsched_routing::Routing> = match routing {
+                RoutingSpec::UpDown { root } => {
+                    Box::new(UpDownRouting::new(&topo, root).map_err(|e| e.to_string())?)
+                }
+                RoutingSpec::ShortestPath => {
+                    Box::new(ShortestPathRouting::new(&topo).map_err(|e| e.to_string())?)
+                }
+            };
+            let table = equivalent_distance_table_parallel(&topo, routing.as_ref(), threads)
+                .map_err(|e| e.to_string())?
+                .into_shared();
+            Ok(RoutedTable { routing, table })
+        })
+    }
+
+    /// Run one job to completion, returning the `RESULT` payload lines.
+    fn execute(&self, spec: JobSpec) -> Result<Vec<String>, String> {
+        let topo = self.resolve_topology(spec.topo)?;
+        let routed = self.routed_table(&topo, spec.routing)?;
+        let (clusters, seed) = match spec.kind {
+            JobKind::Schedule { clusters, seed } | JobKind::Sweep { clusters, seed, .. } => {
+                (clusters, seed)
+            }
+        };
+        let workload = Workload::balanced(&topo, clusters).map_err(|e| e.to_string())?;
+        let sizes = workload.switch_demands(topo.hosts_per_switch());
+        let mapper = TabuSearch::new(TabuParams::scaled(topo.num_switches()));
+        let (winning_seed, result) = parallel_multi_seed(
+            &mapper,
+            &routed.table,
+            &sizes,
+            seed,
+            self.config.search_seeds,
+            self.config.search_threads,
+        );
+        let q = quality(&result.partition, &routed.table);
+        let assignment: Vec<String> = result
+            .partition
+            .assignment()
+            .iter()
+            .map(ToString::to_string)
+            .collect();
+        let mut lines = vec![
+            format!("topology {:016x}", topo.fingerprint()),
+            format!("clusters {}", result.partition.num_clusters()),
+            format!("partition {}", assignment.join(" ")),
+            format!("fg {:.9}", q.fg),
+            format!("dg {:.9}", q.dg),
+            format!("cc {:.9}", q.cc),
+            format!("winning_seed {winning_seed}"),
+        ];
+        if let JobKind::Sweep { points, .. } = spec.kind {
+            let mapping = ProcessMapping::place(&topo, &workload, &result.partition)
+                .map_err(|e| e.to_string())?;
+            // Short windows keep sweep jobs interactive; the figures
+            // binaries remain the place for publication-length runs.
+            let sim = SimConfig {
+                warmup_cycles: 500,
+                measure_cycles: 3_000,
+                seed: 0xC0FFEE,
+                ..Default::default()
+            };
+            let sweep_cfg = SweepConfig {
+                points,
+                ..Default::default()
+            };
+            let (sweep, sat) = paper_sweep(
+                &topo,
+                routed.routing.as_ref(),
+                mapping.host_clusters(),
+                sim,
+                sweep_cfg,
+            )
+            .map_err(|e| e.to_string())?;
+            lines.push(format!("saturation {sat:.6}"));
+            for p in &sweep.points {
+                lines.push(format!(
+                    "point {:.6} {:.6} {:.2}",
+                    p.rate, p.stats.accepted_flits_per_switch_cycle, p.stats.avg_network_latency
+                ));
+            }
+        }
+        Ok(lines)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny_spec(seed: u64) -> JobSpec {
+        JobSpec {
+            topo: TopoRef::Ring {
+                switches: 4,
+                hosts: 1,
+            },
+            routing: RoutingSpec::UpDown { root: 0 },
+            kind: JobKind::Schedule { clusters: 2, seed },
+        }
+    }
+
+    fn small_core(queue_capacity: usize) -> Arc<ServiceCore> {
+        Arc::new(ServiceCore::new(ServiceCoreConfig {
+            queue_capacity,
+            cache_capacity: 4,
+            search_seeds: 2,
+            search_threads: 1,
+            table_threads: 1,
+        }))
+    }
+
+    #[test]
+    fn backpressure_rejects_when_full() {
+        let core = small_core(1);
+        // No workers running: the first submission fills the queue.
+        let id = core.submit(tiny_spec(1)).unwrap();
+        assert_eq!(id, 1);
+        assert_eq!(core.submit(tiny_spec(2)), Err(SubmitError::QueueFull));
+        assert_eq!(core.stats.rejected(), 1);
+        assert_eq!(core.status(id), Some(JobState::Queued));
+    }
+
+    #[test]
+    fn cancel_queued_job() {
+        let core = small_core(4);
+        let id = core.submit(tiny_spec(1)).unwrap();
+        core.cancel(id).unwrap();
+        assert_eq!(core.status(id), Some(JobState::Cancelled));
+        // Not cancellable twice; unknown ids reported.
+        assert!(core.cancel(id).unwrap_err().contains("not-cancellable"));
+        assert_eq!(core.cancel(999).unwrap_err(), "unknown-job");
+        // The cancelled job never reaches a worker: drain returns with
+        // nothing running.
+        core.drain();
+        assert_eq!(core.stats.cancelled(), 1);
+    }
+
+    #[test]
+    fn worker_executes_schedule_job() {
+        let core = small_core(4);
+        let id = core.submit(tiny_spec(7)).unwrap();
+        let worker = {
+            let core = Arc::clone(&core);
+            std::thread::spawn(move || core.worker_loop())
+        };
+        // Wait for completion via drain, then inspect.
+        core.drain();
+        worker.join().unwrap();
+        assert_eq!(core.status(id), Some(JobState::Done));
+        let lines = core.result_lines(id).unwrap();
+        let partition = lines
+            .iter()
+            .find_map(|l| l.strip_prefix("partition "))
+            .expect("partition line");
+        assert_eq!(partition.split_whitespace().count(), 4);
+        assert!(lines.iter().any(|l| l.starts_with("cc ")));
+        // Submissions after drain bounce.
+        assert_eq!(core.submit(tiny_spec(8)), Err(SubmitError::ShuttingDown));
+    }
+
+    #[test]
+    fn failed_job_reports_error() {
+        let core = small_core(4);
+        // 4 switches cannot host 3 equal clusters of hosts: workload
+        // construction fails inside the worker.
+        let bad = JobSpec {
+            kind: JobKind::Schedule {
+                clusters: 3,
+                seed: 1,
+            },
+            ..tiny_spec(1)
+        };
+        let id = core.submit(bad).unwrap();
+        let worker = {
+            let core = Arc::clone(&core);
+            std::thread::spawn(move || core.worker_loop())
+        };
+        core.drain();
+        worker.join().unwrap();
+        assert_eq!(core.status(id), Some(JobState::Failed));
+        assert!(core.result_lines(id).unwrap_err().starts_with("job-failed"));
+        assert_eq!(core.stats.failed(), 1);
+    }
+
+    #[test]
+    fn repeated_jobs_hit_the_cache() {
+        let core = small_core(8);
+        for seed in 0..3 {
+            core.submit(tiny_spec(seed)).unwrap();
+        }
+        let worker = {
+            let core = Arc::clone(&core);
+            std::thread::spawn(move || core.worker_loop())
+        };
+        core.drain();
+        worker.join().unwrap();
+        assert_eq!(core.cache.misses(), 1);
+        assert_eq!(core.cache.hits(), 2);
+        // All three used the same registered topology.
+        assert_eq!(core.registry.len(), 1);
+    }
+
+    #[test]
+    fn unknown_fingerprint_fails_cleanly() {
+        let core = small_core(4);
+        let id = core
+            .submit(JobSpec {
+                topo: TopoRef::Registered(0xbad),
+                ..tiny_spec(0)
+            })
+            .unwrap();
+        let worker = {
+            let core = Arc::clone(&core);
+            std::thread::spawn(move || core.worker_loop())
+        };
+        core.drain();
+        worker.join().unwrap();
+        assert_eq!(core.status(id), Some(JobState::Failed));
+        assert!(core
+            .result_lines(id)
+            .unwrap_err()
+            .contains("unknown-topology"));
+    }
+
+    #[test]
+    fn sweep_job_produces_points() {
+        let core = small_core(4);
+        let id = core
+            .submit(JobSpec {
+                kind: JobKind::Sweep {
+                    clusters: 2,
+                    seed: 1,
+                    points: 3,
+                },
+                ..tiny_spec(1)
+            })
+            .unwrap();
+        let worker = {
+            let core = Arc::clone(&core);
+            std::thread::spawn(move || core.worker_loop())
+        };
+        core.drain();
+        worker.join().unwrap();
+        let lines = core.result_lines(id).unwrap();
+        assert!(lines.iter().any(|l| l.starts_with("saturation ")));
+        assert_eq!(lines.iter().filter(|l| l.starts_with("point ")).count(), 3);
+    }
+
+    #[test]
+    fn stats_lines_cover_queue_and_cache() {
+        let core = small_core(4);
+        let joined = core.stats_lines().join("\n");
+        for key in [
+            "jobs_queued",
+            "jobs_running",
+            "cache_hits",
+            "cache_misses",
+            "topologies",
+            "jobs_submitted",
+        ] {
+            assert!(joined.contains(key), "missing {key}");
+        }
+    }
+}

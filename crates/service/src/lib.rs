@@ -1,0 +1,42 @@
+#![warn(missing_docs)]
+
+//! A long-running communication-aware scheduling service.
+//!
+//! The library crates compute one answer per process: build a topology,
+//! derive the table of equivalent distances, search a partition. This
+//! crate keeps that machinery resident in a daemon so repeated requests
+//! amortize the expensive parts:
+//!
+//! * [`registry::TopologyRegistry`] — ingests networks in the
+//!   [`commsched_topology::io`] text format and dedupes them by their
+//!   content [`commsched_topology::Topology::fingerprint`];
+//! * [`cache::DistanceCache`] — an LRU over routing + distance tables
+//!   keyed by `(fingerprint, routing)`, with single-flight semantics so
+//!   concurrent identical requests trigger exactly one resistive solve;
+//! * [`jobs`] — a bounded job queue and worker pool with job-id
+//!   issuance, status polling, cancellation of queued jobs, queue-full
+//!   backpressure, and a graceful drain that finishes every accepted job;
+//! * [`stats::ServiceStats`] — counters and latency histograms exposed
+//!   over the `STATS` request;
+//! * [`server`]/[`client`] — a hand-rolled line-based TCP protocol
+//!   (documented in `docs/protocol.md` and [`protocol`]) binding the
+//!   pieces together.
+//!
+//! The `commsched` binary front-ends this crate as `commsched serve`,
+//! `commsched submit` and `commsched status`.
+
+pub mod cache;
+pub mod client;
+pub mod jobs;
+pub mod protocol;
+pub mod registry;
+pub mod server;
+pub mod stats;
+
+pub use cache::{DistanceCache, RoutedTable, RoutingSpec};
+pub use client::Client;
+pub use jobs::{JobId, JobState, ServiceCore, ServiceCoreConfig, SubmitError};
+pub use protocol::{JobKind, JobSpec, Request, TopoRef};
+pub use registry::TopologyRegistry;
+pub use server::{Server, ServerConfig, ServerHandle};
+pub use stats::ServiceStats;

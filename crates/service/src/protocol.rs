@@ -1,0 +1,331 @@
+//! The wire protocol: line-oriented requests and their parser.
+//!
+//! One request per `\n`-terminated line of UTF-8 text (`ADDTOPO` is
+//! followed by a counted block of raw topology-format lines). Responses
+//! start with `OK` or `ERR`; multi-line responses (`RESULT`, `STATS`) end
+//! with a line containing a single `.`. The full grammar is documented in
+//! `docs/protocol.md`; this module keeps parsing separate from socket
+//! handling so it is unit-testable.
+
+/// How a job names its network.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum TopoRef {
+    /// A topology previously uploaded with `ADDTOPO`, by fingerprint.
+    Registered(u64),
+    /// The paper's designed 24-switch network (four rings of six).
+    Paper24,
+    /// `ring:<switches>:<hosts_per_switch>`.
+    Ring {
+        /// Switch count.
+        switches: usize,
+        /// Workstations per switch.
+        hosts: usize,
+    },
+    /// `random:<switches>:<degree>:<hosts_per_switch>:<seed>`.
+    Random {
+        /// Switch count.
+        switches: usize,
+        /// Inter-switch degree.
+        degree: usize,
+        /// Workstations per switch.
+        hosts: usize,
+        /// Generator seed.
+        seed: u64,
+    },
+}
+
+/// What a job computes.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum JobKind {
+    /// Tabu-search a balanced workload; report partition and quality.
+    Schedule {
+        /// Number of equal applications.
+        clusters: usize,
+        /// Search seed.
+        seed: u64,
+    },
+    /// Schedule, then run the paper's S1..S9 load sweep on the mapping.
+    Sweep {
+        /// Number of equal applications.
+        clusters: usize,
+        /// Search seed.
+        seed: u64,
+        /// Simulation points.
+        points: usize,
+    },
+}
+
+/// A fully parsed job request.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct JobSpec {
+    /// The network to work on.
+    pub topo: TopoRef,
+    /// Up*/down* root (the only routing parameter the protocol exposes;
+    /// `shortest` selects shortest-path routing instead).
+    pub routing: crate::cache::RoutingSpec,
+    /// The computation.
+    pub kind: JobKind,
+}
+
+/// One parsed request line.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Request {
+    /// Liveness check.
+    Ping,
+    /// Upload a topology: `ADDTOPO <nlines>` followed by `nlines` raw
+    /// lines of the `commsched_topology::io` text format.
+    AddTopo {
+        /// Number of raw lines that follow.
+        lines: usize,
+    },
+    /// Enqueue a job.
+    Submit(JobSpec),
+    /// Query a job's state.
+    Status {
+        /// Job id.
+        job: u64,
+    },
+    /// Fetch a finished job's payload.
+    Result {
+        /// Job id.
+        job: u64,
+    },
+    /// Cancel a queued job.
+    Cancel {
+        /// Job id.
+        job: u64,
+    },
+    /// Service counters and histograms.
+    Stats,
+    /// Drain all accepted jobs, then stop the server.
+    Shutdown,
+    /// Close this connection.
+    Quit,
+}
+
+/// Render a fingerprint the way the protocol spells it (16 hex digits).
+pub fn format_fingerprint(fp: u64) -> String {
+    format!("{fp:016x}")
+}
+
+/// Parse a protocol-spelled fingerprint.
+pub fn parse_fingerprint(s: &str) -> Option<u64> {
+    (s.len() == 16)
+        .then(|| u64::from_str_radix(s, 16).ok())
+        .flatten()
+}
+
+fn parse_topo_ref(value: &str) -> Result<TopoRef, String> {
+    let mut parts = value.split(':');
+    let head = parts.next().unwrap_or_default();
+    let rest: Vec<&str> = parts.collect();
+    let num = |s: &str, what: &str| -> Result<usize, String> {
+        s.parse()
+            .map_err(|_| format!("bad {what} in topo '{value}'"))
+    };
+    match (head, rest.as_slice()) {
+        ("paper24", []) => Ok(TopoRef::Paper24),
+        ("fp", [hex]) => parse_fingerprint(hex)
+            .map(TopoRef::Registered)
+            .ok_or_else(|| format!("bad fingerprint '{hex}'")),
+        ("ring", [s, h]) => Ok(TopoRef::Ring {
+            switches: num(s, "switches")?,
+            hosts: num(h, "hosts")?,
+        }),
+        ("random", [s, d, h, seed]) => Ok(TopoRef::Random {
+            switches: num(s, "switches")?,
+            degree: num(d, "degree")?,
+            hosts: num(h, "hosts")?,
+            seed: seed
+                .parse()
+                .map_err(|_| format!("bad seed in topo '{value}'"))?,
+        }),
+        _ => Err(format!("unknown topo '{value}'")),
+    }
+}
+
+fn parse_routing(value: &str) -> Result<crate::cache::RoutingSpec, String> {
+    use crate::cache::RoutingSpec;
+    if value == "shortest" {
+        return Ok(RoutingSpec::ShortestPath);
+    }
+    if let Some(root) = value.strip_prefix("updown:") {
+        return root
+            .parse()
+            .map(|root| RoutingSpec::UpDown { root })
+            .map_err(|_| format!("bad routing root in '{value}'"));
+    }
+    Err(format!("unknown routing '{value}'"))
+}
+
+fn parse_submit(words: &[&str]) -> Result<JobSpec, String> {
+    let Some((&kind_word, kv)) = words.split_first() else {
+        return Err("SUBMIT needs a job type".into());
+    };
+    let mut topo = None;
+    let mut routing = crate::cache::RoutingSpec::UpDown { root: 0 };
+    let mut clusters = 4usize;
+    let mut seed = 42u64;
+    let mut points = 9usize;
+    for &word in kv {
+        let Some((key, value)) = word.split_once('=') else {
+            return Err(format!("expected key=value, got '{word}'"));
+        };
+        match key {
+            "topo" => topo = Some(parse_topo_ref(value)?),
+            "routing" => routing = parse_routing(value)?,
+            "clusters" => {
+                clusters = value
+                    .parse()
+                    .map_err(|_| format!("bad clusters '{value}'"))?;
+            }
+            "seed" => seed = value.parse().map_err(|_| format!("bad seed '{value}'"))?,
+            "points" => points = value.parse().map_err(|_| format!("bad points '{value}'"))?,
+            other => return Err(format!("unknown key '{other}'")),
+        }
+    }
+    let topo = topo.ok_or("SUBMIT needs topo=...")?;
+    let kind = match kind_word {
+        "SCHEDULE" => JobKind::Schedule { clusters, seed },
+        "SWEEP" => JobKind::Sweep {
+            clusters,
+            seed,
+            points,
+        },
+        other => return Err(format!("unknown job type '{other}'")),
+    };
+    Ok(JobSpec {
+        topo,
+        routing,
+        kind,
+    })
+}
+
+/// Parse one request line.
+///
+/// # Errors
+/// Returns a human-readable message (sent back as `ERR ...`) on
+/// malformed input.
+pub fn parse_request(line: &str) -> Result<Request, String> {
+    let words: Vec<&str> = line.split_whitespace().collect();
+    let job_id =
+        |s: &str| -> Result<u64, String> { s.parse().map_err(|_| format!("bad job id '{s}'")) };
+    match words.as_slice() {
+        [] => Err("empty request".into()),
+        ["PING"] => Ok(Request::Ping),
+        ["ADDTOPO", n] => n
+            .parse()
+            .map(|lines| Request::AddTopo { lines })
+            .map_err(|_| format!("bad line count '{n}'")),
+        ["SUBMIT", rest @ ..] => parse_submit(rest).map(Request::Submit),
+        ["STATUS", id] => Ok(Request::Status { job: job_id(id)? }),
+        ["RESULT", id] => Ok(Request::Result { job: job_id(id)? }),
+        ["CANCEL", id] => Ok(Request::Cancel { job: job_id(id)? }),
+        ["STATS"] => Ok(Request::Stats),
+        ["SHUTDOWN"] => Ok(Request::Shutdown),
+        ["QUIT"] => Ok(Request::Quit),
+        [verb, ..] => Err(format!("unknown request '{verb}'")),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cache::RoutingSpec;
+
+    #[test]
+    fn parses_simple_verbs() {
+        assert_eq!(parse_request("PING"), Ok(Request::Ping));
+        assert_eq!(parse_request("STATS"), Ok(Request::Stats));
+        assert_eq!(parse_request("SHUTDOWN"), Ok(Request::Shutdown));
+        assert_eq!(parse_request("QUIT"), Ok(Request::Quit));
+        assert_eq!(parse_request("STATUS 17"), Ok(Request::Status { job: 17 }));
+        assert_eq!(parse_request("RESULT 3"), Ok(Request::Result { job: 3 }));
+        assert_eq!(parse_request("CANCEL 8"), Ok(Request::Cancel { job: 8 }));
+        assert_eq!(
+            parse_request("ADDTOPO 12"),
+            Ok(Request::AddTopo { lines: 12 })
+        );
+    }
+
+    #[test]
+    fn parses_submit_defaults_and_overrides() {
+        let r = parse_request("SUBMIT SCHEDULE topo=paper24").unwrap();
+        assert_eq!(
+            r,
+            Request::Submit(JobSpec {
+                topo: TopoRef::Paper24,
+                routing: RoutingSpec::UpDown { root: 0 },
+                kind: JobKind::Schedule {
+                    clusters: 4,
+                    seed: 42
+                },
+            })
+        );
+        let r =
+            parse_request("SUBMIT SWEEP topo=ring:8:4 clusters=2 seed=7 points=5 routing=shortest")
+                .unwrap();
+        assert_eq!(
+            r,
+            Request::Submit(JobSpec {
+                topo: TopoRef::Ring {
+                    switches: 8,
+                    hosts: 4
+                },
+                routing: RoutingSpec::ShortestPath,
+                kind: JobKind::Sweep {
+                    clusters: 2,
+                    seed: 7,
+                    points: 5
+                },
+            })
+        );
+    }
+
+    #[test]
+    fn parses_fingerprint_and_random_refs() {
+        let fp = 0xdead_beef_0123_4567u64;
+        let line = format!("SUBMIT SCHEDULE topo=fp:{}", format_fingerprint(fp));
+        match parse_request(&line).unwrap() {
+            Request::Submit(spec) => assert_eq!(spec.topo, TopoRef::Registered(fp)),
+            other => panic!("wrong parse: {other:?}"),
+        }
+        match parse_request("SUBMIT SCHEDULE topo=random:16:3:4:2000").unwrap() {
+            Request::Submit(spec) => assert_eq!(
+                spec.topo,
+                TopoRef::Random {
+                    switches: 16,
+                    degree: 3,
+                    hosts: 4,
+                    seed: 2000
+                }
+            ),
+            other => panic!("wrong parse: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn fingerprint_round_trips() {
+        for fp in [0u64, 1, u64::MAX, 0x0123_4567_89ab_cdef] {
+            assert_eq!(parse_fingerprint(&format_fingerprint(fp)), Some(fp));
+        }
+        assert_eq!(parse_fingerprint("123"), None);
+        assert_eq!(parse_fingerprint("zzzzzzzzzzzzzzzz"), None);
+    }
+
+    #[test]
+    fn rejects_malformed_requests() {
+        assert!(parse_request("").is_err());
+        assert!(parse_request("FROBNICATE").is_err());
+        assert!(parse_request("STATUS notanumber").is_err());
+        assert!(parse_request("ADDTOPO many").is_err());
+        assert!(parse_request("SUBMIT").is_err());
+        assert!(parse_request("SUBMIT SCHEDULE").is_err()); // no topo
+        assert!(parse_request("SUBMIT SCHEDULE topo=nosuch").is_err());
+        assert!(parse_request("SUBMIT SCHEDULE topo=paper24 clusters=four").is_err());
+        assert!(parse_request("SUBMIT SCHEDULE topo=paper24 stray").is_err());
+        assert!(parse_request("SUBMIT SCHEDULE topo=paper24 routing=left").is_err());
+        assert!(parse_request("SUBMIT DANCE topo=paper24").is_err());
+        assert!(parse_request("SUBMIT SCHEDULE topo=fp:123").is_err());
+    }
+}

@@ -1,0 +1,82 @@
+//! The topology registry: uploaded networks, deduped by fingerprint.
+
+use commsched_topology::Topology;
+use std::collections::HashMap;
+use std::sync::{Arc, Mutex};
+
+/// A concurrent store of topologies keyed by their content
+/// [`Topology::fingerprint`]. Uploading the same network twice (in any
+/// link order) yields the same key and stores one copy.
+#[derive(Debug, Default)]
+pub struct TopologyRegistry {
+    inner: Mutex<HashMap<u64, Arc<Topology>>>,
+}
+
+impl TopologyRegistry {
+    /// An empty registry.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Insert `topo`, returning its fingerprint and whether it was new.
+    pub fn register(&self, topo: Topology) -> (u64, bool) {
+        let fp = topo.fingerprint();
+        let mut map = self.inner.lock().expect("registry lock");
+        let fresh = !map.contains_key(&fp);
+        map.entry(fp).or_insert_with(|| Arc::new(topo));
+        (fp, fresh)
+    }
+
+    /// Look up a topology by fingerprint.
+    pub fn get(&self, fp: u64) -> Option<Arc<Topology>> {
+        self.inner.lock().expect("registry lock").get(&fp).cloned()
+    }
+
+    /// Number of distinct registered topologies.
+    pub fn len(&self) -> usize {
+        self.inner.lock().expect("registry lock").len()
+    }
+
+    /// Whether the registry is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use commsched_topology::{designed, TopologyBuilder};
+
+    #[test]
+    fn registers_and_fetches() {
+        let reg = TopologyRegistry::new();
+        assert!(reg.is_empty());
+        let (fp, fresh) = reg.register(designed::paper_24_switch());
+        assert!(fresh);
+        assert_eq!(reg.len(), 1);
+        let back = reg.get(fp).unwrap();
+        assert_eq!(back.num_switches(), 24);
+        assert_eq!(back.fingerprint(), fp);
+        assert!(reg.get(fp ^ 1).is_none());
+    }
+
+    #[test]
+    fn dedupes_identical_content() {
+        let reg = TopologyRegistry::new();
+        let a = TopologyBuilder::new(3, 4)
+            .links([(0, 1), (1, 2), (2, 0)])
+            .build()
+            .unwrap();
+        let b = TopologyBuilder::new(3, 4)
+            .links([(2, 0), (0, 1), (1, 2)])
+            .build()
+            .unwrap();
+        let (fa, fresh_a) = reg.register(a);
+        let (fb, fresh_b) = reg.register(b);
+        assert_eq!(fa, fb);
+        assert!(fresh_a);
+        assert!(!fresh_b);
+        assert_eq!(reg.len(), 1);
+    }
+}

@@ -1,0 +1,231 @@
+//! The TCP front end: accept loop, per-connection handlers, shutdown.
+
+use crate::jobs::{ServiceCore, ServiceCoreConfig};
+use crate::protocol::{self, Request};
+use std::io::{BufRead, BufReader, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+/// Daemon sizing: the core's knobs plus the worker-thread count.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ServerConfig {
+    /// Worker threads executing jobs.
+    pub workers: usize,
+    /// See [`ServiceCoreConfig`].
+    pub core: ServiceCoreConfig,
+}
+
+impl Default for ServerConfig {
+    fn default() -> Self {
+        Self {
+            workers: 2,
+            core: ServiceCoreConfig::default(),
+        }
+    }
+}
+
+/// Constructor namespace for the daemon.
+pub struct Server;
+
+impl Server {
+    /// Bind `addr` (e.g. `127.0.0.1:0` for an ephemeral port), spawn the
+    /// worker pool and the accept loop, and return a handle.
+    ///
+    /// # Errors
+    /// Propagates the bind failure.
+    pub fn bind<A: ToSocketAddrs>(addr: A, config: ServerConfig) -> std::io::Result<ServerHandle> {
+        let listener = TcpListener::bind(addr)?;
+        let local_addr = listener.local_addr()?;
+        // Polling accept keeps the loop responsive to the stop flag
+        // without platform-specific socket shutdown tricks.
+        listener.set_nonblocking(true)?;
+        let core = Arc::new(ServiceCore::new(config.core));
+        let stop = Arc::new(AtomicBool::new(false));
+        let workers: Vec<JoinHandle<()>> = (0..config.workers.max(1))
+            .map(|_| {
+                let core = Arc::clone(&core);
+                std::thread::spawn(move || core.worker_loop())
+            })
+            .collect();
+        let accept_thread = {
+            let core = Arc::clone(&core);
+            let stop = Arc::clone(&stop);
+            std::thread::spawn(move || {
+                while !stop.load(Ordering::SeqCst) {
+                    match listener.accept() {
+                        Ok((stream, _)) => {
+                            let core = Arc::clone(&core);
+                            let stop = Arc::clone(&stop);
+                            std::thread::spawn(move || {
+                                // A broken connection only ends its handler.
+                                let _ = handle_connection(stream, &core, &stop);
+                            });
+                        }
+                        Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                            std::thread::sleep(Duration::from_millis(10));
+                        }
+                        Err(_) => break,
+                    }
+                }
+            })
+        };
+        Ok(ServerHandle {
+            addr: local_addr,
+            core,
+            stop,
+            accept_thread: Some(accept_thread),
+            workers,
+        })
+    }
+}
+
+/// A running daemon: inspect it, then shut it down (gracefully draining
+/// all accepted jobs) with [`ServerHandle::shutdown`].
+pub struct ServerHandle {
+    addr: SocketAddr,
+    core: Arc<ServiceCore>,
+    stop: Arc<AtomicBool>,
+    accept_thread: Option<JoinHandle<()>>,
+    workers: Vec<JoinHandle<()>>,
+}
+
+impl ServerHandle {
+    /// The bound address (with the resolved ephemeral port).
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// The daemon core, for in-process inspection (tests, the CLI's
+    /// serve loop).
+    pub fn core(&self) -> &Arc<ServiceCore> {
+        &self.core
+    }
+
+    /// Whether a `SHUTDOWN` request (or [`ServerHandle::shutdown`]) has
+    /// stopped the accept loop.
+    pub fn is_stopped(&self) -> bool {
+        self.stop.load(Ordering::SeqCst)
+    }
+
+    /// Block until the accept loop exits (i.e. until some client sends
+    /// `SHUTDOWN`), then drain and join everything.
+    pub fn join(mut self) {
+        if let Some(t) = self.accept_thread.take() {
+            let _ = t.join();
+        }
+        self.finish();
+    }
+
+    /// Gracefully stop: refuse new work, finish every accepted job,
+    /// stop accepting connections, join all threads.
+    pub fn shutdown(mut self) {
+        self.stop.store(true, Ordering::SeqCst);
+        if let Some(t) = self.accept_thread.take() {
+            let _ = t.join();
+        }
+        self.finish();
+    }
+
+    fn finish(&mut self) {
+        self.core.drain();
+        for w in self.workers.drain(..) {
+            let _ = w.join();
+        }
+    }
+}
+
+fn respond(stream: &mut TcpStream, text: &str) -> std::io::Result<()> {
+    stream.write_all(text.as_bytes())?;
+    stream.write_all(b"\n")
+}
+
+/// Serve one connection until `QUIT`, EOF, or server shutdown.
+fn handle_connection(
+    stream: TcpStream,
+    core: &Arc<ServiceCore>,
+    stop: &Arc<AtomicBool>,
+) -> std::io::Result<()> {
+    let mut writer = stream.try_clone()?;
+    let mut reader = BufReader::new(stream);
+    let mut line = String::new();
+    loop {
+        line.clear();
+        if reader.read_line(&mut line)? == 0 {
+            return Ok(()); // EOF
+        }
+        let request = match protocol::parse_request(&line) {
+            Ok(r) => r,
+            Err(e) => {
+                respond(&mut writer, &format!("ERR {e}"))?;
+                continue;
+            }
+        };
+        match request {
+            Request::Quit => return Ok(()),
+            Request::Ping => respond(&mut writer, "OK pong")?,
+            Request::AddTopo { lines } => {
+                let mut text = String::new();
+                for _ in 0..lines {
+                    let mut raw = String::new();
+                    if reader.read_line(&mut raw)? == 0 {
+                        return Ok(()); // EOF mid-upload
+                    }
+                    text.push_str(&raw);
+                }
+                match commsched_topology::from_text(&text) {
+                    Ok(topo) => {
+                        let (fp, _) = core.registry.register(topo);
+                        respond(
+                            &mut writer,
+                            &format!("OK {}", protocol::format_fingerprint(fp)),
+                        )?;
+                    }
+                    Err(e) => respond(&mut writer, &format!("ERR {e}"))?,
+                }
+            }
+            Request::Submit(spec) => match core.submit(spec) {
+                Ok(id) => respond(&mut writer, &format!("OK {id}"))?,
+                Err(e) => respond(&mut writer, &format!("ERR {e}"))?,
+            },
+            Request::Status { job } => match core.status(job) {
+                Some(state) => respond(&mut writer, &format!("OK {state}"))?,
+                None => respond(&mut writer, "ERR unknown-job")?,
+            },
+            Request::Result { job } => match core.result_lines(job) {
+                Ok(lines) => {
+                    respond(&mut writer, "OK result")?;
+                    for l in &lines {
+                        respond(&mut writer, l)?;
+                    }
+                    respond(&mut writer, ".")?;
+                }
+                Err(e) => respond(&mut writer, &format!("ERR {e}"))?,
+            },
+            Request::Cancel { job } => match core.cancel(job) {
+                Ok(()) => respond(&mut writer, "OK cancelled")?,
+                Err(e) => respond(&mut writer, &format!("ERR {e}"))?,
+            },
+            Request::Stats => {
+                respond(&mut writer, "OK stats")?;
+                for l in core.stats_lines() {
+                    respond(&mut writer, &l)?;
+                }
+                respond(&mut writer, ".")?;
+            }
+            Request::Shutdown => {
+                // Drain first so the acknowledgement means "all accepted
+                // jobs have finished", then stop the accept loop.
+                core.drain();
+                stop.store(true, Ordering::SeqCst);
+                respond(
+                    &mut writer,
+                    &format!("OK drained {}", core.stats.completed()),
+                )?;
+                return Ok(());
+            }
+        }
+    }
+}

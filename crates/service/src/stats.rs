@@ -1,0 +1,161 @@
+//! Service-level counters and latency histograms.
+
+use commsched_stats::Histogram;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+
+/// Counters and histograms accumulated over the daemon's lifetime,
+/// reported by the `STATS` request. All methods are thread-safe.
+pub struct ServiceStats {
+    submitted: AtomicU64,
+    completed: AtomicU64,
+    failed: AtomicU64,
+    cancelled: AtomicU64,
+    rejected: AtomicU64,
+    /// Time jobs spent queued before a worker picked them up.
+    queue_wait_ms: Mutex<Histogram>,
+    /// Worker execution time.
+    run_ms: Mutex<Histogram>,
+}
+
+impl Default for ServiceStats {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl ServiceStats {
+    /// Fresh zeroed stats. The histograms span 0..60 s in 24 bins —
+    /// wide enough for sweep jobs, fine enough to read a p50 off.
+    pub fn new() -> Self {
+        Self {
+            submitted: AtomicU64::new(0),
+            completed: AtomicU64::new(0),
+            failed: AtomicU64::new(0),
+            cancelled: AtomicU64::new(0),
+            rejected: AtomicU64::new(0),
+            queue_wait_ms: Mutex::new(Histogram::new(0.0, 60_000.0, 24)),
+            run_ms: Mutex::new(Histogram::new(0.0, 60_000.0, 24)),
+        }
+    }
+
+    /// Count an accepted submission.
+    pub fn note_submitted(&self) {
+        self.submitted.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Count a submission bounced by backpressure.
+    pub fn note_rejected(&self) {
+        self.rejected.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Count a cancelled queued job.
+    pub fn note_cancelled(&self) {
+        self.cancelled.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Count a job finishing, with its queue-wait and run durations.
+    pub fn note_finished(&self, ok: bool, queue_wait_ms: f64, run_ms: f64) {
+        if ok {
+            self.completed.fetch_add(1, Ordering::Relaxed);
+        } else {
+            self.failed.fetch_add(1, Ordering::Relaxed);
+        }
+        self.queue_wait_ms
+            .lock()
+            .expect("stats lock")
+            .record(queue_wait_ms);
+        self.run_ms.lock().expect("stats lock").record(run_ms);
+    }
+
+    /// Jobs accepted into the queue so far.
+    pub fn submitted(&self) -> u64 {
+        self.submitted.load(Ordering::Relaxed)
+    }
+
+    /// Jobs finished successfully.
+    pub fn completed(&self) -> u64 {
+        self.completed.load(Ordering::Relaxed)
+    }
+
+    /// Jobs that ended in an error.
+    pub fn failed(&self) -> u64 {
+        self.failed.load(Ordering::Relaxed)
+    }
+
+    /// Jobs cancelled while queued.
+    pub fn cancelled(&self) -> u64 {
+        self.cancelled.load(Ordering::Relaxed)
+    }
+
+    /// Submissions rejected because the queue was full.
+    pub fn rejected(&self) -> u64 {
+        self.rejected.load(Ordering::Relaxed)
+    }
+
+    /// `key value` lines for the `STATS` response (the caller appends
+    /// queue gauges and cache counters it owns).
+    pub fn report_lines(&self) -> Vec<String> {
+        let mut out = vec![
+            format!("jobs_submitted {}", self.submitted()),
+            format!("jobs_completed {}", self.completed()),
+            format!("jobs_failed {}", self.failed()),
+            format!("jobs_cancelled {}", self.cancelled()),
+            format!("jobs_rejected {}", self.rejected()),
+        ];
+        let wait = self.queue_wait_ms.lock().expect("stats lock");
+        let run = self.run_ms.lock().expect("stats lock");
+        for (name, hist) in [("queue_wait_ms", &*wait), ("run_ms", &*run)] {
+            out.push(format!("{name}_count {}", hist.count()));
+            for q in [0.5, 0.9] {
+                let tag = (q * 100.0) as u32;
+                match hist.approx_quantile(q) {
+                    Some(v) => out.push(format!("{name}_p{tag} {v:.1}")),
+                    None => out.push(format!("{name}_p{tag} nan")),
+                }
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_accumulate() {
+        let s = ServiceStats::new();
+        s.note_submitted();
+        s.note_submitted();
+        s.note_rejected();
+        s.note_cancelled();
+        s.note_finished(true, 5.0, 120.0);
+        s.note_finished(false, 1.0, 3.0);
+        assert_eq!(s.submitted(), 2);
+        assert_eq!(s.rejected(), 1);
+        assert_eq!(s.cancelled(), 1);
+        assert_eq!(s.completed(), 1);
+        assert_eq!(s.failed(), 1);
+    }
+
+    #[test]
+    fn report_lists_all_keys() {
+        let s = ServiceStats::new();
+        s.note_finished(true, 10.0, 20.0);
+        let lines = s.report_lines();
+        let joined = lines.join("\n");
+        for key in [
+            "jobs_submitted",
+            "jobs_completed",
+            "jobs_failed",
+            "jobs_cancelled",
+            "jobs_rejected",
+            "queue_wait_ms_count",
+            "queue_wait_ms_p50",
+            "run_ms_p90",
+        ] {
+            assert!(joined.contains(key), "missing {key} in {joined}");
+        }
+    }
+}

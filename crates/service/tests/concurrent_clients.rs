@@ -1,0 +1,114 @@
+//! End-to-end daemon test: four concurrent clients schedule the paper's
+//! designed 24-switch network through one server, sharing a single
+//! distance-table solve, and a graceful shutdown drains in-flight jobs.
+
+use commsched_core::Partition;
+use commsched_service::{Client, JobState, Server, ServerConfig, ServiceCoreConfig};
+use commsched_topology::designed;
+use std::sync::Arc;
+use std::time::Duration;
+
+fn ring_truth() -> Partition {
+    Partition::from_clusters(&designed::ring_of_rings_clusters(4, 6)).unwrap()
+}
+
+fn parse_partition(lines: &[String]) -> Partition {
+    let clusters: usize = lines
+        .iter()
+        .find_map(|l| l.strip_prefix("clusters "))
+        .expect("clusters line")
+        .parse()
+        .expect("cluster count");
+    let assign: Vec<usize> = lines
+        .iter()
+        .find_map(|l| l.strip_prefix("partition "))
+        .expect("partition line")
+        .split_whitespace()
+        .map(|t| t.parse().expect("cluster id"))
+        .collect();
+    Partition::new(assign, clusters).expect("valid partition")
+}
+
+#[test]
+fn concurrent_clients_share_one_solve_and_drain_cleanly() {
+    let handle = Server::bind(
+        "127.0.0.1:0",
+        ServerConfig {
+            workers: 2,
+            core: ServiceCoreConfig {
+                queue_capacity: 16,
+                cache_capacity: 4,
+                search_seeds: 4,
+                search_threads: 1,
+                table_threads: 2,
+            },
+        },
+    )
+    .expect("bind ephemeral port");
+    let addr = handle.addr();
+    let core = Arc::clone(handle.core());
+    let truth = ring_truth();
+
+    // Four concurrent clients: each uploads the same topology (the
+    // registry must dedupe to one fingerprint), submits a schedule job
+    // against it, and recovers the Figure-4 ring-of-rings partition.
+    let fingerprints: Vec<u64> = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..4)
+            .map(|i| {
+                let truth = &truth;
+                scope.spawn(move || {
+                    let mut client = Client::connect(addr).expect("connect");
+                    client.ping().expect("ping");
+                    let fp = client
+                        .add_topology(&designed::paper_24_switch())
+                        .expect("upload");
+                    let job = client
+                        .submit_raw(&format!("SCHEDULE topo=fp:{fp:016x} clusters=4 seed=1"))
+                        .expect("submit");
+                    let state = client.wait(job, Duration::from_millis(20)).expect("wait");
+                    assert_eq!(state, "done", "client {i}: job ended {state}");
+                    let lines = client.result(job).expect("result");
+                    let partition = parse_partition(&lines);
+                    assert!(
+                        partition.same_grouping(truth),
+                        "client {i}: did not recover the ring partition: {lines:?}"
+                    );
+                    fp
+                })
+            })
+            .collect();
+        handles.into_iter().map(|h| h.join().unwrap()).collect()
+    });
+
+    // One network, registered once.
+    assert!(fingerprints.windows(2).all(|w| w[0] == w[1]));
+
+    // All four jobs keyed the same (fingerprint, routing): exactly one
+    // resistive solve happened, the other three were cache hits — a 75 %
+    // hit ratio.
+    let mut observer = Client::connect(addr).expect("connect observer");
+    assert_eq!(observer.stat_u64("cache_misses").unwrap(), Some(1));
+    let hits = observer.stat_u64("cache_hits").unwrap().unwrap();
+    assert!(hits >= 3, "expected >= 3 cache hits, got {hits}");
+    assert_eq!(observer.stat_u64("topologies").unwrap(), Some(1));
+    assert_eq!(observer.stat_u64("jobs_completed").unwrap(), Some(4));
+
+    // Graceful shutdown: two more jobs go in, and SHUTDOWN must finish
+    // them before acknowledging — accepted work is never dropped.
+    let in_flight: Vec<u64> = (0..2)
+        .map(|i| {
+            observer
+                .submit_raw(&format!("SCHEDULE topo=paper24 clusters=4 seed={}", 10 + i))
+                .expect("submit in-flight")
+        })
+        .collect();
+    let farewell = observer.shutdown().expect("shutdown");
+    assert!(farewell.starts_with("drained"), "farewell: {farewell}");
+    handle.join();
+
+    for id in in_flight {
+        assert_eq!(core.status(id), Some(JobState::Done), "job {id} dropped");
+    }
+    assert_eq!(core.stats.completed(), 6);
+    assert_eq!(core.stats.failed(), 0);
+}

@@ -40,7 +40,9 @@ pub fn geometric_mean(xs: &[f64]) -> Result<f64> {
         return Err(StatsError::Empty);
     }
     if xs.iter().any(|&x| x <= 0.0) {
-        return Err(StatsError::Degenerate("geometric mean of non-positive value"));
+        return Err(StatsError::Degenerate(
+            "geometric mean of non-positive value",
+        ));
     }
     let log_sum: f64 = xs.iter().map(|x| x.ln()).sum();
     Ok((log_sum / xs.len() as f64).exp())
@@ -51,13 +53,15 @@ pub fn geometric_mean(xs: &[f64]) -> Result<f64> {
 /// # Errors
 /// Returns [`StatsError::Empty`] if `xs` is empty.
 pub fn min(xs: &[f64]) -> Result<f64> {
-    xs.iter().copied().fold(None, |acc: Option<f64>, x| {
-        Some(match acc {
-            Some(a) => a.min(x),
-            None => x,
+    xs.iter()
+        .copied()
+        .fold(None, |acc: Option<f64>, x| {
+            Some(match acc {
+                Some(a) => a.min(x),
+                None => x,
+            })
         })
-    })
-    .ok_or(StatsError::Empty)
+        .ok_or(StatsError::Empty)
 }
 
 /// Maximum of `xs` (NaN-free input assumed; NaNs are skipped).
@@ -65,13 +69,15 @@ pub fn min(xs: &[f64]) -> Result<f64> {
 /// # Errors
 /// Returns [`StatsError::Empty`] if `xs` is empty.
 pub fn max(xs: &[f64]) -> Result<f64> {
-    xs.iter().copied().fold(None, |acc: Option<f64>, x| {
-        Some(match acc {
-            Some(a) => a.max(x),
-            None => x,
+    xs.iter()
+        .copied()
+        .fold(None, |acc: Option<f64>, x| {
+            Some(match acc {
+                Some(a) => a.max(x),
+                None => x,
+            })
         })
-    })
-    .ok_or(StatsError::Empty)
+        .ok_or(StatsError::Empty)
 }
 
 /// Median of `xs`.

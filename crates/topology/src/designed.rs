@@ -271,8 +271,7 @@ mod tests {
         // average because bridges are scarce.
         let d0 = t.bfs_distances(1);
         let intra_max = (0..6).map(|s| d0[s]).max().unwrap();
-        let inter_min_avg: f64 =
-            (6..12).map(|s| f64::from(d0[s])).sum::<f64>() / 6.0;
+        let inter_min_avg: f64 = (6..12).map(|s| f64::from(d0[s])).sum::<f64>() / 6.0;
         assert!(intra_max <= 3);
         assert!(inter_min_avg > f64::from(intra_max));
     }

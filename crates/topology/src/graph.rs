@@ -77,7 +77,10 @@ pub enum TopologyError {
 impl std::fmt::Display for TopologyError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
-            TopologyError::SwitchOutOfRange { switch, num_switches } => {
+            TopologyError::SwitchOutOfRange {
+                switch,
+                num_switches,
+            } => {
                 write!(f, "switch {switch} out of range (n = {num_switches})")
             }
             TopologyError::SelfLoop(s) => write!(f, "self-loop at switch {s}"),
@@ -417,6 +420,45 @@ impl Topology {
             .count()
     }
 
+    /// A stable 64-bit content hash of the topology: switch count, hosts
+    /// per switch, and the multiset of `(a, b, slowdown)` link triples.
+    ///
+    /// Two topologies that describe the same network — regardless of the
+    /// order links were added in — fingerprint identically; changing a
+    /// link, a slowdown, or either count changes the fingerprint (with
+    /// the usual 64-bit collision caveat). The hash is a fixed FNV-1a
+    /// over a canonical byte encoding, so it is reproducible across
+    /// processes, platforms, and releases, making it usable as a
+    /// persistent registry/cache key.
+    pub fn fingerprint(&self) -> u64 {
+        const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+        const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
+        let mut h = FNV_OFFSET;
+        let mut eat = |x: u64| {
+            for byte in x.to_le_bytes() {
+                h ^= u64::from(byte);
+                h = h.wrapping_mul(FNV_PRIME);
+            }
+        };
+        eat(self.num_switches() as u64);
+        eat(self.hosts_per_switch as u64);
+        // Canonical link order: links are stored with a < b, so sorting
+        // the triples erases insertion order.
+        let mut triples: Vec<(SwitchId, SwitchId, u32)> = self
+            .links
+            .iter()
+            .zip(&self.slowdowns)
+            .map(|(l, &s)| (l.a, l.b, s))
+            .collect();
+        triples.sort_unstable();
+        for (a, b, s) in triples {
+            eat(a as u64);
+            eat(b as u64);
+            eat(u64::from(s));
+        }
+        h
+    }
+
     /// The topology with link `failed` removed — the degraded network
     /// after a cable failure. Link ids of the surviving links are
     /// renumbered compactly (they refer to the new topology).
@@ -494,7 +536,10 @@ mod tests {
     #[test]
     fn rejects_out_of_range() {
         let err = TopologyBuilder::new(2, 1).link(0, 2).build().unwrap_err();
-        assert!(matches!(err, TopologyError::SwitchOutOfRange { switch: 2, .. }));
+        assert!(matches!(
+            err,
+            TopologyError::SwitchOutOfRange { switch: 2, .. }
+        ));
     }
 
     #[test]
@@ -597,5 +642,55 @@ mod tests {
     fn without_link_rejects_bad_id() {
         let t = triangle();
         assert!(t.without_link(99).is_err());
+    }
+
+    #[test]
+    fn fingerprint_ignores_link_insertion_order() {
+        let a = TopologyBuilder::new(3, 4)
+            .links([(0, 1), (1, 2), (2, 0)])
+            .build()
+            .unwrap();
+        let b = TopologyBuilder::new(3, 4)
+            .links([(2, 0), (0, 1), (1, 2)])
+            .build()
+            .unwrap();
+        // Reversed endpoints normalize too.
+        let c = TopologyBuilder::new(3, 4)
+            .links([(1, 0), (2, 1), (0, 2)])
+            .build()
+            .unwrap();
+        assert_eq!(a.fingerprint(), b.fingerprint());
+        assert_eq!(a.fingerprint(), c.fingerprint());
+    }
+
+    #[test]
+    fn fingerprint_is_sensitive_to_content() {
+        let base = triangle();
+        let different_link = TopologyBuilder::new(3, 4)
+            .links([(0, 1), (1, 2)])
+            .build()
+            .unwrap();
+        let different_slowdown = TopologyBuilder::new(3, 4)
+            .link(0, 1)
+            .link_with_slowdown(1, 2, 10)
+            .link(2, 0)
+            .build()
+            .unwrap();
+        let different_hosts = TopologyBuilder::new(3, 2)
+            .links([(0, 1), (1, 2), (2, 0)])
+            .build()
+            .unwrap();
+        assert_ne!(base.fingerprint(), different_link.fingerprint());
+        assert_ne!(base.fingerprint(), different_slowdown.fingerprint());
+        assert_ne!(base.fingerprint(), different_hosts.fingerprint());
+    }
+
+    #[test]
+    fn fingerprint_is_stable_across_builds() {
+        // The same network built twice (and cloned) hashes identically —
+        // the value is a pure function of content.
+        assert_eq!(triangle().fingerprint(), triangle().fingerprint());
+        let t = triangle();
+        assert_eq!(t.fingerprint(), t.clone().fingerprint());
     }
 }

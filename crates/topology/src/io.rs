@@ -99,26 +99,28 @@ pub fn from_text(text: &str) -> Result<Topology, ParseError> {
                 if switches.is_some() {
                     return Err(ParseError::DuplicateDirective("switches"));
                 }
-                let n = parts
-                    .next()
-                    .and_then(|v| v.parse().ok())
-                    .ok_or(ParseError::BadArgument {
-                        line,
-                        directive: "switches",
-                    })?;
+                let n =
+                    parts
+                        .next()
+                        .and_then(|v| v.parse().ok())
+                        .ok_or(ParseError::BadArgument {
+                            line,
+                            directive: "switches",
+                        })?;
                 switches = Some(n);
             }
             Some("hosts_per_switch") => {
                 if hosts_seen {
                     return Err(ParseError::DuplicateDirective("hosts_per_switch"));
                 }
-                hosts = parts
-                    .next()
-                    .and_then(|v| v.parse().ok())
-                    .ok_or(ParseError::BadArgument {
-                        line,
-                        directive: "hosts_per_switch",
-                    })?;
+                hosts =
+                    parts
+                        .next()
+                        .and_then(|v| v.parse().ok())
+                        .ok_or(ParseError::BadArgument {
+                            line,
+                            directive: "hosts_per_switch",
+                        })?;
                 hosts_seen = true;
             }
             Some("link") => {
@@ -184,7 +186,8 @@ mod tests {
 
     #[test]
     fn comments_and_blanks_ignored() {
-        let text = "\n# hello\nswitches 3\n\nhosts_per_switch 1\nlink 0 1\n# mid\nlink 1 2\nlink 2 0\n";
+        let text =
+            "\n# hello\nswitches 3\n\nhosts_per_switch 1\nlink 0 1\n# mid\nlink 1 2\nlink 2 0\n";
         let t = from_text(text).unwrap();
         assert_eq!(t.num_switches(), 3);
         assert_eq!(t.num_links(), 3);
@@ -206,11 +209,17 @@ mod tests {
         ));
         assert!(matches!(
             from_text("switches two\n").unwrap_err(),
-            ParseError::BadArgument { directive: "switches", .. }
+            ParseError::BadArgument {
+                directive: "switches",
+                ..
+            }
         ));
         assert!(matches!(
             from_text("switches 2\nlink 0\n").unwrap_err(),
-            ParseError::BadArgument { directive: "link", .. }
+            ParseError::BadArgument {
+                directive: "link",
+                ..
+            }
         ));
         // A third link field is the slowdown; a FOURTH is junk.
         assert!(matches!(
@@ -219,7 +228,10 @@ mod tests {
         ));
         assert!(matches!(
             from_text("switches 2\nlink 0 1 fast\n").unwrap_err(),
-            ParseError::BadArgument { directive: "link", .. }
+            ParseError::BadArgument {
+                directive: "link",
+                ..
+            }
         ));
     }
 

@@ -299,7 +299,11 @@ mod tests {
         assert!(t.is_connected());
         for s in 0..20 {
             // One switch may have picked up the evening-out extra stub.
-            assert!(t.degree(s) >= 2 && t.degree(s) <= 5, "degree {}", t.degree(s));
+            assert!(
+                t.degree(s) >= 2 && t.degree(s) <= 5,
+                "degree {}",
+                t.degree(s)
+            );
         }
     }
 

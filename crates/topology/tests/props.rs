@@ -1,8 +1,6 @@
 //! Property tests for the topology generators and graph queries.
 
-use commsched_topology::{
-    designed, random_regular, RandomTopologyConfig, TopologyBuilder,
-};
+use commsched_topology::{designed, random_regular, RandomTopologyConfig, TopologyBuilder};
 use proptest::prelude::*;
 use rand::rngs::StdRng;
 use rand::SeedableRng;

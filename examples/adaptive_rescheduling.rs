@@ -40,8 +40,8 @@ fn simulate_with_hog(
         seed: 12,
         ..Default::default()
     };
-    let mut sim = Simulator::new(sched.topology(), sched.routing(), pattern, cfg)
-        .expect("valid sim");
+    let mut sim =
+        Simulator::new(sched.topology(), sched.routing(), pattern, cfg).expect("valid sim");
     let stats = sim.run();
     let injected = sim.host_injected_flits();
     // The hog's latency proxy: average hop cost of its cluster.
@@ -115,4 +115,3 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     );
     Ok(())
 }
-

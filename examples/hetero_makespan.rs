@@ -61,7 +61,13 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     for alpha in [0.0, 0.25, 0.5, 0.75, 1.0] {
         // Both placements run the same computation schedule here; the
         // communication term is what separates them.
-        let a = combined_cost(reference, reference, &comm.partition, scheduler.table(), alpha);
+        let a = combined_cost(
+            reference,
+            reference,
+            &comm.partition,
+            scheduler.table(),
+            alpha,
+        );
         let b = combined_cost(
             reference,
             reference,

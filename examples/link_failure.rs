@@ -58,11 +58,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let rate = 0.12;
     let before = throughput(&sched_h, &stale_clusters, rate);
     let stale = throughput(&sched_d, &stale_clusters, rate);
-    let rescheduled = throughput(
-        &sched_d,
-        degraded_outcome.mapping.host_clusters(),
-        rate,
-    );
+    let rescheduled = throughput(&sched_d, degraded_outcome.mapping.host_clusters(), rate);
     println!("\naccepted traffic at {rate} flits/host/cycle (flits/switch/cycle):");
     println!("  healthy network, healthy mapping:   {before:.4}");
     println!("  degraded network, stale mapping:    {stale:.4}");

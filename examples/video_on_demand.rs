@@ -94,6 +94,9 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         scheduler.table(),
     );
     println!("VoD cluster intracluster cost after weighted search: {heavy_cost:.3}");
-    assert!(weighted_res.fg <= w_fg + 1e-9, "weighted search must not be worse");
+    assert!(
+        weighted_res.fg <= w_fg + 1e-9,
+        "weighted search must not be worse"
+    );
     Ok(())
 }

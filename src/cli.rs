@@ -5,18 +5,34 @@
 //! * `topology`  — generate a network (random or designed) and print it;
 //! * `schedule`  — run the communication-aware scheduler on a network;
 //! * `simulate`  — one flit-level simulation at a fixed offered load;
-//! * `sweep`     — the paper's S1..S9 load sweep for a mapping.
+//! * `sweep`     — the paper's S1..S9 load sweep for a mapping;
+//! * `serve`     — run the long-running scheduling daemon;
+//! * `submit`    — enqueue a job on a daemon and print its id;
+//! * `status`    — poll a daemon job's state.
 //!
-//! Parsing is hand-rolled (`--flag value` pairs) and separated from
-//! execution so both halves are unit-testable.
+//! `schedule` and `sweep` accept `--server host:port` to route through a
+//! running daemon (and its distance-table cache) instead of solving
+//! locally. Parsing is hand-rolled (`--flag value` pairs) and separated
+//! from execution so both halves are unit-testable.
 
 use crate::{RoutingKind, Scheduler};
-use commsched_core::Workload;
+use commsched_core::{weighted_similarity_fg, Workload};
 use commsched_netsim::{paper_sweep, simulate, SimConfig, SweepConfig};
+use commsched_service::{Client, Server, ServerConfig, ServiceCoreConfig};
 use commsched_topology::{designed, random_regular, RandomTopologyConfig, Topology};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use std::fmt::Write as _;
+use std::time::Duration;
+
+/// What a `submit` invocation asks the daemon to run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SubmitKind {
+    /// A schedule job.
+    Schedule,
+    /// A schedule-then-load-sweep job.
+    Sweep,
+}
 
 /// A parsed CLI invocation.
 #[derive(Debug, Clone, PartialEq)]
@@ -40,6 +56,8 @@ pub enum Command {
         seed: u64,
         /// Optional per-application traffic weights.
         weights: Option<Vec<f64>>,
+        /// Route through a running daemon instead of solving locally.
+        server: Option<String>,
     },
     /// Run one simulation at a fixed rate.
     Simulate {
@@ -66,6 +84,41 @@ pub enum Command {
         clusters: usize,
         /// Search seed.
         seed: u64,
+        /// Route through a running daemon instead of solving locally.
+        server: Option<String>,
+    },
+    /// Run the scheduling daemon until a client sends `SHUTDOWN`.
+    Serve {
+        /// Listen address (`host:port`; port 0 picks an ephemeral one).
+        addr: String,
+        /// Worker threads.
+        workers: usize,
+        /// Queue capacity before submissions bounce.
+        queue_cap: usize,
+        /// Distance-table cache entries.
+        cache_cap: usize,
+    },
+    /// Enqueue a job on a daemon; prints the job id without waiting.
+    Submit {
+        /// Daemon address.
+        server: String,
+        /// Job type.
+        kind: SubmitKind,
+        /// Network for the job.
+        topology: TopologySpec,
+        /// Number of equal applications.
+        clusters: usize,
+        /// Search seed.
+        seed: u64,
+        /// Sweep points (sweep jobs only).
+        points: usize,
+    },
+    /// Query a daemon job's state.
+    Status {
+        /// Daemon address.
+        server: String,
+        /// Job id.
+        job: u64,
     },
 }
 
@@ -130,6 +183,27 @@ impl TopologySpec {
             }
         }
     }
+
+    /// The daemon-protocol `topo=...` argument naming this network.
+    /// Builtin specs are spelled inline; a file spec is uploaded over
+    /// `client` first and referenced by fingerprint.
+    fn remote_arg(&self, client: &mut Client) -> Result<String, String> {
+        Ok(match self {
+            TopologySpec::Paper24 => "topo=paper24".to_string(),
+            &TopologySpec::Ring { switches, hosts } => format!("topo=ring:{switches}:{hosts}"),
+            &TopologySpec::Random {
+                switches,
+                degree,
+                hosts,
+                seed,
+            } => format!("topo=random:{switches}:{degree}:{hosts}:{seed}"),
+            TopologySpec::File { .. } => {
+                let topo = self.build()?;
+                let fp = client.add_topology(&topo).map_err(|e| e.to_string())?;
+                format!("topo=fp:{fp:016x}")
+            }
+        })
+    }
 }
 
 /// Usage text.
@@ -141,14 +215,20 @@ USAGE:
                      [--degree D] [--hosts H] [--topo-seed S]
                      [--input FILE] [--save FILE]
   commsched schedule <topology flags> [--clusters M] [--seed S]
-                     [--weights w1,w2,...]
+                     [--weights w1,w2,...] [--server HOST:PORT]
   commsched simulate <topology flags> [--clusters M] [--seed S] [--rate R]
                      [--compare-random] [--vcs V] [--adaptive]
   commsched sweep    <topology flags> [--clusters M] [--seed S]
+                     [--server HOST:PORT]
+  commsched serve    [--addr HOST:PORT] [--workers N] [--queue-cap N]
+                     [--cache-cap N]
+  commsched submit   --server HOST:PORT [--type schedule|sweep]
+                     <topology flags> [--clusters M] [--seed S] [--points P]
+  commsched status   --server HOST:PORT --job ID
   commsched help
 
 DEFAULTS: --kind random --switches 16 --degree 3 --hosts 4 --topo-seed 2000
-          --clusters 4 --seed 42 --rate 0.1
+          --clusters 4 --seed 42 --rate 0.1 --addr 127.0.0.1:7477
 ";
 
 fn parse_flags(args: &[String]) -> Result<std::collections::HashMap<String, String>, String> {
@@ -178,14 +258,18 @@ fn parse_topology(
 ) -> Result<TopologySpec, String> {
     let get = |k: &str, d: &str| flags.get(k).cloned().unwrap_or_else(|| d.to_string());
     let kind = get("kind", "random");
-    let switches: usize = get("switches", "16").parse().map_err(|_| "bad --switches")?;
+    let switches: usize = get("switches", "16")
+        .parse()
+        .map_err(|_| "bad --switches")?;
     let hosts: usize = get("hosts", "4").parse().map_err(|_| "bad --hosts")?;
     match kind.as_str() {
         "random" => Ok(TopologySpec::Random {
             switches,
             degree: get("degree", "3").parse().map_err(|_| "bad --degree")?,
             hosts,
-            seed: get("topo-seed", "2000").parse().map_err(|_| "bad --topo-seed")?,
+            seed: get("topo-seed", "2000")
+                .parse()
+                .map_err(|_| "bad --topo-seed")?,
         }),
         "paper24" => Ok(TopologySpec::Paper24),
         "ring" => Ok(TopologySpec::Ring { switches, hosts }),
@@ -211,6 +295,7 @@ pub fn parse(args: &[String]) -> Result<Command, String> {
     let get = |k: &str, d: &str| flags.get(k).cloned().unwrap_or_else(|| d.to_string());
     let clusters: usize = get("clusters", "4").parse().map_err(|_| "bad --clusters")?;
     let seed: u64 = get("seed", "42").parse().map_err(|_| "bad --seed")?;
+    let server = flags.get("server").cloned();
     match sub.as_str() {
         "help" | "--help" | "-h" => Ok(Command::Help),
         "topology" => Ok(Command::Topology {
@@ -229,6 +314,7 @@ pub fn parse(args: &[String]) -> Result<Command, String> {
                         .collect::<Result<Vec<_>, _>>()?,
                 ),
             },
+            server,
         }),
         "simulate" => Ok(Command::Simulate {
             topology: parse_topology(&flags)?,
@@ -243,9 +329,68 @@ pub fn parse(args: &[String]) -> Result<Command, String> {
             topology: parse_topology(&flags)?,
             clusters,
             seed,
+            server,
+        }),
+        "serve" => Ok(Command::Serve {
+            addr: get("addr", "127.0.0.1:7477"),
+            workers: get("workers", "2").parse().map_err(|_| "bad --workers")?,
+            queue_cap: get("queue-cap", "16")
+                .parse()
+                .map_err(|_| "bad --queue-cap")?,
+            cache_cap: get("cache-cap", "8")
+                .parse()
+                .map_err(|_| "bad --cache-cap")?,
+        }),
+        "submit" => Ok(Command::Submit {
+            server: server.ok_or("submit needs --server <host:port>")?,
+            kind: match get("type", "schedule").as_str() {
+                "schedule" => SubmitKind::Schedule,
+                "sweep" => SubmitKind::Sweep,
+                other => return Err(format!("unknown job type '{other}'")),
+            },
+            topology: parse_topology(&flags)?,
+            clusters,
+            seed,
+            points: get("points", "9").parse().map_err(|_| "bad --points")?,
+        }),
+        "status" => Ok(Command::Status {
+            server: server.ok_or("status needs --server <host:port>")?,
+            job: get("job", "")
+                .parse()
+                .map_err(|_| "status needs --job <id>")?,
         }),
         other => Err(format!("unknown subcommand '{other}'")),
     }
+}
+
+/// Build the local end-to-end pipeline once per invocation: topology,
+/// routing, and the table of equivalent distances live in one
+/// [`Scheduler`] that every step of the subcommand reuses.
+fn build_scheduler(spec: &TopologySpec) -> Result<Scheduler, String> {
+    let topo = spec.build()?;
+    Scheduler::new(topo, RoutingKind::UpDown { root: 0 }).map_err(|e| e.to_string())
+}
+
+/// Submit over the wire, wait, and return the result payload lines.
+fn run_remote_job(
+    server: &str,
+    topology: &TopologySpec,
+    kind_word: &str,
+    args: &str,
+) -> Result<Vec<String>, String> {
+    let mut client =
+        Client::connect(server).map_err(|e| format!("cannot reach server '{server}': {e}"))?;
+    let topo_arg = topology.remote_arg(&mut client)?;
+    let job = client
+        .submit_raw(&format!("{kind_word} {topo_arg} {args}"))
+        .map_err(|e| e.to_string())?;
+    let state = client
+        .wait(job, Duration::from_millis(50))
+        .map_err(|e| e.to_string())?;
+    if state != "done" {
+        return Err(format!("job {job} ended {state}"));
+    }
+    client.result(job).map_err(|e| e.to_string())
 }
 
 /// Execute a parsed command; returns the text to print.
@@ -281,10 +426,24 @@ pub fn run(cmd: &Command) -> Result<String, String> {
             clusters,
             seed,
             weights,
+            server,
         } => {
-            let topo = topology.build()?;
-            let sched =
-                Scheduler::new(topo, RoutingKind::UpDown { root: 0 }).map_err(|e| e.to_string())?;
+            if let Some(server) = server {
+                if weights.is_some() {
+                    return Err("--weights is not supported with --server".into());
+                }
+                let lines = run_remote_job(
+                    server,
+                    topology,
+                    "SCHEDULE",
+                    &format!("clusters={clusters} seed={seed}"),
+                )?;
+                for l in lines {
+                    writeln!(out, "{l}").expect("write to string");
+                }
+                return Ok(out);
+            }
+            let sched = build_scheduler(topology)?;
             let wl = Workload::balanced(sched.topology(), *clusters).map_err(|e| e.to_string())?;
             match weights {
                 None => {
@@ -298,18 +457,19 @@ pub fn run(cmd: &Command) -> Result<String, String> {
                     .expect("write to string");
                 }
                 Some(ws) => {
-                    use commsched_search::{TabuParams, TabuSearch};
-                    if ws.len() != *clusters {
+                    if ws.len() != wl.clusters.len() {
                         return Err("need one weight per cluster".into());
                     }
-                    let sizes = wl.switch_demands(sched.topology().hosts_per_switch());
-                    let mut rng = StdRng::seed_from_u64(*seed);
-                    let (res, _) = TabuSearch::new(TabuParams::scaled(
-                        sched.topology().num_switches(),
-                    ))
-                    .search_weighted(sched.table(), &sizes, ws, &mut rng);
-                    writeln!(out, "partition: {}", res.partition).expect("write to string");
-                    writeln!(out, "weighted F_G = {:.6}", res.fg).expect("write to string");
+                    let o = sched
+                        .schedule_weighted(&wl, ws, *seed)
+                        .map_err(|e| e.to_string())?;
+                    writeln!(out, "partition: {}", o.partition).expect("write to string");
+                    writeln!(
+                        out,
+                        "weighted F_G = {:.6}",
+                        weighted_similarity_fg(&o.partition, sched.table(), ws)
+                    )
+                    .expect("write to string");
                 }
             }
         }
@@ -322,9 +482,7 @@ pub fn run(cmd: &Command) -> Result<String, String> {
             vcs,
             adaptive,
         } => {
-            let topo = topology.build()?;
-            let sched =
-                Scheduler::new(topo, RoutingKind::UpDown { root: 0 }).map_err(|e| e.to_string())?;
+            let sched = build_scheduler(topology)?;
             let wl = Workload::balanced(sched.topology(), *clusters).map_err(|e| e.to_string())?;
             let o = sched.schedule(&wl, *seed).map_err(|e| e.to_string())?;
             let cfg = SimConfig {
@@ -348,7 +506,9 @@ pub fn run(cmd: &Command) -> Result<String, String> {
             )
             .expect("write to string");
             if *compare_random {
-                let r = sched.random_mapping(&wl, *seed).map_err(|e| e.to_string())?;
+                let r = sched
+                    .random_mapping(&wl, *seed)
+                    .map_err(|e| e.to_string())?;
                 let rs = simulate(
                     sched.topology(),
                     sched.routing(),
@@ -368,10 +528,21 @@ pub fn run(cmd: &Command) -> Result<String, String> {
             topology,
             clusters,
             seed,
+            server,
         } => {
-            let topo = topology.build()?;
-            let sched =
-                Scheduler::new(topo, RoutingKind::UpDown { root: 0 }).map_err(|e| e.to_string())?;
+            if let Some(server) = server {
+                let lines = run_remote_job(
+                    server,
+                    topology,
+                    "SWEEP",
+                    &format!("clusters={clusters} seed={seed}"),
+                )?;
+                for l in lines {
+                    writeln!(out, "{l}").expect("write to string");
+                }
+                return Ok(out);
+            }
+            let sched = build_scheduler(topology)?;
             let wl = Workload::balanced(sched.topology(), *clusters).map_err(|e| e.to_string())?;
             let o = sched.schedule(&wl, *seed).map_err(|e| e.to_string())?;
             let (sweep, sat) = paper_sweep(
@@ -383,8 +554,11 @@ pub fn run(cmd: &Command) -> Result<String, String> {
             )
             .map_err(|e| e.to_string())?;
             writeln!(out, "saturation ~ {sat:.3} flits/host/cycle").expect("write to string");
-            writeln!(out, "point  offered(f/host/cy)  accepted(f/sw/cy)  latency(cy)")
-                .expect("write to string");
+            writeln!(
+                out,
+                "point  offered(f/host/cy)  accepted(f/sw/cy)  latency(cy)"
+            )
+            .expect("write to string");
             for (i, p) in sweep.points.iter().enumerate() {
                 writeln!(
                     out,
@@ -396,6 +570,55 @@ pub fn run(cmd: &Command) -> Result<String, String> {
                 )
                 .expect("write to string");
             }
+        }
+        Command::Serve {
+            addr,
+            workers,
+            queue_cap,
+            cache_cap,
+        } => {
+            let config = ServerConfig {
+                workers: *workers,
+                core: ServiceCoreConfig {
+                    queue_capacity: *queue_cap,
+                    cache_capacity: *cache_cap,
+                    ..Default::default()
+                },
+            };
+            let handle = Server::bind(addr.as_str(), config).map_err(|e| e.to_string())?;
+            // Print immediately: clients need the (possibly ephemeral)
+            // port while the daemon blocks below.
+            println!("commsched-service listening on {}", handle.addr());
+            handle.join();
+            writeln!(out, "server drained and stopped").expect("write to string");
+        }
+        Command::Submit {
+            server,
+            kind,
+            topology,
+            clusters,
+            seed,
+            points,
+        } => {
+            let mut client = Client::connect(server.as_str())
+                .map_err(|e| format!("cannot reach server '{server}': {e}"))?;
+            let topo_arg = topology.remote_arg(&mut client)?;
+            let line = match kind {
+                SubmitKind::Schedule => {
+                    format!("SCHEDULE {topo_arg} clusters={clusters} seed={seed}")
+                }
+                SubmitKind::Sweep => {
+                    format!("SWEEP {topo_arg} clusters={clusters} seed={seed} points={points}")
+                }
+            };
+            let job = client.submit_raw(&line).map_err(|e| e.to_string())?;
+            writeln!(out, "job {job}").expect("write to string");
+        }
+        Command::Status { server, job } => {
+            let mut client = Client::connect(server.as_str())
+                .map_err(|e| format!("cannot reach server '{server}': {e}"))?;
+            let state = client.status(*job).map_err(|e| e.to_string())?;
+            writeln!(out, "job {job}: {state}").expect("write to string");
         }
     }
     Ok(out)
@@ -444,14 +667,62 @@ mod tests {
                 clusters,
                 seed,
                 weights,
+                server,
             } => {
                 assert_eq!(topology, TopologySpec::Paper24);
                 assert_eq!(clusters, 4);
                 assert_eq!(seed, 7);
                 assert_eq!(weights, Some(vec![10.0, 1.0, 1.0, 1.0]));
+                assert_eq!(server, None);
             }
             other => panic!("wrong parse: {other:?}"),
         }
+    }
+
+    #[test]
+    fn parse_server_subcommands() {
+        assert_eq!(
+            parse(&argv("serve --addr 127.0.0.1:0 --workers 3")).unwrap(),
+            Command::Serve {
+                addr: "127.0.0.1:0".into(),
+                workers: 3,
+                queue_cap: 16,
+                cache_cap: 8,
+            }
+        );
+        assert_eq!(
+            parse(&argv(
+                "submit --server localhost:7477 --type sweep --kind paper24 --points 5"
+            ))
+            .unwrap(),
+            Command::Submit {
+                server: "localhost:7477".into(),
+                kind: SubmitKind::Sweep,
+                topology: TopologySpec::Paper24,
+                clusters: 4,
+                seed: 42,
+                points: 5,
+            }
+        );
+        assert_eq!(
+            parse(&argv("status --server localhost:7477 --job 12")).unwrap(),
+            Command::Status {
+                server: "localhost:7477".into(),
+                job: 12,
+            }
+        );
+        // Schedule/sweep pick up --server.
+        match parse(&argv("schedule --kind paper24 --server h:1")).unwrap() {
+            Command::Schedule { server, .. } => assert_eq!(server, Some("h:1".into())),
+            other => panic!("wrong parse: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn server_subcommands_require_flags() {
+        assert!(parse(&argv("submit --kind paper24")).is_err());
+        assert!(parse(&argv("status --server h:1")).is_err());
+        assert!(parse(&argv("submit --server h:1 --type dance")).is_err());
     }
 
     #[test]
@@ -540,5 +811,67 @@ mod tests {
         .unwrap())
         .unwrap_err();
         assert!(err.contains("one weight per cluster"));
+    }
+
+    #[test]
+    fn schedule_through_server_round_trips() {
+        // Stand a daemon up in-process, then drive the plain `schedule`
+        // subcommand through it with --server.
+        let handle = Server::bind("127.0.0.1:0", ServerConfig::default()).unwrap();
+        let addr = handle.addr().to_string();
+        let out = run(&Command::Schedule {
+            topology: TopologySpec::Ring {
+                switches: 4,
+                hosts: 1,
+            },
+            clusters: 2,
+            seed: 3,
+            weights: None,
+            server: Some(addr.clone()),
+        })
+        .unwrap();
+        assert!(out.contains("partition "), "missing partition in: {out}");
+        assert!(out.contains("cc "), "missing cc in: {out}");
+        // Weighted jobs are a local-only feature.
+        let err = run(&Command::Schedule {
+            topology: TopologySpec::Paper24,
+            clusters: 4,
+            seed: 1,
+            weights: Some(vec![1.0, 1.0, 1.0, 1.0]),
+            server: Some(addr.clone()),
+        })
+        .unwrap_err();
+        assert!(err.contains("--weights"));
+        let mut client = Client::connect(addr.as_str()).unwrap();
+        client.shutdown().unwrap();
+        handle.join();
+    }
+
+    #[test]
+    fn weighted_schedule_unweighted_matches_plain_fg() {
+        // Uniform weights reduce the weighted objective to F_G, so the
+        // weighted CLI path must report the same number the plain path
+        // would.
+        let out = run(&parse(&argv(
+            "schedule --kind ring --switches 8 --clusters 2 --weights 1,1",
+        ))
+        .unwrap())
+        .unwrap();
+        let weighted: f64 = out
+            .lines()
+            .find_map(|l| l.strip_prefix("weighted F_G = "))
+            .unwrap()
+            .parse()
+            .unwrap();
+        let plain =
+            run(&parse(&argv("schedule --kind ring --switches 8 --clusters 2")).unwrap()).unwrap();
+        let fg: f64 = plain
+            .lines()
+            .find_map(|l| l.strip_prefix("F_G = "))
+            .map(|rest| rest.split_whitespace().next().unwrap())
+            .unwrap()
+            .parse()
+            .unwrap();
+        assert!((weighted - fg).abs() < 1e-9, "{weighted} != {fg}");
     }
 }

@@ -274,10 +274,8 @@ mod tests {
         // What must hold: every app gets a placement at most as costly as
         // a physical ring, placements are disjoint, and the machine fills.
         let mut dyn_sched = rings_scheduler();
-        let ring_cost = cluster_similarity(
-            &(0..6).collect::<Vec<_>>(),
-            dyn_sched.scheduler().table(),
-        );
+        let ring_cost =
+            cluster_similarity(&(0..6).collect::<Vec<_>>(), dyn_sched.scheduler().table());
         let mut used = std::collections::HashSet::new();
         let mut total = 0.0;
         for i in 0..4 {
@@ -292,7 +290,10 @@ mod tests {
             // ring-quality; later apps inherit fragmented leftovers (the
             // price of no-migration online scheduling).
             if i == 0 {
-                assert!(cost <= ring_cost + 1e-9, "first app cost {cost} > ring {ring_cost}");
+                assert!(
+                    cost <= ring_cost + 1e-9,
+                    "first app cost {cost} > ring {ring_cost}"
+                );
             }
         }
         assert_eq!(dyn_sched.utilization(), 1.0);
@@ -343,7 +344,10 @@ mod tests {
                 hosts_per_switch: 4
             }
         );
-        assert_eq!(dyn_sched.admit("none", 0).unwrap_err(), DynamicError::EmptyApp);
+        assert_eq!(
+            dyn_sched.admit("none", 0).unwrap_err(),
+            DynamicError::EmptyApp
+        );
     }
 
     #[test]
@@ -353,10 +357,8 @@ mod tests {
         let cost = dyn_sched.app_cost(a.id).unwrap();
         // With the whole machine free, greedy + local search must match or
         // beat the physical-ring cost (it may exploit the bridge links).
-        let truth_cost = cluster_similarity(
-            &(0..6).collect::<Vec<_>>(),
-            dyn_sched.scheduler().table(),
-        );
+        let truth_cost =
+            cluster_similarity(&(0..6).collect::<Vec<_>>(), dyn_sched.scheduler().table());
         assert!(cost <= truth_cost + 1e-9, "cost {cost} > ring {truth_cost}");
         assert!(dyn_sched.app_cost(999).is_err());
     }
@@ -397,7 +399,11 @@ mod tests {
                 }
             }
             // Invariants: occupancy and placements agree exactly.
-            let placed: usize = dyn_sched.placements().iter().map(|p| p.switches.len()).sum();
+            let placed: usize = dyn_sched
+                .placements()
+                .iter()
+                .map(|p| p.switches.len())
+                .sum();
             let used = 24 - dyn_sched.free_switches().len();
             assert_eq!(placed, used);
             assert_eq!(dyn_sched.placements().len(), live.len());
@@ -418,9 +424,8 @@ mod tests {
         // Occupy half of each of two rings, then ask for a 3-switch app:
         // it must come from within one ring, not straddle rings.
         let topo = designed::paper_24_switch();
-        let mut dyn_sched = DynamicScheduler::new(
-            Scheduler::new(topo, RoutingKind::UpDown { root: 0 }).unwrap(),
-        );
+        let mut dyn_sched =
+            DynamicScheduler::new(Scheduler::new(topo, RoutingKind::UpDown { root: 0 }).unwrap());
         // Two 12-process apps: greedy will take 3-switch chunks.
         let a = dyn_sched.admit("a", 12).unwrap();
         let b = dyn_sched.admit("b", 12).unwrap();

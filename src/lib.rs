@@ -25,6 +25,7 @@
 //! | [`search`] | `commsched-search` | tabu search + comparison heuristics (§4.2) |
 //! | [`netsim`] | `commsched-netsim` | flit-level wormhole simulator (§5) |
 //! | [`stats`] | `commsched-stats` | correlation/statistics for the evaluation (§5.2) |
+//! | [`service`] | `commsched-service` | scheduling daemon: topology registry, distance-table cache, job queue |
 //!
 //! ## Quickstart
 //!
@@ -59,5 +60,6 @@ pub use commsched_distance as distance;
 pub use commsched_netsim as netsim;
 pub use commsched_routing as routing;
 pub use commsched_search as search;
+pub use commsched_service as service;
 pub use commsched_stats as stats;
 pub use commsched_topology as topology;

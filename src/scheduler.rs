@@ -219,12 +219,8 @@ impl Scheduler {
         }
         let sizes = workload.switch_demands(self.topology.hosts_per_switch());
         let mut rng = StdRng::seed_from_u64(seed);
-        let (result, _) = TabuSearch::new(self.tabu).search_weighted(
-            &self.table,
-            &sizes,
-            weights,
-            &mut rng,
-        );
+        let (result, _) =
+            TabuSearch::new(self.tabu).search_weighted(&self.table, &sizes, weights, &mut rng);
         let mapping = ProcessMapping::place(&self.topology, workload, &result.partition)?;
         Ok(ScheduleOutcome {
             quality: self.evaluate(&result.partition),

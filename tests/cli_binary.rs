@@ -64,14 +64,26 @@ fn save_load_roundtrip_through_binary() {
     let path = path.to_str().unwrap();
 
     let (stdout, _, ok) = run(&[
-        "topology", "--kind", "ring", "--switches", "8", "--save", path,
+        "topology",
+        "--kind",
+        "ring",
+        "--switches",
+        "8",
+        "--save",
+        path,
     ]);
     assert!(ok, "{stdout}");
     assert!(stdout.contains("saved to"));
 
     // Schedule on the file-loaded network.
     let (stdout, _, ok) = run(&[
-        "schedule", "--kind", "file", "--input", path, "--clusters", "2",
+        "schedule",
+        "--kind",
+        "file",
+        "--input",
+        path,
+        "--clusters",
+        "2",
     ]);
     assert!(ok, "{stdout}");
     assert!(stdout.contains("partition:"));
@@ -81,7 +93,15 @@ fn save_load_roundtrip_through_binary() {
 #[test]
 fn schedule_rejects_bad_weights() {
     let (_, stderr, ok) = run(&[
-        "schedule", "--kind", "ring", "--switches", "8", "--clusters", "2", "--weights", "1,2,3",
+        "schedule",
+        "--kind",
+        "ring",
+        "--switches",
+        "8",
+        "--clusters",
+        "2",
+        "--weights",
+        "1,2,3",
     ]);
     assert!(!ok);
     assert!(stderr.contains("one weight per cluster"), "{stderr}");

@@ -16,8 +16,11 @@ fn scheduler_pipeline_on_random_networks() {
         let wl = Workload::balanced(sched.topology(), 4).unwrap();
         let outcome = sched.schedule(&wl, 10).unwrap();
         assert_eq!(outcome.partition.sizes(), vec![4, 4, 4, 4]);
-        assert!(outcome.quality.fg > 0.0 && outcome.quality.fg < 1.0,
-            "scheduled F_G should beat the random expectation of 1: {}", outcome.quality.fg);
+        assert!(
+            outcome.quality.fg > 0.0 && outcome.quality.fg < 1.0,
+            "scheduled F_G should beat the random expectation of 1: {}",
+            outcome.quality.fg
+        );
         assert!(outcome.quality.cc > 1.0);
         // Beats the mean of random placements.
         let mut random_ccs = Vec::new();

@@ -73,7 +73,11 @@ fn latency_monotone_and_deadlock_free() {
     for p in &s.points {
         assert!(!p.stats.deadlocked);
     }
-    let latencies: Vec<f64> = s.points.iter().map(|p| p.stats.avg_network_latency).collect();
+    let latencies: Vec<f64> = s
+        .points
+        .iter()
+        .map(|p| p.stats.avg_network_latency)
+        .collect();
     assert!(
         latencies.windows(2).all(|w| w[1] >= w[0] * 0.95),
         "latency not (weakly) increasing: {latencies:?}"
@@ -97,9 +101,8 @@ fn cc_ordering_matches_measured_ordering() {
     let q_scattered = sched.evaluate(&scattered);
     assert!(q_aligned.cc > q_scattered.cc);
 
-    let mk_clusters = |p: &Partition| -> Vec<usize> {
-        (0..32).map(|h| p.cluster_of(h / 4)).collect()
-    };
+    let mk_clusters =
+        |p: &Partition| -> Vec<usize> { (0..32).map(|h| p.cluster_of(h / 4)).collect() };
     let rate = 0.25; // past the scattered mapping's saturation
     let a = simulate(
         sched.topology(),
