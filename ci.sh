@@ -18,4 +18,10 @@ cargo build --release
 echo "==> cargo test -q --workspace"
 cargo test -q --workspace
 
+echo "==> cargo bench --workspace --no-run"
+cargo bench --workspace --no-run
+
+echo "==> perfbase --smoke (fast perf sanity: sparse == dense, tabu determinism)"
+./target/release/perfbase --smoke --out /tmp/perfbase_smoke.json
+
 echo "==> ci.sh: all green"

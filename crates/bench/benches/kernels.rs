@@ -11,7 +11,10 @@
 
 use commsched_bench::Testbed;
 use commsched_core::{similarity_fg, Partition, SwapEvaluator};
-use commsched_distance::{equivalent_distance_table, equivalent_distance_table_parallel};
+use commsched_distance::{
+    equivalent_distance_table, equivalent_distance_table_parallel, equivalent_distance_table_with,
+    SolverKind, TableOptions,
+};
 use commsched_netsim::{SimConfig, Simulator, TrafficPattern};
 use commsched_search::{ExhaustiveSearch, Mapper, TabuParams, TabuSearch};
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
@@ -22,6 +25,34 @@ use std::hint::black_box;
 fn bench_distance_table(c: &mut Criterion) {
     let mut group = c.benchmark_group("distance_table");
     for testbed in [Testbed::paper_16(), Testbed::paper_24()] {
+        // Solver variants, single-threaded: the dense oracle, the sparse
+        // LDL^T path alone, and sparse + factorization memoization (the
+        // default pipeline).
+        let variants: [(&str, TableOptions); 3] = [
+            (
+                "dense",
+                TableOptions {
+                    solver: SolverKind::DenseGaussian,
+                    ..Default::default()
+                },
+            ),
+            (
+                "sparse_nomemo",
+                TableOptions {
+                    memoize: false,
+                    ..Default::default()
+                },
+            ),
+            ("sparse_memo", TableOptions::default()),
+        ];
+        for (label, options) in variants {
+            group.bench_with_input(BenchmarkId::new(label, testbed.name), &testbed, |b, t| {
+                b.iter(|| {
+                    equivalent_distance_table_with(black_box(&t.topology), &t.routing, options)
+                        .unwrap()
+                })
+            });
+        }
         group.bench_with_input(
             BenchmarkId::new("serial", testbed.name),
             &testbed,
@@ -29,16 +60,23 @@ fn bench_distance_table(c: &mut Criterion) {
                 b.iter(|| equivalent_distance_table(black_box(&t.topology), &t.routing).unwrap())
             },
         );
-        group.bench_with_input(
-            BenchmarkId::new("parallel4", testbed.name),
-            &testbed,
-            |b, t| {
-                b.iter(|| {
-                    equivalent_distance_table_parallel(black_box(&t.topology), &t.routing, 4)
+        // Work-stealing fan-out at several worker counts.
+        for threads in [2usize, 4, 8] {
+            group.bench_with_input(
+                BenchmarkId::new(&format!("parallel{threads}"), testbed.name),
+                &testbed,
+                |b, t| {
+                    b.iter(|| {
+                        equivalent_distance_table_parallel(
+                            black_box(&t.topology),
+                            &t.routing,
+                            threads,
+                        )
                         .unwrap()
-                })
-            },
-        );
+                    })
+                },
+            );
+        }
     }
     group.finish();
 }
@@ -65,17 +103,24 @@ fn bench_search(c: &mut Criterion) {
     let mut group = c.benchmark_group("search");
     group.sample_size(10);
     for testbed in [Testbed::paper_16(), Testbed::paper_24()] {
-        group.bench_with_input(
-            BenchmarkId::new("tabu_full", testbed.name),
-            &testbed,
-            |b, t| {
-                let params = TabuParams::scaled(t.topology.num_switches());
-                b.iter(|| {
-                    let mut rng = StdRng::seed_from_u64(7);
-                    TabuSearch::new(params).search(&t.table, &t.sizes(), &mut rng)
-                })
-            },
-        );
+        // Restart-level parallelism: identical results per thread count,
+        // so the IDs differ only in wall time.
+        for threads in [1usize, 2, 4] {
+            group.bench_with_input(
+                BenchmarkId::new(&format!("tabu_full_t{threads}"), testbed.name),
+                &testbed,
+                |b, t| {
+                    let params = TabuParams {
+                        threads,
+                        ..TabuParams::scaled(t.topology.num_switches())
+                    };
+                    b.iter(|| {
+                        let mut rng = StdRng::seed_from_u64(7);
+                        TabuSearch::new(params).search(&t.table, &t.sizes(), &mut rng)
+                    })
+                },
+            );
+        }
     }
     let t8 = Testbed::extra_random(8, 99);
     group.bench_function("exhaustive_8sw", |b| {

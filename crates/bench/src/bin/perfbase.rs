@@ -1,0 +1,193 @@
+//! Tracked performance baseline for the distance/search pipeline.
+//!
+//! Emits `BENCH_pr2.json`: wall times for building the table of
+//! equivalent distances (dense-serial baseline vs the sparse LDLᵀ +
+//! memoization fast path, serial and work-stealing parallel) and for the
+//! multi-seed tabu search (serial vs pooled restarts) at N ∈ {16, 24,
+//! 64, 128} switches. Every sparse table is also checked against the
+//! dense oracle pair by pair, so the file doubles as an agreement
+//! certificate.
+//!
+//! Usage: `perfbase [--smoke] [--out PATH]`
+//!
+//! * `--smoke` — N ∈ {16, 24} and one repetition: a seconds-fast CI run
+//!   that still exercises every measured code path.
+//! * `--out PATH` — where to write the JSON (default `BENCH_pr2.json`).
+
+use commsched_bench::{Testbed, SEARCH_SEED};
+use commsched_distance::{equivalent_distance_table_with, DistanceTable, SolverKind, TableOptions};
+use commsched_search::{Mapper, TabuParams, TabuSearch};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::time::Instant;
+
+/// Best-of-`reps` wall time in milliseconds.
+fn time_ms<T>(reps: usize, mut f: impl FnMut() -> T) -> (f64, T) {
+    let mut best = f64::INFINITY;
+    let mut out = None;
+    for _ in 0..reps.max(1) {
+        let t0 = Instant::now();
+        let v = f();
+        best = best.min(t0.elapsed().as_secs_f64() * 1e3);
+        out = Some(v);
+    }
+    (best, out.expect("at least one repetition"))
+}
+
+fn build(testbed: &Testbed, options: TableOptions) -> DistanceTable {
+    equivalent_distance_table_with(&testbed.topology, &testbed.routing, options).expect("build")
+}
+
+struct SizeReport {
+    switches: usize,
+    pairs: usize,
+    dense_serial_ms: f64,
+    sparse_serial_ms: f64,
+    sparse_parallel_ms: f64,
+    table_speedup: f64,
+    tabu_serial_ms: f64,
+    tabu_parallel_ms: f64,
+    max_abs_diff: f64,
+}
+
+fn measure(switches: usize, reps: usize) -> SizeReport {
+    let testbed = Testbed::extra_random(switches, 9_000 + switches as u64);
+    let dense_opts = TableOptions {
+        solver: SolverKind::DenseGaussian,
+        ..Default::default()
+    };
+    let (dense_serial_ms, dense) = time_ms(reps, || build(&testbed, dense_opts));
+    let (sparse_serial_ms, sparse) = time_ms(reps, || build(&testbed, TableOptions::default()));
+    let (sparse_parallel_ms, _) = time_ms(reps, || {
+        build(
+            &testbed,
+            TableOptions {
+                threads: 0,
+                ..Default::default()
+            },
+        )
+    });
+
+    let mut max_abs_diff = 0.0f64;
+    for i in 0..switches {
+        for j in 0..switches {
+            max_abs_diff = max_abs_diff.max((dense.get(i, j) - sparse.get(i, j)).abs());
+        }
+    }
+    assert!(
+        max_abs_diff < 1e-9,
+        "sparse/dense disagree at N={switches}: {max_abs_diff}"
+    );
+
+    let time_tabu = |threads: usize| {
+        let params = TabuParams {
+            threads,
+            ..TabuParams::scaled(switches)
+        };
+        time_ms(reps, || {
+            let mut rng = StdRng::seed_from_u64(SEARCH_SEED);
+            TabuSearch::new(params).search(&testbed.table, &testbed.sizes(), &mut rng)
+        })
+    };
+    let (tabu_serial_ms, serial_res) = time_tabu(1);
+    let (tabu_parallel_ms, parallel_res) = time_tabu(0);
+    assert_eq!(
+        serial_res.partition, parallel_res.partition,
+        "restart thread count changed the result at N={switches}"
+    );
+
+    SizeReport {
+        switches,
+        pairs: switches * (switches - 1) / 2,
+        dense_serial_ms,
+        sparse_serial_ms,
+        sparse_parallel_ms,
+        table_speedup: dense_serial_ms / sparse_serial_ms.max(1e-9),
+        tabu_serial_ms,
+        tabu_parallel_ms,
+        max_abs_diff,
+    }
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let smoke = args.iter().any(|a| a == "--smoke");
+    let out_path = args
+        .iter()
+        .position(|a| a == "--out")
+        .and_then(|i| args.get(i + 1))
+        .cloned()
+        .unwrap_or_else(|| "BENCH_pr2.json".to_string());
+
+    let (sizes, reps): (&[usize], usize) = if smoke {
+        (&[16, 24], 1)
+    } else {
+        (&[16, 24, 64, 128], 3)
+    };
+    let threads = std::thread::available_parallelism().map_or(1, usize::from);
+
+    let mut rows = Vec::new();
+    for &n in sizes {
+        eprintln!("perfbase: measuring N = {n} ...");
+        let r = measure(n, reps);
+        eprintln!(
+            "  dense {:.1} ms  sparse {:.1} ms  ({:.2}x)  tabu {:.1} -> {:.1} ms",
+            r.dense_serial_ms,
+            r.sparse_serial_ms,
+            r.table_speedup,
+            r.tabu_serial_ms,
+            r.tabu_parallel_ms
+        );
+        rows.push(r);
+    }
+
+    let mut json = String::new();
+    json.push_str("{\n");
+    json.push_str("  \"bench\": \"pr2-distance-pipeline\",\n");
+    json.push_str(&format!("  \"smoke\": {smoke},\n"));
+    json.push_str(&format!("  \"machine_threads\": {threads},\n"));
+    json.push_str(&format!("  \"repetitions\": {reps},\n"));
+    json.push_str("  \"sizes\": [\n");
+    for (i, r) in rows.iter().enumerate() {
+        json.push_str("    {\n");
+        json.push_str(&format!("      \"switches\": {},\n", r.switches));
+        json.push_str(&format!("      \"pairs\": {},\n", r.pairs));
+        json.push_str(&format!(
+            "      \"table_dense_serial_ms\": {:.3},\n",
+            r.dense_serial_ms
+        ));
+        json.push_str(&format!(
+            "      \"table_sparse_serial_ms\": {:.3},\n",
+            r.sparse_serial_ms
+        ));
+        json.push_str(&format!(
+            "      \"table_sparse_parallel_ms\": {:.3},\n",
+            r.sparse_parallel_ms
+        ));
+        json.push_str(&format!(
+            "      \"table_speedup_vs_dense_serial\": {:.3},\n",
+            r.table_speedup
+        ));
+        json.push_str(&format!(
+            "      \"tabu_serial_ms\": {:.3},\n",
+            r.tabu_serial_ms
+        ));
+        json.push_str(&format!(
+            "      \"tabu_parallel_ms\": {:.3},\n",
+            r.tabu_parallel_ms
+        ));
+        json.push_str(&format!(
+            "      \"max_abs_diff_vs_dense\": {:.3e}\n",
+            r.max_abs_diff
+        ));
+        json.push_str(if i + 1 < rows.len() {
+            "    },\n"
+        } else {
+            "    }\n"
+        });
+    }
+    json.push_str("  ]\n}\n");
+
+    std::fs::write(&out_path, &json).expect("write benchmark json");
+    println!("perfbase: wrote {out_path}");
+}

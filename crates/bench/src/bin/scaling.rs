@@ -10,9 +10,15 @@
 //! * A* exactness checks where still feasible.
 //!
 //! Usage: `scaling [max_switches]` (default 64; sizes double from 16).
+//!
+//! The table columns time both solver variants (dense Gaussian oracle vs
+//! the sparse LDLᵀ + memoization fast path) and both tabu modes (serial
+//! restarts vs the pooled restarts), so the speedups of the fast pipeline
+//! stay visible as N grows.
 
 use commsched_bench::{Testbed, SEARCH_SEED};
 use commsched_core::quality;
+use commsched_distance::{equivalent_distance_table_with, SolverKind, TableOptions};
 use commsched_search::{Mapper, TabuParams, TabuSearch};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
@@ -25,20 +31,53 @@ fn main() {
         .unwrap_or(64);
 
     println!("# Scaling of the scheduling pipeline (random 3-regular, 4 clusters)");
-    println!("# switches  table_ms  tabu_ms  evals     Cc(OP)   Cc(random)  gain");
+    println!(
+        "# switches  dense_ms  sparse_ms  tbl_gain  tabu1_ms  tabuN_ms  evals     Cc(OP)   Cc(random)  gain"
+    );
     for n in [16usize, 24, 32, 48, 64] {
         if n > max {
             continue;
         }
-        let t_start = Instant::now();
         let testbed = Testbed::extra_random(n, 9_000 + n as u64);
-        let table_ms = t_start.elapsed().as_secs_f64() * 1e3;
 
-        let params = TabuParams::scaled(n);
-        let mut rng = StdRng::seed_from_u64(SEARCH_SEED);
+        let d_start = Instant::now();
+        let dense = equivalent_distance_table_with(
+            &testbed.topology,
+            &testbed.routing,
+            TableOptions {
+                solver: SolverKind::DenseGaussian,
+                ..Default::default()
+            },
+        )
+        .expect("dense build");
+        let dense_ms = d_start.elapsed().as_secs_f64() * 1e3;
+
         let s_start = Instant::now();
-        let res = TabuSearch::new(params).search(&testbed.table, &testbed.sizes(), &mut rng);
-        let tabu_ms = s_start.elapsed().as_secs_f64() * 1e3;
+        let sparse = equivalent_distance_table_with(
+            &testbed.topology,
+            &testbed.routing,
+            TableOptions::default(),
+        )
+        .expect("sparse build");
+        let sparse_ms = s_start.elapsed().as_secs_f64() * 1e3;
+        assert_eq!(dense.n(), sparse.n());
+
+        let time_tabu = |threads: usize| {
+            let params = TabuParams {
+                threads,
+                ..TabuParams::scaled(n)
+            };
+            let mut rng = StdRng::seed_from_u64(SEARCH_SEED);
+            let t0 = Instant::now();
+            let res = TabuSearch::new(params).search(&testbed.table, &testbed.sizes(), &mut rng);
+            (t0.elapsed().as_secs_f64() * 1e3, res)
+        };
+        let (tabu1_ms, res) = time_tabu(1);
+        let (tabun_ms, res_n) = time_tabu(0);
+        assert_eq!(
+            res.partition, res_n.partition,
+            "thread count changed result"
+        );
 
         let q_op = quality(&res.partition, &testbed.table);
         // Mean random Cc over 5 draws.
@@ -48,7 +87,8 @@ fn main() {
         }
         let q_rand = acc / 5.0;
         println!(
-            "  {n:<9} {table_ms:<9.1} {tabu_ms:<8.1} {:<9} {:<8.3} {q_rand:<11.3} {:.2}x",
+            "  {n:<9} {dense_ms:<9.1} {sparse_ms:<10.1} {:<9.2} {tabu1_ms:<9.1} {tabun_ms:<9.1} {:<9} {:<8.3} {q_rand:<11.3} {:.2}x",
+            dense_ms / sparse_ms.max(1e-9),
             res.evaluations,
             q_op.cc,
             q_op.cc / q_rand

@@ -31,12 +31,17 @@
 pub mod io;
 pub mod linalg;
 pub mod resistance;
+pub mod sparse;
 pub mod table;
 
 pub use io::{table_from_text, table_to_text, TableParseError};
 pub use linalg::{solve, LinalgError, Matrix};
-pub use resistance::{effective_resistance, effective_resistance_weighted, ResistanceError};
+pub use resistance::{
+    effective_resistance, effective_resistance_weighted, effective_resistance_weighted_in,
+    PreparedNetwork, ResistanceError, SolverKind, Workspace,
+};
+pub use sparse::SpdFactor;
 pub use table::{
-    equivalent_distance_table, equivalent_distance_table_parallel, hop_distance_table,
-    DistanceTable, SharedDistanceTable, TableError,
+    equivalent_distance_table, equivalent_distance_table_parallel, equivalent_distance_table_with,
+    hop_distance_table, DistanceTable, SharedDistanceTable, TableError, TableOptions,
 };

@@ -7,7 +7,24 @@
 //! inject a unit current at the other, and read off the potential.
 
 use crate::linalg::{solve, LinalgError, Matrix};
+use crate::sparse::SpdFactor;
 use commsched_topology::SwitchId;
+use std::collections::HashSet;
+
+/// Which linear solver backs the resistance computation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum SolverKind {
+    /// Dense Gaussian elimination with partial pivoting
+    /// ([`crate::linalg::solve`]) — the original path, kept as the
+    /// correctness oracle.
+    DenseGaussian,
+    /// Envelope LDLᵀ Cholesky with a reverse Cuthill–McKee ordering
+    /// ([`SpdFactor`]). The grounded Laplacian minor is symmetric
+    /// positive definite, so no pivoting is needed. The fast path and
+    /// the default.
+    #[default]
+    SparseCholesky,
+}
 
 /// Errors from the resistance computation.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -141,6 +158,434 @@ pub fn effective_resistance_weighted(
     Ok(potentials[ra])
 }
 
+/// Reusable per-worker scratch for repeated resistance computations.
+///
+/// A table build calls the resistance solver once per switch pair; the
+/// node-compaction, dedup, connectivity and solver buffers in here
+/// survive across calls so the hot loop stops allocating per pair.
+#[derive(Debug, Default)]
+pub struct Workspace {
+    nodes: Vec<SwitchId>,
+    dedup: Vec<(usize, usize, f64)>,
+    seen: HashSet<(usize, usize)>,
+    adj_g: Vec<Vec<(usize, f64)>>,
+    alive: Vec<bool>,
+    relabel: Vec<usize>,
+    stack: Vec<usize>,
+    visited: Vec<bool>,
+    rhs: Vec<f64>,
+    scratch: Vec<f64>,
+    diag: Vec<f64>,
+    offdiag: Vec<(usize, usize, f64)>,
+}
+
+impl Workspace {
+    /// Fresh workspace (buffers grow on first use and are then reused).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Compact the node ids of `edges` into `self.nodes` (sorted,
+    /// deduplicated) and the edges into `self.dedup` (compact indices,
+    /// unordered endpoints, keep-first weight). Returns the node count.
+    pub(crate) fn compact(&mut self, edges: &[(SwitchId, SwitchId, f64)]) -> usize {
+        self.nodes.clear();
+        self.nodes
+            .extend(edges.iter().flat_map(|&(u, v, _)| [u, v]));
+        self.nodes.sort_unstable();
+        self.nodes.dedup();
+        self.dedup.clear();
+        // Keep-first dedup of unordered endpoint pairs. Route
+        // sub-networks are small, so a linear scan of the kept edges
+        // beats hashing; large ad-hoc edge lists fall back to the set.
+        let linear = edges.len() <= 32;
+        self.seen.clear();
+        for &(u, v, r) in edges {
+            let iu = self.nodes.binary_search(&u).expect("endpoint indexed");
+            let iv = self.nodes.binary_search(&v).expect("endpoint indexed");
+            if iu == iv {
+                continue;
+            }
+            let key = (iu.min(iv), iu.max(iv));
+            let fresh = if linear {
+                !self.dedup.iter().any(|&(a, b, _)| (a, b) == key)
+            } else {
+                self.seen.insert(key)
+            };
+            if fresh {
+                self.dedup.push((key.0, key.1, r));
+            }
+        }
+        self.nodes.len()
+    }
+
+    /// The compacted circuit currently held by the workspace, as produced
+    /// by [`Workspace::compact`]: sorted node ids and deduplicated edges
+    /// over compact indices. The table builder's memo stores clones of
+    /// this.
+    pub(crate) fn circuit(&self) -> (&[SwitchId], &[(usize, usize, f64)]) {
+        (&self.nodes, &self.dedup)
+    }
+
+    /// Restore a circuit previously captured with [`Workspace::circuit`]
+    /// — byte-for-byte what [`Workspace::compact`] would rebuild from the
+    /// same edge list, so a memo hit is bit-identical to a recomputation.
+    pub(crate) fn load_circuit(&mut self, nodes: &[SwitchId], edges: &[(usize, usize, f64)]) {
+        self.nodes.clear();
+        self.nodes.extend_from_slice(nodes);
+        self.dedup.clear();
+        self.dedup.extend_from_slice(edges);
+    }
+
+    /// Solve the compacted circuit for terminals `a`, `b` (original
+    /// switch ids).
+    ///
+    /// First eliminates every degree-≤2 non-terminal node exactly — the
+    /// dangling, series and parallel resistor laws, which are precisely
+    /// the first pivots a minimum-degree Cholesky would take. Minimal
+    /// up*/down* route sub-networks are near-paths, so the common case
+    /// collapses to a single equivalent conductance with no factorization
+    /// at all; an irreducible core (degree ≥ 3 everywhere) falls back to
+    /// the envelope LDLᵀ of [`SpdFactor`] on the grounded minor.
+    ///
+    /// # Errors
+    /// Same surface as the dense oracle: a missing terminal, disconnected
+    /// terminals, or [`LinalgError::Singular`] when some node floats in a
+    /// component apart from the terminals (the grounded Laplacian minor
+    /// is singular there, which is exactly how dense elimination fails).
+    pub(crate) fn solve_compacted(
+        &mut self,
+        a: SwitchId,
+        b: SwitchId,
+    ) -> Result<f64, ResistanceError> {
+        debug_assert_ne!(a, b, "callers short-circuit the zero diagonal");
+        let k = self.nodes.len();
+        let ia = self
+            .nodes
+            .binary_search(&a)
+            .map_err(|_| ResistanceError::TerminalNotInNetwork(a))?;
+        let ib = self
+            .nodes
+            .binary_search(&b)
+            .map_err(|_| ResistanceError::TerminalNotInNetwork(b))?;
+
+        // Conductance adjacency; `dedup` merged duplicate links already,
+        // so each neighbour appears once per list.
+        if self.adj_g.len() < k {
+            self.adj_g.resize_with(k, Vec::new);
+        }
+        for l in &mut self.adj_g[..k] {
+            l.clear();
+        }
+        for &(u, v, r) in &self.dedup {
+            let g = 1.0 / r;
+            self.adj_g[u].push((v, g));
+            self.adj_g[v].push((u, g));
+        }
+
+        // Reachability from `a` in one DFS: an unreachable `b` gets the
+        // dedicated error; any other unreachable node means a floating
+        // component, which makes the grounded minor singular — report it
+        // the way the dense solver would.
+        self.visited.clear();
+        self.visited.resize(k, false);
+        self.stack.clear();
+        self.stack.push(ia);
+        self.visited[ia] = true;
+        let mut reached = 1usize;
+        while let Some(u) = self.stack.pop() {
+            for &(v, _) in &self.adj_g[u] {
+                if !self.visited[v] {
+                    self.visited[v] = true;
+                    reached += 1;
+                    self.stack.push(v);
+                }
+            }
+        }
+        if !self.visited[ib] {
+            return Err(ResistanceError::TerminalsDisconnected);
+        }
+        if reached < k {
+            return Err(ResistanceError::Solver(LinalgError::Singular));
+        }
+
+        // Exact degree-≤2 elimination. Degrees never grow (eliminating a
+        // node removes one incident edge from each neighbour and adds at
+        // most one merged edge), so the worklist only shrinks.
+        self.alive.clear();
+        self.alive.resize(k, true);
+        self.stack.clear();
+        for v in 0..k {
+            if v != ia && v != ib && self.adj_g[v].len() <= 2 {
+                self.stack.push(v);
+            }
+        }
+        while let Some(v) = self.stack.pop() {
+            if !self.alive[v] {
+                continue;
+            }
+            let deg = self.adj_g[v].len();
+            debug_assert!(deg <= 2, "queued nodes cannot gain neighbours");
+            self.alive[v] = false;
+            if deg == 1 {
+                // Dangling spur: carries no current.
+                let (x, _) = self.adj_g[v][0];
+                remove_neighbor(&mut self.adj_g[x], v);
+                if x != ia && x != ib && self.adj_g[x].len() <= 2 {
+                    self.stack.push(x);
+                }
+            } else if deg == 2 {
+                // Series law, merging in parallel with any existing x—y
+                // conductance.
+                let (x, g1) = self.adj_g[v][0];
+                let (y, g2) = self.adj_g[v][1];
+                remove_neighbor(&mut self.adj_g[x], v);
+                remove_neighbor(&mut self.adj_g[y], v);
+                let g = g1 * g2 / (g1 + g2);
+                if let Some(e) = self.adj_g[x].iter_mut().find(|e| e.0 == y) {
+                    e.1 += g;
+                    let back = self.adj_g[y]
+                        .iter_mut()
+                        .find(|e| e.0 == x)
+                        .expect("adjacency is symmetric");
+                    back.1 += g;
+                } else {
+                    self.adj_g[x].push((y, g));
+                    self.adj_g[y].push((x, g));
+                }
+                for t in [x, y] {
+                    if t != ia && t != ib && self.adj_g[t].len() <= 2 {
+                        self.stack.push(t);
+                    }
+                }
+            }
+            self.adj_g[v].clear();
+        }
+
+        let live = self.alive[..k].iter().filter(|&&x| x).count();
+        if live == 2 {
+            // Terminals are never eliminated, so the two survivors are
+            // `a` and `b`, joined by one merged conductance.
+            let g = self.adj_g[ia]
+                .iter()
+                .find(|e| e.0 == ib)
+                .map(|e| e.1)
+                .expect("exact reductions preserve terminal connectivity");
+            return Ok(1.0 / g);
+        }
+
+        // Irreducible core: ground `b`, factor the SPD minor, and read
+        // the potential at `a` under a unit injected current.
+        if self.relabel.len() < k {
+            self.relabel.resize(k, usize::MAX);
+        }
+        let mut m = 0usize;
+        for v in 0..k {
+            self.relabel[v] = if self.alive[v] && v != ib {
+                m += 1;
+                m - 1
+            } else {
+                usize::MAX
+            };
+        }
+        self.diag.clear();
+        self.diag.resize(m, 0.0);
+        self.offdiag.clear();
+        for u in 0..k {
+            if !self.alive[u] {
+                continue;
+            }
+            let ru = self.relabel[u];
+            for &(v, g) in &self.adj_g[u] {
+                if v < u {
+                    continue; // visit each surviving edge once
+                }
+                let rv = self.relabel[v];
+                if ru != usize::MAX {
+                    self.diag[ru] += g;
+                }
+                if rv != usize::MAX {
+                    self.diag[rv] += g;
+                }
+                if ru != usize::MAX && rv != usize::MAX {
+                    self.offdiag.push((ru.min(rv), ru.max(rv), -g));
+                }
+            }
+        }
+        let factor =
+            SpdFactor::factor(&self.diag, &self.offdiag).map_err(ResistanceError::Solver)?;
+        self.rhs.clear();
+        self.rhs.resize(m, 0.0);
+        let ra = self.relabel[ia];
+        self.rhs[ra] = 1.0;
+        factor.solve_in_place(&mut self.rhs, &mut self.scratch);
+        Ok(self.rhs[ra])
+    }
+}
+
+fn remove_neighbor(list: &mut Vec<(usize, f64)>, v: usize) {
+    if let Some(p) = list.iter().position(|e| e.0 == v) {
+        list.swap_remove(p);
+    }
+}
+
+/// A resistor network compacted and factorized once, queryable for any
+/// terminal pair.
+///
+/// The reduced Laplacian is grounded at the network's *largest* node id
+/// (a fixed choice independent of the queried pair), factorized with
+/// the sparse LDLᵀ path, and each query solves `L_red x = e_a - e_b`
+/// and reads `x_a - x_b`. Because the factorization depends only on the
+/// edge set, pairs whose minimal-route link sets are identical can
+/// share one `PreparedNetwork` — the memoization the table builder
+/// exploits.
+#[derive(Debug)]
+pub struct PreparedNetwork {
+    nodes: Vec<SwitchId>,
+    factor: SpdFactor,
+}
+
+impl PreparedNetwork {
+    /// Build and factor the network (allocating a throwaway workspace).
+    ///
+    /// # Errors
+    /// See [`PreparedNetwork::build_in`].
+    pub fn build(edges: &[(SwitchId, SwitchId, f64)]) -> Result<Self, ResistanceError> {
+        Self::build_in(&mut Workspace::new(), edges)
+    }
+
+    /// Build and factor the network using `ws` for scratch.
+    ///
+    /// # Errors
+    /// [`ResistanceError::Solver`] when the grounded minor is not
+    /// positive definite — for a resistor network this means the edge
+    /// set is disconnected.
+    ///
+    /// # Panics
+    /// Debug-asserts that every resistance is strictly positive.
+    pub fn build_in(
+        ws: &mut Workspace,
+        edges: &[(SwitchId, SwitchId, f64)],
+    ) -> Result<Self, ResistanceError> {
+        debug_assert!(
+            edges.iter().all(|&(_, _, r)| r > 0.0),
+            "resistances must be positive"
+        );
+        ws.compact(edges);
+        Self::assemble(ws)
+    }
+
+    /// Factor the already-compacted workspace contents.
+    fn assemble(ws: &mut Workspace) -> Result<Self, ResistanceError> {
+        let m = ws.nodes.len().saturating_sub(1);
+        ws.diag.clear();
+        ws.diag.resize(m, 0.0);
+        ws.offdiag.clear();
+        for &(u, v, r) in &ws.dedup {
+            let g = 1.0 / r;
+            if u < m {
+                ws.diag[u] += g;
+            }
+            if v < m {
+                ws.diag[v] += g;
+            }
+            if u < m && v < m {
+                ws.offdiag.push((u, v, -g));
+            }
+        }
+        let factor = SpdFactor::factor(&ws.diag, &ws.offdiag).map_err(ResistanceError::Solver)?;
+        Ok(Self {
+            nodes: ws.nodes.clone(),
+            factor,
+        })
+    }
+
+    /// The network's node ids, sorted ascending.
+    pub fn nodes(&self) -> &[SwitchId] {
+        &self.nodes
+    }
+
+    /// Effective resistance between `a` and `b`, reusing `ws` solver
+    /// buffers.
+    ///
+    /// # Errors
+    /// [`ResistanceError::TerminalNotInNetwork`] when a terminal is not
+    /// a node of this network.
+    pub fn resistance_in(
+        &self,
+        ws: &mut Workspace,
+        a: SwitchId,
+        b: SwitchId,
+    ) -> Result<f64, ResistanceError> {
+        if a == b {
+            return Ok(0.0);
+        }
+        let ia = self
+            .nodes
+            .binary_search(&a)
+            .map_err(|_| ResistanceError::TerminalNotInNetwork(a))?;
+        let ib = self
+            .nodes
+            .binary_search(&b)
+            .map_err(|_| ResistanceError::TerminalNotInNetwork(b))?;
+        let m = self.factor.dim();
+        ws.rhs.clear();
+        ws.rhs.resize(m, 0.0);
+        if ia < m {
+            ws.rhs[ia] = 1.0;
+        }
+        if ib < m {
+            ws.rhs[ib] = -1.0;
+        }
+        self.factor.solve_in_place(&mut ws.rhs, &mut ws.scratch);
+        let xa = if ia < m { ws.rhs[ia] } else { 0.0 };
+        let xb = if ib < m { ws.rhs[ib] } else { 0.0 };
+        Ok(xa - xb)
+    }
+
+    /// Convenience wrapper over [`PreparedNetwork::resistance_in`] with
+    /// throwaway buffers (bit-identical results).
+    ///
+    /// # Errors
+    /// See [`PreparedNetwork::resistance_in`].
+    pub fn resistance(&self, a: SwitchId, b: SwitchId) -> Result<f64, ResistanceError> {
+        self.resistance_in(&mut Workspace::new(), a, b)
+    }
+}
+
+/// Solver-selectable, workspace-reusing variant of
+/// [`effective_resistance_weighted`].
+///
+/// With [`SolverKind::DenseGaussian`] it delegates to the oracle
+/// unchanged; with [`SolverKind::SparseCholesky`] it reuses the buffers
+/// in `ws`, collapses degree-≤2 nodes by the exact resistor laws, and
+/// only factors an irreducible core (see [`Workspace::solve_compacted`]).
+/// The two paths agree to well below 1e-9 on every connected pair and
+/// report the same error surface.
+///
+/// # Errors
+/// See [`ResistanceError`].
+pub fn effective_resistance_weighted_in(
+    ws: &mut Workspace,
+    edges: &[(SwitchId, SwitchId, f64)],
+    a: SwitchId,
+    b: SwitchId,
+    solver: SolverKind,
+) -> Result<f64, ResistanceError> {
+    if solver == SolverKind::DenseGaussian {
+        return effective_resistance_weighted(edges, a, b);
+    }
+    if a == b {
+        return Ok(0.0);
+    }
+    debug_assert!(
+        edges.iter().all(|&(_, _, r)| r > 0.0),
+        "resistances must be positive"
+    );
+    ws.compact(edges);
+    ws.solve_compacted(a, b)
+}
+
 fn connected(k: usize, edges: &[(usize, usize)], from: usize, to: usize) -> bool {
     let mut adj = vec![Vec::new(); k];
     for &(u, v) in edges {
@@ -240,14 +685,15 @@ mod tests {
         // Series: 2 Ω + 3 Ω = 5 Ω.
         let edges = [(0, 1, 2.0), (1, 2, 3.0)];
         assert_close(effective_resistance_weighted(&edges, 0, 2).unwrap(), 5.0);
-        // Parallel: 2 Ω ∥ 3 Ω = 6/5 Ω.
-        let edges = [(0, 1, 2.0), (0, 2, 1e9), (0, 1, 3.0)];
-        // duplicate endpoints keep the FIRST weight -> 2 Ω only
-        let _ = edges;
+        // Parallel: 2 Ω ∥ 3 Ω = 6/5 Ω (the 2-hop detour totals ~3 Ω).
         let par = [(0, 1, 2.0), (0, 2, 3.0), (2, 1, 1e-12)];
-        // ~ 2 ∥ 3: the 2-hop path has ~3 Ω total.
         let r = effective_resistance_weighted(&par, 0, 1).unwrap();
         assert!((r - 6.0 / 5.0).abs() < 1e-6, "{r}");
+        // Duplicate endpoints keep the FIRST weight: the 3 Ω re-listing
+        // of link 0-1 is ignored (and the dangling 0-2 spur carries no
+        // current), so the answer is the first-listed 2 Ω alone.
+        let dup = [(0, 1, 2.0), (0, 2, 1e9), (0, 1, 3.0)];
+        assert_close(effective_resistance_weighted(&dup, 0, 1).unwrap(), 2.0);
     }
 
     #[test]
@@ -262,6 +708,158 @@ mod tests {
         let weighted =
             effective_resistance_weighted(&[(0, 1, 1.0), (1, 2, 1.0), (0, 2, 1.0)], 0, 2).unwrap();
         assert_close(plain, weighted);
+    }
+
+    type FixtureCircuit = (Vec<(SwitchId, SwitchId, f64)>, SwitchId, SwitchId);
+
+    /// All the small fixed circuits of this module, as (edges, a, b).
+    fn fixture_circuits() -> Vec<FixtureCircuit> {
+        vec![
+            (vec![(0, 1, 1.0)], 0, 1),
+            (vec![(0, 1, 1.0), (1, 2, 1.0), (2, 3, 1.0)], 0, 3),
+            (
+                vec![(0, 1, 1.0), (1, 2, 1.0), (0, 3, 1.0), (3, 2, 1.0)],
+                0,
+                2,
+            ),
+            (vec![(0, 1, 1.0), (1, 2, 1.0), (0, 2, 1.0)], 0, 2),
+            (
+                vec![
+                    (0, 1, 1.0),
+                    (0, 2, 1.0),
+                    (1, 3, 1.0),
+                    (2, 3, 1.0),
+                    (1, 2, 1.0),
+                ],
+                0,
+                3,
+            ),
+            (vec![(0, 1, 2.0), (1, 2, 3.0)], 0, 2),
+            (vec![(4, 9, 0.5), (9, 2, 4.0), (4, 2, 1.5)], 4, 2),
+            // K4 core with a series tail: exercises the mixed path where
+            // degree-2 elimination shrinks the circuit but an
+            // irreducible degree-3 core still needs the factorization.
+            (
+                vec![
+                    (0, 1, 1.0),
+                    (0, 2, 2.0),
+                    (0, 3, 1.0),
+                    (1, 2, 1.0),
+                    (1, 3, 3.0),
+                    (2, 3, 1.0),
+                    (3, 4, 2.0),
+                    (4, 5, 1.0),
+                ],
+                0,
+                5,
+            ),
+        ]
+    }
+
+    #[test]
+    fn sparse_solver_matches_dense_oracle() {
+        let mut ws = Workspace::new();
+        for (edges, a, b) in fixture_circuits() {
+            let dense = effective_resistance_weighted(&edges, a, b).unwrap();
+            let sparse =
+                effective_resistance_weighted_in(&mut ws, &edges, a, b, SolverKind::SparseCholesky)
+                    .unwrap();
+            assert!(
+                (dense - sparse).abs() < 1e-12,
+                "{dense} != {sparse} on {edges:?}"
+            );
+            // The dense kind of the _in entry point IS the oracle.
+            let via_in =
+                effective_resistance_weighted_in(&mut ws, &edges, a, b, SolverKind::DenseGaussian)
+                    .unwrap();
+            assert!((dense - via_in).abs() == 0.0);
+        }
+    }
+
+    #[test]
+    fn sparse_solver_error_surface_matches_dense() {
+        let mut ws = Workspace::new();
+        for solver in [SolverKind::DenseGaussian, SolverKind::SparseCholesky] {
+            let edges = [(0, 1, 1.0)];
+            assert_eq!(
+                effective_resistance_weighted_in(&mut ws, &edges, 0, 5, solver).unwrap_err(),
+                ResistanceError::TerminalNotInNetwork(5),
+                "{solver:?}"
+            );
+            let split = [(0, 1, 1.0), (2, 3, 1.0)];
+            assert_eq!(
+                effective_resistance_weighted_in(&mut ws, &split, 0, 3, solver).unwrap_err(),
+                ResistanceError::TerminalsDisconnected,
+                "{solver:?}"
+            );
+            // Terminals connected but a component floats: the grounded
+            // minor is singular, and both solvers must say so.
+            assert_eq!(
+                effective_resistance_weighted_in(&mut ws, &split, 0, 1, solver).unwrap_err(),
+                ResistanceError::Solver(LinalgError::Singular),
+                "{solver:?}"
+            );
+            assert_close(
+                effective_resistance_weighted_in(&mut ws, &split, 1, 1, solver).unwrap(),
+                0.0,
+            );
+        }
+    }
+
+    #[test]
+    fn prepared_network_serves_all_pairs() {
+        // One factorization of the chain answers every terminal pair —
+        // the property the table builder's memoization relies on.
+        let edges = [(0, 1, 1.0), (1, 2, 1.0), (2, 3, 1.0)];
+        let prepared = PreparedNetwork::build(&edges).unwrap();
+        assert_eq!(prepared.nodes(), &[0, 1, 2, 3]);
+        let mut ws = Workspace::new();
+        for a in 0..4usize {
+            for b in 0..4usize {
+                let want = effective_resistance_weighted(&edges, a, b).unwrap();
+                let got = prepared.resistance_in(&mut ws, a, b).unwrap();
+                assert!((want - got).abs() < 1e-12, "({a},{b}): {want} != {got}");
+                // The allocating convenience gives bit-identical values.
+                assert_eq!(got.to_bits(), prepared.resistance(a, b).unwrap().to_bits());
+            }
+        }
+        assert_eq!(
+            prepared.resistance(0, 9).unwrap_err(),
+            ResistanceError::TerminalNotInNetwork(9)
+        );
+    }
+
+    #[test]
+    fn prepared_network_rejects_disconnected_edge_sets() {
+        // Grounding happens in one component, so the other component's
+        // Laplacian block is singular and the factorization refuses.
+        let split = [(0, 1, 1.0), (2, 3, 1.0)];
+        assert!(matches!(
+            PreparedNetwork::build(&split),
+            Err(ResistanceError::Solver(LinalgError::Singular))
+        ));
+    }
+
+    #[test]
+    fn workspace_reuse_across_networks_is_clean() {
+        // Stale state from a larger network must not leak into a later,
+        // smaller one.
+        let mut ws = Workspace::new();
+        let big = [
+            (0, 1, 1.0),
+            (1, 2, 1.0),
+            (2, 3, 1.0),
+            (3, 4, 1.0),
+            (4, 5, 1.0),
+        ];
+        let _ = effective_resistance_weighted_in(&mut ws, &big, 0, 5, SolverKind::SparseCholesky)
+            .unwrap();
+        let small = [(7, 9, 2.0)];
+        assert_close(
+            effective_resistance_weighted_in(&mut ws, &small, 7, 9, SolverKind::SparseCholesky)
+                .unwrap(),
+            2.0,
+        );
     }
 
     #[test]

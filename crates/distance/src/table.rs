@@ -1,8 +1,10 @@
 //! The table of equivalent distances (the paper's `T_N`).
 
-use crate::resistance::{effective_resistance_weighted, ResistanceError};
+use crate::resistance::{effective_resistance_weighted, ResistanceError, SolverKind, Workspace};
 use commsched_routing::Routing;
-use commsched_topology::{SwitchId, Topology};
+use commsched_topology::{LinkId, SwitchId, Topology};
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicUsize, Ordering};
 
 /// A cheaply clonable, immutable handle to a finished table.
 ///
@@ -101,7 +103,7 @@ impl DistanceTable {
         std::sync::Arc::new(self)
     }
 
-    /// Triples `(i, j, k)` violating the triangle inequality
+    /// Triples `(i, j, k)` with `i < k` violating the triangle inequality
     /// (`T[i][k] > T[i][j] + T[j][k] + tol`).
     ///
     /// The paper remarks (§3) that the table of equivalent distances "does
@@ -109,14 +111,13 @@ impl DistanceTable {
     /// a metric space" — because every pair's resistance is computed on a
     /// *different* sub-network. This diagnostic makes that concrete; an
     /// up*/down*-routed ring exhibits violations (e.g. the forbidden-turn
-    /// detour pair).
+    /// detour pair). The table is symmetric, so the mirrored triple
+    /// `(k, j, i)` would repeat the same fact; restricting to `i < k`
+    /// reports each violation exactly once.
     pub fn triangle_violations(&self, tol: f64) -> Vec<(SwitchId, SwitchId, SwitchId)> {
         let mut out = Vec::new();
         for i in 0..self.n {
-            for k in 0..self.n {
-                if i == k {
-                    continue;
-                }
+            for k in (i + 1)..self.n {
                 let direct = self.get(i, k);
                 for j in 0..self.n {
                     if j == i || j == k {
@@ -168,6 +169,196 @@ impl std::fmt::Display for TableError {
 
 impl std::error::Error for TableError {}
 
+/// Knobs of the table builder.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TableOptions {
+    /// Linear solver for the per-pair resistance. Default: the sparse
+    /// SPD Cholesky fast path; [`SolverKind::DenseGaussian`] keeps the
+    /// original dense elimination as the correctness oracle.
+    pub solver: SolverKind,
+    /// Worker threads pulling source rows off the shared queue (0 = one
+    /// per available CPU). Results are bit-identical for every count.
+    pub threads: usize,
+    /// Share the compacted circuit between pairs whose minimal-route
+    /// link sets hash identically (sparse solver only). Never changes
+    /// results — a hit restores byte-for-byte what compaction would
+    /// rebuild — only how often the node/edge compaction reruns.
+    pub memoize: bool,
+}
+
+impl Default for TableOptions {
+    fn default() -> Self {
+        Self {
+            solver: SolverKind::default(),
+            threads: 1,
+            memoize: true,
+        }
+    }
+}
+
+/// Per-worker cap on memoized circuits. Networks whose pairs all have
+/// distinct route sets would otherwise hold one circuit per pair; beyond
+/// the cap new sets are solved without being retained. Purely a memory
+/// bound — hit or miss, the computed values are identical.
+const MEMO_CAP: usize = 1024;
+
+/// A compacted resistor circuit as captured from [`Workspace::circuit`]:
+/// the memo value shared between pairs with identical route-link sets.
+struct CompactCircuit {
+    nodes: Vec<SwitchId>,
+    edges: Vec<(usize, usize, f64)>,
+}
+
+/// Per-switch stamps for the single-scan series-path test.
+#[derive(Default)]
+struct PathScan {
+    stamp: Vec<u32>,
+    deg: Vec<u32>,
+    mark: u32,
+}
+
+/// One scan over `links`: if the route sub-network is a simple path with
+/// the terminals at its ends, its resistance is just the series sum of
+/// the link resistances — no circuit assembly or solve at all. Returns
+/// `None` for any other shape (including empty link sets).
+///
+/// The tree test `nodes == links + 1` is sound because a minimal-route
+/// union is always connected (every link lies on some `a`→`b` route, so
+/// every link reaches `a`); a connected graph with that edge count and
+/// maximum degree 2 is exactly a simple path. Most up*/down* route
+/// unions have this shape, which makes this the hot path of the build.
+fn try_series_path(
+    topo: &Topology,
+    scan: &mut PathScan,
+    links: &[LinkId],
+    a: SwitchId,
+    b: SwitchId,
+) -> Option<f64> {
+    if links.is_empty() {
+        return None;
+    }
+    let n = topo.num_switches();
+    if scan.stamp.len() < n {
+        scan.stamp.resize(n, 0);
+        scan.deg.resize(n, 0);
+    }
+    if scan.mark == u32::MAX {
+        scan.stamp[..n].fill(0);
+        scan.mark = 0;
+    }
+    scan.mark += 1;
+    let mark = scan.mark;
+    let mut nodes = 0usize;
+    let mut sum_r = 0.0f64;
+    let mut path_like = true;
+    for &l in links {
+        let link = topo.link(l);
+        // Heterogeneous link speeds: a slower link resists more.
+        sum_r += f64::from(topo.link_slowdown(l));
+        for end in [link.a, link.b] {
+            if scan.stamp[end] != mark {
+                scan.stamp[end] = mark;
+                scan.deg[end] = 0;
+                nodes += 1;
+            }
+            scan.deg[end] += 1;
+            if scan.deg[end] > 2 {
+                path_like = false;
+            }
+        }
+    }
+    let terminals_are_endpoints =
+        scan.stamp[a] == mark && scan.stamp[b] == mark && scan.deg[a] == 1 && scan.deg[b] == 1;
+    if path_like && nodes == links.len() + 1 && terminals_are_endpoints {
+        Some(sum_r)
+    } else {
+        None
+    }
+}
+
+/// One worker's solver state: reusable scratch, the route-set memo, and
+/// the current source row's batched link sets.
+struct PairSolver<'a> {
+    topo: &'a Topology,
+    routing: &'a dyn Routing,
+    options: TableOptions,
+    ws: Workspace,
+    scan: PathScan,
+    memo: HashMap<Vec<LinkId>, CompactCircuit>,
+    edges: Vec<(SwitchId, SwitchId, f64)>,
+    row_links: Vec<Vec<LinkId>>,
+}
+
+impl<'a> PairSolver<'a> {
+    fn new(topo: &'a Topology, routing: &'a dyn Routing, options: TableOptions) -> Self {
+        Self {
+            topo,
+            routing,
+            options,
+            ws: Workspace::new(),
+            scan: PathScan::default(),
+            memo: HashMap::new(),
+            edges: Vec::new(),
+            row_links: Vec::new(),
+        }
+    }
+
+    /// Called once per claimed source row. The sparse path extracts the
+    /// minimal-route link sets for every destination in one batched pass
+    /// (a single forward BFS serves the whole row, into reused buffers);
+    /// the dense baseline keeps its original per-pair extraction.
+    fn begin_row(&mut self, i: SwitchId) {
+        if self.options.solver != SolverKind::DenseGaussian {
+            self.routing.minimal_route_links_row(i, &mut self.row_links);
+        }
+    }
+
+    fn solve(&mut self, i: SwitchId, j: SwitchId) -> Result<f64, TableError> {
+        if self.options.solver == SolverKind::DenseGaussian {
+            return pair_resistance(self.topo, self.routing, i, j);
+        }
+        // Simple-path sub-networks (the common case) are answered by one
+        // scan, bypassing the memo: the lookup would cost more than the
+        // sum. Memoization stays value-neutral — path pairs skip it in
+        // both modes.
+        if let Some(r) = try_series_path(self.topo, &mut self.scan, &self.row_links[j], i, j) {
+            return Ok(r);
+        }
+        let wrap = |error| TableError::Resistance {
+            src: i,
+            dst: j,
+            error,
+        };
+        let links = &self.row_links[j];
+        if self.options.memoize {
+            if let Some(c) = self.memo.get(links.as_slice()) {
+                self.ws.load_circuit(&c.nodes, &c.edges);
+                return self.ws.solve_compacted(i, j).map_err(wrap);
+            }
+        }
+        let mut edges = std::mem::take(&mut self.edges);
+        edges.clear();
+        edges.extend(links.iter().map(|&l| {
+            let link = self.topo.link(l);
+            // Heterogeneous link speeds: a slower link resists more.
+            (link.a, link.b, f64::from(self.topo.link_slowdown(l)))
+        }));
+        self.ws.compact(&edges);
+        self.edges = edges;
+        if self.options.memoize && self.memo.len() < MEMO_CAP {
+            let (nodes, edges) = self.ws.circuit();
+            self.memo.insert(
+                links.clone(),
+                CompactCircuit {
+                    nodes: nodes.to_vec(),
+                    edges: edges.to_vec(),
+                },
+            );
+        }
+        self.ws.solve_compacted(i, j).map_err(wrap)
+    }
+}
+
 fn pair_resistance(
     topo: &Topology,
     routing: &dyn Routing,
@@ -190,9 +381,104 @@ fn pair_resistance(
     })
 }
 
+fn resolve_threads(threads: usize, units: usize) -> usize {
+    let t = if threads == 0 {
+        std::thread::available_parallelism().map_or(1, usize::from)
+    } else {
+        threads
+    };
+    t.clamp(1, units.max(1))
+}
+
 /// Build the table of equivalent distances for `topo` under `routing`
-/// (§3 of the paper): for each pair, the links on minimal legal routes form
-/// a unit-resistor network whose effective resistance is the entry.
+/// with explicit [`TableOptions`] (§3 of the paper): for each pair, the
+/// links on minimal legal routes form a resistor network whose effective
+/// resistance is the entry.
+///
+/// Workers pull source rows off a shared atomic counter (work stealing),
+/// since per-row cost varies with both the row's pair count and the
+/// route sub-network sizes. A claimed row `i` extracts the link sets for
+/// every destination at once (one BFS per source instead of one scan per
+/// pair) and then solves the pairs `(i, j)` for `j > i`. The per-pair
+/// computation is deterministic and independent of which worker runs it,
+/// so the result is bit-identical across thread counts — and identical
+/// whether or not memoization is on.
+///
+/// # Errors
+/// See [`TableError`]. When several pairs fail, the error of the
+/// lexicographically lowest pair is returned (matching what a serial
+/// scan would hit first).
+pub fn equivalent_distance_table_with(
+    topo: &Topology,
+    routing: &dyn Routing,
+    options: TableOptions,
+) -> Result<DistanceTable, TableError> {
+    check_sizes(topo, routing)?;
+    let n = topo.num_switches();
+    // Row n-1 has no pairs `j > i`, so there are n-1 work units.
+    let rows = n.saturating_sub(1);
+    let threads = resolve_threads(options.threads, rows);
+
+    type Failure = ((SwitchId, SwitchId), TableError);
+    type WorkerOut = (Vec<(SwitchId, SwitchId, f64)>, Option<Failure>);
+    let cursor = AtomicUsize::new(0);
+    let worker = || -> WorkerOut {
+        let mut solver = PairSolver::new(topo, routing, options);
+        let mut out: Vec<(SwitchId, SwitchId, f64)> = Vec::new();
+        let mut first_err: Option<Failure> = None;
+        loop {
+            let i = cursor.fetch_add(1, Ordering::Relaxed);
+            if i >= rows {
+                break;
+            }
+            solver.begin_row(i);
+            for j in (i + 1)..n {
+                match solver.solve(i, j) {
+                    Ok(d) => out.push((i, j, d)),
+                    Err(e) => {
+                        if first_err.as_ref().is_none_or(|&(p, _)| (i, j) < p) {
+                            first_err = Some(((i, j), e));
+                        }
+                    }
+                }
+            }
+        }
+        (out, first_err)
+    };
+
+    let results: Vec<WorkerOut> = if threads == 1 {
+        vec![worker()]
+    } else {
+        std::thread::scope(|scope| {
+            let handles: Vec<_> = (0..threads).map(|_| scope.spawn(worker)).collect();
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("worker panicked"))
+                .collect()
+        })
+    };
+
+    let mut fail: Option<Failure> = None;
+    let mut data = vec![0.0; n * n];
+    for (entries, err) in results {
+        if let Some((pair, e)) = err {
+            if fail.as_ref().is_none_or(|&(p, _)| pair < p) {
+                fail = Some((pair, e));
+            }
+        }
+        for (i, j, d) in entries {
+            data[i * n + j] = d;
+            data[j * n + i] = d;
+        }
+    }
+    match fail {
+        Some((_, e)) => Err(e),
+        None => Ok(DistanceTable { n, data }),
+    }
+}
+
+/// Build the table of equivalent distances with the default options
+/// (sparse solver, memoization, one thread).
 ///
 /// # Errors
 /// See [`TableError`].
@@ -200,24 +486,12 @@ pub fn equivalent_distance_table(
     topo: &Topology,
     routing: &dyn Routing,
 ) -> Result<DistanceTable, TableError> {
-    check_sizes(topo, routing)?;
-    let n = topo.num_switches();
-    let mut result = Ok(());
-    let table = DistanceTable::from_fn(n, |i, j| match pair_resistance(topo, routing, i, j) {
-        Ok(d) => d,
-        Err(e) => {
-            if result.is_ok() {
-                result = Err(e);
-            }
-            f64::NAN
-        }
-    });
-    result.map(|()| table)
+    equivalent_distance_table_with(topo, routing, TableOptions::default())
 }
 
-/// Parallel variant of [`equivalent_distance_table`], splitting the pair
-/// list across `threads` OS threads. Produces bit-identical results to the
-/// serial build.
+/// Parallel variant of [`equivalent_distance_table`]: `threads` workers
+/// pull source rows off a shared work-stealing queue. Produces
+/// bit-identical results to the serial build.
 ///
 /// # Errors
 /// See [`TableError`].
@@ -226,39 +500,14 @@ pub fn equivalent_distance_table_parallel(
     routing: &dyn Routing,
     threads: usize,
 ) -> Result<DistanceTable, TableError> {
-    check_sizes(topo, routing)?;
-    let n = topo.num_switches();
-    let pairs: Vec<(SwitchId, SwitchId)> = (0..n)
-        .flat_map(|i| ((i + 1)..n).map(move |j| (i, j)))
-        .collect();
-    let threads = threads.max(1).min(pairs.len().max(1));
-    let chunk = pairs.len().div_ceil(threads);
-    type PairChunk = Vec<((SwitchId, SwitchId), f64)>;
-    let results: Vec<Result<PairChunk, TableError>> = std::thread::scope(|scope| {
-        let handles: Vec<_> = pairs
-            .chunks(chunk.max(1))
-            .map(|slice| {
-                scope.spawn(move || {
-                    slice
-                        .iter()
-                        .map(|&(i, j)| pair_resistance(topo, routing, i, j).map(|d| ((i, j), d)))
-                        .collect()
-                })
-            })
-            .collect();
-        handles
-            .into_iter()
-            .map(|h| h.join().expect("worker panicked"))
-            .collect()
-    });
-    let mut data = vec![0.0; n * n];
-    for res in results {
-        for ((i, j), d) in res? {
-            data[i * n + j] = d;
-            data[j * n + i] = d;
-        }
-    }
-    Ok(DistanceTable { n, data })
+    equivalent_distance_table_with(
+        topo,
+        routing,
+        TableOptions {
+            threads: threads.max(1),
+            ..Default::default()
+        },
+    )
 }
 
 /// Plain hop-distance table under the same routing algorithm (the ablation
@@ -417,7 +666,8 @@ mod tests {
     #[test]
     fn updown_table_is_not_a_metric() {
         // §3: the ring's forbidden-turn detour makes T(2,4) = 4 while
-        // T(2,3) + T(3,4) = 2 — a triangle violation.
+        // T(2,3) + T(3,4) = 2 — a triangle violation, reported once as
+        // (2, 3, 4) (not also as its mirror (4, 3, 2)).
         let t = designed::ring(6, 1);
         let r = UpDownRouting::new(&t, 0).unwrap();
         let table = equivalent_distance_table(&t, &r).unwrap();
@@ -426,6 +676,57 @@ mod tests {
             violations.contains(&(2, 3, 4)),
             "expected the (2,3,4) violation, got {violations:?}"
         );
+        assert!(
+            !violations.contains(&(4, 3, 2)),
+            "mirrored duplicate reported: {violations:?}"
+        );
+    }
+
+    #[test]
+    fn triangle_violations_reported_once() {
+        let t = designed::ring(6, 1);
+        let r = UpDownRouting::new(&t, 0).unwrap();
+        let table = equivalent_distance_table(&t, &r).unwrap();
+        let violations = table.triangle_violations(1e-9);
+        assert!(!violations.is_empty());
+        let mut seen = std::collections::HashSet::new();
+        for &(i, j, k) in &violations {
+            assert!(i < k, "unordered endpoints in ({i}, {j}, {k})");
+            // Canonical endpoint order means no triple can recur.
+            assert!(seen.insert((i, j, k)), "duplicate ({i}, {j}, {k})");
+        }
+    }
+
+    #[test]
+    fn solver_variants_agree() {
+        let t = designed::paper_24_switch();
+        let r = UpDownRouting::new(&t, 0).unwrap();
+        let default = equivalent_distance_table(&t, &r).unwrap();
+        let dense = equivalent_distance_table_with(
+            &t,
+            &r,
+            TableOptions {
+                solver: SolverKind::DenseGaussian,
+                ..Default::default()
+            },
+        )
+        .unwrap();
+        for i in 0..24 {
+            for j in 0..24 {
+                assert_close(default.get(i, j), dense.get(i, j));
+            }
+        }
+        // Memoization is a pure cache: switching it off is bit-identical.
+        let unmemoized = equivalent_distance_table_with(
+            &t,
+            &r,
+            TableOptions {
+                memoize: false,
+                ..Default::default()
+            },
+        )
+        .unwrap();
+        assert_eq!(default, unmemoized);
     }
 
     #[test]

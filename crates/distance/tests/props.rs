@@ -1,8 +1,11 @@
 //! Property tests for the resistance model and the linear solver.
 
-use commsched_distance::{effective_resistance, equivalent_distance_table, solve, Matrix};
-use commsched_routing::ShortestPathRouting;
-use commsched_topology::TopologyBuilder;
+use commsched_distance::{
+    effective_resistance, equivalent_distance_table, equivalent_distance_table_parallel,
+    equivalent_distance_table_with, solve, Matrix, SolverKind, TableOptions,
+};
+use commsched_routing::{ShortestPathRouting, UpDownRouting};
+use commsched_topology::{random_regular, RandomTopologyConfig, Topology, TopologyBuilder};
 use proptest::prelude::*;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
@@ -110,6 +113,61 @@ proptest! {
         let back = a.mul_vec(&x);
         for (u, v) in back.iter().zip(&b) {
             prop_assert!((u - v).abs() < 1e-8);
+        }
+    }
+}
+
+/// Draw a random paper-style topology (3-regular, 4 hosts/switch).
+fn random_topology(switches: usize, seed: u64) -> Topology {
+    let mut rng = StdRng::seed_from_u64(seed);
+    random_regular(RandomTopologyConfig::paper(switches), &mut rng).unwrap()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// The sparse Cholesky fast path agrees with the dense Gaussian
+    /// oracle to 1e-9 on every pair of a random topology.
+    #[test]
+    fn sparse_matches_dense_oracle_on_random_topologies(
+        seed in any::<u64>(),
+        switches in prop_oneof![Just(8usize), Just(12), Just(16)],
+    ) {
+        let topo = random_topology(switches, seed);
+        let routing = UpDownRouting::new(&topo, 0).unwrap();
+        let sparse = equivalent_distance_table_with(
+            &topo,
+            &routing,
+            TableOptions { solver: SolverKind::SparseCholesky, ..Default::default() },
+        )
+        .unwrap();
+        let dense = equivalent_distance_table_with(
+            &topo,
+            &routing,
+            TableOptions { solver: SolverKind::DenseGaussian, ..Default::default() },
+        )
+        .unwrap();
+        for i in 0..switches {
+            for j in 0..switches {
+                let (s, d) = (sparse.get(i, j), dense.get(i, j));
+                prop_assert!((s - d).abs() < 1e-9, "({i},{j}): sparse {s} vs dense {d}");
+            }
+        }
+    }
+
+    /// The work-stealing parallel build is bit-identical to the serial
+    /// build for every thread count, including more threads than pairs.
+    #[test]
+    fn parallel_build_bit_identical_to_serial(
+        seed in any::<u64>(),
+        switches in prop_oneof![Just(8usize), Just(12), Just(16)],
+    ) {
+        let topo = random_topology(switches, seed);
+        let routing = UpDownRouting::new(&topo, 0).unwrap();
+        let serial = equivalent_distance_table(&topo, &routing).unwrap();
+        for threads in [1usize, 2, 7, 64] {
+            let par = equivalent_distance_table_parallel(&topo, &routing, threads).unwrap();
+            prop_assert_eq!(&serial, &par, "threads = {}", threads);
         }
     }
 }

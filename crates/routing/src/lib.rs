@@ -104,6 +104,33 @@ pub trait Routing: Send + Sync {
     /// `dst`, deduplicated and sorted. Empty when `src == dst`.
     fn minimal_route_links(&self, src: SwitchId, dst: SwitchId) -> Vec<commsched_topology::LinkId>;
 
+    /// Batched row extraction for the table builder: fill `out[dst]` with
+    /// `minimal_route_links(src, dst)` for every `dst > src` — the
+    /// unordered pairs a (symmetric) table build consumes. Entries at
+    /// `dst <= src` are cleared but not computed.
+    ///
+    /// `out` is resized to `num_switches()` and its inner vectors are
+    /// reused, so a caller sweeping all sources performs no per-pair
+    /// allocations. Routers that can share per-source work (e.g. one
+    /// forward BFS serving every destination) should override this; the
+    /// default just loops the per-pair method.
+    fn minimal_route_links_row(
+        &self,
+        src: SwitchId,
+        out: &mut Vec<Vec<commsched_topology::LinkId>>,
+    ) {
+        let n = self.num_switches();
+        if out.len() != n {
+            out.resize_with(n, Vec::new);
+        }
+        for links in out.iter_mut() {
+            links.clear();
+        }
+        for (dst, links) in out.iter_mut().enumerate().skip(src + 1) {
+            *links = self.minimal_route_links(src, dst);
+        }
+    }
+
     /// Legal next states from `state` that remain on a minimal route to
     /// `dst`. Empty iff `state.node == dst`.
     fn next_hops(&self, state: RouteState, dst: SwitchId) -> Vec<RouteState>;

@@ -10,7 +10,7 @@
 //! sizes; crossover is uniform with a size-repair pass; mutation is a
 //! random cross-cluster swap.
 
-use crate::{check_sizes, Mapper, SearchResult};
+use crate::{check_sizes, pool, Mapper, SearchResult};
 use commsched_core::{similarity_fg, Partition, SwapEvaluator};
 use commsched_distance::DistanceTable;
 use rand::{Rng, RngCore};
@@ -31,6 +31,10 @@ pub struct GeneticParams {
     pub initial_temp_factor: f64,
     /// GSA only: geometric cooling per generation.
     pub cooling: f64,
+    /// Worker threads for fitness evaluation (0 = one per available
+    /// CPU). All randomness is drawn on the caller's thread, so results
+    /// are identical for every thread count.
+    pub threads: usize,
 }
 
 impl Default for GeneticParams {
@@ -42,6 +46,7 @@ impl Default for GeneticParams {
             elites: 2,
             initial_temp_factor: 0.3,
             cooling: 0.95,
+            threads: 0,
         }
     }
 }
@@ -143,19 +148,29 @@ impl Mapper for GeneticSearch {
         let mut evaluations = pop.len() as u64;
         for _ in 0..p.generations {
             pop.sort_by(|x, y| x.0.partial_cmp(&y.0).expect("finite fitness"));
-            let mut next: Vec<(f64, Partition)> =
+            let elites: Vec<(f64, Partition)> =
                 pop.iter().take(p.elites.min(pop.len())).cloned().collect();
-            while next.len() < pop.len() {
-                let pa = tournament(&pop, rng);
-                let pb = tournament(&pop, rng);
-                let mut child = crossover(&pa.1, &pb.1, sizes, rng);
-                if rng.gen::<f64>() < p.mutation_rate {
-                    mutate(&mut child, rng);
-                }
-                let fg = similarity_fg(&child, table);
-                evaluations += 1;
-                next.push((fg, child));
-            }
+            // Breed serially (all RNG draws stay on this thread, in the
+            // same order a serial loop would make them)…
+            let children: Vec<Partition> = (0..pop.len() - elites.len())
+                .map(|_| {
+                    let pa = tournament(&pop, rng);
+                    let pb = tournament(&pop, rng);
+                    let mut child = crossover(&pa.1, &pb.1, sizes, rng);
+                    if rng.gen::<f64>() < p.mutation_rate {
+                        mutate(&mut child, rng);
+                    }
+                    child
+                })
+                .collect();
+            // …then score the brood on the worker pool; `similarity_fg`
+            // is pure, so the thread count cannot change the outcome.
+            let scores = pool::run_indexed(children.len(), p.threads, |i| {
+                similarity_fg(&children[i], table)
+            });
+            evaluations += children.len() as u64;
+            let mut next = elites;
+            next.extend(scores.into_iter().zip(children));
             pop = next;
         }
         let (fg, partition) = pop
@@ -194,12 +209,14 @@ impl Mapper for GeneticSimulatedAnnealing {
         let p = &self.params;
         let n = table.n();
         let pop_size = p.population.max(2);
-        let mut pop: Vec<SwapEvaluator> = (0..pop_size)
-            .map(|_| {
-                let part = Partition::random(n, sizes, rng).expect("validated sizes");
-                SwapEvaluator::new(part, table)
-            })
+        // Draw the population serially, then build the evaluators (each
+        // one computes its initial F_G) on the worker pool.
+        let parts: Vec<Partition> = (0..pop_size)
+            .map(|_| Partition::random(n, sizes, rng).expect("validated sizes"))
             .collect();
+        let mut pop: Vec<SwapEvaluator> = pool::run_indexed(parts.len(), p.threads, |i| {
+            SwapEvaluator::new(parts[i].clone(), table)
+        });
         let mut evaluations = pop.len() as u64;
         let mean_fg = pop.iter().map(SwapEvaluator::fg).sum::<f64>() / pop.len() as f64;
         let mut temp = (mean_fg * p.initial_temp_factor).max(1e-6);

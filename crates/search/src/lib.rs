@@ -24,6 +24,9 @@
 //!   graph-partitioning comparator;
 //! * [`descent`] — steepest descent and random sampling baselines;
 //! * [`parallel`] — a deterministic multi-threaded multi-seed driver;
+//! * [`pool`] — the scoped work-stealing pool behind every parallel
+//!   driver in the crate (tabu restarts, multi-seed runs, genetic
+//!   fitness evaluation);
 //! * [`compute`] — computation-side baselines (OLB, min-min, max-min) for
 //!   the future-work combined scheduling experiments.
 //!
@@ -39,6 +42,7 @@ pub mod exhaustive;
 pub mod genetic;
 pub mod kernighan_lin;
 pub mod parallel;
+pub mod pool;
 pub mod tabu;
 
 pub use anneal::{SimulatedAnnealing, SimulatedAnnealingParams};
@@ -49,6 +53,7 @@ pub use exhaustive::{enumerate_partitions, ExhaustiveSearch};
 pub use genetic::{GeneticParams, GeneticSearch, GeneticSimulatedAnnealing};
 pub use kernighan_lin::KernighanLin;
 pub use parallel::parallel_multi_seed;
+pub use pool::{resolve_threads, run_indexed};
 pub use tabu::{TabuParams, TabuSearch, TabuTrace, TraceEvent};
 
 use commsched_core::Partition;

@@ -6,14 +6,14 @@
 //! ties in `F_G` break toward the lowest seed index, so the outcome is
 //! independent of thread scheduling.
 
-use crate::{Mapper, SearchResult};
+use crate::{pool, Mapper, SearchResult};
 use commsched_distance::DistanceTable;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
-use std::sync::Mutex;
 
 /// Run `mapper` once per seed `base_seed..base_seed + seeds` across
-/// `threads` worker threads; return the best result and its seed.
+/// `threads` worker threads (the crate's work-stealing pool,
+/// [`pool::run_indexed`]); return the best result and its seed.
 ///
 /// Deterministic: the same inputs always return the same `(seed, result)`.
 ///
@@ -28,42 +28,16 @@ pub fn parallel_multi_seed<M: Mapper>(
     threads: usize,
 ) -> (u64, SearchResult) {
     assert!(seeds > 0, "need at least one seed");
-    let threads = threads.max(1).min(seeds);
-    let next = Mutex::new(0usize);
-    let results: Mutex<Vec<(u64, SearchResult)>> = Mutex::new(Vec::with_capacity(seeds));
-
-    std::thread::scope(|scope| {
-        for _ in 0..threads {
-            scope.spawn(|| loop {
-                let idx = {
-                    let mut guard = next.lock().expect("seed counter lock");
-                    if *guard >= seeds {
-                        break;
-                    }
-                    let i = *guard;
-                    *guard += 1;
-                    i
-                };
-                let seed = base_seed + idx as u64;
-                let mut rng = StdRng::seed_from_u64(seed);
-                let result = mapper.search(table, sizes, &mut rng);
-                results
-                    .lock()
-                    .expect("result collection lock")
-                    .push((seed, result));
-            });
-        }
+    let all = pool::run_indexed(seeds, threads.max(1), |idx| {
+        let seed = base_seed + idx as u64;
+        let mut rng = StdRng::seed_from_u64(seed);
+        (seed, mapper.search(table, sizes, &mut rng))
     });
-
-    let mut all = results.into_inner().expect("search worker panicked");
-    // Deterministic winner: best F_G, ties to the lowest seed.
-    all.sort_by(|a, b| {
-        a.1.fg
-            .partial_cmp(&b.1.fg)
-            .expect("finite F_G")
-            .then(a.0.cmp(&b.0))
-    });
-    all.into_iter().next().expect("at least one seed ran")
+    // Deterministic winner: best F_G; run_indexed returns in seed order,
+    // so strict `<` breaks ties toward the lowest seed.
+    all.into_iter()
+        .reduce(|best, cand| if cand.1.fg < best.1.fg { cand } else { best })
+        .expect("at least one seed ran")
 }
 
 #[cfg(test)]

@@ -1,0 +1,92 @@
+//! A minimal scoped work-stealing pool shared by the search drivers.
+//!
+//! All the parallelism in this crate has the same shape: `tasks`
+//! independent jobs of uneven cost, results needed *in task order* so the
+//! caller's merge is deterministic. [`run_indexed`] implements exactly
+//! that — workers pull indices off a shared atomic counter (work
+//! stealing, since seeds and individuals differ wildly in runtime) and
+//! the results are returned indexed, so thread scheduling never leaks
+//! into the output.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+/// Resolve a thread-count knob: `0` means one worker per available CPU.
+pub fn resolve_threads(threads: usize) -> usize {
+    if threads == 0 {
+        std::thread::available_parallelism().map_or(1, usize::from)
+    } else {
+        threads
+    }
+}
+
+/// Run `f(0), f(1), …, f(tasks - 1)` across `threads` scoped workers
+/// (`0` = one per available CPU) and return the results in task order.
+///
+/// Workers claim indices from a shared atomic counter, so long tasks
+/// don't stall the queue behind them. With one worker (or one task) the
+/// closure runs inline on the caller's thread — no spawn, identical
+/// results.
+///
+/// # Panics
+/// Panics if a worker panics.
+pub fn run_indexed<T, F>(tasks: usize, threads: usize, f: F) -> Vec<T>
+where
+    T: Send,
+    F: Fn(usize) -> T + Sync,
+{
+    let threads = resolve_threads(threads).clamp(1, tasks.max(1));
+    if threads <= 1 {
+        return (0..tasks).map(f).collect();
+    }
+    let cursor = AtomicUsize::new(0);
+    let worker = || {
+        let mut out: Vec<(usize, T)> = Vec::new();
+        loop {
+            let i = cursor.fetch_add(1, Ordering::Relaxed);
+            if i >= tasks {
+                break;
+            }
+            out.push((i, f(i)));
+        }
+        out
+    };
+    let mut slots: Vec<Option<T>> = (0..tasks).map(|_| None).collect();
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..threads).map(|_| scope.spawn(worker)).collect();
+        for h in handles {
+            for (i, v) in h.join().expect("pool worker panicked") {
+                slots[i] = Some(v);
+            }
+        }
+    });
+    slots
+        .into_iter()
+        .map(|s| s.expect("every task index was claimed"))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn results_arrive_in_task_order() {
+        for threads in [1, 2, 7, 64] {
+            let out = run_indexed(20, threads, |i| i * i);
+            let want: Vec<usize> = (0..20).map(|i| i * i).collect();
+            assert_eq!(out, want, "threads = {threads}");
+        }
+    }
+
+    #[test]
+    fn zero_tasks_is_empty() {
+        let out: Vec<usize> = run_indexed(0, 4, |i| i);
+        assert!(out.is_empty());
+    }
+
+    #[test]
+    fn auto_thread_count_resolves() {
+        assert!(resolve_threads(0) >= 1);
+        assert_eq!(resolve_threads(3), 3);
+    }
+}

@@ -33,6 +33,10 @@ pub struct TabuParams {
     /// stays forbidden. Unreported in the paper; default 4 (ablated in the
     /// bench suite).
     pub tenure: usize,
+    /// Worker threads running the seed restarts (0 = one per available
+    /// CPU). The restarts are independent and their merge is ordered by
+    /// seed index, so every thread count returns identical results.
+    pub threads: usize,
 }
 
 impl Default for TabuParams {
@@ -42,6 +46,7 @@ impl Default for TabuParams {
             max_iterations: 20,
             local_min_repeats: 3,
             tenure: 4,
+            threads: 0,
         }
     }
 }
@@ -56,10 +61,8 @@ impl TabuParams {
     /// budget scaled with the switch count.
     pub fn scaled(n: usize) -> Self {
         Self {
-            seeds: 10,
             max_iterations: (3 * n).max(20),
-            local_min_repeats: 3,
-            tenure: 4,
+            ..Self::default()
         }
     }
 }
@@ -167,6 +170,14 @@ impl TabuSearch {
     /// Generic driver: run the multi-seed tabu protocol against any
     /// [`SwapObjective`], built per seed from a random starting partition.
     ///
+    /// The restarts run on the crate's scoped worker pool
+    /// ([`crate::pool::run_indexed`]; `params.threads` workers, 0 = one
+    /// per CPU). All starting partitions are drawn from `rng` up front —
+    /// the same stream a serial loop would consume — and each seed records
+    /// a private trace that is merged by seed index with cumulative
+    /// iteration offsets, so the result and trace are identical for every
+    /// thread count.
+    ///
     /// # Panics
     /// Panics if `sizes` is not a valid cluster-size vector for `n`.
     pub fn search_objective<O, F>(
@@ -177,27 +188,48 @@ impl TabuSearch {
         make_objective: F,
     ) -> (SearchResult, TabuTrace)
     where
-        O: SwapObjective,
-        F: Fn(Partition) -> O,
+        O: SwapObjective + Send,
+        F: Fn(Partition) -> O + Sync,
     {
         assert!(
             check_sizes(n, sizes),
             "invalid cluster sizes {sizes:?} for {n} switches"
         );
+        // The seed runs themselves consume no randomness, so drawing every
+        // start here preserves the exact RNG stream of a serial loop.
+        let starts: Vec<Partition> = (0..self.params.seeds)
+            .map(|_| {
+                Partition::random(n, sizes, rng)
+                    .expect("validated sizes always produce a partition")
+            })
+            .collect();
+
+        type SeedOutcome = ((f64, Partition), u64, TabuTrace, usize);
+        let per_seed: Vec<SeedOutcome> =
+            crate::pool::run_indexed(starts.len(), self.params.threads, |seed_idx| {
+                let mut trace = TabuTrace::default();
+                let mut local_iter = 0usize;
+                let (seed_best, seed_evals) = self.run_seed(
+                    make_objective(starts[seed_idx].clone()),
+                    seed_idx,
+                    &mut local_iter,
+                    &mut trace,
+                );
+                (seed_best, seed_evals, trace, local_iter)
+            });
+
         let mut trace = TabuTrace::default();
         let mut best: Option<(f64, Partition)> = None;
         let mut evaluations = 0u64;
-        let mut global_iter = 0usize;
-
-        for seed_idx in 0..self.params.seeds {
-            let start = Partition::random(n, sizes, rng)
-                .expect("validated sizes always produce a partition");
-            let (seed_best, seed_evals) = self.run_seed(
-                make_objective(start),
-                seed_idx,
-                &mut global_iter,
-                &mut trace,
-            );
+        let mut offset = 0usize;
+        for (seed_best, seed_evals, seed_trace, seed_iters) in per_seed {
+            trace
+                .events
+                .extend(seed_trace.events.iter().map(|e| TraceEvent {
+                    iteration: offset + e.iteration,
+                    ..*e
+                }));
+            offset += seed_iters;
             evaluations += seed_evals;
             if best.as_ref().is_none_or(|(f, _)| seed_best.0 < *f) {
                 best = Some(seed_best);
@@ -475,11 +507,35 @@ mod tests {
             max_iterations: 40,
             local_min_repeats: 3,
             tenure: 4,
+            threads: 2,
         };
         let mut rng = StdRng::seed_from_u64(13);
         let (res, trace) = TabuSearch::new(params).search_traced(&table, &[6, 6, 6, 6], &mut rng);
         assert!(res.fg.is_finite());
         assert!(!trace.events.is_empty());
+    }
+
+    #[test]
+    fn parallel_restarts_match_serial_exactly() {
+        // Result, evaluation count AND trace must be invariant under the
+        // restart thread count.
+        let table = rings_table();
+        let run = |threads| {
+            let mut rng = StdRng::seed_from_u64(17);
+            let params = TabuParams {
+                threads,
+                ..TabuParams::default()
+            };
+            TabuSearch::new(params).search_traced(&table, &[6, 6, 6, 6], &mut rng)
+        };
+        let (r1, t1) = run(1);
+        for threads in [2, 7, 64] {
+            let (r, t) = run(threads);
+            assert_eq!(r1.partition, r.partition, "threads = {threads}");
+            assert_eq!(r1.evaluations, r.evaluations, "threads = {threads}");
+            assert!((r1.fg - r.fg).abs() == 0.0, "threads = {threads}");
+            assert_eq!(t1.events, t.events, "threads = {threads}");
+        }
     }
 
     #[test]

@@ -70,6 +70,8 @@ pub struct DistanceCache {
     ready: Condvar,
     hits: AtomicU64,
     misses: AtomicU64,
+    build_nanos_total: AtomicU64,
+    build_nanos_last: AtomicU64,
 }
 
 impl DistanceCache {
@@ -85,6 +87,8 @@ impl DistanceCache {
             ready: Condvar::new(),
             hits: AtomicU64::new(0),
             misses: AtomicU64::new(0),
+            build_nanos_total: AtomicU64::new(0),
+            build_nanos_last: AtomicU64::new(0),
         }
     }
 
@@ -96,6 +100,18 @@ impl DistanceCache {
     /// Times a lookup had to build the entry.
     pub fn misses(&self) -> u64 {
         self.misses.load(Ordering::Relaxed)
+    }
+
+    /// Total wall time spent inside `build` closures, in nanoseconds
+    /// (failed builds included — their time was still paid).
+    pub fn build_nanos_total(&self) -> u64 {
+        self.build_nanos_total.load(Ordering::Relaxed)
+    }
+
+    /// Wall time of the most recent `build` closure, in nanoseconds
+    /// (0 until the first miss).
+    pub fn build_nanos_last(&self) -> u64 {
+        self.build_nanos_last.load(Ordering::Relaxed)
     }
 
     /// Number of finished entries currently held.
@@ -148,7 +164,11 @@ impl DistanceCache {
                     inner.entries.insert(key, Slot::Building);
                     self.misses.fetch_add(1, Ordering::Relaxed);
                     drop(inner);
+                    let t0 = std::time::Instant::now();
                     let built = build();
+                    let nanos = u64::try_from(t0.elapsed().as_nanos()).unwrap_or(u64::MAX);
+                    self.build_nanos_total.fetch_add(nanos, Ordering::Relaxed);
+                    self.build_nanos_last.store(nanos, Ordering::Relaxed);
                     let mut inner = self.inner.lock().expect("cache lock");
                     match built {
                         Ok(value) => {
@@ -288,6 +308,29 @@ mod tests {
         // The slot is free again: a retry builds.
         cache.get_or_build(key(9), || Ok(build_for(4))).unwrap();
         assert_eq!(cache.misses(), 2);
+    }
+
+    #[test]
+    fn build_time_is_tracked_per_miss() {
+        let cache = DistanceCache::new(4);
+        assert_eq!(cache.build_nanos_total(), 0);
+        assert_eq!(cache.build_nanos_last(), 0);
+        cache
+            .get_or_build(key(1), || {
+                std::thread::sleep(std::time::Duration::from_millis(5));
+                Ok(build_for(4))
+            })
+            .unwrap();
+        let after_first = cache.build_nanos_total();
+        assert!(after_first >= 5_000_000, "got {after_first} ns");
+        assert_eq!(cache.build_nanos_last(), after_first);
+        // A hit costs no build time.
+        cache.get_or_build(key(1), || panic!("cached")).unwrap();
+        assert_eq!(cache.build_nanos_total(), after_first);
+        // A second miss accumulates and replaces the last-build figure.
+        cache.get_or_build(key(2), || Ok(build_for(5))).unwrap();
+        assert!(cache.build_nanos_total() > after_first);
+        assert!(cache.build_nanos_last() < after_first);
     }
 
     #[test]

@@ -250,6 +250,14 @@ impl ServiceCore {
             format!("cache_hits {}", self.cache.hits()),
             format!("cache_misses {}", self.cache.misses()),
             format!("cache_entries {}", self.cache.len()),
+            format!(
+                "cache_build_ms_total {:.3}",
+                self.cache.build_nanos_total() as f64 / 1e6
+            ),
+            format!(
+                "cache_build_ms_last {:.3}",
+                self.cache.build_nanos_last() as f64 / 1e6
+            ),
             format!("topologies {}", self.registry.len()),
         ];
         out.extend(self.stats.report_lines());
@@ -610,6 +618,8 @@ mod tests {
             "jobs_running",
             "cache_hits",
             "cache_misses",
+            "cache_build_ms_total",
+            "cache_build_ms_last",
             "topologies",
             "jobs_submitted",
         ] {
