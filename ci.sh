@@ -15,6 +15,9 @@ cargo clippy --workspace --all-targets -- -D warnings
 echo "==> cargo build --release"
 cargo build --release
 
+echo "==> cargo build --release --examples"
+cargo build --release --examples
+
 echo "==> cargo test -q --workspace"
 cargo test -q --workspace
 

@@ -2,9 +2,12 @@
 
 use crate::resistance::{effective_resistance_weighted, ResistanceError, SolverKind, Workspace};
 use commsched_routing::Routing;
+use commsched_telemetry as telemetry;
 use commsched_topology::{LinkId, SwitchId, Topology};
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::OnceLock;
+use std::time::Instant;
 
 /// A cheaply clonable, immutable handle to a finished table.
 ///
@@ -196,6 +199,89 @@ impl Default for TableOptions {
     }
 }
 
+/// Telemetry handles for the table builder, resolved once per process.
+/// Workers tally locally (plain `u64`s in [`PairTally`]) and flush the
+/// totals here when they finish, so the per-pair hot path never touches
+/// an atomic.
+struct BuildMetrics {
+    builds: telemetry::Counter,
+    build_ms: telemetry::Histo,
+    rows: telemetry::Counter,
+    pairs: telemetry::Counter,
+    series_path: telemetry::Counter,
+    memo_hits: telemetry::Counter,
+    memo_misses: telemetry::Counter,
+    dense_solves: telemetry::Counter,
+}
+
+fn build_metrics() -> &'static BuildMetrics {
+    static METRICS: OnceLock<BuildMetrics> = OnceLock::new();
+    METRICS.get_or_init(|| {
+        let r = telemetry::global();
+        BuildMetrics {
+            builds: r.counter(
+                "distance_builds_total",
+                "Distance-table builds completed (all solver kinds)",
+            ),
+            build_ms: r.histogram(
+                "distance_build_ms",
+                "Wall time of one distance-table build, milliseconds",
+            ),
+            rows: r.counter(
+                "distance_rows_total",
+                "Source rows whose route link sets were batch-extracted",
+            ),
+            pairs: r.counter(
+                "distance_pairs_total",
+                "Switch pairs whose equivalent distance was computed",
+            ),
+            series_path: r.counter(
+                "distance_series_path_total",
+                "Pairs answered by the series-path scan (no linear solve)",
+            ),
+            memo_hits: r.counter(
+                "distance_memo_hits_total",
+                "Pairs whose compacted circuit was found in a worker memo",
+            ),
+            memo_misses: r.counter(
+                "distance_memo_misses_total",
+                "Pairs that ran circuit compaction + LDL^T solve",
+            ),
+            dense_solves: r.counter(
+                "distance_dense_solves_total",
+                "Pairs solved by the dense Gaussian baseline",
+            ),
+        }
+    })
+}
+
+/// Per-worker resolution tallies, flushed to [`BuildMetrics`] once per
+/// worker (not per pair).
+#[derive(Default)]
+struct PairTally {
+    rows: u64,
+    pairs: u64,
+    series_path: u64,
+    memo_hits: u64,
+    memo_misses: u64,
+    dense_solves: u64,
+}
+
+impl PairTally {
+    fn flush(&self) {
+        if self.pairs == 0 && self.rows == 0 {
+            return;
+        }
+        let m = build_metrics();
+        m.rows.add(self.rows);
+        m.pairs.add(self.pairs);
+        m.series_path.add(self.series_path);
+        m.memo_hits.add(self.memo_hits);
+        m.memo_misses.add(self.memo_misses);
+        m.dense_solves.add(self.dense_solves);
+    }
+}
+
 /// Per-worker cap on memoized circuits. Networks whose pairs all have
 /// distinct route sets would otherwise hold one circuit per pair; beyond
 /// the cap new sets are solved without being retained. Purely a memory
@@ -287,6 +373,7 @@ struct PairSolver<'a> {
     memo: HashMap<Vec<LinkId>, CompactCircuit>,
     edges: Vec<(SwitchId, SwitchId, f64)>,
     row_links: Vec<Vec<LinkId>>,
+    tally: PairTally,
 }
 
 impl<'a> PairSolver<'a> {
@@ -300,6 +387,7 @@ impl<'a> PairSolver<'a> {
             memo: HashMap::new(),
             edges: Vec::new(),
             row_links: Vec::new(),
+            tally: PairTally::default(),
         }
     }
 
@@ -310,11 +398,14 @@ impl<'a> PairSolver<'a> {
     fn begin_row(&mut self, i: SwitchId) {
         if self.options.solver != SolverKind::DenseGaussian {
             self.routing.minimal_route_links_row(i, &mut self.row_links);
+            self.tally.rows += 1;
         }
     }
 
     fn solve(&mut self, i: SwitchId, j: SwitchId) -> Result<f64, TableError> {
+        self.tally.pairs += 1;
         if self.options.solver == SolverKind::DenseGaussian {
+            self.tally.dense_solves += 1;
             return pair_resistance(self.topo, self.routing, i, j);
         }
         // Simple-path sub-networks (the common case) are answered by one
@@ -322,6 +413,7 @@ impl<'a> PairSolver<'a> {
         // sum. Memoization stays value-neutral — path pairs skip it in
         // both modes.
         if let Some(r) = try_series_path(self.topo, &mut self.scan, &self.row_links[j], i, j) {
+            self.tally.series_path += 1;
             return Ok(r);
         }
         let wrap = |error| TableError::Resistance {
@@ -332,10 +424,12 @@ impl<'a> PairSolver<'a> {
         let links = &self.row_links[j];
         if self.options.memoize {
             if let Some(c) = self.memo.get(links.as_slice()) {
+                self.tally.memo_hits += 1;
                 self.ws.load_circuit(&c.nodes, &c.edges);
                 return self.ws.solve_compacted(i, j).map_err(wrap);
             }
         }
+        self.tally.memo_misses += 1;
         let mut edges = std::mem::take(&mut self.edges);
         edges.clear();
         edges.extend(links.iter().map(|&l| {
@@ -414,6 +508,8 @@ pub fn equivalent_distance_table_with(
     options: TableOptions,
 ) -> Result<DistanceTable, TableError> {
     check_sizes(topo, routing)?;
+    let _span = telemetry::Span::enter("distance.build");
+    let t0 = Instant::now();
     let n = topo.num_switches();
     // Row n-1 has no pairs `j > i`, so there are n-1 work units.
     let rows = n.saturating_sub(1);
@@ -443,6 +539,7 @@ pub fn equivalent_distance_table_with(
                 }
             }
         }
+        solver.tally.flush();
         (out, first_err)
     };
 
@@ -471,6 +568,9 @@ pub fn equivalent_distance_table_with(
             data[j * n + i] = d;
         }
     }
+    let m = build_metrics();
+    m.builds.inc();
+    m.build_ms.record(t0.elapsed().as_millis() as u64);
     match fail {
         Some((_, e)) => Err(e),
         None => Ok(DistanceTable { n, data }),
@@ -737,6 +837,23 @@ mod tests {
         let r = ShortestPathRouting::new(&t).unwrap();
         let table = equivalent_distance_table(&t, &r).unwrap();
         assert!(table.triangle_violations(1e-9).is_empty());
+    }
+
+    #[test]
+    fn build_flushes_telemetry_tallies() {
+        let m = build_metrics();
+        let builds0 = m.builds.get();
+        let pairs0 = m.pairs.get();
+        let rows0 = m.rows.get();
+        let t = designed::ring(8, 1);
+        let r = ShortestPathRouting::new(&t).unwrap();
+        let _ = equivalent_distance_table(&t, &r).unwrap();
+        // Other tests run builds concurrently, so assert monotone floors
+        // against the snapshot, not exact deltas.
+        assert!(m.builds.get() > builds0);
+        assert!(m.pairs.get() >= pairs0 + 28, "C(8,2) pairs tallied");
+        assert!(m.rows.get() >= rows0 + 7, "n-1 rows extracted");
+        assert!(m.build_ms.count() >= 1);
     }
 
     #[test]

@@ -28,6 +28,7 @@ pub fn parallel_multi_seed<M: Mapper>(
     threads: usize,
 ) -> (u64, SearchResult) {
     assert!(seeds > 0, "need at least one seed");
+    let _span = commsched_telemetry::Span::enter("search.multi_seed");
     let all = pool::run_indexed(seeds, threads.max(1), |idx| {
         let seed = base_seed + idx as u64;
         let mut rng = StdRng::seed_from_u64(seed);

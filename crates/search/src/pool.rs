@@ -8,7 +8,32 @@
 //! the results are returned indexed, so thread scheduling never leaks
 //! into the output.
 
+use commsched_telemetry as telemetry;
 use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::OnceLock;
+
+/// Telemetry handles for the pool, resolved once per process.
+struct PoolMetrics {
+    tasks: telemetry::Counter,
+    queue_depth: telemetry::Gauge,
+}
+
+fn pool_metrics() -> &'static PoolMetrics {
+    static METRICS: OnceLock<PoolMetrics> = OnceLock::new();
+    METRICS.get_or_init(|| {
+        let r = telemetry::global();
+        PoolMetrics {
+            tasks: r.counter(
+                "pool_tasks_total",
+                "Tasks executed by the search worker pool",
+            ),
+            queue_depth: r.gauge(
+                "pool_queue_depth",
+                "Unclaimed tasks on the search pool's shared queue (last pool run)",
+            ),
+        }
+    })
+}
 
 /// Resolve a thread-count knob: `0` means one worker per available CPU.
 pub fn resolve_threads(threads: usize) -> usize {
@@ -35,6 +60,8 @@ where
     F: Fn(usize) -> T + Sync,
 {
     let threads = resolve_threads(threads).clamp(1, tasks.max(1));
+    let m = pool_metrics();
+    m.tasks.add(tasks as u64);
     if threads <= 1 {
         return (0..tasks).map(f).collect();
     }
@@ -46,6 +73,9 @@ where
             if i >= tasks {
                 break;
             }
+            // Tasks are coarse (whole seed runs), so a gauge store per
+            // claim is noise; concurrent pools last-write-wins.
+            m.queue_depth.set(tasks.saturating_sub(i + 1) as i64);
             out.push((i, f(i)));
         }
         out

@@ -15,9 +15,36 @@
 use crate::{check_sizes, Mapper, SearchResult};
 use commsched_core::{Partition, SwapEvaluator, SwapObjective, WeightedSwapEvaluator};
 use commsched_distance::DistanceTable;
+use commsched_telemetry as telemetry;
 use commsched_topology::SwitchId;
 use rand::RngCore;
 use std::collections::HashMap;
+use std::sync::OnceLock;
+
+/// Telemetry handles for the tabu driver, resolved once per process.
+struct TabuMetrics {
+    restarts: telemetry::Counter,
+    iterations: telemetry::Counter,
+    evaluations: telemetry::Counter,
+}
+
+fn tabu_metrics() -> &'static TabuMetrics {
+    static METRICS: OnceLock<TabuMetrics> = OnceLock::new();
+    METRICS.get_or_init(|| {
+        let r = telemetry::global();
+        TabuMetrics {
+            restarts: r.counter("tabu_restarts_total", "Tabu random restarts (seeds) run"),
+            iterations: r.counter(
+                "tabu_iterations_total",
+                "Tabu iterations (applied swaps) across all seeds",
+            ),
+            evaluations: r.counter(
+                "tabu_evaluations_total",
+                "Candidate swap evaluations (delta computations)",
+            ),
+        }
+    })
+}
 
 /// Tuning parameters of the tabu search.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -195,6 +222,7 @@ impl TabuSearch {
             check_sizes(n, sizes),
             "invalid cluster sizes {sizes:?} for {n} switches"
         );
+        let _span = telemetry::Span::enter("tabu.search");
         // The seed runs themselves consume no randomness, so drawing every
         // start here preserves the exact RNG stream of a serial loop.
         let starts: Vec<Partition> = (0..self.params.seeds)
@@ -233,6 +261,24 @@ impl TabuSearch {
             evaluations += seed_evals;
             if best.as_ref().is_none_or(|(f, _)| seed_best.0 < *f) {
                 best = Some(seed_best);
+            }
+        }
+
+        let m = tabu_metrics();
+        m.restarts.add(self.params.seeds as u64);
+        m.iterations.add(offset as u64);
+        m.evaluations.add(evaluations);
+        // When tracing is armed, replay the merged F_G trajectory (the
+        // Figure-1 series) as point events — bounded by the iteration
+        // budget, and free when tracing is off.
+        if telemetry::tracing_enabled() {
+            for e in &trace.events {
+                let name = if e.is_seed_start {
+                    "tabu.seed_start"
+                } else {
+                    "tabu.fg"
+                };
+                telemetry::trace::instant(name, Some(e.fg));
             }
         }
 

@@ -194,6 +194,16 @@ impl Client {
             .collect())
     }
 
+    /// The server's Prometheus-format metrics dump, one line per entry.
+    ///
+    /// # Errors
+    /// See [`ClientError`].
+    pub fn metrics(&mut self) -> Result<Vec<String>, ClientError> {
+        self.send("METRICS")?;
+        self.expect_ok()?;
+        self.read_block()
+    }
+
     /// One stats value parsed as `u64` (missing/unparsable → `None`).
     ///
     /// # Errors

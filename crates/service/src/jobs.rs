@@ -25,6 +25,18 @@ use std::time::Instant;
 /// Identifier of a submitted job (issued sequentially from 1).
 pub type JobId = u64;
 
+/// Best-effort text of a caught panic payload (`&str` and `String`
+/// payloads cover everything `panic!`/`assert!` produce).
+fn panic_message(payload: &(dyn std::any::Any + Send)) -> &str {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        s
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s
+    } else {
+        "non-string panic payload"
+    }
+}
+
 /// Lifecycle of a job.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum JobState {
@@ -264,6 +276,78 @@ impl ServiceCore {
         out
     }
 
+    /// The full Prometheus-format metrics dump served by `METRICS`:
+    /// the process-global registry (distance builds, tabu search,
+    /// netsim, pool), this core's [`ServiceStats`] registry, and the
+    /// queue/cache/registry gauges the core owns directly.
+    pub fn metrics_text(&self) -> String {
+        use std::fmt::Write as _;
+        let (queued, running) = {
+            let state = self.state.lock().expect("queue lock");
+            (state.pending.len(), state.running)
+        };
+        let mut out = commsched_telemetry::global().render_prometheus();
+        out.push_str(&self.stats.registry().render_prometheus());
+        let gauges: [(&str, &str, f64); 7] = [
+            (
+                "service_jobs_queued",
+                "Jobs waiting for a worker",
+                queued as f64,
+            ),
+            (
+                "service_jobs_running",
+                "Jobs currently executing",
+                running as f64,
+            ),
+            (
+                "service_cache_entries",
+                "Distance tables resident in the cache",
+                self.cache.len() as f64,
+            ),
+            (
+                "service_cache_build_ms_last",
+                "Milliseconds the most recent cache build took",
+                self.cache.build_nanos_last() as f64 / 1e6,
+            ),
+            (
+                "service_topologies",
+                "Topologies in the registry",
+                self.registry.len() as f64,
+            ),
+            (
+                "service_cache_hits_total",
+                "Distance-cache lookups served from memory",
+                self.cache.hits() as f64,
+            ),
+            (
+                "service_cache_misses_total",
+                "Distance-cache lookups that built a table",
+                self.cache.misses() as f64,
+            ),
+        ];
+        for (name, help, value) in gauges {
+            let kind = if name.ends_with("_total") {
+                "counter"
+            } else {
+                "gauge"
+            };
+            writeln!(out, "# HELP {name} {help}").expect("write to string");
+            writeln!(out, "# TYPE {name} {kind}").expect("write to string");
+            if value.fract() == 0.0 {
+                writeln!(out, "{name} {value:.0}").expect("write to string");
+            } else {
+                writeln!(out, "{name} {value:.3}").expect("write to string");
+            }
+        }
+        writeln!(
+            out,
+            "# HELP service_cache_build_ms_total Milliseconds spent building cached tables\n# TYPE service_cache_build_ms_total counter\nservice_cache_build_ms_total {:.3}",
+            self.cache.build_nanos_total() as f64 / 1e6
+        )
+        .expect("write to string");
+        out
+    }
+
     /// Stop accepting work and block until every accepted job has left
     /// the queue and every running job has finished. Idempotent; safe to
     /// call from several threads. Workers exit their loop once drained.
@@ -297,19 +381,35 @@ impl ServiceCore {
             };
             let started = Instant::now();
             let wait_ms = started.duration_since(submitted_at).as_secs_f64() * 1e3;
-            let outcome = self.execute(spec);
+            // A panicking job must not kill the worker: an abandoned job
+            // would sit `Running` forever and deadlock `drain()`. Catch
+            // the unwind and report it as a failure. `AssertUnwindSafe`
+            // is sound here because `execute` only reads `self` through
+            // lock-guarded or atomic state — a mid-panic job cannot leave
+            // the core's invariants broken.
+            let outcome =
+                std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| self.execute(spec)));
             let run_ms = started.elapsed().as_secs_f64() * 1e3;
             let mut state = self.state.lock().expect("queue lock");
             let rec = state.jobs.get_mut(&id).expect("running job exists");
             match outcome {
-                Ok(lines) => {
+                Ok(Ok(lines)) => {
                     rec.state = JobState::Done;
                     rec.result = lines;
                     self.stats.note_finished(true, wait_ms, run_ms);
                 }
-                Err(e) => {
+                Ok(Err(e)) => {
                     rec.state = JobState::Failed;
                     rec.error = e;
+                    self.stats.note_finished(false, wait_ms, run_ms);
+                }
+                Err(payload) => {
+                    rec.state = JobState::Failed;
+                    // `payload.as_ref()`, not `&payload`: a plain borrow
+                    // would unsize the *Box itself* into `dyn Any` and
+                    // every downcast would miss.
+                    rec.error = format!("worker-panic: {}", panic_message(payload.as_ref()));
+                    self.stats.note_panicked();
                     self.stats.note_finished(false, wait_ms, run_ms);
                 }
             }
@@ -622,8 +722,79 @@ mod tests {
             "cache_build_ms_last",
             "topologies",
             "jobs_submitted",
+            "jobs_panicked",
         ] {
             assert!(joined.contains(key), "missing {key}");
         }
+    }
+
+    #[test]
+    fn worker_panic_fails_the_job_and_survives() {
+        let core = small_core(4);
+        // `designed::ring` asserts n >= 3, so a 2-switch ring panics the
+        // worker mid-execute. The catch_unwind boundary must convert
+        // that into a Failed job (so drain() completes) and keep the
+        // worker alive for the next job.
+        let bad = core
+            .submit(JobSpec {
+                topo: TopoRef::Ring {
+                    switches: 2,
+                    hosts: 1,
+                },
+                ..tiny_spec(1)
+            })
+            .unwrap();
+        let good = core.submit(tiny_spec(2)).unwrap();
+        let worker = {
+            let core = Arc::clone(&core);
+            std::thread::spawn(move || core.worker_loop())
+        };
+        core.drain();
+        worker.join().unwrap();
+        assert_eq!(core.status(bad), Some(JobState::Failed));
+        let err = core.result_lines(bad).unwrap_err();
+        assert!(err.contains("worker-panic"), "error was: {err}");
+        // The assert's own message must come through, not a fallback.
+        assert!(err.contains("ring needs at least 3"), "error was: {err}");
+        assert_eq!(core.status(good), Some(JobState::Done));
+        assert_eq!(core.stats.panicked(), 1);
+        assert_eq!(core.stats.failed(), 1);
+        assert_eq!(core.stats.completed(), 1);
+        assert!(core.stats_lines().iter().any(|l| l == "jobs_panicked 1"));
+    }
+
+    #[test]
+    fn metrics_text_renders_all_registries() {
+        let core = small_core(4);
+        core.submit(tiny_spec(3)).unwrap();
+        let worker = {
+            let core = Arc::clone(&core);
+            std::thread::spawn(move || core.worker_loop())
+        };
+        core.drain();
+        worker.join().unwrap();
+        let text = core.metrics_text();
+        // Per-core registry (job lifecycle).
+        assert!(text.contains("service_jobs_submitted_total 1"));
+        assert!(text.contains("service_jobs_completed_total 1"));
+        assert!(text.contains("service_job_run_ms_count 1"));
+        // Core-owned gauges and cache counters.
+        for name in [
+            "service_jobs_queued",
+            "service_jobs_running",
+            "service_cache_entries",
+            "service_cache_hits_total",
+            "service_cache_misses_total",
+            "service_cache_build_ms_total",
+            "service_cache_build_ms_last",
+            "service_topologies",
+        ] {
+            assert!(text.contains(name), "missing {name} in metrics text");
+        }
+        // Process-global registry: the job ran a distance build and a
+        // tabu search, so the kernel metrics appear too (enabled by the
+        // telemetry default).
+        assert!(text.contains("distance_builds_total"));
+        assert!(text.contains("tabu_restarts_total"));
     }
 }

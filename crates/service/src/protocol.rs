@@ -97,6 +97,8 @@ pub enum Request {
     },
     /// Service counters and histograms.
     Stats,
+    /// Prometheus-format dump of every metric registry in the process.
+    Metrics,
     /// Drain all accepted jobs, then stop the server.
     Shutdown,
     /// Close this connection.
@@ -222,6 +224,7 @@ pub fn parse_request(line: &str) -> Result<Request, String> {
         ["RESULT", id] => Ok(Request::Result { job: job_id(id)? }),
         ["CANCEL", id] => Ok(Request::Cancel { job: job_id(id)? }),
         ["STATS"] => Ok(Request::Stats),
+        ["METRICS"] => Ok(Request::Metrics),
         ["SHUTDOWN"] => Ok(Request::Shutdown),
         ["QUIT"] => Ok(Request::Quit),
         [verb, ..] => Err(format!("unknown request '{verb}'")),
@@ -237,6 +240,7 @@ mod tests {
     fn parses_simple_verbs() {
         assert_eq!(parse_request("PING"), Ok(Request::Ping));
         assert_eq!(parse_request("STATS"), Ok(Request::Stats));
+        assert_eq!(parse_request("METRICS"), Ok(Request::Metrics));
         assert_eq!(parse_request("SHUTDOWN"), Ok(Request::Shutdown));
         assert_eq!(parse_request("QUIT"), Ok(Request::Quit));
         assert_eq!(parse_request("STATUS 17"), Ok(Request::Status { job: 17 }));

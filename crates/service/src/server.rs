@@ -215,6 +215,13 @@ fn handle_connection(
                 }
                 respond(&mut writer, ".")?;
             }
+            Request::Metrics => {
+                respond(&mut writer, "OK metrics")?;
+                for l in core.metrics_text().lines() {
+                    respond(&mut writer, l)?;
+                }
+                respond(&mut writer, ".")?;
+            }
             Request::Shutdown => {
                 // Drain first so the acknowledgement means "all accepted
                 // jobs have finished", then stop the accept loop.

@@ -1,21 +1,30 @@
 //! Service-level counters and latency histograms.
+//!
+//! Since the telemetry subsystem landed, this is a *view* over a
+//! per-core [`Registry`]: every counter and histogram lives in the
+//! registry (so `METRICS` exposes it in Prometheus form) and the
+//! methods here are the service's typed handles onto those cells. Each
+//! [`ServiceStats`] owns a private registry, so concurrently running
+//! cores — the unit tests spin up several per process — never observe
+//! each other's counts.
 
-use commsched_stats::Histogram;
-use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::Mutex;
+use commsched_telemetry::{Counter, Histo, Registry};
 
 /// Counters and histograms accumulated over the daemon's lifetime,
-/// reported by the `STATS` request. All methods are thread-safe.
+/// reported by the `STATS` request and exposed by `METRICS`. All
+/// methods are thread-safe.
 pub struct ServiceStats {
-    submitted: AtomicU64,
-    completed: AtomicU64,
-    failed: AtomicU64,
-    cancelled: AtomicU64,
-    rejected: AtomicU64,
+    registry: Registry,
+    submitted: Counter,
+    completed: Counter,
+    failed: Counter,
+    cancelled: Counter,
+    rejected: Counter,
+    panicked: Counter,
     /// Time jobs spent queued before a worker picked them up.
-    queue_wait_ms: Mutex<Histogram>,
+    queue_wait_ms: Histo,
     /// Worker execution time.
-    run_ms: Mutex<Histogram>,
+    run_ms: Histo,
 }
 
 impl Default for ServiceStats {
@@ -25,72 +34,114 @@ impl Default for ServiceStats {
 }
 
 impl ServiceStats {
-    /// Fresh zeroed stats. The histograms span 0..60 s in 24 bins —
-    /// wide enough for sweep jobs, fine enough to read a p50 off.
+    /// Fresh zeroed stats backed by a private metric registry.
     pub fn new() -> Self {
+        let registry = Registry::new();
+        let submitted = registry.counter(
+            "service_jobs_submitted_total",
+            "Jobs accepted into the queue",
+        );
+        let completed =
+            registry.counter("service_jobs_completed_total", "Jobs finished successfully");
+        let failed = registry.counter("service_jobs_failed_total", "Jobs that ended in an error");
+        let cancelled = registry.counter(
+            "service_jobs_cancelled_total",
+            "Jobs cancelled while queued",
+        );
+        let rejected = registry.counter(
+            "service_jobs_rejected_total",
+            "Submissions bounced by backpressure or drain",
+        );
+        let panicked = registry.counter(
+            "service_jobs_panicked_total",
+            "Jobs whose worker panicked (caught; worker survived)",
+        );
+        let queue_wait_ms = registry.histogram(
+            "service_job_queue_wait_ms",
+            "Milliseconds jobs spent queued before a worker picked them up",
+        );
+        let run_ms = registry.histogram(
+            "service_job_run_ms",
+            "Milliseconds workers spent executing jobs",
+        );
         Self {
-            submitted: AtomicU64::new(0),
-            completed: AtomicU64::new(0),
-            failed: AtomicU64::new(0),
-            cancelled: AtomicU64::new(0),
-            rejected: AtomicU64::new(0),
-            queue_wait_ms: Mutex::new(Histogram::new(0.0, 60_000.0, 24)),
-            run_ms: Mutex::new(Histogram::new(0.0, 60_000.0, 24)),
+            registry,
+            submitted,
+            completed,
+            failed,
+            cancelled,
+            rejected,
+            panicked,
+            queue_wait_ms,
+            run_ms,
         }
+    }
+
+    /// The backing registry (for Prometheus exposition by `METRICS`).
+    pub fn registry(&self) -> &Registry {
+        &self.registry
     }
 
     /// Count an accepted submission.
     pub fn note_submitted(&self) {
-        self.submitted.fetch_add(1, Ordering::Relaxed);
+        self.submitted.inc();
     }
 
     /// Count a submission bounced by backpressure.
     pub fn note_rejected(&self) {
-        self.rejected.fetch_add(1, Ordering::Relaxed);
+        self.rejected.inc();
     }
 
     /// Count a cancelled queued job.
     pub fn note_cancelled(&self) {
-        self.cancelled.fetch_add(1, Ordering::Relaxed);
+        self.cancelled.inc();
+    }
+
+    /// Count a worker panic (the job is also recorded as failed via
+    /// [`ServiceStats::note_finished`]).
+    pub fn note_panicked(&self) {
+        self.panicked.inc();
     }
 
     /// Count a job finishing, with its queue-wait and run durations.
     pub fn note_finished(&self, ok: bool, queue_wait_ms: f64, run_ms: f64) {
         if ok {
-            self.completed.fetch_add(1, Ordering::Relaxed);
+            self.completed.inc();
         } else {
-            self.failed.fetch_add(1, Ordering::Relaxed);
+            self.failed.inc();
         }
-        self.queue_wait_ms
-            .lock()
-            .expect("stats lock")
-            .record(queue_wait_ms);
-        self.run_ms.lock().expect("stats lock").record(run_ms);
+        self.queue_wait_ms.record(queue_wait_ms.max(0.0) as u64);
+        self.run_ms.record(run_ms.max(0.0) as u64);
     }
 
     /// Jobs accepted into the queue so far.
     pub fn submitted(&self) -> u64 {
-        self.submitted.load(Ordering::Relaxed)
+        self.submitted.get()
     }
 
     /// Jobs finished successfully.
     pub fn completed(&self) -> u64 {
-        self.completed.load(Ordering::Relaxed)
+        self.completed.get()
     }
 
     /// Jobs that ended in an error.
     pub fn failed(&self) -> u64 {
-        self.failed.load(Ordering::Relaxed)
+        self.failed.get()
     }
 
     /// Jobs cancelled while queued.
     pub fn cancelled(&self) -> u64 {
-        self.cancelled.load(Ordering::Relaxed)
+        self.cancelled.get()
     }
 
     /// Submissions rejected because the queue was full.
     pub fn rejected(&self) -> u64 {
-        self.rejected.load(Ordering::Relaxed)
+        self.rejected.get()
+    }
+
+    /// Jobs whose worker panicked (caught and reported as failed).
+    pub fn panicked(&self) -> u64 {
+        self.panicked.get()
     }
 
     /// `key value` lines for the `STATS` response (the caller appends
@@ -102,10 +153,12 @@ impl ServiceStats {
             format!("jobs_failed {}", self.failed()),
             format!("jobs_cancelled {}", self.cancelled()),
             format!("jobs_rejected {}", self.rejected()),
+            format!("jobs_panicked {}", self.panicked()),
         ];
-        let wait = self.queue_wait_ms.lock().expect("stats lock");
-        let run = self.run_ms.lock().expect("stats lock");
-        for (name, hist) in [("queue_wait_ms", &*wait), ("run_ms", &*run)] {
+        for (name, hist) in [
+            ("queue_wait_ms", &self.queue_wait_ms),
+            ("run_ms", &self.run_ms),
+        ] {
             out.push(format!("{name}_count {}", hist.count()));
             for q in [0.5, 0.9] {
                 let tag = (q * 100.0) as u32;
@@ -132,11 +185,13 @@ mod tests {
         s.note_cancelled();
         s.note_finished(true, 5.0, 120.0);
         s.note_finished(false, 1.0, 3.0);
+        s.note_panicked();
         assert_eq!(s.submitted(), 2);
         assert_eq!(s.rejected(), 1);
         assert_eq!(s.cancelled(), 1);
         assert_eq!(s.completed(), 1);
         assert_eq!(s.failed(), 1);
+        assert_eq!(s.panicked(), 1);
     }
 
     #[test]
@@ -151,11 +206,44 @@ mod tests {
             "jobs_failed",
             "jobs_cancelled",
             "jobs_rejected",
+            "jobs_panicked",
             "queue_wait_ms_count",
             "queue_wait_ms_p50",
             "run_ms_p90",
         ] {
             assert!(joined.contains(key), "missing {key} in {joined}");
         }
+    }
+
+    #[test]
+    fn registry_exposes_the_same_counts() {
+        let s = ServiceStats::new();
+        s.note_submitted();
+        s.note_finished(true, 12.0, 34.0);
+        let text = s.registry().render_prometheus();
+        assert!(text.contains("service_jobs_submitted_total 1"));
+        assert!(text.contains("service_jobs_completed_total 1"));
+        assert!(text.contains("service_job_run_ms_count 1"));
+        // A second core's stats are isolated.
+        let other = ServiceStats::new();
+        assert_eq!(other.submitted(), 0);
+    }
+
+    #[test]
+    fn quantiles_are_log_bucket_approximations() {
+        let s = ServiceStats::new();
+        for _ in 0..10 {
+            s.note_finished(true, 100.0, 1000.0);
+        }
+        let joined = s.report_lines().join("\n");
+        // All samples equal: p50 and p90 are the same bucket midpoint,
+        // within the layout's relative-error bound of the true value.
+        let p50: f64 = joined
+            .lines()
+            .find_map(|l| l.strip_prefix("run_ms_p50 "))
+            .unwrap()
+            .parse()
+            .unwrap();
+        assert!((p50 - 1000.0).abs() / 1000.0 < 0.2, "p50 = {p50}");
     }
 }

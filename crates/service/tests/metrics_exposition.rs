@@ -1,0 +1,96 @@
+//! End-to-end METRICS test: run jobs through a live daemon, scrape the
+//! Prometheus dump over the wire, and check it against the `STATS` view
+//! of the same core — the two must be consistent because they read the
+//! same registry.
+
+use commsched_service::{Client, Server, ServerConfig, ServiceCoreConfig};
+use std::collections::HashMap;
+use std::time::Duration;
+
+/// Parse plain `name value` samples (skipping `#` comments and labelled
+/// series like `_bucket{le="…"}`).
+fn parse_samples(lines: &[String]) -> HashMap<String, f64> {
+    lines
+        .iter()
+        .filter(|l| !l.starts_with('#'))
+        .filter_map(|l| {
+            let (name, value) = l.split_once(' ')?;
+            if name.contains('{') {
+                return None;
+            }
+            Some((name.to_string(), value.parse().ok()?))
+        })
+        .collect()
+}
+
+#[test]
+fn metrics_agree_with_stats_after_jobs_run() {
+    let handle = Server::bind(
+        "127.0.0.1:0",
+        ServerConfig {
+            workers: 2,
+            core: ServiceCoreConfig {
+                queue_capacity: 16,
+                cache_capacity: 4,
+                search_seeds: 2,
+                search_threads: 1,
+                table_threads: 1,
+            },
+        },
+    )
+    .expect("bind ephemeral port");
+    let mut client = Client::connect(handle.addr()).expect("connect");
+
+    // Three jobs on two distinct topologies: one build per topology, one
+    // cache hit for the repeat.
+    for (topo, seed) in [("ring:6:2", 1), ("ring:6:2", 2), ("paper24", 1)] {
+        let job = client
+            .submit_raw(&format!("SCHEDULE topo={topo} clusters=2 seed={seed}"))
+            .expect("submit");
+        let state = client.wait(job, Duration::from_millis(20)).expect("wait");
+        assert_eq!(state, "done", "job on {topo} ended {state}");
+    }
+
+    let stats: HashMap<String, String> = client.stats().expect("stats").into_iter().collect();
+    let metrics_lines = client.metrics().expect("metrics");
+    let samples = parse_samples(&metrics_lines);
+    let text = metrics_lines.join("\n");
+
+    // Job latency histograms are live: three runs were recorded.
+    assert_eq!(samples["service_job_run_ms_count"], 3.0);
+    assert_eq!(samples["service_job_queue_wait_ms_count"], 3.0);
+    assert!(
+        text.contains("service_job_run_ms_bucket{le=\"+Inf\"} 3"),
+        "missing +Inf bucket in:\n{text}"
+    );
+
+    // Every counter STATS reports must match its METRICS twin exactly —
+    // same registry, same moment (no jobs running between the reads).
+    for (stat_key, metric_name) in [
+        ("jobs_submitted", "service_jobs_submitted_total"),
+        ("jobs_completed", "service_jobs_completed_total"),
+        ("jobs_failed", "service_jobs_failed_total"),
+        ("jobs_panicked", "service_jobs_panicked_total"),
+        ("cache_hits", "service_cache_hits_total"),
+        ("cache_misses", "service_cache_misses_total"),
+        ("cache_entries", "service_cache_entries"),
+        ("topologies", "service_topologies"),
+    ] {
+        let from_stats: f64 = stats[stat_key].parse().expect("numeric stat");
+        assert_eq!(
+            samples[metric_name], from_stats,
+            "{metric_name} disagrees with STATS {stat_key}"
+        );
+    }
+    assert_eq!(samples["service_cache_misses_total"], 2.0);
+    assert_eq!(samples["service_cache_hits_total"], 1.0);
+
+    // The process-global registry rode along: the jobs ran distance
+    // builds and tabu searches in this process.
+    assert!(samples["distance_builds_total"] >= 2.0);
+    assert!(samples["tabu_restarts_total"] >= 1.0);
+    assert!(samples["distance_build_ms_count"] >= 2.0);
+
+    client.shutdown().expect("shutdown");
+    handle.join();
+}

@@ -78,6 +78,35 @@ impl Histogram {
             .map(move |(i, &c)| (self.lo + w * i as f64, self.lo + w * (i + 1) as f64, c))
     }
 
+    /// Fold another histogram's counts into this one.
+    ///
+    /// Both histograms must have been built over the same `[lo, hi)`
+    /// range with the same bin count — merging is then a plain per-bin
+    /// sum, which makes it exact: merging shards recorded on different
+    /// threads (the telemetry registry's use) yields the histogram a
+    /// single recorder would have produced.
+    ///
+    /// # Panics
+    /// Panics if the ranges or bin counts differ.
+    pub fn merge(&mut self, other: &Histogram) {
+        assert!(
+            self.lo == other.lo && self.hi == other.hi && self.bins.len() == other.bins.len(),
+            "cannot merge histograms over different ranges: [{}, {}) x {} vs [{}, {}) x {}",
+            self.lo,
+            self.hi,
+            self.bins.len(),
+            other.lo,
+            other.hi,
+            other.bins.len()
+        );
+        for (mine, theirs) in self.bins.iter_mut().zip(&other.bins) {
+            *mine += theirs;
+        }
+        self.underflow += other.underflow;
+        self.overflow += other.overflow;
+        self.count += other.count;
+    }
+
     /// Approximate quantile from bin midpoints; `None` if no in-range sample.
     pub fn approx_quantile(&self, q: f64) -> Option<f64> {
         let in_range: u64 = self.bins.iter().sum();
@@ -94,6 +123,100 @@ impl Histogram {
             }
         }
         None
+    }
+}
+
+/// Log-bucketed layout over the non-negative integers: bucket 0 holds
+/// the value 0, then each power-of-two octave is split into
+/// `subs_per_octave` linear sub-buckets (HDR-histogram style, constant
+/// relative error). This is pure index/edge arithmetic, shared between
+/// this crate and the atomic histograms in `commsched-telemetry`: the
+/// telemetry registry records into atomically incremented buckets laid
+/// out by this struct, so its exposition and quantile math stay in one
+/// tested place.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct LogBuckets {
+    subs: u64,
+}
+
+impl LogBuckets {
+    /// A layout with `subs_per_octave` linear sub-buckets per power of
+    /// two. More sub-buckets trade memory for quantile resolution; 4
+    /// bounds the relative error of a bucket midpoint by ~12.5 %.
+    ///
+    /// # Panics
+    /// Panics if `subs_per_octave == 0`.
+    pub fn new(subs_per_octave: u32) -> Self {
+        assert!(subs_per_octave > 0, "need at least one sub-bucket");
+        Self {
+            subs: u64::from(subs_per_octave),
+        }
+    }
+
+    /// Total number of buckets (the zero bucket plus 64 octaves).
+    #[allow(clippy::len_without_is_empty)] // a layout is never empty
+    pub fn len(&self) -> usize {
+        1 + 64 * self.subs as usize
+    }
+
+    /// Bucket index of `value`. Total, monotone, and branch-light: the
+    /// hot path of every telemetry histogram record.
+    pub fn index(&self, value: u64) -> usize {
+        if value == 0 {
+            return 0;
+        }
+        let octave = u64::from(value.ilog2());
+        let base = 1u64 << octave;
+        // Offset within the octave in sub-bucket units. Octaves narrower
+        // than `subs` use unit-wide sub-buckets; their trailing
+        // sub-buckets simply stay unused.
+        let within = (value - base) / (base / self.subs).max(1);
+        (1 + octave * self.subs + within.min(self.subs - 1)) as usize
+    }
+
+    /// Inclusive lower edge of bucket `idx` (0 for the zero bucket).
+    /// Edges are monotone non-decreasing; sub-buckets that [`Self::index`]
+    /// can never produce (in octaves narrower than `subs`) collapse onto
+    /// the next octave's base.
+    pub fn lower_edge(&self, idx: usize) -> u64 {
+        if idx == 0 {
+            return 0;
+        }
+        let octave = (idx as u64 - 1) / self.subs;
+        let within = (idx as u64 - 1) % self.subs;
+        if octave >= 63 {
+            // The top octave cannot spell 2 * base; saturate carefully.
+            let base = 1u64 << 63;
+            return base.saturating_add(within.saturating_mul(base / self.subs));
+        }
+        let base = 1u64 << octave;
+        (base + within * (base / self.subs).max(1)).min(2 * base)
+    }
+
+    /// Exclusive upper edge of bucket `idx` (`u64::MAX` for the last).
+    pub fn upper_edge(&self, idx: usize) -> u64 {
+        if idx + 1 >= self.len() {
+            return u64::MAX;
+        }
+        // Skip degenerate same-edge buckets in the narrow octaves so the
+        // interval is never empty.
+        let lo = self.lower_edge(idx);
+        let mut next = idx + 1;
+        while next + 1 < self.len() && self.lower_edge(next) <= lo {
+            next += 1;
+        }
+        self.lower_edge(next).max(lo + 1)
+    }
+
+    /// Representative value of bucket `idx` (midpoint of its interval),
+    /// used for approximate quantiles over recorded bucket counts.
+    pub fn midpoint(&self, idx: usize) -> f64 {
+        let lo = self.lower_edge(idx);
+        if idx + 1 >= self.len() {
+            return lo as f64;
+        }
+        let hi = self.upper_edge(idx);
+        (lo as f64 + hi as f64) / 2.0
     }
 }
 
@@ -150,5 +273,114 @@ mod tests {
     #[should_panic(expected = "at least one bin")]
     fn zero_bins_panics() {
         let _ = Histogram::new(0.0, 1.0, 0);
+    }
+
+    #[test]
+    fn empty_histogram_edge_cases() {
+        let h = Histogram::new(0.0, 10.0, 5);
+        assert_eq!(h.count(), 0);
+        assert_eq!(h.underflow(), 0);
+        assert_eq!(h.overflow(), 0);
+        assert_eq!(h.approx_quantile(0.0), None);
+        assert_eq!(h.approx_quantile(0.5), None);
+        assert_eq!(h.approx_quantile(1.0), None);
+        assert!(h.bins().iter().all(|&c| c == 0));
+        // Merging two empty histograms is still empty.
+        let mut a = Histogram::new(0.0, 10.0, 5);
+        a.merge(&h);
+        assert_eq!(a.count(), 0);
+        assert_eq!(a.approx_quantile(0.5), None);
+    }
+
+    #[test]
+    fn single_sample_quantiles_all_agree() {
+        let mut h = Histogram::new(0.0, 10.0, 10);
+        h.record(7.2);
+        assert_eq!(h.count(), 1);
+        // Every quantile of a one-sample distribution is that sample's
+        // bin midpoint.
+        for q in [0.0, 0.01, 0.5, 0.99, 1.0] {
+            assert_eq!(h.approx_quantile(q), Some(7.5), "q = {q}");
+        }
+    }
+
+    #[test]
+    fn merge_of_disjoint_ranges_is_exact() {
+        // Two shards whose samples landed in disjoint bin ranges: the
+        // merge must equal the histogram a single recorder would build.
+        let mut low = Histogram::new(0.0, 100.0, 10);
+        let mut high = Histogram::new(0.0, 100.0, 10);
+        for x in [1.0, 5.0, 9.0, -3.0] {
+            low.record(x); // bin 0 plus one underflow
+        }
+        for x in [91.0, 95.0, 99.0, 250.0] {
+            high.record(x); // bin 9 plus one overflow
+        }
+        let mut merged = Histogram::new(0.0, 100.0, 10);
+        merged.merge(&low);
+        merged.merge(&high);
+        let mut single = Histogram::new(0.0, 100.0, 10);
+        for x in [1.0, 5.0, 9.0, -3.0, 91.0, 95.0, 99.0, 250.0] {
+            single.record(x);
+        }
+        assert_eq!(merged.count(), single.count());
+        assert_eq!(merged.underflow(), single.underflow());
+        assert_eq!(merged.overflow(), single.overflow());
+        assert_eq!(merged.bins(), single.bins());
+        // The middle bins stayed empty; quantiles straddle the gap.
+        assert_eq!(merged.approx_quantile(0.25), Some(5.0));
+        assert_eq!(merged.approx_quantile(0.75), Some(95.0));
+    }
+
+    #[test]
+    #[should_panic(expected = "different ranges")]
+    fn merge_rejects_mismatched_shapes() {
+        let mut a = Histogram::new(0.0, 10.0, 5);
+        let b = Histogram::new(0.0, 20.0, 5);
+        a.merge(&b);
+    }
+
+    #[test]
+    fn log_buckets_zero_and_ones() {
+        let lb = LogBuckets::new(4);
+        assert_eq!(lb.index(0), 0);
+        assert_eq!(lb.lower_edge(0), 0);
+        assert_eq!(lb.index(1), 1);
+        assert_eq!(lb.lower_edge(1), 1);
+        assert_eq!(lb.len(), 1 + 64 * 4);
+    }
+
+    #[test]
+    fn log_buckets_index_is_monotone_and_consistent_with_edges() {
+        let lb = LogBuckets::new(4);
+        let mut prev_idx = 0;
+        for v in (0u64..2048).chain([1 << 20, (1 << 20) + 3, u64::MAX / 2, u64::MAX]) {
+            let idx = lb.index(v);
+            assert!(idx >= prev_idx, "index not monotone at {v}");
+            prev_idx = idx;
+            assert!(idx < lb.len());
+            // The value lies inside its bucket's interval.
+            assert!(lb.lower_edge(idx) <= v, "lower edge above {v}");
+            assert!(v < lb.upper_edge(idx) || lb.upper_edge(idx) == u64::MAX);
+        }
+        // Edges never decrease.
+        for idx in 1..lb.len() {
+            assert!(
+                lb.lower_edge(idx) >= lb.lower_edge(idx - 1),
+                "edge dropped at {idx}"
+            );
+        }
+    }
+
+    #[test]
+    fn log_buckets_relative_error_is_bounded() {
+        let lb = LogBuckets::new(4);
+        // Midpoint error bounded by half a sub-bucket: 12.5 % of value
+        // for subs_per_octave = 4 (checked loosely at 20 %).
+        for v in [16u64, 100, 1000, 65_536, 1_000_000] {
+            let mid = lb.midpoint(lb.index(v));
+            let rel = (mid - v as f64).abs() / v as f64;
+            assert!(rel < 0.2, "relative error {rel} at {v}");
+        }
     }
 }

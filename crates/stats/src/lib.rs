@@ -20,7 +20,7 @@ pub mod series;
 
 pub use correlation::{kendall_tau, pearson, spearman};
 pub use descriptive::{geometric_mean, max, mean, median, min, percentile, stddev, variance};
-pub use histogram::Histogram;
+pub use histogram::{Histogram, LogBuckets};
 pub use regression::{linear_fit, LinearFit};
 pub use series::{normalize, saturation_point, Curve, CurvePoint};
 

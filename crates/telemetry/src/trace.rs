@@ -1,0 +1,325 @@
+//! Span/event tracing into per-thread ring buffers.
+//!
+//! Tracing is process-global and **off by default**; a disarmed
+//! [`Span::enter`] or [`instant`] costs one relaxed atomic load. When
+//! armed (via [`set_tracing`]), events go into a bounded ring buffer
+//! owned by the recording thread — no cross-thread contention on the
+//! hot path; the ring's mutex is only ever contended by [`drain`].
+//! Rings are registered globally on first use so a drain sees every
+//! thread's events, including threads that have already exited.
+//!
+//! [`export_jsonl`] writes drained events as JSON lines (one object per
+//! event), the format consumed by `commsched schedule --trace-out`.
+
+use std::collections::VecDeque;
+use std::io::{self, Write};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, OnceLock};
+use std::time::Instant;
+
+/// Capacity of each per-thread ring. Oldest events are dropped (and
+/// counted) once a thread exceeds this between drains.
+const RING_CAP: usize = 65_536;
+
+static TRACING: AtomicBool = AtomicBool::new(false);
+
+/// Turn tracing on or off process-wide. Turning it off leaves already
+/// buffered events in place for a final [`drain`].
+pub fn set_tracing(on: bool) {
+    TRACING.store(on, Ordering::Relaxed);
+}
+
+/// Whether tracing is currently armed.
+#[inline]
+pub fn tracing_enabled() -> bool {
+    TRACING.load(Ordering::Relaxed)
+}
+
+fn epoch() -> Instant {
+    static EPOCH: OnceLock<Instant> = OnceLock::new();
+    *EPOCH.get_or_init(Instant::now)
+}
+
+fn now_nanos() -> u64 {
+    epoch().elapsed().as_nanos() as u64
+}
+
+/// What a [`TraceEvent`] marks.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TracePhase {
+    /// A span opened.
+    Begin,
+    /// A span closed.
+    End,
+    /// A point event with no duration.
+    Instant,
+}
+
+impl TracePhase {
+    fn as_str(self) -> &'static str {
+        match self {
+            TracePhase::Begin => "B",
+            TracePhase::End => "E",
+            TracePhase::Instant => "I",
+        }
+    }
+}
+
+/// One buffered trace event.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TraceEvent {
+    /// Nanoseconds since the process trace epoch (first trace use).
+    pub ts_nanos: u64,
+    /// Recording thread (small dense id assigned at first trace use).
+    pub thread: u64,
+    /// Static event name, e.g. `"distance.build"`.
+    pub name: &'static str,
+    /// Begin / End / Instant.
+    pub phase: TracePhase,
+    /// Optional payload (an iteration's objective value, a count, …).
+    pub value: Option<f64>,
+}
+
+struct Ring {
+    buf: VecDeque<TraceEvent>,
+    dropped: u64,
+}
+
+fn rings() -> &'static Mutex<Vec<Arc<Mutex<Ring>>>> {
+    static RINGS: OnceLock<Mutex<Vec<Arc<Mutex<Ring>>>>> = OnceLock::new();
+    RINGS.get_or_init(|| Mutex::new(Vec::new()))
+}
+
+thread_local! {
+    static LOCAL: (u64, Arc<Mutex<Ring>>) = {
+        static NEXT_THREAD: AtomicU64 = AtomicU64::new(0);
+        let ring = Arc::new(Mutex::new(Ring {
+            buf: VecDeque::new(),
+            dropped: 0,
+        }));
+        rings().lock().expect("trace ring registry lock").push(Arc::clone(&ring));
+        (NEXT_THREAD.fetch_add(1, Ordering::Relaxed), ring)
+    };
+}
+
+fn push(name: &'static str, phase: TracePhase, value: Option<f64>) {
+    let ts_nanos = now_nanos();
+    LOCAL.with(|(thread, ring)| {
+        let mut ring = ring.lock().expect("trace ring lock");
+        if ring.buf.len() >= RING_CAP {
+            ring.buf.pop_front();
+            ring.dropped += 1;
+        }
+        ring.buf.push_back(TraceEvent {
+            ts_nanos,
+            thread: *thread,
+            name,
+            phase,
+            value,
+        });
+    });
+}
+
+/// Record a point event, optionally carrying a value. No-op (one
+/// relaxed load) unless tracing is armed.
+#[inline]
+pub fn instant(name: &'static str, value: Option<f64>) {
+    if !tracing_enabled() {
+        return;
+    }
+    push(name, TracePhase::Instant, value);
+}
+
+/// An RAII span: emits a Begin event on [`Span::enter`] and the matching
+/// End event when dropped. If tracing was off at enter time the span is
+/// disarmed and its drop emits nothing, so a span can never produce an
+/// unmatched End.
+pub struct Span {
+    name: &'static str,
+    armed: bool,
+}
+
+impl Span {
+    /// Open a span named `name`. One relaxed load when tracing is off.
+    #[inline]
+    pub fn enter(name: &'static str) -> Self {
+        let armed = tracing_enabled();
+        if armed {
+            push(name, TracePhase::Begin, None);
+        }
+        Self { name, armed }
+    }
+}
+
+impl Drop for Span {
+    fn drop(&mut self) {
+        if self.armed {
+            push(self.name, TracePhase::End, None);
+        }
+    }
+}
+
+/// Take every buffered event from every thread's ring, sorted by
+/// timestamp. Returns the events and the number of events dropped to
+/// ring overflow since the previous drain.
+pub fn drain() -> (Vec<TraceEvent>, u64) {
+    let rings = rings().lock().expect("trace ring registry lock");
+    let mut events = Vec::new();
+    let mut dropped = 0;
+    for ring in rings.iter() {
+        let mut ring = ring.lock().expect("trace ring lock");
+        events.extend(ring.buf.drain(..));
+        dropped += ring.dropped;
+        ring.dropped = 0;
+    }
+    drop(rings);
+    events.sort_by_key(|e| e.ts_nanos);
+    (events, dropped)
+}
+
+fn escape_json(s: &str, out: &mut String) {
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            c if (c as u32) < 0x20 => {
+                out.push_str(&format!("\\u{:04x}", c as u32));
+            }
+            c => out.push(c),
+        }
+    }
+}
+
+/// Serialize events as JSON lines: one object per event with keys
+/// `ts_us` (microseconds since trace epoch, fractional), `tid`, `name`,
+/// `ph` (`"B"`/`"E"`/`"I"`), and `value` when present.
+pub fn export_jsonl<W: Write>(events: &[TraceEvent], mut w: W) -> io::Result<()> {
+    let mut line = String::new();
+    for e in events {
+        line.clear();
+        line.push_str("{\"ts_us\":");
+        line.push_str(&format!("{:.3}", e.ts_nanos as f64 / 1000.0));
+        line.push_str(",\"tid\":");
+        line.push_str(&e.thread.to_string());
+        line.push_str(",\"name\":\"");
+        escape_json(e.name, &mut line);
+        line.push_str("\",\"ph\":\"");
+        line.push_str(e.phase.as_str());
+        line.push('"');
+        if let Some(v) = e.value {
+            line.push_str(",\"value\":");
+            if v.is_finite() {
+                line.push_str(&format!("{v}"));
+            } else {
+                line.push_str("null");
+            }
+        }
+        line.push_str("}\n");
+        w.write_all(line.as_bytes())?;
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    // Tracing state is process-global, so exercise everything in one
+    // test to avoid cross-test races under the parallel test runner.
+    #[test]
+    fn spans_events_drain_and_export() {
+        assert!(!tracing_enabled(), "tracing must default to off");
+
+        // Disarmed: nothing is buffered.
+        {
+            let _s = Span::enter("off.span");
+            instant("off.event", Some(1.0));
+        }
+        let (events, _) = drain();
+        assert!(
+            events.iter().all(|e| !e.name.starts_with("off.")),
+            "disarmed events leaked into the ring"
+        );
+
+        set_tracing(true);
+        {
+            let _s = Span::enter("test.outer");
+            instant("test.point", Some(42.5));
+            std::thread::scope(|s| {
+                s.spawn(|| {
+                    let _inner = Span::enter("test.worker");
+                    instant("test.worker.point", None);
+                });
+            });
+        }
+        set_tracing(false);
+
+        let (events, dropped) = drain();
+        assert_eq!(dropped, 0);
+        let ours: Vec<_> = events
+            .iter()
+            .filter(|e| e.name.starts_with("test."))
+            .collect();
+        // outer B/E, point I, worker B/E, worker point I.
+        assert_eq!(ours.len(), 6, "events: {ours:?}");
+        let outer_begin = ours
+            .iter()
+            .position(|e| e.name == "test.outer" && e.phase == TracePhase::Begin)
+            .expect("outer begin");
+        let outer_end = ours
+            .iter()
+            .position(|e| e.name == "test.outer" && e.phase == TracePhase::End)
+            .expect("outer end");
+        assert!(outer_begin < outer_end, "span events out of order");
+        let point = ours
+            .iter()
+            .find(|e| e.name == "test.point")
+            .expect("instant event");
+        assert_eq!(point.phase, TracePhase::Instant);
+        assert_eq!(point.value, Some(42.5));
+        // The worker thread recorded under a different thread id.
+        let main_tid = point.thread;
+        let worker = ours
+            .iter()
+            .find(|e| e.name == "test.worker.point")
+            .expect("worker event");
+        assert_ne!(worker.thread, main_tid);
+        // Timestamps are sorted after drain.
+        assert!(events.windows(2).all(|w| w[0].ts_nanos <= w[1].ts_nanos));
+
+        // A second drain is empty (single-consumer semantics).
+        let (again, _) = drain();
+        assert!(again.iter().all(|e| !e.name.starts_with("test.")));
+
+        // JSONL export round-trips the shape we claim.
+        let evs = [
+            TraceEvent {
+                ts_nanos: 1500,
+                thread: 0,
+                name: "x\"y",
+                phase: TracePhase::Begin,
+                value: None,
+            },
+            TraceEvent {
+                ts_nanos: 2500,
+                thread: 1,
+                name: "z",
+                phase: TracePhase::Instant,
+                value: Some(3.5),
+            },
+        ];
+        let mut buf = Vec::new();
+        export_jsonl(&evs, &mut buf).unwrap();
+        let text = String::from_utf8(buf).unwrap();
+        let lines: Vec<_> = text.lines().collect();
+        assert_eq!(lines.len(), 2);
+        assert_eq!(
+            lines[0],
+            "{\"ts_us\":1.500,\"tid\":0,\"name\":\"x\\\"y\",\"ph\":\"B\"}"
+        );
+        assert_eq!(
+            lines[1],
+            "{\"ts_us\":2.500,\"tid\":1,\"name\":\"z\",\"ph\":\"I\",\"value\":3.5}"
+        );
+    }
+}

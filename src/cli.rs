@@ -8,12 +8,14 @@
 //! * `sweep`     — the paper's S1..S9 load sweep for a mapping;
 //! * `serve`     — run the long-running scheduling daemon;
 //! * `submit`    — enqueue a job on a daemon and print its id;
-//! * `status`    — poll a daemon job's state.
+//! * `status`    — poll a daemon job's state;
+//! * `metrics`   — dump a daemon's Prometheus-format metrics.
 //!
 //! `schedule` and `sweep` accept `--server host:port` to route through a
 //! running daemon (and its distance-table cache) instead of solving
-//! locally. Parsing is hand-rolled (`--flag value` pairs) and separated
-//! from execution so both halves are unit-testable.
+//! locally, and `--trace-out file.jsonl` to record a kernel-level span
+//! trace of a local run. Parsing is hand-rolled (`--flag value` pairs)
+//! and separated from execution so both halves are unit-testable.
 
 use crate::{RoutingKind, Scheduler};
 use commsched_core::{weighted_similarity_fg, Workload};
@@ -58,6 +60,8 @@ pub enum Command {
         weights: Option<Vec<f64>>,
         /// Route through a running daemon instead of solving locally.
         server: Option<String>,
+        /// Write a JSONL span trace of the local run to this path.
+        trace_out: Option<String>,
     },
     /// Run one simulation at a fixed rate.
     Simulate {
@@ -86,6 +90,8 @@ pub enum Command {
         seed: u64,
         /// Route through a running daemon instead of solving locally.
         server: Option<String>,
+        /// Write a JSONL span trace of the local run to this path.
+        trace_out: Option<String>,
     },
     /// Run the scheduling daemon until a client sends `SHUTDOWN`.
     Serve {
@@ -119,6 +125,11 @@ pub enum Command {
         server: String,
         /// Job id.
         job: u64,
+    },
+    /// Dump a daemon's metrics in Prometheus text format.
+    Metrics {
+        /// Daemon address.
+        server: String,
     },
 }
 
@@ -216,15 +227,17 @@ USAGE:
                      [--input FILE] [--save FILE]
   commsched schedule <topology flags> [--clusters M] [--seed S]
                      [--weights w1,w2,...] [--server HOST:PORT]
+                     [--trace-out FILE.jsonl]
   commsched simulate <topology flags> [--clusters M] [--seed S] [--rate R]
                      [--compare-random] [--vcs V] [--adaptive]
   commsched sweep    <topology flags> [--clusters M] [--seed S]
-                     [--server HOST:PORT]
+                     [--server HOST:PORT] [--trace-out FILE.jsonl]
   commsched serve    [--addr HOST:PORT] [--workers N] [--queue-cap N]
                      [--cache-cap N]
   commsched submit   --server HOST:PORT [--type schedule|sweep]
                      <topology flags> [--clusters M] [--seed S] [--points P]
   commsched status   --server HOST:PORT --job ID
+  commsched metrics  --server HOST:PORT
   commsched help
 
 DEFAULTS: --kind random --switches 16 --degree 3 --hosts 4 --topo-seed 2000
@@ -296,6 +309,7 @@ pub fn parse(args: &[String]) -> Result<Command, String> {
     let clusters: usize = get("clusters", "4").parse().map_err(|_| "bad --clusters")?;
     let seed: u64 = get("seed", "42").parse().map_err(|_| "bad --seed")?;
     let server = flags.get("server").cloned();
+    let trace_out = flags.get("trace-out").cloned();
     match sub.as_str() {
         "help" | "--help" | "-h" => Ok(Command::Help),
         "topology" => Ok(Command::Topology {
@@ -315,6 +329,7 @@ pub fn parse(args: &[String]) -> Result<Command, String> {
                 ),
             },
             server,
+            trace_out,
         }),
         "simulate" => Ok(Command::Simulate {
             topology: parse_topology(&flags)?,
@@ -330,6 +345,7 @@ pub fn parse(args: &[String]) -> Result<Command, String> {
             clusters,
             seed,
             server,
+            trace_out,
         }),
         "serve" => Ok(Command::Serve {
             addr: get("addr", "127.0.0.1:7477"),
@@ -358,6 +374,9 @@ pub fn parse(args: &[String]) -> Result<Command, String> {
             job: get("job", "")
                 .parse()
                 .map_err(|_| "status needs --job <id>")?,
+        }),
+        "metrics" => Ok(Command::Metrics {
+            server: server.ok_or("metrics needs --server <host:port>")?,
         }),
         other => Err(format!("unknown subcommand '{other}'")),
     }
@@ -398,6 +417,35 @@ fn run_remote_job(
 /// # Errors
 /// Propagates construction/scheduling/simulation failures as strings.
 pub fn run(cmd: &Command) -> Result<String, String> {
+    let trace_out = match cmd {
+        Command::Schedule { trace_out, .. } | Command::Sweep { trace_out, .. } => trace_out.clone(),
+        _ => None,
+    };
+    let Some(path) = trace_out else {
+        return run_inner(cmd);
+    };
+    // Arm tracing only around this invocation; drain whatever the solver
+    // kernels recorded (distance builds, tabu search, netsim cycles) and
+    // write it as JSON lines, one event per line.
+    commsched_telemetry::set_tracing(true);
+    let result = run_inner(cmd);
+    commsched_telemetry::set_tracing(false);
+    let (events, dropped) = commsched_telemetry::trace::drain();
+    let mut result = result?;
+    let file = std::fs::File::create(&path)
+        .map_err(|e| format!("cannot create trace file '{path}': {e}"))?;
+    commsched_telemetry::trace::export_jsonl(&events, std::io::BufWriter::new(file))
+        .map_err(|e| format!("cannot write trace file '{path}': {e}"))?;
+    writeln!(
+        result,
+        "trace: {} events written to {path} ({dropped} dropped)",
+        events.len()
+    )
+    .expect("write to string");
+    Ok(result)
+}
+
+fn run_inner(cmd: &Command) -> Result<String, String> {
     let mut out = String::new();
     match cmd {
         Command::Help => out.push_str(USAGE),
@@ -427,6 +475,7 @@ pub fn run(cmd: &Command) -> Result<String, String> {
             seed,
             weights,
             server,
+            trace_out: _,
         } => {
             if let Some(server) = server {
                 if weights.is_some() {
@@ -529,6 +578,7 @@ pub fn run(cmd: &Command) -> Result<String, String> {
             clusters,
             seed,
             server,
+            trace_out: _,
         } => {
             if let Some(server) = server {
                 let lines = run_remote_job(
@@ -620,6 +670,13 @@ pub fn run(cmd: &Command) -> Result<String, String> {
             let state = client.status(*job).map_err(|e| e.to_string())?;
             writeln!(out, "job {job}: {state}").expect("write to string");
         }
+        Command::Metrics { server } => {
+            let mut client = Client::connect(server.as_str())
+                .map_err(|e| format!("cannot reach server '{server}': {e}"))?;
+            for l in client.metrics().map_err(|e| e.to_string())? {
+                writeln!(out, "{l}").expect("write to string");
+            }
+        }
     }
     Ok(out)
 }
@@ -668,12 +725,14 @@ mod tests {
                 seed,
                 weights,
                 server,
+                trace_out,
             } => {
                 assert_eq!(topology, TopologySpec::Paper24);
                 assert_eq!(clusters, 4);
                 assert_eq!(seed, 7);
                 assert_eq!(weights, Some(vec![10.0, 1.0, 1.0, 1.0]));
                 assert_eq!(server, None);
+                assert_eq!(trace_out, None);
             }
             other => panic!("wrong parse: {other:?}"),
         }
@@ -716,6 +775,19 @@ mod tests {
             Command::Schedule { server, .. } => assert_eq!(server, Some("h:1".into())),
             other => panic!("wrong parse: {other:?}"),
         }
+        assert_eq!(
+            parse(&argv("metrics --server localhost:7477")).unwrap(),
+            Command::Metrics {
+                server: "localhost:7477".into(),
+            }
+        );
+        // Schedule/sweep pick up --trace-out.
+        match parse(&argv("sweep --kind paper24 --trace-out /tmp/t.jsonl")).unwrap() {
+            Command::Sweep { trace_out, .. } => {
+                assert_eq!(trace_out, Some("/tmp/t.jsonl".into()));
+            }
+            other => panic!("wrong parse: {other:?}"),
+        }
     }
 
     #[test]
@@ -723,6 +795,7 @@ mod tests {
         assert!(parse(&argv("submit --kind paper24")).is_err());
         assert!(parse(&argv("status --server h:1")).is_err());
         assert!(parse(&argv("submit --server h:1 --type dance")).is_err());
+        assert!(parse(&argv("metrics")).is_err());
     }
 
     #[test]
@@ -828,6 +901,7 @@ mod tests {
             seed: 3,
             weights: None,
             server: Some(addr.clone()),
+            trace_out: None,
         })
         .unwrap();
         assert!(out.contains("partition "), "missing partition in: {out}");
@@ -839,12 +913,57 @@ mod tests {
             seed: 1,
             weights: Some(vec![1.0, 1.0, 1.0, 1.0]),
             server: Some(addr.clone()),
+            trace_out: None,
         })
         .unwrap_err();
         assert!(err.contains("--weights"));
+        // The metrics subcommand round-trips the daemon's Prometheus dump
+        // (the schedule job above ran, so job counters are non-zero).
+        let metrics = run(&Command::Metrics {
+            server: addr.clone(),
+        })
+        .unwrap();
+        assert!(
+            metrics.contains("service_jobs_completed_total 1"),
+            "metrics missing completed counter: {metrics}"
+        );
+        assert!(metrics.contains("# TYPE service_job_run_ms histogram"));
         let mut client = Client::connect(addr.as_str()).unwrap();
         client.shutdown().unwrap();
         handle.join();
+    }
+
+    #[test]
+    fn trace_out_writes_jsonl() {
+        let dir = std::env::temp_dir().join("commsched-cli-trace-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("trace.jsonl");
+        let path_str = path.to_str().unwrap().to_string();
+        let out = run(&Command::Schedule {
+            topology: TopologySpec::Ring {
+                switches: 6,
+                hosts: 2,
+            },
+            clusters: 2,
+            seed: 5,
+            weights: None,
+            server: None,
+            trace_out: Some(path_str.clone()),
+        })
+        .unwrap();
+        assert!(out.contains("trace: "), "missing trace line in: {out}");
+        let text = std::fs::read_to_string(&path).unwrap();
+        // Local runs hit the distance builder and tabu search, both of
+        // which emit spans once tracing is armed.
+        assert!(
+            text.contains("\"name\":\"distance.build\""),
+            "no distance span in: {text}"
+        );
+        assert!(text.contains("\"name\":\"tabu.search\""));
+        for line in text.lines() {
+            assert!(line.starts_with('{') && line.ends_with('}'), "bad: {line}");
+        }
+        let _ = std::fs::remove_dir_all(&dir);
     }
 
     #[test]
