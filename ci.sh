@@ -24,7 +24,7 @@ cargo test -q --workspace
 echo "==> cargo bench --workspace --no-run"
 cargo bench --workspace --no-run
 
-echo "==> perfbase --smoke (fast perf sanity: sparse == dense, tabu determinism)"
-./target/release/perfbase --smoke --out /tmp/perfbase_smoke.json
+echo "==> perfbase --smoke (perf sanity: sparse == dense, tabu determinism, dynamics repair >= 3x rebuild)"
+./target/release/perfbase --smoke --out /tmp/perfbase_smoke.json --out-dynamics /tmp/perfbase_smoke_pr4.json
 
 echo "==> ci.sh: all green"

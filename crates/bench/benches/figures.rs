@@ -32,7 +32,7 @@ fn fig1_tabu_trace(c: &mut Criterion) {
         let params = TabuParams::scaled(16);
         b.iter(|| {
             let mut rng = StdRng::seed_from_u64(42);
-            TabuSearch::new(params).search_traced(&t.table, &t.sizes(), &mut rng)
+            TabuSearch::new(params.clone()).search_traced(&t.table, &t.sizes(), &mut rng)
         })
     });
 }

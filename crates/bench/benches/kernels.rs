@@ -116,7 +116,7 @@ fn bench_search(c: &mut Criterion) {
                     };
                     b.iter(|| {
                         let mut rng = StdRng::seed_from_u64(7);
-                        TabuSearch::new(params).search(&t.table, &t.sizes(), &mut rng)
+                        TabuSearch::new(params.clone()).search(&t.table, &t.sizes(), &mut rng)
                     })
                 },
             );

@@ -32,7 +32,8 @@ fn ablate_tenure(testbed: &Testbed) {
         let mut values = Vec::new();
         for s in 0..5u64 {
             let mut rng = StdRng::seed_from_u64(SEARCH_SEED + s);
-            let r = TabuSearch::new(params).search(&testbed.table, &testbed.sizes(), &mut rng);
+            let r =
+                TabuSearch::new(params.clone()).search(&testbed.table, &testbed.sizes(), &mut rng);
             values.push(r.fg);
         }
         let mean: f64 = values.iter().sum::<f64>() / values.len() as f64;

@@ -8,17 +8,35 @@
 //! dense oracle pair by pair, so the file doubles as an agreement
 //! certificate.
 //!
-//! Usage: `perfbase [--smoke] [--out PATH]`
+//! A second section gates the dynamics pipeline (`BENCH_pr4.json`): on a
+//! random irregular 128-switch network, killing one non-bridge link and
+//! *repairing* the distance table must re-solve fewer than 60 % of the
+//! pairs, run at least 3× faster than a from-scratch rebuild, and agree
+//! with the rebuild to 1e-9; warm-starting the remap from the pre-fault
+//! mapping must reach the cold 10-seed `F_G` (within 1 %) in at most
+//! half the iterations. The guard runs — and asserts — even in
+//! `--smoke`, so a regression fails CI, not just the tracked numbers.
+//!
+//! Usage: `perfbase [--smoke] [--out PATH] [--out-dynamics PATH]`
 //!
 //! * `--smoke` — N ∈ {16, 24} and one repetition: a seconds-fast CI run
-//!   that still exercises every measured code path.
+//!   that still exercises every measured code path (the dynamics guard
+//!   always runs at N = 128).
 //! * `--out PATH` — where to write the JSON (default `BENCH_pr2.json`).
+//! * `--out-dynamics PATH` — where to write the dynamics JSON (default
+//!   `BENCH_pr4.json`).
 
 use commsched_bench::{Testbed, SEARCH_SEED};
-use commsched_distance::{equivalent_distance_table_with, DistanceTable, SolverKind, TableOptions};
+use commsched_core::quality;
+use commsched_distance::{
+    equivalent_distance_table_with, DistanceTable, RepairMemo, SolverKind, TableOptions,
+};
+use commsched_dynamics::{repair_table, warm_remap, FaultEvent, TopologyEpoch};
+use commsched_routing::UpDownRouting;
 use commsched_search::{Mapper, TabuParams, TabuSearch};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
+use std::sync::Arc;
 use std::time::Instant;
 
 /// Best-of-`reps` wall time in milliseconds.
@@ -86,7 +104,7 @@ fn measure(switches: usize, reps: usize) -> SizeReport {
         };
         time_ms(reps, || {
             let mut rng = StdRng::seed_from_u64(SEARCH_SEED);
-            TabuSearch::new(params).search(&testbed.table, &testbed.sizes(), &mut rng)
+            TabuSearch::new(params.clone()).search(&testbed.table, &testbed.sizes(), &mut rng)
         })
     };
     let (tabu_serial_ms, serial_res) = time_tabu(1);
@@ -109,6 +127,136 @@ fn measure(switches: usize, reps: usize) -> SizeReport {
     }
 }
 
+struct DynamicsReport {
+    switches: usize,
+    killed: (usize, usize),
+    pairs_total: usize,
+    pairs_recomputed: usize,
+    rebuild_ms: f64,
+    repair_ms: f64,
+    max_abs_diff_vs_rebuild: f64,
+    fg_stale: f64,
+    fg_cold: f64,
+    fg_warm: f64,
+    cold_iterations: usize,
+    warm_iterations: usize,
+}
+
+/// The PR-4 dynamics gate: one non-bridge link failure on a random
+/// irregular network, incremental repair vs full rebuild, and
+/// warm-started vs cold remap. Asserts the acceptance thresholds.
+fn measure_dynamics(switches: usize, reps: usize) -> DynamicsReport {
+    let testbed = Testbed::extra_random(switches, 9_000 + switches as u64);
+    let epoch0 = TopologyEpoch::initial(Arc::new(testbed.topology.clone()));
+    // The first link whose removal keeps the network connected.
+    let (killed, epoch1) = epoch0
+        .topology
+        .links()
+        .iter()
+        .find_map(|l| {
+            let e = epoch0
+                .apply(&FaultEvent::LinkDown { a: l.a, b: l.b })
+                .ok()?;
+            e.connected.then_some(((l.a, l.b), e))
+        })
+        .expect("a non-bridge link");
+    let r1 = UpDownRouting::new(&epoch1.topology, 0).expect("routing on successor");
+
+    let (rebuild_ms, rebuilt) = time_ms(reps, || {
+        equivalent_distance_table_with(&epoch1.topology, &r1, TableOptions::default())
+            .expect("rebuild")
+    });
+    // A fresh memo per repetition: the timed figure is the cold-repair
+    // cost, not a memo replay.
+    let (repair_ms, (repaired, report)) = time_ms(reps, || {
+        let mut memo = RepairMemo::new();
+        repair_table(
+            &testbed.table,
+            &epoch0.topology,
+            &testbed.routing,
+            &epoch1.topology,
+            &r1,
+            TableOptions::default(),
+            &mut memo,
+        )
+        .expect("repair")
+    });
+
+    let mut max_abs_diff = 0.0f64;
+    for i in 0..switches {
+        for j in 0..switches {
+            max_abs_diff = max_abs_diff.max((repaired.get(i, j) - rebuilt.get(i, j)).abs());
+        }
+    }
+    assert!(
+        max_abs_diff < 1e-9,
+        "repair/rebuild disagree at N={switches}: {max_abs_diff}"
+    );
+    assert!(
+        (report.pairs_recomputed as f64) < 0.6 * report.pairs_total as f64,
+        "one link failure re-solved {}/{} pairs (>= 60%)",
+        report.pairs_recomputed,
+        report.pairs_total
+    );
+    assert!(
+        rebuild_ms >= 3.0 * repair_ms,
+        "repair not >= 3x faster than rebuild: {repair_ms:.3} ms vs {rebuild_ms:.3} ms"
+    );
+
+    // Remap: the pre-fault mapping warm-starts the search on the
+    // repaired table and must reach the cold 10-seed result (within 1 %)
+    // in at most half the iterations.
+    let sizes = testbed.sizes();
+    let cold_params = TabuParams {
+        threads: 1,
+        ..TabuParams::scaled(switches)
+    };
+    let mut rng = StdRng::seed_from_u64(SEARCH_SEED);
+    let pre = TabuSearch::new(cold_params.clone()).search(&testbed.table, &sizes, &mut rng);
+    let fg_stale = quality(&pre.partition, &repaired).fg;
+    let mut rng = StdRng::seed_from_u64(SEARCH_SEED);
+    let (cold, cold_trace) =
+        TabuSearch::new(cold_params.clone()).search_traced(&repaired, &sizes, &mut rng);
+    let cold_iterations = cold_trace
+        .events
+        .iter()
+        .map(|e| e.iteration)
+        .max()
+        .unwrap_or(0);
+    let warm_params = TabuParams {
+        seeds: 2,
+        ..cold_params
+    };
+    let warm = warm_remap(&repaired, &sizes, &pre.partition, warm_params, SEARCH_SEED);
+    assert!(
+        warm.fg_after <= cold.fg * 1.01,
+        "warm remap missed the cold F_G by > 1%: {} vs {}",
+        warm.fg_after,
+        cold.fg
+    );
+    assert!(
+        2 * warm.iterations <= cold_iterations,
+        "warm remap took {} iterations, cold took {}",
+        warm.iterations,
+        cold_iterations
+    );
+
+    DynamicsReport {
+        switches,
+        killed,
+        pairs_total: report.pairs_total,
+        pairs_recomputed: report.pairs_recomputed,
+        rebuild_ms,
+        repair_ms,
+        max_abs_diff_vs_rebuild: max_abs_diff,
+        fg_stale,
+        fg_cold: cold.fg,
+        fg_warm: warm.fg_after,
+        cold_iterations,
+        warm_iterations: warm.iterations,
+    }
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let smoke = args.iter().any(|a| a == "--smoke");
@@ -118,6 +266,12 @@ fn main() {
         .and_then(|i| args.get(i + 1))
         .cloned()
         .unwrap_or_else(|| "BENCH_pr2.json".to_string());
+    let dynamics_out_path = args
+        .iter()
+        .position(|a| a == "--out-dynamics")
+        .and_then(|i| args.get(i + 1))
+        .cloned()
+        .unwrap_or_else(|| "BENCH_pr4.json".to_string());
 
     let (sizes, reps): (&[usize], usize) = if smoke {
         (&[16, 24], 1)
@@ -190,4 +344,41 @@ fn main() {
 
     std::fs::write(&out_path, &json).expect("write benchmark json");
     println!("perfbase: wrote {out_path}");
+
+    // The dynamics gate always runs at the largest size, even in smoke:
+    // its assertions are the CI guard for the repair/remap pipeline.
+    eprintln!("perfbase: dynamics gate at N = 128 ...");
+    let d = measure_dynamics(128, reps);
+    eprintln!(
+        "  kill {}:{}  repair {:.1} ms vs rebuild {:.1} ms ({:.2}x)  pairs {}/{}  warm {} it vs cold {} it",
+        d.killed.0,
+        d.killed.1,
+        d.repair_ms,
+        d.rebuild_ms,
+        d.rebuild_ms / d.repair_ms.max(1e-9),
+        d.pairs_recomputed,
+        d.pairs_total,
+        d.warm_iterations,
+        d.cold_iterations
+    );
+    let json = format!(
+        "{{\n  \"bench\": \"pr4-dynamics\",\n  \"smoke\": {smoke},\n  \"machine_threads\": {threads},\n  \"repetitions\": {reps},\n  \"switches\": {},\n  \"killed_link\": \"{}:{}\",\n  \"pairs_total\": {},\n  \"pairs_recomputed\": {},\n  \"recompute_fraction\": {:.4},\n  \"rebuild_ms\": {:.3},\n  \"repair_ms\": {:.3},\n  \"repair_speedup\": {:.3},\n  \"max_abs_diff_vs_rebuild\": {:.3e},\n  \"fg_stale_mapping\": {:.9},\n  \"fg_cold_remap\": {:.9},\n  \"fg_warm_remap\": {:.9},\n  \"cold_iterations\": {},\n  \"warm_iterations\": {}\n}}\n",
+        d.switches,
+        d.killed.0,
+        d.killed.1,
+        d.pairs_total,
+        d.pairs_recomputed,
+        d.pairs_recomputed as f64 / d.pairs_total.max(1) as f64,
+        d.rebuild_ms,
+        d.repair_ms,
+        d.rebuild_ms / d.repair_ms.max(1e-9),
+        d.max_abs_diff_vs_rebuild,
+        d.fg_stale,
+        d.fg_cold,
+        d.fg_warm,
+        d.cold_iterations,
+        d.warm_iterations
+    );
+    std::fs::write(&dynamics_out_path, &json).expect("write dynamics benchmark json");
+    println!("perfbase: wrote {dynamics_out_path}");
 }

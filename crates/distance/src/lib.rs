@@ -30,12 +30,14 @@
 
 pub mod io;
 pub mod linalg;
+pub mod repair;
 pub mod resistance;
 pub mod sparse;
 pub mod table;
 
 pub use io::{table_from_text, table_to_text, TableParseError};
 pub use linalg::{solve, LinalgError, Matrix};
+pub use repair::{repair_distance_table, route_key, RepairMemo, RepairOutcome, RouteKey};
 pub use resistance::{
     effective_resistance, effective_resistance_weighted, effective_resistance_weighted_in,
     PreparedNetwork, ResistanceError, SolverKind, Workspace,

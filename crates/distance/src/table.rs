@@ -106,6 +106,13 @@ impl DistanceTable {
         std::sync::Arc::new(self)
     }
 
+    /// Overwrite the symmetric pair `(i, j)` — the repair path's patch
+    /// primitive.
+    pub(crate) fn set_pair(&mut self, i: SwitchId, j: SwitchId, d: f64) {
+        self.data[i * self.n + j] = d;
+        self.data[j * self.n + i] = d;
+    }
+
     /// Triples `(i, j, k)` with `i < k` violating the triangle inequality
     /// (`T[i][k] > T[i][j] + T[j][k] + tol`).
     ///
@@ -155,6 +162,23 @@ pub enum TableError {
         /// Underlying error.
         error: ResistanceError,
     },
+    /// Incremental repair got a previous table whose size does not match
+    /// the post-fault topology.
+    RepairSize {
+        /// Switches in the previous table.
+        prev: usize,
+        /// Switches in the topology.
+        topology: usize,
+    },
+    /// Incremental repair was asked to recompute a pair outside the table.
+    BadRepairPair {
+        /// Source switch.
+        src: SwitchId,
+        /// Destination switch.
+        dst: SwitchId,
+        /// Switches in the table.
+        n: usize,
+    },
 }
 
 impl std::fmt::Display for TableError {
@@ -165,6 +189,15 @@ impl std::fmt::Display for TableError {
             }
             TableError::Resistance { src, dst, error } => {
                 write!(f, "resistance failed for pair ({src}, {dst}): {error}")
+            }
+            TableError::RepairSize { prev, topology } => {
+                write!(f, "previous table has {prev} switches, topology {topology}")
+            }
+            TableError::BadRepairPair { src, dst, n } => {
+                write!(
+                    f,
+                    "repair pair ({src}, {dst}) out of range for {n} switches"
+                )
             }
         }
     }
@@ -290,14 +323,15 @@ const MEMO_CAP: usize = 1024;
 
 /// A compacted resistor circuit as captured from [`Workspace::circuit`]:
 /// the memo value shared between pairs with identical route-link sets.
-struct CompactCircuit {
-    nodes: Vec<SwitchId>,
-    edges: Vec<(usize, usize, f64)>,
+/// Also the value type of the cross-epoch repair memo (`crate::repair`).
+pub(crate) struct CompactCircuit {
+    pub(crate) nodes: Vec<SwitchId>,
+    pub(crate) edges: Vec<(usize, usize, f64)>,
 }
 
 /// Per-switch stamps for the single-scan series-path test.
 #[derive(Default)]
-struct PathScan {
+pub(crate) struct PathScan {
     stamp: Vec<u32>,
     deg: Vec<u32>,
     mark: u32,
@@ -313,7 +347,7 @@ struct PathScan {
 /// every link reaches `a`); a connected graph with that edge count and
 /// maximum degree 2 is exactly a simple path. Most up*/down* route
 /// unions have this shape, which makes this the hot path of the build.
-fn try_series_path(
+pub(crate) fn try_series_path(
     topo: &Topology,
     scan: &mut PathScan,
     links: &[LinkId],
@@ -453,7 +487,7 @@ impl<'a> PairSolver<'a> {
     }
 }
 
-fn pair_resistance(
+pub(crate) fn pair_resistance(
     topo: &Topology,
     routing: &dyn Routing,
     i: SwitchId,

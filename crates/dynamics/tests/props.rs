@@ -1,0 +1,167 @@
+//! Property tests: incremental repair is indistinguishable from a
+//! from-scratch rebuild, across random topologies, fault schedules and
+//! thread counts.
+
+use commsched_distance::{
+    equivalent_distance_table, equivalent_distance_table_with, RepairMemo, TableOptions,
+};
+use commsched_dynamics::{repair_table, FaultSchedule, TopologyEpoch};
+use commsched_routing::UpDownRouting;
+use commsched_topology::{random_regular, RandomTopologyConfig, Topology};
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::sync::Arc;
+
+fn random_topology(switches: usize, seed: u64) -> Topology {
+    let mut rng = StdRng::seed_from_u64(seed);
+    random_regular(RandomTopologyConfig::paper(switches), &mut rng).unwrap()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// For random topologies and random 1–3-event fault schedules, the
+    /// chain of incremental repairs ends at exactly the table a
+    /// from-scratch rebuild of the final epoch produces (to 1e-9), and
+    /// the repaired table is bit-identical across thread counts
+    /// {1, 2, 7} — with the cross-epoch memo warm or cold.
+    #[test]
+    fn repair_chain_equals_rebuild(
+        topo_seed in any::<u64>(),
+        fault_seed in any::<u64>(),
+        sw_idx in 0usize..3,
+        count in 1usize..=3,
+    ) {
+        let switches = [12usize, 16, 20][sw_idx];
+        let topo = random_topology(switches, topo_seed);
+        let schedule = FaultSchedule::random(&topo, fault_seed, count, 1_000);
+        let mut epoch = TopologyEpoch::initial(Arc::new(topo));
+        let mut routing = UpDownRouting::new(&epoch.topology, 0).unwrap();
+        let mut table = equivalent_distance_table(&epoch.topology, &routing).unwrap();
+        let mut memo = RepairMemo::new();
+        for tf in &schedule.events {
+            let next = epoch.apply(&tf.event).unwrap();
+            if !next.connected {
+                // A partitioned epoch is reported, not repaired: up*/down*
+                // routing (and hence the table) needs a connected network.
+                prop_assert!(UpDownRouting::new(&next.topology, 0).is_err());
+                break;
+            }
+            let next_routing = UpDownRouting::new(&next.topology, 0).unwrap();
+            let (repaired, report) = repair_table(
+                &table,
+                &epoch.topology,
+                &routing,
+                &next.topology,
+                &next_routing,
+                TableOptions::default(),
+                &mut memo,
+            )
+            .unwrap();
+            // Thread-count bit-identity, memo warm and cold.
+            for threads in [1usize, 2, 7] {
+                for memo_state in [&mut RepairMemo::new(), &mut memo] {
+                    let (again, _) = repair_table(
+                        &table,
+                        &epoch.topology,
+                        &routing,
+                        &next.topology,
+                        &next_routing,
+                        TableOptions { threads, ..Default::default() },
+                        memo_state,
+                    )
+                    .unwrap();
+                    prop_assert_eq!(&again, &repaired, "threads = {}", threads);
+                }
+            }
+            // Exactness against a from-scratch rebuild of this epoch.
+            let rebuilt = equivalent_distance_table(&next.topology, &next_routing).unwrap();
+            for i in 0..switches {
+                for j in 0..switches {
+                    prop_assert!(
+                        (repaired.get(i, j) - rebuilt.get(i, j)).abs() < 1e-9,
+                        "epoch {} pair ({}, {}): {} != {}",
+                        next.index, i, j, repaired.get(i, j), rebuilt.get(i, j)
+                    );
+                }
+            }
+            prop_assert!(report.pairs_recomputed <= report.pairs_total);
+            epoch = next;
+            routing = next_routing;
+            table = repaired;
+        }
+    }
+
+    /// The memoized and unmemoized repair paths agree bitwise (the memo
+    /// is a pure cache), and so do single- and multi-link schedules
+    /// applied in one repair step vs. link by link (to solver precision).
+    #[test]
+    fn memoization_is_value_neutral(
+        topo_seed in any::<u64>(),
+        fault_seed in any::<u64>(),
+    ) {
+        let topo = random_topology(16, topo_seed);
+        let schedule = FaultSchedule::random(&topo, fault_seed, 1, 100);
+        prop_assume!(!schedule.is_empty());
+        let epoch0 = TopologyEpoch::initial(Arc::new(topo));
+        let epoch1 = epoch0.apply(&schedule.events[0].event).unwrap();
+        prop_assume!(epoch1.connected);
+        let r0 = UpDownRouting::new(&epoch0.topology, 0).unwrap();
+        let r1 = UpDownRouting::new(&epoch1.topology, 0).unwrap();
+        let prev = equivalent_distance_table(&epoch0.topology, &r0).unwrap();
+        let run = |memoize: bool| {
+            let mut memo = RepairMemo::new();
+            repair_table(
+                &prev,
+                &epoch0.topology,
+                &r0,
+                &epoch1.topology,
+                &r1,
+                TableOptions { memoize, ..Default::default() },
+                &mut memo,
+            )
+            .unwrap()
+            .0
+        };
+        prop_assert_eq!(run(true), run(false));
+    }
+
+    /// Repair agrees with the dense-oracle rebuild too, closing the loop
+    /// against the original solver.
+    #[test]
+    fn repair_agrees_with_dense_oracle(topo_seed in any::<u64>()) {
+        use commsched_distance::SolverKind;
+        let topo = random_topology(12, topo_seed);
+        let schedule = FaultSchedule::random(&topo, topo_seed ^ 0x5eed, 1, 100);
+        prop_assume!(!schedule.is_empty());
+        let epoch0 = TopologyEpoch::initial(Arc::new(topo));
+        let epoch1 = epoch0.apply(&schedule.events[0].event).unwrap();
+        prop_assume!(epoch1.connected);
+        let r0 = UpDownRouting::new(&epoch0.topology, 0).unwrap();
+        let r1 = UpDownRouting::new(&epoch1.topology, 0).unwrap();
+        let prev = equivalent_distance_table(&epoch0.topology, &r0).unwrap();
+        let mut memo = RepairMemo::new();
+        let (repaired, _) = repair_table(
+            &prev,
+            &epoch0.topology,
+            &r0,
+            &epoch1.topology,
+            &r1,
+            TableOptions::default(),
+            &mut memo,
+        )
+        .unwrap();
+        let dense = equivalent_distance_table_with(
+            &epoch1.topology,
+            &r1,
+            TableOptions { solver: SolverKind::DenseGaussian, ..Default::default() },
+        )
+        .unwrap();
+        for i in 0..12 {
+            for j in 0..12 {
+                prop_assert!((repaired.get(i, j) - dense.get(i, j)).abs() < 1e-9);
+            }
+        }
+    }
+}

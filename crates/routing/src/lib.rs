@@ -135,6 +135,13 @@ pub trait Routing: Send + Sync {
     /// `dst`. Empty iff `state.node == dst`.
     fn next_hops(&self, state: RouteState, dst: SwitchId) -> Vec<RouteState>;
 
+    /// Downcast hook for incremental fault analysis
+    /// ([`UpDownRouting::changed_route_pairs`]); `None` for routers
+    /// without that structure.
+    fn as_updown(&self) -> Option<&UpDownRouting> {
+        None
+    }
+
     /// Human-readable algorithm name (for reports).
     fn name(&self) -> &'static str;
 }

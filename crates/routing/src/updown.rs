@@ -136,6 +136,116 @@ impl UpDownRouting {
     pub fn is_up_move(&self, u: SwitchId, v: SwitchId) -> bool {
         is_up_move(&self.level, u, v)
     }
+
+    /// Fast fault analysis: the ordered pairs `(src, dst)`, `src < dst`,
+    /// whose minimal-route *path sets* can differ between `self` and
+    /// `new`, without enumerating any routes.
+    ///
+    /// Both routers' state graphs share the same state numbering (the
+    /// switch count is equal), so their transition sets are directly
+    /// comparable; a transition `(u, phase) → (v, phase')` is realized by
+    /// the unique `u–v` wire. A pair's minimal routes can change **only
+    /// if** some old minimal route uses an old-only transition or some
+    /// new minimal route uses a new-only transition: a pair flagged by
+    /// neither has all its old minimal routes intact in the new graph at
+    /// unchanged length and vice versa, hence equal distances and equal
+    /// minimal-route sets. Each differing transition's pairs cost one
+    /// reverse BFS plus an `n²` distance check — microseconds against the
+    /// milliseconds of a full route-enumeration diff.
+    ///
+    /// The result may over-approximate (a pair can lose one route and
+    /// keep the same link *set*); callers re-solve flagged pairs, so
+    /// over-approximation costs time, never correctness. Returns `None`
+    /// when the switch counts differ or the transition diff is so large
+    /// (many re-levelled switches) that a full comparison is cheaper;
+    /// callers must then fall back to route enumeration.
+    ///
+    /// Correctness requires that wires present in both topologies carry
+    /// equal slowdowns (true for single fault events) — transitions do
+    /// not encode slowdowns, so the caller checks that precondition.
+    pub fn changed_route_pairs(&self, new: &UpDownRouting) -> Option<Vec<(SwitchId, SwitchId)>> {
+        /// Beyond this many differing transitions a full enumeration diff
+        /// is no slower, and the per-transition BFS sweeps stop paying.
+        const CHANGED_TRANSITION_CAP: usize = 64;
+
+        let n = self.num_switches;
+        if new.num_switches != n {
+            return None;
+        }
+        let transitions_of = |r: &UpDownRouting| {
+            let mut ts: Vec<(u32, u32)> = Vec::new();
+            for (s, outs) in r.fwd.iter().enumerate() {
+                ts.extend(outs.iter().map(|&(t, _)| (s as u32, t as u32)));
+            }
+            ts.sort_unstable();
+            ts
+        };
+        let old_ts = transitions_of(self);
+        let new_ts = transitions_of(new);
+        let only_in = |a: &[(u32, u32)], b: &[(u32, u32)]| -> Vec<(u32, u32)> {
+            a.iter()
+                .filter(|t| b.binary_search(t).is_err())
+                .copied()
+                .collect()
+        };
+        let old_only = only_in(&old_ts, &new_ts);
+        let new_only = only_in(&new_ts, &old_ts);
+        if old_only.len() + new_only.len() > CHANGED_TRANSITION_CAP {
+            return None;
+        }
+
+        let mut through = vec![false; n * n];
+        for (r, diff) in [(self, &old_only), (new, &new_only)] {
+            for &(s, t) in diff {
+                r.mark_pairs_through(s as usize, t as usize, &mut through);
+            }
+        }
+        let mut pairs = Vec::new();
+        for i in 0..n {
+            for j in (i + 1)..n {
+                if through[i * n + j] {
+                    pairs.push((i, j));
+                }
+            }
+        }
+        Some(pairs)
+    }
+
+    /// Mark in `through` (an `n × n` upper-triangle matrix) every ordered
+    /// pair `(i, j)`, `i < j`, with a minimal route using the state-graph
+    /// transition `s → t`: one reverse BFS gives the distance from every
+    /// start state to `s`, and the precomputed `dist_to` tables finish
+    /// the on-a-shortest-path test.
+    fn mark_pairs_through(&self, s: usize, t: usize, through: &mut [bool]) {
+        let n = self.num_switches;
+        let mut dist = vec![u32::MAX; 2 * n];
+        dist[s] = 0;
+        let mut queue = VecDeque::from([s]);
+        while let Some(x) = queue.pop_front() {
+            for &(p, _) in &self.rev[x] {
+                if dist[p] == u32::MAX {
+                    dist[p] = dist[x] + 1;
+                    queue.push_back(p);
+                }
+            }
+        }
+        for i in 0..n {
+            let di = dist[sid(i, false)];
+            if di == u32::MAX {
+                continue;
+            }
+            for j in (i + 1)..n {
+                if through[i * n + j] {
+                    continue;
+                }
+                let total = self.dist_to[j][sid(i, false)];
+                let rem = self.dist_to[j][t];
+                if total != u32::MAX && rem != u32::MAX && di + 1 + rem == total {
+                    through[i * n + j] = true;
+                }
+            }
+        }
+    }
 }
 
 /// The up end of a link is the endpoint closer to the root; ties break
@@ -258,6 +368,10 @@ impl Routing for UpDownRouting {
             }
             links.sort_unstable();
         }
+    }
+
+    fn as_updown(&self) -> Option<&UpDownRouting> {
+        Some(self)
     }
 
     fn next_hops(&self, state: RouteState, dst: SwitchId) -> Vec<RouteState> {
@@ -481,6 +595,71 @@ mod tests {
                 assert!(d >= t.bfs_distances(src)[dst]);
             }
         }
+    }
+
+    #[test]
+    fn changed_route_pairs_covers_every_route_change() {
+        // For every single-link removal that keeps the graph connected,
+        // the transition-diff analysis must flag (at least) every ordered
+        // pair whose minimal-route link *wires* changed — unflagged pairs
+        // are copied forward verbatim by the table repair, so a miss here
+        // is a correctness bug, while an extra flag is only a wasted
+        // re-solve.
+        let topologies = [
+            designed::ring(8, 1),
+            designed::mesh(3, 3, 1),
+            designed::hypercube(4, 1),
+            designed::ring_of_rings(4, 6, 1),
+        ];
+        let mut fast_path_runs = 0;
+        for topo in &topologies {
+            let old = UpDownRouting::new(topo, 0).unwrap();
+            for killed in topo.links().to_vec() {
+                let mut builder = commsched_topology::TopologyBuilder::new(
+                    topo.num_switches(),
+                    topo.hosts_per_switch(),
+                );
+                for (l, k) in topo.links().iter().enumerate() {
+                    if (k.a, k.b) != (killed.a, killed.b) {
+                        builder = builder.link_with_slowdown(k.a, k.b, topo.link_slowdown(l));
+                    }
+                }
+                let Ok(survivor) = builder.build() else {
+                    continue; // bridge link: disconnected survivor
+                };
+                let Ok(new) = UpDownRouting::new(&survivor, 0) else {
+                    continue; // bridge link: disconnected survivor
+                };
+                let Some(flagged) = old.changed_route_pairs(&new) else {
+                    continue; // over the transition cap: caller falls back
+                };
+                fast_path_runs += 1;
+                let n = topo.num_switches();
+                let wires = |r: &UpDownRouting, t: &Topology, i, j| {
+                    let mut w: Vec<(SwitchId, SwitchId)> = r
+                        .minimal_route_links(i, j)
+                        .iter()
+                        .map(|&l| (t.link(l).a, t.link(l).b))
+                        .collect();
+                    w.sort_unstable();
+                    w
+                };
+                for i in 0..n {
+                    for j in (i + 1)..n {
+                        if wires(&old, topo, i, j) != wires(&new, &survivor, i, j) {
+                            assert!(
+                                flagged.contains(&(i, j)),
+                                "pair ({i}, {j}) changed but was not flagged after \
+                                 killing {}:{}",
+                                killed.a,
+                                killed.b
+                            );
+                        }
+                    }
+                }
+            }
+        }
+        assert!(fast_path_runs >= 10, "fast path barely exercised");
     }
 
     #[test]

@@ -47,7 +47,7 @@ fn tabu_metrics() -> &'static TabuMetrics {
 }
 
 /// Tuning parameters of the tabu search.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct TabuParams {
     /// Random restarts (the paper uses 10).
     pub seeds: usize,
@@ -64,6 +64,9 @@ pub struct TabuParams {
     /// CPU). The restarts are independent and their merge is ordered by
     /// seed index, so every thread count returns identical results.
     pub threads: usize,
+    /// Optional previous mapping used as the first restart instead of a
+    /// random start (warm-started remapping after a topology change).
+    pub warm_start: Option<Partition>,
 }
 
 impl Default for TabuParams {
@@ -74,6 +77,7 @@ impl Default for TabuParams {
             local_min_repeats: 3,
             tenure: 4,
             threads: 0,
+            warm_start: None,
         }
     }
 }
@@ -91,6 +95,16 @@ impl TabuParams {
             max_iterations: (3 * n).max(20),
             ..Self::default()
         }
+    }
+
+    /// Seed the first restart from a previous mapping instead of a random
+    /// start. The warm start consumes no randomness, so the remaining
+    /// `seeds - 1` restarts draw exactly the partitions a cold run's first
+    /// `seeds - 1` seeds would draw.
+    #[must_use]
+    pub fn warm_start(mut self, prev: Partition) -> Self {
+        self.warm_start = Some(prev);
+        self
     }
 }
 
@@ -224,13 +238,28 @@ impl TabuSearch {
         );
         let _span = telemetry::Span::enter("tabu.search");
         // The seed runs themselves consume no randomness, so drawing every
-        // start here preserves the exact RNG stream of a serial loop.
-        let starts: Vec<Partition> = (0..self.params.seeds)
-            .map(|_| {
+        // start here preserves the exact RNG stream of a serial loop. A warm
+        // start replaces the first restart and draws nothing from `rng`.
+        let mut starts: Vec<Partition> = Vec::with_capacity(self.params.seeds.max(1));
+        if let Some(warm) = &self.params.warm_start {
+            assert_eq!(
+                warm.num_switches(),
+                n,
+                "warm-start partition has the wrong switch count"
+            );
+            assert_eq!(
+                warm.sizes(),
+                sizes,
+                "warm-start partition has the wrong cluster sizes"
+            );
+            starts.push(warm.clone());
+        }
+        while starts.len() < self.params.seeds {
+            starts.push(
                 Partition::random(n, sizes, rng)
-                    .expect("validated sizes always produce a partition")
-            })
-            .collect();
+                    .expect("validated sizes always produce a partition"),
+            );
+        }
 
         type SeedOutcome = ((f64, Partition), u64, TabuTrace, usize);
         let per_seed: Vec<SeedOutcome> =
@@ -265,7 +294,7 @@ impl TabuSearch {
         }
 
         let m = tabu_metrics();
-        m.restarts.add(self.params.seeds as u64);
+        m.restarts.add(starts.len() as u64);
         m.iterations.add(offset as u64);
         m.evaluations.add(evaluations);
         // When tracing is armed, replay the merged F_G trajectory (the
@@ -554,6 +583,7 @@ mod tests {
             local_min_repeats: 3,
             tenure: 4,
             threads: 2,
+            warm_start: None,
         };
         let mut rng = StdRng::seed_from_u64(13);
         let (res, trace) = TabuSearch::new(params).search_traced(&table, &[6, 6, 6, 6], &mut rng);
@@ -611,11 +641,71 @@ mod tests {
         let params = TabuParams::default();
         let mut rng = StdRng::seed_from_u64(9);
         let (w, _) =
-            TabuSearch::new(params).search_weighted(&table, &[4, 4], &[2.0, 2.0], &mut rng);
+            TabuSearch::new(params.clone()).search_weighted(&table, &[4, 4], &[2.0, 2.0], &mut rng);
         let mut rng = StdRng::seed_from_u64(9);
         let u = TabuSearch::new(params).search(&table, &[4, 4], &mut rng);
         assert_eq!(w.partition, u.partition);
         assert!((w.fg - u.fg).abs() < 1e-9);
+    }
+
+    #[test]
+    fn warm_start_replaces_first_restart_only() {
+        let table = rings_table();
+        let sizes = [6usize, 6, 6, 6];
+        let truth = commsched_core::Partition::from_clusters(
+            &commsched_topology::designed::ring_of_rings_clusters(4, 6),
+        )
+        .unwrap();
+        let cold_params = TabuParams {
+            seeds: 4,
+            ..TabuParams::default()
+        };
+        let mut rng = StdRng::seed_from_u64(23);
+        let (_, cold_trace) =
+            TabuSearch::new(cold_params.clone()).search_traced(&table, &sizes, &mut rng);
+        let warm_params = cold_params.warm_start(truth.clone());
+        let mut rng = StdRng::seed_from_u64(23);
+        let (warm_res, warm_trace) =
+            TabuSearch::new(warm_params).search_traced(&table, &sizes, &mut rng);
+        let warm_starts: Vec<f64> = warm_trace.seed_starts().map(|e| e.fg).collect();
+        let cold_starts: Vec<f64> = cold_trace.seed_starts().map(|e| e.fg).collect();
+        assert_eq!(warm_starts.len(), 4);
+        // Restart 0 begins at the warm mapping's F_G ...
+        let warm_fg = similarity_fg(&truth, &table);
+        assert!((warm_starts[0] - warm_fg).abs() < 1e-12);
+        // ... and the remaining restarts consume the same RNG stream a
+        // cold run's first three seeds would (bitwise).
+        assert_eq!(&warm_starts[1..], &cold_starts[..3]);
+        // Seeding from the optimum can never end worse than it.
+        assert!(warm_res.fg <= warm_fg + 1e-12);
+    }
+
+    #[test]
+    fn warm_start_alone_needs_no_rng_draws() {
+        let table = dumbbell_table();
+        let params = TabuParams {
+            seeds: 1,
+            ..TabuParams::default()
+        }
+        .warm_start(dumbbell_truth());
+        let mut rng = StdRng::seed_from_u64(0);
+        let before = rng.next_u64();
+        let mut rng = StdRng::seed_from_u64(0);
+        let res = TabuSearch::new(params).search(&table, &[4, 4], &mut rng);
+        assert!(res.partition.same_grouping(&dumbbell_truth()));
+        // The stream was untouched: the next draw is the first draw.
+        assert_eq!(rng.next_u64(), before);
+    }
+
+    #[test]
+    #[should_panic(expected = "warm-start partition has the wrong cluster sizes")]
+    fn warm_start_size_mismatch_panics() {
+        let table = dumbbell_table();
+        let params = TabuParams::default().warm_start(dumbbell_truth());
+        let mut rng = StdRng::seed_from_u64(1);
+        // The warm partition is (4, 4); asking for (2, 6) must panic.
+        let _ = TabuSearch::new(params)
+            .search_objective(8, &[2, 6], &mut rng, |p| SwapEvaluator::new(p, &table));
     }
 
     #[test]

@@ -197,6 +197,34 @@ impl DistanceCache {
         }
     }
 
+    /// Drop every *ready* entry built for `fingerprint` (any routing
+    /// spec), returning the removed `(spec, table)` pairs so the caller
+    /// can refresh them against the successor topology.
+    ///
+    /// In-flight `Building` slots are left untouched: their builder will
+    /// finish and insert normally (single-flight stays sound), and the
+    /// stale result is keyed by the *old* fingerprint, which no new job
+    /// will request once the registry epoch has moved on.
+    pub fn invalidate_topology(&self, fingerprint: u64) -> Vec<(RoutingSpec, Arc<RoutedTable>)> {
+        let mut inner = self.inner.lock().expect("cache lock");
+        let victims: Vec<Key> = inner
+            .entries
+            .iter()
+            .filter_map(|(k, s)| {
+                (k.0 == fingerprint && matches!(s, Slot::Ready { .. })).then_some(*k)
+            })
+            .collect();
+        let mut removed = Vec::with_capacity(victims.len());
+        for k in victims {
+            if let Some(Slot::Ready { value, .. }) = inner.entries.remove(&k) {
+                removed.push((k.1, value));
+            }
+        }
+        // Deterministic order for reporting.
+        removed.sort_by_key(|(spec, _)| format!("{spec}"));
+        removed
+    }
+
     /// Evict least-recently-used *ready* entries (never the one just
     /// inserted, never in-flight builds) until at most `capacity` ready
     /// entries remain.
@@ -331,6 +359,32 @@ mod tests {
         cache.get_or_build(key(2), || Ok(build_for(5))).unwrap();
         assert!(cache.build_nanos_total() > after_first);
         assert!(cache.build_nanos_last() < after_first);
+    }
+
+    #[test]
+    fn invalidate_topology_removes_only_that_fingerprint() {
+        let cache = DistanceCache::new(8);
+        cache.get_or_build(key(1), || Ok(build_for(4))).unwrap();
+        cache
+            .get_or_build((1, RoutingSpec::ShortestPath), || Ok(build_for(4)))
+            .unwrap();
+        cache.get_or_build(key(2), || Ok(build_for(5))).unwrap();
+        let removed = cache.invalidate_topology(1);
+        assert_eq!(removed.len(), 2);
+        assert_eq!(cache.len(), 1);
+        // The unrelated topology is still a hit; the invalidated one
+        // rebuilds.
+        cache.get_or_build(key(2), || panic!("cached")).unwrap();
+        let mut rebuilt = false;
+        cache
+            .get_or_build(key(1), || {
+                rebuilt = true;
+                Ok(build_for(4))
+            })
+            .unwrap();
+        assert!(rebuilt);
+        // Invalidating a fingerprint with no entries is a no-op.
+        assert!(cache.invalidate_topology(99).is_empty());
     }
 
     #[test]

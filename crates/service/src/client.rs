@@ -177,6 +177,19 @@ impl Client {
         self.expect_ok().map(drop)
     }
 
+    /// Inject a fault from a raw `FAULT` argument string, e.g.
+    /// `topo=fp:<hex> kill=0:1`; returns the server's report lines
+    /// (`event`, `epoch`, `topology`, `repair ...`, ...).
+    ///
+    /// # Errors
+    /// See [`ClientError`]; a rejected event surfaces as
+    /// `ClientError::Server("fault-rejected: ...")`.
+    pub fn fault_raw(&mut self, args: &str) -> Result<Vec<String>, ClientError> {
+        self.send(&format!("FAULT {args}"))?;
+        self.expect_ok()?;
+        self.read_block()
+    }
+
     /// The server's `key value` stats lines.
     ///
     /// # Errors

@@ -95,6 +95,14 @@ pub enum Request {
         /// Job id.
         job: u64,
     },
+    /// Inject a fault event into a topology, bumping its epoch:
+    /// `FAULT topo=<ref> kill=a:b | restore=a:b[:slowdown] | switch=s`.
+    Fault {
+        /// The network the event applies to.
+        topo: TopoRef,
+        /// The reconfiguration event.
+        event: commsched_dynamics::FaultEvent,
+    },
     /// Service counters and histograms.
     Stats,
     /// Prometheus-format dump of every metric registry in the process.
@@ -203,6 +211,67 @@ fn parse_submit(words: &[&str]) -> Result<JobSpec, String> {
     })
 }
 
+/// Parse the `<a>:<b>[:<slowdown>]` endpoint syntax of FAULT events.
+fn parse_endpoints(value: &str, with_slowdown: bool) -> Result<(usize, usize, u32), String> {
+    let parts: Vec<&str> = value.split(':').collect();
+    let num = |s: &str| -> Result<usize, String> {
+        s.parse().map_err(|_| format!("bad endpoint in '{value}'"))
+    };
+    match parts.as_slice() {
+        [a, b] => Ok((num(a)?, num(b)?, 1)),
+        [a, b, s] if with_slowdown => Ok((
+            num(a)?,
+            num(b)?,
+            s.parse()
+                .map_err(|_| format!("bad slowdown in '{value}'"))?,
+        )),
+        _ => Err(format!("expected a:b{} in '{value}'", {
+            if with_slowdown {
+                "[:slowdown]"
+            } else {
+                ""
+            }
+        })),
+    }
+}
+
+fn parse_fault(words: &[&str]) -> Result<Request, String> {
+    use commsched_dynamics::FaultEvent;
+    let mut topo = None;
+    let mut event = None;
+    let mut set_event = |e: FaultEvent| -> Result<(), String> {
+        if event.replace(e).is_some() {
+            return Err("FAULT takes exactly one event".into());
+        }
+        Ok(())
+    };
+    for &word in words {
+        let Some((key, value)) = word.split_once('=') else {
+            return Err(format!("expected key=value, got '{word}'"));
+        };
+        match key {
+            "topo" => topo = Some(parse_topo_ref(value)?),
+            "kill" => {
+                let (a, b, _) = parse_endpoints(value, false)?;
+                set_event(FaultEvent::LinkDown { a, b })?;
+            }
+            "restore" => {
+                let (a, b, slowdown) = parse_endpoints(value, true)?;
+                set_event(FaultEvent::LinkUp { a, b, slowdown })?;
+            }
+            "switch" => {
+                let switch = value.parse().map_err(|_| format!("bad switch '{value}'"))?;
+                set_event(FaultEvent::SwitchDown { switch })?;
+            }
+            other => return Err(format!("unknown key '{other}'")),
+        }
+    }
+    Ok(Request::Fault {
+        topo: topo.ok_or("FAULT needs topo=...")?,
+        event: event.ok_or("FAULT needs kill=a:b, restore=a:b[:slowdown], or switch=s")?,
+    })
+}
+
 /// Parse one request line.
 ///
 /// # Errors
@@ -220,6 +289,7 @@ pub fn parse_request(line: &str) -> Result<Request, String> {
             .map(|lines| Request::AddTopo { lines })
             .map_err(|_| format!("bad line count '{n}'")),
         ["SUBMIT", rest @ ..] => parse_submit(rest).map(Request::Submit),
+        ["FAULT", rest @ ..] => parse_fault(rest),
         ["STATUS", id] => Ok(Request::Status { job: job_id(id)? }),
         ["RESULT", id] => Ok(Request::Result { job: job_id(id)? }),
         ["CANCEL", id] => Ok(Request::Cancel { job: job_id(id)? }),
@@ -315,6 +385,68 @@ mod tests {
         }
         assert_eq!(parse_fingerprint("123"), None);
         assert_eq!(parse_fingerprint("zzzzzzzzzzzzzzzz"), None);
+    }
+
+    #[test]
+    fn parses_fault_events() {
+        use commsched_dynamics::FaultEvent;
+        assert_eq!(
+            parse_request("FAULT topo=paper24 kill=0:1"),
+            Ok(Request::Fault {
+                topo: TopoRef::Paper24,
+                event: FaultEvent::LinkDown { a: 0, b: 1 },
+            })
+        );
+        assert_eq!(
+            parse_request("FAULT topo=ring:8:4 restore=2:3"),
+            Ok(Request::Fault {
+                topo: TopoRef::Ring {
+                    switches: 8,
+                    hosts: 4
+                },
+                event: FaultEvent::LinkUp {
+                    a: 2,
+                    b: 3,
+                    slowdown: 1
+                },
+            })
+        );
+        assert_eq!(
+            parse_request("FAULT topo=paper24 restore=2:3:4"),
+            Ok(Request::Fault {
+                topo: TopoRef::Paper24,
+                event: FaultEvent::LinkUp {
+                    a: 2,
+                    b: 3,
+                    slowdown: 4
+                },
+            })
+        );
+        let fp = 0xdead_beef_0123_4567u64;
+        assert_eq!(
+            parse_request(&format!(
+                "FAULT topo=fp:{} switch=5",
+                format_fingerprint(fp)
+            )),
+            Ok(Request::Fault {
+                topo: TopoRef::Registered(fp),
+                event: FaultEvent::SwitchDown { switch: 5 },
+            })
+        );
+    }
+
+    #[test]
+    fn rejects_malformed_fault_requests() {
+        assert!(parse_request("FAULT").is_err()); // no topo, no event
+        assert!(parse_request("FAULT topo=paper24").is_err()); // no event
+        assert!(parse_request("FAULT kill=0:1").is_err()); // no topo
+        assert!(parse_request("FAULT topo=paper24 kill=0").is_err());
+        assert!(parse_request("FAULT topo=paper24 kill=0:1:2").is_err()); // kill takes no slowdown
+        assert!(parse_request("FAULT topo=paper24 kill=a:b").is_err());
+        assert!(parse_request("FAULT topo=paper24 restore=1:2:x").is_err());
+        assert!(parse_request("FAULT topo=paper24 switch=many").is_err());
+        assert!(parse_request("FAULT topo=paper24 kill=0:1 switch=2").is_err()); // two events
+        assert!(parse_request("FAULT topo=paper24 frob=1").is_err());
     }
 
     #[test]

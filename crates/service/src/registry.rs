@@ -27,6 +27,17 @@ impl TopologyRegistry {
         (fp, fresh)
     }
 
+    /// Insert an already-shared topology (e.g. a fault epoch's successor)
+    /// without cloning it, returning its fingerprint and whether it was
+    /// new.
+    pub fn register_arc(&self, topo: Arc<Topology>) -> (u64, bool) {
+        let fp = topo.fingerprint();
+        let mut map = self.inner.lock().expect("registry lock");
+        let fresh = !map.contains_key(&fp);
+        map.entry(fp).or_insert(topo);
+        (fp, fresh)
+    }
+
     /// Look up a topology by fingerprint.
     pub fn get(&self, fp: u64) -> Option<Arc<Topology>> {
         self.inner.lock().expect("registry lock").get(&fp).cloned()

@@ -208,6 +208,16 @@ fn handle_connection(
                 Ok(()) => respond(&mut writer, "OK cancelled")?,
                 Err(e) => respond(&mut writer, &format!("ERR {e}"))?,
             },
+            Request::Fault { topo, event } => match core.fault(topo, &event) {
+                Ok(lines) => {
+                    respond(&mut writer, "OK fault")?;
+                    for l in &lines {
+                        respond(&mut writer, l)?;
+                    }
+                    respond(&mut writer, ".")?;
+                }
+                Err(e) => respond(&mut writer, &format!("ERR {e}"))?,
+            },
             Request::Stats => {
                 respond(&mut writer, "OK stats")?;
                 for l in core.stats_lines() {

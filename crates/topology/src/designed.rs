@@ -6,63 +6,116 @@
 
 use crate::graph::{SwitchId, Topology, TopologyBuilder};
 
+/// A designed-topology shape was invalid (e.g. a 2-switch ring). Carries
+/// the human-readable reason so parsers can surface it verbatim.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ShapeError(pub String);
+
+impl std::fmt::Display for ShapeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+impl std::error::Error for ShapeError {}
+
+fn shape(ok: bool, reason: &str) -> Result<(), ShapeError> {
+    if ok {
+        Ok(())
+    } else {
+        Err(ShapeError(reason.to_string()))
+    }
+}
+
+/// A ring of `n` switches.
+///
+/// # Errors
+/// [`ShapeError`] if `n < 3`.
+pub fn try_ring(n: usize, hosts_per_switch: usize) -> Result<Topology, ShapeError> {
+    shape(n >= 3, "ring needs at least 3 switches")?;
+    Ok(TopologyBuilder::new(n, hosts_per_switch)
+        .links((0..n).map(|i| (i, (i + 1) % n)))
+        .build()
+        .expect("ring is always valid"))
+}
+
 /// A ring of `n` switches (`n >= 3`).
 ///
 /// # Panics
-/// Panics if `n < 3`.
+/// Panics if `n < 3`; use [`try_ring`] to validate instead.
 pub fn ring(n: usize, hosts_per_switch: usize) -> Topology {
-    assert!(n >= 3, "ring needs at least 3 switches");
-    TopologyBuilder::new(n, hosts_per_switch)
-        .links((0..n).map(|i| (i, (i + 1) % n)))
+    try_ring(n, hosts_per_switch).unwrap_or_else(|e| panic!("{e}"))
+}
+
+/// A line (path) of `n` switches.
+///
+/// # Errors
+/// [`ShapeError`] if `n < 2`.
+pub fn try_line(n: usize, hosts_per_switch: usize) -> Result<Topology, ShapeError> {
+    shape(n >= 2, "line needs at least 2 switches")?;
+    Ok(TopologyBuilder::new(n, hosts_per_switch)
+        .links((0..n - 1).map(|i| (i, i + 1)))
         .build()
-        .expect("ring is always valid")
+        .expect("line is always valid"))
 }
 
 /// A line (path) of `n` switches (`n >= 2`).
 ///
 /// # Panics
-/// Panics if `n < 2`.
+/// Panics if `n < 2`; use [`try_line`] to validate instead.
 pub fn line(n: usize, hosts_per_switch: usize) -> Topology {
-    assert!(n >= 2, "line needs at least 2 switches");
-    TopologyBuilder::new(n, hosts_per_switch)
-        .links((0..n - 1).map(|i| (i, i + 1)))
+    try_line(n, hosts_per_switch).unwrap_or_else(|e| panic!("{e}"))
+}
+
+/// A star: switch 0 in the centre, switches `1..n` as leaves.
+///
+/// # Errors
+/// [`ShapeError`] if `n < 2`.
+pub fn try_star(n: usize, hosts_per_switch: usize) -> Result<Topology, ShapeError> {
+    shape(n >= 2, "star needs at least 2 switches")?;
+    Ok(TopologyBuilder::new(n, hosts_per_switch)
+        .links((1..n).map(|i| (0, i)))
         .build()
-        .expect("line is always valid")
+        .expect("star is always valid"))
 }
 
 /// A star: switch 0 in the centre, switches `1..n` as leaves (`n >= 2`).
 ///
 /// # Panics
-/// Panics if `n < 2`.
+/// Panics if `n < 2`; use [`try_star`] to validate instead.
 pub fn star(n: usize, hosts_per_switch: usize) -> Topology {
-    assert!(n >= 2, "star needs at least 2 switches");
-    TopologyBuilder::new(n, hosts_per_switch)
-        .links((1..n).map(|i| (0, i)))
-        .build()
-        .expect("star is always valid")
+    try_star(n, hosts_per_switch).unwrap_or_else(|e| panic!("{e}"))
 }
 
-/// The complete graph on `n` switches (`n >= 2`).
+/// The complete graph on `n` switches.
 ///
-/// # Panics
-/// Panics if `n < 2`.
-pub fn complete(n: usize, hosts_per_switch: usize) -> Topology {
-    assert!(n >= 2, "complete graph needs at least 2 switches");
+/// # Errors
+/// [`ShapeError`] if `n < 2`.
+pub fn try_complete(n: usize, hosts_per_switch: usize) -> Result<Topology, ShapeError> {
+    shape(n >= 2, "complete graph needs at least 2 switches")?;
     let mut b = TopologyBuilder::new(n, hosts_per_switch);
     for i in 0..n {
         for j in (i + 1)..n {
             b = b.link(i, j);
         }
     }
-    b.build().expect("complete graph is always valid")
+    Ok(b.build().expect("complete graph is always valid"))
 }
 
-/// A `w × h` 2-D mesh (`w, h >= 2`). Switch `(x, y)` has index `y * w + x`.
+/// The complete graph on `n` switches (`n >= 2`).
 ///
 /// # Panics
-/// Panics if `w < 2` or `h < 2`.
-pub fn mesh(w: usize, h: usize, hosts_per_switch: usize) -> Topology {
-    assert!(w >= 2 && h >= 2, "mesh needs both dimensions >= 2");
+/// Panics if `n < 2`; use [`try_complete`] to validate instead.
+pub fn complete(n: usize, hosts_per_switch: usize) -> Topology {
+    try_complete(n, hosts_per_switch).unwrap_or_else(|e| panic!("{e}"))
+}
+
+/// A `w × h` 2-D mesh. Switch `(x, y)` has index `y * w + x`.
+///
+/// # Errors
+/// [`ShapeError`] if `w < 2` or `h < 2`.
+pub fn try_mesh(w: usize, h: usize, hosts_per_switch: usize) -> Result<Topology, ShapeError> {
+    shape(w >= 2 && h >= 2, "mesh needs both dimensions >= 2")?;
     let mut b = TopologyBuilder::new(w * h, hosts_per_switch);
     for y in 0..h {
         for x in 0..w {
@@ -75,15 +128,23 @@ pub fn mesh(w: usize, h: usize, hosts_per_switch: usize) -> Topology {
             }
         }
     }
-    b.build().expect("mesh is always valid")
+    Ok(b.build().expect("mesh is always valid"))
+}
+
+/// A `w × h` 2-D mesh (`w, h >= 2`). Switch `(x, y)` has index `y * w + x`.
+///
+/// # Panics
+/// Panics if `w < 2` or `h < 2`; use [`try_mesh`] to validate instead.
+pub fn mesh(w: usize, h: usize, hosts_per_switch: usize) -> Topology {
+    try_mesh(w, h, hosts_per_switch).unwrap_or_else(|e| panic!("{e}"))
 }
 
 /// A `w × h` 2-D torus (`w, h >= 3` so wrap links are distinct).
 ///
-/// # Panics
-/// Panics if `w < 3` or `h < 3`.
-pub fn torus(w: usize, h: usize, hosts_per_switch: usize) -> Topology {
-    assert!(w >= 3 && h >= 3, "torus needs both dimensions >= 3");
+/// # Errors
+/// [`ShapeError`] if `w < 3` or `h < 3`.
+pub fn try_torus(w: usize, h: usize, hosts_per_switch: usize) -> Result<Topology, ShapeError> {
+    shape(w >= 3 && h >= 3, "torus needs both dimensions >= 3")?;
     let mut b = TopologyBuilder::new(w * h, hosts_per_switch);
     for y in 0..h {
         for x in 0..w {
@@ -92,15 +153,23 @@ pub fn torus(w: usize, h: usize, hosts_per_switch: usize) -> Topology {
             b = b.link(s, ((y + 1) % h) * w + x);
         }
     }
-    b.build().expect("torus is always valid")
+    Ok(b.build().expect("torus is always valid"))
 }
 
-/// A hypercube of dimension `dim` (`1 <= dim <= 16`).
+/// A `w × h` 2-D torus (`w, h >= 3`).
 ///
 /// # Panics
-/// Panics if `dim` is 0 or greater than 16.
-pub fn hypercube(dim: u32, hosts_per_switch: usize) -> Topology {
-    assert!((1..=16).contains(&dim), "hypercube dimension out of range");
+/// Panics if `w < 3` or `h < 3`; use [`try_torus`] to validate instead.
+pub fn torus(w: usize, h: usize, hosts_per_switch: usize) -> Topology {
+    try_torus(w, h, hosts_per_switch).unwrap_or_else(|e| panic!("{e}"))
+}
+
+/// A hypercube of dimension `dim`.
+///
+/// # Errors
+/// [`ShapeError`] if `dim` is 0 or greater than 16.
+pub fn try_hypercube(dim: u32, hosts_per_switch: usize) -> Result<Topology, ShapeError> {
+    shape((1..=16).contains(&dim), "hypercube dimension out of range")?;
     let n = 1usize << dim;
     let mut b = TopologyBuilder::new(n, hosts_per_switch);
     for s in 0..n {
@@ -111,7 +180,16 @@ pub fn hypercube(dim: u32, hosts_per_switch: usize) -> Topology {
             }
         }
     }
-    b.build().expect("hypercube is always valid")
+    Ok(b.build().expect("hypercube is always valid"))
+}
+
+/// A hypercube of dimension `dim` (`1 <= dim <= 16`).
+///
+/// # Panics
+/// Panics if `dim` is 0 or greater than 16; use [`try_hypercube`] to
+/// validate instead.
+pub fn hypercube(dim: u32, hosts_per_switch: usize) -> Topology {
+    try_hypercube(dim, hosts_per_switch).unwrap_or_else(|e| panic!("{e}"))
 }
 
 /// The Figure-4 network: `rings` interconnected rings of `ring_size`
@@ -123,11 +201,15 @@ pub fn hypercube(dim: u32, hosts_per_switch: usize) -> Topology {
 /// With the defaults (`rings = 4`, `ring_size = 6`) this is the paper's
 /// specially designed 24-switch network.
 ///
-/// # Panics
-/// Panics if `rings < 2` or `ring_size < 3`.
-pub fn ring_of_rings(rings: usize, ring_size: usize, hosts_per_switch: usize) -> Topology {
-    assert!(rings >= 2, "need at least two rings");
-    assert!(ring_size >= 3, "each ring needs at least 3 switches");
+/// # Errors
+/// [`ShapeError`] if `rings < 2` or `ring_size < 3`.
+pub fn try_ring_of_rings(
+    rings: usize,
+    ring_size: usize,
+    hosts_per_switch: usize,
+) -> Result<Topology, ShapeError> {
+    shape(rings >= 2, "need at least two rings")?;
+    shape(ring_size >= 3, "each ring needs at least 3 switches")?;
     let mut b = TopologyBuilder::new(rings * ring_size, hosts_per_switch);
     for r in 0..rings {
         let base = r * ring_size;
@@ -152,7 +234,16 @@ pub fn ring_of_rings(rings: usize, ring_size: usize, hosts_per_switch: usize) ->
             b = b.link(from, to);
         }
     }
-    b.build().expect("ring-of-rings is always valid")
+    Ok(b.build().expect("ring-of-rings is always valid"))
+}
+
+/// See [`try_ring_of_rings`].
+///
+/// # Panics
+/// Panics if `rings < 2` or `ring_size < 3`; use [`try_ring_of_rings`]
+/// to validate instead.
+pub fn ring_of_rings(rings: usize, ring_size: usize, hosts_per_switch: usize) -> Topology {
+    try_ring_of_rings(rings, ring_size, hosts_per_switch).unwrap_or_else(|e| panic!("{e}"))
 }
 
 /// The paper's specially designed 24-switch network (Figure 4): four
@@ -254,6 +345,31 @@ mod tests {
         assert!(t.is_connected());
         // 2 rings x 4 links + 2 bridges.
         assert_eq!(t.num_links(), 10);
+    }
+
+    #[test]
+    fn invalid_shapes_are_errors_not_panics() {
+        assert_eq!(
+            try_ring(2, 1).unwrap_err().to_string(),
+            "ring needs at least 3 switches"
+        );
+        assert!(try_line(1, 1).is_err());
+        assert!(try_star(1, 1).is_err());
+        assert!(try_complete(1, 1).is_err());
+        assert!(try_mesh(1, 5, 1).is_err());
+        assert!(try_torus(2, 3, 1).is_err());
+        assert!(try_hypercube(0, 1).is_err());
+        assert!(try_hypercube(17, 1).is_err());
+        assert!(try_ring_of_rings(1, 6, 1).is_err());
+        assert!(try_ring_of_rings(4, 2, 1).is_err());
+        // Valid shapes still build through the fallible path.
+        assert_eq!(try_ring(3, 1).unwrap().num_links(), 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "ring needs at least 3")]
+    fn panicking_wrapper_keeps_message() {
+        let _ = ring(2, 1);
     }
 
     #[test]

@@ -9,7 +9,9 @@
 //! * `serve`     — run the long-running scheduling daemon;
 //! * `submit`    — enqueue a job on a daemon and print its id;
 //! * `status`    — poll a daemon job's state;
-//! * `metrics`   — dump a daemon's Prometheus-format metrics.
+//! * `metrics`   — dump a daemon's Prometheus-format metrics;
+//! * `faults`    — inject a link/switch fault into a daemon's topology,
+//!   bumping its epoch and repair-refreshing the cached distance table.
 //!
 //! `schedule` and `sweep` accept `--server host:port` to route through a
 //! running daemon (and its distance-table cache) instead of solving
@@ -131,6 +133,40 @@ pub enum Command {
         /// Daemon address.
         server: String,
     },
+    /// Inject a fault into a daemon-registered topology.
+    Faults {
+        /// Daemon address.
+        server: String,
+        /// Fingerprint reference (`--fp HEX`); when absent, the usual
+        /// topology flags name the network instead.
+        fp: Option<String>,
+        /// Network the fault applies to (ignored when `fp` is set).
+        topology: TopologySpec,
+        /// The event to inject.
+        event: FaultArg,
+    },
+}
+
+/// One fault event as spelled on the command line; validated server-side.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum FaultArg {
+    /// `--kill a:b` — take the link between switches `a` and `b` down.
+    Kill(String),
+    /// `--restore a:b[:slowdown]` — bring a link (back) up.
+    Restore(String),
+    /// `--down-switch s` — take switch `s` and all its links down.
+    DownSwitch(String),
+}
+
+impl FaultArg {
+    /// The daemon-protocol `key=value` word for this event.
+    fn wire_word(&self) -> String {
+        match self {
+            FaultArg::Kill(v) => format!("kill={v}"),
+            FaultArg::Restore(v) => format!("restore={v}"),
+            FaultArg::DownSwitch(v) => format!("switch={v}"),
+        }
+    }
 }
 
 /// How to construct the network.
@@ -186,7 +222,9 @@ impl TopologySpec {
                 random_regular(cfg, &mut rng).map_err(|e| e.to_string())
             }
             TopologySpec::Paper24 => Ok(designed::paper_24_switch()),
-            &TopologySpec::Ring { switches, hosts } => Ok(designed::ring(switches, hosts)),
+            &TopologySpec::Ring { switches, hosts } => {
+                designed::try_ring(switches, hosts).map_err(|e| e.to_string())
+            }
             TopologySpec::File { ref path } => {
                 let text = std::fs::read_to_string(path)
                     .map_err(|e| format!("cannot read '{path}': {e}"))?;
@@ -238,6 +276,8 @@ USAGE:
                      <topology flags> [--clusters M] [--seed S] [--points P]
   commsched status   --server HOST:PORT --job ID
   commsched metrics  --server HOST:PORT
+  commsched faults   --server HOST:PORT (--fp HEX | <topology flags>)
+                     (--kill A:B | --restore A:B[:SLOWDOWN] | --down-switch S)
   commsched help
 
 DEFAULTS: --kind random --switches 16 --degree 3 --hosts 4 --topo-seed 2000
@@ -378,6 +418,25 @@ pub fn parse(args: &[String]) -> Result<Command, String> {
         "metrics" => Ok(Command::Metrics {
             server: server.ok_or("metrics needs --server <host:port>")?,
         }),
+        "faults" => {
+            let events: Vec<FaultArg> = [
+                flags.get("kill").cloned().map(FaultArg::Kill),
+                flags.get("restore").cloned().map(FaultArg::Restore),
+                flags.get("down-switch").cloned().map(FaultArg::DownSwitch),
+            ]
+            .into_iter()
+            .flatten()
+            .collect();
+            let [event] = <[FaultArg; 1]>::try_from(events).map_err(|_| {
+                "faults needs exactly one of --kill, --restore, --down-switch".to_string()
+            })?;
+            Ok(Command::Faults {
+                server: server.ok_or("faults needs --server <host:port>")?,
+                fp: flags.get("fp").cloned(),
+                topology: parse_topology(&flags)?,
+                event,
+            })
+        }
         other => Err(format!("unknown subcommand '{other}'")),
     }
 }
@@ -677,6 +736,25 @@ fn run_inner(cmd: &Command) -> Result<String, String> {
                 writeln!(out, "{l}").expect("write to string");
             }
         }
+        Command::Faults {
+            server,
+            fp,
+            topology,
+            event,
+        } => {
+            let mut client = Client::connect(server.as_str())
+                .map_err(|e| format!("cannot reach server '{server}': {e}"))?;
+            let topo_arg = match fp {
+                Some(hex) => format!("topo=fp:{hex}"),
+                None => topology.remote_arg(&mut client)?,
+            };
+            let lines = client
+                .fault_raw(&format!("{topo_arg} {}", event.wire_word()))
+                .map_err(|e| e.to_string())?;
+            for l in lines {
+                writeln!(out, "{l}").expect("write to string");
+            }
+        }
     }
     Ok(out)
 }
@@ -796,6 +874,54 @@ mod tests {
         assert!(parse(&argv("status --server h:1")).is_err());
         assert!(parse(&argv("submit --server h:1 --type dance")).is_err());
         assert!(parse(&argv("metrics")).is_err());
+    }
+
+    #[test]
+    fn parse_faults_subcommand() {
+        assert_eq!(
+            parse(&argv(
+                "faults --server h:1 --fp 00c0ffee00c0ffee --kill 0:1"
+            ))
+            .unwrap(),
+            Command::Faults {
+                server: "h:1".into(),
+                fp: Some("00c0ffee00c0ffee".into()),
+                topology: TopologySpec::Random {
+                    switches: 16,
+                    degree: 3,
+                    hosts: 4,
+                    seed: 2000
+                },
+                event: FaultArg::Kill("0:1".into()),
+            }
+        );
+        match parse(&argv(
+            "faults --server h:1 --kind paper24 --restore 2:3:1.5",
+        ))
+        .unwrap()
+        {
+            Command::Faults {
+                fp,
+                topology,
+                event,
+                ..
+            } => {
+                assert_eq!(fp, None);
+                assert_eq!(topology, TopologySpec::Paper24);
+                assert_eq!(event, FaultArg::Restore("2:3:1.5".into()));
+            }
+            other => panic!("wrong parse: {other:?}"),
+        }
+        match parse(&argv("faults --server h:1 --kind paper24 --down-switch 4")).unwrap() {
+            Command::Faults { event, .. } => {
+                assert_eq!(event, FaultArg::DownSwitch("4".into()));
+            }
+            other => panic!("wrong parse: {other:?}"),
+        }
+        // Exactly one event; --server is mandatory.
+        assert!(parse(&argv("faults --server h:1 --kind paper24")).is_err());
+        assert!(parse(&argv("faults --server h:1 --kill 0:1 --restore 0:1")).is_err());
+        assert!(parse(&argv("faults --kind paper24 --kill 0:1")).is_err());
     }
 
     #[test]
@@ -931,6 +1057,63 @@ mod tests {
         let mut client = Client::connect(addr.as_str()).unwrap();
         client.shutdown().unwrap();
         handle.join();
+    }
+
+    #[test]
+    fn faults_through_server_round_trips() {
+        // Inject a kill through the `faults` subcommand against a builtin
+        // topology spec, then verify the stale spec is rejected.
+        let handle = Server::bind("127.0.0.1:0", ServerConfig::default()).unwrap();
+        let addr = handle.addr().to_string();
+        let topology = TopologySpec::Ring {
+            switches: 6,
+            hosts: 2,
+        };
+        let out = run(&Command::Faults {
+            server: addr.clone(),
+            fp: None,
+            topology: topology.clone(),
+            event: FaultArg::Kill("0:1".into()),
+        })
+        .unwrap();
+        assert!(out.contains("event link-down 0:1"), "report: {out}");
+        assert!(out.contains("epoch 1"), "report: {out}");
+        assert!(out.contains("connected true"), "report: {out}");
+        let new_fp = out
+            .lines()
+            .find_map(|l| l.strip_prefix("topology "))
+            .expect("successor fingerprint in report")
+            .to_string();
+        // The builtin spec now names a superseded epoch: a second fault
+        // through it is the typed stale-epoch error, while the successor
+        // fingerprint accepts one.
+        let err = run(&Command::Faults {
+            server: addr.clone(),
+            fp: None,
+            topology,
+            event: FaultArg::Kill("2:3".into()),
+        })
+        .unwrap_err();
+        assert!(err.contains("stale-epoch"), "error: {err}");
+        let out = run(&Command::Faults {
+            server: addr.clone(),
+            fp: Some(new_fp),
+            topology: TopologySpec::Paper24,
+            event: FaultArg::Restore("0:1".into()),
+        })
+        .unwrap();
+        assert!(out.contains("event link-up 0:1:1"), "report: {out}");
+        let mut client = Client::connect(addr.as_str()).unwrap();
+        client.shutdown().unwrap();
+        handle.join();
+    }
+
+    #[test]
+    fn invalid_ring_is_a_clean_local_error() {
+        // Satellite regression: shape validation surfaces as a Result all
+        // the way through the local CLI path, not a panic.
+        let err = run(&parse(&argv("topology --kind ring --switches 2")).unwrap()).unwrap_err();
+        assert!(err.contains("ring needs at least 3"), "error: {err}");
     }
 
     #[test]

@@ -23,6 +23,7 @@
 //! | [`distance`] | `commsched-distance` | table of equivalent distances — resistive model (§3) |
 //! | [`core`] | `commsched-core` | partitions, quality functions `F_G`, `D_G`, `Cc` (§4.1) |
 //! | [`search`] | `commsched-search` | tabu search + comparison heuristics (§4.2) |
+//! | [`dynamics`] | `commsched-dynamics` | fault injection, incremental table repair, warm remapping |
 //! | [`netsim`] | `commsched-netsim` | flit-level wormhole simulator (§5) |
 //! | [`stats`] | `commsched-stats` | correlation/statistics for the evaluation (§5.2) |
 //! | [`service`] | `commsched-service` | scheduling daemon: topology registry, distance-table cache, job queue |
@@ -57,6 +58,7 @@ pub use scheduler::{RoutingKind, ScheduleError, ScheduleOutcome, Scheduler};
 
 pub use commsched_core as core;
 pub use commsched_distance as distance;
+pub use commsched_dynamics as dynamics;
 pub use commsched_netsim as netsim;
 pub use commsched_routing as routing;
 pub use commsched_search as search;

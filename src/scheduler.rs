@@ -176,7 +176,7 @@ impl Scheduler {
     ) -> Result<ScheduleOutcome, ScheduleError> {
         workload.validate(&self.topology)?;
         let sizes = workload.switch_demands(self.topology.hosts_per_switch());
-        let mapper = TabuSearch::new(self.tabu);
+        let mapper = TabuSearch::new(self.tabu.clone());
         let (winning_seed, result) = parallel_multi_seed(
             &mapper,
             &self.table,
@@ -219,8 +219,12 @@ impl Scheduler {
         }
         let sizes = workload.switch_demands(self.topology.hosts_per_switch());
         let mut rng = StdRng::seed_from_u64(seed);
-        let (result, _) =
-            TabuSearch::new(self.tabu).search_weighted(&self.table, &sizes, weights, &mut rng);
+        let (result, _) = TabuSearch::new(self.tabu.clone()).search_weighted(
+            &self.table,
+            &sizes,
+            weights,
+            &mut rng,
+        );
         let mapping = ProcessMapping::place(&self.topology, workload, &result.partition)?;
         Ok(ScheduleOutcome {
             quality: self.evaluate(&result.partition),
