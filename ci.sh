@@ -25,6 +25,47 @@ echo "==> cargo bench --workspace --no-run"
 cargo bench --workspace --no-run
 
 echo "==> perfbase --smoke (perf sanity: sparse == dense, tabu determinism, dynamics repair >= 3x rebuild)"
-./target/release/perfbase --smoke --out /tmp/perfbase_smoke.json --out-dynamics /tmp/perfbase_smoke_pr4.json
+./target/release/perfbase --smoke --out /tmp/perfbase_smoke.json --out-dynamics /tmp/perfbase_smoke_pr4.json --out-service /tmp/perfbase_smoke_pr5.json
+
+echo "==> recovery smoke (serve -> submit -> SIGKILL -> restart -> recovered job visible)"
+SMOKE_DIR=$(mktemp -d /tmp/commsched-recovery-smoke.XXXXXX)
+trap 'rm -rf "$SMOKE_DIR"' EXIT
+./target/release/commsched serve --addr 127.0.0.1:0 --workers 1 \
+    --state-dir "$SMOKE_DIR/state" >"$SMOKE_DIR/serve1.log" 2>&1 &
+SERVE_PID=$!
+ADDR=""
+for _ in $(seq 1 100); do
+    ADDR=$(sed -n 's/^commsched-service listening on //p' "$SMOKE_DIR/serve1.log")
+    if [ -n "$ADDR" ] && ./target/release/commsched metrics --server "$ADDR" >/dev/null 2>&1; then
+        break
+    fi
+    ADDR=""
+    sleep 0.1
+done
+[ -n "$ADDR" ] || { echo "recovery smoke: first server never came up"; cat "$SMOKE_DIR/serve1.log"; exit 1; }
+./target/release/commsched submit --server "$ADDR" --kind ring --switches 4 --hosts 1 --clusters 2 | grep -q '^job ' \
+    || { echo "recovery smoke: submit failed"; exit 1; }
+kill -9 "$SERVE_PID"
+wait "$SERVE_PID" 2>/dev/null || true
+./target/release/commsched serve --addr 127.0.0.1:0 --workers 1 \
+    --state-dir "$SMOKE_DIR/state" >"$SMOKE_DIR/serve2.log" 2>&1 &
+SERVE_PID=$!
+ADDR=""
+for _ in $(seq 1 100); do
+    ADDR=$(sed -n 's/^commsched-service listening on //p' "$SMOKE_DIR/serve2.log")
+    if [ -n "$ADDR" ] && ./target/release/commsched metrics --server "$ADDR" >/dev/null 2>&1; then
+        break
+    fi
+    ADDR=""
+    sleep 0.1
+done
+[ -n "$ADDR" ] || { echo "recovery smoke: restarted server never came up"; cat "$SMOKE_DIR/serve2.log"; exit 1; }
+grep -q '^recovered from ' "$SMOKE_DIR/serve2.log" \
+    || { echo "recovery smoke: no recovery line"; cat "$SMOKE_DIR/serve2.log"; exit 1; }
+./target/release/commsched status --server "$ADDR" --job 1 | grep -Eq 'queued|running|done' \
+    || { echo "recovery smoke: job 1 not recovered"; exit 1; }
+kill -9 "$SERVE_PID" 2>/dev/null || true
+wait "$SERVE_PID" 2>/dev/null || true
+echo "recovery smoke: ok"
 
 echo "==> ci.sh: all green"

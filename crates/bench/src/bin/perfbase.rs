@@ -17,7 +17,15 @@
 //! half the iterations. The guard runs — and asserts — even in
 //! `--smoke`, so a regression fails CI, not just the tracked numbers.
 //!
-//! Usage: `perfbase [--smoke] [--out PATH] [--out-dynamics PATH]`
+//! A third section records the service's durability cost
+//! (`BENCH_pr5.json`): the submit-acknowledgement latency of an
+//! in-memory core vs a durable one under each fsync policy (`never`,
+//! `on-ack`), plus the wall time and size of a compacting snapshot.
+//! These are tracked numbers, not a gate — fsync latency is a property
+//! of the host's storage stack.
+//!
+//! Usage: `perfbase [--smoke] [--out PATH] [--out-dynamics PATH]
+//!                  [--out-service PATH]`
 //!
 //! * `--smoke` — N ∈ {16, 24} and one repetition: a seconds-fast CI run
 //!   that still exercises every measured code path (the dynamics guard
@@ -25,6 +33,8 @@
 //! * `--out PATH` — where to write the JSON (default `BENCH_pr2.json`).
 //! * `--out-dynamics PATH` — where to write the dynamics JSON (default
 //!   `BENCH_pr4.json`).
+//! * `--out-service PATH` — where to write the service-durability JSON
+//!   (default `BENCH_pr5.json`).
 
 use commsched_bench::{Testbed, SEARCH_SEED};
 use commsched_core::quality;
@@ -34,6 +44,10 @@ use commsched_distance::{
 use commsched_dynamics::{repair_table, warm_remap, FaultEvent, TopologyEpoch};
 use commsched_routing::UpDownRouting;
 use commsched_search::{Mapper, TabuParams, TabuSearch};
+use commsched_service::{
+    FsyncPolicy, JobKind, JobSpec, PersistOptions, RoutingSpec, ServiceCore, ServiceCoreConfig,
+    TopoRef,
+};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use std::sync::Arc;
@@ -257,6 +271,79 @@ fn measure_dynamics(switches: usize, reps: usize) -> DynamicsReport {
     }
 }
 
+struct ServiceReport {
+    submits: usize,
+    memory_ack_us: f64,
+    never_ack_us: f64,
+    onack_ack_us: f64,
+    onack_wal_bytes: u64,
+    snapshot_ms: f64,
+    snapshot_bytes: u64,
+}
+
+/// Mean submit-acknowledgement latency over `submits` jobs on `core`
+/// (no workers are running, so this isolates the accept path).
+fn time_submits(core: &ServiceCore, submits: usize) -> f64 {
+    let spec = JobSpec {
+        topo: TopoRef::Ring {
+            switches: 4,
+            hosts: 1,
+        },
+        routing: RoutingSpec::UpDown { root: 0 },
+        kind: JobKind::Schedule {
+            clusters: 2,
+            seed: 1,
+        },
+    };
+    let t0 = Instant::now();
+    for _ in 0..submits {
+        core.submit(spec).expect("submit");
+    }
+    t0.elapsed().as_secs_f64() * 1e6 / submits as f64
+}
+
+/// The PR-5 durability cost: ack latency in-memory vs durable (fsync
+/// `never` / `on-ack`), and the compacting-snapshot cost.
+fn measure_service(submits: usize) -> ServiceReport {
+    let config = ServiceCoreConfig {
+        queue_capacity: submits + 1,
+        cache_capacity: 4,
+        search_seeds: 1,
+        search_threads: 1,
+        table_threads: 1,
+    };
+    let memory_ack_us = time_submits(&ServiceCore::new(config), submits);
+
+    let dir = std::env::temp_dir().join(format!("commsched-perfbase-{}", std::process::id()));
+    let durable = |policy: FsyncPolicy| {
+        let _ = std::fs::remove_dir_all(&dir);
+        let options = PersistOptions::new(&dir)
+            .fsync(policy)
+            .snapshot_wal_bytes(u64::MAX);
+        let (core, _) = ServiceCore::recover(config, options).expect("recover");
+        let ack_us = time_submits(&core, submits);
+        (core, ack_us)
+    };
+    let (_, never_ack_us) = durable(FsyncPolicy::Never);
+    let (core, onack_ack_us) = durable(FsyncPolicy::OnAck);
+    let onack_wal_bytes = core.stats.wal_bytes();
+    let t0 = Instant::now();
+    let snapshot_bytes = core.snapshot_now().expect("snapshot");
+    let snapshot_ms = t0.elapsed().as_secs_f64() * 1e3;
+    drop(core);
+    let _ = std::fs::remove_dir_all(&dir);
+
+    ServiceReport {
+        submits,
+        memory_ack_us,
+        never_ack_us,
+        onack_ack_us,
+        onack_wal_bytes,
+        snapshot_ms,
+        snapshot_bytes,
+    }
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let smoke = args.iter().any(|a| a == "--smoke");
@@ -272,6 +359,12 @@ fn main() {
         .and_then(|i| args.get(i + 1))
         .cloned()
         .unwrap_or_else(|| "BENCH_pr4.json".to_string());
+    let service_out_path = args
+        .iter()
+        .position(|a| a == "--out-service")
+        .and_then(|i| args.get(i + 1))
+        .cloned()
+        .unwrap_or_else(|| "BENCH_pr5.json".to_string());
 
     let (sizes, reps): (&[usize], usize) = if smoke {
         (&[16, 24], 1)
@@ -381,4 +474,33 @@ fn main() {
     );
     std::fs::write(&dynamics_out_path, &json).expect("write dynamics benchmark json");
     println!("perfbase: wrote {dynamics_out_path}");
+
+    // The durability-cost section: tracked numbers (never a gate, since
+    // fsync latency belongs to the host's storage stack).
+    let submits = if smoke { 64 } else { 512 };
+    eprintln!("perfbase: service ack latency over {submits} submits ...");
+    let s = measure_service(submits);
+    eprintln!(
+        "  ack {:.1} us in-memory, {:.1} us fsync=never, {:.1} us fsync=on-ack ({:.2}x); snapshot {:.2} ms / {} bytes",
+        s.memory_ack_us,
+        s.never_ack_us,
+        s.onack_ack_us,
+        s.onack_ack_us / s.memory_ack_us.max(1e-9),
+        s.snapshot_ms,
+        s.snapshot_bytes
+    );
+    let json = format!(
+        "{{\n  \"bench\": \"pr5-service-durability\",\n  \"smoke\": {smoke},\n  \"machine_threads\": {threads},\n  \"submits\": {},\n  \"submit_ack_us_in_memory\": {:.3},\n  \"submit_ack_us_fsync_never\": {:.3},\n  \"submit_ack_us_fsync_on_ack\": {:.3},\n  \"ack_overhead_fsync_never\": {:.3},\n  \"ack_overhead_fsync_on_ack\": {:.3},\n  \"wal_bytes_after_submits\": {},\n  \"snapshot_ms\": {:.3},\n  \"snapshot_bytes\": {}\n}}\n",
+        s.submits,
+        s.memory_ack_us,
+        s.never_ack_us,
+        s.onack_ack_us,
+        s.never_ack_us / s.memory_ack_us.max(1e-9),
+        s.onack_ack_us / s.memory_ack_us.max(1e-9),
+        s.onack_wal_bytes,
+        s.snapshot_ms,
+        s.snapshot_bytes
+    );
+    std::fs::write(&service_out_path, &json).expect("write service benchmark json");
+    println!("perfbase: wrote {service_out_path}");
 }

@@ -61,6 +61,10 @@ enum Slot {
 struct CacheInner {
     entries: HashMap<Key, Slot>,
     clock: u64,
+    /// Wall time of the most recently *completed* build (completion
+    /// order is defined by who re-acquires this lock first, so the
+    /// value is coherent even with concurrent misses on distinct keys).
+    build_nanos_last: u64,
 }
 
 /// LRU + single-flight cache of [`RoutedTable`]s.
@@ -71,7 +75,37 @@ pub struct DistanceCache {
     hits: AtomicU64,
     misses: AtomicU64,
     build_nanos_total: AtomicU64,
-    build_nanos_last: AtomicU64,
+}
+
+/// Clears a `Slot::Building` reservation if the build closure unwinds.
+///
+/// Without this, a panicking build leaves the slot `Building` forever
+/// and every later caller for the key blocks on the condvar. On drop
+/// (reached only via unwind — the success and error paths disarm it)
+/// the guard removes the slot and wakes all waiters so the next one
+/// becomes the builder.
+struct BuildGuard<'a> {
+    cache: &'a DistanceCache,
+    key: Key,
+    armed: bool,
+}
+
+impl Drop for BuildGuard<'_> {
+    fn drop(&mut self) {
+        if !self.armed {
+            return;
+        }
+        let mut inner = match self.cache.inner.lock() {
+            Ok(inner) => inner,
+            // The mutex can only be poisoned by a panic under the lock,
+            // which this module never does while holding it.
+            Err(poisoned) => poisoned.into_inner(),
+        };
+        if matches!(inner.entries.get(&self.key), Some(Slot::Building)) {
+            inner.entries.remove(&self.key);
+        }
+        self.cache.ready.notify_all();
+    }
 }
 
 impl DistanceCache {
@@ -83,12 +117,12 @@ impl DistanceCache {
             inner: Mutex::new(CacheInner {
                 entries: HashMap::new(),
                 clock: 0,
+                build_nanos_last: 0,
             }),
             ready: Condvar::new(),
             hits: AtomicU64::new(0),
             misses: AtomicU64::new(0),
             build_nanos_total: AtomicU64::new(0),
-            build_nanos_last: AtomicU64::new(0),
         }
     }
 
@@ -108,10 +142,13 @@ impl DistanceCache {
         self.build_nanos_total.load(Ordering::Relaxed)
     }
 
-    /// Wall time of the most recent `build` closure, in nanoseconds
-    /// (0 until the first miss).
+    /// Wall time of the most recently *completed* `build` closure, in
+    /// nanoseconds (0 until the first miss). "Most recent" is defined
+    /// by completion order under the cache lock, so with two concurrent
+    /// misses the value is whichever build finished (re-acquired the
+    /// lock) last — never a torn mix of the two.
     pub fn build_nanos_last(&self) -> u64 {
-        self.build_nanos_last.load(Ordering::Relaxed)
+        self.inner.lock().expect("cache lock").build_nanos_last
     }
 
     /// Number of finished entries currently held.
@@ -164,12 +201,18 @@ impl DistanceCache {
                     inner.entries.insert(key, Slot::Building);
                     self.misses.fetch_add(1, Ordering::Relaxed);
                     drop(inner);
+                    let mut guard = BuildGuard {
+                        cache: self,
+                        key,
+                        armed: true,
+                    };
                     let t0 = std::time::Instant::now();
                     let built = build();
+                    guard.armed = false;
                     let nanos = u64::try_from(t0.elapsed().as_nanos()).unwrap_or(u64::MAX);
                     self.build_nanos_total.fetch_add(nanos, Ordering::Relaxed);
-                    self.build_nanos_last.store(nanos, Ordering::Relaxed);
                     let mut inner = self.inner.lock().expect("cache lock");
+                    inner.build_nanos_last = nanos;
                     match built {
                         Ok(value) => {
                             let value = Arc::new(value);
@@ -223,6 +266,44 @@ impl DistanceCache {
         // Deterministic order for reporting.
         removed.sort_by_key(|(spec, _)| format!("{spec}"));
         removed
+    }
+
+    /// Install a finished entry directly (recovery path: the table was
+    /// deserialized from a snapshot/WAL rather than built here). An
+    /// existing `Ready` entry for the key is replaced; an in-flight
+    /// `Building` slot is left alone — the builder wins, since it is
+    /// at least as fresh as the persisted copy.
+    pub fn insert_ready(&self, key: Key, value: Arc<RoutedTable>) {
+        let mut inner = self.inner.lock().expect("cache lock");
+        if matches!(inner.entries.get(&key), Some(Slot::Building)) {
+            return;
+        }
+        inner.clock += 1;
+        let stamp = inner.clock;
+        inner.entries.insert(
+            key,
+            Slot::Ready {
+                value,
+                last_used: stamp,
+            },
+        );
+        Self::evict_over_capacity(&mut inner, self.capacity, key);
+    }
+
+    /// Every finished entry currently held, least-recently-used first
+    /// (the snapshot writer's view; `Building` slots are skipped).
+    pub fn ready_entries(&self) -> Vec<(Key, Arc<RoutedTable>)> {
+        let inner = self.inner.lock().expect("cache lock");
+        let mut out: Vec<(Key, u64, Arc<RoutedTable>)> = inner
+            .entries
+            .iter()
+            .filter_map(|(k, s)| match s {
+                Slot::Ready { value, last_used } => Some((*k, *last_used, Arc::clone(value))),
+                Slot::Building => None,
+            })
+            .collect();
+        out.sort_by_key(|&(_, stamp, _)| stamp);
+        out.into_iter().map(|(k, _, v)| (k, v)).collect()
     }
 
     /// Evict least-recently-used *ready* entries (never the one just
@@ -385,6 +466,75 @@ mod tests {
         assert!(rebuilt);
         // Invalidating a fingerprint with no entries is a no-op.
         assert!(cache.invalidate_topology(99).is_empty());
+    }
+
+    #[test]
+    fn panicking_build_unblocks_waiters() {
+        use std::sync::atomic::AtomicUsize;
+        use std::sync::Barrier;
+        let cache = Arc::new(DistanceCache::new(4));
+        let in_build = Arc::new(Barrier::new(2));
+        let waiter_builds = Arc::new(AtomicUsize::new(0));
+
+        std::thread::scope(|scope| {
+            let waiter = {
+                let cache = Arc::clone(&cache);
+                let in_build = Arc::clone(&in_build);
+                let waiter_builds = Arc::clone(&waiter_builds);
+                scope.spawn(move || {
+                    // Arrive only once the panicking builder owns the
+                    // slot, so this thread really blocks on the condvar.
+                    in_build.wait();
+                    cache.get_or_build(key(7), || {
+                        waiter_builds.fetch_add(1, Ordering::SeqCst);
+                        Ok(build_for(4))
+                    })
+                })
+            };
+
+            let panicked = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                cache.get_or_build(key(7), || {
+                    in_build.wait();
+                    // Give the waiter time to block on the condvar
+                    // before unwinding out of the build closure.
+                    std::thread::sleep(std::time::Duration::from_millis(50));
+                    panic!("builder died");
+                })
+            }));
+            assert!(panicked.is_err(), "the build panic must propagate");
+
+            // Pre-fix this join hangs forever: the Building slot is
+            // never cleared and the waiter waits on the condvar.
+            let value = waiter.join().expect("waiter thread").unwrap();
+            assert_eq!(waiter_builds.load(Ordering::SeqCst), 1);
+            drop(value);
+        });
+
+        // The cache is fully usable afterwards.
+        cache.get_or_build(key(7), || panic!("cached")).unwrap();
+        assert_eq!(cache.len(), 1);
+    }
+
+    #[test]
+    fn insert_ready_restores_and_lists_entries() {
+        let cache = DistanceCache::new(4);
+        cache.get_or_build(key(1), || Ok(build_for(4))).unwrap();
+        let entries = cache.ready_entries();
+        assert_eq!(entries.len(), 1);
+        assert_eq!(entries[0].0, key(1));
+
+        // Round-trip through insert_ready: the exact Arc is served back
+        // without a rebuild.
+        let restored = DistanceCache::new(4);
+        for (k, v) in entries {
+            restored.insert_ready(k, v);
+        }
+        let got = restored
+            .get_or_build(key(1), || panic!("must not rebuild"))
+            .unwrap();
+        assert_eq!(restored.hits(), 1);
+        drop(got);
+        assert_eq!(restored.len(), 1);
     }
 
     #[test]

@@ -207,6 +207,17 @@ impl Client {
             .collect())
     }
 
+    /// Force a compacting snapshot of the server's durable state;
+    /// returns the server's `snapshot <bytes>` acknowledgement.
+    ///
+    /// # Errors
+    /// See [`ClientError`]; a server running without persistence
+    /// surfaces as `ClientError::Server("no-persistence")`.
+    pub fn snapshot(&mut self) -> Result<String, ClientError> {
+        self.send("SNAPSHOT")?;
+        self.expect_ok()
+    }
+
     /// The server's Prometheus-format metrics dump, one line per entry.
     ///
     /// # Errors

@@ -7,6 +7,7 @@
 //! everything here directly unit-testable.
 
 use crate::cache::{DistanceCache, RoutedTable, RoutingSpec};
+use crate::persist::{state as pstate, PersistError, PersistOptions, Persistence, RecoveryReport};
 use crate::protocol::{format_fingerprint, JobKind, JobSpec, TopoRef};
 use crate::registry::TopologyRegistry;
 use crate::stats::ServiceStats;
@@ -36,6 +37,20 @@ fn panic_message(payload: &(dyn std::any::Any + Send)) -> &str {
     } else {
         "non-string panic payload"
     }
+}
+
+/// Build the routing implementation a [`RoutingSpec`] names, for
+/// `topo`. Shared by cache builds, fault repairs, and recovery's
+/// bit-exact cache restoration.
+fn build_routing(topo: &Topology, spec: RoutingSpec) -> Result<Box<dyn Routing>, String> {
+    Ok(match spec {
+        RoutingSpec::UpDown { root } => {
+            Box::new(UpDownRouting::new(topo, root).map_err(|e| e.to_string())?)
+        }
+        RoutingSpec::ShortestPath => {
+            Box::new(ShortestPathRouting::new(topo).map_err(|e| e.to_string())?)
+        }
+    })
 }
 
 /// Lifecycle of a job.
@@ -72,6 +87,9 @@ pub enum SubmitError {
     QueueFull,
     /// The service is draining and accepts no new work.
     ShuttingDown,
+    /// The accept record could not be durably logged; the job was not
+    /// enqueued (the acknowledgement would have been a lie).
+    Persist(String),
 }
 
 impl std::fmt::Display for SubmitError {
@@ -79,6 +97,7 @@ impl std::fmt::Display for SubmitError {
         match self {
             SubmitError::QueueFull => f.write_str("queue-full"),
             SubmitError::ShuttingDown => f.write_str("shutting-down"),
+            SubmitError::Persist(e) => write!(f, "persist: {e}"),
         }
     }
 }
@@ -101,6 +120,10 @@ struct QueueState {
     next_id: JobId,
     accepting: bool,
     running: usize,
+    /// Ids handed out by a persisted submission whose accept record is
+    /// still being written (the queue lock is not held across the I/O).
+    /// Counted against capacity so backpressure stays exact.
+    reserved: usize,
 }
 
 /// Epoch bookkeeping for dynamically reconfigured topologies.
@@ -165,11 +188,18 @@ pub struct ServiceCore {
     work_cv: Condvar,
     /// Signals drainers that a job left the queue/worker.
     done_cv: Condvar,
+    /// Durable state (WAL + snapshots), absent for in-memory-only cores.
+    persist: Option<Persistence>,
 }
 
 impl ServiceCore {
-    /// A fresh core with the given sizing.
+    /// A fresh, in-memory-only core with the given sizing. State dies
+    /// with the process; use [`Self::recover`] for a durable core.
     pub fn new(config: ServiceCoreConfig) -> Self {
+        Self::with_persistence(config, None)
+    }
+
+    fn with_persistence(config: ServiceCoreConfig, persist: Option<Persistence>) -> Self {
         Self {
             registry: TopologyRegistry::new(),
             cache: DistanceCache::new(config.cache_capacity),
@@ -181,17 +211,224 @@ impl ServiceCore {
                 next_id: 1,
                 accepting: true,
                 running: 0,
+                reserved: 0,
             }),
             epochs: Mutex::new(EpochState::default()),
             repair_memo: Mutex::new(RepairMemo::new()),
             work_cv: Condvar::new(),
             done_cv: Condvar::new(),
+            persist,
         }
+    }
+
+    /// Open (or create) a state directory and rebuild a core from it:
+    /// load the snapshot, replay the WAL on top (dropping a torn tail),
+    /// restore the registry, epoch chains, jobs, and cached tables, and
+    /// requeue every job that was accepted but unfinished at crash
+    /// time. Jobs whose fingerprint was faulted over mid-flight are
+    /// retargeted through the recovered epoch chain, exactly as a live
+    /// fault would have moved them. Finishes with an immediate
+    /// compacting snapshot so the next startup replays less.
+    ///
+    /// # Errors
+    /// [`PersistError::Io`] on filesystem failures;
+    /// [`PersistError::Corrupt`] when the snapshot is torn or an intact
+    /// record does not parse (recovery refuses to guess at state).
+    pub fn recover(
+        config: ServiceCoreConfig,
+        options: PersistOptions,
+    ) -> Result<(Self, RecoveryReport), PersistError> {
+        let persistence = Persistence::open(options)?;
+        let mut recovered = pstate::RecoveredState::default();
+        let mut report = RecoveryReport::default();
+        if let Some(records) = persistence.load_snapshot()? {
+            report.snapshot_records = records.len();
+            for record in &records {
+                recovered.apply(record).map_err(PersistError::Corrupt)?;
+            }
+        }
+        let replayed = persistence.replay_wal()?;
+        report.wal_records = replayed.records.len();
+        report.torn_tail = replayed.torn_tail;
+        for record in &replayed.records {
+            recovered.apply(record).map_err(PersistError::Corrupt)?;
+        }
+
+        let core = Self::with_persistence(config, Some(persistence));
+        for fp in &recovered.topo_order {
+            if let Some(topo) = recovered.topologies.get(fp) {
+                core.registry.register_arc(Arc::clone(topo));
+            }
+        }
+        report.recovered_topologies = recovered.topo_order.len();
+        {
+            let mut epochs = core.epochs.lock().expect("epoch lock");
+            epochs.successor = recovered.successor.clone();
+            epochs.index = recovered.index.clone();
+        }
+        // Follow a fingerprint to the tip of its recovered epoch chain.
+        let tip = |mut fp: u64| {
+            while let Some(&next) = recovered.successor.get(&fp) {
+                fp = next;
+            }
+            fp
+        };
+        {
+            let mut state = core.state.lock().expect("queue lock");
+            state.next_id = recovered.next_id.max(1);
+            for (id, job) in &recovered.jobs {
+                let mut spec = job.spec;
+                if job.state == JobState::Queued {
+                    if let TopoRef::Registered(fp) = spec.topo {
+                        let current = tip(fp);
+                        if current != fp {
+                            spec.topo = TopoRef::Registered(current);
+                            report.retargeted_jobs += 1;
+                        }
+                    }
+                    // BTreeMap iteration order requeues by ascending id,
+                    // preserving submission order.
+                    state.pending.push_back(*id);
+                    report.recovered_jobs += 1;
+                }
+                state.jobs.insert(
+                    *id,
+                    JobRecord {
+                        spec,
+                        state: job.state,
+                        result: job.result.clone(),
+                        error: job.error.clone(),
+                        submitted_at: Instant::now(),
+                    },
+                );
+            }
+        }
+        core.stats.note_recovered(report.recovered_jobs as u64);
+        // Restored tables are bit-exact (the text format round-trips
+        // doubles exactly), so post-restart faults still take the
+        // incremental-repair path instead of a full rebuild.
+        for ((fp, spec), table) in recovered.tables {
+            let Some(topo) = core.registry.get(fp) else {
+                continue;
+            };
+            let Ok(routing) = build_routing(&topo, spec) else {
+                continue;
+            };
+            core.cache.insert_ready(
+                (fp, spec),
+                Arc::new(RoutedTable {
+                    routing,
+                    table: table.into_shared(),
+                }),
+            );
+            report.restored_tables += 1;
+        }
+        core.write_snapshot(core.persist.as_ref().expect("persistence set"))?;
+        Ok((core, report))
     }
 
     /// The sizing this core was built with.
     pub fn config(&self) -> &ServiceCoreConfig {
         &self.config
+    }
+
+    /// The persistence layer, when this core is durable.
+    pub fn persistence(&self) -> Option<&Persistence> {
+        self.persist.as_ref()
+    }
+
+    /// Append one WAL record (best-effort: outside the submit path a
+    /// logging failure must not take down a worker mid-job) and refresh
+    /// the WAL-size gauge. Never call while holding a state lock — the
+    /// global order is WAL-before-state.
+    fn log_record(&self, payload: &str, ack: bool) {
+        let Some(p) = &self.persist else { return };
+        let _ = p.append(payload, ack);
+        self.stats.set_wal_bytes(p.wal_bytes());
+    }
+
+    /// Serialize the whole durable state as snapshot records. Called
+    /// with the WAL lock held by the snapshot machinery; takes the
+    /// registry, epoch, queue, and cache locks internally (allowed:
+    /// WAL-before-state order).
+    fn snapshot_records(&self) -> Vec<String> {
+        let mut records = Vec::new();
+        for topo in self.registry.topologies() {
+            records.push(pstate::record_topo(&topo));
+        }
+        {
+            let epochs = self.epochs.lock().expect("epoch lock");
+            let mut succ: Vec<(u64, u64)> =
+                epochs.successor.iter().map(|(&a, &b)| (a, b)).collect();
+            succ.sort_unstable();
+            for (old, new) in succ {
+                records.push(pstate::record_succ(old, new));
+            }
+            let mut idx: Vec<(u64, u64)> = epochs.index.iter().map(|(&f, &i)| (f, i)).collect();
+            idx.sort_unstable();
+            for (fp, index) in idx {
+                records.push(pstate::record_epoch(fp, index));
+            }
+        }
+        {
+            let state = self.state.lock().expect("queue lock");
+            records.push(pstate::record_next(state.next_id));
+            let mut ids: Vec<JobId> = state.jobs.keys().copied().collect();
+            ids.sort_unstable();
+            for id in ids {
+                let rec = &state.jobs[&id];
+                records.push(pstate::record_accept(id, &rec.spec));
+                match rec.state {
+                    JobState::Done => records.push(pstate::record_finish_ok(id, &rec.result)),
+                    JobState::Failed => records.push(pstate::record_finish_err(id, &rec.error)),
+                    JobState::Cancelled => records.push(pstate::record_cancel(id)),
+                    // Queued and Running replay as requeued work. A
+                    // running job cannot finish concurrently with this
+                    // capture: the finish is applied under the WAL lock
+                    // the snapshot is holding.
+                    JobState::Queued | JobState::Running => {}
+                }
+            }
+        }
+        for ((fp, spec), value) in self.cache.ready_entries() {
+            records.push(pstate::record_cache(fp, spec, &value.table));
+        }
+        records
+    }
+
+    /// Write a compacting snapshot now and truncate the WAL. The
+    /// `SNAPSHOT` wire request lands here. Returns the snapshot size in
+    /// bytes.
+    ///
+    /// # Errors
+    /// `no-persistence` for in-memory cores, otherwise the I/O failure.
+    pub fn snapshot_now(&self) -> Result<u64, String> {
+        let Some(p) = &self.persist else {
+            return Err("no-persistence".into());
+        };
+        self.write_snapshot(p).map_err(|e| e.to_string())
+    }
+
+    fn write_snapshot(&self, p: &Persistence) -> std::io::Result<u64> {
+        let started = Instant::now();
+        let bytes = p.snapshot_with(|| self.snapshot_records())?;
+        self.stats
+            .set_snapshot_nanos(u64::try_from(started.elapsed().as_nanos()).unwrap_or(u64::MAX));
+        self.stats.set_wal_bytes(p.wal_bytes());
+        Ok(bytes)
+    }
+
+    /// Take a compacting snapshot when the WAL has outgrown its
+    /// threshold. The CAS slot keeps concurrent workers from stampeding;
+    /// the snapshot itself serializes on the WAL lock. Call only with no
+    /// locks held.
+    fn maybe_snapshot(&self) {
+        let Some(p) = &self.persist else { return };
+        if !p.wants_snapshot() || !p.try_begin_auto_snapshot() {
+            return;
+        }
+        let _ = self.write_snapshot(p);
+        p.end_auto_snapshot();
     }
 
     /// Enqueue a job.
@@ -200,30 +437,99 @@ impl ServiceCore {
     /// [`SubmitError::QueueFull`] under backpressure,
     /// [`SubmitError::ShuttingDown`] while draining.
     pub fn submit(&self, spec: JobSpec) -> Result<JobId, SubmitError> {
-        let mut state = self.state.lock().expect("queue lock");
-        if !state.accepting {
+        let Some(p) = &self.persist else {
+            // In-memory core: accept under a single brief lock.
+            let mut state = self.state.lock().expect("queue lock");
+            if !state.accepting {
+                self.stats.note_rejected();
+                return Err(SubmitError::ShuttingDown);
+            }
+            if state.pending.len() + state.reserved >= self.config.queue_capacity {
+                self.stats.note_rejected();
+                return Err(SubmitError::QueueFull);
+            }
+            let id = state.next_id;
+            state.next_id += 1;
+            state.jobs.insert(
+                id,
+                JobRecord {
+                    spec,
+                    state: JobState::Queued,
+                    result: Vec::new(),
+                    error: String::new(),
+                    submitted_at: Instant::now(),
+                },
+            );
+            state.pending.push_back(id);
+            self.stats.note_submitted();
+            self.work_cv.notify_one();
+            return Ok(id);
+        };
+        // Durable core, phase 1: admission + id reservation under a
+        // brief queue lock. The reservation holds the capacity slot
+        // while the accept record is written without the lock.
+        let id = {
+            let mut state = self.state.lock().expect("queue lock");
+            if !state.accepting {
+                self.stats.note_rejected();
+                return Err(SubmitError::ShuttingDown);
+            }
+            if state.pending.len() + state.reserved >= self.config.queue_capacity {
+                self.stats.note_rejected();
+                return Err(SubmitError::QueueFull);
+            }
+            let id = state.next_id;
+            state.next_id += 1;
+            state.reserved += 1;
+            id
+        };
+        // Phases 2+3 under the WAL lock: the durable accept record and
+        // the in-memory enqueue are one atomic step as far as a
+        // concurrent snapshot is concerned, so an acknowledged job can
+        // never fall into the gap between a truncated WAL and a
+        // snapshot image captured before the insert.
+        let sync = p.should_sync(true);
+        let outcome = p.with_wal(|wal| {
+            match wal.append(pstate::record_accept(id, &spec).as_bytes(), sync) {
+                Ok(_) => {
+                    let mut state = self.state.lock().expect("queue lock");
+                    state.reserved -= 1;
+                    if !state.accepting {
+                        // Raced with drain: withdraw the logged accept.
+                        let _ = wal.append(pstate::record_cancel(id).as_bytes(), sync);
+                        return Err(SubmitError::ShuttingDown);
+                    }
+                    state.jobs.insert(
+                        id,
+                        JobRecord {
+                            spec,
+                            state: JobState::Queued,
+                            result: Vec::new(),
+                            error: String::new(),
+                            submitted_at: Instant::now(),
+                        },
+                    );
+                    state.pending.push_back(id);
+                    Ok(())
+                }
+                Err(e) => {
+                    // Neutralize whatever torn prefix of the accept
+                    // record may have reached the disk.
+                    let _ = wal.append(pstate::record_cancel(id).as_bytes(), sync);
+                    let mut state = self.state.lock().expect("queue lock");
+                    state.reserved -= 1;
+                    Err(SubmitError::Persist(e.to_string()))
+                }
+            }
+        });
+        self.stats.set_wal_bytes(p.wal_bytes());
+        if let Err(e) = outcome {
             self.stats.note_rejected();
-            return Err(SubmitError::ShuttingDown);
+            return Err(e);
         }
-        if state.pending.len() >= self.config.queue_capacity {
-            self.stats.note_rejected();
-            return Err(SubmitError::QueueFull);
-        }
-        let id = state.next_id;
-        state.next_id += 1;
-        state.jobs.insert(
-            id,
-            JobRecord {
-                spec,
-                state: JobState::Queued,
-                result: Vec::new(),
-                error: String::new(),
-                submitted_at: Instant::now(),
-            },
-        );
-        state.pending.push_back(id);
         self.stats.note_submitted();
         self.work_cv.notify_one();
+        self.maybe_snapshot();
         Ok(id)
     }
 
@@ -256,20 +562,36 @@ impl ServiceCore {
     /// # Errors
     /// `unknown-job` or `not-cancellable (<state>)`.
     pub fn cancel(&self, id: JobId) -> Result<(), String> {
-        let mut state = self.state.lock().expect("queue lock");
-        let Some(rec) = state.jobs.get(&id) else {
-            return Err("unknown-job".into());
-        };
-        match rec.state {
-            JobState::Queued => {
-                state.pending.retain(|&p| p != id);
-                state.jobs.get_mut(&id).expect("checked above").state = JobState::Cancelled;
-                self.stats.note_cancelled();
-                self.done_cv.notify_all();
-                Ok(())
+        let cancel_in_state = || -> Result<(), String> {
+            let mut state = self.state.lock().expect("queue lock");
+            let Some(rec) = state.jobs.get(&id) else {
+                return Err("unknown-job".into());
+            };
+            match rec.state {
+                JobState::Queued => {
+                    state.pending.retain(|&p| p != id);
+                    state.jobs.get_mut(&id).expect("checked above").state = JobState::Cancelled;
+                    self.stats.note_cancelled();
+                    self.done_cv.notify_all();
+                    Ok(())
+                }
+                other => Err(format!("not-cancellable ({other})")),
             }
-            other => Err(format!("not-cancellable ({other})")),
-        }
+        };
+        let Some(p) = &self.persist else {
+            return cancel_in_state();
+        };
+        // The guarded transition and its record share one WAL critical
+        // section, so a concurrent snapshot cannot capture the job as
+        // cancelled and then truncate the record away (or vice versa).
+        let sync = p.should_sync(true);
+        let result = p.with_wal(|wal| {
+            cancel_in_state()?;
+            let _ = wal.append(pstate::record_cancel(id).as_bytes(), sync);
+            Ok(())
+        });
+        self.stats.set_wal_bytes(p.wal_bytes());
+        result
     }
 
     /// `key value` lines for `STATS`: queue gauges, cache and registry
@@ -413,31 +735,74 @@ impl ServiceCore {
             let outcome =
                 std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| self.execute(spec)));
             let run_ms = started.elapsed().as_secs_f64() * 1e3;
+            let (panicked, outcome) = match outcome {
+                Ok(result) => (false, result),
+                // `payload.as_ref()`, not `&payload`: a plain borrow
+                // would unsize the *Box itself* into `dyn Any` and
+                // every downcast would miss.
+                Err(payload) => (
+                    true,
+                    Err(format!("worker-panic: {}", panic_message(payload.as_ref()))),
+                ),
+            };
+            self.settle(id, outcome, panicked, wait_ms, run_ms);
+            self.maybe_snapshot();
+        }
+    }
+
+    /// Record a job's outcome: durably first (the finish record), then
+    /// in memory. The two happen under one WAL critical section, so a
+    /// concurrent snapshot either sees the job still running (and the
+    /// finish record lands in the post-truncation WAL) or already
+    /// finished (and the snapshot itself carries the outcome) — never a
+    /// window where a durable outcome is truncated away. Replaying
+    /// `finish` before the crash-interrupted state transition is what
+    /// guarantees a finished job is never run twice.
+    fn settle(
+        &self,
+        id: JobId,
+        outcome: Result<Vec<String>, String>,
+        panicked: bool,
+        wait_ms: f64,
+        run_ms: f64,
+    ) {
+        let record = match &outcome {
+            Ok(lines) => pstate::record_finish_ok(id, lines),
+            Err(e) => pstate::record_finish_err(id, e),
+        };
+        let apply = move || {
             let mut state = self.state.lock().expect("queue lock");
             let rec = state.jobs.get_mut(&id).expect("running job exists");
             match outcome {
-                Ok(Ok(lines)) => {
+                Ok(lines) => {
                     rec.state = JobState::Done;
                     rec.result = lines;
                     self.stats.note_finished(true, wait_ms, run_ms);
                 }
-                Ok(Err(e)) => {
+                Err(e) => {
                     rec.state = JobState::Failed;
                     rec.error = e;
-                    self.stats.note_finished(false, wait_ms, run_ms);
-                }
-                Err(payload) => {
-                    rec.state = JobState::Failed;
-                    // `payload.as_ref()`, not `&payload`: a plain borrow
-                    // would unsize the *Box itself* into `dyn Any` and
-                    // every downcast would miss.
-                    rec.error = format!("worker-panic: {}", panic_message(payload.as_ref()));
-                    self.stats.note_panicked();
+                    if panicked {
+                        self.stats.note_panicked();
+                    }
                     self.stats.note_finished(false, wait_ms, run_ms);
                 }
             }
             state.running -= 1;
             self.done_cv.notify_all();
+        };
+        match &self.persist {
+            Some(p) => {
+                let sync = p.should_sync(true);
+                p.with_wal(|wal| {
+                    // Best-effort: a failed append must not abandon the
+                    // job in `Running` (that would deadlock `drain`).
+                    let _ = wal.append(record.as_bytes(), sync);
+                    apply();
+                });
+                self.stats.set_wal_bytes(p.wal_bytes());
+            }
+            None => apply(),
         }
     }
 
@@ -493,7 +858,12 @@ impl ServiceCore {
                 random_regular(cfg, &mut rng).map_err(|e| e.to_string())?
             }
         };
-        let (fp, _) = self.registry.register(built);
+        let (fp, fresh) = self.registry.register(built);
+        if fresh {
+            if let Some(t) = self.registry.get(fp) {
+                self.log_record(&pstate::record_topo(&t), true);
+            }
+        }
         // A builtin spelling names the epoch-0 network; once a fault has
         // superseded it, jobs and further faults through that spelling get
         // the same typed failure as a stale fingerprint reference.
@@ -508,6 +878,19 @@ impl ServiceCore {
         self.registry.get(fp).ok_or_else(|| "registry race".into())
     }
 
+    /// Register a topology uploaded through the wire (`ADDTOPO`),
+    /// durably logging it when it is new. Returns the fingerprint and
+    /// whether it was freshly registered.
+    pub fn register_topology(&self, topo: Topology) -> (u64, bool) {
+        let (fp, fresh) = self.registry.register(topo);
+        if fresh {
+            if let Some(t) = self.registry.get(fp) {
+                self.log_record(&pstate::record_topo(&t), true);
+            }
+        }
+        (fp, fresh)
+    }
+
     /// The cached routing + distance table for a topology.
     fn routed_table(
         &self,
@@ -515,50 +898,53 @@ impl ServiceCore {
         routing: RoutingSpec,
     ) -> Result<Arc<RoutedTable>, String> {
         let key = (topo.fingerprint(), routing);
-        let topo = Arc::clone(topo);
+        let topo_for_build = Arc::clone(topo);
         let threads = self.config.table_threads;
-        self.cache.get_or_build(key, move || {
-            let routing: Box<dyn commsched_routing::Routing> = match routing {
-                RoutingSpec::UpDown { root } => {
-                    Box::new(UpDownRouting::new(&topo, root).map_err(|e| e.to_string())?)
-                }
-                RoutingSpec::ShortestPath => {
-                    Box::new(ShortestPathRouting::new(&topo).map_err(|e| e.to_string())?)
-                }
-            };
-            let table = equivalent_distance_table_parallel(&topo, routing.as_ref(), threads)
-                .map_err(|e| e.to_string())?
-                .into_shared();
-            Ok(RoutedTable { routing, table })
-        })
+        // The flag is set inside the closure, which only the winning
+        // builder runs — threads served from the cache (or by waiting on
+        // a concurrent build) must not re-log the entry.
+        let mut built = false;
+        let built_flag = &mut built;
+        let value = self.cache.get_or_build(key, move || {
+            let routing_impl = build_routing(&topo_for_build, routing)?;
+            let table =
+                equivalent_distance_table_parallel(&topo_for_build, routing_impl.as_ref(), threads)
+                    .map_err(|e| e.to_string())?
+                    .into_shared();
+            *built_flag = true;
+            Ok(RoutedTable {
+                routing: routing_impl,
+                table,
+            })
+        })?;
+        if built {
+            // ack=false: losing a cache record costs a rebuild on the
+            // next startup, never correctness.
+            self.log_record(&pstate::record_cache(key.0, key.1, &value.table), false);
+            self.maybe_snapshot();
+        }
+        Ok(value)
     }
 
     /// Rebuild the invalidated `(new fingerprint, spec)` cache entry by
     /// incrementally repairing the stale table instead of re-solving the
     /// whole network, reusing the core's cross-epoch memo. Returns the
     /// repair report (`None` when a concurrent request built the entry
-    /// first and the closure never ran).
+    /// first and the closure never ran) alongside the resident entry.
     fn refresh_entry(
         &self,
         old_topo: &Arc<Topology>,
         next: &TopologyEpoch,
         spec: RoutingSpec,
         stale: &Arc<RoutedTable>,
-    ) -> Result<Option<RepairReport>, String> {
+    ) -> Result<(Option<RepairReport>, Arc<RoutedTable>), String> {
         let topo = Arc::clone(&next.topology);
         let old_topo = Arc::clone(old_topo);
         let threads = self.config.table_threads;
         let mut report = None;
         let report_slot = &mut report;
-        self.cache.get_or_build((next.fingerprint, spec), move || {
-            let routing: Box<dyn Routing> = match spec {
-                RoutingSpec::UpDown { root } => {
-                    Box::new(UpDownRouting::new(&topo, root).map_err(|e| e.to_string())?)
-                }
-                RoutingSpec::ShortestPath => {
-                    Box::new(ShortestPathRouting::new(&topo).map_err(|e| e.to_string())?)
-                }
-            };
+        let value = self.cache.get_or_build((next.fingerprint, spec), move || {
+            let routing = build_routing(&topo, spec)?;
             let mut memo = self.repair_memo.lock().expect("repair memo lock");
             let (table, rep) = repair_table(
                 &stale.table,
@@ -579,7 +965,7 @@ impl ServiceCore {
                 table: table.into_shared(),
             })
         })?;
-        Ok(report)
+        Ok((report, value))
     }
 
     /// Apply one fault event to a topology: bump its epoch, register the
@@ -603,7 +989,7 @@ impl ServiceCore {
         let next = epoch
             .apply(event)
             .map_err(|e| format!("fault-rejected: {e}"))?;
-        self.registry.register_arc(Arc::clone(&next.topology));
+        let (_, fresh) = self.registry.register_arc(Arc::clone(&next.topology));
         {
             let mut epochs = self.epochs.lock().expect("epoch lock");
             // Unhooking the successor's own outgoing edge first keeps the
@@ -614,19 +1000,34 @@ impl ServiceCore {
             }
             epochs.index.insert(next.fingerprint, next.index);
         }
+        // Durability before repairs start: a crash mid-repair must still
+        // recover the successor network and the epoch bump, so replayed
+        // jobs retarget correctly (the repaired tables just rebuild).
+        if fresh {
+            self.log_record(&pstate::record_topo(&next.topology), true);
+        }
+        self.log_record(
+            &pstate::record_fault(old_fp, next.fingerprint, next.index),
+            true,
+        );
         let removed = self.cache.invalidate_topology(old_fp);
         let mut repair_lines = Vec::new();
         let mut refreshed = 0usize;
         for (spec, stale) in &removed {
             match self.refresh_entry(&old, &next, *spec, stale) {
-                Ok(Some(rep)) => {
+                Ok((Some(rep), value)) => {
                     refreshed += 1;
+                    self.log_record(
+                        &pstate::record_cache(next.fingerprint, *spec, &value.table),
+                        false,
+                    );
                     repair_lines.push(format!(
                         "repair {spec} pairs {}/{} wall_ms {:.3} max_delta {:.6e}",
                         rep.pairs_recomputed, rep.pairs_total, rep.wall_ms, rep.max_delta
                     ));
                 }
-                Ok(None) => {
+                Ok((None, _)) => {
+                    // A concurrent builder made the entry (and logged it).
                     refreshed += 1;
                     repair_lines.push(format!("repair {spec} shared"));
                 }
@@ -660,6 +1061,7 @@ impl ServiceCore {
             format!("requeued {requeued}"),
         ];
         lines.extend(repair_lines);
+        self.maybe_snapshot();
         Ok(lines)
     }
 
@@ -1127,6 +1529,149 @@ mod tests {
             .resolve_topology(TopoRef::Registered(fp1))
             .unwrap_err()
             .starts_with("stale-epoch:"));
+    }
+
+    fn temp_dir(tag: &str) -> std::path::PathBuf {
+        let dir = std::env::temp_dir().join(format!("commsched-jobs-{tag}-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        dir
+    }
+
+    fn durable_core(
+        dir: &std::path::Path,
+        queue_capacity: usize,
+    ) -> (Arc<ServiceCore>, RecoveryReport) {
+        let (core, report) = ServiceCore::recover(
+            ServiceCoreConfig {
+                queue_capacity,
+                cache_capacity: 4,
+                search_seeds: 2,
+                search_threads: 1,
+                table_threads: 1,
+            },
+            PersistOptions::new(dir),
+        )
+        .unwrap();
+        (Arc::new(core), report)
+    }
+
+    #[test]
+    fn durable_core_recovers_done_queued_and_cached_state() {
+        let dir = temp_dir("recover");
+        // Session 1: run one job to completion, then drain cleanly.
+        let done_result = {
+            let (core, report) = durable_core(&dir, 8);
+            assert_eq!(report.recovered_jobs, 0);
+            let done = core.submit(tiny_spec(1)).unwrap();
+            let worker = {
+                let core = Arc::clone(&core);
+                std::thread::spawn(move || core.worker_loop())
+            };
+            core.drain();
+            worker.join().unwrap();
+            assert_eq!(core.status(done), Some(JobState::Done));
+            core.result_lines(done).unwrap()
+        };
+        // Session 2: leave a job queued (no worker), then "crash".
+        {
+            let (core, report) = durable_core(&dir, 8);
+            assert!(report.snapshot_records > 0, "report: {report:?}");
+            let queued = core.submit(tiny_spec(2)).unwrap();
+            assert_eq!(queued, 2);
+            assert_eq!(core.status(queued), Some(JobState::Queued));
+        }
+        // Session 3: the finished job survives verbatim, the queued one
+        // requeues, and the cached table restores without a rebuild.
+        let (core, report) = durable_core(&dir, 8);
+        assert_eq!(report.recovered_jobs, 1, "report: {report:?}");
+        assert_eq!(core.stats.recovered(), 1);
+        assert_eq!(core.status(1), Some(JobState::Done));
+        assert_eq!(core.result_lines(1).unwrap(), done_result);
+        assert_eq!(core.status(2), Some(JobState::Queued));
+        assert_eq!(report.restored_tables, 1, "report: {report:?}");
+        assert_eq!(core.cache.len(), 1);
+        // Fresh ids continue past everything ever issued.
+        assert_eq!(core.submit(tiny_spec(3)).unwrap(), 3);
+        let worker = {
+            let core = Arc::clone(&core);
+            std::thread::spawn(move || core.worker_loop())
+        };
+        core.drain();
+        worker.join().unwrap();
+        assert_eq!(core.status(2), Some(JobState::Done));
+        assert_eq!(core.status(3), Some(JobState::Done));
+        // Both jobs ran entirely off the restored table.
+        assert_eq!(core.cache.misses(), 0);
+        assert_eq!(core.cache.hits(), 2);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn recovery_requeues_onto_the_faulted_successor() {
+        let dir = temp_dir("fault-recover");
+        let spec_for = |fp: u64, seed: u64| JobSpec {
+            topo: TopoRef::Registered(fp),
+            routing: RoutingSpec::UpDown { root: 0 },
+            kind: JobKind::Schedule { clusters: 4, seed },
+        };
+        // Session 1: register paper24, warm its cache, drain.
+        let old_fp = {
+            let (core, _) = durable_core(&dir, 8);
+            let (fp, fresh) = core.register_topology(designed::paper_24_switch());
+            assert!(fresh);
+            let warm = core.submit(spec_for(fp, 1)).unwrap();
+            let worker = {
+                let core = Arc::clone(&core);
+                std::thread::spawn(move || core.worker_loop())
+            };
+            core.drain();
+            worker.join().unwrap();
+            assert_eq!(core.status(warm), Some(JobState::Done));
+            fp
+        };
+        // Session 2: queue a job against the old fingerprint, apply a
+        // fault — the repair must work off the *restored* table, not a
+        // rebuild — then crash with the job still queued.
+        {
+            let (core, report) = durable_core(&dir, 8);
+            assert_eq!(report.restored_tables, 1, "report: {report:?}");
+            core.submit(spec_for(old_fp, 2)).unwrap();
+            let lines = core
+                .fault(
+                    TopoRef::Registered(old_fp),
+                    &FaultEvent::LinkDown { a: 0, b: 1 },
+                )
+                .unwrap();
+            assert!(
+                lines
+                    .iter()
+                    .any(|l| l.starts_with("repair updown:0 pairs ")),
+                "post-restart fault must repair incrementally: {lines:?}"
+            );
+        }
+        // Session 3: the queued job replays retargeted at the successor
+        // and runs off the repaired (and restored) table.
+        let (core, report) = durable_core(&dir, 8);
+        assert_eq!(report.recovered_jobs, 1, "report: {report:?}");
+        assert_eq!(report.retargeted_jobs, 1, "report: {report:?}");
+        let new_fp = core.current_epoch_of(old_fp);
+        assert_ne!(new_fp, old_fp);
+        let worker = {
+            let core = Arc::clone(&core);
+            std::thread::spawn(move || core.worker_loop())
+        };
+        core.drain();
+        worker.join().unwrap();
+        assert_eq!(core.status(2), Some(JobState::Done));
+        let lines = core.result_lines(2).unwrap();
+        assert!(
+            lines
+                .iter()
+                .any(|l| l == &format!("topology {}", format_fingerprint(new_fp))),
+            "lines: {lines:?}"
+        );
+        assert_eq!(core.cache.misses(), 0, "successor table should restore");
+        std::fs::remove_dir_all(&dir).unwrap();
     }
 
     #[test]

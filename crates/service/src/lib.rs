@@ -16,6 +16,10 @@
 //! * [`jobs`] — a bounded job queue and worker pool with job-id
 //!   issuance, status polling, cancellation of queued jobs, queue-full
 //!   backpressure, and a graceful drain that finishes every accepted job;
+//! * [`persist`] — durable state: a checksummed write-ahead log of
+//!   state changes, periodic compacting snapshots, and startup
+//!   recovery that requeues in-flight jobs and restores cached tables
+//!   bit-exactly (`commsched serve --state-dir`);
 //! * [`stats::ServiceStats`] — counters and latency histograms exposed
 //!   over the `STATS` request;
 //! * [`server`]/[`client`] — a hand-rolled line-based TCP protocol
@@ -28,6 +32,7 @@
 pub mod cache;
 pub mod client;
 pub mod jobs;
+pub mod persist;
 pub mod protocol;
 pub mod registry;
 pub mod server;
@@ -36,6 +41,7 @@ pub mod stats;
 pub use cache::{DistanceCache, RoutedTable, RoutingSpec};
 pub use client::Client;
 pub use jobs::{JobId, JobState, ServiceCore, ServiceCoreConfig, SubmitError};
+pub use persist::{FsyncPolicy, PersistError, PersistOptions, Persistence, RecoveryReport};
 pub use protocol::{JobKind, JobSpec, Request, TopoRef};
 pub use registry::TopologyRegistry;
 pub use server::{Server, ServerConfig, ServerHandle};

@@ -107,6 +107,8 @@ pub enum Request {
     Stats,
     /// Prometheus-format dump of every metric registry in the process.
     Metrics,
+    /// Force a compacting snapshot of the durable state now.
+    Snapshot,
     /// Drain all accepted jobs, then stop the server.
     Shutdown,
     /// Close this connection.
@@ -211,6 +213,64 @@ fn parse_submit(words: &[&str]) -> Result<JobSpec, String> {
     })
 }
 
+/// Render a [`TopoRef`] the way `SUBMIT`'s `topo=` argument spells it
+/// ([`parse_job_spec`] round-trips it).
+pub fn format_topo_ref(topo: &TopoRef) -> String {
+    match topo {
+        TopoRef::Registered(fp) => format!("fp:{}", format_fingerprint(*fp)),
+        TopoRef::Paper24 => "paper24".to_string(),
+        TopoRef::Ring { switches, hosts } => format!("ring:{switches}:{hosts}"),
+        TopoRef::Random {
+            switches,
+            degree,
+            hosts,
+            seed,
+        } => format!("random:{switches}:{degree}:{hosts}:{seed}"),
+    }
+}
+
+/// Render a [`JobSpec`] as the argument words of a `SUBMIT` request,
+/// every parameter spelled explicitly. The WAL persists jobs in this
+/// spelling, so a state directory stays readable with the protocol
+/// docs in hand.
+pub fn format_job_spec(spec: &JobSpec) -> String {
+    let topo = format_topo_ref(&spec.topo);
+    let routing = spec.routing;
+    match spec.kind {
+        JobKind::Schedule { clusters, seed } => {
+            format!("SCHEDULE topo={topo} routing={routing} clusters={clusters} seed={seed}")
+        }
+        JobKind::Sweep {
+            clusters,
+            seed,
+            points,
+        } => format!(
+            "SWEEP topo={topo} routing={routing} clusters={clusters} seed={seed} points={points}"
+        ),
+    }
+}
+
+/// Parse the argument words of a `SUBMIT` request (the job-spec half of
+/// the line, without the `SUBMIT` verb). Inverse of [`format_job_spec`].
+///
+/// # Errors
+/// Returns a human-readable message on malformed input.
+pub fn parse_job_spec(text: &str) -> Result<JobSpec, String> {
+    let words: Vec<&str> = text.split_whitespace().collect();
+    parse_submit(&words)
+}
+
+/// Parse a routing spec as the protocol (and [`RoutingSpec`]'s
+/// `Display`) spells it: `shortest` or `updown:<root>`.
+///
+/// # Errors
+/// Returns a human-readable message on malformed input.
+///
+/// [`RoutingSpec`]: crate::cache::RoutingSpec
+pub fn parse_routing_spec(value: &str) -> Result<crate::cache::RoutingSpec, String> {
+    parse_routing(value)
+}
+
 /// Parse the `<a>:<b>[:<slowdown>]` endpoint syntax of FAULT events.
 fn parse_endpoints(value: &str, with_slowdown: bool) -> Result<(usize, usize, u32), String> {
     let parts: Vec<&str> = value.split(':').collect();
@@ -295,6 +355,7 @@ pub fn parse_request(line: &str) -> Result<Request, String> {
         ["CANCEL", id] => Ok(Request::Cancel { job: job_id(id)? }),
         ["STATS"] => Ok(Request::Stats),
         ["METRICS"] => Ok(Request::Metrics),
+        ["SNAPSHOT"] => Ok(Request::Snapshot),
         ["SHUTDOWN"] => Ok(Request::Shutdown),
         ["QUIT"] => Ok(Request::Quit),
         [verb, ..] => Err(format!("unknown request '{verb}'")),
@@ -447,6 +508,65 @@ mod tests {
         assert!(parse_request("FAULT topo=paper24 switch=many").is_err());
         assert!(parse_request("FAULT topo=paper24 kill=0:1 switch=2").is_err()); // two events
         assert!(parse_request("FAULT topo=paper24 frob=1").is_err());
+    }
+
+    #[test]
+    fn parses_snapshot_request() {
+        assert_eq!(parse_request("SNAPSHOT"), Ok(Request::Snapshot));
+        assert!(parse_request("SNAPSHOT now").is_err());
+    }
+
+    #[test]
+    fn job_specs_round_trip_through_their_wire_spelling() {
+        let specs = [
+            JobSpec {
+                topo: TopoRef::Paper24,
+                routing: RoutingSpec::UpDown { root: 3 },
+                kind: JobKind::Schedule {
+                    clusters: 4,
+                    seed: 42,
+                },
+            },
+            JobSpec {
+                topo: TopoRef::Registered(0xdead_beef_0123_4567),
+                routing: RoutingSpec::ShortestPath,
+                kind: JobKind::Sweep {
+                    clusters: 2,
+                    seed: 7,
+                    points: 5,
+                },
+            },
+            JobSpec {
+                topo: TopoRef::Random {
+                    switches: 16,
+                    degree: 3,
+                    hosts: 4,
+                    seed: 2000,
+                },
+                routing: RoutingSpec::UpDown { root: 0 },
+                kind: JobKind::Schedule {
+                    clusters: 8,
+                    seed: 0,
+                },
+            },
+        ];
+        for spec in specs {
+            let text = format_job_spec(&spec);
+            assert_eq!(parse_job_spec(&text), Ok(spec), "spelling was '{text}'");
+            // The spelling doubles as a full SUBMIT line.
+            assert_eq!(
+                parse_request(&format!("SUBMIT {text}")),
+                Ok(Request::Submit(spec))
+            );
+        }
+        assert_eq!(
+            parse_routing_spec(&RoutingSpec::UpDown { root: 9 }.to_string()),
+            Ok(RoutingSpec::UpDown { root: 9 })
+        );
+        assert_eq!(
+            parse_routing_spec(&RoutingSpec::ShortestPath.to_string()),
+            Ok(RoutingSpec::ShortestPath)
+        );
     }
 
     #[test]

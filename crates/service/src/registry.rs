@@ -52,6 +52,16 @@ impl TopologyRegistry {
     pub fn is_empty(&self) -> bool {
         self.len() == 0
     }
+
+    /// Every registered topology, ordered by fingerprint — a
+    /// deterministic order for snapshot writers.
+    pub fn topologies(&self) -> Vec<Arc<Topology>> {
+        let map = self.inner.lock().expect("registry lock");
+        let mut entries: Vec<(u64, Arc<Topology>)> =
+            map.iter().map(|(&fp, t)| (fp, Arc::clone(t))).collect();
+        entries.sort_unstable_by_key(|(fp, _)| *fp);
+        entries.into_iter().map(|(_, t)| t).collect()
+    }
 }
 
 #[cfg(test)]
@@ -89,5 +99,17 @@ mod tests {
         assert!(fresh_a);
         assert!(!fresh_b);
         assert_eq!(reg.len(), 1);
+    }
+
+    #[test]
+    fn topologies_lists_in_fingerprint_order() {
+        let reg = TopologyRegistry::new();
+        assert!(reg.topologies().is_empty());
+        let (fp_ring, _) = reg.register(designed::ring(5, 2));
+        let (fp_paper, _) = reg.register(designed::paper_24_switch());
+        let listed: Vec<u64> = reg.topologies().iter().map(|t| t.fingerprint()).collect();
+        let mut expected = vec![fp_ring, fp_paper];
+        expected.sort_unstable();
+        assert_eq!(listed, expected);
     }
 }

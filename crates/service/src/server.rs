@@ -37,14 +37,30 @@ impl Server {
     /// # Errors
     /// Propagates the bind failure.
     pub fn bind<A: ToSocketAddrs>(addr: A, config: ServerConfig) -> std::io::Result<ServerHandle> {
+        Self::bind_with_core(
+            addr,
+            config.workers,
+            Arc::new(ServiceCore::new(config.core)),
+        )
+    }
+
+    /// Bind with an externally constructed core — e.g. one recovered
+    /// from a state directory by [`ServiceCore::recover`].
+    ///
+    /// # Errors
+    /// Propagates the bind failure.
+    pub fn bind_with_core<A: ToSocketAddrs>(
+        addr: A,
+        workers: usize,
+        core: Arc<ServiceCore>,
+    ) -> std::io::Result<ServerHandle> {
         let listener = TcpListener::bind(addr)?;
         let local_addr = listener.local_addr()?;
         // Polling accept keeps the loop responsive to the stop flag
         // without platform-specific socket shutdown tricks.
         listener.set_nonblocking(true)?;
-        let core = Arc::new(ServiceCore::new(config.core));
         let stop = Arc::new(AtomicBool::new(false));
-        let workers: Vec<JoinHandle<()>> = (0..config.workers.max(1))
+        let workers: Vec<JoinHandle<()>> = (0..workers.max(1))
             .map(|_| {
                 let core = Arc::clone(&core);
                 std::thread::spawn(move || core.worker_loop())
@@ -177,7 +193,7 @@ fn handle_connection(
                 }
                 match commsched_topology::from_text(&text) {
                     Ok(topo) => {
-                        let (fp, _) = core.registry.register(topo);
+                        let (fp, _) = core.register_topology(topo);
                         respond(
                             &mut writer,
                             &format!("OK {}", protocol::format_fingerprint(fp)),
@@ -225,6 +241,10 @@ fn handle_connection(
                 }
                 respond(&mut writer, ".")?;
             }
+            Request::Snapshot => match core.snapshot_now() {
+                Ok(bytes) => respond(&mut writer, &format!("OK snapshot {bytes}"))?,
+                Err(e) => respond(&mut writer, &format!("ERR {e}"))?,
+            },
             Request::Metrics => {
                 respond(&mut writer, "OK metrics")?;
                 for l in core.metrics_text().lines() {

@@ -8,7 +8,7 @@
 //! cores — the unit tests spin up several per process — never observe
 //! each other's counts.
 
-use commsched_telemetry::{Counter, Histo, Registry};
+use commsched_telemetry::{Counter, Gauge, Histo, Registry};
 
 /// Counters and histograms accumulated over the daemon's lifetime,
 /// reported by the `STATS` request and exposed by `METRICS`. All
@@ -21,6 +21,12 @@ pub struct ServiceStats {
     cancelled: Counter,
     rejected: Counter,
     panicked: Counter,
+    /// Jobs requeued by crash recovery at startup.
+    recovered: Counter,
+    /// Bytes currently in the write-ahead log (0 without persistence).
+    wal_bytes: Gauge,
+    /// Wall time of the most recent compacting snapshot.
+    snapshot_nanos: Gauge,
     /// Time jobs spent queued before a worker picked them up.
     queue_wait_ms: Histo,
     /// Worker execution time.
@@ -56,6 +62,18 @@ impl ServiceStats {
             "service_jobs_panicked_total",
             "Jobs whose worker panicked (caught; worker survived)",
         );
+        let recovered = registry.counter(
+            "service_recovered_jobs_total",
+            "Jobs requeued by crash recovery at startup",
+        );
+        let wal_bytes = registry.gauge(
+            "service_wal_bytes",
+            "Bytes currently in the write-ahead log",
+        );
+        let snapshot_nanos = registry.gauge(
+            "service_snapshot_nanos",
+            "Wall time of the most recent compacting snapshot, in nanoseconds",
+        );
         let queue_wait_ms = registry.histogram(
             "service_job_queue_wait_ms",
             "Milliseconds jobs spent queued before a worker picked them up",
@@ -72,6 +90,9 @@ impl ServiceStats {
             cancelled,
             rejected,
             panicked,
+            recovered,
+            wal_bytes,
+            snapshot_nanos,
             queue_wait_ms,
             run_ms,
         }
@@ -144,6 +165,37 @@ impl ServiceStats {
         self.panicked.get()
     }
 
+    /// Count jobs requeued by crash recovery.
+    pub fn note_recovered(&self, jobs: u64) {
+        self.recovered.add(jobs);
+    }
+
+    /// Jobs requeued by crash recovery since startup.
+    pub fn recovered(&self) -> u64 {
+        self.recovered.get()
+    }
+
+    /// Record the current WAL size.
+    pub fn set_wal_bytes(&self, bytes: u64) {
+        self.wal_bytes.set(i64::try_from(bytes).unwrap_or(i64::MAX));
+    }
+
+    /// Bytes currently in the write-ahead log.
+    pub fn wal_bytes(&self) -> u64 {
+        u64::try_from(self.wal_bytes.get()).unwrap_or(0)
+    }
+
+    /// Record the duration of the most recent compacting snapshot.
+    pub fn set_snapshot_nanos(&self, nanos: u64) {
+        self.snapshot_nanos
+            .set(i64::try_from(nanos).unwrap_or(i64::MAX));
+    }
+
+    /// Wall time of the most recent compacting snapshot, in nanoseconds.
+    pub fn snapshot_nanos(&self) -> u64 {
+        u64::try_from(self.snapshot_nanos.get()).unwrap_or(0)
+    }
+
     /// `key value` lines for the `STATS` response (the caller appends
     /// queue gauges and cache counters it owns).
     pub fn report_lines(&self) -> Vec<String> {
@@ -154,6 +206,9 @@ impl ServiceStats {
             format!("jobs_cancelled {}", self.cancelled()),
             format!("jobs_rejected {}", self.rejected()),
             format!("jobs_panicked {}", self.panicked()),
+            format!("jobs_recovered {}", self.recovered()),
+            format!("wal_bytes {}", self.wal_bytes()),
+            format!("snapshot_nanos {}", self.snapshot_nanos()),
         ];
         for (name, hist) in [
             ("queue_wait_ms", &self.queue_wait_ms),
@@ -186,12 +241,18 @@ mod tests {
         s.note_finished(true, 5.0, 120.0);
         s.note_finished(false, 1.0, 3.0);
         s.note_panicked();
+        s.note_recovered(3);
+        s.set_wal_bytes(4096);
+        s.set_snapshot_nanos(1_500_000);
         assert_eq!(s.submitted(), 2);
         assert_eq!(s.rejected(), 1);
         assert_eq!(s.cancelled(), 1);
         assert_eq!(s.completed(), 1);
         assert_eq!(s.failed(), 1);
         assert_eq!(s.panicked(), 1);
+        assert_eq!(s.recovered(), 3);
+        assert_eq!(s.wal_bytes(), 4096);
+        assert_eq!(s.snapshot_nanos(), 1_500_000);
     }
 
     #[test]
@@ -207,6 +268,9 @@ mod tests {
             "jobs_cancelled",
             "jobs_rejected",
             "jobs_panicked",
+            "jobs_recovered",
+            "wal_bytes",
+            "snapshot_nanos",
             "queue_wait_ms_count",
             "queue_wait_ms_p50",
             "run_ms_p90",

@@ -22,7 +22,9 @@
 use crate::{RoutingKind, Scheduler};
 use commsched_core::{weighted_similarity_fg, Workload};
 use commsched_netsim::{paper_sweep, simulate, SimConfig, SweepConfig};
-use commsched_service::{Client, Server, ServerConfig, ServiceCoreConfig};
+use commsched_service::{
+    Client, PersistOptions, Server, ServerConfig, ServiceCore, ServiceCoreConfig,
+};
 use commsched_topology::{designed, random_regular, RandomTopologyConfig, Topology};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
@@ -105,6 +107,10 @@ pub enum Command {
         queue_cap: usize,
         /// Distance-table cache entries.
         cache_cap: usize,
+        /// Directory holding the snapshot + write-ahead log.
+        state_dir: String,
+        /// Run fully in-memory (no WAL, no snapshots, no recovery).
+        no_persist: bool,
     },
     /// Enqueue a job on a daemon; prints the job id without waiting.
     Submit {
@@ -271,7 +277,7 @@ USAGE:
   commsched sweep    <topology flags> [--clusters M] [--seed S]
                      [--server HOST:PORT] [--trace-out FILE.jsonl]
   commsched serve    [--addr HOST:PORT] [--workers N] [--queue-cap N]
-                     [--cache-cap N]
+                     [--cache-cap N] [--state-dir DIR] [--no-persist]
   commsched submit   --server HOST:PORT [--type schedule|sweep]
                      <topology flags> [--clusters M] [--seed S] [--points P]
   commsched status   --server HOST:PORT --job ID
@@ -282,6 +288,7 @@ USAGE:
 
 DEFAULTS: --kind random --switches 16 --degree 3 --hosts 4 --topo-seed 2000
           --clusters 4 --seed 42 --rate 0.1 --addr 127.0.0.1:7477
+          --state-dir commsched-state
 ";
 
 fn parse_flags(args: &[String]) -> Result<std::collections::HashMap<String, String>, String> {
@@ -292,7 +299,7 @@ fn parse_flags(args: &[String]) -> Result<std::collections::HashMap<String, Stri
         let Some(key) = a.strip_prefix("--") else {
             return Err(format!("unexpected argument '{a}'"));
         };
-        if key == "compare-random" || key == "adaptive" {
+        if key == "compare-random" || key == "adaptive" || key == "no-persist" {
             map.insert(key.to_string(), "true".to_string());
             i += 1;
             continue;
@@ -396,6 +403,8 @@ pub fn parse(args: &[String]) -> Result<Command, String> {
             cache_cap: get("cache-cap", "8")
                 .parse()
                 .map_err(|_| "bad --cache-cap")?,
+            state_dir: get("state-dir", "commsched-state"),
+            no_persist: flags.contains_key("no-persist"),
         }),
         "submit" => Ok(Command::Submit {
             server: server.ok_or("submit needs --server <host:port>")?,
@@ -685,16 +694,41 @@ fn run_inner(cmd: &Command) -> Result<String, String> {
             workers,
             queue_cap,
             cache_cap,
+            state_dir,
+            no_persist,
         } => {
-            let config = ServerConfig {
-                workers: *workers,
-                core: ServiceCoreConfig {
-                    queue_capacity: *queue_cap,
-                    cache_capacity: *cache_cap,
-                    ..Default::default()
-                },
+            let core_config = ServiceCoreConfig {
+                queue_capacity: *queue_cap,
+                cache_capacity: *cache_cap,
+                ..Default::default()
             };
-            let handle = Server::bind(addr.as_str(), config).map_err(|e| e.to_string())?;
+            let handle = if *no_persist {
+                let config = ServerConfig {
+                    workers: *workers,
+                    core: core_config,
+                };
+                Server::bind(addr.as_str(), config).map_err(|e| e.to_string())?
+            } else {
+                let (core, report) =
+                    ServiceCore::recover(core_config, PersistOptions::new(state_dir))
+                        .map_err(|e| format!("cannot recover state from '{state_dir}': {e}"))?;
+                println!(
+                    "recovered from {state_dir}: {} jobs requeued, {} topologies, \
+                     {} cached tables ({} snapshot + {} wal records{})",
+                    report.recovered_jobs,
+                    report.recovered_topologies,
+                    report.restored_tables,
+                    report.snapshot_records,
+                    report.wal_records,
+                    if report.torn_tail {
+                        ", torn wal tail"
+                    } else {
+                        ""
+                    }
+                );
+                Server::bind_with_core(addr.as_str(), *workers, std::sync::Arc::new(core))
+                    .map_err(|e| e.to_string())?
+            };
             // Print immediately: clients need the (possibly ephemeral)
             // port while the daemon blocks below.
             println!("commsched-service listening on {}", handle.addr());
@@ -825,6 +859,19 @@ mod tests {
                 workers: 3,
                 queue_cap: 16,
                 cache_cap: 8,
+                state_dir: "commsched-state".into(),
+                no_persist: false,
+            }
+        );
+        assert_eq!(
+            parse(&argv("serve --state-dir /tmp/cs-state --no-persist")).unwrap(),
+            Command::Serve {
+                addr: "127.0.0.1:7477".into(),
+                workers: 2,
+                queue_cap: 16,
+                cache_cap: 8,
+                state_dir: "/tmp/cs-state".into(),
+                no_persist: true,
             }
         );
         assert_eq!(
