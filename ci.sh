@@ -24,8 +24,8 @@ cargo test -q --workspace
 echo "==> cargo bench --workspace --no-run"
 cargo bench --workspace --no-run
 
-echo "==> perfbase --smoke (perf sanity: sparse == dense, tabu determinism, dynamics repair >= 3x rebuild)"
-./target/release/perfbase --smoke --out /tmp/perfbase_smoke.json --out-dynamics /tmp/perfbase_smoke_pr4.json --out-service /tmp/perfbase_smoke_pr5.json
+echo "==> perfbase --smoke (perf sanity: sparse == dense, tabu determinism, dynamics repair >= 3x rebuild, net front-end sweep)"
+./target/release/perfbase --smoke --out /tmp/perfbase_smoke.json --out-dynamics /tmp/perfbase_smoke_pr4.json --out-service /tmp/perfbase_smoke_pr5.json --out-net /tmp/perfbase_smoke_pr6.json
 
 echo "==> recovery smoke (serve -> submit -> SIGKILL -> restart -> recovered job visible)"
 SMOKE_DIR=$(mktemp -d /tmp/commsched-recovery-smoke.XXXXXX)
@@ -67,5 +67,33 @@ grep -q '^recovered from ' "$SMOKE_DIR/serve2.log" \
 kill -9 "$SERVE_PID" 2>/dev/null || true
 wait "$SERVE_PID" 2>/dev/null || true
 echo "recovery smoke: ok"
+
+echo "==> loadgen smoke (serve -> closed-loop binary batch load -> clean report)"
+./target/release/commsched serve --addr 127.0.0.1:0 --workers 2 --no-persist \
+    --queue-cap 100000 >"$SMOKE_DIR/serve3.log" 2>&1 &
+SERVE_PID=$!
+ADDR=""
+for _ in $(seq 1 100); do
+    ADDR=$(sed -n 's/^commsched-service listening on //p' "$SMOKE_DIR/serve3.log")
+    if [ -n "$ADDR" ] && ./target/release/commsched metrics --server "$ADDR" >/dev/null 2>&1; then
+        break
+    fi
+    ADDR=""
+    sleep 0.1
+done
+[ -n "$ADDR" ] || { echo "loadgen smoke: server never came up"; cat "$SMOKE_DIR/serve3.log"; exit 1; }
+./target/release/commsched loadgen --server "$ADDR" --connections 32 --rate 0 \
+    --max-in-flight 4 --batch 16 --mode binary --duration 1 \
+    --out "$SMOKE_DIR/loadgen.json" >/dev/null \
+    || { echo "loadgen smoke: run failed"; exit 1; }
+grep -q '"errors":0,' "$SMOKE_DIR/loadgen.json" \
+    || { echo "loadgen smoke: errors in report"; cat "$SMOKE_DIR/loadgen.json"; exit 1; }
+grep -q '"in_flight_lost":0,' "$SMOKE_DIR/loadgen.json" \
+    || { echo "loadgen smoke: lost in-flight requests"; cat "$SMOKE_DIR/loadgen.json"; exit 1; }
+grep -q '"jobs_acked":0,' "$SMOKE_DIR/loadgen.json" \
+    && { echo "loadgen smoke: nothing acknowledged"; cat "$SMOKE_DIR/loadgen.json"; exit 1; }
+kill -9 "$SERVE_PID" 2>/dev/null || true
+wait "$SERVE_PID" 2>/dev/null || true
+echo "loadgen smoke: ok"
 
 echo "==> ci.sh: all green"

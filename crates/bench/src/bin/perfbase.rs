@@ -24,8 +24,17 @@
 //! These are tracked numbers, not a gate — fsync latency is a property
 //! of the host's storage stack.
 //!
+//! A fourth section measures the TCP front end end-to-end
+//! (`BENCH_pr6.json`): the open-loop load generator drives a live
+//! daemon over the wire, sweeping protocol (line vs binary framing) ×
+//! batch size (1 vs 64) × fsync policy (`never` vs `on-ack`), plus a
+//! 10 000-connection sustain row on the event loop. Every cell must
+//! finish with zero errors and nonzero throughput; the full (non-smoke)
+//! run additionally gates binary batch-64 fsync=`never` at ≥ 10× the
+//! line-protocol batch-1 jobs/sec.
+//!
 //! Usage: `perfbase [--smoke] [--out PATH] [--out-dynamics PATH]
-//!                  [--out-service PATH]`
+//!                  [--out-service PATH] [--out-net PATH]`
 //!
 //! * `--smoke` — N ∈ {16, 24} and one repetition: a seconds-fast CI run
 //!   that still exercises every measured code path (the dynamics guard
@@ -35,6 +44,8 @@
 //!   `BENCH_pr4.json`).
 //! * `--out-service PATH` — where to write the service-durability JSON
 //!   (default `BENCH_pr5.json`).
+//! * `--out-net PATH` — where to write the front-end throughput JSON
+//!   (default `BENCH_pr6.json`).
 
 use commsched_bench::{Testbed, SEARCH_SEED};
 use commsched_core::quality;
@@ -42,16 +53,19 @@ use commsched_distance::{
     equivalent_distance_table_with, DistanceTable, RepairMemo, SolverKind, TableOptions,
 };
 use commsched_dynamics::{repair_table, warm_remap, FaultEvent, TopologyEpoch};
+use commsched_net::NetConfig;
 use commsched_routing::UpDownRouting;
 use commsched_search::{Mapper, TabuParams, TabuSearch};
+use commsched_service::loadgen::{self, LoadgenConfig, LoadgenReport, WireMode};
+use commsched_service::server::ServerHandle;
 use commsched_service::{
-    FsyncPolicy, JobKind, JobSpec, PersistOptions, RoutingSpec, ServiceCore, ServiceCoreConfig,
-    TopoRef,
+    FsyncPolicy, JobKind, JobSpec, PersistOptions, RoutingSpec, Server, ServiceCore,
+    ServiceCoreConfig, TopoRef,
 };
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use std::sync::Arc;
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
 /// Best-of-`reps` wall time in milliseconds.
 fn time_ms<T>(reps: usize, mut f: impl FnMut() -> T) -> (f64, T) {
@@ -344,6 +358,283 @@ fn measure_service(submits: usize) -> ServiceReport {
     }
 }
 
+/// One cell of the front-end sweep: protocol × batch × fsync.
+struct NetCell {
+    mode: WireMode,
+    batch: usize,
+    fsync: FsyncPolicy,
+    report: LoadgenReport,
+}
+
+struct NetReport {
+    cells: Vec<NetCell>,
+    sustain: LoadgenReport,
+    /// Binary batch-64 at fsync=`never` over the line protocol at
+    /// batch 1 under the daemon's default durability (fsync=`on-ack`)
+    /// — the full payoff of the new front end versus the pre-existing
+    /// one-line-per-job path as it ships.
+    batch_speedup: f64,
+    /// Binary batch-64 over line batch-1 with BOTH at fsync=`never` —
+    /// the framing + batching payoff alone, durability held equal.
+    batch_speedup_same_fsync: f64,
+}
+
+fn fsync_name(policy: FsyncPolicy) -> &'static str {
+    match policy {
+        FsyncPolicy::Never => "never",
+        FsyncPolicy::OnAck => "on-ack",
+        FsyncPolicy::Always => "always",
+    }
+}
+
+fn mode_name(mode: WireMode) -> &'static str {
+    match mode {
+        WireMode::Line => "line",
+        WireMode::Binary => "binary",
+    }
+}
+
+/// A durable daemon on an ephemeral port, its state in a throwaway
+/// temp directory (returned so the caller can delete it).
+fn net_daemon(fsync: FsyncPolicy, tag: &str) -> (ServerHandle, std::path::PathBuf) {
+    let dir = std::env::temp_dir().join(format!(
+        "commsched-perfbase-net-{}-{tag}",
+        std::process::id()
+    ));
+    let _ = std::fs::remove_dir_all(&dir);
+    // A deep queue: the generator is open-loop, so the daemon must be
+    // able to accept a full run's burst without `queue-full` errors.
+    let config = ServiceCoreConfig {
+        queue_capacity: 1_000_000,
+        cache_capacity: 4,
+        search_seeds: 1,
+        search_threads: 1,
+        table_threads: 1,
+    };
+    let options = PersistOptions::new(&dir)
+        .fsync(fsync)
+        .snapshot_wal_bytes(u64::MAX);
+    let (core, _) = ServiceCore::recover(config, options).expect("recover");
+    let net = NetConfig {
+        max_connections: 12_000,
+        ..NetConfig::default()
+    };
+    let handle =
+        Server::bind_with_core_config("127.0.0.1:0", 2, net, Arc::new(core)).expect("bind daemon");
+    (handle, dir)
+}
+
+/// Spawn the sustain-row daemon as a `commsched serve` child process
+/// (built alongside this binary) and parse its listen address from the
+/// startup banner.
+fn spawn_sustain_daemon() -> (std::process::Child, std::net::SocketAddr) {
+    let bin = std::env::current_exe()
+        .expect("own executable path")
+        .with_file_name("commsched");
+    let mut child = std::process::Command::new(&bin)
+        .args([
+            "serve",
+            "--addr",
+            "127.0.0.1:0",
+            "--workers",
+            "2",
+            "--queue-cap",
+            "1000000",
+            "--no-persist",
+            "--max-conns",
+            "12000",
+        ])
+        .stdout(std::process::Stdio::piped())
+        .stderr(std::process::Stdio::null())
+        .spawn()
+        .unwrap_or_else(|e| {
+            panic!(
+                "spawn {}: {e} (build the workspace binaries first)",
+                bin.display()
+            )
+        });
+    let stdout = child.stdout.take().expect("piped stdout");
+    let mut banner = String::new();
+    std::io::BufRead::read_line(&mut std::io::BufReader::new(stdout), &mut banner)
+        .expect("daemon banner");
+    let addr = banner
+        .trim()
+        .rsplit(' ')
+        .next()
+        .expect("address in banner")
+        .parse()
+        .unwrap_or_else(|e| panic!("daemon banner '{}': {e}", banner.trim()));
+    (child, addr)
+}
+
+/// Ask a daemon to drain and stop over the line protocol.
+fn stop_daemon(addr: std::net::SocketAddr) {
+    use std::io::{Read, Write};
+    let mut conn = std::net::TcpStream::connect(addr).expect("connect for shutdown");
+    conn.write_all(b"SHUTDOWN\n").expect("send shutdown");
+    let mut reply = Vec::new();
+    let _ = conn.read_to_end(&mut reply);
+}
+
+/// The PR-6 front-end sweep: the load generator drives a live daemon
+/// over localhost TCP, closed-loop (rate 0, a 32-request in-flight cap
+/// per connection — as fast as the daemon acknowledges, without the
+/// unbounded backlog an uncapped flood piles onto an fsync-bound
+/// server), for each protocol × batch × fsync cell, plus a
+/// 10 000-connection sustain row. Each cell gets a FRESH daemon: a
+/// shared one would make later cells pay insert costs into a jobs map
+/// already holding every earlier cell's records, skewing the ratios.
+/// Every cell must end clean (zero errors, nothing lost in flight,
+/// nonzero throughput); the full run additionally gates the front-end
+/// payoff at ≥ 10×.
+fn measure_net(smoke: bool) -> NetReport {
+    // The daemon and the generator share this process: ~2 fds per
+    // connection plus pollers and state files.
+    let _ = commsched_net::sys::raise_nofile_limit(25_000);
+    let duration = if smoke {
+        Duration::from_millis(400)
+    } else {
+        Duration::from_secs(1)
+    };
+
+    let mut cells = Vec::new();
+    for fsync in [FsyncPolicy::Never, FsyncPolicy::OnAck] {
+        for (mode, batch) in [
+            (WireMode::Line, 1),
+            (WireMode::Line, 64),
+            (WireMode::Binary, 1),
+            (WireMode::Binary, 64),
+        ] {
+            let tag = format!("{}-{}-{batch}", fsync_name(fsync), mode_name(mode));
+            let (handle, dir) = net_daemon(fsync, &tag);
+            // One connection per cell: the sweep isolates per-connection
+            // protocol efficiency (framing + batching), so the gate ratio
+            // is not inflated by fan-in. The sustain row covers scale.
+            let report = loadgen::run(
+                handle.addr(),
+                &LoadgenConfig {
+                    connections: 1,
+                    rate: 0.0,
+                    batch,
+                    duration,
+                    mode,
+                    spec: "NOOP".to_string(),
+                    max_in_flight: 32,
+                },
+            )
+            .expect("loadgen run");
+            handle.shutdown();
+            let _ = std::fs::remove_dir_all(&dir);
+            let cell = format!(
+                "{} batch={batch} fsync={}",
+                mode_name(mode),
+                fsync_name(fsync)
+            );
+            assert_eq!(report.errors, 0, "{cell}: {}", report.to_json());
+            assert_eq!(report.in_flight_lost, 0, "{cell}: {}", report.to_json());
+            assert!(
+                report.jobs_per_sec > 0.0,
+                "{cell} measured zero throughput: {}",
+                report.to_json()
+            );
+            eprintln!(
+                "  {cell:<28} {:>10.0} jobs/s  p50 {:.2} ms  p99 {:.2} ms",
+                report.jobs_per_sec, report.p50_ms, report.p99_ms
+            );
+            cells.push(NetCell {
+                mode,
+                batch,
+                fsync,
+                report,
+            });
+        }
+    }
+
+    // The sustain row: ten thousand concurrent connections at a modest
+    // paced rate. The point is the connection count — the event loop
+    // must hold them all open and keep every reply flowing. The daemon
+    // runs as a child process: 10k sockets on each side is ~20k file
+    // descriptors, which would not fit one process under the common
+    // 20 000-descriptor cap when the limit cannot be raised.
+    let (mut child, child_addr) = spawn_sustain_daemon();
+    let sustain = loadgen::run(
+        child_addr,
+        &LoadgenConfig {
+            connections: 10_000,
+            rate: 2_000.0,
+            batch: 1,
+            duration: if smoke {
+                Duration::from_millis(500)
+            } else {
+                Duration::from_secs(2)
+            },
+            mode: WireMode::Line,
+            spec: "NOOP".to_string(),
+            max_in_flight: 0,
+        },
+    )
+    .expect("sustain loadgen run");
+    stop_daemon(child_addr);
+    let _ = child.wait();
+    assert_eq!(
+        sustain.connections,
+        10_000,
+        "not every connection survived: {}",
+        sustain.to_json()
+    );
+    assert_eq!(sustain.errors, 0, "sustain: {}", sustain.to_json());
+    assert_eq!(sustain.in_flight_lost, 0, "sustain: {}", sustain.to_json());
+    assert!(sustain.jobs_acked > 0, "sustain: {}", sustain.to_json());
+    eprintln!(
+        "  sustain 10000 conns            {:>10.0} jobs/s  p50 {:.2} ms  p99 {:.2} ms",
+        sustain.jobs_per_sec, sustain.p50_ms, sustain.p99_ms
+    );
+
+    let cell_jps = |mode: WireMode, batch: usize, fsync: FsyncPolicy| {
+        cells
+            .iter()
+            .find(|c| c.mode == mode && c.batch == batch && c.fsync == fsync)
+            .expect("swept cell")
+            .report
+            .jobs_per_sec
+    };
+    // The gated ratio compares the new path at full throttle (binary,
+    // batch 64, fsync=never) against the pre-existing front end as it
+    // ships: one SUBMIT line per job under the daemon's default
+    // durability (fsync=on-ack). The same-fsync ratio isolates how much
+    // of that is framing + batching with durability held equal.
+    let line1_onack = cell_jps(WireMode::Line, 1, FsyncPolicy::OnAck);
+    let line1_never = cell_jps(WireMode::Line, 1, FsyncPolicy::Never);
+    let bin64 = cell_jps(WireMode::Binary, 64, FsyncPolicy::Never);
+    let batch_speedup = bin64 / line1_onack.max(1e-9);
+    let batch_speedup_same_fsync = bin64 / line1_never.max(1e-9);
+    eprintln!(
+        "  binary64/never vs line1/on-ack {batch_speedup:.1}x, \
+         vs line1/never {batch_speedup_same_fsync:.1}x"
+    );
+    // The smoke windows are too short for a stable ratio; the full run
+    // is the gate.
+    if !smoke {
+        assert!(
+            batch_speedup >= 10.0,
+            "binary batch-64 (fsync=never) is only {batch_speedup:.2}x line batch-1 \
+             at default durability ({bin64:.0} vs {line1_onack:.0} jobs/s), need >= 10x"
+        );
+        assert!(
+            batch_speedup_same_fsync >= 2.0,
+            "binary batch-64 is only {batch_speedup_same_fsync:.2}x line batch-1 at equal \
+             fsync=never ({bin64:.0} vs {line1_never:.0} jobs/s), need >= 2x"
+        );
+    }
+
+    NetReport {
+        cells,
+        sustain,
+        batch_speedup,
+        batch_speedup_same_fsync,
+    }
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let smoke = args.iter().any(|a| a == "--smoke");
@@ -365,6 +656,12 @@ fn main() {
         .and_then(|i| args.get(i + 1))
         .cloned()
         .unwrap_or_else(|| "BENCH_pr5.json".to_string());
+    let net_out_path = args
+        .iter()
+        .position(|a| a == "--out-net")
+        .and_then(|i| args.get(i + 1))
+        .cloned()
+        .unwrap_or_else(|| "BENCH_pr6.json".to_string());
 
     let (sizes, reps): (&[usize], usize) = if smoke {
         (&[16, 24], 1)
@@ -503,4 +800,37 @@ fn main() {
     );
     std::fs::write(&service_out_path, &json).expect("write service benchmark json");
     println!("perfbase: wrote {service_out_path}");
+
+    // The front-end sweep: live daemon, real sockets, open-loop load.
+    eprintln!("perfbase: net front-end sweep ...");
+    let n = measure_net(smoke);
+    let mut json = String::new();
+    json.push_str("{\n");
+    json.push_str("  \"bench\": \"pr6-net-frontend\",\n");
+    json.push_str(&format!("  \"smoke\": {smoke},\n"));
+    json.push_str(&format!("  \"machine_threads\": {threads},\n"));
+    json.push_str("  \"cells\": [\n");
+    for (i, c) in n.cells.iter().enumerate() {
+        json.push_str(&format!(
+            "    {{\"mode\": \"{}\", \"batch\": {}, \"fsync\": \"{}\", \"report\": {}}}{}\n",
+            mode_name(c.mode),
+            c.batch,
+            fsync_name(c.fsync),
+            c.report.to_json(),
+            if i + 1 < n.cells.len() { "," } else { "" }
+        ));
+    }
+    json.push_str("  ],\n");
+    json.push_str(&format!("  \"sustain_10k\": {},\n", n.sustain.to_json()));
+    json.push_str(&format!(
+        "  \"binary64_never_vs_line1_onack_speedup\": {:.3},\n",
+        n.batch_speedup
+    ));
+    json.push_str(&format!(
+        "  \"binary64_never_vs_line1_never_speedup\": {:.3}\n",
+        n.batch_speedup_same_fsync
+    ));
+    json.push_str("}\n");
+    std::fs::write(&net_out_path, &json).expect("write net benchmark json");
+    println!("perfbase: wrote {net_out_path}");
 }

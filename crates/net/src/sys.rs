@@ -1,0 +1,239 @@
+//! Raw syscall surface for the event loop.
+//!
+//! The build environment is offline, so the `libc` crate is not
+//! available. `std` already links the platform C library, which makes
+//! plain `extern "C"` declarations of the handful of functions we need
+//! (epoll on Linux, `poll(2)` everywhere, `setrlimit` for the
+//! file-descriptor budget) a zero-dependency way to reach them. Only
+//! this module contains `unsafe`; everything above it speaks
+//! `std::io::Result`.
+
+#![allow(non_camel_case_types)]
+
+use std::io;
+
+type c_int = i32;
+type c_short = i16;
+
+/// One `pollfd` entry of `poll(2)`.
+#[repr(C)]
+#[derive(Clone, Copy)]
+pub struct PollFd {
+    /// File descriptor to watch (negative entries are ignored).
+    pub fd: c_int,
+    /// Requested events (`POLLIN` / `POLLOUT`).
+    pub events: c_short,
+    /// Returned events.
+    pub revents: c_short,
+}
+
+/// `poll(2)` readable.
+pub const POLLIN: c_short = 0x001;
+/// `poll(2)` writable.
+pub const POLLOUT: c_short = 0x004;
+/// `poll(2)` error condition.
+pub const POLLERR: c_short = 0x008;
+/// `poll(2)` hangup.
+pub const POLLHUP: c_short = 0x010;
+
+extern "C" {
+    fn poll(fds: *mut PollFd, nfds: u64, timeout: c_int) -> c_int;
+}
+
+/// Wait for readiness on `fds` for at most `timeout_ms` (-1 = forever).
+/// Returns the number of entries with non-zero `revents`.
+///
+/// # Errors
+/// Propagates the OS error (callers retry `EINTR` as
+/// [`io::ErrorKind::Interrupted`]).
+pub fn sys_poll(fds: &mut [PollFd], timeout_ms: i32) -> io::Result<usize> {
+    // SAFETY: `fds` is a valid, exclusively borrowed slice of repr(C)
+    // pollfd entries; the kernel writes only `revents` within it.
+    let n = unsafe { poll(fds.as_mut_ptr(), fds.len() as u64, timeout_ms) };
+    if n < 0 {
+        return Err(io::Error::last_os_error());
+    }
+    Ok(n as usize)
+}
+
+#[cfg(target_os = "linux")]
+pub use linux::*;
+
+#[cfg(target_os = "linux")]
+mod linux {
+    use super::{c_int, io};
+
+    /// One epoll event. The kernel ABI packs this struct on x86-64
+    /// (and only there), so the field offsets match what
+    /// `epoll_ctl`/`epoll_wait` expect.
+    #[cfg_attr(target_arch = "x86_64", repr(C, packed))]
+    #[cfg_attr(not(target_arch = "x86_64"), repr(C))]
+    #[derive(Clone, Copy)]
+    pub struct EpollEvent {
+        /// Event mask (`EPOLLIN` / `EPOLLOUT` / ...).
+        pub events: u32,
+        /// Caller-owned cookie, returned verbatim (we store the token).
+        pub data: u64,
+    }
+
+    /// Readable.
+    pub const EPOLLIN: u32 = 0x001;
+    /// Writable.
+    pub const EPOLLOUT: u32 = 0x004;
+    /// Error condition (always reported, never requested).
+    pub const EPOLLERR: u32 = 0x008;
+    /// Hangup (always reported, never requested).
+    pub const EPOLLHUP: u32 = 0x010;
+    /// Peer shut down its write half.
+    pub const EPOLLRDHUP: u32 = 0x2000;
+
+    /// `epoll_ctl` op: add a descriptor.
+    pub const EPOLL_CTL_ADD: c_int = 1;
+    /// `epoll_ctl` op: remove a descriptor.
+    pub const EPOLL_CTL_DEL: c_int = 2;
+    /// `epoll_ctl` op: change a descriptor's event mask.
+    pub const EPOLL_CTL_MOD: c_int = 3;
+    /// `epoll_create1` flag: close-on-exec.
+    const EPOLL_CLOEXEC: c_int = 0o2000000;
+
+    extern "C" {
+        fn epoll_create1(flags: c_int) -> c_int;
+        fn epoll_ctl(epfd: c_int, op: c_int, fd: c_int, event: *mut EpollEvent) -> c_int;
+        fn epoll_wait(
+            epfd: c_int,
+            events: *mut EpollEvent,
+            maxevents: c_int,
+            timeout: c_int,
+        ) -> c_int;
+        fn close(fd: c_int) -> c_int;
+    }
+
+    /// Create an epoll instance (close-on-exec). Returns the raw fd,
+    /// owned by the caller (close with [`sys_close`]).
+    ///
+    /// # Errors
+    /// Propagates the OS error.
+    pub fn sys_epoll_create() -> io::Result<i32> {
+        // SAFETY: epoll_create1 takes no pointers.
+        let fd = unsafe { epoll_create1(EPOLL_CLOEXEC) };
+        if fd < 0 {
+            return Err(io::Error::last_os_error());
+        }
+        Ok(fd)
+    }
+
+    /// `epoll_ctl` with an event mask and token cookie.
+    ///
+    /// # Errors
+    /// Propagates the OS error.
+    pub fn sys_epoll_ctl(epfd: i32, op: c_int, fd: i32, events: u32, token: u64) -> io::Result<()> {
+        let mut ev = EpollEvent {
+            events,
+            data: token,
+        };
+        // SAFETY: `ev` is a valid repr(C) event the kernel only reads;
+        // a DEL op ignores the pointer entirely (non-null for old
+        // kernels regardless).
+        let r = unsafe { epoll_ctl(epfd, op, fd, &mut ev) };
+        if r < 0 {
+            return Err(io::Error::last_os_error());
+        }
+        Ok(())
+    }
+
+    /// Wait for events; `timeout_ms = -1` blocks forever. Returns how
+    /// many entries of `events` were filled.
+    ///
+    /// # Errors
+    /// Propagates the OS error (including `EINTR` as
+    /// [`io::ErrorKind::Interrupted`]).
+    pub fn sys_epoll_wait(
+        epfd: i32,
+        events: &mut [EpollEvent],
+        timeout_ms: i32,
+    ) -> io::Result<usize> {
+        // SAFETY: `events` is a valid exclusively borrowed repr(C)
+        // buffer of the advertised capacity; the kernel fills a prefix.
+        let n = unsafe { epoll_wait(epfd, events.as_mut_ptr(), events.len() as c_int, timeout_ms) };
+        if n < 0 {
+            return Err(io::Error::last_os_error());
+        }
+        Ok(n as usize)
+    }
+
+    /// Close a raw descriptor (the epoll fd; sockets stay owned by
+    /// their `TcpStream`s).
+    pub fn sys_close(fd: i32) {
+        // SAFETY: the caller owns `fd` and never uses it again.
+        unsafe { close(fd) };
+    }
+}
+
+#[repr(C)]
+struct RLimit {
+    rlim_cur: u64,
+    rlim_max: u64,
+}
+
+const RLIMIT_NOFILE: c_int = 7;
+
+extern "C" {
+    fn getrlimit(resource: c_int, rlim: *mut RLimit) -> c_int;
+    fn setrlimit(resource: c_int, rlim: *const RLimit) -> c_int;
+}
+
+/// Best-effort raise of the open-file-descriptor limit to at least
+/// `want` descriptors (a 10k-connection server plus a 10k-connection
+/// load generator needs well past the common 1024 default). Returns
+/// the soft limit now in effect. Never fails: an unprivileged process
+/// that cannot raise its hard limit just keeps what it has.
+pub fn raise_nofile_limit(want: u64) -> u64 {
+    let mut lim = RLimit {
+        rlim_cur: 0,
+        rlim_max: 0,
+    };
+    // SAFETY: `lim` is a valid repr(C) out-parameter.
+    if unsafe { getrlimit(RLIMIT_NOFILE, &mut lim) } != 0 {
+        return 0;
+    }
+    if lim.rlim_cur >= want {
+        return lim.rlim_cur;
+    }
+    // First within the hard limit, then (root only) past it.
+    let attempts = [
+        RLimit {
+            rlim_cur: want.min(lim.rlim_max),
+            rlim_max: lim.rlim_max,
+        },
+        RLimit {
+            rlim_cur: want,
+            rlim_max: want.max(lim.rlim_max),
+        },
+    ];
+    let mut best = lim.rlim_cur;
+    for a in attempts {
+        // SAFETY: `a` is a valid repr(C) limit pair the kernel reads.
+        if unsafe { setrlimit(RLIMIT_NOFILE, &a) } == 0 {
+            best = best.max(a.rlim_cur);
+        }
+    }
+    best
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn nofile_limit_reports_something_sane() {
+        let now = raise_nofile_limit(64);
+        assert!(now >= 64, "soft nofile limit {now} < 64");
+    }
+
+    #[test]
+    fn poll_times_out_on_empty_set() {
+        let mut fds: [PollFd; 0] = [];
+        let n = sys_poll(&mut fds, 10).unwrap();
+        assert_eq!(n, 0);
+    }
+}

@@ -1,0 +1,127 @@
+//! Property tests for the binary framing codec: encode → decode is
+//! the identity under arbitrary payloads and arbitrary wire
+//! fragmentation, torn frames never error or panic, and hostile
+//! length prefixes are refused with typed errors.
+
+use commsched_net::frame::{
+    decode_batch_ack, decode_submit_batch, encode_batch_ack, encode_frame, encode_submit_batch,
+    BatchOutcome, FrameDecoder, FrameError, MAGIC,
+};
+use proptest::prelude::*;
+
+/// Printable-ASCII strings of up to `max` chars (the vendored proptest
+/// shim has no regex string strategies).
+fn ascii_string(max: usize) -> impl Strategy<Value = String> {
+    proptest::collection::vec(32u8..127, 0..max.max(1))
+        .prop_map(|bytes| String::from_utf8(bytes).expect("printable ascii"))
+}
+
+proptest! {
+    /// Any sequence of frames, delivered in arbitrarily sized chunks,
+    /// decodes back to exactly the frames that were encoded.
+    #[test]
+    fn frames_round_trip_under_fragmentation(
+        frames in proptest::collection::vec(
+            (any::<u8>(), proptest::collection::vec(any::<u8>(), 0..512)),
+            0..8,
+        ),
+        chunk in 1usize..64,
+    ) {
+        let mut wire = MAGIC.to_vec();
+        for (op, payload) in &frames {
+            wire.extend_from_slice(&encode_frame(*op, payload));
+        }
+        let mut dec = FrameDecoder::new(4096);
+        let mut got = Vec::new();
+        for piece in wire.chunks(chunk) {
+            dec.extend(piece);
+            while let Some(f) = dec.next_frame().expect("valid wire never errors") {
+                got.push((f.opcode, f.payload));
+            }
+        }
+        prop_assert_eq!(got, frames);
+    }
+
+    /// A truncated wire yields exactly the complete frames and then
+    /// `Ok(None)` — a torn trailing frame is incomplete, not an error.
+    #[test]
+    fn torn_frames_are_incomplete_not_errors(
+        payload in proptest::collection::vec(any::<u8>(), 0..256),
+        cut_fraction in 0.0f64..1.0,
+    ) {
+        let mut wire = MAGIC.to_vec();
+        wire.extend_from_slice(&encode_frame(0x01, &payload));
+        let full = wire.len();
+        let cut = (full as f64 * cut_fraction) as usize;
+        let mut dec = FrameDecoder::new(4096);
+        dec.extend(&wire[..cut]);
+        match dec.next_frame() {
+            Ok(Some(f)) => {
+                prop_assert_eq!(cut, full);
+                prop_assert_eq!(f.payload, payload);
+            }
+            Ok(None) => prop_assert!(cut < full),
+            Err(e) => prop_assert!(false, "torn frame errored: {e}"),
+        }
+    }
+
+    /// Any length prefix over the cap is refused with the typed
+    /// `TooLarge` error, without allocating the advertised size.
+    #[test]
+    fn oversized_length_prefix_is_typed_error(len in 66u32..u32::MAX) {
+        let mut dec = FrameDecoder::new_after_preamble(64);
+        dec.extend(&len.to_le_bytes());
+        prop_assert_eq!(
+            dec.next_frame(),
+            Err(FrameError::TooLarge { len: len as usize, max: 65 })
+        );
+    }
+
+    /// Garbage that does not start with the magic byte is rejected up
+    /// front (this is what routes line-protocol bytes away from the
+    /// binary decoder).
+    #[test]
+    fn non_magic_preamble_is_rejected(first in 0u8..=255, rest in proptest::collection::vec(any::<u8>(), 3..16)) {
+        prop_assume!(first != MAGIC[0]);
+        let mut dec = FrameDecoder::new(4096);
+        dec.extend(&[first]);
+        dec.extend(&rest);
+        prop_assert!(matches!(dec.next_frame(), Err(FrameError::BadMagic(_))));
+    }
+
+    /// Batched-submit payloads round-trip.
+    #[test]
+    fn submit_batch_round_trips(specs in proptest::collection::vec(ascii_string(64), 0..32)) {
+        let payload = encode_submit_batch(&specs);
+        prop_assert_eq!(decode_submit_batch(&payload).unwrap(), specs);
+    }
+
+    /// Truncating a batched-submit payload anywhere is an error, never
+    /// a panic or a silently short decode.
+    #[test]
+    fn truncated_submit_batch_is_rejected(
+        specs in proptest::collection::vec(ascii_string(16), 1..8),
+        cut_fraction in 0.0f64..1.0,
+    ) {
+        let payload = encode_submit_batch(&specs);
+        let cut = (payload.len() as f64 * cut_fraction) as usize;
+        if cut < payload.len() {
+            prop_assert!(decode_submit_batch(&payload[..cut]).is_err());
+        }
+    }
+
+    /// Batch-ack payloads round-trip.
+    #[test]
+    fn batch_ack_round_trips(
+        outcomes in proptest::collection::vec(
+            prop_oneof![
+                any::<u64>().prop_map(BatchOutcome::Ok),
+                ascii_string(48).prop_map(BatchOutcome::Err),
+            ],
+            0..32,
+        ),
+    ) {
+        let payload = encode_batch_ack(&outcomes);
+        prop_assert_eq!(decode_batch_ack(&payload).unwrap(), outcomes);
+    }
+}

@@ -3,10 +3,35 @@
 
 use crate::jobs::JobId;
 use crate::protocol;
+use commsched_net::frame::{self, BatchOutcome, FrameDecoder};
 use commsched_topology::Topology;
-use std::io::{BufRead, BufReader, Write};
+use std::io::{self, BufRead, BufReader, Read, Write};
 use std::net::{TcpStream, ToSocketAddrs};
 use std::time::Duration;
+
+/// Write every byte of `buf`, surviving short writes, `Interrupted`,
+/// and `WouldBlock` (a socket with a send timeout — or one someone set
+/// nonblocking — can accept a short prefix; `write_all` would abort and
+/// desync the protocol stream).
+fn write_full(stream: &mut TcpStream, mut buf: &[u8]) -> io::Result<()> {
+    while !buf.is_empty() {
+        match stream.write(buf) {
+            Ok(0) => {
+                return Err(io::Error::new(
+                    io::ErrorKind::WriteZero,
+                    "socket closed mid-write",
+                ))
+            }
+            Ok(n) => buf = &buf[n..],
+            Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
+            Err(e) if e.kind() == io::ErrorKind::WouldBlock => {
+                std::thread::sleep(Duration::from_millis(1));
+            }
+            Err(e) => return Err(e),
+        }
+    }
+    Ok(())
+}
 
 /// One connection to a running daemon.
 pub struct Client {
@@ -58,8 +83,10 @@ impl Client {
     }
 
     fn send(&mut self, line: &str) -> Result<(), ClientError> {
-        self.writer.write_all(line.as_bytes())?;
-        self.writer.write_all(b"\n")?;
+        let mut wire = Vec::with_capacity(line.len() + 1);
+        wire.extend_from_slice(line.as_bytes());
+        wire.push(b'\n');
+        write_full(&mut self.writer, &wire)?;
         Ok(())
     }
 
@@ -248,5 +275,118 @@ impl Client {
     pub fn shutdown(&mut self) -> Result<String, ClientError> {
         self.send("SHUTDOWN")?;
         self.expect_ok()
+    }
+
+    /// The server's capability line (e.g.
+    /// `caps proto=line+binary version=1 batch-submit=1 pipeline=1`).
+    /// Servers predating the `CAPS` verb answer `ERR`, which surfaces
+    /// as [`ClientError::Server`].
+    ///
+    /// # Errors
+    /// See [`ClientError`].
+    pub fn caps(&mut self) -> Result<String, ClientError> {
+        self.send("CAPS")?;
+        self.expect_ok()
+    }
+
+    /// Submit many raw `SUBMIT` argument strings in one round trip.
+    ///
+    /// Probes `CAPS` once: servers advertising `batch-submit=1` get a
+    /// single binary `OP_SUBMIT_BATCH` frame on a fresh connection (one
+    /// WAL critical section server-side); anything older transparently
+    /// falls back to per-line `SUBMIT`s on this connection. Either way
+    /// the result has one entry per spec, in order: the accepted job id
+    /// or the server's rejection text.
+    ///
+    /// # Errors
+    /// Transport failures only; per-job rejections (`queue-full`, parse
+    /// errors) land in the per-spec entries.
+    pub fn submit_batch(
+        &mut self,
+        specs: &[String],
+    ) -> Result<Vec<Result<JobId, String>>, ClientError> {
+        if specs.is_empty() {
+            return Ok(Vec::new());
+        }
+        match self.caps() {
+            Ok(caps) if caps.contains("batch-submit=1") => self.submit_batch_binary(specs),
+            Ok(_) | Err(ClientError::Server(_)) => self.submit_batch_lines(specs),
+            Err(e) => Err(e),
+        }
+    }
+
+    /// Fallback path: one `SUBMIT` line per spec, pipelinable but one
+    /// reply each.
+    fn submit_batch_lines(
+        &mut self,
+        specs: &[String],
+    ) -> Result<Vec<Result<JobId, String>>, ClientError> {
+        let mut out = Vec::with_capacity(specs.len());
+        for spec in specs {
+            match self.submit_raw(spec) {
+                Ok(id) => out.push(Ok(id)),
+                Err(ClientError::Server(e)) => out.push(Err(e)),
+                Err(e) => return Err(e),
+            }
+        }
+        Ok(out)
+    }
+
+    /// Fast path: a fresh binary-mode connection carrying the whole
+    /// batch in one frame.
+    fn submit_batch_binary(
+        &mut self,
+        specs: &[String],
+    ) -> Result<Vec<Result<JobId, String>>, ClientError> {
+        let addr = self.writer.peer_addr()?;
+        let mut stream = TcpStream::connect(addr)?;
+        let mut wire = frame::MAGIC.to_vec();
+        frame::encode_frame_into(
+            &mut wire,
+            frame::OP_SUBMIT_BATCH,
+            &frame::encode_submit_batch(specs),
+        );
+        write_full(&mut stream, &wire)?;
+        let mut dec = FrameDecoder::new_after_preamble(frame::DEFAULT_MAX_FRAME_PAYLOAD);
+        let mut buf = [0u8; 16 * 1024];
+        let reply = loop {
+            if let Some(f) = dec
+                .next_frame()
+                .map_err(|e| ClientError::Protocol(e.to_string()))?
+            {
+                break f;
+            }
+            let n = stream.read(&mut buf)?;
+            if n == 0 {
+                return Err(ClientError::Protocol("connection closed".into()));
+            }
+            dec.extend(&buf[..n]);
+        };
+        match reply.opcode {
+            frame::OP_BATCH_ACK => {
+                let outcomes =
+                    frame::decode_batch_ack(&reply.payload).map_err(ClientError::Protocol)?;
+                if outcomes.len() != specs.len() {
+                    return Err(ClientError::Protocol(format!(
+                        "batch ack has {} entries for {} specs",
+                        outcomes.len(),
+                        specs.len()
+                    )));
+                }
+                Ok(outcomes
+                    .into_iter()
+                    .map(|o| match o {
+                        BatchOutcome::Ok(id) => Ok(id),
+                        BatchOutcome::Err(e) => Err(e),
+                    })
+                    .collect())
+            }
+            frame::OP_ERR => Err(ClientError::Server(
+                String::from_utf8_lossy(&reply.payload).into_owned(),
+            )),
+            other => Err(ClientError::Protocol(format!(
+                "unexpected reply opcode {other:#04x}"
+            ))),
+        }
     }
 }

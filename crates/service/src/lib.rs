@@ -32,6 +32,7 @@
 pub mod cache;
 pub mod client;
 pub mod jobs;
+pub mod loadgen;
 pub mod persist;
 pub mod protocol;
 pub mod registry;

@@ -1,0 +1,629 @@
+//! An open-loop load generator for the daemon's TCP front end.
+//!
+//! Open-loop means request send times follow a fixed schedule derived
+//! from `--rate`, independent of when (or whether) acknowledgements
+//! arrive — the canonical way to measure a server's latency under a
+//! given offered load without the coordinated-omission bias of
+//! closed-loop clients. A `max_in_flight` cap bounds outstanding
+//! requests per connection; combined with `rate = 0` it yields the
+//! classic closed-loop capacity measurement (offer as fast as the
+//! server acknowledges, never flooding an fsync-bound daemon with
+//! unbounded queued work). The engine multiplexes every connection on one
+//! [`commsched_net::poller::Poller`] thread, so ten thousand idle-ish
+//! connections cost file descriptors, not threads.
+//!
+//! Both wire protocols are supported: `line` sends one `SUBMIT` line
+//! per job; `binary` sends the framed protocol — `OP_REQ` at batch 1,
+//! `OP_SUBMIT_BATCH` carrying the whole batch in one frame otherwise.
+
+use commsched_net::frame::{self, FrameDecoder};
+use commsched_net::poller::{Event, Interest, Poller};
+use commsched_net::sys::raise_nofile_limit;
+use std::collections::VecDeque;
+use std::io::{self, Read, Write};
+use std::net::{TcpStream, ToSocketAddrs};
+use std::os::fd::AsRawFd;
+use std::time::{Duration, Instant};
+
+/// Which wire protocol the generator speaks.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum WireMode {
+    /// Newline-delimited `SUBMIT` lines.
+    Line,
+    /// Length-prefixed frames (`OP_REQ` / `OP_SUBMIT_BATCH`).
+    Binary,
+}
+
+impl WireMode {
+    /// Parse `line` / `binary`.
+    ///
+    /// # Errors
+    /// Anything else.
+    pub fn parse(s: &str) -> Result<Self, String> {
+        match s {
+            "line" => Ok(Self::Line),
+            "binary" => Ok(Self::Binary),
+            other => Err(format!("unknown mode '{other}' (line|binary)")),
+        }
+    }
+}
+
+/// Generator knobs.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LoadgenConfig {
+    /// Concurrent connections to open.
+    pub connections: usize,
+    /// Offered load in jobs per second across all connections
+    /// (0 = as fast as the sockets accept writes).
+    pub rate: f64,
+    /// Jobs per request (binary mode packs them into one
+    /// `OP_SUBMIT_BATCH` frame; line mode writes that many lines).
+    pub batch: usize,
+    /// How long to keep offering load.
+    pub duration: Duration,
+    /// Wire protocol.
+    pub mode: WireMode,
+    /// The `SUBMIT` argument string for every job.
+    pub spec: String,
+    /// Maximum unacknowledged requests per connection (0 = unlimited).
+    /// A connection at its cap is skipped until an ack frees a slot,
+    /// turning the generator closed-loop at the cap.
+    pub max_in_flight: usize,
+}
+
+impl Default for LoadgenConfig {
+    fn default() -> Self {
+        Self {
+            connections: 16,
+            rate: 1000.0,
+            batch: 1,
+            duration: Duration::from_secs(5),
+            mode: WireMode::Line,
+            spec: "NOOP".to_string(),
+            max_in_flight: 0,
+        }
+    }
+}
+
+/// What the run measured.
+#[derive(Debug, Clone)]
+pub struct LoadgenReport {
+    /// Connections that completed the TCP handshake.
+    pub connections: usize,
+    /// Jobs written to sockets.
+    pub jobs_sent: u64,
+    /// Jobs positively acknowledged (`OK <id>` / batch-ack `Ok`).
+    pub jobs_acked: u64,
+    /// Error acknowledgements (`ERR ...` / batch-ack `Err`).
+    pub errors: u64,
+    /// Requests still unacknowledged when the drain window closed.
+    pub in_flight_lost: u64,
+    /// Wall time from first send to last ack.
+    pub elapsed_secs: f64,
+    /// `jobs_acked / elapsed_secs`.
+    pub jobs_per_sec: f64,
+    /// Request latency percentiles, milliseconds (NaN when no samples).
+    pub p50_ms: f64,
+    /// 99th percentile latency.
+    pub p99_ms: f64,
+    /// 99.9th percentile latency.
+    pub p999_ms: f64,
+}
+
+impl LoadgenReport {
+    /// The report as a single JSON object.
+    pub fn to_json(&self) -> String {
+        fn num(v: f64) -> String {
+            if v.is_finite() {
+                format!("{v:.3}")
+            } else {
+                "null".to_string()
+            }
+        }
+        format!(
+            concat!(
+                "{{\"connections\":{},\"jobs_sent\":{},\"jobs_acked\":{},",
+                "\"errors\":{},\"in_flight_lost\":{},\"elapsed_secs\":{},",
+                "\"jobs_per_sec\":{},\"p50_ms\":{},\"p99_ms\":{},\"p999_ms\":{}}}"
+            ),
+            self.connections,
+            self.jobs_sent,
+            self.jobs_acked,
+            self.errors,
+            self.in_flight_lost,
+            num(self.elapsed_secs),
+            num(self.jobs_per_sec),
+            num(self.p50_ms),
+            num(self.p99_ms),
+            num(self.p999_ms),
+        )
+    }
+}
+
+/// Decoder state for one generator connection.
+enum RxState {
+    /// Partial line bytes.
+    Line(Vec<u8>),
+    Binary(FrameDecoder),
+}
+
+struct GenConn {
+    stream: TcpStream,
+    rx: RxState,
+    /// Outgoing bytes not yet accepted by the socket.
+    wbuf: Vec<u8>,
+    wpos: usize,
+    /// Send timestamps of unacknowledged requests, oldest first. One
+    /// entry per expected reply (line: one per line; binary: one per
+    /// frame).
+    in_flight: VecDeque<(Instant, u64)>,
+    cur_interest: Interest,
+}
+
+impl GenConn {
+    fn pending(&self) -> usize {
+        self.wbuf.len() - self.wpos
+    }
+}
+
+/// Run the generator against `addr` and collect the report.
+///
+/// # Errors
+/// Connection-phase failures (resolve, connect, poller setup) are
+/// fatal; per-socket errors during the run are tolerated (the
+/// connection just stops contributing).
+pub fn run<A: ToSocketAddrs>(addr: A, config: &LoadgenConfig) -> Result<LoadgenReport, String> {
+    let connections = config.connections.max(1);
+    let batch = config.batch.max(1);
+    // Room for every connection plus the poller and stdio.
+    let _ = raise_nofile_limit(connections as u64 + 64);
+
+    let addr = addr
+        .to_socket_addrs()
+        .map_err(|e| format!("bad address: {e}"))?
+        .next()
+        .ok_or("address resolved to nothing")?;
+
+    let mut poller = Poller::new().map_err(|e| format!("poller: {e}"))?;
+    let mut conns: Vec<Option<GenConn>> = Vec::with_capacity(connections);
+    for i in 0..connections {
+        let stream =
+            TcpStream::connect(addr).map_err(|e| format!("connect #{i} of {connections}: {e}"))?;
+        stream
+            .set_nonblocking(true)
+            .map_err(|e| format!("nonblocking: {e}"))?;
+        let _ = stream.set_nodelay(true);
+        poller
+            .register(stream.as_raw_fd(), i, Interest::READ)
+            .map_err(|e| format!("register: {e}"))?;
+        let (rx, wbuf) = match config.mode {
+            WireMode::Line => (RxState::Line(Vec::new()), Vec::new()),
+            // The preamble makes the first byte the magic, flipping the
+            // server into binary mode.
+            WireMode::Binary => (
+                RxState::Binary(FrameDecoder::new_after_preamble(
+                    frame::DEFAULT_MAX_FRAME_PAYLOAD,
+                )),
+                frame::MAGIC.to_vec(),
+            ),
+        };
+        conns.push(Some(GenConn {
+            stream,
+            rx,
+            wbuf,
+            wpos: 0,
+            in_flight: VecDeque::new(),
+            cur_interest: Interest::READ,
+        }));
+    }
+
+    // Pre-encode the request once; it is identical every time.
+    let request: Vec<u8> = match config.mode {
+        WireMode::Line => {
+            let one = format!("SUBMIT {}\n", config.spec);
+            one.repeat(batch).into_bytes()
+        }
+        WireMode::Binary if batch == 1 => {
+            frame::encode_frame(frame::OP_REQ, format!("SUBMIT {}", config.spec).as_bytes())
+        }
+        WireMode::Binary => {
+            let specs: Vec<String> = (0..batch).map(|_| config.spec.clone()).collect();
+            frame::encode_frame(frame::OP_SUBMIT_BATCH, &frame::encode_submit_batch(&specs))
+        }
+    };
+    // Expected replies per request: line mode acks each line.
+    let acks_per_request: u64 = match config.mode {
+        WireMode::Line => batch as u64,
+        WireMode::Binary => 1,
+    };
+    let jobs_per_ack: u64 = match config.mode {
+        WireMode::Line => 1,
+        WireMode::Binary => batch as u64,
+    };
+
+    let interval = if config.rate > 0.0 {
+        Duration::from_secs_f64(batch as f64 / config.rate)
+    } else {
+        Duration::ZERO
+    };
+    // Cap in units of in-flight entries (one per expected ack).
+    let ack_cap = config.max_in_flight * acks_per_request as usize;
+
+    let start = Instant::now();
+    let send_deadline = start + config.duration;
+    let drain_deadline = send_deadline + Duration::from_secs(10);
+    let mut next_send = start;
+    let mut rr = 0usize; // round-robin cursor
+    let mut jobs_sent = 0u64;
+    let mut jobs_acked = 0u64;
+    let mut errors = 0u64;
+    let mut last_ack_at = start;
+    let mut samples_us: Vec<u64> = Vec::new();
+    let mut events: Vec<Event> = Vec::new();
+    let mut read_buf = vec![0u8; 64 * 1024];
+
+    loop {
+        let now = Instant::now();
+        let in_flight_total: usize = conns
+            .iter()
+            .flatten()
+            .map(|c| c.in_flight.len() + usize::from(c.pending() > 0))
+            .sum();
+        if now >= drain_deadline || (now >= send_deadline && in_flight_total == 0) {
+            break;
+        }
+
+        // Offer load on schedule (open loop: the clock, not the acks,
+        // decides when the next request goes out).
+        if now < send_deadline {
+            while next_send <= Instant::now() {
+                // Find a live connection below its in-flight cap; give up
+                // this round when every connection is dead or saturated
+                // (capped conns free up on the next ack, not the clock).
+                let mut spun = 0;
+                while spun <= connections
+                    && conns[rr % connections]
+                        .as_ref()
+                        .is_none_or(|c| ack_cap != 0 && c.in_flight.len() >= ack_cap)
+                {
+                    rr += 1;
+                    spun += 1;
+                }
+                if spun > connections {
+                    break;
+                }
+                let idx = rr % connections;
+                rr += 1;
+                let conn = conns[idx].as_mut().expect("live conn");
+                let sent_at = Instant::now();
+                for _ in 0..acks_per_request {
+                    conn.in_flight.push_back((sent_at, jobs_per_ack));
+                }
+                conn.wbuf.extend_from_slice(&request);
+                jobs_sent += batch as u64;
+                if !flush_conn(conn) {
+                    drop_conn(&mut conns, idx, &mut poller);
+                }
+                if interval.is_zero() {
+                    // Unpaced: one request per live connection per
+                    // iteration keeps the loop responsive to acks.
+                    if rr.is_multiple_of(connections) {
+                        break;
+                    }
+                } else {
+                    next_send += interval;
+                }
+            }
+        }
+
+        let wait = if now < send_deadline && !interval.is_zero() {
+            next_send
+                .saturating_duration_since(Instant::now())
+                .min(Duration::from_millis(10))
+        } else {
+            Duration::from_millis(1)
+        };
+        poller
+            .wait(&mut events, Some(wait))
+            .map_err(|e| format!("poll: {e}"))?;
+
+        for ev in events.iter().copied() {
+            let idx = ev.token;
+            if conns.get(idx).is_none_or(Option::is_none) {
+                continue;
+            }
+            let mut dead = false;
+            if ev.writable {
+                dead = !flush_conn(conns[idx].as_mut().expect("live conn"));
+            }
+            if !dead && (ev.readable || ev.hangup) {
+                let conn = conns[idx].as_mut().expect("live conn");
+                dead = !drain_reads(
+                    conn,
+                    &mut read_buf,
+                    &mut jobs_acked,
+                    &mut errors,
+                    &mut samples_us,
+                    &mut last_ack_at,
+                );
+            }
+            if dead {
+                drop_conn(&mut conns, idx, &mut poller);
+            } else {
+                let conn = conns[idx].as_mut().expect("live conn");
+                let interest = Interest {
+                    readable: true,
+                    writable: conn.pending() > 0,
+                };
+                if interest != conn.cur_interest {
+                    conn.cur_interest = interest;
+                    let _ = poller.reregister(conn.stream.as_raw_fd(), idx, interest);
+                }
+            }
+        }
+        if conns.iter().all(Option::is_none) {
+            break;
+        }
+    }
+
+    let in_flight_lost: u64 = conns
+        .iter()
+        .flatten()
+        .map(|c| c.in_flight.iter().map(|&(_, jobs)| jobs).sum::<u64>())
+        .sum();
+    samples_us.sort_unstable();
+    let pct = |q: f64| -> f64 {
+        if samples_us.is_empty() {
+            return f64::NAN;
+        }
+        let pos = (q * (samples_us.len() - 1) as f64).round() as usize;
+        samples_us[pos] as f64 / 1000.0
+    };
+    let elapsed = last_ack_at.saturating_duration_since(start).as_secs_f64();
+    Ok(LoadgenReport {
+        connections,
+        jobs_sent,
+        jobs_acked,
+        errors,
+        in_flight_lost,
+        elapsed_secs: elapsed,
+        jobs_per_sec: if elapsed > 0.0 {
+            jobs_acked as f64 / elapsed
+        } else {
+            0.0
+        },
+        p50_ms: pct(0.50),
+        p99_ms: pct(0.99),
+        p999_ms: pct(0.999),
+    })
+}
+
+/// Write pending bytes; `false` means the connection died.
+fn flush_conn(conn: &mut GenConn) -> bool {
+    while conn.pending() > 0 {
+        match conn.stream.write(&conn.wbuf[conn.wpos..]) {
+            Ok(0) => return false,
+            Ok(n) => conn.wpos += n,
+            Err(e) if e.kind() == io::ErrorKind::WouldBlock => break,
+            Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
+            Err(_) => return false,
+        }
+    }
+    if conn.wpos == conn.wbuf.len() {
+        conn.wbuf.clear();
+        conn.wpos = 0;
+    }
+    true
+}
+
+/// Read everything available, matching acknowledgements to in-flight
+/// timestamps. `false` means the connection died.
+fn drain_reads(
+    conn: &mut GenConn,
+    read_buf: &mut [u8],
+    jobs_acked: &mut u64,
+    errors: &mut u64,
+    samples_us: &mut Vec<u64>,
+    last_ack_at: &mut Instant,
+) -> bool {
+    loop {
+        let n = match conn.stream.read(read_buf) {
+            Ok(0) => return false,
+            Ok(n) => n,
+            Err(e) if e.kind() == io::ErrorKind::WouldBlock => return true,
+            Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
+            Err(_) => return false,
+        };
+        let chunk = &read_buf[..n];
+        match &mut conn.rx {
+            RxState::Line(buf) => {
+                buf.extend_from_slice(chunk);
+                let mut consumed = 0usize;
+                while let Some(nl) = buf[consumed..].iter().position(|&b| b == b'\n') {
+                    let line = &buf[consumed..consumed + nl];
+                    let ok = line.starts_with(b"OK");
+                    consumed += nl + 1;
+                    ack_one(
+                        conn_in_flight(&mut conn.in_flight),
+                        ok,
+                        0,
+                        jobs_acked,
+                        errors,
+                        samples_us,
+                        last_ack_at,
+                    );
+                }
+                buf.drain(..consumed);
+            }
+            RxState::Binary(dec) => {
+                dec.extend(chunk);
+                loop {
+                    match dec.next_frame() {
+                        Ok(None) => break,
+                        Ok(Some(f)) => match f.opcode {
+                            frame::OP_BATCH_ACK => {
+                                let (oks, errs) = match frame::decode_batch_ack(&f.payload) {
+                                    Ok(outcomes) => {
+                                        outcomes.iter().fold((0u64, 0u64), |acc, o| match o {
+                                            frame::BatchOutcome::Ok(_) => (acc.0 + 1, acc.1),
+                                            frame::BatchOutcome::Err(_) => (acc.0, acc.1 + 1),
+                                        })
+                                    }
+                                    Err(_) => (0, 0),
+                                };
+                                *errors += errs;
+                                ack_one(
+                                    conn_in_flight(&mut conn.in_flight),
+                                    true,
+                                    oks,
+                                    jobs_acked,
+                                    errors,
+                                    samples_us,
+                                    last_ack_at,
+                                );
+                            }
+                            frame::OP_OK => ack_one(
+                                conn_in_flight(&mut conn.in_flight),
+                                true,
+                                0,
+                                jobs_acked,
+                                errors,
+                                samples_us,
+                                last_ack_at,
+                            ),
+                            _ => ack_one(
+                                conn_in_flight(&mut conn.in_flight),
+                                false,
+                                0,
+                                jobs_acked,
+                                errors,
+                                samples_us,
+                                last_ack_at,
+                            ),
+                        },
+                        Err(_) => return false,
+                    }
+                }
+            }
+        }
+    }
+}
+
+fn conn_in_flight(q: &mut VecDeque<(Instant, u64)>) -> Option<(Instant, u64)> {
+    q.pop_front()
+}
+
+/// Record one acknowledgement. `ok_override` replaces the job count
+/// from the in-flight entry when nonzero (batch acks carry their own
+/// per-job outcome counts).
+fn ack_one(
+    entry: Option<(Instant, u64)>,
+    ok: bool,
+    ok_override: u64,
+    jobs_acked: &mut u64,
+    errors: &mut u64,
+    samples_us: &mut Vec<u64>,
+    last_ack_at: &mut Instant,
+) {
+    let Some((sent_at, jobs)) = entry else {
+        return; // unsolicited reply (e.g. server error broadcast)
+    };
+    let now = Instant::now();
+    *last_ack_at = now;
+    samples_us.push(now.duration_since(sent_at).as_micros() as u64);
+    if ok {
+        *jobs_acked += if ok_override > 0 { ok_override } else { jobs };
+    } else {
+        *errors += jobs;
+    }
+}
+
+fn drop_conn(conns: &mut [Option<GenConn>], idx: usize, poller: &mut Poller) {
+    if let Some(conn) = conns[idx].take() {
+        poller.deregister(conn.stream.as_raw_fd());
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::jobs::{ServiceCore, ServiceCoreConfig};
+    use crate::server::Server;
+    use std::sync::Arc;
+
+    fn tiny_server() -> crate::server::ServerHandle {
+        let core = ServiceCoreConfig {
+            queue_capacity: 4096,
+            ..Default::default()
+        };
+        Server::bind_with_core("127.0.0.1:0", 1, Arc::new(ServiceCore::new(core)))
+            .expect("bind ephemeral")
+    }
+
+    #[test]
+    fn line_mode_noop_burst_is_clean() {
+        let handle = tiny_server();
+        let report = run(
+            handle.addr(),
+            &LoadgenConfig {
+                connections: 4,
+                rate: 2000.0,
+                batch: 1,
+                duration: Duration::from_millis(400),
+                mode: WireMode::Line,
+                spec: "NOOP".to_string(),
+                max_in_flight: 0,
+            },
+        )
+        .expect("loadgen run");
+        assert_eq!(report.errors, 0, "report: {}", report.to_json());
+        assert_eq!(report.in_flight_lost, 0);
+        assert!(report.jobs_acked > 0);
+        assert_eq!(report.jobs_acked, report.jobs_sent);
+        assert!(report.p50_ms.is_finite());
+        handle.shutdown();
+    }
+
+    #[test]
+    fn binary_batch_mode_acks_every_job() {
+        let handle = tiny_server();
+        let report = run(
+            handle.addr(),
+            &LoadgenConfig {
+                connections: 2,
+                rate: 4000.0,
+                batch: 16,
+                duration: Duration::from_millis(400),
+                mode: WireMode::Binary,
+                spec: "NOOP".to_string(),
+                max_in_flight: 0,
+            },
+        )
+        .expect("loadgen run");
+        assert_eq!(report.errors, 0, "report: {}", report.to_json());
+        assert_eq!(report.in_flight_lost, 0);
+        assert!(report.jobs_acked >= 16);
+        assert_eq!(report.jobs_acked, report.jobs_sent);
+        handle.shutdown();
+    }
+
+    #[test]
+    fn report_serializes_to_json() {
+        let report = LoadgenReport {
+            connections: 8,
+            jobs_sent: 100,
+            jobs_acked: 99,
+            errors: 1,
+            in_flight_lost: 0,
+            elapsed_secs: 1.5,
+            jobs_per_sec: 66.0,
+            p50_ms: 0.4,
+            p99_ms: 2.0,
+            p999_ms: 5.0,
+        };
+        let json = report.to_json();
+        assert!(json.starts_with('{') && json.ends_with('}'));
+        assert!(json.contains("\"jobs_per_sec\":66.000"));
+        assert!(json.contains("\"p999_ms\":5.000"));
+    }
+}

@@ -60,13 +60,36 @@ impl WalWriter {
     /// # Errors
     /// Propagates filesystem failures.
     pub fn append(&mut self, payload: &[u8], sync: bool) -> std::io::Result<u64> {
-        let len = u32::try_from(payload.len()).map_err(|_| {
-            std::io::Error::new(std::io::ErrorKind::InvalidInput, "wal record too large")
-        })?;
-        let mut frame = Vec::with_capacity(payload.len() + FRAME_HEADER_BYTES as usize);
-        frame.extend_from_slice(&len.to_le_bytes());
-        frame.extend_from_slice(&fnv1a(payload).to_le_bytes());
-        frame.extend_from_slice(payload);
+        self.append_all([payload], sync)
+    }
+
+    /// Append many framed records with ONE buffer build and ONE
+    /// `write(2)` — the per-record syscall is the dominant append cost
+    /// at high submit rates, so a batched commit must not pay it per
+    /// job. All-or-nothing from the caller's view: on error none of the
+    /// records should be considered logged (a torn tail, if any,
+    /// terminates replay at the last intact record as usual). Returns
+    /// the log size after the append.
+    ///
+    /// # Errors
+    /// Propagates filesystem failures.
+    pub fn append_all<'a>(
+        &mut self,
+        payloads: impl IntoIterator<Item = &'a [u8]>,
+        sync: bool,
+    ) -> std::io::Result<u64> {
+        let mut frame = Vec::new();
+        for payload in payloads {
+            let len = u32::try_from(payload.len()).map_err(|_| {
+                std::io::Error::new(std::io::ErrorKind::InvalidInput, "wal record too large")
+            })?;
+            frame.extend_from_slice(&len.to_le_bytes());
+            frame.extend_from_slice(&fnv1a(payload).to_le_bytes());
+            frame.extend_from_slice(payload);
+        }
+        if frame.is_empty() {
+            return Ok(self.bytes);
+        }
         self.file.write_all(&frame)?;
         if sync {
             self.file.sync_data()?;

@@ -53,6 +53,10 @@ pub enum JobKind {
         /// Simulation points.
         points: usize,
     },
+    /// Do nothing and complete immediately. Exists so load generators
+    /// can exercise the protocol/queue/WAL path without the cost of a
+    /// schedule; `topo=` defaults to `paper24` and is never resolved.
+    Noop,
 }
 
 /// A fully parsed job request.
@@ -103,6 +107,8 @@ pub enum Request {
         /// The reconfiguration event.
         event: commsched_dynamics::FaultEvent,
     },
+    /// Capability probe: what protocols/extensions this server speaks.
+    Caps,
     /// Service counters and histograms.
     Stats,
     /// Prometheus-format dump of every metric registry in the process.
@@ -196,7 +202,6 @@ fn parse_submit(words: &[&str]) -> Result<JobSpec, String> {
             other => return Err(format!("unknown key '{other}'")),
         }
     }
-    let topo = topo.ok_or("SUBMIT needs topo=...")?;
     let kind = match kind_word {
         "SCHEDULE" => JobKind::Schedule { clusters, seed },
         "SWEEP" => JobKind::Sweep {
@@ -204,7 +209,14 @@ fn parse_submit(words: &[&str]) -> Result<JobSpec, String> {
             seed,
             points,
         },
+        "NOOP" => JobKind::Noop,
         other => return Err(format!("unknown job type '{other}'")),
+    };
+    // NOOP never touches its topology, so the reference may be omitted.
+    let topo = match (topo, &kind) {
+        (Some(t), _) => t,
+        (None, JobKind::Noop) => TopoRef::Paper24,
+        (None, _) => return Err("SUBMIT needs topo=...".into()),
     };
     Ok(JobSpec {
         topo,
@@ -247,6 +259,7 @@ pub fn format_job_spec(spec: &JobSpec) -> String {
         } => format!(
             "SWEEP topo={topo} routing={routing} clusters={clusters} seed={seed} points={points}"
         ),
+        JobKind::Noop => format!("NOOP topo={topo} routing={routing}"),
     }
 }
 
@@ -353,6 +366,7 @@ pub fn parse_request(line: &str) -> Result<Request, String> {
         ["STATUS", id] => Ok(Request::Status { job: job_id(id)? }),
         ["RESULT", id] => Ok(Request::Result { job: job_id(id)? }),
         ["CANCEL", id] => Ok(Request::Cancel { job: job_id(id)? }),
+        ["CAPS"] => Ok(Request::Caps),
         ["STATS"] => Ok(Request::Stats),
         ["METRICS"] => Ok(Request::Metrics),
         ["SNAPSHOT"] => Ok(Request::Snapshot),
@@ -508,6 +522,31 @@ mod tests {
         assert!(parse_request("FAULT topo=paper24 switch=many").is_err());
         assert!(parse_request("FAULT topo=paper24 kill=0:1 switch=2").is_err()); // two events
         assert!(parse_request("FAULT topo=paper24 frob=1").is_err());
+    }
+
+    #[test]
+    fn parses_caps_and_noop() {
+        assert_eq!(parse_request("CAPS"), Ok(Request::Caps));
+        assert!(parse_request("CAPS binary").is_err());
+        // NOOP defaults its topology; explicit refs still parse.
+        assert_eq!(
+            parse_request("SUBMIT NOOP"),
+            Ok(Request::Submit(JobSpec {
+                topo: TopoRef::Paper24,
+                routing: RoutingSpec::UpDown { root: 0 },
+                kind: JobKind::Noop,
+            }))
+        );
+        let spec = JobSpec {
+            topo: TopoRef::Ring {
+                switches: 8,
+                hosts: 4,
+            },
+            routing: RoutingSpec::ShortestPath,
+            kind: JobKind::Noop,
+        };
+        let text = format_job_spec(&spec);
+        assert_eq!(parse_job_spec(&text), Ok(spec), "spelling was '{text}'");
     }
 
     #[test]

@@ -1,21 +1,34 @@
-//! The TCP front end: accept loop, per-connection handlers, shutdown.
+//! The TCP front end: a single event-loop thread multiplexing every
+//! connection (see `commsched_net`), replacing the original
+//! thread-per-connection design.
+//!
+//! The loop speaks both wire protocols: the newline-delimited text
+//! protocol (unchanged — existing clients work unmodified) and the
+//! length-prefixed binary framing for pipelined and batched submits.
+//! Protocol dispatch is shared between the two: a binary `OP_REQ`
+//! frame carries exactly one line-protocol request (with `ADDTOPO`
+//! payload lines inline after the first line), and its reply frame
+//! carries the same text the line protocol would have produced.
 
 use crate::jobs::{ServiceCore, ServiceCoreConfig};
 use crate::protocol::{self, Request};
-use std::io::{BufRead, BufReader, Write};
-use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use commsched_net::{frame, Action, Handler, NetConfig};
+use std::net::{SocketAddr, TcpListener, ToSocketAddrs};
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 use std::thread::JoinHandle;
-use std::time::Duration;
 
-/// Daemon sizing: the core's knobs plus the worker-thread count.
+/// Daemon sizing: the core's knobs plus the worker-thread count and
+/// the event loop's connection limits.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct ServerConfig {
     /// Worker threads executing jobs.
     pub workers: usize,
     /// See [`ServiceCoreConfig`].
     pub core: ServiceCoreConfig,
+    /// Event-loop limits: connection cap, idle timeout, frame/line
+    /// size caps, write backpressure. See [`NetConfig`].
+    pub net: NetConfig,
 }
 
 impl Default for ServerConfig {
@@ -23,6 +36,7 @@ impl Default for ServerConfig {
         Self {
             workers: 2,
             core: ServiceCoreConfig::default(),
+            net: NetConfig::default(),
         }
     }
 }
@@ -32,20 +46,22 @@ pub struct Server;
 
 impl Server {
     /// Bind `addr` (e.g. `127.0.0.1:0` for an ephemeral port), spawn the
-    /// worker pool and the accept loop, and return a handle.
+    /// worker pool and the event-loop thread, and return a handle.
     ///
     /// # Errors
     /// Propagates the bind failure.
     pub fn bind<A: ToSocketAddrs>(addr: A, config: ServerConfig) -> std::io::Result<ServerHandle> {
-        Self::bind_with_core(
+        Self::bind_with_core_config(
             addr,
             config.workers,
+            config.net,
             Arc::new(ServiceCore::new(config.core)),
         )
     }
 
     /// Bind with an externally constructed core — e.g. one recovered
-    /// from a state directory by [`ServiceCore::recover`].
+    /// from a state directory by [`ServiceCore::recover`] — and default
+    /// event-loop limits.
     ///
     /// # Errors
     /// Propagates the bind failure.
@@ -54,11 +70,22 @@ impl Server {
         workers: usize,
         core: Arc<ServiceCore>,
     ) -> std::io::Result<ServerHandle> {
+        Self::bind_with_core_config(addr, workers, NetConfig::default(), core)
+    }
+
+    /// Bind with an externally constructed core and explicit event-loop
+    /// limits.
+    ///
+    /// # Errors
+    /// Propagates the bind failure.
+    pub fn bind_with_core_config<A: ToSocketAddrs>(
+        addr: A,
+        workers: usize,
+        net: NetConfig,
+        core: Arc<ServiceCore>,
+    ) -> std::io::Result<ServerHandle> {
         let listener = TcpListener::bind(addr)?;
         let local_addr = listener.local_addr()?;
-        // Polling accept keeps the loop responsive to the stop flag
-        // without platform-specific socket shutdown tricks.
-        listener.set_nonblocking(true)?;
         let stop = Arc::new(AtomicBool::new(false));
         let workers: Vec<JoinHandle<()>> = (0..workers.max(1))
             .map(|_| {
@@ -66,33 +93,26 @@ impl Server {
                 std::thread::spawn(move || core.worker_loop())
             })
             .collect();
-        let accept_thread = {
+        let loop_thread = {
             let core = Arc::clone(&core);
             let stop = Arc::clone(&stop);
+            let metrics = core.stats.net().clone();
             std::thread::spawn(move || {
-                while !stop.load(Ordering::SeqCst) {
-                    match listener.accept() {
-                        Ok((stream, _)) => {
-                            let core = Arc::clone(&core);
-                            let stop = Arc::clone(&stop);
-                            std::thread::spawn(move || {
-                                // A broken connection only ends its handler.
-                                let _ = handle_connection(stream, &core, &stop);
-                            });
-                        }
-                        Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
-                            std::thread::sleep(Duration::from_millis(10));
-                        }
-                        Err(_) => break,
-                    }
-                }
+                let mut handler = ServiceHandler {
+                    core: Arc::clone(&core),
+                    stop: Arc::clone(&stop),
+                };
+                // Poller failures are unrecoverable for the front end;
+                // mark the daemon stopped so handles don't hang.
+                let _ = commsched_net::serve(listener, &mut handler, &net, &metrics, &stop);
+                stop.store(true, Ordering::SeqCst);
             })
         };
         Ok(ServerHandle {
             addr: local_addr,
             core,
             stop,
-            accept_thread: Some(accept_thread),
+            loop_thread: Some(loop_thread),
             workers,
         })
     }
@@ -104,7 +124,7 @@ pub struct ServerHandle {
     addr: SocketAddr,
     core: Arc<ServiceCore>,
     stop: Arc<AtomicBool>,
-    accept_thread: Option<JoinHandle<()>>,
+    loop_thread: Option<JoinHandle<()>>,
     workers: Vec<JoinHandle<()>>,
 }
 
@@ -121,25 +141,25 @@ impl ServerHandle {
     }
 
     /// Whether a `SHUTDOWN` request (or [`ServerHandle::shutdown`]) has
-    /// stopped the accept loop.
+    /// stopped the event loop.
     pub fn is_stopped(&self) -> bool {
         self.stop.load(Ordering::SeqCst)
     }
 
-    /// Block until the accept loop exits (i.e. until some client sends
+    /// Block until the event loop exits (i.e. until some client sends
     /// `SHUTDOWN`), then drain and join everything.
     pub fn join(mut self) {
-        if let Some(t) = self.accept_thread.take() {
+        if let Some(t) = self.loop_thread.take() {
             let _ = t.join();
         }
         self.finish();
     }
 
     /// Gracefully stop: refuse new work, finish every accepted job,
-    /// stop accepting connections, join all threads.
+    /// flush and close every connection, join all threads.
     pub fn shutdown(mut self) {
         self.stop.store(true, Ordering::SeqCst);
-        if let Some(t) = self.accept_thread.take() {
+        if let Some(t) = self.loop_thread.take() {
             let _ = t.join();
         }
         self.finish();
@@ -153,115 +173,254 @@ impl ServerHandle {
     }
 }
 
-fn respond(stream: &mut TcpStream, text: &str) -> std::io::Result<()> {
-    stream.write_all(text.as_bytes())?;
-    stream.write_all(b"\n")
+/// In-flight `ADDTOPO` upload: the request line announced `remaining`
+/// raw topology lines still to come on this connection.
+struct TopoUpload {
+    remaining: usize,
+    text: String,
 }
 
-/// Serve one connection until `QUIT`, EOF, or server shutdown.
-fn handle_connection(
-    stream: TcpStream,
-    core: &Arc<ServiceCore>,
-    stop: &Arc<AtomicBool>,
-) -> std::io::Result<()> {
-    let mut writer = stream.try_clone()?;
-    let mut reader = BufReader::new(stream);
-    let mut line = String::new();
-    loop {
-        line.clear();
-        if reader.read_line(&mut line)? == 0 {
-            return Ok(()); // EOF
+/// Per-connection protocol state for the event loop.
+pub struct ConnState {
+    upload: Option<TopoUpload>,
+}
+
+/// The service's [`Handler`]: maps decoded lines/frames to replies by
+/// calling into the shared [`ServiceCore`].
+struct ServiceHandler {
+    core: Arc<ServiceCore>,
+    stop: Arc<AtomicBool>,
+}
+
+impl ServiceHandler {
+    /// Register an uploaded topology, producing the reply line.
+    fn finish_topo(&self, text: &str) -> String {
+        match commsched_topology::from_text(text) {
+            Ok(topo) => {
+                let (fp, _) = self.core.register_topology(topo);
+                format!("OK {}", protocol::format_fingerprint(fp))
+            }
+            Err(e) => format!("ERR {e}"),
         }
-        let request = match protocol::parse_request(&line) {
-            Ok(r) => r,
-            Err(e) => {
-                respond(&mut writer, &format!("ERR {e}"))?;
-                continue;
-            }
-        };
+    }
+
+    /// Execute one parsed request (everything except `ADDTOPO` and
+    /// `QUIT`, which the callers handle because they interact with the
+    /// connection itself). Returns the reply lines and the connection
+    /// action.
+    fn apply(&self, request: Request) -> (Vec<String>, Action) {
+        let core = &self.core;
+        let reply = |s: String| (vec![s], Action::Continue);
         match request {
-            Request::Quit => return Ok(()),
-            Request::Ping => respond(&mut writer, "OK pong")?,
-            Request::AddTopo { lines } => {
-                let mut text = String::new();
-                for _ in 0..lines {
-                    let mut raw = String::new();
-                    if reader.read_line(&mut raw)? == 0 {
-                        return Ok(()); // EOF mid-upload
-                    }
-                    text.push_str(&raw);
-                }
-                match commsched_topology::from_text(&text) {
-                    Ok(topo) => {
-                        let (fp, _) = core.register_topology(topo);
-                        respond(
-                            &mut writer,
-                            &format!("OK {}", protocol::format_fingerprint(fp)),
-                        )?;
-                    }
-                    Err(e) => respond(&mut writer, &format!("ERR {e}"))?,
-                }
-            }
+            Request::Ping => reply("OK pong".to_string()),
+            Request::Caps => reply(format!(
+                "OK caps proto=line+binary version={} batch-submit=1 pipeline=1",
+                frame::PROTO_VERSION
+            )),
             Request::Submit(spec) => match core.submit(spec) {
-                Ok(id) => respond(&mut writer, &format!("OK {id}"))?,
-                Err(e) => respond(&mut writer, &format!("ERR {e}"))?,
+                Ok(id) => reply(format!("OK {id}")),
+                Err(e) => reply(format!("ERR {e}")),
             },
             Request::Status { job } => match core.status(job) {
-                Some(state) => respond(&mut writer, &format!("OK {state}"))?,
-                None => respond(&mut writer, "ERR unknown-job")?,
+                Some(state) => reply(format!("OK {state}")),
+                None => reply("ERR unknown-job".to_string()),
             },
             Request::Result { job } => match core.result_lines(job) {
-                Ok(lines) => {
-                    respond(&mut writer, "OK result")?;
-                    for l in &lines {
-                        respond(&mut writer, l)?;
-                    }
-                    respond(&mut writer, ".")?;
-                }
-                Err(e) => respond(&mut writer, &format!("ERR {e}"))?,
+                Ok(lines) => (block("OK result", lines), Action::Continue),
+                Err(e) => reply(format!("ERR {e}")),
             },
             Request::Cancel { job } => match core.cancel(job) {
-                Ok(()) => respond(&mut writer, "OK cancelled")?,
-                Err(e) => respond(&mut writer, &format!("ERR {e}"))?,
+                Ok(()) => reply("OK cancelled".to_string()),
+                Err(e) => reply(format!("ERR {e}")),
             },
             Request::Fault { topo, event } => match core.fault(topo, &event) {
-                Ok(lines) => {
-                    respond(&mut writer, "OK fault")?;
-                    for l in &lines {
-                        respond(&mut writer, l)?;
-                    }
-                    respond(&mut writer, ".")?;
-                }
-                Err(e) => respond(&mut writer, &format!("ERR {e}"))?,
+                Ok(lines) => (block("OK fault", lines), Action::Continue),
+                Err(e) => reply(format!("ERR {e}")),
             },
-            Request::Stats => {
-                respond(&mut writer, "OK stats")?;
-                for l in core.stats_lines() {
-                    respond(&mut writer, &l)?;
-                }
-                respond(&mut writer, ".")?;
-            }
+            Request::Stats => (block("OK stats", core.stats_lines()), Action::Continue),
             Request::Snapshot => match core.snapshot_now() {
-                Ok(bytes) => respond(&mut writer, &format!("OK snapshot {bytes}"))?,
-                Err(e) => respond(&mut writer, &format!("ERR {e}"))?,
+                Ok(bytes) => reply(format!("OK snapshot {bytes}")),
+                Err(e) => reply(format!("ERR {e}")),
             },
-            Request::Metrics => {
-                respond(&mut writer, "OK metrics")?;
-                for l in core.metrics_text().lines() {
-                    respond(&mut writer, l)?;
-                }
-                respond(&mut writer, ".")?;
-            }
+            Request::Metrics => (
+                block(
+                    "OK metrics",
+                    core.metrics_text().lines().map(str::to_string).collect(),
+                ),
+                Action::Continue,
+            ),
             Request::Shutdown => {
                 // Drain first so the acknowledgement means "all accepted
-                // jobs have finished", then stop the accept loop.
+                // jobs have finished", then stop the event loop (which
+                // still flushes every queued reply before closing).
                 core.drain();
-                stop.store(true, Ordering::SeqCst);
-                respond(
-                    &mut writer,
-                    &format!("OK drained {}", core.stats.completed()),
-                )?;
-                return Ok(());
+                self.stop.store(true, Ordering::SeqCst);
+                (
+                    vec![format!("OK drained {}", core.stats.completed())],
+                    Action::Shutdown,
+                )
+            }
+            Request::AddTopo { .. } | Request::Quit => {
+                unreachable!("handled by the connection callbacks")
+            }
+        }
+    }
+
+    /// Run one line-protocol request to completion, producing reply
+    /// lines. Used for binary `OP_REQ` frames, which carry `ADDTOPO`
+    /// payload lines inline after the first line.
+    fn run_text_request(&self, text: &str) -> (Vec<String>, Action) {
+        let mut lines = text.split('\n');
+        let first = lines.next().unwrap_or_default();
+        match protocol::parse_request(first) {
+            Err(e) => (vec![format!("ERR {e}")], Action::Continue),
+            Ok(Request::Quit) => (Vec::new(), Action::Close),
+            Ok(Request::AddTopo { lines: _ }) => {
+                // Frame-delimited: the rest of the payload is the
+                // topology text (the declared count is advisory here).
+                let rest: Vec<&str> = lines.collect();
+                (vec![self.finish_topo(&rest.join("\n"))], Action::Continue)
+            }
+            Ok(req) => self.apply(req),
+        }
+    }
+}
+
+/// `head`, then the payload lines, then the `.` terminator.
+fn block(head: &str, lines: Vec<String>) -> Vec<String> {
+    let mut out = Vec::with_capacity(lines.len() + 2);
+    out.push(head.to_string());
+    out.extend(lines);
+    out.push(".".to_string());
+    out
+}
+
+/// Append reply lines to a line-mode connection's output.
+fn queue_lines(out: &mut Vec<u8>, lines: &[String]) {
+    for l in lines {
+        out.extend_from_slice(l.as_bytes());
+        out.push(b'\n');
+    }
+}
+
+/// Encode reply lines as one binary frame: `OP_ERR` when the reply
+/// opens with `ERR`, `OP_OK` otherwise; the payload is the reply text
+/// joined with `\n` (no trailing newline).
+fn queue_frame(out: &mut Vec<u8>, lines: &[String]) {
+    if lines.is_empty() {
+        return;
+    }
+    let opcode = if lines[0].starts_with("ERR") {
+        frame::OP_ERR
+    } else {
+        frame::OP_OK
+    };
+    frame::encode_frame_into(out, opcode, lines.join("\n").as_bytes());
+}
+
+impl Handler for ServiceHandler {
+    type Conn = ConnState;
+
+    fn on_open(&mut self, _token: usize) -> ConnState {
+        ConnState { upload: None }
+    }
+
+    fn on_line(&mut self, conn: &mut ConnState, line: &str, out: &mut Vec<u8>) -> Action {
+        // Mid-upload lines are raw topology text, not requests.
+        if let Some(upload) = &mut conn.upload {
+            upload.text.push_str(line);
+            upload.text.push('\n');
+            upload.remaining -= 1;
+            if upload.remaining == 0 {
+                let upload = conn.upload.take().expect("upload in progress");
+                queue_lines(out, &[self.finish_topo(&upload.text)]);
+            }
+            return Action::Continue;
+        }
+        match protocol::parse_request(line) {
+            Err(e) => {
+                queue_lines(out, &[format!("ERR {e}")]);
+                Action::Continue
+            }
+            Ok(Request::Quit) => Action::Close,
+            Ok(Request::AddTopo { lines }) => {
+                if lines == 0 {
+                    queue_lines(out, &[self.finish_topo("")]);
+                } else {
+                    conn.upload = Some(TopoUpload {
+                        remaining: lines,
+                        text: String::new(),
+                    });
+                }
+                Action::Continue
+            }
+            Ok(req) => {
+                let (reply, action) = self.apply(req);
+                queue_lines(out, &reply);
+                action
+            }
+        }
+    }
+
+    fn on_frame(
+        &mut self,
+        conn: &mut ConnState,
+        opcode: u8,
+        payload: &[u8],
+        out: &mut Vec<u8>,
+    ) -> Action {
+        match opcode {
+            frame::OP_REQ => {
+                let _ = conn;
+                let text = String::from_utf8_lossy(payload);
+                let (reply, action) = self.run_text_request(&text);
+                queue_frame(out, &reply);
+                action
+            }
+            frame::OP_SUBMIT_BATCH => match frame::decode_submit_batch(payload) {
+                Ok(specs) => {
+                    // Parse every spec first; only well-formed ones
+                    // reach the core's single-WAL-section batch path.
+                    let parsed: Vec<Result<protocol::JobSpec, String>> =
+                        specs.iter().map(|s| protocol::parse_job_spec(s)).collect();
+                    let valid: Vec<protocol::JobSpec> = parsed
+                        .iter()
+                        .filter_map(|r| r.as_ref().ok().copied())
+                        .collect();
+                    let mut submitted = self.core.submit_batch(&valid).into_iter();
+                    let outcomes: Vec<frame::BatchOutcome> = parsed
+                        .into_iter()
+                        .map(|r| match r {
+                            Err(e) => frame::BatchOutcome::Err(e),
+                            Ok(_) => match submitted.next().expect("one result per valid spec") {
+                                Ok(id) => frame::BatchOutcome::Ok(id),
+                                Err(e) => frame::BatchOutcome::Err(e.to_string()),
+                            },
+                        })
+                        .collect();
+                    frame::encode_frame_into(
+                        out,
+                        frame::OP_BATCH_ACK,
+                        &frame::encode_batch_ack(&outcomes),
+                    );
+                    Action::Continue
+                }
+                Err(e) => {
+                    frame::encode_frame_into(
+                        out,
+                        frame::OP_ERR,
+                        format!("ERR bad-batch {e}").as_bytes(),
+                    );
+                    Action::Continue
+                }
+            },
+            other => {
+                frame::encode_frame_into(
+                    out,
+                    frame::OP_ERR,
+                    format!("ERR unknown-opcode {other:#04x}").as_bytes(),
+                );
+                Action::Continue
             }
         }
     }

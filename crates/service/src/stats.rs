@@ -8,6 +8,7 @@
 //! cores — the unit tests spin up several per process — never observe
 //! each other's counts.
 
+use commsched_net::NetMetrics;
 use commsched_telemetry::{Counter, Gauge, Histo, Registry};
 
 /// Counters and histograms accumulated over the daemon's lifetime,
@@ -31,6 +32,9 @@ pub struct ServiceStats {
     queue_wait_ms: Histo,
     /// Worker execution time.
     run_ms: Histo,
+    /// Event-loop front-end metrics (connections, frames, bytes,
+    /// pipeline depth), registered in the same registry.
+    net: NetMetrics,
 }
 
 impl Default for ServiceStats {
@@ -82,6 +86,7 @@ impl ServiceStats {
             "service_job_run_ms",
             "Milliseconds workers spent executing jobs",
         );
+        let net = NetMetrics::register(&registry);
         Self {
             registry,
             submitted,
@@ -95,7 +100,13 @@ impl ServiceStats {
             snapshot_nanos,
             queue_wait_ms,
             run_ms,
+            net,
         }
+    }
+
+    /// The event-loop metric handles (updated by the TCP front end).
+    pub fn net(&self) -> &NetMetrics {
+        &self.net
     }
 
     /// The backing registry (for Prometheus exposition by `METRICS`).
@@ -209,10 +220,18 @@ impl ServiceStats {
             format!("jobs_recovered {}", self.recovered()),
             format!("wal_bytes {}", self.wal_bytes()),
             format!("snapshot_nanos {}", self.snapshot_nanos()),
+            format!("net_connections_open {}", self.net.connections_open.get()),
+            format!("net_frames_rx {}", self.net.frames_rx.get()),
+            format!("net_frames_tx {}", self.net.frames_tx.get()),
+            format!("net_bytes_rx {}", self.net.bytes_rx.get()),
+            format!("net_bytes_tx {}", self.net.bytes_tx.get()),
+            format!("net_busy_rejections {}", self.net.busy_rejections.get()),
+            format!("net_idle_closed {}", self.net.idle_closed.get()),
         ];
         for (name, hist) in [
             ("queue_wait_ms", &self.queue_wait_ms),
             ("run_ms", &self.run_ms),
+            ("net_pipeline_depth", &self.net.pipeline_depth),
         ] {
             out.push(format!("{name}_count {}", hist.count()));
             for q in [0.5, 0.9] {

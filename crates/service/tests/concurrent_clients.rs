@@ -42,6 +42,7 @@ fn concurrent_clients_share_one_solve_and_drain_cleanly() {
                 search_threads: 1,
                 table_threads: 2,
             },
+            ..ServerConfig::default()
         },
     )
     .expect("bind ephemeral port");

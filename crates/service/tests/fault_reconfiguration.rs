@@ -28,6 +28,7 @@ fn fault_invalidates_one_entry_and_stale_jobs_fail_typed() {
                 search_threads: 1,
                 table_threads: 2,
             },
+            ..ServerConfig::default()
         },
     )
     .expect("bind ephemeral port");

@@ -36,6 +36,7 @@ fn metrics_agree_with_stats_after_jobs_run() {
                 search_threads: 1,
                 table_threads: 1,
             },
+            ..ServerConfig::default()
         },
     )
     .expect("bind ephemeral port");
@@ -90,6 +91,32 @@ fn metrics_agree_with_stats_after_jobs_run() {
     assert!(samples["distance_builds_total"] >= 2.0);
     assert!(samples["tabu_restarts_total"] >= 1.0);
     assert!(samples["distance_build_ms_count"] >= 2.0);
+
+    // The event-loop front end exports its own family and STATS mirrors
+    // it: this very connection is open, and everything above arrived as
+    // decoded requests with byte counts.
+    assert_eq!(samples["net_connections_open"], 1.0);
+    assert!(
+        samples["net_frames_rx_total"] >= 9.0,
+        "submits + waits + stats"
+    );
+    assert!(samples["net_frames_tx_total"] >= 9.0);
+    assert!(samples["net_bytes_rx_total"] > 0.0);
+    assert!(samples["net_bytes_tx_total"] > 0.0);
+    assert_eq!(samples["net_busy_rejections_total"], 0.0);
+    assert_eq!(samples["net_idle_closed_total"], 0.0);
+    assert!(samples["net_pipeline_depth_count"] >= 1.0);
+    for (stat_key, metric_name) in [
+        ("net_connections_open", "net_connections_open"),
+        ("net_busy_rejections", "net_busy_rejections_total"),
+        ("net_idle_closed", "net_idle_closed_total"),
+    ] {
+        let from_stats: f64 = stats[stat_key].parse().expect("numeric stat");
+        assert_eq!(
+            samples[metric_name], from_stats,
+            "{metric_name} disagrees with STATS {stat_key}"
+        );
+    }
 
     client.shutdown().expect("shutdown");
     handle.join();

@@ -1,0 +1,284 @@
+//! End-to-end tests of the event-loop front end: deep request
+//! pipelining with in-order replies, the binary framed protocol and
+//! batched submits, coexistence of both protocols on one daemon, the
+//! shutdown drain (no queued reply is ever lost), and the client's
+//! batch-submit fallback against servers predating `CAPS`.
+
+use commsched_net::frame::{self, BatchOutcome, FrameDecoder};
+use commsched_service::{Client, Server, ServerConfig, ServiceCoreConfig};
+use std::io::{BufRead, BufReader, Read, Write};
+use std::net::{TcpListener, TcpStream};
+use std::time::Duration;
+
+fn spawn_server(queue_capacity: usize) -> commsched_service::server::ServerHandle {
+    Server::bind(
+        "127.0.0.1:0",
+        ServerConfig {
+            workers: 2,
+            core: ServiceCoreConfig {
+                queue_capacity,
+                cache_capacity: 4,
+                search_seeds: 2,
+                search_threads: 1,
+                table_threads: 1,
+            },
+            ..ServerConfig::default()
+        },
+    )
+    .expect("bind ephemeral port")
+}
+
+/// A thousand pipelined requests of four kinds, written in one burst;
+/// every reply must come back in request order.
+#[test]
+fn thousand_pipelined_mixed_requests_reply_in_order() {
+    let handle = spawn_server(4096);
+    let mut conn = TcpStream::connect(handle.addr()).expect("connect");
+
+    let mut wire = String::new();
+    for i in 0..1000 {
+        match i % 4 {
+            0 => wire.push_str("PING\n"),
+            1 => wire.push_str("SUBMIT NOOP\n"),
+            2 => wire.push_str("CAPS\n"),
+            _ => wire.push_str("BOGUS request\n"),
+        }
+    }
+    conn.write_all(wire.as_bytes()).expect("one burst write");
+
+    let mut reader = BufReader::new(conn);
+    let mut last_id = 0u64;
+    for i in 0..1000 {
+        let mut line = String::new();
+        reader.read_line(&mut line).expect("reply line");
+        let line = line.trim_end();
+        match i % 4 {
+            0 => assert_eq!(line, "OK pong", "reply {i}"),
+            1 => {
+                let id: u64 = line
+                    .strip_prefix("OK ")
+                    .unwrap_or_else(|| panic!("reply {i}: {line}"))
+                    .parse()
+                    .unwrap_or_else(|_| panic!("reply {i} not a job id: {line}"));
+                assert!(id > last_id, "job ids must increase in request order");
+                last_id = id;
+            }
+            2 => assert!(
+                line.starts_with("OK caps") && line.contains("batch-submit=1"),
+                "reply {i}: {line}"
+            ),
+            _ => assert!(line.starts_with("ERR"), "reply {i}: {line}"),
+        }
+    }
+    handle.shutdown();
+}
+
+/// Binary frames pipeline the same way, and a batched submit returns
+/// one ack entry per spec in order — including per-spec failures.
+#[test]
+fn binary_pipelining_and_batch_acks() {
+    let handle = spawn_server(4096);
+    let mut conn = TcpStream::connect(handle.addr()).expect("connect");
+
+    let specs: Vec<String> = (0..64).map(|_| "NOOP".to_string()).collect();
+    let mut bad_mix: Vec<String> = specs[..3].to_vec();
+    bad_mix.insert(1, "GIBBERISH kind".to_string());
+
+    let mut wire = frame::MAGIC.to_vec();
+    wire.extend_from_slice(&frame::encode_frame(frame::OP_REQ, b"PING"));
+    wire.extend_from_slice(&frame::encode_frame(
+        frame::OP_SUBMIT_BATCH,
+        &frame::encode_submit_batch(&specs),
+    ));
+    wire.extend_from_slice(&frame::encode_frame(
+        frame::OP_SUBMIT_BATCH,
+        &frame::encode_submit_batch(&bad_mix),
+    ));
+    wire.extend_from_slice(&frame::encode_frame(frame::OP_REQ, b"STATS"));
+    conn.write_all(&wire).expect("one burst write");
+
+    let mut dec = FrameDecoder::new_after_preamble(frame::DEFAULT_MAX_FRAME_PAYLOAD);
+    let mut frames = Vec::new();
+    let mut buf = [0u8; 16 * 1024];
+    while frames.len() < 4 {
+        let n = conn.read(&mut buf).expect("read");
+        assert!(n > 0, "server closed with {} replies", frames.len());
+        dec.extend(&buf[..n]);
+        while let Some(f) = dec.next_frame().expect("clean frames") {
+            frames.push(f);
+        }
+    }
+
+    assert_eq!(frames[0].opcode, frame::OP_OK);
+    assert_eq!(frames[0].payload, b"OK pong");
+
+    assert_eq!(frames[1].opcode, frame::OP_BATCH_ACK);
+    let acks = frame::decode_batch_ack(&frames[1].payload).expect("ack payload");
+    assert_eq!(acks.len(), 64);
+    let mut last_id = 0u64;
+    for (i, a) in acks.iter().enumerate() {
+        match a {
+            BatchOutcome::Ok(id) => {
+                assert!(*id > last_id, "ack {i} out of order");
+                last_id = *id;
+            }
+            BatchOutcome::Err(e) => panic!("ack {i} failed: {e}"),
+        }
+    }
+
+    // The mixed batch keeps per-spec order: Ok, Err(parse), Ok, Ok.
+    let acks = frame::decode_batch_ack(&frames[2].payload).expect("ack payload");
+    assert_eq!(acks.len(), 4);
+    assert!(matches!(acks[0], BatchOutcome::Ok(_)));
+    assert!(matches!(acks[1], BatchOutcome::Err(_)));
+    assert!(matches!(acks[2], BatchOutcome::Ok(_)));
+    assert!(matches!(acks[3], BatchOutcome::Ok(_)));
+
+    assert_eq!(frames[3].opcode, frame::OP_OK);
+    let stats = String::from_utf8_lossy(&frames[3].payload).into_owned();
+    assert!(stats.starts_with("OK stats\n"), "got: {stats}");
+    assert!(stats.ends_with("\n."), "block terminator survives framing");
+    handle.shutdown();
+}
+
+/// One daemon serves a line client and a binary client concurrently;
+/// jobs submitted on either protocol are visible to both.
+#[test]
+fn line_and_binary_clients_coexist() {
+    let handle = spawn_server(64);
+    let mut line_client = Client::connect(handle.addr()).expect("line connect");
+
+    let mut bin = TcpStream::connect(handle.addr()).expect("binary connect");
+    let mut wire = frame::MAGIC.to_vec();
+    wire.extend_from_slice(&frame::encode_frame(
+        frame::OP_SUBMIT_BATCH,
+        &frame::encode_submit_batch(&["NOOP".to_string()]),
+    ));
+    bin.write_all(&wire).expect("write");
+    let mut dec = FrameDecoder::new_after_preamble(frame::DEFAULT_MAX_FRAME_PAYLOAD);
+    let mut buf = [0u8; 4096];
+    let ack = loop {
+        let n = bin.read(&mut buf).expect("read");
+        assert!(n > 0);
+        dec.extend(&buf[..n]);
+        if let Some(f) = dec.next_frame().expect("frame") {
+            break f;
+        }
+    };
+    let acks = frame::decode_batch_ack(&ack.payload).expect("ack");
+    let BatchOutcome::Ok(binary_job) = acks[0] else {
+        panic!("batch submit failed: {acks:?}");
+    };
+
+    // The line client sees the binary client's job.
+    let state = line_client
+        .wait(binary_job, Duration::from_millis(10))
+        .expect("wait");
+    assert_eq!(state, "done");
+    line_client.ping().expect("line protocol still healthy");
+    handle.shutdown();
+}
+
+/// Regression: a batch submit pipelined with an immediate `SHUTDOWN`
+/// (one write, then the client just reads) must deliver the batch ack
+/// and the farewell before the socket closes — the drain path flushes
+/// pending write buffers instead of dropping them.
+#[test]
+fn shutdown_drain_flushes_batch_ack_before_close() {
+    let handle = spawn_server(4096);
+    let mut conn = TcpStream::connect(handle.addr()).expect("connect");
+
+    let specs: Vec<String> = (0..128).map(|_| "NOOP".to_string()).collect();
+    let mut wire = frame::MAGIC.to_vec();
+    wire.extend_from_slice(&frame::encode_frame(
+        frame::OP_SUBMIT_BATCH,
+        &frame::encode_submit_batch(&specs),
+    ));
+    wire.extend_from_slice(&frame::encode_frame(frame::OP_REQ, b"SHUTDOWN"));
+    conn.write_all(&wire).expect("single write");
+
+    let mut dec = FrameDecoder::new_after_preamble(frame::DEFAULT_MAX_FRAME_PAYLOAD);
+    let mut frames = Vec::new();
+    let mut buf = [0u8; 16 * 1024];
+    loop {
+        let n = conn.read(&mut buf).expect("read");
+        if n == 0 {
+            break; // clean close after the drain
+        }
+        dec.extend(&buf[..n]);
+        while let Some(f) = dec.next_frame().expect("clean frames") {
+            frames.push(f);
+        }
+    }
+    assert_eq!(frames.len(), 2, "batch ack AND farewell must both arrive");
+    assert_eq!(frames[0].opcode, frame::OP_BATCH_ACK);
+    let acks = frame::decode_batch_ack(&frames[0].payload).expect("ack");
+    assert_eq!(acks.len(), 128);
+    assert!(
+        acks.iter().all(|a| matches!(a, BatchOutcome::Ok(_))),
+        "every pipelined job acked"
+    );
+    assert_eq!(frames[1].opcode, frame::OP_OK);
+    let farewell = String::from_utf8_lossy(&frames[1].payload).into_owned();
+    assert!(farewell.starts_with("OK drained"), "got: {farewell}");
+    handle.join();
+}
+
+/// `Client::submit_batch` on a modern server takes the binary path and
+/// preserves per-spec order, including rejections.
+#[test]
+fn client_submit_batch_uses_binary_path() {
+    let handle = spawn_server(4096);
+    let mut client = Client::connect(handle.addr()).expect("connect");
+    let specs = vec![
+        "NOOP".to_string(),
+        "NOT A SPEC".to_string(),
+        "NOOP".to_string(),
+    ];
+    let results = client.submit_batch(&specs).expect("batch transport");
+    assert_eq!(results.len(), 3);
+    assert!(results[0].is_ok());
+    assert!(results[1].is_err());
+    assert!(results[2].is_ok());
+    assert!(results[0].as_ref().unwrap() < results[2].as_ref().unwrap());
+    handle.shutdown();
+}
+
+/// Against a server that predates `CAPS` (answers `ERR`), the client
+/// transparently falls back to per-line submits on the existing
+/// connection.
+#[test]
+fn client_submit_batch_falls_back_on_old_servers() {
+    // A minimal old-style line server: no CAPS, no binary framing.
+    let listener = TcpListener::bind("127.0.0.1:0").expect("bind");
+    let addr = listener.local_addr().expect("addr");
+    let server = std::thread::spawn(move || {
+        let (stream, _) = listener.accept().expect("accept");
+        let mut writer = stream.try_clone().expect("clone");
+        let reader = BufReader::new(stream);
+        let mut next_id = 100u64;
+        for line in reader.lines() {
+            let line = line.expect("line");
+            let reply = if line.starts_with("SUBMIT bad") {
+                "ERR queue-full".to_string()
+            } else if line.starts_with("SUBMIT") {
+                next_id += 1;
+                format!("OK {next_id}")
+            } else {
+                format!("ERR unknown request '{line}'")
+            };
+            writer.write_all(reply.as_bytes()).expect("write");
+            writer.write_all(b"\n").expect("write");
+        }
+    });
+
+    let mut client = Client::connect(addr).expect("connect");
+    let specs = vec!["NOOP".to_string(), "bad".to_string(), "NOOP".to_string()];
+    let results = client.submit_batch(&specs).expect("fallback transport");
+    assert_eq!(results.len(), 3);
+    assert_eq!(results[0], Ok(101));
+    assert_eq!(results[1], Err("queue-full".to_string()));
+    assert_eq!(results[2], Ok(102));
+    drop(client);
+    server.join().expect("fake server");
+}

@@ -111,6 +111,21 @@ pub enum Command {
         state_dir: String,
         /// Run fully in-memory (no WAL, no snapshots, no recovery).
         no_persist: bool,
+        /// WAL fsync policy: `always`, `on-ack`, or `never`.
+        fsync: commsched_service::FsyncPolicy,
+        /// Maximum simultaneous connections (excess get `ERR busy`).
+        max_conns: usize,
+        /// Close connections idle for this many seconds (0 = never).
+        idle_timeout_secs: u64,
+    },
+    /// Drive a daemon with an open-loop load and report latency.
+    Loadgen {
+        /// Daemon address.
+        server: String,
+        /// Generator settings (connections, rate, batch, duration, mode).
+        config: commsched_service::loadgen::LoadgenConfig,
+        /// Optional path to also write the JSON report to.
+        out: Option<String>,
     },
     /// Enqueue a job on a daemon; prints the job id without waiting.
     Submit {
@@ -278,8 +293,13 @@ USAGE:
                      [--server HOST:PORT] [--trace-out FILE.jsonl]
   commsched serve    [--addr HOST:PORT] [--workers N] [--queue-cap N]
                      [--cache-cap N] [--state-dir DIR] [--no-persist]
+                     [--fsync always|on-ack|never] [--max-conns N]
+                     [--idle-timeout SECS]
   commsched submit   --server HOST:PORT [--type schedule|sweep]
                      <topology flags> [--clusters M] [--seed S] [--points P]
+  commsched loadgen  --server HOST:PORT [--connections N] [--rate JOBS_PER_S]
+                     [--batch N] [--duration SECS] [--mode line|binary]
+                     [--spec 'NOOP'] [--max-in-flight N] [--out FILE.json]
   commsched status   --server HOST:PORT --job ID
   commsched metrics  --server HOST:PORT
   commsched faults   --server HOST:PORT (--fp HEX | <topology flags>)
@@ -288,7 +308,8 @@ USAGE:
 
 DEFAULTS: --kind random --switches 16 --degree 3 --hosts 4 --topo-seed 2000
           --clusters 4 --seed 42 --rate 0.1 --addr 127.0.0.1:7477
-          --state-dir commsched-state
+          --state-dir commsched-state --fsync on-ack --max-conns 10240
+          loadgen: --connections 16 --rate 1000 --batch 1 --duration 5
 ";
 
 fn parse_flags(args: &[String]) -> Result<std::collections::HashMap<String, String>, String> {
@@ -405,6 +426,37 @@ pub fn parse(args: &[String]) -> Result<Command, String> {
                 .map_err(|_| "bad --cache-cap")?,
             state_dir: get("state-dir", "commsched-state"),
             no_persist: flags.contains_key("no-persist"),
+            fsync: match get("fsync", "on-ack").as_str() {
+                "always" => commsched_service::FsyncPolicy::Always,
+                "on-ack" => commsched_service::FsyncPolicy::OnAck,
+                "never" => commsched_service::FsyncPolicy::Never,
+                other => return Err(format!("bad --fsync '{other}' (always|on-ack|never)")),
+            },
+            max_conns: get("max-conns", "10240")
+                .parse()
+                .map_err(|_| "bad --max-conns")?,
+            idle_timeout_secs: get("idle-timeout", "0")
+                .parse()
+                .map_err(|_| "bad --idle-timeout")?,
+        }),
+        "loadgen" => Ok(Command::Loadgen {
+            server: server.ok_or("loadgen needs --server <host:port>")?,
+            config: commsched_service::loadgen::LoadgenConfig {
+                connections: get("connections", "16")
+                    .parse()
+                    .map_err(|_| "bad --connections")?,
+                rate: get("rate", "1000").parse().map_err(|_| "bad --rate")?,
+                batch: get("batch", "1").parse().map_err(|_| "bad --batch")?,
+                duration: Duration::from_secs_f64(
+                    get("duration", "5").parse().map_err(|_| "bad --duration")?,
+                ),
+                mode: commsched_service::loadgen::WireMode::parse(&get("mode", "line"))?,
+                spec: get("spec", "NOOP"),
+                max_in_flight: get("max-in-flight", "0")
+                    .parse()
+                    .map_err(|_| "bad --max-in-flight")?,
+            },
+            out: flags.get("out").cloned(),
         }),
         "submit" => Ok(Command::Submit {
             server: server.ok_or("submit needs --server <host:port>")?,
@@ -696,21 +748,31 @@ fn run_inner(cmd: &Command) -> Result<String, String> {
             cache_cap,
             state_dir,
             no_persist,
+            fsync,
+            max_conns,
+            idle_timeout_secs,
         } => {
             let core_config = ServiceCoreConfig {
                 queue_capacity: *queue_cap,
                 cache_capacity: *cache_cap,
                 ..Default::default()
             };
+            let net = commsched_net::NetConfig {
+                max_connections: *max_conns,
+                idle_timeout: (*idle_timeout_secs > 0)
+                    .then(|| Duration::from_secs(*idle_timeout_secs)),
+                ..Default::default()
+            };
             let handle = if *no_persist {
                 let config = ServerConfig {
                     workers: *workers,
                     core: core_config,
+                    net,
                 };
                 Server::bind(addr.as_str(), config).map_err(|e| e.to_string())?
             } else {
                 let (core, report) =
-                    ServiceCore::recover(core_config, PersistOptions::new(state_dir))
+                    ServiceCore::recover(core_config, PersistOptions::new(state_dir).fsync(*fsync))
                         .map_err(|e| format!("cannot recover state from '{state_dir}': {e}"))?;
                 println!(
                     "recovered from {state_dir}: {} jobs requeued, {} topologies, \
@@ -726,8 +788,13 @@ fn run_inner(cmd: &Command) -> Result<String, String> {
                         ""
                     }
                 );
-                Server::bind_with_core(addr.as_str(), *workers, std::sync::Arc::new(core))
-                    .map_err(|e| e.to_string())?
+                Server::bind_with_core_config(
+                    addr.as_str(),
+                    *workers,
+                    net,
+                    std::sync::Arc::new(core),
+                )
+                .map_err(|e| e.to_string())?
             };
             // Print immediately: clients need the (possibly ephemeral)
             // port while the daemon blocks below.
@@ -756,6 +823,19 @@ fn run_inner(cmd: &Command) -> Result<String, String> {
             };
             let job = client.submit_raw(&line).map_err(|e| e.to_string())?;
             writeln!(out, "job {job}").expect("write to string");
+        }
+        Command::Loadgen {
+            server,
+            config,
+            out: out_path,
+        } => {
+            let report = commsched_service::loadgen::run(server.as_str(), config)?;
+            let json = report.to_json();
+            if let Some(path) = out_path {
+                std::fs::write(path, format!("{json}\n"))
+                    .map_err(|e| format!("cannot write '{path}': {e}"))?;
+            }
+            writeln!(out, "{json}").expect("write to string");
         }
         Command::Status { server, job } => {
             let mut client = Client::connect(server.as_str())
@@ -861,10 +941,17 @@ mod tests {
                 cache_cap: 8,
                 state_dir: "commsched-state".into(),
                 no_persist: false,
+                fsync: commsched_service::FsyncPolicy::OnAck,
+                max_conns: 10240,
+                idle_timeout_secs: 0,
             }
         );
         assert_eq!(
-            parse(&argv("serve --state-dir /tmp/cs-state --no-persist")).unwrap(),
+            parse(&argv(
+                "serve --state-dir /tmp/cs-state --no-persist --fsync never \
+                 --max-conns 64 --idle-timeout 30"
+            ))
+            .unwrap(),
             Command::Serve {
                 addr: "127.0.0.1:7477".into(),
                 workers: 2,
@@ -872,7 +959,36 @@ mod tests {
                 cache_cap: 8,
                 state_dir: "/tmp/cs-state".into(),
                 no_persist: true,
+                fsync: commsched_service::FsyncPolicy::Never,
+                max_conns: 64,
+                idle_timeout_secs: 30,
             }
+        );
+        assert!(parse(&argv("serve --fsync sometimes")).is_err());
+        assert_eq!(
+            parse(&argv(
+                "loadgen --server localhost:7477 --connections 128 --rate 5000 \
+                 --batch 64 --duration 2.5 --mode binary --max-in-flight 32 \
+                 --out /tmp/lg.json"
+            ))
+            .unwrap(),
+            Command::Loadgen {
+                server: "localhost:7477".into(),
+                config: commsched_service::loadgen::LoadgenConfig {
+                    connections: 128,
+                    rate: 5000.0,
+                    batch: 64,
+                    duration: Duration::from_secs_f64(2.5),
+                    mode: commsched_service::loadgen::WireMode::Binary,
+                    spec: "NOOP".into(),
+                    max_in_flight: 32,
+                },
+                out: Some("/tmp/lg.json".into()),
+            }
+        );
+        assert!(
+            parse(&argv("loadgen --mode binary")).is_err(),
+            "needs --server"
         );
         assert_eq!(
             parse(&argv(
