@@ -24,8 +24,22 @@ cargo test -q --workspace
 echo "==> cargo bench --workspace --no-run"
 cargo bench --workspace --no-run
 
-echo "==> perfbase --smoke (perf sanity: sparse == dense, tabu determinism, dynamics repair >= 3x rebuild, net front-end sweep)"
-./target/release/perfbase --smoke --out /tmp/perfbase_smoke.json --out-dynamics /tmp/perfbase_smoke_pr4.json --out-service /tmp/perfbase_smoke_pr5.json --out-net /tmp/perfbase_smoke_pr6.json
+echo "==> perfbase --smoke (perf sanity: sparse == dense, tabu determinism, dynamics repair >= 3x rebuild, net front-end sweep, multilevel scale gate)"
+./target/release/perfbase --smoke --out /tmp/perfbase_smoke.json --out-dynamics /tmp/perfbase_smoke_pr4.json --out-service /tmp/perfbase_smoke_pr5.json --out-net /tmp/perfbase_smoke_pr6.json --out-scale /tmp/perfbase_smoke_pr7.json
+
+echo "==> multilevel smoke (N=1024 coarsen->map->refine on an approximate table under a wall budget)"
+ML_START=$(date +%s)
+./target/release/commsched schedule --kind random --switches 1024 --hosts 4 --degree 3 \
+    --clusters 4 --seed 42 --strategy multilevel --approx-eps 0.05 >/tmp/ml_smoke.out \
+    || { echo "multilevel smoke: schedule failed"; cat /tmp/ml_smoke.out; exit 1; }
+ML_ELAPSED=$(( $(date +%s) - ML_START ))
+grep -q '^strategy: multilevel' /tmp/ml_smoke.out \
+    || { echo "multilevel smoke: no multilevel telemetry line"; cat /tmp/ml_smoke.out; exit 1; }
+grep -q '^approx table: eps = 0.05' /tmp/ml_smoke.out \
+    || { echo "multilevel smoke: no approx-table report line"; cat /tmp/ml_smoke.out; exit 1; }
+[ "$ML_ELAPSED" -le 120 ] \
+    || { echo "multilevel smoke: N=1024 took ${ML_ELAPSED}s (> 120s budget)"; exit 1; }
+echo "multilevel smoke: ok (${ML_ELAPSED}s)"
 
 echo "==> recovery smoke (serve -> submit -> SIGKILL -> restart -> recovered job visible)"
 SMOKE_DIR=$(mktemp -d /tmp/commsched-recovery-smoke.XXXXXX)

@@ -33,12 +33,25 @@
 //! run additionally gates binary batch-64 fsync=`never` at ≥ 10× the
 //! line-protocol batch-1 jobs/sec.
 //!
+//! A fifth section gates the multilevel scale pipeline
+//! (`BENCH_pr7.json`): exact-table + flat tabu vs approximate-table +
+//! multilevel (coarsen → map → refine) at N ∈ {128, 512, 1024, 4096}.
+//! The exact arm is measured up to N = 1024 (N = 4096 is extrapolated
+//! from the measured growth rate); the gates are (a) the multilevel
+//! `F_G` — evaluated on the *exact* table — within 5 % of the flat
+//! search at N = 128, (b) every approximate entry within the build's
+//! own certified error bound wherever the exact oracle exists, and
+//! (c, full runs only) multilevel+approx at least 20× faster than
+//! exact+flat at N = 1024 and finishing N = 4096 inside the wall
+//! budget. Peak RSS (`VmHWM`) is tracked per row.
+//!
 //! Usage: `perfbase [--smoke] [--out PATH] [--out-dynamics PATH]
-//!                  [--out-service PATH] [--out-net PATH]`
+//!                  [--out-service PATH] [--out-net PATH]
+//!                  [--out-scale PATH]`
 //!
 //! * `--smoke` — N ∈ {16, 24} and one repetition: a seconds-fast CI run
 //!   that still exercises every measured code path (the dynamics guard
-//!   always runs at N = 128).
+//!   always runs at N = 128, the scale gate at N ∈ {128, 512}).
 //! * `--out PATH` — where to write the JSON (default `BENCH_pr2.json`).
 //! * `--out-dynamics PATH` — where to write the dynamics JSON (default
 //!   `BENCH_pr4.json`).
@@ -46,22 +59,28 @@
 //!   (default `BENCH_pr5.json`).
 //! * `--out-net PATH` — where to write the front-end throughput JSON
 //!   (default `BENCH_pr6.json`).
+//! * `--out-scale PATH` — where to write the multilevel-scale JSON
+//!   (default `BENCH_pr7.json`).
 
 use commsched_bench::{Testbed, SEARCH_SEED};
-use commsched_core::quality;
+use commsched_core::{quality, Workload};
 use commsched_distance::{
-    equivalent_distance_table_with, DistanceTable, RepairMemo, SolverKind, TableOptions,
+    equivalent_distance_table_with, equivalent_distance_table_with_report, DistanceTable,
+    RepairMemo, SolverKind, TableOptions,
 };
 use commsched_dynamics::{repair_table, warm_remap, FaultEvent, TopologyEpoch};
 use commsched_net::NetConfig;
 use commsched_routing::UpDownRouting;
-use commsched_search::{Mapper, TabuParams, TabuSearch};
+use commsched_search::{
+    multilevel_map, Mapper, MultilevelParams, MultilevelStats, TabuParams, TabuSearch,
+};
 use commsched_service::loadgen::{self, LoadgenConfig, LoadgenReport, WireMode};
 use commsched_service::server::ServerHandle;
 use commsched_service::{
     FsyncPolicy, JobKind, JobSpec, PersistOptions, RoutingSpec, Server, ServiceCore,
     ServiceCoreConfig, TopoRef,
 };
+use commsched_topology::{random_regular, RandomTopologyConfig};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use std::sync::Arc;
@@ -308,6 +327,8 @@ fn time_submits(core: &ServiceCore, submits: usize) -> f64 {
             clusters: 2,
             seed: 1,
         },
+        strategy: commsched_search::MapStrategy::Flat,
+        approx_eps_micros: 0,
     };
     let t0 = Instant::now();
     for _ in 0..submits {
@@ -635,6 +656,226 @@ fn measure_net(smoke: bool) -> NetReport {
     }
 }
 
+/// Approximate-table budget of the scale sweep (5 %).
+const SCALE_APPROX_EPS_MICROS: u32 = 50_000;
+
+/// Wall budget for the N = 4096 multilevel arm in a full run: "seconds,
+/// not minutes" with headroom for slow CI hosts.
+const SCALE_4096_BUDGET_MS: f64 = 180_000.0;
+
+/// Peak resident set of this process so far (`VmHWM`, kB; 0 when
+/// /proc is unavailable). Monotone: row K's figure includes rows < K.
+fn peak_rss_kb() -> u64 {
+    std::fs::read_to_string("/proc/self/status")
+        .ok()
+        .and_then(|s| {
+            s.lines()
+                .find(|l| l.starts_with("VmHWM:"))
+                .and_then(|l| l.split_whitespace().nth(1))
+                .and_then(|v| v.parse().ok())
+        })
+        .unwrap_or(0)
+}
+
+struct ScaleArm {
+    table_ms: f64,
+    search_ms: f64,
+    fg: f64,
+}
+
+struct ScaleRow {
+    switches: usize,
+    max_coarse_n: usize,
+    /// Exact-table + flat-tabu arm; `None` beyond the exact cap.
+    exact: Option<ScaleArm>,
+    ml: ScaleArm,
+    ml_stats: MultilevelStats,
+    /// Multilevel `F_G` re-evaluated on the exact table (the honest
+    /// quality figure — the `ml.fg` above is measured on the
+    /// approximate table it searched).
+    ml_fg_on_exact: Option<f64>,
+    approx_err_reported: f64,
+    /// Max relative error of the approximate table vs the exact oracle.
+    approx_err_measured: Option<f64>,
+    peak_rss_kb: u64,
+}
+
+/// The PR-7 scale sweep: exact+flat vs approximate+multilevel, with the
+/// quality, error-bound and (full runs) speedup gates asserted inline.
+fn measure_scale(smoke: bool) -> (Vec<ScaleRow>, Option<f64>) {
+    let (ns, exact_cap): (&[usize], usize) = if smoke {
+        (&[128, 512], 512)
+    } else {
+        (&[128, 512, 1024, 4096], 1024)
+    };
+
+    let mut rows = Vec::new();
+    for &n in ns {
+        eprintln!("perfbase: scale N = {n} ...");
+        let mut rng = StdRng::seed_from_u64(9_000 + n as u64);
+        let topology =
+            random_regular(RandomTopologyConfig::paper(n), &mut rng).expect("scale network exists");
+        let routing = UpDownRouting::new(&topology, 0).expect("connected scale network");
+        let workload = Workload::balanced(&topology, 4).expect("4 clusters fit");
+        let sizes = workload.switch_demands(topology.hosts_per_switch());
+        // Small instances coarsen to 32 to force real multilevel depth;
+        // large ones to 128 — deep enough that the coarse tabu search
+        // (the `O(n²)`-per-iteration part) is a rounding error while
+        // bounded-neighborhood refinement carries the quality.
+        let max_coarse_n = if n <= 256 { 32 } else { 128 };
+
+        let exact = (n <= exact_cap).then(|| {
+            let (table_ms, table) = time_ms(1, || {
+                equivalent_distance_table_with(
+                    &topology,
+                    &routing,
+                    TableOptions {
+                        threads: 0,
+                        ..Default::default()
+                    },
+                )
+                .expect("exact build")
+            });
+            let (search_ms, result) = time_ms(1, || {
+                let mut rng = StdRng::seed_from_u64(SEARCH_SEED);
+                TabuSearch::new(TabuParams::scaled(n)).search(&table, &sizes, &mut rng)
+            });
+            eprintln!(
+                "  exact      table {table_ms:>9.1} ms  search {search_ms:>9.1} ms  F_G {:.6}",
+                result.fg
+            );
+            (table, table_ms, search_ms, result)
+        });
+
+        let (ml_table_ms, (approx_table, report)) = time_ms(1, || {
+            equivalent_distance_table_with_report(
+                &topology,
+                &routing,
+                TableOptions {
+                    solver: SolverKind::Approximate,
+                    approx_eps_micros: SCALE_APPROX_EPS_MICROS,
+                    threads: 0,
+                    ..Default::default()
+                },
+            )
+            .expect("approximate build")
+        });
+        let report = report.expect("approximate build reports");
+        let params = MultilevelParams {
+            max_coarse_n,
+            threads: 0,
+            ..Default::default()
+        };
+        let (ml_search_ms, (ml_result, ml_stats)) = time_ms(1, || {
+            multilevel_map(&approx_table, &sizes, SEARCH_SEED, &params)
+        });
+        eprintln!(
+            "  multilevel table {ml_table_ms:>9.1} ms  search {ml_search_ms:>9.1} ms  \
+             F_G {:.6}  ({} levels, coarse {}, {} refine moves, err_max {:.2e})",
+            ml_result.fg, ml_stats.levels, ml_stats.coarse_n, ml_stats.refine_moves, report.err_max
+        );
+
+        let (ml_fg_on_exact, approx_err_measured) = match &exact {
+            None => (None, None),
+            Some((exact_table, ..)) => {
+                let mut err = 0.0f64;
+                for i in 0..n {
+                    for j in 0..n {
+                        let e = exact_table.get(i, j);
+                        if e > 0.0 {
+                            err = err.max(((approx_table.get(i, j) - e) / e).abs());
+                        }
+                    }
+                }
+                assert!(
+                    err <= report.err_max + 1e-12,
+                    "N={n}: measured approximate error {err:.3e} exceeds the \
+                     certified bound {:.3e}",
+                    report.err_max
+                );
+                let fg = quality(&ml_result.partition, exact_table).fg;
+                (Some(fg), Some(err))
+            }
+        };
+        if let (Some(fg), Some((.., flat))) = (ml_fg_on_exact, &exact) {
+            let ratio = fg / flat.fg.max(1e-12);
+            eprintln!("  F_G ratio multilevel/flat (exact table) = {ratio:.4}");
+            if n == 128 {
+                assert!(
+                    ratio <= 1.05,
+                    "N=128: multilevel F_G {fg:.6} is more than 5% above flat {:.6}",
+                    flat.fg
+                );
+            }
+        }
+
+        rows.push(ScaleRow {
+            switches: n,
+            max_coarse_n,
+            exact: exact.map(|(_, table_ms, search_ms, r)| ScaleArm {
+                table_ms,
+                search_ms,
+                fg: r.fg,
+            }),
+            ml: ScaleArm {
+                table_ms: ml_table_ms,
+                search_ms: ml_search_ms,
+                fg: ml_result.fg,
+            },
+            ml_stats,
+            ml_fg_on_exact,
+            approx_err_reported: report.err_max,
+            approx_err_measured,
+            peak_rss_kb: peak_rss_kb(),
+        });
+    }
+
+    // Full-run gates: the 20x payoff at the largest measured exact size
+    // and the wall budget at 4096, plus the extrapolated exact cost.
+    let mut exact_4096_extrapolated_ms = None;
+    if !smoke {
+        let total = |row: &ScaleRow, exact: bool| {
+            if exact {
+                let a = row.exact.as_ref().expect("measured exact arm");
+                a.table_ms + a.search_ms
+            } else {
+                row.ml.table_ms + row.ml.search_ms
+            }
+        };
+        let at = |n: usize| {
+            rows.iter()
+                .find(|r| r.switches == n)
+                .expect("measured scale size")
+        };
+        let speedup_1024 = total(at(1024), true) / total(at(1024), false).max(1e-9);
+        eprintln!("  speedup at N=1024: {speedup_1024:.1}x");
+        assert!(
+            speedup_1024 >= 20.0,
+            "multilevel+approx is only {speedup_1024:.1}x exact+flat at N=1024, need >= 20x"
+        );
+        let ml_4096 = total(at(4096), false);
+        assert!(
+            ml_4096 <= SCALE_4096_BUDGET_MS,
+            "multilevel at N=4096 took {ml_4096:.0} ms, budget {SCALE_4096_BUDGET_MS:.0} ms"
+        );
+        // Exact at 4096 is extrapolated from the measured 512 -> 1024
+        // growth (two further doublings), never run.
+        let growth = total(at(1024), true) / total(at(512), true).max(1e-9);
+        let est = total(at(1024), true) * growth * growth;
+        eprintln!(
+            "  exact at N=4096 extrapolated: {est:.0} ms ({:.0}x the multilevel arm)",
+            est / ml_4096.max(1e-9)
+        );
+        assert!(
+            est / ml_4096.max(1e-9) >= 20.0,
+            "extrapolated exact arm at N=4096 is only {:.1}x the multilevel arm",
+            est / ml_4096.max(1e-9)
+        );
+        exact_4096_extrapolated_ms = Some(est);
+    }
+    (rows, exact_4096_extrapolated_ms)
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let smoke = args.iter().any(|a| a == "--smoke");
@@ -662,6 +903,12 @@ fn main() {
         .and_then(|i| args.get(i + 1))
         .cloned()
         .unwrap_or_else(|| "BENCH_pr6.json".to_string());
+    let scale_out_path = args
+        .iter()
+        .position(|a| a == "--out-scale")
+        .and_then(|i| args.get(i + 1))
+        .cloned()
+        .unwrap_or_else(|| "BENCH_pr7.json".to_string());
 
     let (sizes, reps): (&[usize], usize) = if smoke {
         (&[16, 24], 1)
@@ -833,4 +1080,95 @@ fn main() {
     json.push_str("}\n");
     std::fs::write(&net_out_path, &json).expect("write net benchmark json");
     println!("perfbase: wrote {net_out_path}");
+
+    // The multilevel scale sweep: quality and error-bound gates assert
+    // in every run (including --smoke); the 20x / wall-budget gates and
+    // the N = 4096 row are full-run only.
+    eprintln!("perfbase: multilevel scale sweep ...");
+    let (scale_rows, exact_4096_est) = measure_scale(smoke);
+    let mut json = String::new();
+    json.push_str("{\n");
+    json.push_str("  \"bench\": \"pr7-multilevel-scale\",\n");
+    json.push_str(&format!("  \"smoke\": {smoke},\n"));
+    json.push_str(&format!("  \"machine_threads\": {threads},\n"));
+    json.push_str(&format!(
+        "  \"approx_eps\": {},\n",
+        f64::from(SCALE_APPROX_EPS_MICROS) / 1e6
+    ));
+    json.push_str("  \"sizes\": [\n");
+    let opt = |v: Option<f64>, digits: usize| match v {
+        Some(x) => format!("{x:.*}", digits),
+        None => "null".to_string(),
+    };
+    for (i, r) in scale_rows.iter().enumerate() {
+        json.push_str("    {\n");
+        json.push_str(&format!("      \"switches\": {},\n", r.switches));
+        json.push_str(&format!("      \"max_coarse_n\": {},\n", r.max_coarse_n));
+        match &r.exact {
+            Some(a) => json.push_str(&format!(
+                "      \"exact\": {{\"table_ms\": {:.3}, \"search_ms\": {:.3}, \
+                 \"fg\": {:.9}}},\n",
+                a.table_ms, a.search_ms, a.fg
+            )),
+            None => json.push_str("      \"exact\": null,\n"),
+        }
+        json.push_str(&format!(
+            "      \"multilevel\": {{\"table_ms\": {:.3}, \"search_ms\": {:.3}, \
+             \"fg_on_approx_table\": {:.9}, \"levels\": {}, \"coarse_n\": {}, \
+             \"refine_moves\": {}}},\n",
+            r.ml.table_ms,
+            r.ml.search_ms,
+            r.ml.fg,
+            r.ml_stats.levels,
+            r.ml_stats.coarse_n,
+            r.ml_stats.refine_moves
+        ));
+        json.push_str(&format!(
+            "      \"ml_fg_on_exact_table\": {},\n",
+            opt(r.ml_fg_on_exact, 9)
+        ));
+        json.push_str(&format!(
+            "      \"fg_ratio_vs_flat\": {},\n",
+            opt(
+                r.ml_fg_on_exact
+                    .zip(r.exact.as_ref())
+                    .map(|(fg, a)| fg / a.fg.max(1e-12)),
+                4
+            )
+        ));
+        json.push_str(&format!(
+            "      \"approx_err_reported\": {:.6e},\n",
+            r.approx_err_reported
+        ));
+        json.push_str(&format!(
+            "      \"approx_err_measured\": {},\n",
+            match r.approx_err_measured {
+                Some(e) => format!("{e:.6e}"),
+                None => "null".to_string(),
+            }
+        ));
+        json.push_str(&format!(
+            "      \"speedup_vs_exact\": {},\n",
+            opt(
+                r.exact.as_ref().map(
+                    |a| (a.table_ms + a.search_ms) / (r.ml.table_ms + r.ml.search_ms).max(1e-9)
+                ),
+                3
+            )
+        ));
+        json.push_str(&format!("      \"peak_rss_kb\": {}\n", r.peak_rss_kb));
+        json.push_str(if i + 1 < scale_rows.len() {
+            "    },\n"
+        } else {
+            "    }\n"
+        });
+    }
+    json.push_str("  ],\n");
+    json.push_str(&format!(
+        "  \"exact_4096_extrapolated_ms\": {}\n",
+        opt(exact_4096_est, 0)
+    ));
+    json.push_str("}\n");
+    std::fs::write(&scale_out_path, &json).expect("write scale benchmark json");
+    println!("perfbase: wrote {scale_out_path}");
 }

@@ -11,7 +11,7 @@
 //! ...
 //! ```
 
-use crate::table::DistanceTable;
+use crate::table::{ApproxReport, DistanceTable};
 use std::fmt::Write as _;
 
 /// Errors raised while parsing a table.
@@ -60,9 +60,31 @@ impl std::error::Error for TableParseError {}
 
 /// Serialize a table to the text format (full precision).
 pub fn table_to_text(table: &DistanceTable) -> String {
+    table_to_text_with_report(table, None)
+}
+
+/// Serialize a table plus its optional approximation report. The report
+/// becomes one `approx` directive so a cached approximate table carries
+/// its certified error bound across restarts:
+///
+/// ```text
+/// approx <eps_micros> <err_max> <pairs_approximated> <pairs_escalated>
+/// ```
+pub fn table_to_text_with_report(table: &DistanceTable, report: Option<&ApproxReport>) -> String {
     let mut out = String::new();
     writeln!(out, "# commsched distance-table v1").expect("write to string");
     writeln!(out, "n {}", table.n()).expect("write to string");
+    if let Some(r) = report {
+        writeln!(
+            out,
+            "approx {} {:.17e} {} {}",
+            crate::table::eps_to_micros(r.eps),
+            r.err_max,
+            r.pairs_approximated,
+            r.pairs_escalated
+        )
+        .expect("write to string");
+    }
     for i in 0..table.n() {
         out.push_str("row");
         for &v in table.row(i) {
@@ -73,12 +95,25 @@ pub fn table_to_text(table: &DistanceTable) -> String {
     out
 }
 
-/// Parse the text format.
+/// Parse the text format, discarding any `approx` directive.
 ///
 /// # Errors
 /// See [`TableParseError`].
 pub fn table_from_text(text: &str) -> Result<DistanceTable, TableParseError> {
+    table_from_text_with_report(text).map(|(table, _)| table)
+}
+
+/// Parse the text format, also returning the approximation report when
+/// the text carries an `approx` directive (tables written before the
+/// directive existed simply return `None`).
+///
+/// # Errors
+/// See [`TableParseError`].
+pub fn table_from_text_with_report(
+    text: &str,
+) -> Result<(DistanceTable, Option<ApproxReport>), TableParseError> {
     let mut n: Option<usize> = None;
+    let mut report: Option<ApproxReport> = None;
     let mut rows: Vec<Vec<f64>> = Vec::new();
     for (idx, raw) in text.lines().enumerate() {
         let line = idx + 1;
@@ -95,6 +130,30 @@ pub fn table_from_text(text: &str) -> Result<DistanceTable, TableParseError> {
                         .and_then(|v| v.parse().ok())
                         .ok_or(TableParseError::MissingSize)?,
                 );
+            }
+            Some("approx") => {
+                let mut next = |bad: TableParseError| parts.next().ok_or(bad);
+                let eps_micros: u32 = next(TableParseError::BadEntry { line })?
+                    .parse()
+                    .map_err(|_| TableParseError::BadEntry { line })?;
+                let err_max: f64 = next(TableParseError::BadEntry { line })?
+                    .parse()
+                    .map_err(|_| TableParseError::BadEntry { line })?;
+                let pairs_approximated: u64 = next(TableParseError::BadEntry { line })?
+                    .parse()
+                    .map_err(|_| TableParseError::BadEntry { line })?;
+                let pairs_escalated: u64 = next(TableParseError::BadEntry { line })?
+                    .parse()
+                    .map_err(|_| TableParseError::BadEntry { line })?;
+                if !err_max.is_finite() || err_max < 0.0 {
+                    return Err(TableParseError::BadEntry { line });
+                }
+                report = Some(ApproxReport {
+                    eps: f64::from(eps_micros) / 1e6,
+                    err_max,
+                    pairs_approximated,
+                    pairs_escalated,
+                });
             }
             Some("row") => {
                 let row: Result<Vec<f64>, _> = parts
@@ -138,7 +197,7 @@ pub fn table_from_text(text: &str) -> Result<DistanceTable, TableParseError> {
             }
         }
     }
-    Ok(DistanceTable::from_fn(n, |i, j| rows[i][j]))
+    Ok((DistanceTable::from_fn(n, |i, j| rows[i][j]), report))
 }
 
 #[cfg(test)]
@@ -156,6 +215,33 @@ mod tests {
         let text = table_to_text(&table);
         let back = table_from_text(&text).unwrap();
         assert_eq!(back, table, "full-precision round trip");
+    }
+
+    #[test]
+    fn approx_report_round_trips() {
+        let topo = designed::paper_24_switch();
+        let routing = UpDownRouting::new(&topo, 0).unwrap();
+        let table = equivalent_distance_table(&topo, &routing).unwrap();
+        let report = ApproxReport {
+            eps: 0.05,
+            err_max: 0.031_25,
+            pairs_approximated: 200,
+            pairs_escalated: 76,
+        };
+        let text = table_to_text_with_report(&table, Some(&report));
+        let (back, back_report) = table_from_text_with_report(&text).unwrap();
+        assert_eq!(back, table);
+        assert_eq!(back_report, Some(report));
+        // The plain parser accepts the directive and discards it.
+        assert_eq!(table_from_text(&text).unwrap(), table);
+        // Reports without the directive come back as None.
+        let (_, none) = table_from_text_with_report(&table_to_text(&table)).unwrap();
+        assert_eq!(none, None);
+        // Malformed directives are rejected, not ignored.
+        assert!(matches!(
+            table_from_text("n 1\napprox nope\nrow 0\n").unwrap_err(),
+            TableParseError::BadEntry { .. }
+        ));
     }
 
     #[test]

@@ -35,7 +35,10 @@ pub mod resistance;
 pub mod sparse;
 pub mod table;
 
-pub use io::{table_from_text, table_to_text, TableParseError};
+pub use io::{
+    table_from_text, table_from_text_with_report, table_to_text, table_to_text_with_report,
+    TableParseError,
+};
 pub use linalg::{solve, LinalgError, Matrix};
 pub use repair::{repair_distance_table, route_key, RepairMemo, RepairOutcome, RouteKey};
 pub use resistance::{
@@ -44,6 +47,8 @@ pub use resistance::{
 };
 pub use sparse::SpdFactor;
 pub use table::{
-    equivalent_distance_table, equivalent_distance_table_parallel, equivalent_distance_table_with,
-    hop_distance_table, DistanceTable, SharedDistanceTable, TableError, TableOptions,
+    eps_to_micros, equivalent_distance_table, equivalent_distance_table_parallel,
+    equivalent_distance_table_with, equivalent_distance_table_with_report, hop_distance_table,
+    ApproxReport, DistanceTable, SharedDistanceTable, TableError, TableOptions,
+    DEFAULT_APPROX_EPS_MICROS,
 };

@@ -124,6 +124,13 @@ impl DistanceTable {
     /// detour pair). The table is symmetric, so the mirrored triple
     /// `(k, j, i)` would repeat the same fact; restricting to `i < k`
     /// reports each violation exactly once.
+    ///
+    /// The scan is `O(N³)` and a large table can violate the inequality
+    /// almost everywhere, so the report is capped at
+    /// [`TRIANGLE_REPORT_CAP`] triples — diagnostics must not allocate
+    /// `O(N³)` memory on a 4096-switch build. Use
+    /// [`DistanceTable::triangle_violation_count`] for the exact total
+    /// without any allocation.
     pub fn triangle_violations(&self, tol: f64) -> Vec<(SwitchId, SwitchId, SwitchId)> {
         let mut out = Vec::new();
         for i in 0..self.n {
@@ -135,13 +142,39 @@ impl DistanceTable {
                     }
                     if direct > self.get(i, j) + self.get(j, k) + tol {
                         out.push((i, j, k));
+                        if out.len() >= TRIANGLE_REPORT_CAP {
+                            return out;
+                        }
                     }
                 }
             }
         }
         out
     }
+
+    /// Exact count of triangle violations (same predicate as
+    /// [`DistanceTable::triangle_violations`]) with `O(1)` memory: the
+    /// streaming form for large tables where materializing triples would
+    /// dominate the build itself.
+    pub fn triangle_violation_count(&self, tol: f64) -> u64 {
+        let mut count = 0u64;
+        for i in 0..self.n {
+            for k in (i + 1)..self.n {
+                let direct = self.get(i, k);
+                for j in 0..self.n {
+                    if j != i && j != k && direct > self.get(i, j) + self.get(j, k) + tol {
+                        count += 1;
+                    }
+                }
+            }
+        }
+        count
+    }
 }
+
+/// Upper bound on the triples materialized by
+/// [`DistanceTable::triangle_violations`].
+pub const TRIANGLE_REPORT_CAP: usize = 4096;
 
 /// Errors from table construction.
 #[derive(Debug, Clone, PartialEq)]
@@ -220,6 +253,10 @@ pub struct TableOptions {
     /// results — a hit restores byte-for-byte what compaction would
     /// rebuild — only how often the node/edge compaction reruns.
     pub memoize: bool,
+    /// Relative-error budget of [`SolverKind::Approximate`] in millionths
+    /// (`50_000` = 5%). Kept integral so `TableOptions` stays `Eq` and
+    /// can key the service cache. Ignored by the exact solvers.
+    pub approx_eps_micros: u32,
 }
 
 impl Default for TableOptions {
@@ -228,8 +265,66 @@ impl Default for TableOptions {
             solver: SolverKind::default(),
             threads: 1,
             memoize: true,
+            approx_eps_micros: DEFAULT_APPROX_EPS_MICROS,
         }
     }
+}
+
+impl TableOptions {
+    /// Options for the certified approximate build with relative-error
+    /// budget `eps` (e.g. `0.05` for 5%).
+    pub fn approximate(eps: f64) -> Self {
+        Self {
+            solver: SolverKind::Approximate,
+            approx_eps_micros: eps_to_micros(eps),
+            ..Self::default()
+        }
+    }
+
+    /// The approximation budget as a plain fraction.
+    pub fn approx_eps(&self) -> f64 {
+        f64::from(self.approx_eps_micros) / 1e6
+    }
+}
+
+/// Default approximation budget: 5% relative error.
+pub const DEFAULT_APPROX_EPS_MICROS: u32 = 50_000;
+
+/// Convert a relative-error fraction to the integral micros
+/// representation used by [`TableOptions::approx_eps_micros`] (and the
+/// service cache key). Saturates at `u32::MAX` micros (≈4300× error —
+/// far past any useful budget).
+pub fn eps_to_micros(eps: f64) -> u32 {
+    let micros = (eps * 1e6).round();
+    if micros <= 0.0 {
+        0
+    } else if micros >= f64::from(u32::MAX) {
+        u32::MAX
+    } else {
+        micros as u32
+    }
+}
+
+/// What the approximate build actually did: the budget, the worst
+/// certified relative error among approximated pairs, and how many pairs
+/// were answered by bounds vs. escalated to the exact solver.
+///
+/// The measured error of every approximated entry against the exact
+/// table is `≤ err_max` *by construction*: each approximated pair's
+/// estimate is the midpoint of a certified interval `[lo, hi]` that
+/// contains the exact value, so its true relative error is at most
+/// `(hi − lo) / (2·lo)` — exactly the quantity `err_max` maximizes.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ApproxReport {
+    /// The requested budget (fraction, e.g. 0.05).
+    pub eps: f64,
+    /// Worst certified relative error over all approximated pairs
+    /// (0 when every pair was exact).
+    pub err_max: f64,
+    /// Pairs answered from the certified interval.
+    pub pairs_approximated: u64,
+    /// Pairs whose interval was too wide and ran the exact solver.
+    pub pairs_escalated: u64,
 }
 
 /// Telemetry handles for the table builder, resolved once per process.
@@ -245,6 +340,9 @@ struct BuildMetrics {
     memo_hits: telemetry::Counter,
     memo_misses: telemetry::Counter,
     dense_solves: telemetry::Counter,
+    approx_pairs: telemetry::Counter,
+    approx_escalations: telemetry::Counter,
+    approx_err_max_micros: telemetry::Gauge,
 }
 
 fn build_metrics() -> &'static BuildMetrics {
@@ -284,6 +382,18 @@ fn build_metrics() -> &'static BuildMetrics {
                 "distance_dense_solves_total",
                 "Pairs solved by the dense Gaussian baseline",
             ),
+            approx_pairs: r.counter(
+                "distance_approx_pairs_total",
+                "Pairs answered from a certified resistance interval",
+            ),
+            approx_escalations: r.counter(
+                "distance_approx_escalations_total",
+                "Approximate-build pairs escalated to the exact solver",
+            ),
+            approx_err_max_micros: r.gauge(
+                "distance_approx_err_max_micros",
+                "Worst certified relative error of the last approximate build, millionths",
+            ),
         }
     })
 }
@@ -298,6 +408,11 @@ struct PairTally {
     memo_hits: u64,
     memo_misses: u64,
     dense_solves: u64,
+    approx_pairs: u64,
+    approx_escalations: u64,
+    /// Worst certified relative error among this worker's approximated
+    /// pairs (not a counter; merged by max across workers).
+    approx_err_max: f64,
 }
 
 impl PairTally {
@@ -312,6 +427,8 @@ impl PairTally {
         m.memo_hits.add(self.memo_hits);
         m.memo_misses.add(self.memo_misses);
         m.dense_solves.add(self.dense_solves);
+        m.approx_pairs.add(self.approx_pairs);
+        m.approx_escalations.add(self.approx_escalations);
     }
 }
 
@@ -396,6 +513,284 @@ pub(crate) fn try_series_path(
     }
 }
 
+/// Reusable scratch for the certified resistance interval of
+/// [`SolverKind::Approximate`]: stamped global→compact node maps plus
+/// BFS/Dijkstra buffers, all reused across pairs so the hot loop never
+/// allocates per pair.
+#[derive(Default)]
+struct ApproxScratch {
+    /// Global switch id → stamp of the pair that last touched it.
+    stamp: Vec<u32>,
+    /// Global switch id → compact index (valid when stamped).
+    index: Vec<usize>,
+    mark: u32,
+    /// Compact adjacency: `adj[u] = (v, resistance, edge index)`. Only
+    /// the first `nodes` rows are live for the current pair.
+    adj: Vec<Vec<(usize, f64, u32)>>,
+    /// Edges consumed by an already-extracted route (route stripping).
+    eused: Vec<bool>,
+    /// Dijkstra predecessor: `(node, edge index)` on the cheapest route.
+    prev: Vec<(usize, u32)>,
+    /// BFS level per compact node.
+    level: Vec<u32>,
+    queue: Vec<usize>,
+    /// Dijkstra tentative distances and settled flags.
+    dist: Vec<f64>,
+    done: Vec<bool>,
+    /// Dijkstra frontier, reused across routes and pairs.
+    heap: std::collections::BinaryHeap<Frontier>,
+    /// Conductance (Σ 1/r) of the BFS cut between levels `d` and `d+1`.
+    cut_cond: Vec<f64>,
+}
+
+/// Route-stripping cap for the upper bound: paper-style networks are
+/// 3-regular, so a terminal has at most 3 edge-disjoint routes; a
+/// couple extra passes cover heterogeneous cases without letting a
+/// pathological pair spin.
+const APPROX_MAX_ROUTES: usize = 6;
+
+/// Dijkstra frontier entry ordered as a min-heap by tentative distance.
+#[derive(PartialEq)]
+struct Frontier(f64, usize);
+impl Eq for Frontier {}
+impl Ord for Frontier {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        // Reversed: BinaryHeap is a max-heap, we pop the nearest node.
+        other.0.total_cmp(&self.0)
+    }
+}
+impl PartialOrd for Frontier {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl ApproxScratch {
+    /// Certified interval `[lo, hi]` bracketing the effective resistance
+    /// between `a` and `b` on the sub-network `links`, in
+    /// `O(k · E log V)` for `k ≤ APPROX_MAX_ROUTES` routes:
+    ///
+    /// * `hi` — Rayleigh monotonicity plus node splitting: keep only a
+    ///   set of *edge-disjoint* `a`→`b` routes (dropping edges raises
+    ///   resistance), then split any shared internal nodes (un-shorting
+    ///   also raises it); what is left is `k` parallel resistors, so
+    ///   `R ≤ 1 / Σ_i (1 / route_res_i)`. Routes are stripped cheapest
+    ///   first (Dijkstra over link resistances, previously used edges
+    ///   removed), and stripping stops as soon as the interval already
+    ///   satisfies `eps` — the common case pays one Dijkstra.
+    /// * `lo` — Nash–Williams: the BFS level cuts `δ(level d → d+1)` are
+    ///   edge-disjoint separators of `a` from `b` (an edge never spans
+    ///   two BFS levels; same-level edges sit in no cut), so
+    ///   `R ≥ Σ_d 1/(Σ_{e ∈ cut_d} 1/r_e)`. Both endpoints' BFS trees
+    ///   give valid cuts; the larger bound wins.
+    ///
+    /// Returns `None` when a terminal is missing or unreachable (the
+    /// caller escalates to the exact solver, which reports the error).
+    fn pair_bounds(
+        &mut self,
+        topo: &Topology,
+        links: &[LinkId],
+        a: SwitchId,
+        b: SwitchId,
+        eps: f64,
+    ) -> Option<(f64, f64)> {
+        if links.is_empty() {
+            return None;
+        }
+        let n = topo.num_switches();
+        if self.stamp.len() < n {
+            self.stamp.resize(n, 0);
+            self.index.resize(n, 0);
+        }
+        if self.mark == u32::MAX {
+            self.stamp[..n].fill(0);
+            self.mark = 0;
+        }
+        self.mark += 1;
+        let mark = self.mark;
+        let mut nodes = 0usize;
+        let mut touch = |scratch: &mut Self, s: SwitchId| -> usize {
+            if scratch.stamp[s] == mark {
+                scratch.index[s]
+            } else {
+                scratch.stamp[s] = mark;
+                scratch.index[s] = nodes;
+                if scratch.adj.len() <= nodes {
+                    scratch.adj.push(Vec::new());
+                } else {
+                    scratch.adj[nodes].clear();
+                }
+                nodes += 1;
+                nodes - 1
+            }
+        };
+        let mut r_min = f64::INFINITY;
+        for (e, &l) in links.iter().enumerate() {
+            let link = topo.link(l);
+            let u = touch(self, link.a);
+            let v = touch(self, link.b);
+            // Heterogeneous link speeds: a slower link resists more.
+            let r = f64::from(topo.link_slowdown(l));
+            r_min = r_min.min(r);
+            let e = u32::try_from(e).expect("sub-network link count fits u32");
+            self.adj[u].push((v, r, e));
+            self.adj[v].push((u, r, e));
+        }
+        if self.stamp[a] != mark || self.stamp[b] != mark {
+            return None;
+        }
+        let (ca, cb) = (self.index[a], self.index[b]);
+
+        // Lower bound: series-compose the BFS level-cut conductances
+        // from `a`; the second BFS (from `b`) is deferred until the
+        // first route needs it — most pairs bail before then.
+        let mut lo = self.level_cut_bound(nodes, ca, cb)?;
+        let hops = f64::from(self.level[cb]);
+        let max_routes = APPROX_MAX_ROUTES.min(self.adj[ca].len().min(self.adj[cb].len()));
+
+        // Heuristic pre-filter (spends accuracy never, only time): the
+        // final upper bound cannot drop below `hops · r_min / max_routes`
+        // (every route costs at least the hop distance times the
+        // cheapest link, and at most `max_routes` compose in parallel).
+        // When even that optimistic interval misses `eps` against this
+        // side's cut bound, skip route stripping — the exact solver is
+        // barely more expensive than the Dijkstras we avoid. A rare pair
+        // the other side's cut bound would have certified escalates too:
+        // that costs speed only, never the certificate's honesty.
+        let optimistic = (hops * r_min / max_routes as f64).max(lo);
+        if (optimistic - lo) / (2.0 * lo) > eps {
+            return None;
+        }
+
+        // Upper bound: parallel-compose edge-disjoint cheapest routes,
+        // stripped one at a time, stopping once `eps` is satisfied.
+        self.eused.clear();
+        self.eused.resize(links.len(), false);
+        let mut cond = 0.0f64;
+        let mut hi = f64::INFINITY;
+        for route in 0..max_routes {
+            let Some(res) = self.strip_cheapest_route(nodes, ca, cb) else {
+                break;
+            };
+            cond += 1.0 / res;
+            hi = (1.0 / cond).max(lo);
+            if (hi - lo) / (2.0 * lo) <= eps {
+                break;
+            }
+            if route == 0 {
+                // Feasibility bail. Later routes are never cheaper than
+                // the first (Dijkstra over a shrinking edge set), and at
+                // most `min degree` edge-disjoint routes exist, so the
+                // final upper bound cannot drop below `res / max_routes`.
+                // If even that cannot close the interval to `eps` —
+                // with the stronger of both terminals' cut bounds — the
+                // certificate is unreachable: escalate without paying
+                // for more route stripping.
+                let second = self.level_cut_bound(nodes, cb, ca)?;
+                lo = lo.max(second);
+                hi = hi.max(lo);
+                if (hi - lo) / (2.0 * lo) <= eps {
+                    break;
+                }
+                let best = (res / max_routes as f64).max(lo);
+                if (best - lo) / (2.0 * lo) > eps {
+                    break;
+                }
+            }
+        }
+        if !hi.is_finite() {
+            return None;
+        }
+        Some((lo, hi))
+    }
+
+    /// Nash–Williams bound from one BFS tree: `Σ_d 1/(Σ_{cut_d} 1/r)`.
+    /// `None` when the terminals are disconnected or coincide.
+    fn level_cut_bound(&mut self, nodes: usize, from: usize, to: usize) -> Option<f64> {
+        const UNSEEN: u32 = u32::MAX;
+        self.level.clear();
+        self.level.resize(nodes, UNSEEN);
+        self.queue.clear();
+        self.level[from] = 0;
+        self.queue.push(from);
+        let mut head = 0;
+        while head < self.queue.len() {
+            let u = self.queue[head];
+            head += 1;
+            for &(v, _, _) in &self.adj[u] {
+                if self.level[v] == UNSEEN {
+                    self.level[v] = self.level[u] + 1;
+                    self.queue.push(v);
+                }
+            }
+        }
+        let lb = self.level[to];
+        if lb == UNSEEN || lb == 0 {
+            return None;
+        }
+        self.cut_cond.clear();
+        self.cut_cond.resize(lb as usize, 0.0);
+        for u in 0..nodes {
+            for &(v, r, _) in &self.adj[u] {
+                if u < v && self.level[u].abs_diff(self.level[v]) == 1 {
+                    let d = self.level[u].min(self.level[v]);
+                    if d < lb {
+                        self.cut_cond[d as usize] += 1.0 / r;
+                    }
+                }
+            }
+        }
+        Some(self.cut_cond.iter().map(|&c| 1.0 / c).sum())
+    }
+
+    /// Dijkstra over the not-yet-used edges; on success marks the
+    /// cheapest route's edges used and returns its summed resistance.
+    fn strip_cheapest_route(&mut self, nodes: usize, from: usize, to: usize) -> Option<f64> {
+        self.dist.clear();
+        self.dist.resize(nodes, f64::INFINITY);
+        self.done.clear();
+        self.done.resize(nodes, false);
+        self.prev.clear();
+        self.prev.resize(nodes, (usize::MAX, 0));
+        let mut heap = std::mem::take(&mut self.heap);
+        heap.clear();
+        self.dist[from] = 0.0;
+        heap.push(Frontier(0.0, from));
+        while let Some(Frontier(d, u)) = heap.pop() {
+            if self.done[u] {
+                continue;
+            }
+            self.done[u] = true;
+            if u == to {
+                break;
+            }
+            for &(v, r, e) in &self.adj[u] {
+                if self.eused[e as usize] {
+                    continue;
+                }
+                let nd = d + r;
+                if nd < self.dist[v] {
+                    self.dist[v] = nd;
+                    self.prev[v] = (u, e);
+                    heap.push(Frontier(nd, v));
+                }
+            }
+        }
+        self.heap = heap;
+        let res = self.dist[to];
+        if !res.is_finite() {
+            return None;
+        }
+        let mut u = to;
+        while u != from {
+            let (p, e) = self.prev[u];
+            self.eused[e as usize] = true;
+            u = p;
+        }
+        Some(res)
+    }
+}
+
 /// One worker's solver state: reusable scratch, the route-set memo, and
 /// the current source row's batched link sets.
 struct PairSolver<'a> {
@@ -404,6 +799,7 @@ struct PairSolver<'a> {
     options: TableOptions,
     ws: Workspace,
     scan: PathScan,
+    approx: ApproxScratch,
     memo: HashMap<Vec<LinkId>, CompactCircuit>,
     edges: Vec<(SwitchId, SwitchId, f64)>,
     row_links: Vec<Vec<LinkId>>,
@@ -418,6 +814,7 @@ impl<'a> PairSolver<'a> {
             options,
             ws: Workspace::new(),
             scan: PathScan::default(),
+            approx: ApproxScratch::default(),
             memo: HashMap::new(),
             edges: Vec::new(),
             row_links: Vec::new(),
@@ -449,6 +846,27 @@ impl<'a> PairSolver<'a> {
         if let Some(r) = try_series_path(self.topo, &mut self.scan, &self.row_links[j], i, j) {
             self.tally.series_path += 1;
             return Ok(r);
+        }
+        if self.options.solver == SolverKind::Approximate {
+            let eps = self.options.approx_eps();
+            if let Some((lo, hi)) =
+                self.approx
+                    .pair_bounds(self.topo, &self.row_links[j], i, j, eps)
+            {
+                // The exact value is inside [lo, hi]; the midpoint's true
+                // relative error is therefore at most (hi - lo) / (2 lo).
+                let err = (hi - lo) / (2.0 * lo);
+                if err <= eps {
+                    self.tally.approx_pairs += 1;
+                    if err > self.tally.approx_err_max {
+                        self.tally.approx_err_max = err;
+                    }
+                    return Ok(0.5 * (lo + hi));
+                }
+            }
+            // Interval too wide (or degenerate sub-network): run the
+            // exact path below, which keeps the reported bound honest.
+            self.tally.approx_escalations += 1;
         }
         let wrap = |error| TableError::Resistance {
             src: i,
@@ -541,6 +959,40 @@ pub fn equivalent_distance_table_with(
     routing: &dyn Routing,
     options: TableOptions,
 ) -> Result<DistanceTable, TableError> {
+    equivalent_distance_table_with_report(topo, routing, options).map(|(table, _)| table)
+}
+
+/// Shared write target for the build workers: row `i`'s pairs `(i, j)`,
+/// `j > i`, are written only by the worker that claimed row `i`, so the
+/// unsynchronized stores never alias. Workers write straight into the
+/// final upper triangle — no per-worker `O(pairs)` scratch vectors, which
+/// at N = 4096 would be ~200 MB of transient entry triples.
+struct PairSink {
+    ptr: *mut f64,
+    n: usize,
+}
+
+unsafe impl Sync for PairSink {}
+
+impl PairSink {
+    /// # Safety
+    /// `(i, j)` must be claimed by exactly one worker for this build.
+    unsafe fn set_upper(&self, i: SwitchId, j: SwitchId, d: f64) {
+        unsafe { *self.ptr.add(i * self.n + j) = d };
+    }
+}
+
+/// [`equivalent_distance_table_with`] plus the approximation report:
+/// `Some` when `options.solver` is [`SolverKind::Approximate`] (even if
+/// every pair ended up exact), `None` for the exact solvers.
+///
+/// # Errors
+/// See [`TableError`].
+pub fn equivalent_distance_table_with_report(
+    topo: &Topology,
+    routing: &dyn Routing,
+    options: TableOptions,
+) -> Result<(DistanceTable, Option<ApproxReport>), TableError> {
     check_sizes(topo, routing)?;
     let _span = telemetry::Span::enter("distance.build");
     let t0 = Instant::now();
@@ -550,11 +1002,17 @@ pub fn equivalent_distance_table_with(
     let threads = resolve_threads(options.threads, rows);
 
     type Failure = ((SwitchId, SwitchId), TableError);
-    type WorkerOut = (Vec<(SwitchId, SwitchId, f64)>, Option<Failure>);
+    /// First (lexicographic) failure plus the worker's approximation
+    /// tallies: (err_max, pairs approximated, pairs escalated).
+    type WorkerOut = (Option<Failure>, (f64, u64, u64));
+    let mut data = vec![0.0f64; n * n];
+    let sink = PairSink {
+        ptr: data.as_mut_ptr(),
+        n,
+    };
     let cursor = AtomicUsize::new(0);
     let worker = || -> WorkerOut {
         let mut solver = PairSolver::new(topo, routing, options);
-        let mut out: Vec<(SwitchId, SwitchId, f64)> = Vec::new();
         let mut first_err: Option<Failure> = None;
         loop {
             let i = cursor.fetch_add(1, Ordering::Relaxed);
@@ -564,7 +1022,9 @@ pub fn equivalent_distance_table_with(
             solver.begin_row(i);
             for j in (i + 1)..n {
                 match solver.solve(i, j) {
-                    Ok(d) => out.push((i, j, d)),
+                    // Safety: this worker claimed row i; no other worker
+                    // touches (i, j) for j > i.
+                    Ok(d) => unsafe { sink.set_upper(i, j, d) },
                     Err(e) => {
                         if first_err.as_ref().is_none_or(|&(p, _)| (i, j) < p) {
                             first_err = Some(((i, j), e));
@@ -573,8 +1033,13 @@ pub fn equivalent_distance_table_with(
                 }
             }
         }
+        let approx = (
+            solver.tally.approx_err_max,
+            solver.tally.approx_pairs,
+            solver.tally.approx_escalations,
+        );
         solver.tally.flush();
-        (out, first_err)
+        (first_err, approx)
     };
 
     let results: Vec<WorkerOut> = if threads == 1 {
@@ -590,24 +1055,40 @@ pub fn equivalent_distance_table_with(
     };
 
     let mut fail: Option<Failure> = None;
-    let mut data = vec![0.0; n * n];
-    for (entries, err) in results {
+    let mut err_max = 0.0f64;
+    let mut pairs_approximated = 0u64;
+    let mut pairs_escalated = 0u64;
+    for (err, (worker_err_max, approximated, escalated)) in results {
         if let Some((pair, e)) = err {
             if fail.as_ref().is_none_or(|&(p, _)| pair < p) {
                 fail = Some((pair, e));
             }
         }
-        for (i, j, d) in entries {
-            data[i * n + j] = d;
-            data[j * n + i] = d;
+        err_max = err_max.max(worker_err_max);
+        pairs_approximated += approximated;
+        pairs_escalated += escalated;
+    }
+    // Mirror the upper triangle (workers only wrote j > i).
+    for i in 0..n {
+        for j in (i + 1)..n {
+            data[j * n + i] = data[i * n + j];
         }
     }
     let m = build_metrics();
     m.builds.inc();
     m.build_ms.record(t0.elapsed().as_millis() as u64);
+    let report = (options.solver == SolverKind::Approximate).then(|| {
+        m.approx_err_max_micros.set((err_max * 1e6) as i64);
+        ApproxReport {
+            eps: options.approx_eps(),
+            err_max,
+            pairs_approximated,
+            pairs_escalated,
+        }
+    });
     match fail {
         Some((_, e)) => Err(e),
-        None => Ok(DistanceTable { n, data }),
+        None => Ok((DistanceTable { n, data }, report)),
     }
 }
 
@@ -871,6 +1352,110 @@ mod tests {
         let r = ShortestPathRouting::new(&t).unwrap();
         let table = equivalent_distance_table(&t, &r).unwrap();
         assert!(table.triangle_violations(1e-9).is_empty());
+    }
+
+    #[test]
+    fn approximate_solver_respects_its_certificate() {
+        let t = designed::paper_24_switch();
+        let r = UpDownRouting::new(&t, 0).unwrap();
+        let exact = equivalent_distance_table(&t, &r).unwrap();
+        for eps in [0.0, 0.05, 0.25, 1.0] {
+            let (approx, report) =
+                equivalent_distance_table_with_report(&t, &r, TableOptions::approximate(eps))
+                    .unwrap();
+            let report = report.expect("approximate build reports");
+            assert!(report.err_max <= eps + 1e-15, "eps {eps}: {report:?}");
+            let mut measured = 0.0f64;
+            for i in 0..24 {
+                for j in (i + 1)..24 {
+                    let rel = (approx.get(i, j) - exact.get(i, j)).abs() / exact.get(i, j);
+                    measured = measured.max(rel);
+                }
+            }
+            assert!(
+                measured <= report.err_max + 1e-12,
+                "eps {eps}: measured {measured} > reported {}",
+                report.err_max
+            );
+            assert!(
+                report.pairs_approximated + report.pairs_escalated > 0,
+                "non-path pairs exist on the paper network"
+            );
+        }
+        // eps = 0 escalates everything: bit-identical to the exact build.
+        let (tight, _) =
+            equivalent_distance_table_with_report(&t, &r, TableOptions::approximate(0.0)).unwrap();
+        assert_eq!(tight, exact);
+    }
+
+    #[test]
+    fn approximate_bounds_bracket_parallel_arcs() {
+        // Even ring antipodes: two 2-hop arcs in parallel, true R = 1.
+        // A loose budget is satisfied by the first stripped route alone
+        // (interval [1, 2], midpoint 1.5); a tighter one forces the
+        // second route, which closes the interval to [1, 1] — the
+        // midpoint *is* the exact value, and nothing escalates.
+        let t = designed::ring(4, 1);
+        let r = ShortestPathRouting::new(&t).unwrap();
+        let (coarse, rep) =
+            equivalent_distance_table_with_report(&t, &r, TableOptions::approximate(0.5)).unwrap();
+        assert_close(coarse.get(0, 2), 1.5);
+        assert!(rep.unwrap().pairs_approximated >= 2, "both antipode pairs");
+        let (fine, rep) =
+            equivalent_distance_table_with_report(&t, &r, TableOptions::approximate(0.25)).unwrap();
+        assert_close(fine.get(0, 2), 1.0);
+        let rep = rep.unwrap();
+        assert!(rep.pairs_approximated >= 2, "route stripping tightens");
+        assert_eq!(rep.pairs_escalated, 0, "no pair needs the exact solver");
+    }
+
+    #[test]
+    fn approximate_build_is_thread_deterministic() {
+        let t = designed::paper_24_switch();
+        let r = UpDownRouting::new(&t, 0).unwrap();
+        let build = |threads| {
+            equivalent_distance_table_with_report(
+                &t,
+                &r,
+                TableOptions {
+                    threads,
+                    ..TableOptions::approximate(0.25)
+                },
+            )
+            .unwrap()
+        };
+        let (serial, serial_report) = build(1);
+        for threads in [2, 7, 64] {
+            let (par, report) = build(threads);
+            assert_eq!(serial, par, "threads = {threads}");
+            assert_eq!(serial_report, report, "threads = {threads}");
+        }
+    }
+
+    #[test]
+    fn eps_micros_conversions() {
+        assert_eq!(eps_to_micros(0.05), 50_000);
+        assert_eq!(eps_to_micros(0.0), 0);
+        assert_eq!(eps_to_micros(-1.0), 0);
+        assert_eq!(eps_to_micros(1e12), u32::MAX);
+        let opts = TableOptions::approximate(0.05);
+        assert_eq!(opts.solver, SolverKind::Approximate);
+        assert!((opts.approx_eps() - 0.05).abs() < 1e-12);
+    }
+
+    #[test]
+    fn triangle_scan_capped_and_counted() {
+        let t = designed::ring(6, 1);
+        let r = UpDownRouting::new(&t, 0).unwrap();
+        let table = equivalent_distance_table(&t, &r).unwrap();
+        let listed = table.triangle_violations(1e-9);
+        assert_eq!(listed.len() as u64, table.triangle_violation_count(1e-9));
+        assert!(listed.len() <= TRIANGLE_REPORT_CAP);
+        // A metric table counts zero.
+        let line = designed::line(6, 1);
+        let sp = ShortestPathRouting::new(&line).unwrap();
+        let metric = equivalent_distance_table(&line, &sp).unwrap();
+        assert_eq!(metric.triangle_violation_count(1e-9), 0);
     }
 
     #[test]

@@ -2,7 +2,8 @@
 
 use commsched_distance::{
     effective_resistance, equivalent_distance_table, equivalent_distance_table_parallel,
-    equivalent_distance_table_with, solve, Matrix, SolverKind, TableOptions,
+    equivalent_distance_table_with, equivalent_distance_table_with_report, solve, Matrix,
+    SolverKind, TableOptions,
 };
 use commsched_routing::{ShortestPathRouting, UpDownRouting};
 use commsched_topology::{random_regular, RandomTopologyConfig, Topology, TopologyBuilder};
@@ -169,6 +170,46 @@ proptest! {
             let par = equivalent_distance_table_parallel(&topo, &routing, threads).unwrap();
             prop_assert_eq!(&serial, &par, "threads = {}", threads);
         }
+    }
+
+    /// The approximate build's certificate is honest: on random
+    /// topologies, every entry's measured relative error against the
+    /// exact table is at most the reported `err_max`, which in turn
+    /// stays within the requested budget.
+    #[test]
+    fn approximate_table_error_within_certified_bound(
+        seed in any::<u64>(),
+        switches in prop_oneof![Just(8usize), Just(12), Just(16), Just(24)],
+        eps_micros in prop_oneof![Just(20_000u32), Just(50_000), Just(100_000)],
+    ) {
+        let topo = random_topology(switches, seed);
+        let routing = UpDownRouting::new(&topo, 0).unwrap();
+        let exact = equivalent_distance_table(&topo, &routing).unwrap();
+        let (approx, report) = equivalent_distance_table_with_report(
+            &topo,
+            &routing,
+            TableOptions {
+                solver: SolverKind::Approximate,
+                approx_eps_micros: eps_micros,
+                ..Default::default()
+            },
+        )
+        .unwrap();
+        let report = report.expect("approximate build must report");
+        let eps = f64::from(eps_micros) / 1e6;
+        prop_assert!(report.err_max <= eps + 1e-12,
+            "reported err_max {} above budget {}", report.err_max, eps);
+        let mut measured: f64 = 0.0;
+        for i in 0..switches {
+            for j in 0..switches {
+                if i == j { continue; }
+                let e = exact.get(i, j);
+                let rel = (approx.get(i, j) - e).abs() / e;
+                measured = measured.max(rel);
+            }
+        }
+        prop_assert!(measured <= report.err_max + 1e-12,
+            "measured error {} above certificate {}", measured, report.err_max);
     }
 }
 

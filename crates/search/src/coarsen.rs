@@ -1,0 +1,260 @@
+//! Matching-based coarsening for the multilevel mapping pipeline.
+//!
+//! Following Schulz & Träff ("Better Process Mapping and Sparse Quadratic
+//! Assignment"), large instances are contracted level by level before the
+//! expensive search runs: each level pairs up *distance-similar* switches
+//! (the analogue of heavy-edge matching under the paper's similarity
+//! objective — the closer two switches are in the table of equivalent
+//! distances, the more the objective wants them in one cluster) and
+//! replaces every pair with one coarse node.
+//!
+//! # The coarse objective is the fine objective
+//!
+//! `F_G` (Eq. 2) is `Σ_{same-cluster pairs} T²(a, b)` over a constant
+//! normalization. For a contraction that merges fine nodes into coarse
+//! nodes `A = {a₁, a₂}`, define the coarse table as
+//!
+//! ```text
+//! T'(A, B) = sqrt( Σ_{a ∈ A, b ∈ B} T²(a, b) )
+//! ```
+//!
+//! Then for any coarse partition, the coarse intracluster square sum
+//! `Σ T'²(A, B)` equals the fine intracluster square sum minus the
+//! *constant* internal terms `T²(a₁, a₂)` of each coarse node — so
+//! minimizing coarse `F_G` minimizes fine `F_G` exactly over all
+//! partitions that respect the contraction. No approximation enters the
+//! hierarchy itself; only the restriction to coarse-respecting partitions
+//! does, and uncoarsening refinement lifts that restriction level by
+//! level.
+//!
+//! # Exact cluster sizes
+//!
+//! The fine problem fixes cluster sizes. Mixed-weight coarse nodes would
+//! make coarse size feasibility a knapsack problem, so contraction is a
+//! *perfect matching*: every coarse node has weight exactly 2, a level is
+//! contracted only when the node count **and every cluster size** are
+//! even, and coarse sizes are simply `sizes / 2`. Coarsening stops at the
+//! first level where that fails (or when the graph fits the coarse
+//! solver).
+
+use commsched_distance::DistanceTable;
+
+/// One contraction step: the matching, the fine→coarse projection, and
+/// the coarse table it produces.
+#[derive(Debug, Clone)]
+pub struct CoarseLevel {
+    /// Fine node → coarse node.
+    pub map: Vec<usize>,
+    /// Coarse node `k` is the contraction of fine pair `pairs[k]`.
+    pub pairs: Vec<(usize, usize)>,
+    /// Coarse distance table (`T'(A,B) = sqrt(Σ T²)` over members).
+    pub table: DistanceTable,
+}
+
+/// A full coarsening hierarchy. `levels[0]` contracts the finest graph;
+/// `levels.last()` produces the coarsest table handed to the initial map.
+#[derive(Debug, Clone, Default)]
+pub struct Hierarchy {
+    /// Contractions from finest to coarsest.
+    pub levels: Vec<CoarseLevel>,
+    /// Cluster sizes at the *coarse* side of each level (`sizes / 2^k`).
+    pub coarse_sizes: Vec<Vec<usize>>,
+}
+
+impl Hierarchy {
+    /// The coarsest table, if any contraction happened.
+    pub fn coarsest(&self) -> Option<(&DistanceTable, &[usize])> {
+        let last = self.levels.last()?;
+        let sizes = self.coarse_sizes.last()?;
+        Some((&last.table, sizes))
+    }
+}
+
+/// Whether one more perfect-matching contraction preserves exact cluster
+/// sizes: the node count and every cluster size must be even (and the
+/// result must still hold at least one node per cluster).
+pub fn can_coarsen(n: usize, sizes: &[usize]) -> bool {
+    n >= 2 && n.is_multiple_of(2) && sizes.iter().all(|&s| s.is_multiple_of(2))
+}
+
+/// Contract one level: greedy nearest-pair perfect matching, then the
+/// exact coarse table.
+///
+/// The matching visits nodes in ascending index order; an unmatched node
+/// pairs with the unmatched partner at minimal table distance (ties break
+/// toward the lower index), which contracts the distance-similar pairs
+/// the objective wants co-located. Fully deterministic — no randomness,
+/// no thread-order dependence.
+///
+/// # Panics
+/// Panics if the node count is odd (callers gate on [`can_coarsen`]).
+pub fn coarsen_level(table: &DistanceTable) -> CoarseLevel {
+    let n = table.n();
+    assert!(
+        n.is_multiple_of(2),
+        "perfect matching needs an even node count"
+    );
+    let mut map = vec![usize::MAX; n];
+    let mut pairs: Vec<(usize, usize)> = Vec::with_capacity(n / 2);
+    for i in 0..n {
+        if map[i] != usize::MAX {
+            continue;
+        }
+        let row = table.row(i);
+        let mut best: Option<(f64, usize)> = None;
+        for (j, &d) in row.iter().enumerate().skip(i + 1) {
+            if map[j] == usize::MAX && best.is_none_or(|(bd, _)| d < bd) {
+                best = Some((d, j));
+            }
+        }
+        let (_, j) = best.expect("even unmatched count leaves a partner");
+        let coarse = pairs.len();
+        map[i] = coarse;
+        map[j] = coarse;
+        pairs.push((i, j));
+    }
+    let coarse_table = DistanceTable::from_fn(n / 2, |a, b| {
+        let (a1, a2) = pairs[a];
+        let (b1, b2) = pairs[b];
+        (table.get_sq(a1, b1) + table.get_sq(a1, b2) + table.get_sq(a2, b1) + table.get_sq(a2, b2))
+            .sqrt()
+    });
+    CoarseLevel {
+        map,
+        pairs,
+        table: coarse_table,
+    }
+}
+
+/// Contract level by level until the graph fits `max_coarse_n` nodes or
+/// a contraction would break exact cluster sizes. May return an empty
+/// hierarchy (no contraction possible or needed).
+pub fn build_hierarchy(table: &DistanceTable, sizes: &[usize], max_coarse_n: usize) -> Hierarchy {
+    let mut hierarchy = Hierarchy::default();
+    let mut current_sizes = sizes.to_vec();
+    let mut n = table.n();
+    // Borrow juggling: the next level coarsens the previous level's table.
+    let mut current: Option<&DistanceTable> = Some(table);
+    while n > max_coarse_n.max(2) && can_coarsen(n, &current_sizes) {
+        let level = match current.take() {
+            Some(t) => coarsen_level(t),
+            None => coarsen_level(&hierarchy.levels.last().expect("non-empty").table),
+        };
+        n = level.table.n();
+        current_sizes = current_sizes.iter().map(|&s| s / 2).collect();
+        hierarchy.levels.push(level);
+        hierarchy.coarse_sizes.push(current_sizes.clone());
+    }
+    hierarchy
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::testutil::{dumbbell_table, rings_table};
+    use commsched_core::{similarity_fg, Partition};
+
+    #[test]
+    fn matching_is_a_permutation() {
+        let table = rings_table();
+        let level = coarsen_level(&table);
+        assert_eq!(level.pairs.len(), 12);
+        let mut seen = [false; 24];
+        for &(a, b) in &level.pairs {
+            assert!(a < b);
+            assert!(!seen[a] && !seen[b]);
+            seen[a] = true;
+            seen[b] = true;
+        }
+        assert!(seen.iter().all(|&s| s));
+        for (fine, &coarse) in level.map.iter().enumerate() {
+            let (a, b) = level.pairs[coarse];
+            assert!(fine == a || fine == b);
+        }
+    }
+
+    #[test]
+    fn dumbbell_matching_never_crosses_the_bridge() {
+        // The two 4-cycles are far apart; nearest-pair matching must pair
+        // within each square.
+        let table = dumbbell_table();
+        let level = coarsen_level(&table);
+        for &(a, b) in &level.pairs {
+            assert_eq!(a < 4, b < 4, "pair ({a}, {b}) crosses the dumbbell");
+        }
+    }
+
+    #[test]
+    fn coarse_objective_tracks_fine_objective() {
+        // For partitions that respect the contraction, coarse and fine
+        // intracluster square sums differ by the constant internal terms,
+        // so their *ordering* is identical.
+        let table = rings_table();
+        let level = coarsen_level(&table);
+        let internal: f64 = level
+            .pairs
+            .iter()
+            .map(|&(a, b)| table.get_sq(a, b))
+            .sum::<f64>();
+        // Two coarse partitions of the 12 coarse nodes into 2×6.
+        for split in [
+            vec![0, 0, 0, 0, 0, 0, 1, 1, 1, 1, 1, 1],
+            vec![0, 1, 0, 1, 0, 1, 0, 1, 0, 1, 0, 1],
+        ] {
+            let coarse = Partition::new(split.clone(), 2).unwrap();
+            let fine_assign: Vec<usize> = level.map.iter().map(|&c| split[c]).collect();
+            let fine = Partition::new(fine_assign, 2).unwrap();
+            let coarse_sum = commsched_core::intra_square_sum(&coarse, &level.table);
+            let fine_sum = commsched_core::intra_square_sum(&fine, &table);
+            assert!(
+                (fine_sum - (coarse_sum + internal)).abs() < 1e-9,
+                "fine {fine_sum} != coarse {coarse_sum} + internal {internal}"
+            );
+        }
+    }
+
+    #[test]
+    fn hierarchy_respects_parity_and_target() {
+        let table = rings_table();
+        // 24 switches, sizes [6,6,6,6]: one contraction gives 12 nodes,
+        // sizes [3,3,3,3] — odd, so coarsening must stop there even with
+        // a smaller target.
+        let h = build_hierarchy(&table, &[6, 6, 6, 6], 4);
+        assert_eq!(h.levels.len(), 1);
+        let (coarsest, sizes) = h.coarsest().unwrap();
+        assert_eq!(coarsest.n(), 12);
+        assert_eq!(sizes, &[3, 3, 3, 3]);
+        // Already small enough: no contraction at all.
+        let none = build_hierarchy(&table, &[6, 6, 6, 6], 24);
+        assert!(none.levels.is_empty());
+        assert!(none.coarsest().is_none());
+    }
+
+    #[test]
+    fn parity_gate() {
+        assert!(can_coarsen(8, &[4, 4]));
+        assert!(!can_coarsen(8, &[3, 5]));
+        assert!(!can_coarsen(7, &[4, 3]));
+        assert!(!can_coarsen(0, &[]));
+    }
+
+    #[test]
+    fn deep_hierarchy_on_dumbbell() {
+        // 8 nodes, sizes [4,4] → 4 nodes [2,2] → 2 nodes [1,1].
+        let table = dumbbell_table();
+        let h = build_hierarchy(&table, &[4, 4], 2);
+        assert_eq!(h.levels.len(), 2);
+        let (coarsest, sizes) = h.coarsest().unwrap();
+        assert_eq!(coarsest.n(), 2);
+        assert_eq!(sizes, &[1, 1]);
+        // The only balanced 2-partition of the coarsest graph projects to
+        // the optimal dumbbell split (each square contracted whole).
+        let mid: Vec<usize> = h.levels[1].map.iter().map(|&c| [0, 1][c]).collect();
+        let fine: Vec<usize> = h.levels[0].map.iter().map(|&c| mid[c]).collect();
+        let fine = Partition::new(fine, 2).unwrap();
+        let truth = crate::testutil::dumbbell_truth();
+        assert!(fine.same_grouping(&truth), "projected {fine}");
+        let fg = similarity_fg(&fine, &table);
+        assert!(fg < 1.0);
+    }
+}

@@ -36,11 +36,13 @@
 pub mod anneal;
 pub mod astar;
 pub mod clustering;
+pub mod coarsen;
 pub mod compute;
 pub mod descent;
 pub mod exhaustive;
 pub mod genetic;
 pub mod kernighan_lin;
+pub mod multilevel;
 pub mod parallel;
 pub mod pool;
 pub mod tabu;
@@ -48,10 +50,14 @@ pub mod tabu;
 pub use anneal::{SimulatedAnnealing, SimulatedAnnealingParams};
 pub use astar::AStarSearch;
 pub use clustering::AgglomerativeClustering;
+pub use coarsen::{build_hierarchy, can_coarsen, coarsen_level, CoarseLevel, Hierarchy};
 pub use descent::{RandomSampling, SteepestDescent};
 pub use exhaustive::{enumerate_partitions, ExhaustiveSearch};
 pub use genetic::{GeneticParams, GeneticSearch, GeneticSimulatedAnnealing};
 pub use kernighan_lin::KernighanLin;
+pub use multilevel::{
+    multilevel_map, MapStrategy, MultilevelMapper, MultilevelParams, MultilevelStats,
+};
 pub use parallel::parallel_multi_seed;
 pub use pool::{resolve_threads, run_indexed};
 pub use tabu::{TabuParams, TabuSearch, TabuTrace, TraceEvent};

@@ -8,7 +8,7 @@
 //! the result — they count as hits, because they obtained the table
 //! without solving.
 
-use commsched_distance::SharedDistanceTable;
+use commsched_distance::{ApproxReport, SharedDistanceTable};
 use commsched_routing::Routing;
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -36,6 +36,62 @@ impl std::fmt::Display for RoutingSpec {
     }
 }
 
+/// The table half of a cache key: how the equivalent distances were
+/// solved. An approximate table is a *different artifact* than the exact
+/// one — a job asking for `approx-eps=0.05` must never be served an
+/// entry built at a different eps (or vice versa), so the eps budget is
+/// part of the key.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum TableSpec {
+    /// Exact envelope-LDLᵀ solve of every pair (the oracle).
+    #[default]
+    Exact,
+    /// Certified-interval approximation with the given relative-error
+    /// budget in micro-units (`eps = eps_micros / 1e6`).
+    Approx {
+        /// Error budget × 1e6 (kept integral so the key stays `Eq`).
+        eps_micros: u32,
+    },
+}
+
+impl TableSpec {
+    /// The spec a job's `approx-eps` parameter selects: 0 keeps the
+    /// exact solver, anything else the certified approximation.
+    pub fn from_eps_micros(eps_micros: u32) -> Self {
+        if eps_micros == 0 {
+            TableSpec::Exact
+        } else {
+            TableSpec::Approx { eps_micros }
+        }
+    }
+}
+
+impl std::fmt::Display for TableSpec {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            TableSpec::Exact => write!(f, "exact"),
+            TableSpec::Approx { eps_micros } => write!(f, "approx:{eps_micros}"),
+        }
+    }
+}
+
+impl std::str::FromStr for TableSpec {
+    type Err = String;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        if s == "exact" {
+            return Ok(TableSpec::Exact);
+        }
+        if let Some(micros) = s.strip_prefix("approx:") {
+            return micros
+                .parse()
+                .map(|eps_micros| TableSpec::Approx { eps_micros })
+                .map_err(|_| format!("bad eps in table spec '{s}'"));
+        }
+        Err(format!("unknown table spec '{s}'"))
+    }
+}
+
 /// A routing and its table of equivalent distances, built once and
 /// shared by every job that schedules on the same network.
 pub struct RoutedTable {
@@ -44,9 +100,12 @@ pub struct RoutedTable {
     /// The table of equivalent distances under that routing, as a
     /// shareable handle so jobs can keep it past an LRU eviction.
     pub table: SharedDistanceTable,
+    /// The certified error report when the table was built by the
+    /// approximate solver (`None` for exact tables).
+    pub approx: Option<ApproxReport>,
 }
 
-type Key = (u64, RoutingSpec);
+type Key = (u64, RoutingSpec, TableSpec);
 
 enum Slot {
     /// Some thread is building this entry; waiters block on the condvar.
@@ -248,7 +307,10 @@ impl DistanceCache {
     /// finish and insert normally (single-flight stays sound), and the
     /// stale result is keyed by the *old* fingerprint, which no new job
     /// will request once the registry epoch has moved on.
-    pub fn invalidate_topology(&self, fingerprint: u64) -> Vec<(RoutingSpec, Arc<RoutedTable>)> {
+    pub fn invalidate_topology(
+        &self,
+        fingerprint: u64,
+    ) -> Vec<(RoutingSpec, TableSpec, Arc<RoutedTable>)> {
         let mut inner = self.inner.lock().expect("cache lock");
         let victims: Vec<Key> = inner
             .entries
@@ -260,11 +322,11 @@ impl DistanceCache {
         let mut removed = Vec::with_capacity(victims.len());
         for k in victims {
             if let Some(Slot::Ready { value, .. }) = inner.entries.remove(&k) {
-                removed.push((k.1, value));
+                removed.push((k.1, k.2, value));
             }
         }
         // Deterministic order for reporting.
-        removed.sort_by_key(|(spec, _)| format!("{spec}"));
+        removed.sort_by_key(|(spec, tspec, _)| format!("{spec} {tspec}"));
         removed
     }
 
@@ -354,11 +416,12 @@ mod tests {
         RoutedTable {
             routing: Box::new(routing),
             table,
+            approx: None,
         }
     }
 
     fn key(fp: u64) -> Key {
-        (fp, RoutingSpec::UpDown { root: 0 })
+        (fp, RoutingSpec::UpDown { root: 0 }, TableSpec::Exact)
     }
 
     #[test]
@@ -378,7 +441,9 @@ mod tests {
         let cache = DistanceCache::new(4);
         let a = cache.get_or_build(key(1), || Ok(build_for(4))).unwrap();
         let b = cache
-            .get_or_build((1, RoutingSpec::ShortestPath), || Ok(build_for(4)))
+            .get_or_build((1, RoutingSpec::ShortestPath, TableSpec::Exact), || {
+                Ok(build_for(4))
+            })
             .unwrap();
         assert!(!Arc::ptr_eq(&a, &b));
         assert_eq!(cache.misses(), 2);
@@ -447,7 +512,9 @@ mod tests {
         let cache = DistanceCache::new(8);
         cache.get_or_build(key(1), || Ok(build_for(4))).unwrap();
         cache
-            .get_or_build((1, RoutingSpec::ShortestPath), || Ok(build_for(4)))
+            .get_or_build((1, RoutingSpec::ShortestPath, TableSpec::Exact), || {
+                Ok(build_for(4))
+            })
             .unwrap();
         cache.get_or_build(key(2), || Ok(build_for(5))).unwrap();
         let removed = cache.invalidate_topology(1);

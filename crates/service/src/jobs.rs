@@ -6,17 +6,21 @@
 //! layer ([`crate::server`]) is a thin translator on top, which keeps
 //! everything here directly unit-testable.
 
-use crate::cache::{DistanceCache, RoutedTable, RoutingSpec};
+use crate::cache::{DistanceCache, RoutedTable, RoutingSpec, TableSpec};
 use crate::persist::{state as pstate, PersistError, PersistOptions, Persistence, RecoveryReport};
 use crate::protocol::{format_fingerprint, JobKind, JobSpec, TopoRef};
 use crate::registry::TopologyRegistry;
 use crate::stats::ServiceStats;
 use commsched_core::{quality, ProcessMapping, Workload};
-use commsched_distance::{equivalent_distance_table_parallel, RepairMemo, TableOptions};
+use commsched_distance::{
+    equivalent_distance_table_with_report, RepairMemo, SolverKind, TableOptions,
+};
 use commsched_dynamics::{repair_table, FaultEvent, RepairReport, TopologyEpoch};
 use commsched_netsim::{paper_sweep, SimConfig, SweepConfig};
 use commsched_routing::{Routing, ShortestPathRouting, UpDownRouting};
-use commsched_search::{parallel_multi_seed, TabuParams, TabuSearch};
+use commsched_search::{
+    multilevel_map, parallel_multi_seed, MapStrategy, MultilevelParams, TabuParams, TabuSearch,
+};
 use commsched_topology::{designed, random_regular, RandomTopologyConfig, Topology};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
@@ -307,7 +311,7 @@ impl ServiceCore {
         // Restored tables are bit-exact (the text format round-trips
         // doubles exactly), so post-restart faults still take the
         // incremental-repair path instead of a full rebuild.
-        for ((fp, spec), table) in recovered.tables {
+        for ((fp, spec, tspec), table, approx) in recovered.tables {
             let Some(topo) = core.registry.get(fp) else {
                 continue;
             };
@@ -315,10 +319,11 @@ impl ServiceCore {
                 continue;
             };
             core.cache.insert_ready(
-                (fp, spec),
+                (fp, spec, tspec),
                 Arc::new(RoutedTable {
                     routing,
                     table: table.into_shared(),
+                    approx,
                 }),
             );
             report.restored_tables += 1;
@@ -390,8 +395,14 @@ impl ServiceCore {
                 }
             }
         }
-        for ((fp, spec), value) in self.cache.ready_entries() {
-            records.push(pstate::record_cache(fp, spec, &value.table));
+        for ((fp, spec, tspec), value) in self.cache.ready_entries() {
+            records.push(pstate::record_cache(
+                fp,
+                spec,
+                tspec,
+                &value.table,
+                value.approx.as_ref(),
+            ));
         }
         records
     }
@@ -1031,13 +1042,15 @@ impl ServiceCore {
         (fp, fresh)
     }
 
-    /// The cached routing + distance table for a topology.
+    /// The cached routing + distance table for a topology, under the
+    /// given solver spec (exact, or the certified approximation).
     fn routed_table(
         &self,
         topo: &Arc<Topology>,
         routing: RoutingSpec,
+        tspec: TableSpec,
     ) -> Result<Arc<RoutedTable>, String> {
-        let key = (topo.fingerprint(), routing);
+        let key = (topo.fingerprint(), routing, tspec);
         let topo_for_build = Arc::clone(topo);
         let threads = self.config.table_threads;
         // The flag is set inside the closure, which only the winning
@@ -1047,20 +1060,38 @@ impl ServiceCore {
         let built_flag = &mut built;
         let value = self.cache.get_or_build(key, move || {
             let routing_impl = build_routing(&topo_for_build, routing)?;
-            let table =
-                equivalent_distance_table_parallel(&topo_for_build, routing_impl.as_ref(), threads)
-                    .map_err(|e| e.to_string())?
-                    .into_shared();
+            let options = match tspec {
+                TableSpec::Exact => TableOptions {
+                    threads,
+                    ..TableOptions::default()
+                },
+                TableSpec::Approx { eps_micros } => TableOptions {
+                    solver: SolverKind::Approximate,
+                    approx_eps_micros: eps_micros,
+                    threads,
+                    ..TableOptions::default()
+                },
+            };
+            let (table, approx) = equivalent_distance_table_with_report(
+                &topo_for_build,
+                routing_impl.as_ref(),
+                options,
+            )
+            .map_err(|e| e.to_string())?;
             *built_flag = true;
             Ok(RoutedTable {
                 routing: routing_impl,
-                table,
+                table: table.into_shared(),
+                approx,
             })
         })?;
         if built {
             // ack=false: losing a cache record costs a rebuild on the
             // next startup, never correctness.
-            self.log_record(&pstate::record_cache(key.0, key.1, &value.table), false);
+            self.log_record(
+                &pstate::record_cache(key.0, key.1, key.2, &value.table, value.approx.as_ref()),
+                false,
+            );
             self.maybe_snapshot();
         }
         Ok(value)
@@ -1083,7 +1114,8 @@ impl ServiceCore {
         let threads = self.config.table_threads;
         let mut report = None;
         let report_slot = &mut report;
-        let value = self.cache.get_or_build((next.fingerprint, spec), move || {
+        let key = (next.fingerprint, spec, TableSpec::Exact);
+        let value = self.cache.get_or_build(key, move || {
             let routing = build_routing(&topo, spec)?;
             let mut memo = self.repair_memo.lock().expect("repair memo lock");
             let (table, rep) = repair_table(
@@ -1103,6 +1135,7 @@ impl ServiceCore {
             Ok(RoutedTable {
                 routing,
                 table: table.into_shared(),
+                approx: None,
             })
         })?;
         Ok((report, value))
@@ -1153,12 +1186,25 @@ impl ServiceCore {
         let removed = self.cache.invalidate_topology(old_fp);
         let mut repair_lines = Vec::new();
         let mut refreshed = 0usize;
-        for (spec, stale) in &removed {
+        for (spec, tspec, stale) in &removed {
+            if let TableSpec::Approx { .. } = tspec {
+                // Approximate tables carry no repair memo-compatible
+                // certificate across topologies; they are cheap to
+                // rebuild on demand under the successor fingerprint.
+                repair_lines.push(format!("repair {spec} {tspec} dropped"));
+                continue;
+            }
             match self.refresh_entry(&old, &next, *spec, stale) {
                 Ok((Some(rep), value)) => {
                     refreshed += 1;
                     self.log_record(
-                        &pstate::record_cache(next.fingerprint, *spec, &value.table),
+                        &pstate::record_cache(
+                            next.fingerprint,
+                            *spec,
+                            TableSpec::Exact,
+                            &value.table,
+                            None,
+                        ),
                         false,
                     );
                     repair_lines.push(format!(
@@ -1217,18 +1263,37 @@ impl ServiceCore {
             }
         };
         let topo = self.resolve_topology(spec.topo)?;
-        let routed = self.routed_table(&topo, spec.routing)?;
+        let tspec = TableSpec::from_eps_micros(spec.approx_eps_micros);
+        let routed = self.routed_table(&topo, spec.routing, tspec)?;
+        if let Some(rep) = &routed.approx {
+            self.stats.note_approx_err_max(rep.err_max);
+        }
         let workload = Workload::balanced(&topo, clusters).map_err(|e| e.to_string())?;
         let sizes = workload.switch_demands(topo.hosts_per_switch());
-        let mapper = TabuSearch::new(TabuParams::scaled(topo.num_switches()));
-        let (winning_seed, result) = parallel_multi_seed(
-            &mapper,
-            &routed.table,
-            &sizes,
-            seed,
-            self.config.search_seeds,
-            self.config.search_threads,
-        );
+        let (winning_seed, result, ml) = match spec.strategy {
+            MapStrategy::Flat => {
+                let mapper = TabuSearch::new(TabuParams::scaled(topo.num_switches()));
+                let (winning_seed, result) = parallel_multi_seed(
+                    &mapper,
+                    &routed.table,
+                    &sizes,
+                    seed,
+                    self.config.search_seeds,
+                    self.config.search_threads,
+                );
+                (winning_seed, result, None)
+            }
+            MapStrategy::Multilevel => {
+                let params = MultilevelParams {
+                    threads: self.config.search_threads,
+                    ..MultilevelParams::default()
+                };
+                let (result, stats) = multilevel_map(&routed.table, &sizes, seed, &params);
+                self.stats
+                    .note_multilevel(stats.levels as u64, stats.refine_moves);
+                (seed, result, Some(stats))
+            }
+        };
         let q = quality(&result.partition, &routed.table);
         let assignment: Vec<String> = result
             .partition
@@ -1244,7 +1309,21 @@ impl ServiceCore {
             format!("dg {:.9}", q.dg),
             format!("cc {:.9}", q.cc),
             format!("winning_seed {winning_seed}"),
+            format!("strategy {}", spec.strategy),
         ];
+        if let Some(stats) = ml {
+            lines.push(format!("ml_levels {}", stats.levels));
+            lines.push(format!("ml_coarse_n {}", stats.coarse_n));
+            lines.push(format!("ml_refine_moves {}", stats.refine_moves));
+        }
+        if let Some(rep) = &routed.approx {
+            lines.push(format!("approx_eps {:.6}", rep.eps));
+            lines.push(format!("approx_err_max {:.9e}", rep.err_max));
+            lines.push(format!(
+                "approx_pairs {} escalated {}",
+                rep.pairs_approximated, rep.pairs_escalated
+            ));
+        }
         if let JobKind::Sweep { points, .. } = spec.kind {
             let mapping = ProcessMapping::place(&topo, &workload, &result.partition)
                 .map_err(|e| e.to_string())?;
@@ -1291,6 +1370,8 @@ mod tests {
                 hosts: 1,
             },
             routing: RoutingSpec::UpDown { root: 0 },
+            strategy: MapStrategy::Flat,
+            approx_eps_micros: 0,
             kind: JobKind::Schedule { clusters: 2, seed },
         }
     }
@@ -1339,6 +1420,8 @@ mod tests {
             .map(|_| JobSpec {
                 topo: TopoRef::Paper24,
                 routing: RoutingSpec::UpDown { root: 0 },
+                strategy: MapStrategy::Flat,
+                approx_eps_micros: 0,
                 kind: JobKind::Noop,
             })
             .collect();
@@ -1368,6 +1451,8 @@ mod tests {
         let noop = JobSpec {
             topo: TopoRef::Paper24,
             routing: RoutingSpec::UpDown { root: 0 },
+            strategy: MapStrategy::Flat,
+            approx_eps_micros: 0,
             kind: JobKind::Noop,
         };
         {
@@ -1578,6 +1663,8 @@ mod tests {
             .submit(JobSpec {
                 topo: TopoRef::Paper24,
                 routing: RoutingSpec::UpDown { root: 0 },
+                strategy: MapStrategy::Flat,
+                approx_eps_micros: 0,
                 kind: JobKind::Schedule {
                     clusters: 4,
                     seed: 1,
@@ -1647,6 +1734,8 @@ mod tests {
             .submit(JobSpec {
                 topo: TopoRef::Registered(new_fp),
                 routing: RoutingSpec::UpDown { root: 0 },
+                strategy: MapStrategy::Flat,
+                approx_eps_micros: 0,
                 kind: JobKind::Schedule {
                     clusters: 4,
                     seed: 2,
@@ -1668,6 +1757,8 @@ mod tests {
             .submit(JobSpec {
                 topo: TopoRef::Registered(fp),
                 routing: RoutingSpec::UpDown { root: 0 },
+                strategy: MapStrategy::Flat,
+                approx_eps_micros: 0,
                 kind: JobKind::Schedule {
                     clusters: 4,
                     seed: 3,
@@ -1830,6 +1921,8 @@ mod tests {
         let spec_for = |fp: u64, seed: u64| JobSpec {
             topo: TopoRef::Registered(fp),
             routing: RoutingSpec::UpDown { root: 0 },
+            strategy: MapStrategy::Flat,
+            approx_eps_micros: 0,
             kind: JobKind::Schedule { clusters: 4, seed },
         };
         // Session 1: register paper24, warm its cache, drain.

@@ -39,7 +39,7 @@ pub mod registry;
 pub mod server;
 pub mod stats;
 
-pub use cache::{DistanceCache, RoutedTable, RoutingSpec};
+pub use cache::{DistanceCache, RoutedTable, RoutingSpec, TableSpec};
 pub use client::Client;
 pub use jobs::{JobId, JobState, ServiceCore, ServiceCoreConfig, SubmitError};
 pub use persist::{FsyncPolicy, PersistError, PersistOptions, Persistence, RecoveryReport};

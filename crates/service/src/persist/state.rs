@@ -24,19 +24,21 @@
 //! | `fault <old> <new> <index>` | epoch bump `<old>` → `<new>` |
 //! | `succ <old> <new>` | a successor edge (snapshot only) |
 //! | `epoch <fp> <index>` | an epoch index (snapshot only) |
-//! | `cache <fp> <spec>` + body | a built table, in distance text format |
+//! | `cache <fp> <spec> [<tablespec>]` + body | a built table, in distance text format |
 //! | `end` | snapshot terminator |
 //!
 //! Replay is idempotent: applying a record twice (snapshot + a WAL that
 //! predates the truncation) converges on the same state.
 
-use crate::cache::RoutingSpec;
+use crate::cache::{RoutingSpec, TableSpec};
 use crate::jobs::{JobId, JobState};
 use crate::protocol::{
     format_fingerprint, format_job_spec, parse_fingerprint, parse_job_spec, parse_routing_spec,
     JobSpec,
 };
-use commsched_distance::{table_from_text, table_to_text, DistanceTable};
+use commsched_distance::{
+    table_from_text_with_report, table_to_text_with_report, ApproxReport, DistanceTable,
+};
 use commsched_topology::Topology;
 use std::collections::{BTreeMap, HashMap};
 use std::sync::Arc;
@@ -99,15 +101,32 @@ pub fn record_next(next_id: JobId) -> String {
     format!("next {next_id}")
 }
 
-/// `cache <fp> <spec>` + the table's full-precision text serialization
-/// (the existing `distance::io` format, which round-trips bit-exactly).
-pub fn record_cache(fp: u64, spec: RoutingSpec, table: &DistanceTable) -> String {
+/// `cache <fp> <spec> <tablespec>` + the table's full-precision text
+/// serialization (the existing `distance::io` format, which round-trips
+/// bit-exactly; approximate tables carry their certified error report
+/// in the body's `approx` directive).
+pub fn record_cache(
+    fp: u64,
+    spec: RoutingSpec,
+    table_spec: TableSpec,
+    table: &DistanceTable,
+    report: Option<&ApproxReport>,
+) -> String {
     format!(
-        "cache {} {spec}\n{}",
+        "cache {} {spec} {table_spec}\n{}",
         format_fingerprint(fp),
-        table_to_text(table)
+        table_to_text_with_report(table, report)
     )
 }
+
+/// One recovered cache entry: the `(fingerprint, routing, table-spec)`
+/// key, the table itself, and the approximate build's report when the
+/// spec is approximate.
+pub type RecoveredTable = (
+    (u64, RoutingSpec, TableSpec),
+    DistanceTable,
+    Option<ApproxReport>,
+);
 
 /// One job as reconstructed from the log.
 #[derive(Debug, Clone)]
@@ -141,8 +160,9 @@ pub struct RecoveredState {
     /// Epoch index per fingerprint.
     pub index: HashMap<u64, u64>,
     /// Cached tables in recency order (oldest first); later records for
-    /// the same key replace earlier ones and move to the back.
-    pub tables: Vec<((u64, RoutingSpec), DistanceTable)>,
+    /// the same key replace earlier ones and move to the back. The
+    /// report is present for approximate tables.
+    pub tables: Vec<RecoveredTable>,
     /// Whether an `end` marker was seen (snapshot completeness check).
     pub ended: bool,
 }
@@ -250,12 +270,23 @@ impl RecoveredState {
                 let index: u64 = index.parse().map_err(|_| format!("bad epoch '{index}'"))?;
                 self.index.insert(f, index);
             }
-            ["cache", f, spec] => {
-                let key = (fp(f)?, parse_routing_spec(spec)?);
-                let table = table_from_text(body).map_err(|e| format!("bad table: {e}"))?;
+            // Two-word spelling = records written before approximate
+            // tables existed; those are always exact.
+            ["cache", f, spec] | ["cache", f, spec, "exact"] => {
+                let key = (fp(f)?, parse_routing_spec(spec)?, TableSpec::Exact);
+                let (table, _) =
+                    table_from_text_with_report(body).map_err(|e| format!("bad table: {e}"))?;
                 // Last record wins and defines recency.
-                self.tables.retain(|(k, _)| *k != key);
-                self.tables.push((key, table));
+                self.tables.retain(|(k, _, _)| *k != key);
+                self.tables.push((key, table, None));
+            }
+            ["cache", f, spec, tspec] => {
+                let tspec: TableSpec = tspec.parse()?;
+                let key = (fp(f)?, parse_routing_spec(spec)?, tspec);
+                let (table, report) =
+                    table_from_text_with_report(body).map_err(|e| format!("bad table: {e}"))?;
+                self.tables.retain(|(k, _, _)| *k != key);
+                self.tables.push((key, table, report));
             }
             ["end"] => self.ended = true,
             _ => return Err(format!("unknown record '{head}'")),
@@ -270,6 +301,7 @@ mod tests {
     use crate::protocol::{JobKind, TopoRef};
     use commsched_distance::equivalent_distance_table;
     use commsched_routing::UpDownRouting;
+    use commsched_search::MapStrategy;
     use commsched_topology::designed;
 
     fn spec(seed: u64) -> JobSpec {
@@ -279,6 +311,8 @@ mod tests {
                 hosts: 1,
             },
             routing: RoutingSpec::UpDown { root: 0 },
+            strategy: MapStrategy::Flat,
+            approx_eps_micros: 0,
             kind: JobKind::Schedule { clusters: 2, seed },
         }
     }
@@ -319,16 +353,23 @@ mod tests {
         let table = equivalent_distance_table(&topo, &routing).unwrap();
         let mut s = RecoveredState::default();
         s.apply(&record_topo(&topo)).unwrap();
-        s.apply(&record_cache(fp, RoutingSpec::UpDown { root: 0 }, &table))
-            .unwrap();
+        s.apply(&record_cache(
+            fp,
+            RoutingSpec::UpDown { root: 0 },
+            TableSpec::Exact,
+            &table,
+            None,
+        ))
+        .unwrap();
         assert_eq!(s.topologies[&fp].fingerprint(), fp);
         assert_eq!(s.topo_order, vec![fp]);
-        let ((key, spec_got), got) = {
-            let ((k, sp), t) = &s.tables[0];
-            ((*k, *sp), t)
+        let ((key, spec_got, tspec_got), got) = {
+            let ((k, sp, ts), t, _) = &s.tables[0];
+            ((*k, *sp, *ts), t)
         };
         assert_eq!(key, fp);
         assert_eq!(spec_got, RoutingSpec::UpDown { root: 0 });
+        assert_eq!(tspec_got, TableSpec::Exact);
         for i in 0..topo.num_switches() {
             for j in 0..topo.num_switches() {
                 assert!(
@@ -338,9 +379,65 @@ mod tests {
             }
         }
         // A later record for the same key replaces and re-ranks it.
-        s.apply(&record_cache(fp, RoutingSpec::UpDown { root: 0 }, &table))
-            .unwrap();
+        s.apply(&record_cache(
+            fp,
+            RoutingSpec::UpDown { root: 0 },
+            TableSpec::Exact,
+            &table,
+            None,
+        ))
+        .unwrap();
         assert_eq!(s.tables.len(), 1);
+    }
+
+    #[test]
+    fn cache_records_carry_table_specs() {
+        let topo = designed::ring(5, 2);
+        let fp = topo.fingerprint();
+        let routing = UpDownRouting::new(&topo, 0).unwrap();
+        let table = equivalent_distance_table(&topo, &routing).unwrap();
+        let report = commsched_distance::ApproxReport {
+            eps: 0.05,
+            err_max: 0.01,
+            pairs_approximated: 6,
+            pairs_escalated: 4,
+        };
+        let mut s = RecoveredState::default();
+        // An approximate entry and an exact entry for the same
+        // fingerprint+routing are distinct keys.
+        s.apply(&record_cache(
+            fp,
+            RoutingSpec::UpDown { root: 0 },
+            TableSpec::Approx { eps_micros: 50_000 },
+            &table,
+            Some(&report),
+        ))
+        .unwrap();
+        s.apply(&record_cache(
+            fp,
+            RoutingSpec::UpDown { root: 0 },
+            TableSpec::Exact,
+            &table,
+            None,
+        ))
+        .unwrap();
+        assert_eq!(s.tables.len(), 2);
+        let (key, _, rep) = &s.tables[0];
+        assert_eq!(key.2, TableSpec::Approx { eps_micros: 50_000 });
+        assert_eq!(*rep, Some(report));
+        assert_eq!(s.tables[1].2, None);
+        // Legacy two-word records (written before table specs existed)
+        // replay as exact entries.
+        let legacy = format!(
+            "cache {} updown:0\n{}",
+            crate::protocol::format_fingerprint(fp),
+            commsched_distance::table_to_text(&table)
+        );
+        s.apply(&legacy).unwrap();
+        assert_eq!(s.tables.len(), 2, "legacy record replaced the exact key");
+        assert!(s
+            .apply("cache 0000000000000001 updown:0 fuzzy\nn 1")
+            .is_err());
     }
 
     #[test]

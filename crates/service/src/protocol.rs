@@ -67,6 +67,13 @@ pub struct JobSpec {
     /// Up*/down* root (the only routing parameter the protocol exposes;
     /// `shortest` selects shortest-path routing instead).
     pub routing: crate::cache::RoutingSpec,
+    /// Mapping pipeline: the paper's flat tabu (`strategy=flat`, the
+    /// default) or the coarsen→map→refine pipeline
+    /// (`strategy=multilevel`).
+    pub strategy: commsched_search::MapStrategy,
+    /// Distance-table error budget from `approx-eps=<float>`, stored ×1e6
+    /// (0 = exact solver, the default).
+    pub approx_eps_micros: u32,
     /// The computation.
     pub kind: JobKind,
 }
@@ -176,12 +183,30 @@ fn parse_routing(value: &str) -> Result<crate::cache::RoutingSpec, String> {
     Err(format!("unknown routing '{value}'"))
 }
 
+fn parse_approx_eps(value: &str) -> Result<u32, String> {
+    let eps: f64 = value
+        .parse()
+        .map_err(|_| format!("bad approx-eps '{value}'"))?;
+    if !eps.is_finite() || eps < 0.0 {
+        return Err(format!("bad approx-eps '{value}'"));
+    }
+    Ok(commsched_distance::eps_to_micros(eps))
+}
+
+fn format_approx_eps(micros: u32) -> String {
+    // micros/1e6 is exact in f64 and Rust prints the shortest digits
+    // that round-trip, so parse(format(x)) == x.
+    format!("{}", f64::from(micros) / 1e6)
+}
+
 fn parse_submit(words: &[&str]) -> Result<JobSpec, String> {
     let Some((&kind_word, kv)) = words.split_first() else {
         return Err("SUBMIT needs a job type".into());
     };
     let mut topo = None;
     let mut routing = crate::cache::RoutingSpec::UpDown { root: 0 };
+    let mut strategy = commsched_search::MapStrategy::Flat;
+    let mut approx_eps_micros = 0u32;
     let mut clusters = 4usize;
     let mut seed = 42u64;
     let mut points = 9usize;
@@ -192,6 +217,8 @@ fn parse_submit(words: &[&str]) -> Result<JobSpec, String> {
         match key {
             "topo" => topo = Some(parse_topo_ref(value)?),
             "routing" => routing = parse_routing(value)?,
+            "strategy" => strategy = value.parse()?,
+            "approx-eps" => approx_eps_micros = parse_approx_eps(value)?,
             "clusters" => {
                 clusters = value
                     .parse()
@@ -221,6 +248,8 @@ fn parse_submit(words: &[&str]) -> Result<JobSpec, String> {
     Ok(JobSpec {
         topo,
         routing,
+        strategy,
+        approx_eps_micros,
         kind,
     })
 }
@@ -248,16 +277,20 @@ pub fn format_topo_ref(topo: &TopoRef) -> String {
 pub fn format_job_spec(spec: &JobSpec) -> String {
     let topo = format_topo_ref(&spec.topo);
     let routing = spec.routing;
+    let strategy = spec.strategy;
+    let eps = format_approx_eps(spec.approx_eps_micros);
     match spec.kind {
-        JobKind::Schedule { clusters, seed } => {
-            format!("SCHEDULE topo={topo} routing={routing} clusters={clusters} seed={seed}")
-        }
+        JobKind::Schedule { clusters, seed } => format!(
+            "SCHEDULE topo={topo} routing={routing} strategy={strategy} approx-eps={eps} \
+             clusters={clusters} seed={seed}"
+        ),
         JobKind::Sweep {
             clusters,
             seed,
             points,
         } => format!(
-            "SWEEP topo={topo} routing={routing} clusters={clusters} seed={seed} points={points}"
+            "SWEEP topo={topo} routing={routing} strategy={strategy} approx-eps={eps} \
+             clusters={clusters} seed={seed} points={points}"
         ),
         JobKind::Noop => format!("NOOP topo={topo} routing={routing}"),
     }
@@ -380,6 +413,7 @@ pub fn parse_request(line: &str) -> Result<Request, String> {
 mod tests {
     use super::*;
     use crate::cache::RoutingSpec;
+    use commsched_search::MapStrategy;
 
     #[test]
     fn parses_simple_verbs() {
@@ -405,6 +439,8 @@ mod tests {
             Request::Submit(JobSpec {
                 topo: TopoRef::Paper24,
                 routing: RoutingSpec::UpDown { root: 0 },
+                strategy: MapStrategy::Flat,
+                approx_eps_micros: 0,
                 kind: JobKind::Schedule {
                     clusters: 4,
                     seed: 42
@@ -422,6 +458,8 @@ mod tests {
                     hosts: 4
                 },
                 routing: RoutingSpec::ShortestPath,
+                strategy: MapStrategy::Flat,
+                approx_eps_micros: 0,
                 kind: JobKind::Sweep {
                     clusters: 2,
                     seed: 7,
@@ -534,6 +572,8 @@ mod tests {
             Ok(Request::Submit(JobSpec {
                 topo: TopoRef::Paper24,
                 routing: RoutingSpec::UpDown { root: 0 },
+                strategy: MapStrategy::Flat,
+                approx_eps_micros: 0,
                 kind: JobKind::Noop,
             }))
         );
@@ -543,6 +583,8 @@ mod tests {
                 hosts: 4,
             },
             routing: RoutingSpec::ShortestPath,
+            strategy: MapStrategy::Flat,
+            approx_eps_micros: 0,
             kind: JobKind::Noop,
         };
         let text = format_job_spec(&spec);
@@ -561,6 +603,8 @@ mod tests {
             JobSpec {
                 topo: TopoRef::Paper24,
                 routing: RoutingSpec::UpDown { root: 3 },
+                strategy: MapStrategy::Flat,
+                approx_eps_micros: 0,
                 kind: JobKind::Schedule {
                     clusters: 4,
                     seed: 42,
@@ -569,6 +613,8 @@ mod tests {
             JobSpec {
                 topo: TopoRef::Registered(0xdead_beef_0123_4567),
                 routing: RoutingSpec::ShortestPath,
+                strategy: MapStrategy::Flat,
+                approx_eps_micros: 0,
                 kind: JobKind::Sweep {
                     clusters: 2,
                     seed: 7,
@@ -583,6 +629,8 @@ mod tests {
                     seed: 2000,
                 },
                 routing: RoutingSpec::UpDown { root: 0 },
+                strategy: MapStrategy::Flat,
+                approx_eps_micros: 0,
                 kind: JobKind::Schedule {
                     clusters: 8,
                     seed: 0,

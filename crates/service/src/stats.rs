@@ -28,6 +28,13 @@ pub struct ServiceStats {
     wal_bytes: Gauge,
     /// Wall time of the most recent compacting snapshot.
     snapshot_nanos: Gauge,
+    /// Coarsening levels of the most recent multilevel job.
+    ml_levels: Gauge,
+    /// Refinement swaps applied across all multilevel jobs.
+    ml_refine_moves: Counter,
+    /// Largest certified approximation error observed in any table this
+    /// core built, in micro-units (×1e6).
+    approx_err_max_micros: Gauge,
     /// Time jobs spent queued before a worker picked them up.
     queue_wait_ms: Histo,
     /// Worker execution time.
@@ -78,6 +85,18 @@ impl ServiceStats {
             "service_snapshot_nanos",
             "Wall time of the most recent compacting snapshot, in nanoseconds",
         );
+        let ml_levels = registry.gauge(
+            "service_ml_levels",
+            "Coarsening levels of the most recent multilevel mapping job",
+        );
+        let ml_refine_moves = registry.counter(
+            "service_ml_refine_moves_total",
+            "Refinement swaps applied across all multilevel mapping jobs",
+        );
+        let approx_err_max_micros = registry.gauge(
+            "service_approx_table_err_max_micros",
+            "Largest certified approximate-table relative error observed, x1e6",
+        );
         let queue_wait_ms = registry.histogram(
             "service_job_queue_wait_ms",
             "Milliseconds jobs spent queued before a worker picked them up",
@@ -98,6 +117,9 @@ impl ServiceStats {
             recovered,
             wal_bytes,
             snapshot_nanos,
+            ml_levels,
+            ml_refine_moves,
+            approx_err_max_micros,
             queue_wait_ms,
             run_ms,
             net,
@@ -207,6 +229,37 @@ impl ServiceStats {
         u64::try_from(self.snapshot_nanos.get()).unwrap_or(0)
     }
 
+    /// Record the shape of a finished multilevel mapping job.
+    pub fn note_multilevel(&self, levels: u64, refine_moves: u64) {
+        self.ml_levels
+            .set(i64::try_from(levels).unwrap_or(i64::MAX));
+        self.ml_refine_moves.add(refine_moves);
+    }
+
+    /// Coarsening levels of the most recent multilevel job.
+    pub fn ml_levels(&self) -> u64 {
+        u64::try_from(self.ml_levels.get()).unwrap_or(0)
+    }
+
+    /// Refinement swaps applied across all multilevel jobs.
+    pub fn ml_refine_moves(&self) -> u64 {
+        self.ml_refine_moves.get()
+    }
+
+    /// Fold one table's certified max relative error into the running
+    /// maximum (kept in micro-units so the gauge stays integral).
+    pub fn note_approx_err_max(&self, err: f64) {
+        let micros = (err * 1e6).clamp(0.0, i64::MAX as f64) as i64;
+        if micros > self.approx_err_max_micros.get() {
+            self.approx_err_max_micros.set(micros);
+        }
+    }
+
+    /// Largest certified approximate-table error observed, ×1e6.
+    pub fn approx_err_max_micros(&self) -> i64 {
+        self.approx_err_max_micros.get()
+    }
+
     /// `key value` lines for the `STATS` response (the caller appends
     /// queue gauges and cache counters it owns).
     pub fn report_lines(&self) -> Vec<String> {
@@ -220,6 +273,12 @@ impl ServiceStats {
             format!("jobs_recovered {}", self.recovered()),
             format!("wal_bytes {}", self.wal_bytes()),
             format!("snapshot_nanos {}", self.snapshot_nanos()),
+            format!("ml_levels {}", self.ml_levels()),
+            format!("ml_refine_moves {}", self.ml_refine_moves()),
+            format!(
+                "approx_table_err_max_micros {}",
+                self.approx_err_max_micros()
+            ),
             format!("net_connections_open {}", self.net.connections_open.get()),
             format!("net_frames_rx {}", self.net.frames_rx.get()),
             format!("net_frames_tx {}", self.net.frames_tx.get()),
@@ -263,6 +322,11 @@ mod tests {
         s.note_recovered(3);
         s.set_wal_bytes(4096);
         s.set_snapshot_nanos(1_500_000);
+        s.note_multilevel(3, 17);
+        s.note_multilevel(2, 5);
+        s.note_approx_err_max(0.04);
+        s.note_approx_err_max(0.01); // running max keeps the larger
+
         assert_eq!(s.submitted(), 2);
         assert_eq!(s.rejected(), 1);
         assert_eq!(s.cancelled(), 1);
@@ -272,6 +336,9 @@ mod tests {
         assert_eq!(s.recovered(), 3);
         assert_eq!(s.wal_bytes(), 4096);
         assert_eq!(s.snapshot_nanos(), 1_500_000);
+        assert_eq!(s.ml_levels(), 2);
+        assert_eq!(s.ml_refine_moves(), 22);
+        assert_eq!(s.approx_err_max_micros(), 40_000);
     }
 
     #[test]
@@ -290,6 +357,9 @@ mod tests {
             "jobs_recovered",
             "wal_bytes",
             "snapshot_nanos",
+            "ml_levels",
+            "ml_refine_moves",
+            "approx_table_err_max_micros",
             "queue_wait_ms_count",
             "queue_wait_ms_p50",
             "run_ms_p90",

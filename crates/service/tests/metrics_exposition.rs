@@ -51,17 +51,25 @@ fn metrics_agree_with_stats_after_jobs_run() {
         let state = client.wait(job, Duration::from_millis(20)).expect("wait");
         assert_eq!(state, "done", "job on {topo} ended {state}");
     }
+    // One multilevel job on an approximate table exercises the scale
+    // pipeline's gauges (the network is too small to coarsen, so the
+    // level gauge stays 0 — the twin check below still runs).
+    let job = client
+        .submit_raw("SCHEDULE topo=ring:8:2 clusters=2 seed=3 strategy=multilevel approx-eps=0.25")
+        .expect("submit multilevel");
+    let state = client.wait(job, Duration::from_millis(20)).expect("wait");
+    assert_eq!(state, "done", "multilevel job ended {state}");
 
     let stats: HashMap<String, String> = client.stats().expect("stats").into_iter().collect();
     let metrics_lines = client.metrics().expect("metrics");
     let samples = parse_samples(&metrics_lines);
     let text = metrics_lines.join("\n");
 
-    // Job latency histograms are live: three runs were recorded.
-    assert_eq!(samples["service_job_run_ms_count"], 3.0);
-    assert_eq!(samples["service_job_queue_wait_ms_count"], 3.0);
+    // Job latency histograms are live: four runs were recorded.
+    assert_eq!(samples["service_job_run_ms_count"], 4.0);
+    assert_eq!(samples["service_job_queue_wait_ms_count"], 4.0);
     assert!(
-        text.contains("service_job_run_ms_bucket{le=\"+Inf\"} 3"),
+        text.contains("service_job_run_ms_bucket{le=\"+Inf\"} 4"),
         "missing +Inf bucket in:\n{text}"
     );
 
@@ -76,6 +84,12 @@ fn metrics_agree_with_stats_after_jobs_run() {
         ("cache_misses", "service_cache_misses_total"),
         ("cache_entries", "service_cache_entries"),
         ("topologies", "service_topologies"),
+        ("ml_levels", "service_ml_levels"),
+        ("ml_refine_moves", "service_ml_refine_moves_total"),
+        (
+            "approx_table_err_max_micros",
+            "service_approx_table_err_max_micros",
+        ),
     ] {
         let from_stats: f64 = stats[stat_key].parse().expect("numeric stat");
         assert_eq!(
@@ -83,8 +97,17 @@ fn metrics_agree_with_stats_after_jobs_run() {
             "{metric_name} disagrees with STATS {stat_key}"
         );
     }
-    assert_eq!(samples["service_cache_misses_total"], 2.0);
+    assert_eq!(samples["service_cache_misses_total"], 3.0);
     assert_eq!(samples["service_cache_hits_total"], 1.0);
+
+    // The approximate build registered its global distance counters.
+    assert!(
+        samples.contains_key("distance_approx_pairs_total"),
+        "missing approx counters in:\n{text}"
+    );
+    assert!(samples.contains_key("distance_approx_escalations_total"));
+    // The multilevel run registered the search-side pipeline counters.
+    assert_eq!(samples["ml_runs_total"], 1.0);
 
     // The process-global registry rode along: the jobs ran distance
     // builds and tabu searches in this process.

@@ -11,7 +11,7 @@
 
 use commsched_distance::table_to_text;
 use commsched_dynamics::FaultEvent;
-use commsched_service::cache::RoutingSpec;
+use commsched_service::cache::{RoutingSpec, TableSpec};
 use commsched_service::persist::WAL_FILE;
 use commsched_service::{
     Client, JobKind, JobSpec, JobState, PersistOptions, Server, ServiceCore, ServiceCoreConfig,
@@ -66,7 +66,7 @@ struct GroundTruth {
     /// Final state and `result_lines` outcome per issued job id.
     jobs: HashMap<u64, (JobState, Result<Vec<String>, String>)>,
     /// `table_to_text` of every ready cache entry at crash time.
-    tables: HashMap<(u64, RoutingSpec), String>,
+    tables: HashMap<(u64, RoutingSpec, TableSpec), String>,
     max_id: u64,
 }
 
@@ -106,6 +106,8 @@ fn run_workload(dir: &Path, seed: u64) -> GroundTruth {
         } else {
             RoutingSpec::ShortestPath
         },
+        strategy: commsched_search::MapStrategy::Flat,
+        approx_eps_micros: 0,
         kind: JobKind::Schedule {
             clusters: 2,
             seed: rng.gen_range(0_u64..100),
@@ -267,7 +269,7 @@ fn truncated_wal_recovery_never_invents_or_repeats_work() {
             assert_eq!(core.status(id), Some(*state), "job {id} lost");
             assert_eq!(&core.result_lines(id), result, "job {id} payload");
         }
-        let restored: HashMap<(u64, RoutingSpec), String> = core
+        let restored: HashMap<(u64, RoutingSpec, TableSpec), String> = core
             .cache
             .ready_entries()
             .into_iter()

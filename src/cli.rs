@@ -19,9 +19,10 @@
 //! trace of a local run. Parsing is hand-rolled (`--flag value` pairs)
 //! and separated from execution so both halves are unit-testable.
 
-use crate::{RoutingKind, Scheduler};
+use crate::{RoutingKind, Scheduler, SchedulerOptions};
 use commsched_core::{weighted_similarity_fg, Workload};
 use commsched_netsim::{paper_sweep, simulate, SimConfig, SweepConfig};
+use commsched_search::MapStrategy;
 use commsched_service::{
     Client, PersistOptions, Server, ServerConfig, ServiceCore, ServiceCoreConfig,
 };
@@ -66,6 +67,12 @@ pub enum Command {
         server: Option<String>,
         /// Write a JSONL span trace of the local run to this path.
         trace_out: Option<String>,
+        /// Mapping strategy: flat tabu or the multilevel pipeline.
+        strategy: MapStrategy,
+        /// Multilevel coarsening target (local runs only).
+        max_coarse_n: usize,
+        /// Approximate-table error budget in millionths (0 = exact).
+        approx_eps_micros: u32,
     },
     /// Run one simulation at a fixed rate.
     Simulate {
@@ -141,6 +148,10 @@ pub enum Command {
         seed: u64,
         /// Sweep points (sweep jobs only).
         points: usize,
+        /// Mapping strategy forwarded as `strategy=`.
+        strategy: MapStrategy,
+        /// Approximate-table budget forwarded as `approx-eps=`.
+        approx_eps_micros: u32,
     },
     /// Query a daemon job's state.
     Status {
@@ -287,6 +298,8 @@ USAGE:
   commsched schedule <topology flags> [--clusters M] [--seed S]
                      [--weights w1,w2,...] [--server HOST:PORT]
                      [--trace-out FILE.jsonl]
+                     [--strategy flat|multilevel] [--max-coarse-n N]
+                     [--approx-eps E]
   commsched simulate <topology flags> [--clusters M] [--seed S] [--rate R]
                      [--compare-random] [--vcs V] [--adaptive]
   commsched sweep    <topology flags> [--clusters M] [--seed S]
@@ -297,6 +310,7 @@ USAGE:
                      [--idle-timeout SECS]
   commsched submit   --server HOST:PORT [--type schedule|sweep]
                      <topology flags> [--clusters M] [--seed S] [--points P]
+                     [--strategy flat|multilevel] [--approx-eps E]
   commsched loadgen  --server HOST:PORT [--connections N] [--rate JOBS_PER_S]
                      [--batch N] [--duration SECS] [--mode line|binary]
                      [--spec 'NOOP'] [--max-in-flight N] [--out FILE.json]
@@ -308,6 +322,7 @@ USAGE:
 
 DEFAULTS: --kind random --switches 16 --degree 3 --hosts 4 --topo-seed 2000
           --clusters 4 --seed 42 --rate 0.1 --addr 127.0.0.1:7477
+          --strategy flat --max-coarse-n 256 --approx-eps 0 (exact table)
           --state-dir commsched-state --fsync on-ack --max-conns 10240
           loadgen: --connections 16 --rate 1000 --batch 1 --duration 5
 ";
@@ -364,6 +379,30 @@ fn parse_topology(
     }
 }
 
+/// Parse the scale flags shared by `schedule` and `submit`:
+/// `--strategy`, `--max-coarse-n`, `--approx-eps` (a fraction, stored in
+/// millionths so the spec stays integral end to end).
+fn parse_scale_flags(
+    flags: &std::collections::HashMap<String, String>,
+) -> Result<(MapStrategy, usize, u32), String> {
+    let get = |k: &str, d: &str| flags.get(k).cloned().unwrap_or_else(|| d.to_string());
+    let strategy: MapStrategy = get("strategy", "flat").parse()?;
+    let max_coarse_n: usize = get("max-coarse-n", "256")
+        .parse()
+        .map_err(|_| "bad --max-coarse-n")?;
+    let eps: f64 = get("approx-eps", "0")
+        .parse()
+        .map_err(|_| "bad --approx-eps")?;
+    if !eps.is_finite() || eps < 0.0 {
+        return Err("bad --approx-eps (need a finite fraction >= 0)".into());
+    }
+    Ok((
+        strategy,
+        max_coarse_n,
+        commsched_distance::eps_to_micros(eps),
+    ))
+}
+
 /// Parse an argument list (without the program name).
 ///
 /// # Errors
@@ -384,21 +423,27 @@ pub fn parse(args: &[String]) -> Result<Command, String> {
             spec: parse_topology(&flags)?,
             save: flags.get("save").cloned(),
         }),
-        "schedule" => Ok(Command::Schedule {
-            topology: parse_topology(&flags)?,
-            clusters,
-            seed,
-            weights: match flags.get("weights") {
-                None => None,
-                Some(ws) => Some(
-                    ws.split(',')
-                        .map(|w| w.parse::<f64>().map_err(|_| "bad --weights".to_string()))
-                        .collect::<Result<Vec<_>, _>>()?,
-                ),
-            },
-            server,
-            trace_out,
-        }),
+        "schedule" => {
+            let (strategy, max_coarse_n, approx_eps_micros) = parse_scale_flags(&flags)?;
+            Ok(Command::Schedule {
+                topology: parse_topology(&flags)?,
+                clusters,
+                seed,
+                weights: match flags.get("weights") {
+                    None => None,
+                    Some(ws) => Some(
+                        ws.split(',')
+                            .map(|w| w.parse::<f64>().map_err(|_| "bad --weights".to_string()))
+                            .collect::<Result<Vec<_>, _>>()?,
+                    ),
+                },
+                server,
+                trace_out,
+                strategy,
+                max_coarse_n,
+                approx_eps_micros,
+            })
+        }
         "simulate" => Ok(Command::Simulate {
             topology: parse_topology(&flags)?,
             clusters,
@@ -458,18 +503,23 @@ pub fn parse(args: &[String]) -> Result<Command, String> {
             },
             out: flags.get("out").cloned(),
         }),
-        "submit" => Ok(Command::Submit {
-            server: server.ok_or("submit needs --server <host:port>")?,
-            kind: match get("type", "schedule").as_str() {
-                "schedule" => SubmitKind::Schedule,
-                "sweep" => SubmitKind::Sweep,
-                other => return Err(format!("unknown job type '{other}'")),
-            },
-            topology: parse_topology(&flags)?,
-            clusters,
-            seed,
-            points: get("points", "9").parse().map_err(|_| "bad --points")?,
-        }),
+        "submit" => {
+            let (strategy, _, approx_eps_micros) = parse_scale_flags(&flags)?;
+            Ok(Command::Submit {
+                server: server.ok_or("submit needs --server <host:port>")?,
+                kind: match get("type", "schedule").as_str() {
+                    "schedule" => SubmitKind::Schedule,
+                    "sweep" => SubmitKind::Sweep,
+                    other => return Err(format!("unknown job type '{other}'")),
+                },
+                topology: parse_topology(&flags)?,
+                clusters,
+                seed,
+                points: get("points", "9").parse().map_err(|_| "bad --points")?,
+                strategy,
+                approx_eps_micros,
+            })
+        }
         "status" => Ok(Command::Status {
             server: server.ok_or("status needs --server <host:port>")?,
             job: get("job", "")
@@ -505,9 +555,24 @@ pub fn parse(args: &[String]) -> Result<Command, String> {
 /// Build the local end-to-end pipeline once per invocation: topology,
 /// routing, and the table of equivalent distances live in one
 /// [`Scheduler`] that every step of the subcommand reuses.
-fn build_scheduler(spec: &TopologySpec) -> Result<Scheduler, String> {
+fn build_scheduler(spec: &TopologySpec, options: SchedulerOptions) -> Result<Scheduler, String> {
     let topo = spec.build()?;
-    Scheduler::new(topo, RoutingKind::UpDown { root: 0 }).map_err(|e| e.to_string())
+    Scheduler::with_options(topo, RoutingKind::UpDown { root: 0 }, options)
+        .map_err(|e| e.to_string())
+}
+
+/// Extra `key=value` words forwarding non-default scale flags to a
+/// daemon's job spec.
+fn remote_scale_args(strategy: MapStrategy, approx_eps_micros: u32) -> String {
+    let mut extra = String::new();
+    if strategy != MapStrategy::Flat {
+        write!(extra, " strategy={strategy}").expect("write to string");
+    }
+    if approx_eps_micros > 0 {
+        write!(extra, " approx-eps={}", f64::from(approx_eps_micros) / 1e6)
+            .expect("write to string");
+    }
+    extra
 }
 
 /// Submit over the wire, wait, and return the result payload lines.
@@ -596,23 +661,32 @@ fn run_inner(cmd: &Command) -> Result<String, String> {
             weights,
             server,
             trace_out: _,
+            strategy,
+            max_coarse_n,
+            approx_eps_micros,
         } => {
             if let Some(server) = server {
                 if weights.is_some() {
                     return Err("--weights is not supported with --server".into());
                 }
+                let extra = remote_scale_args(*strategy, *approx_eps_micros);
                 let lines = run_remote_job(
                     server,
                     topology,
                     "SCHEDULE",
-                    &format!("clusters={clusters} seed={seed}"),
+                    &format!("clusters={clusters} seed={seed}{extra}"),
                 )?;
                 for l in lines {
                     writeln!(out, "{l}").expect("write to string");
                 }
                 return Ok(out);
             }
-            let sched = build_scheduler(topology)?;
+            let options = SchedulerOptions {
+                strategy: *strategy,
+                max_coarse_n: *max_coarse_n,
+                approx_eps_micros: *approx_eps_micros,
+            };
+            let sched = build_scheduler(topology, options)?;
             let wl = Workload::balanced(sched.topology(), *clusters).map_err(|e| e.to_string())?;
             match weights {
                 None => {
@@ -624,6 +698,22 @@ fn run_inner(cmd: &Command) -> Result<String, String> {
                         o.quality.fg, o.quality.dg, o.quality.cc
                     )
                     .expect("write to string");
+                    if let Some(ml) = &o.ml {
+                        writeln!(
+                            out,
+                            "strategy: multilevel  levels = {}  coarse_n = {}  refine_moves = {}",
+                            ml.levels, ml.coarse_n, ml.refine_moves
+                        )
+                        .expect("write to string");
+                    }
+                    if let Some(rep) = sched.approx_report() {
+                        writeln!(
+                            out,
+                            "approx table: eps = {}  err_max = {:.3e}  pairs = {}  escalated = {}",
+                            rep.eps, rep.err_max, rep.pairs_approximated, rep.pairs_escalated
+                        )
+                        .expect("write to string");
+                    }
                 }
                 Some(ws) => {
                     if ws.len() != wl.clusters.len() {
@@ -651,7 +741,7 @@ fn run_inner(cmd: &Command) -> Result<String, String> {
             vcs,
             adaptive,
         } => {
-            let sched = build_scheduler(topology)?;
+            let sched = build_scheduler(topology, SchedulerOptions::default())?;
             let wl = Workload::balanced(sched.topology(), *clusters).map_err(|e| e.to_string())?;
             let o = sched.schedule(&wl, *seed).map_err(|e| e.to_string())?;
             let cfg = SimConfig {
@@ -712,7 +802,7 @@ fn run_inner(cmd: &Command) -> Result<String, String> {
                 }
                 return Ok(out);
             }
-            let sched = build_scheduler(topology)?;
+            let sched = build_scheduler(topology, SchedulerOptions::default())?;
             let wl = Workload::balanced(sched.topology(), *clusters).map_err(|e| e.to_string())?;
             let o = sched.schedule(&wl, *seed).map_err(|e| e.to_string())?;
             let (sweep, sat) = paper_sweep(
@@ -809,16 +899,21 @@ fn run_inner(cmd: &Command) -> Result<String, String> {
             clusters,
             seed,
             points,
+            strategy,
+            approx_eps_micros,
         } => {
             let mut client = Client::connect(server.as_str())
                 .map_err(|e| format!("cannot reach server '{server}': {e}"))?;
             let topo_arg = topology.remote_arg(&mut client)?;
+            let extra = remote_scale_args(*strategy, *approx_eps_micros);
             let line = match kind {
                 SubmitKind::Schedule => {
-                    format!("SCHEDULE {topo_arg} clusters={clusters} seed={seed}")
+                    format!("SCHEDULE {topo_arg} clusters={clusters} seed={seed}{extra}")
                 }
                 SubmitKind::Sweep => {
-                    format!("SWEEP {topo_arg} clusters={clusters} seed={seed} points={points}")
+                    format!(
+                        "SWEEP {topo_arg} clusters={clusters} seed={seed} points={points}{extra}"
+                    )
                 }
             };
             let job = client.submit_raw(&line).map_err(|e| e.to_string())?;
@@ -918,6 +1013,9 @@ mod tests {
                 weights,
                 server,
                 trace_out,
+                strategy,
+                max_coarse_n,
+                approx_eps_micros,
             } => {
                 assert_eq!(topology, TopologySpec::Paper24);
                 assert_eq!(clusters, 4);
@@ -925,9 +1023,53 @@ mod tests {
                 assert_eq!(weights, Some(vec![10.0, 1.0, 1.0, 1.0]));
                 assert_eq!(server, None);
                 assert_eq!(trace_out, None);
+                assert_eq!(strategy, MapStrategy::Flat);
+                assert_eq!(max_coarse_n, 256);
+                assert_eq!(approx_eps_micros, 0);
             }
             other => panic!("wrong parse: {other:?}"),
         }
+    }
+
+    #[test]
+    fn parse_scale_flags_round_trip() {
+        match parse(&argv(
+            "schedule --kind ring --switches 16 --strategy multilevel \
+             --max-coarse-n 8 --approx-eps 0.05",
+        ))
+        .unwrap()
+        {
+            Command::Schedule {
+                strategy,
+                max_coarse_n,
+                approx_eps_micros,
+                ..
+            } => {
+                assert_eq!(strategy, MapStrategy::Multilevel);
+                assert_eq!(max_coarse_n, 8);
+                assert_eq!(approx_eps_micros, 50_000);
+            }
+            other => panic!("wrong parse: {other:?}"),
+        }
+        // Submit forwards the same flags.
+        match parse(&argv(
+            "submit --server h:1 --kind paper24 --strategy multilevel --approx-eps 0.1",
+        ))
+        .unwrap()
+        {
+            Command::Submit {
+                strategy,
+                approx_eps_micros,
+                ..
+            } => {
+                assert_eq!(strategy, MapStrategy::Multilevel);
+                assert_eq!(approx_eps_micros, 100_000);
+            }
+            other => panic!("wrong parse: {other:?}"),
+        }
+        assert!(parse(&argv("schedule --strategy hierarchical")).is_err());
+        assert!(parse(&argv("schedule --approx-eps -0.5")).is_err());
+        assert!(parse(&argv("schedule --approx-eps nan")).is_err());
     }
 
     #[test]
@@ -1002,6 +1144,8 @@ mod tests {
                 clusters: 4,
                 seed: 42,
                 points: 5,
+                strategy: MapStrategy::Flat,
+                approx_eps_micros: 0,
             }
         );
         assert_eq!(
@@ -1166,6 +1310,22 @@ mod tests {
     }
 
     #[test]
+    fn run_multilevel_schedule_locally() {
+        let out = run(&parse(&argv(
+            "schedule --kind ring --switches 8 --clusters 4 --strategy multilevel \
+             --max-coarse-n 4 --approx-eps 0.1",
+        ))
+        .unwrap())
+        .unwrap();
+        assert!(out.contains("strategy: multilevel"), "missing ml: {out}");
+        assert!(out.contains("levels = 1"), "missing levels: {out}");
+        assert!(
+            out.contains("approx table: eps = 0.1"),
+            "missing eps: {out}"
+        );
+    }
+
+    #[test]
     fn weight_count_mismatch_errors() {
         let err = run(&parse(&argv(
             "schedule --kind ring --switches 8 --clusters 2 --weights 1,2,3",
@@ -1191,6 +1351,9 @@ mod tests {
             weights: None,
             server: Some(addr.clone()),
             trace_out: None,
+            strategy: MapStrategy::Flat,
+            max_coarse_n: 256,
+            approx_eps_micros: 0,
         })
         .unwrap();
         assert!(out.contains("partition "), "missing partition in: {out}");
@@ -1203,6 +1366,9 @@ mod tests {
             weights: Some(vec![1.0, 1.0, 1.0, 1.0]),
             server: Some(addr.clone()),
             trace_out: None,
+            strategy: MapStrategy::Flat,
+            max_coarse_n: 256,
+            approx_eps_micros: 0,
         })
         .unwrap_err();
         assert!(err.contains("--weights"));
@@ -1295,6 +1461,9 @@ mod tests {
             weights: None,
             server: None,
             trace_out: Some(path_str.clone()),
+            strategy: MapStrategy::Flat,
+            max_coarse_n: 256,
+            approx_eps_micros: 0,
         })
         .unwrap();
         assert!(out.contains("trace: "), "missing trace line in: {out}");

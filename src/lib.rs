@@ -54,7 +54,7 @@ pub mod estimate;
 pub mod scheduler;
 
 pub use dynamic::{AppId, DynamicError, DynamicScheduler, Placement};
-pub use scheduler::{RoutingKind, ScheduleError, ScheduleOutcome, Scheduler};
+pub use scheduler::{RoutingKind, ScheduleError, ScheduleOutcome, Scheduler, SchedulerOptions};
 
 pub use commsched_core as core;
 pub use commsched_distance as distance;

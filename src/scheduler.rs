@@ -7,9 +7,15 @@
 //! partition and realizes it as a process-to-processor mapping.
 
 use commsched_core::{quality, Partition, ProcessMapping, Quality, Workload, WorkloadError};
-use commsched_distance::{equivalent_distance_table_parallel, DistanceTable, TableError};
+use commsched_distance::{
+    equivalent_distance_table_with_report, ApproxReport, DistanceTable, SolverKind, TableError,
+    TableOptions,
+};
 use commsched_routing::{Routing, RoutingError, ShortestPathRouting, UpDownRouting};
-use commsched_search::{parallel_multi_seed, TabuParams, TabuSearch};
+use commsched_search::{
+    multilevel_map, parallel_multi_seed, MapStrategy, MultilevelParams, MultilevelStats,
+    TabuParams, TabuSearch,
+};
 use commsched_topology::{SwitchId, Topology};
 
 /// Which routing algorithm the scheduler models.
@@ -28,6 +34,30 @@ pub enum RoutingKind {
 impl Default for RoutingKind {
     fn default() -> Self {
         RoutingKind::UpDown { root: 0 }
+    }
+}
+
+/// Scale knobs: which mapping strategy runs and whether the distance
+/// table is built with the certified-interval approximate solver.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SchedulerOptions {
+    /// Flat tabu (the paper's method) or the coarsen→map→refine
+    /// multilevel pipeline for large instances.
+    pub strategy: MapStrategy,
+    /// Multilevel only: coarsen until the graph fits this many nodes.
+    pub max_coarse_n: usize,
+    /// Approximate-table relative error budget in millionths
+    /// (`50_000` = 5%); `0` builds the exact table.
+    pub approx_eps_micros: u32,
+}
+
+impl Default for SchedulerOptions {
+    fn default() -> Self {
+        Self {
+            strategy: MapStrategy::Flat,
+            max_coarse_n: MultilevelParams::default().max_coarse_n,
+            approx_eps_micros: 0,
+        }
     }
 }
 
@@ -93,6 +123,8 @@ pub struct ScheduleOutcome {
     pub mapping: ProcessMapping,
     /// RNG seed of the winning search restart.
     pub winning_seed: u64,
+    /// Multilevel pipeline statistics (multilevel strategy only).
+    pub ml: Option<MultilevelStats>,
 }
 
 /// The communication-aware scheduler.
@@ -100,29 +132,60 @@ pub struct Scheduler {
     topology: Topology,
     routing: Box<dyn Routing>,
     table: DistanceTable,
+    approx: Option<ApproxReport>,
+    options: SchedulerOptions,
     tabu: TabuParams,
     threads: usize,
     search_seeds: usize,
 }
 
 impl Scheduler {
-    /// Build the scheduler: constructs the router and the table of
-    /// equivalent distances for `topology`.
+    /// Build the scheduler: constructs the router and the exact table of
+    /// equivalent distances for `topology`, flat tabu strategy.
     ///
     /// # Errors
     /// See [`ScheduleError`].
     pub fn new(topology: Topology, routing_kind: RoutingKind) -> Result<Self, ScheduleError> {
+        Self::with_options(topology, routing_kind, SchedulerOptions::default())
+    }
+
+    /// Build the scheduler with explicit scale knobs: mapping strategy
+    /// and (optionally) the certified-interval approximate table solver.
+    ///
+    /// # Errors
+    /// See [`ScheduleError`].
+    pub fn with_options(
+        topology: Topology,
+        routing_kind: RoutingKind,
+        options: SchedulerOptions,
+    ) -> Result<Self, ScheduleError> {
         let routing: Box<dyn Routing> = match routing_kind {
             RoutingKind::UpDown { root } => Box::new(UpDownRouting::new(&topology, root)?),
             RoutingKind::ShortestPath => Box::new(ShortestPathRouting::new(&topology)?),
         };
         let threads = std::thread::available_parallelism().map_or(4, usize::from);
-        let table = equivalent_distance_table_parallel(&topology, routing.as_ref(), threads)?;
+        let table_options = if options.approx_eps_micros > 0 {
+            TableOptions {
+                solver: SolverKind::Approximate,
+                approx_eps_micros: options.approx_eps_micros,
+                threads,
+                ..TableOptions::default()
+            }
+        } else {
+            TableOptions {
+                threads,
+                ..TableOptions::default()
+            }
+        };
+        let (table, approx) =
+            equivalent_distance_table_with_report(&topology, routing.as_ref(), table_options)?;
         let tabu = TabuParams::scaled(topology.num_switches());
         Ok(Self {
             topology,
             routing,
             table,
+            approx,
+            options,
             tabu,
             threads,
             search_seeds: 10,
@@ -157,6 +220,17 @@ impl Scheduler {
         &self.table
     }
 
+    /// The certified error report of the approximate table build, when
+    /// [`SchedulerOptions::approx_eps_micros`] was non-zero.
+    pub fn approx_report(&self) -> Option<&ApproxReport> {
+        self.approx.as_ref()
+    }
+
+    /// The scale knobs this scheduler was built with.
+    pub fn options(&self) -> &SchedulerOptions {
+        &self.options
+    }
+
     /// Quality figures of an arbitrary partition under this scheduler's
     /// distance table.
     pub fn evaluate(&self, partition: &Partition) -> Quality {
@@ -176,21 +250,36 @@ impl Scheduler {
     ) -> Result<ScheduleOutcome, ScheduleError> {
         workload.validate(&self.topology)?;
         let sizes = workload.switch_demands(self.topology.hosts_per_switch());
-        let mapper = TabuSearch::new(self.tabu.clone());
-        let (winning_seed, result) = parallel_multi_seed(
-            &mapper,
-            &self.table,
-            &sizes,
-            seed,
-            self.search_seeds,
-            self.threads,
-        );
+        let (winning_seed, result, ml) = match self.options.strategy {
+            MapStrategy::Flat => {
+                let mapper = TabuSearch::new(self.tabu.clone());
+                let (winning_seed, result) = parallel_multi_seed(
+                    &mapper,
+                    &self.table,
+                    &sizes,
+                    seed,
+                    self.search_seeds,
+                    self.threads,
+                );
+                (winning_seed, result, None)
+            }
+            MapStrategy::Multilevel => {
+                let params = MultilevelParams {
+                    max_coarse_n: self.options.max_coarse_n,
+                    threads: self.threads,
+                    ..MultilevelParams::default()
+                };
+                let (result, stats) = multilevel_map(&self.table, &sizes, seed, &params);
+                (seed, result, Some(stats))
+            }
+        };
         let mapping = ProcessMapping::place(&self.topology, workload, &result.partition)?;
         Ok(ScheduleOutcome {
             quality: self.evaluate(&result.partition),
             partition: result.partition,
             mapping,
             winning_seed,
+            ml,
         })
     }
 
@@ -231,6 +320,7 @@ impl Scheduler {
             partition: result.partition,
             mapping,
             winning_seed: seed,
+            ml: None,
         })
     }
 
@@ -257,6 +347,7 @@ impl Scheduler {
             partition,
             mapping,
             winning_seed: seed,
+            ml: None,
         })
     }
 }
@@ -329,6 +420,63 @@ mod tests {
         let b = sched.schedule(&workload, 5).unwrap();
         assert_eq!(a.partition, b.partition);
         assert_eq!(a.winning_seed, b.winning_seed);
+    }
+
+    #[test]
+    fn multilevel_strategy_schedules_the_dumbbell_sized_ring() {
+        // Force real coarsening on a small instance (8 → 4 nodes) and
+        // check the pipeline still finds the adjacent-pairs optimum.
+        let topo = designed::ring(8, 4);
+        let options = SchedulerOptions {
+            strategy: MapStrategy::Multilevel,
+            max_coarse_n: 4,
+            ..SchedulerOptions::default()
+        };
+        let sched = Scheduler::with_options(topo, RoutingKind::ShortestPath, options).unwrap();
+        let workload = Workload::balanced(sched.topology(), 4).unwrap();
+        let a = sched.schedule(&workload, 2).unwrap();
+        let stats = a.ml.expect("multilevel stats present");
+        assert_eq!(stats.levels, 1);
+        assert_eq!(stats.coarse_n, 4);
+        for members in a.partition.clusters() {
+            assert!(sched.topology().has_link(members[0], members[1]));
+        }
+        // Deterministic given the seed.
+        let b = sched.schedule(&workload, 2).unwrap();
+        assert_eq!(a.partition, b.partition);
+        assert_eq!(a.quality.fg.to_bits(), b.quality.fg.to_bits());
+    }
+
+    #[test]
+    fn approximate_table_carries_a_certified_report() {
+        let topo = designed::paper_24_switch();
+        let options = SchedulerOptions {
+            approx_eps_micros: 100_000, // 10%
+            ..SchedulerOptions::default()
+        };
+        let approx =
+            Scheduler::with_options(topo.clone(), RoutingKind::UpDown { root: 0 }, options)
+                .unwrap();
+        let report = approx.approx_report().expect("approximate build reports");
+        assert!(report.err_max <= 0.1 + 1e-12, "err {}", report.err_max);
+        assert!(report.pairs_approximated + report.pairs_escalated > 0);
+        // Exact build never reports.
+        let exact = Scheduler::new(topo, RoutingKind::UpDown { root: 0 }).unwrap();
+        assert!(exact.approx_report().is_none());
+        // Every approximate entry sits within the certified bound of the
+        // exact oracle table.
+        let n = exact.table().n();
+        for a in 0..n {
+            for b in 0..n {
+                let (e, x) = (exact.table().get(a, b), approx.table().get(a, b));
+                if e > 0.0 {
+                    assert!(
+                        ((x - e) / e).abs() <= report.err_max + 1e-12,
+                        "pair ({a},{b}): approx {x} vs exact {e}"
+                    );
+                }
+            }
+        }
     }
 
     #[test]
