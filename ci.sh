@@ -27,6 +27,9 @@ cargo bench --workspace --no-run
 echo "==> perfbase --smoke (perf sanity: sparse == dense, tabu determinism, dynamics repair >= 3x rebuild, net front-end sweep, multilevel scale gate)"
 ./target/release/perfbase --smoke --out /tmp/perfbase_smoke.json --out-dynamics /tmp/perfbase_smoke_pr4.json --out-service /tmp/perfbase_smoke_pr5.json --out-net /tmp/perfbase_smoke_pr6.json --out-scale /tmp/perfbase_smoke_pr7.json
 
+echo "==> perfbase --smoke --only-cluster (shard scaling gates: >= 1.7x at 2, >= 3x at 4; sync replication row)"
+./target/release/perfbase --smoke --only-cluster --out-cluster /tmp/perfbase_smoke_pr8.json
+
 echo "==> multilevel smoke (N=1024 coarsen->map->refine on an approximate table under a wall budget)"
 ML_START=$(date +%s)
 ./target/release/commsched schedule --kind random --switches 1024 --hosts 4 --degree 3 \
@@ -109,5 +112,71 @@ grep -q '"jobs_acked":0,' "$SMOKE_DIR/loadgen.json" \
 kill -9 "$SERVE_PID" 2>/dev/null || true
 wait "$SERVE_PID" 2>/dev/null || true
 echo "loadgen smoke: ok"
+
+echo "==> cluster failover smoke (primary + standby -> submit -> SIGKILL primary -> promoted node serves)"
+# Reserve a concrete port for the member address: the standby re-binds
+# the same address after promotion, so it cannot be kernel-assigned.
+./target/release/commsched serve --addr 127.0.0.1:0 --workers 1 --no-persist \
+    >"$SMOKE_DIR/reserve.log" 2>&1 &
+RESERVE_PID=$!
+CLUSTER_ADDR=""
+for _ in $(seq 1 100); do
+    CLUSTER_ADDR=$(sed -n 's/^commsched-service listening on //p' "$SMOKE_DIR/reserve.log")
+    [ -n "$CLUSTER_ADDR" ] && break
+    sleep 0.1
+done
+kill -9 "$RESERVE_PID" 2>/dev/null || true
+wait "$RESERVE_PID" 2>/dev/null || true
+[ -n "$CLUSTER_ADDR" ] || { echo "cluster smoke: could not reserve a port"; exit 1; }
+./target/release/commsched cluster --node-id 0 --members "0=$CLUSTER_ADDR" \
+    --state-dir "$SMOKE_DIR/cluster-primary" --repl sync --repl-listen 127.0.0.1:0 \
+    >"$SMOKE_DIR/cluster1.log" 2>&1 &
+PRIMARY_PID=$!
+REPL_ADDR=""
+for _ in $(seq 1 100); do
+    REPL_ADDR=$(sed -n 's/^replication listening on //p' "$SMOKE_DIR/cluster1.log")
+    if [ -n "$REPL_ADDR" ] && grep -q 'primary listening on ' "$SMOKE_DIR/cluster1.log" \
+        && ./target/release/commsched metrics --server "$CLUSTER_ADDR" >/dev/null 2>&1; then
+        break
+    fi
+    REPL_ADDR=""
+    sleep 0.1
+done
+[ -n "$REPL_ADDR" ] || { echo "cluster smoke: primary never came up"; cat "$SMOKE_DIR/cluster1.log"; exit 1; }
+./target/release/commsched cluster --node-id 0 --members "0=$CLUSTER_ADDR" \
+    --state-dir "$SMOKE_DIR/cluster-standby" --repl sync --follow "$REPL_ADDR" \
+    >"$SMOKE_DIR/cluster2.log" 2>&1 &
+STANDBY_PID=$!
+for _ in $(seq 1 100); do
+    grep -q ' following ' "$SMOKE_DIR/cluster2.log" && break
+    sleep 0.1
+done
+grep -q ' following ' "$SMOKE_DIR/cluster2.log" \
+    || { echo "cluster smoke: standby never started following"; cat "$SMOKE_DIR/cluster2.log"; exit 1; }
+for _ in 1 2 3; do
+    ./target/release/commsched submit --server "$CLUSTER_ADDR" --kind ring --switches 4 --hosts 1 --clusters 2 | grep -q '^job ' \
+        || { echo "cluster smoke: submit to primary failed"; exit 1; }
+done
+kill -9 "$PRIMARY_PID"
+wait "$PRIMARY_PID" 2>/dev/null || true
+PROMOTED=""
+for _ in $(seq 1 300); do
+    if grep -q 'promoted, listening on ' "$SMOKE_DIR/cluster2.log" \
+        && ./target/release/commsched metrics --server "$CLUSTER_ADDR" >/dev/null 2>&1; then
+        PROMOTED=yes
+        break
+    fi
+    sleep 0.1
+done
+[ -n "$PROMOTED" ] || { echo "cluster smoke: standby never promoted"; cat "$SMOKE_DIR/cluster2.log"; exit 1; }
+# Acked-means-replicated: every job submitted to the dead primary must
+# be visible on the promoted node.
+for JOB in 1 2 3; do
+    ./target/release/commsched status --server "$CLUSTER_ADDR" --job "$JOB" | grep -Eq 'queued|running|done' \
+        || { echo "cluster smoke: job $JOB lost in failover"; exit 1; }
+done
+kill -9 "$STANDBY_PID" 2>/dev/null || true
+wait "$STANDBY_PID" 2>/dev/null || true
+echo "cluster failover smoke: ok"
 
 echo "==> ci.sh: all green"

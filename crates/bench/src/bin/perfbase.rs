@@ -45,9 +45,23 @@
 //! exact+flat at N = 1024 and finishing N = 4096 inside the wall
 //! budget. Peak RSS (`VmHWM`) is tracked per row.
 //!
-//! Usage: `perfbase [--smoke] [--out PATH] [--out-dynamics PATH]
-//!                  [--out-service PATH] [--out-net PATH]
-//!                  [--out-scale PATH]`
+//! A sixth section measures the sharded cluster (`BENCH_pr8.json`):
+//! open-loop NOOP load at a fixed per-shard rate against 1, 2 and 4
+//! in-process cluster nodes — every row must end clean, and the
+//! aggregate acked throughput must reach ≥ 1.7× (2 shards) and ≥ 3×
+//! (4 shards) the single-shard row. A replication row then runs the
+//! same load against a sync-replicated primary with a live follower
+//! and captures the replication-lag/barrier histogram from `METRICS`.
+//!
+//! Usage: `perfbase [--smoke] [--only-cluster] [--out PATH]
+//!                  [--out-dynamics PATH] [--out-service PATH]
+//!                  [--out-net PATH] [--out-scale PATH]
+//!                  [--out-cluster PATH]`
+//!
+//! `--only-cluster` skips the pr2..pr7 sections and runs just the
+//! cluster sweep — the earlier baselines are expensive full-machine
+//! runs whose tracked numbers should not churn when only the cluster
+//! layer changed.
 //!
 //! * `--smoke` — N ∈ {16, 24} and one repetition: a seconds-fast CI run
 //!   that still exercises every measured code path (the dynamics guard
@@ -61,8 +75,14 @@
 //!   (default `BENCH_pr6.json`).
 //! * `--out-scale PATH` — where to write the multilevel-scale JSON
 //!   (default `BENCH_pr7.json`).
+//! * `--out-cluster PATH` — where to write the cluster-scaling JSON
+//!   (default `BENCH_pr8.json`).
 
 use commsched_bench::{Testbed, SEARCH_SEED};
+use commsched_cluster::follower::run_follower;
+use commsched_cluster::{
+    start_primary, ClusterConfig, ClusterNode, FollowerConfig, FollowerProgress, Member, ReplMode,
+};
 use commsched_core::{quality, Workload};
 use commsched_distance::{
     equivalent_distance_table_with, equivalent_distance_table_with_report, DistanceTable,
@@ -876,9 +896,245 @@ fn measure_scale(smoke: bool) -> (Vec<ScaleRow>, Option<f64>) {
     (rows, exact_4096_extrapolated_ms)
 }
 
+/// One scaling row: `shards` cluster nodes, each under the same fixed
+/// open-loop NOOP rate.
+struct ClusterRow {
+    shards: usize,
+    per_shard: Vec<LoadgenReport>,
+    aggregate_jobs_per_sec: f64,
+}
+
+struct ClusterBench {
+    rate_per_shard: f64,
+    rows: Vec<ClusterRow>,
+    speedup_2: f64,
+    speedup_4: f64,
+    repl_report: LoadgenReport,
+    repl_follower_applied: u64,
+    /// The `cluster_repl_*` exposition lines (including the barrier-
+    /// latency histogram) captured from the replicated row's METRICS.
+    repl_metrics: Vec<String>,
+}
+
+/// Reserve a free localhost port and release it for a node to bind.
+fn cluster_free_addr() -> String {
+    let listener = std::net::TcpListener::bind("127.0.0.1:0").expect("ephemeral bind");
+    let addr = listener.local_addr().expect("local addr").to_string();
+    drop(listener);
+    addr
+}
+
+/// Start `shards` in-process primaries sharing one member table.
+fn start_cluster(shards: usize, tag: &str) -> (Vec<ClusterNode>, std::path::PathBuf) {
+    let base = std::env::temp_dir().join(format!(
+        "commsched-perfbase-cluster-{tag}-{}",
+        std::process::id()
+    ));
+    let _ = std::fs::remove_dir_all(&base);
+    let members: Vec<Member> = (0..shards)
+        .map(|s| Member {
+            shard: s as u32,
+            addr: cluster_free_addr(),
+        })
+        .collect();
+    let nodes = members
+        .iter()
+        .map(|m| {
+            let mut config = ClusterConfig::new(
+                m.shard,
+                members.clone(),
+                base.join(format!("shard-{}", m.shard)),
+            );
+            config.core = ServiceCoreConfig {
+                queue_capacity: 1_000_000,
+                cache_capacity: 4,
+                search_seeds: 1,
+                search_threads: 1,
+                table_threads: 1,
+            };
+            start_primary(&config).expect("start cluster node")
+        })
+        .collect();
+    (nodes, base)
+}
+
+/// The PR-8 cluster sweep: aggregate acked throughput at 1/2/4 shards
+/// under a fixed per-shard open-loop rate (shard-local NOOPs, so the
+/// aggregate must scale with the shard count as long as every node
+/// keeps up cleanly — the assertion is that they do), then one
+/// sync-replicated row with a live follower for the lag histogram.
+fn measure_cluster(smoke: bool) -> ClusterBench {
+    let rate_per_shard = 1_000.0;
+    let duration = if smoke {
+        Duration::from_millis(500)
+    } else {
+        Duration::from_secs(2)
+    };
+    let load = LoadgenConfig {
+        connections: 2,
+        rate: rate_per_shard,
+        batch: 8,
+        duration,
+        mode: WireMode::Binary,
+        spec: "NOOP".to_string(),
+        max_in_flight: 64,
+    };
+
+    let mut rows = Vec::new();
+    for shards in [1usize, 2, 4] {
+        let (nodes, base) = start_cluster(shards, &format!("x{shards}"));
+        let handles: Vec<_> = nodes
+            .iter()
+            .map(|node| {
+                let addr = node.addr();
+                let load = load.clone();
+                std::thread::spawn(move || loadgen::run(addr, &load).expect("cluster loadgen"))
+            })
+            .collect();
+        let per_shard: Vec<LoadgenReport> = handles
+            .into_iter()
+            .map(|h| h.join().expect("loadgen thread"))
+            .collect();
+        for (i, r) in per_shard.iter().enumerate() {
+            assert_eq!(r.errors, 0, "shard {i} of {shards}: {}", r.to_json());
+            assert_eq!(
+                r.in_flight_lost,
+                0,
+                "shard {i} of {shards}: {}",
+                r.to_json()
+            );
+            assert!(r.jobs_per_sec > 0.0, "shard {i} of {shards} acked nothing");
+        }
+        let aggregate: f64 = per_shard.iter().map(|r| r.jobs_per_sec).sum();
+        eprintln!(
+            "  {shards} shard(s): {aggregate:>8.0} jobs/s aggregate  p99 {:.2} ms worst",
+            per_shard.iter().map(|r| r.p99_ms).fold(0.0, f64::max)
+        );
+        for node in nodes {
+            node.shutdown();
+        }
+        let _ = std::fs::remove_dir_all(&base);
+        rows.push(ClusterRow {
+            shards,
+            per_shard,
+            aggregate_jobs_per_sec: aggregate,
+        });
+    }
+
+    let agg = |shards: usize| {
+        rows.iter()
+            .find(|r| r.shards == shards)
+            .expect("measured shard count")
+            .aggregate_jobs_per_sec
+    };
+    let speedup_2 = agg(2) / agg(1).max(1e-9);
+    let speedup_4 = agg(4) / agg(1).max(1e-9);
+    eprintln!("  scaling vs 1 shard: {speedup_2:.2}x at 2, {speedup_4:.2}x at 4");
+    assert!(
+        speedup_2 >= 1.7,
+        "2 shards reached only {speedup_2:.2}x one shard's throughput, need >= 1.7x"
+    );
+    assert!(
+        speedup_4 >= 3.0,
+        "4 shards reached only {speedup_4:.2}x one shard's throughput, need >= 3.0x"
+    );
+
+    // The replicated row: one primary at repl=sync with a live follower
+    // streaming its WAL, same load; the METRICS dump afterwards carries
+    // the barrier-latency histogram and the lag gauge.
+    let base = std::env::temp_dir().join(format!(
+        "commsched-perfbase-cluster-repl-{}",
+        std::process::id()
+    ));
+    let _ = std::fs::remove_dir_all(&base);
+    let members = vec![Member {
+        shard: 0,
+        addr: cluster_free_addr(),
+    }];
+    let mut config = ClusterConfig::new(0, members.clone(), base.join("primary"));
+    config.core = ServiceCoreConfig {
+        queue_capacity: 1_000_000,
+        cache_capacity: 4,
+        search_seeds: 1,
+        search_threads: 1,
+        table_threads: 1,
+    };
+    config.repl = ReplMode::Sync;
+    config.repl_listen = Some("127.0.0.1:0".to_string());
+    let node = start_primary(&config).expect("start replicated primary");
+    let repl_addr = node.hub().expect("hub").listen_addr().to_string();
+
+    let stop = Arc::new(std::sync::atomic::AtomicBool::new(false));
+    let progress = Arc::new(FollowerProgress::default());
+    let follower = {
+        let mut fc = FollowerConfig::new(repl_addr, base.join("standby"));
+        fc.mode = ReplMode::Sync;
+        let stop = Arc::clone(&stop);
+        let progress = Arc::clone(&progress);
+        std::thread::spawn(move || run_follower(&fc, &stop, &progress))
+    };
+    while progress.connects.load(std::sync::atomic::Ordering::Relaxed) == 0 {
+        std::thread::sleep(Duration::from_millis(10));
+    }
+
+    let repl_report = loadgen::run(node.addr(), &load).expect("replicated loadgen");
+    assert_eq!(
+        repl_report.errors,
+        0,
+        "replicated: {}",
+        repl_report.to_json()
+    );
+    assert_eq!(
+        repl_report.in_flight_lost,
+        0,
+        "replicated: {}",
+        repl_report.to_json()
+    );
+    let mut client = commsched_service::Client::connect(node.addr()).expect("metrics client");
+    let repl_metrics: Vec<String> = client
+        .metrics()
+        .expect("metrics")
+        .into_iter()
+        .filter(|l| l.contains("cluster_repl"))
+        .collect();
+    assert!(
+        repl_metrics
+            .iter()
+            .any(|l| l.starts_with("cluster_repl_barrier_us_bucket")),
+        "no barrier histogram in METRICS: {repl_metrics:?}"
+    );
+    drop(client);
+    eprintln!(
+        "  replicated (sync): {:>8.0} jobs/s  p99 {:.2} ms  follower applied {} records",
+        repl_report.jobs_per_sec,
+        repl_report.p99_ms,
+        progress.applied.load(std::sync::atomic::Ordering::Relaxed)
+    );
+
+    stop.store(true, std::sync::atomic::Ordering::SeqCst);
+    node.shutdown();
+    follower
+        .join()
+        .expect("follower thread")
+        .expect("follower exits cleanly");
+    let repl_follower_applied = progress.applied.load(std::sync::atomic::Ordering::Relaxed);
+    let _ = std::fs::remove_dir_all(&base);
+
+    ClusterBench {
+        rate_per_shard,
+        rows,
+        speedup_2,
+        speedup_4,
+        repl_report,
+        repl_follower_applied,
+        repl_metrics,
+    }
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let smoke = args.iter().any(|a| a == "--smoke");
+    let only_cluster = args.iter().any(|a| a == "--only-cluster");
     let out_path = args
         .iter()
         .position(|a| a == "--out")
@@ -909,6 +1165,12 @@ fn main() {
         .and_then(|i| args.get(i + 1))
         .cloned()
         .unwrap_or_else(|| "BENCH_pr7.json".to_string());
+    let cluster_out_path = args
+        .iter()
+        .position(|a| a == "--out-cluster")
+        .and_then(|i| args.get(i + 1))
+        .cloned()
+        .unwrap_or_else(|| "BENCH_pr8.json".to_string());
 
     let (sizes, reps): (&[usize], usize) = if smoke {
         (&[16, 24], 1)
@@ -917,76 +1179,77 @@ fn main() {
     };
     let threads = std::thread::available_parallelism().map_or(1, usize::from);
 
-    let mut rows = Vec::new();
-    for &n in sizes {
-        eprintln!("perfbase: measuring N = {n} ...");
-        let r = measure(n, reps);
+    if !only_cluster {
+        let mut rows = Vec::new();
+        for &n in sizes {
+            eprintln!("perfbase: measuring N = {n} ...");
+            let r = measure(n, reps);
+            eprintln!(
+                "  dense {:.1} ms  sparse {:.1} ms  ({:.2}x)  tabu {:.1} -> {:.1} ms",
+                r.dense_serial_ms,
+                r.sparse_serial_ms,
+                r.table_speedup,
+                r.tabu_serial_ms,
+                r.tabu_parallel_ms
+            );
+            rows.push(r);
+        }
+
+        let mut json = String::new();
+        json.push_str("{\n");
+        json.push_str("  \"bench\": \"pr2-distance-pipeline\",\n");
+        json.push_str(&format!("  \"smoke\": {smoke},\n"));
+        json.push_str(&format!("  \"machine_threads\": {threads},\n"));
+        json.push_str(&format!("  \"repetitions\": {reps},\n"));
+        json.push_str("  \"sizes\": [\n");
+        for (i, r) in rows.iter().enumerate() {
+            json.push_str("    {\n");
+            json.push_str(&format!("      \"switches\": {},\n", r.switches));
+            json.push_str(&format!("      \"pairs\": {},\n", r.pairs));
+            json.push_str(&format!(
+                "      \"table_dense_serial_ms\": {:.3},\n",
+                r.dense_serial_ms
+            ));
+            json.push_str(&format!(
+                "      \"table_sparse_serial_ms\": {:.3},\n",
+                r.sparse_serial_ms
+            ));
+            json.push_str(&format!(
+                "      \"table_sparse_parallel_ms\": {:.3},\n",
+                r.sparse_parallel_ms
+            ));
+            json.push_str(&format!(
+                "      \"table_speedup_vs_dense_serial\": {:.3},\n",
+                r.table_speedup
+            ));
+            json.push_str(&format!(
+                "      \"tabu_serial_ms\": {:.3},\n",
+                r.tabu_serial_ms
+            ));
+            json.push_str(&format!(
+                "      \"tabu_parallel_ms\": {:.3},\n",
+                r.tabu_parallel_ms
+            ));
+            json.push_str(&format!(
+                "      \"max_abs_diff_vs_dense\": {:.3e}\n",
+                r.max_abs_diff
+            ));
+            json.push_str(if i + 1 < rows.len() {
+                "    },\n"
+            } else {
+                "    }\n"
+            });
+        }
+        json.push_str("  ]\n}\n");
+
+        std::fs::write(&out_path, &json).expect("write benchmark json");
+        println!("perfbase: wrote {out_path}");
+
+        // The dynamics gate always runs at the largest size, even in smoke:
+        // its assertions are the CI guard for the repair/remap pipeline.
+        eprintln!("perfbase: dynamics gate at N = 128 ...");
+        let d = measure_dynamics(128, reps);
         eprintln!(
-            "  dense {:.1} ms  sparse {:.1} ms  ({:.2}x)  tabu {:.1} -> {:.1} ms",
-            r.dense_serial_ms,
-            r.sparse_serial_ms,
-            r.table_speedup,
-            r.tabu_serial_ms,
-            r.tabu_parallel_ms
-        );
-        rows.push(r);
-    }
-
-    let mut json = String::new();
-    json.push_str("{\n");
-    json.push_str("  \"bench\": \"pr2-distance-pipeline\",\n");
-    json.push_str(&format!("  \"smoke\": {smoke},\n"));
-    json.push_str(&format!("  \"machine_threads\": {threads},\n"));
-    json.push_str(&format!("  \"repetitions\": {reps},\n"));
-    json.push_str("  \"sizes\": [\n");
-    for (i, r) in rows.iter().enumerate() {
-        json.push_str("    {\n");
-        json.push_str(&format!("      \"switches\": {},\n", r.switches));
-        json.push_str(&format!("      \"pairs\": {},\n", r.pairs));
-        json.push_str(&format!(
-            "      \"table_dense_serial_ms\": {:.3},\n",
-            r.dense_serial_ms
-        ));
-        json.push_str(&format!(
-            "      \"table_sparse_serial_ms\": {:.3},\n",
-            r.sparse_serial_ms
-        ));
-        json.push_str(&format!(
-            "      \"table_sparse_parallel_ms\": {:.3},\n",
-            r.sparse_parallel_ms
-        ));
-        json.push_str(&format!(
-            "      \"table_speedup_vs_dense_serial\": {:.3},\n",
-            r.table_speedup
-        ));
-        json.push_str(&format!(
-            "      \"tabu_serial_ms\": {:.3},\n",
-            r.tabu_serial_ms
-        ));
-        json.push_str(&format!(
-            "      \"tabu_parallel_ms\": {:.3},\n",
-            r.tabu_parallel_ms
-        ));
-        json.push_str(&format!(
-            "      \"max_abs_diff_vs_dense\": {:.3e}\n",
-            r.max_abs_diff
-        ));
-        json.push_str(if i + 1 < rows.len() {
-            "    },\n"
-        } else {
-            "    }\n"
-        });
-    }
-    json.push_str("  ]\n}\n");
-
-    std::fs::write(&out_path, &json).expect("write benchmark json");
-    println!("perfbase: wrote {out_path}");
-
-    // The dynamics gate always runs at the largest size, even in smoke:
-    // its assertions are the CI guard for the repair/remap pipeline.
-    eprintln!("perfbase: dynamics gate at N = 128 ...");
-    let d = measure_dynamics(128, reps);
-    eprintln!(
         "  kill {}:{}  repair {:.1} ms vs rebuild {:.1} ms ({:.2}x)  pairs {}/{}  warm {} it vs cold {} it",
         d.killed.0,
         d.killed.1,
@@ -998,7 +1261,7 @@ fn main() {
         d.warm_iterations,
         d.cold_iterations
     );
-    let json = format!(
+        let json = format!(
         "{{\n  \"bench\": \"pr4-dynamics\",\n  \"smoke\": {smoke},\n  \"machine_threads\": {threads},\n  \"repetitions\": {reps},\n  \"switches\": {},\n  \"killed_link\": \"{}:{}\",\n  \"pairs_total\": {},\n  \"pairs_recomputed\": {},\n  \"recompute_fraction\": {:.4},\n  \"rebuild_ms\": {:.3},\n  \"repair_ms\": {:.3},\n  \"repair_speedup\": {:.3},\n  \"max_abs_diff_vs_rebuild\": {:.3e},\n  \"fg_stale_mapping\": {:.9},\n  \"fg_cold_remap\": {:.9},\n  \"fg_warm_remap\": {:.9},\n  \"cold_iterations\": {},\n  \"warm_iterations\": {}\n}}\n",
         d.switches,
         d.killed.0,
@@ -1016,15 +1279,15 @@ fn main() {
         d.cold_iterations,
         d.warm_iterations
     );
-    std::fs::write(&dynamics_out_path, &json).expect("write dynamics benchmark json");
-    println!("perfbase: wrote {dynamics_out_path}");
+        std::fs::write(&dynamics_out_path, &json).expect("write dynamics benchmark json");
+        println!("perfbase: wrote {dynamics_out_path}");
 
-    // The durability-cost section: tracked numbers (never a gate, since
-    // fsync latency belongs to the host's storage stack).
-    let submits = if smoke { 64 } else { 512 };
-    eprintln!("perfbase: service ack latency over {submits} submits ...");
-    let s = measure_service(submits);
-    eprintln!(
+        // The durability-cost section: tracked numbers (never a gate, since
+        // fsync latency belongs to the host's storage stack).
+        let submits = if smoke { 64 } else { 512 };
+        eprintln!("perfbase: service ack latency over {submits} submits ...");
+        let s = measure_service(submits);
+        eprintln!(
         "  ack {:.1} us in-memory, {:.1} us fsync=never, {:.1} us fsync=on-ack ({:.2}x); snapshot {:.2} ms / {} bytes",
         s.memory_ack_us,
         s.never_ack_us,
@@ -1033,7 +1296,7 @@ fn main() {
         s.snapshot_ms,
         s.snapshot_bytes
     );
-    let json = format!(
+        let json = format!(
         "{{\n  \"bench\": \"pr5-service-durability\",\n  \"smoke\": {smoke},\n  \"machine_threads\": {threads},\n  \"submits\": {},\n  \"submit_ack_us_in_memory\": {:.3},\n  \"submit_ack_us_fsync_never\": {:.3},\n  \"submit_ack_us_fsync_on_ack\": {:.3},\n  \"ack_overhead_fsync_never\": {:.3},\n  \"ack_overhead_fsync_on_ack\": {:.3},\n  \"wal_bytes_after_submits\": {},\n  \"snapshot_ms\": {:.3},\n  \"snapshot_bytes\": {}\n}}\n",
         s.submits,
         s.memory_ack_us,
@@ -1045,130 +1308,193 @@ fn main() {
         s.snapshot_ms,
         s.snapshot_bytes
     );
-    std::fs::write(&service_out_path, &json).expect("write service benchmark json");
-    println!("perfbase: wrote {service_out_path}");
+        std::fs::write(&service_out_path, &json).expect("write service benchmark json");
+        println!("perfbase: wrote {service_out_path}");
 
-    // The front-end sweep: live daemon, real sockets, open-loop load.
-    eprintln!("perfbase: net front-end sweep ...");
-    let n = measure_net(smoke);
-    let mut json = String::new();
-    json.push_str("{\n");
-    json.push_str("  \"bench\": \"pr6-net-frontend\",\n");
-    json.push_str(&format!("  \"smoke\": {smoke},\n"));
-    json.push_str(&format!("  \"machine_threads\": {threads},\n"));
-    json.push_str("  \"cells\": [\n");
-    for (i, c) in n.cells.iter().enumerate() {
-        json.push_str(&format!(
-            "    {{\"mode\": \"{}\", \"batch\": {}, \"fsync\": \"{}\", \"report\": {}}}{}\n",
-            mode_name(c.mode),
-            c.batch,
-            fsync_name(c.fsync),
-            c.report.to_json(),
-            if i + 1 < n.cells.len() { "," } else { "" }
-        ));
-    }
-    json.push_str("  ],\n");
-    json.push_str(&format!("  \"sustain_10k\": {},\n", n.sustain.to_json()));
-    json.push_str(&format!(
-        "  \"binary64_never_vs_line1_onack_speedup\": {:.3},\n",
-        n.batch_speedup
-    ));
-    json.push_str(&format!(
-        "  \"binary64_never_vs_line1_never_speedup\": {:.3}\n",
-        n.batch_speedup_same_fsync
-    ));
-    json.push_str("}\n");
-    std::fs::write(&net_out_path, &json).expect("write net benchmark json");
-    println!("perfbase: wrote {net_out_path}");
-
-    // The multilevel scale sweep: quality and error-bound gates assert
-    // in every run (including --smoke); the 20x / wall-budget gates and
-    // the N = 4096 row are full-run only.
-    eprintln!("perfbase: multilevel scale sweep ...");
-    let (scale_rows, exact_4096_est) = measure_scale(smoke);
-    let mut json = String::new();
-    json.push_str("{\n");
-    json.push_str("  \"bench\": \"pr7-multilevel-scale\",\n");
-    json.push_str(&format!("  \"smoke\": {smoke},\n"));
-    json.push_str(&format!("  \"machine_threads\": {threads},\n"));
-    json.push_str(&format!(
-        "  \"approx_eps\": {},\n",
-        f64::from(SCALE_APPROX_EPS_MICROS) / 1e6
-    ));
-    json.push_str("  \"sizes\": [\n");
-    let opt = |v: Option<f64>, digits: usize| match v {
-        Some(x) => format!("{x:.*}", digits),
-        None => "null".to_string(),
-    };
-    for (i, r) in scale_rows.iter().enumerate() {
-        json.push_str("    {\n");
-        json.push_str(&format!("      \"switches\": {},\n", r.switches));
-        json.push_str(&format!("      \"max_coarse_n\": {},\n", r.max_coarse_n));
-        match &r.exact {
-            Some(a) => json.push_str(&format!(
-                "      \"exact\": {{\"table_ms\": {:.3}, \"search_ms\": {:.3}, \
-                 \"fg\": {:.9}}},\n",
-                a.table_ms, a.search_ms, a.fg
-            )),
-            None => json.push_str("      \"exact\": null,\n"),
+        // The front-end sweep: live daemon, real sockets, open-loop load.
+        eprintln!("perfbase: net front-end sweep ...");
+        let n = measure_net(smoke);
+        let mut json = String::new();
+        json.push_str("{\n");
+        json.push_str("  \"bench\": \"pr6-net-frontend\",\n");
+        json.push_str(&format!("  \"smoke\": {smoke},\n"));
+        json.push_str(&format!("  \"machine_threads\": {threads},\n"));
+        json.push_str("  \"cells\": [\n");
+        for (i, c) in n.cells.iter().enumerate() {
+            json.push_str(&format!(
+                "    {{\"mode\": \"{}\", \"batch\": {}, \"fsync\": \"{}\", \"report\": {}}}{}\n",
+                mode_name(c.mode),
+                c.batch,
+                fsync_name(c.fsync),
+                c.report.to_json(),
+                if i + 1 < n.cells.len() { "," } else { "" }
+            ));
         }
+        json.push_str("  ],\n");
+        json.push_str(&format!("  \"sustain_10k\": {},\n", n.sustain.to_json()));
         json.push_str(&format!(
-            "      \"multilevel\": {{\"table_ms\": {:.3}, \"search_ms\": {:.3}, \
+            "  \"binary64_never_vs_line1_onack_speedup\": {:.3},\n",
+            n.batch_speedup
+        ));
+        json.push_str(&format!(
+            "  \"binary64_never_vs_line1_never_speedup\": {:.3}\n",
+            n.batch_speedup_same_fsync
+        ));
+        json.push_str("}\n");
+        std::fs::write(&net_out_path, &json).expect("write net benchmark json");
+        println!("perfbase: wrote {net_out_path}");
+
+        // The multilevel scale sweep: quality and error-bound gates assert
+        // in every run (including --smoke); the 20x / wall-budget gates and
+        // the N = 4096 row are full-run only.
+        eprintln!("perfbase: multilevel scale sweep ...");
+        let (scale_rows, exact_4096_est) = measure_scale(smoke);
+        let mut json = String::new();
+        json.push_str("{\n");
+        json.push_str("  \"bench\": \"pr7-multilevel-scale\",\n");
+        json.push_str(&format!("  \"smoke\": {smoke},\n"));
+        json.push_str(&format!("  \"machine_threads\": {threads},\n"));
+        json.push_str(&format!(
+            "  \"approx_eps\": {},\n",
+            f64::from(SCALE_APPROX_EPS_MICROS) / 1e6
+        ));
+        json.push_str("  \"sizes\": [\n");
+        let opt = |v: Option<f64>, digits: usize| match v {
+            Some(x) => format!("{x:.*}", digits),
+            None => "null".to_string(),
+        };
+        for (i, r) in scale_rows.iter().enumerate() {
+            json.push_str("    {\n");
+            json.push_str(&format!("      \"switches\": {},\n", r.switches));
+            json.push_str(&format!("      \"max_coarse_n\": {},\n", r.max_coarse_n));
+            match &r.exact {
+                Some(a) => json.push_str(&format!(
+                    "      \"exact\": {{\"table_ms\": {:.3}, \"search_ms\": {:.3}, \
+                 \"fg\": {:.9}}},\n",
+                    a.table_ms, a.search_ms, a.fg
+                )),
+                None => json.push_str("      \"exact\": null,\n"),
+            }
+            json.push_str(&format!(
+                "      \"multilevel\": {{\"table_ms\": {:.3}, \"search_ms\": {:.3}, \
              \"fg_on_approx_table\": {:.9}, \"levels\": {}, \"coarse_n\": {}, \
              \"refine_moves\": {}}},\n",
-            r.ml.table_ms,
-            r.ml.search_ms,
-            r.ml.fg,
-            r.ml_stats.levels,
-            r.ml_stats.coarse_n,
-            r.ml_stats.refine_moves
-        ));
+                r.ml.table_ms,
+                r.ml.search_ms,
+                r.ml.fg,
+                r.ml_stats.levels,
+                r.ml_stats.coarse_n,
+                r.ml_stats.refine_moves
+            ));
+            json.push_str(&format!(
+                "      \"ml_fg_on_exact_table\": {},\n",
+                opt(r.ml_fg_on_exact, 9)
+            ));
+            json.push_str(&format!(
+                "      \"fg_ratio_vs_flat\": {},\n",
+                opt(
+                    r.ml_fg_on_exact
+                        .zip(r.exact.as_ref())
+                        .map(|(fg, a)| fg / a.fg.max(1e-12)),
+                    4
+                )
+            ));
+            json.push_str(&format!(
+                "      \"approx_err_reported\": {:.6e},\n",
+                r.approx_err_reported
+            ));
+            json.push_str(&format!(
+                "      \"approx_err_measured\": {},\n",
+                match r.approx_err_measured {
+                    Some(e) => format!("{e:.6e}"),
+                    None => "null".to_string(),
+                }
+            ));
+            json.push_str(&format!(
+                "      \"speedup_vs_exact\": {},\n",
+                opt(
+                    r.exact
+                        .as_ref()
+                        .map(|a| (a.table_ms + a.search_ms)
+                            / (r.ml.table_ms + r.ml.search_ms).max(1e-9)),
+                    3
+                )
+            ));
+            json.push_str(&format!("      \"peak_rss_kb\": {}\n", r.peak_rss_kb));
+            json.push_str(if i + 1 < scale_rows.len() {
+                "    },\n"
+            } else {
+                "    }\n"
+            });
+        }
+        json.push_str("  ],\n");
         json.push_str(&format!(
-            "      \"ml_fg_on_exact_table\": {},\n",
-            opt(r.ml_fg_on_exact, 9)
+            "  \"exact_4096_extrapolated_ms\": {}\n",
+            opt(exact_4096_est, 0)
         ));
+        json.push_str("}\n");
+        std::fs::write(&scale_out_path, &json).expect("write scale benchmark json");
+        println!("perfbase: wrote {scale_out_path}");
+    }
+
+    // The cluster scaling sweep: 1/2/4 shards under a fixed per-shard
+    // open-loop rate, plus one sync-replicated row whose METRICS dump
+    // carries the replication-lag/barrier histogram. The scaling gates
+    // assert in every run, smoke included.
+    eprintln!("perfbase: cluster scaling sweep ...");
+    let c = measure_cluster(smoke);
+    let mut json = String::new();
+    json.push_str("{\n");
+    json.push_str("  \"bench\": \"pr8-cluster\",\n");
+    json.push_str(&format!("  \"smoke\": {smoke},\n"));
+    json.push_str(&format!("  \"machine_threads\": {threads},\n"));
+    json.push_str(&format!(
+        "  \"rate_per_shard_jobs_per_sec\": {:.0},\n",
+        c.rate_per_shard
+    ));
+    json.push_str("  \"rows\": [\n");
+    for (i, r) in c.rows.iter().enumerate() {
         json.push_str(&format!(
-            "      \"fg_ratio_vs_flat\": {},\n",
-            opt(
-                r.ml_fg_on_exact
-                    .zip(r.exact.as_ref())
-                    .map(|(fg, a)| fg / a.fg.max(1e-12)),
-                4
-            )
+            "    {{\"shards\": {}, \"aggregate_jobs_per_sec\": {:.1}, \"per_shard\": [",
+            r.shards, r.aggregate_jobs_per_sec
         ));
-        json.push_str(&format!(
-            "      \"approx_err_reported\": {:.6e},\n",
-            r.approx_err_reported
-        ));
-        json.push_str(&format!(
-            "      \"approx_err_measured\": {},\n",
-            match r.approx_err_measured {
-                Some(e) => format!("{e:.6e}"),
-                None => "null".to_string(),
+        for (j, s) in r.per_shard.iter().enumerate() {
+            if j > 0 {
+                json.push_str(", ");
             }
-        ));
+            json.push_str(&s.to_json());
+        }
         json.push_str(&format!(
-            "      \"speedup_vs_exact\": {},\n",
-            opt(
-                r.exact.as_ref().map(
-                    |a| (a.table_ms + a.search_ms) / (r.ml.table_ms + r.ml.search_ms).max(1e-9)
-                ),
-                3
-            )
+            "]}}{}\n",
+            if i + 1 < c.rows.len() { "," } else { "" }
         ));
-        json.push_str(&format!("      \"peak_rss_kb\": {}\n", r.peak_rss_kb));
-        json.push_str(if i + 1 < scale_rows.len() {
-            "    },\n"
-        } else {
-            "    }\n"
-        });
     }
     json.push_str("  ],\n");
     json.push_str(&format!(
-        "  \"exact_4096_extrapolated_ms\": {}\n",
-        opt(exact_4096_est, 0)
+        "  \"speedup_2_shards\": {:.3},\n  \"speedup_4_shards\": {:.3},\n",
+        c.speedup_2, c.speedup_4
     ));
-    json.push_str("}\n");
-    std::fs::write(&scale_out_path, &json).expect("write scale benchmark json");
-    println!("perfbase: wrote {scale_out_path}");
+    json.push_str(&format!(
+        "  \"replicated_sync\": {},\n",
+        c.repl_report.to_json()
+    ));
+    json.push_str(&format!(
+        "  \"replicated_follower_applied_records\": {},\n",
+        c.repl_follower_applied
+    ));
+    json.push_str("  \"replication_metrics\": [\n");
+    for (i, l) in c.repl_metrics.iter().enumerate() {
+        json.push_str(&format!(
+            "    \"{}\"{}\n",
+            l.replace('\\', "\\\\").replace('"', "\\\""),
+            if i + 1 < c.repl_metrics.len() {
+                ","
+            } else {
+                ""
+            }
+        ));
+    }
+    json.push_str("  ]\n}\n");
+    std::fs::write(&cluster_out_path, &json).expect("write cluster benchmark json");
+    println!("perfbase: wrote {cluster_out_path}");
 }

@@ -1,0 +1,217 @@
+//! In-process cluster integration: MOVED routing with transparent
+//! client redirects across two primaries, and sync WAL replication
+//! with follower promotion after the primary goes away.
+
+use commsched_cluster::{
+    follow_and_promote, ClusterConfig, FollowerProgress, HashRing, Member, ReplMode, DEFAULT_VNODES,
+};
+use commsched_service::{Client, RetryPolicy};
+use commsched_topology::designed;
+use std::net::TcpListener;
+use std::path::PathBuf;
+use std::sync::atomic::AtomicBool;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// Reserve a free localhost port and release it for the node to bind.
+/// (The tiny race against another process is acceptable in tests.)
+fn free_addr() -> String {
+    let listener = TcpListener::bind("127.0.0.1:0").expect("ephemeral bind");
+    let addr = listener.local_addr().expect("local addr").to_string();
+    drop(listener);
+    addr
+}
+
+fn temp_dir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("commsched-cluster-{tag}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+#[test]
+fn requests_route_to_the_owning_shard_and_clients_follow() {
+    let addr0 = free_addr();
+    let addr1 = free_addr();
+    let members = vec![
+        Member {
+            shard: 0,
+            addr: addr0.clone(),
+        },
+        Member {
+            shard: 1,
+            addr: addr1.clone(),
+        },
+    ];
+    let dir0 = temp_dir("route-0");
+    let dir1 = temp_dir("route-1");
+    let node0 =
+        commsched_cluster::start_primary(&ClusterConfig::new(0, members.clone(), &dir0)).unwrap();
+    let node1 =
+        commsched_cluster::start_primary(&ClusterConfig::new(1, members.clone(), &dir1)).unwrap();
+
+    // Pick a topology the ring assigns to shard 1, so a client talking
+    // to node 0 must be redirected.
+    let ring = HashRing::new(&[0, 1], DEFAULT_VNODES);
+    // Even switch counts only: clusters=2 must split the host count
+    // evenly along switch boundaries.
+    let (topo, fp) = (2..16)
+        .map(|k| {
+            let t = designed::ring(2 * k, 2);
+            let fp = t.fingerprint();
+            (t, fp)
+        })
+        .find(|(_, fp)| ring.owner(*fp) == Some(1))
+        .expect("some ring topology must hash to shard 1");
+
+    let mut client = Client::connect_with_retry(&addr0, RetryPolicy::default()).unwrap();
+    let lines = client.cluster().unwrap().expect("cluster node");
+    assert!(lines.contains(&"node 0".to_string()), "lines: {lines:?}");
+    assert!(lines.contains(&format!("member 1 {addr1}")));
+
+    // The upload itself is redirected to the owner after the first
+    // node sees the fingerprint.
+    let got_fp = client.add_topology(&topo).unwrap();
+    assert_eq!(got_fp, fp);
+    assert!(
+        client.redirects_followed() >= 1,
+        "the ADDTOPO for a shard-1 topology through node 0 must redirect"
+    );
+    assert_eq!(
+        client.server_addr(),
+        addr1,
+        "client must now sit on the owner"
+    );
+
+    // A submit naming the registered fingerprint works from either
+    // entry point; through node 0 it is redirected again.
+    let mut via0 = Client::connect_with_retry(&addr0, RetryPolicy::default()).unwrap();
+    let job = via0
+        .submit_raw(&format!("SCHEDULE topo=fp:{fp:016x} clusters=2 seed=7"))
+        .unwrap();
+    assert!(via0.redirects_followed() >= 1);
+    let state = via0.wait(job, Duration::from_millis(20)).unwrap();
+    assert_eq!(state, "done");
+    assert!(!via0.result(job).unwrap().is_empty());
+
+    // Built-ins never bounce: node 0 serves paper24 locally.
+    let mut local = Client::connect_with_retry(&addr0, RetryPolicy::default()).unwrap();
+    let job = local
+        .submit_raw("SCHEDULE topo=paper24 clusters=4 seed=1")
+        .unwrap();
+    assert_eq!(local.redirects_followed(), 0);
+    assert_eq!(local.wait(job, Duration::from_millis(20)).unwrap(), "done");
+
+    // The owner's stats count the redirects it issued... on node 0.
+    let mut c0 = Client::connect(&addr0).unwrap();
+    let moved = c0.stat_u64("cluster_moved").unwrap().unwrap_or(0);
+    assert!(moved >= 2, "node 0 issued {moved} redirects");
+
+    node0.shutdown();
+    node1.shutdown();
+    let _ = std::fs::remove_dir_all(&dir0);
+    let _ = std::fs::remove_dir_all(&dir1);
+}
+
+#[test]
+fn sync_replication_promotes_with_every_acked_job_visible() {
+    let addr = free_addr();
+    let members = vec![Member {
+        shard: 0,
+        addr: addr.clone(),
+    }];
+    let dir_primary = temp_dir("repl-primary");
+    let dir_standby = temp_dir("repl-standby");
+
+    let mut config = ClusterConfig::new(0, members.clone(), &dir_primary);
+    config.repl = ReplMode::Sync;
+    config.repl_listen = Some("127.0.0.1:0".to_string());
+    let primary = commsched_cluster::start_primary(&config).unwrap();
+    let repl_addr = primary.hub().expect("hub").listen_addr().to_string();
+
+    // Stand up the follower in a thread; it will promote when the
+    // primary goes away.
+    let stop = Arc::new(AtomicBool::new(false));
+    let progress = Arc::new(FollowerProgress::default());
+    let follower_thread = {
+        let mut fconfig = ClusterConfig::new(0, members.clone(), &dir_standby);
+        fconfig.repl = ReplMode::Sync;
+        fconfig.follow = Some(repl_addr);
+        let stop = Arc::clone(&stop);
+        let progress = Arc::clone(&progress);
+        std::thread::spawn(move || follow_and_promote(&fconfig, &stop, &progress))
+    };
+
+    // Give the follower a beat to connect, then run acked traffic.
+    let deadline = Instant::now() + Duration::from_secs(5);
+    while progress.connects.load(std::sync::atomic::Ordering::Relaxed) == 0 {
+        assert!(Instant::now() < deadline, "follower never connected");
+        std::thread::sleep(Duration::from_millis(20));
+    }
+
+    let mut client = Client::connect_with_retry(&addr, RetryPolicy::default()).unwrap();
+    let mut acked = Vec::new();
+    for _ in 0..40 {
+        acked.push(client.submit_raw("NOOP").unwrap());
+    }
+    let topo_fp = client.add_topology(&designed::ring(6, 2)).unwrap();
+    for id in &acked {
+        assert_eq!(client.wait(*id, Duration::from_millis(10)).unwrap(), "done");
+    }
+
+    // Sync mode: by the time those acks returned, the follower had
+    // applied the records behind them. Finish records written after
+    // the last ack may still be in flight, so poll the lag to zero.
+    let applied = progress.applied.load(std::sync::atomic::Ordering::Relaxed);
+    assert!(
+        applied >= acked.len() as u64,
+        "follower applied {applied} records for {} acked jobs",
+        acked.len()
+    );
+    let deadline = Instant::now() + Duration::from_secs(5);
+    loop {
+        if client.stat_u64("repl_lag_records").unwrap() == Some(0) {
+            break;
+        }
+        assert!(Instant::now() < deadline, "replication lag never drained");
+        std::thread::sleep(Duration::from_millis(20));
+    }
+
+    // Kill the primary. The follower's reconnects exhaust, it recovers
+    // the replicated WAL, and it binds the shard's client address.
+    primary.shutdown();
+    let promoted = follower_thread
+        .join()
+        .expect("follower thread")
+        .expect("promotion")
+        .expect("promoted node");
+
+    let mut client = Client::connect_with_retry(&addr, RetryPolicy::default()).unwrap();
+    client.ping().unwrap();
+    let lines = client.cluster().unwrap().expect("cluster node");
+    assert!(
+        lines.contains(&"role promoted".to_string()),
+        "lines: {lines:?}"
+    );
+    // Zero accepted-job loss: every acked job is visible with its
+    // terminal state, and the registered topology survived too.
+    for id in &acked {
+        let state = client.wait(*id, Duration::from_millis(10)).unwrap();
+        assert_eq!(state, "done", "job {id} lost in failover");
+    }
+    let job = client
+        .submit_raw(&format!(
+            "SCHEDULE topo=fp:{topo_fp:016x} clusters=2 seed=3"
+        ))
+        .unwrap();
+    let state = client.wait(job, Duration::from_millis(20)).unwrap();
+    assert_eq!(
+        state,
+        "done",
+        "replicated topology must schedule after promotion: {:?}",
+        client.result(job)
+    );
+
+    promoted.shutdown();
+    let _ = std::fs::remove_dir_all(&dir_primary);
+    let _ = std::fs::remove_dir_all(&dir_standby);
+}

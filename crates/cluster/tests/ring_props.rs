@@ -1,0 +1,136 @@
+//! Property tests for the hash ring's two load-bearing guarantees:
+//!
+//! * **Balance** — with 8 shards at 128 virtual points each, every
+//!   shard's share of a large uniform key population stays within 15%
+//!   of the even split, whatever the shard ids are.
+//! * **Minimal remap** — one membership change moves at most about
+//!   `1/N` of the keys, and *only* keys involving the changed shard:
+//!   removal never moves a key between two surviving shards, addition
+//!   only moves keys onto the new shard.
+
+use commsched_cluster::ring::{HashRing, DEFAULT_VNODES};
+use proptest::prelude::*;
+
+/// SplitMix64, for a deterministic uniform key population per seed.
+fn mix(x: u64) -> u64 {
+    let mut z = x.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+fn keys(seed: u64, n: usize) -> impl Iterator<Item = u64> {
+    (0..n as u64).map(move |i| mix(seed ^ i))
+}
+
+/// 8 distinct shard ids derived from arbitrary bytes.
+fn eight_shards(raw: &[u32]) -> Vec<u32> {
+    let mut shards: Vec<u32> = raw.to_vec();
+    shards.sort_unstable();
+    shards.dedup();
+    let mut next = raw.iter().copied().max().unwrap_or(0);
+    while shards.len() < 8 {
+        next = next.wrapping_add(1);
+        if !shards.contains(&next) {
+            shards.push(next);
+        }
+    }
+    shards.truncate(8);
+    shards
+}
+
+const KEYS: usize = 16_384;
+
+proptest! {
+    /// Every shard's load is within 15% of `KEYS / 8`, for arbitrary
+    /// shard ids and an arbitrary uniform key population.
+    #[test]
+    fn eight_shards_balance_within_15_percent(
+        raw in proptest::collection::vec(any::<u32>(), 8..9),
+        seed in any::<u64>(),
+    ) {
+        let shards = eight_shards(&raw);
+        let ring = HashRing::new(&shards, DEFAULT_VNODES);
+        let mut counts = std::collections::HashMap::new();
+        for key in keys(seed, KEYS) {
+            *counts.entry(ring.owner(key).unwrap()).or_insert(0u64) += 1;
+        }
+        let mean = KEYS as f64 / 8.0;
+        for &shard in &shards {
+            let got = *counts.get(&shard).unwrap_or(&0) as f64;
+            let dev = (got - mean).abs() / mean;
+            prop_assert!(
+                dev <= 0.15,
+                "shard {shard} holds {got} of {KEYS} keys ({:.1}% off even)",
+                dev * 100.0
+            );
+        }
+    }
+
+    /// Removing one shard moves only that shard's keys (never a key
+    /// between survivors), i.e. the remapped fraction is exactly the
+    /// removed shard's share — at most `1/N + eps` by the balance
+    /// property.
+    #[test]
+    fn removing_a_member_remaps_at_most_its_share(
+        raw in proptest::collection::vec(any::<u32>(), 8..9),
+        seed in any::<u64>(),
+        victim_idx in 0usize..8,
+    ) {
+        let shards = eight_shards(&raw);
+        let victim = shards[victim_idx];
+        let full = HashRing::new(&shards, DEFAULT_VNODES);
+        let less = full.without_member(victim);
+        let mut moved = 0usize;
+        for key in keys(seed, KEYS) {
+            let before = full.owner(key).unwrap();
+            let after = less.owner(key).unwrap();
+            if before == victim {
+                prop_assert_ne!(after, victim);
+                moved += 1;
+            } else {
+                prop_assert_eq!(
+                    before, after,
+                    "key {} moved between surviving shards", key
+                );
+            }
+        }
+        // 1/8 plus the balance slack.
+        let bound = (KEYS as f64 / 8.0) * 1.15;
+        prop_assert!(
+            (moved as f64) <= bound,
+            "removal remapped {moved} keys (bound {bound:.0})"
+        );
+    }
+
+    /// Adding one shard only moves keys *onto* the new shard, and not
+    /// more than about `1/(N+1)` of them.
+    #[test]
+    fn adding_a_member_steals_at_most_one_share(
+        raw in proptest::collection::vec(any::<u32>(), 8..9),
+        seed in any::<u64>(),
+        newcomer in any::<u32>(),
+    ) {
+        let shards = eight_shards(&raw);
+        prop_assume!(!shards.contains(&newcomer));
+        let base = HashRing::new(&shards, DEFAULT_VNODES);
+        let grown = base.with_member(newcomer);
+        let mut moved = 0usize;
+        for key in keys(seed, KEYS) {
+            let before = base.owner(key).unwrap();
+            let after = grown.owner(key).unwrap();
+            if before != after {
+                prop_assert_eq!(
+                    after, newcomer,
+                    "key {} moved to {} instead of the new shard", key, after
+                );
+                moved += 1;
+            }
+        }
+        let bound = (KEYS as f64 / 9.0) * 1.15;
+        prop_assert!(
+            (moved as f64) <= bound,
+            "addition remapped {moved} keys (bound {bound:.0})"
+        );
+    }
+}

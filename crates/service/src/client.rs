@@ -33,10 +33,85 @@ fn write_full(stream: &mut TcpStream, mut buf: &[u8]) -> io::Result<()> {
     Ok(())
 }
 
+/// The same SplitMix64 finalizer the cluster hash ring uses; here it
+/// derives retry jitter without threading an RNG through the client.
+fn splitmix64(x: u64) -> u64 {
+    let mut z = x.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+/// Bounded retry with exponential backoff and jitter, applied to the
+/// two failures that are worth waiting out: a `busy` rejection (the
+/// server is at its connection cap and will shed load soon) and a
+/// refused connection (a cluster follower mid-promotion has not bound
+/// the primary's address yet). Everything else fails fast.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RetryPolicy {
+    /// Total tries including the first; `1` means never retry.
+    pub max_attempts: u32,
+    /// Sleep before the first retry; doubles each retry after that.
+    pub base: Duration,
+    /// Ceiling on any single sleep.
+    pub cap: Duration,
+    /// Seed for deterministic jitter (tests pin it; callers with many
+    /// clients should vary it so retries do not stampede in phase).
+    pub seed: u64,
+}
+
+impl Default for RetryPolicy {
+    fn default() -> Self {
+        Self {
+            max_attempts: 6,
+            base: Duration::from_millis(20),
+            cap: Duration::from_secs(1),
+            seed: 0x5eed,
+        }
+    }
+}
+
+impl RetryPolicy {
+    /// Fail on the first error — the pre-cluster behaviour.
+    pub fn none() -> Self {
+        Self {
+            max_attempts: 1,
+            ..Self::default()
+        }
+    }
+
+    /// Sleep before retry number `attempt` (1-based): the exponential
+    /// step `base << (attempt-1)` capped at `cap`, then jittered into
+    /// `[step/2, step]` so concurrent clients desynchronize.
+    pub fn backoff(&self, attempt: u32) -> Duration {
+        let step = self
+            .base
+            .saturating_mul(
+                1u32.checked_shl(attempt.saturating_sub(1))
+                    .unwrap_or(u32::MAX),
+            )
+            .min(self.cap);
+        let half = step / 2;
+        let jitter_ns =
+            splitmix64(self.seed ^ u64::from(attempt)) % (half.as_nanos().max(1) as u64);
+        half + Duration::from_nanos(jitter_ns)
+    }
+}
+
+/// Hops a single request may follow through `MOVED` redirects before
+/// the client declares the cluster's routing inconsistent.
+const MAX_REDIRECT_HOPS: u32 = 4;
+
 /// One connection to a running daemon.
 pub struct Client {
     reader: BufReader<TcpStream>,
     writer: TcpStream,
+    /// Address of the server currently connected, for reconnects after
+    /// a retryable failure (the `MOVED` target replaces it on redirect).
+    addr: String,
+    retry: RetryPolicy,
+    redirects: u64,
+    retries: u64,
 }
 
 /// Client-side failures: transport errors or `ERR` responses.
@@ -48,6 +123,15 @@ pub enum ClientError {
     Server(String),
     /// The server answered something the client cannot interpret.
     Protocol(String),
+    /// A cluster node redirected to the shard owner (`MOVED` reply).
+    /// The client follows these transparently; it surfaces only when
+    /// the redirect budget is exhausted mid-request.
+    Moved {
+        /// Shard index the key hashed to.
+        shard: u32,
+        /// Address of the node owning that shard.
+        addr: String,
+    },
 }
 
 impl std::fmt::Display for ClientError {
@@ -56,6 +140,7 @@ impl std::fmt::Display for ClientError {
             ClientError::Io(e) => write!(f, "io: {e}"),
             ClientError::Server(m) => write!(f, "server: {m}"),
             ClientError::Protocol(m) => write!(f, "protocol: {m}"),
+            ClientError::Moved { shard, addr } => write!(f, "moved: shard {shard} at {addr}"),
         }
     }
 }
@@ -69,17 +154,147 @@ impl From<std::io::Error> for ClientError {
 }
 
 impl Client {
-    /// Connect to `addr` (e.g. `127.0.0.1:7477`).
+    /// Connect to `addr` (e.g. `127.0.0.1:7477`), failing fast on the
+    /// first error (see [`Client::connect_with_retry`] for the patient
+    /// variant).
     ///
     /// # Errors
     /// Propagates connection failures.
     pub fn connect<A: ToSocketAddrs>(addr: A) -> Result<Self, ClientError> {
         let stream = TcpStream::connect(addr)?;
+        let addr = stream.peer_addr()?.to_string();
         let writer = stream.try_clone()?;
         Ok(Self {
             reader: BufReader::new(stream),
             writer,
+            addr,
+            retry: RetryPolicy::none(),
+            redirects: 0,
+            retries: 0,
         })
+    }
+
+    /// Connect under `policy`: refused connections are retried with
+    /// exponential backoff (a cluster failover window looks exactly
+    /// like this), and the policy stays attached to the client so later
+    /// `busy`/refused failures mid-conversation retry the same way.
+    ///
+    /// # Errors
+    /// Propagates the last connection failure once attempts run out.
+    pub fn connect_with_retry(addr: &str, policy: RetryPolicy) -> Result<Self, ClientError> {
+        let mut retries = 0;
+        let stream = Self::open_stream(addr, &policy, &mut retries)?;
+        let resolved = stream.peer_addr()?.to_string();
+        let writer = stream.try_clone()?;
+        Ok(Self {
+            reader: BufReader::new(stream),
+            writer,
+            addr: resolved,
+            retry: policy,
+            redirects: 0,
+            retries,
+        })
+    }
+
+    /// Replace the retry policy (e.g. to make an existing client
+    /// patient before a planned failover).
+    pub fn set_retry(&mut self, policy: RetryPolicy) {
+        self.retry = policy;
+    }
+
+    /// `MOVED` redirects this client has followed.
+    pub fn redirects_followed(&self) -> u64 {
+        self.redirects
+    }
+
+    /// Retries (busy/refused) this client has spent.
+    pub fn retries_used(&self) -> u64 {
+        self.retries
+    }
+
+    /// Address of the server this client currently talks to (changes
+    /// when a redirect is followed).
+    pub fn server_addr(&self) -> &str {
+        &self.addr
+    }
+
+    /// Dial `addr`, sleeping out refused connections per `policy`.
+    /// `retries` accumulates the attempts spent so the caller's counter
+    /// reflects connect-time patience too.
+    fn open_stream(
+        addr: &str,
+        policy: &RetryPolicy,
+        retries: &mut u64,
+    ) -> Result<TcpStream, ClientError> {
+        let mut attempt = 0u32;
+        loop {
+            match TcpStream::connect(addr) {
+                Ok(s) => return Ok(s),
+                Err(e)
+                    if e.kind() == io::ErrorKind::ConnectionRefused
+                        && attempt + 1 < policy.max_attempts =>
+                {
+                    attempt += 1;
+                    *retries += 1;
+                    std::thread::sleep(policy.backoff(attempt));
+                }
+                Err(e) => return Err(e.into()),
+            }
+        }
+    }
+
+    /// Drop the current connection and dial `addr` (retrying refusals
+    /// per the policy — a promoting follower needs a beat to bind).
+    fn reconnect(&mut self, addr: &str) -> Result<(), ClientError> {
+        let policy = self.retry;
+        let stream = Self::open_stream(addr, &policy, &mut self.retries)?;
+        self.addr = stream.peer_addr()?.to_string();
+        self.writer = stream.try_clone()?;
+        self.reader = BufReader::new(stream);
+        Ok(())
+    }
+
+    /// Whether an error is worth a backoff-and-retry: the server shed
+    /// us at its connection cap (`busy`, which also closes the
+    /// connection) or nothing is listening yet (refused).
+    fn retryable(e: &ClientError) -> bool {
+        match e {
+            ClientError::Server(m) => m.starts_with("busy"),
+            ClientError::Io(e) => e.kind() == io::ErrorKind::ConnectionRefused,
+            _ => false,
+        }
+    }
+
+    /// Send one request line and read its first reply line, following
+    /// `MOVED` redirects transparently and retrying retryable failures
+    /// under the client's [`RetryPolicy`]. Every single-line verb and
+    /// every block verb's header goes through here.
+    fn transact(&mut self, line: &str) -> Result<String, ClientError> {
+        let mut hops = 0u32;
+        let mut attempt = 0u32;
+        loop {
+            match self.send(line).and_then(|()| self.expect_ok()) {
+                Ok(v) => return Ok(v),
+                Err(ClientError::Moved { shard, addr }) => {
+                    hops += 1;
+                    if hops > MAX_REDIRECT_HOPS {
+                        return Err(ClientError::Moved { shard, addr });
+                    }
+                    self.redirects += 1;
+                    self.reconnect(&addr)?;
+                }
+                Err(e) if attempt + 1 < self.retry.max_attempts && Self::retryable(&e) => {
+                    attempt += 1;
+                    self.retries += 1;
+                    std::thread::sleep(self.retry.backoff(attempt));
+                    // `busy` closed the socket server-side; a fresh
+                    // connection is needed either way.
+                    let addr = self.addr.clone();
+                    self.reconnect(&addr)?;
+                }
+                Err(e) => return Err(e),
+            }
+        }
     }
 
     fn send(&mut self, line: &str) -> Result<(), ClientError> {
@@ -106,6 +321,11 @@ impl Client {
             Ok(rest.trim_start().to_string())
         } else if let Some(rest) = line.strip_prefix("ERR") {
             Err(ClientError::Server(rest.trim_start().to_string()))
+        } else if line.starts_with("MOVED") {
+            match protocol::parse_moved(&line) {
+                Some((shard, addr)) => Err(ClientError::Moved { shard, addr }),
+                None => Err(ClientError::Protocol(format!("bad redirect '{line}'"))),
+            }
         } else {
             Err(ClientError::Protocol(format!("unexpected reply '{line}'")))
         }
@@ -128,24 +348,41 @@ impl Client {
     /// # Errors
     /// See [`ClientError`].
     pub fn ping(&mut self) -> Result<(), ClientError> {
-        self.send("PING")?;
-        self.expect_ok().map(drop)
+        self.transact("PING").map(drop)
     }
 
-    /// Upload a topology; returns its fingerprint.
+    /// Upload a topology; returns its fingerprint. In a cluster the
+    /// first node may answer `MOVED` after seeing the whole upload (the
+    /// fingerprint decides the owner); the client re-uploads to the
+    /// owner transparently.
     ///
     /// # Errors
     /// See [`ClientError`].
     pub fn add_topology(&mut self, topo: &Topology) -> Result<u64, ClientError> {
         let text = commsched_topology::to_text(topo);
         let lines: Vec<&str> = text.lines().collect();
-        self.send(&format!("ADDTOPO {}", lines.len()))?;
-        for l in &lines {
-            self.send(l)?;
+        let mut hops = 0u32;
+        loop {
+            self.send(&format!("ADDTOPO {}", lines.len()))?;
+            for l in &lines {
+                self.send(l)?;
+            }
+            match self.expect_ok() {
+                Ok(fp) => {
+                    return protocol::parse_fingerprint(&fp)
+                        .ok_or_else(|| ClientError::Protocol(format!("bad fingerprint '{fp}'")))
+                }
+                Err(ClientError::Moved { shard, addr }) => {
+                    hops += 1;
+                    if hops > MAX_REDIRECT_HOPS {
+                        return Err(ClientError::Moved { shard, addr });
+                    }
+                    self.redirects += 1;
+                    self.reconnect(&addr)?;
+                }
+                Err(e) => return Err(e),
+            }
         }
-        let fp = self.expect_ok()?;
-        protocol::parse_fingerprint(&fp)
-            .ok_or_else(|| ClientError::Protocol(format!("bad fingerprint '{fp}'")))
     }
 
     /// Submit a raw `SUBMIT` argument string, e.g.
@@ -155,8 +392,7 @@ impl Client {
     /// See [`ClientError`]; a full queue surfaces as
     /// `ClientError::Server("queue-full")`.
     pub fn submit_raw(&mut self, args: &str) -> Result<JobId, ClientError> {
-        self.send(&format!("SUBMIT {args}"))?;
-        let id = self.expect_ok()?;
+        let id = self.transact(&format!("SUBMIT {args}"))?;
         id.parse()
             .map_err(|_| ClientError::Protocol(format!("bad job id '{id}'")))
     }
@@ -166,8 +402,7 @@ impl Client {
     /// # Errors
     /// See [`ClientError`].
     pub fn status(&mut self, job: JobId) -> Result<String, ClientError> {
-        self.send(&format!("STATUS {job}"))?;
-        self.expect_ok()
+        self.transact(&format!("STATUS {job}"))
     }
 
     /// Poll until the job leaves the queue/worker, returning its final
@@ -190,8 +425,7 @@ impl Client {
     /// # Errors
     /// See [`ClientError`].
     pub fn result(&mut self, job: JobId) -> Result<Vec<String>, ClientError> {
-        self.send(&format!("RESULT {job}"))?;
-        self.expect_ok()?;
+        self.transact(&format!("RESULT {job}"))?;
         self.read_block()
     }
 
@@ -200,8 +434,7 @@ impl Client {
     /// # Errors
     /// See [`ClientError`].
     pub fn cancel(&mut self, job: JobId) -> Result<(), ClientError> {
-        self.send(&format!("CANCEL {job}"))?;
-        self.expect_ok().map(drop)
+        self.transact(&format!("CANCEL {job}")).map(drop)
     }
 
     /// Inject a fault from a raw `FAULT` argument string, e.g.
@@ -212,8 +445,7 @@ impl Client {
     /// See [`ClientError`]; a rejected event surfaces as
     /// `ClientError::Server("fault-rejected: ...")`.
     pub fn fault_raw(&mut self, args: &str) -> Result<Vec<String>, ClientError> {
-        self.send(&format!("FAULT {args}"))?;
-        self.expect_ok()?;
+        self.transact(&format!("FAULT {args}"))?;
         self.read_block()
     }
 
@@ -222,8 +454,7 @@ impl Client {
     /// # Errors
     /// See [`ClientError`].
     pub fn stats(&mut self) -> Result<Vec<(String, String)>, ClientError> {
-        self.send("STATS")?;
-        self.expect_ok()?;
+        self.transact("STATS")?;
         Ok(self
             .read_block()?
             .iter()
@@ -241,8 +472,7 @@ impl Client {
     /// See [`ClientError`]; a server running without persistence
     /// surfaces as `ClientError::Server("no-persistence")`.
     pub fn snapshot(&mut self) -> Result<String, ClientError> {
-        self.send("SNAPSHOT")?;
-        self.expect_ok()
+        self.transact("SNAPSHOT")
     }
 
     /// The server's Prometheus-format metrics dump, one line per entry.
@@ -250,8 +480,7 @@ impl Client {
     /// # Errors
     /// See [`ClientError`].
     pub fn metrics(&mut self) -> Result<Vec<String>, ClientError> {
-        self.send("METRICS")?;
-        self.expect_ok()?;
+        self.transact("METRICS")?;
         self.read_block()
     }
 
@@ -273,8 +502,7 @@ impl Client {
     /// # Errors
     /// See [`ClientError`].
     pub fn shutdown(&mut self) -> Result<String, ClientError> {
-        self.send("SHUTDOWN")?;
-        self.expect_ok()
+        self.transact("SHUTDOWN")
     }
 
     /// The server's capability line (e.g.
@@ -285,8 +513,21 @@ impl Client {
     /// # Errors
     /// See [`ClientError`].
     pub fn caps(&mut self) -> Result<String, ClientError> {
-        self.send("CAPS")?;
-        self.expect_ok()
+        self.transact("CAPS")
+    }
+
+    /// The server's cluster description: `Ok(None)` for a standalone
+    /// daemon, `Ok(Some(lines))` (node id, role, member table) for a
+    /// cluster node.
+    ///
+    /// # Errors
+    /// See [`ClientError`].
+    pub fn cluster(&mut self) -> Result<Option<Vec<String>>, ClientError> {
+        let head = self.transact("CLUSTER")?;
+        if head == "standalone" {
+            return Ok(None);
+        }
+        self.read_block().map(Some)
     }
 
     /// Submit many raw `SUBMIT` argument strings in one round trip.

@@ -7,7 +7,10 @@
 //! everything here directly unit-testable.
 
 use crate::cache::{DistanceCache, RoutedTable, RoutingSpec, TableSpec};
-use crate::persist::{state as pstate, PersistError, PersistOptions, Persistence, RecoveryReport};
+use crate::persist::{
+    state as pstate, PersistError, PersistOptions, Persistence, RecoveryReport, ReplicationSink,
+    WalTap,
+};
 use crate::protocol::{format_fingerprint, JobKind, JobSpec, TopoRef};
 use crate::registry::TopologyRegistry;
 use crate::stats::ServiceStats;
@@ -25,7 +28,7 @@ use commsched_topology::{designed, random_regular, RandomTopologyConfig, Topolog
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use std::collections::{HashMap, VecDeque};
-use std::sync::{Arc, Condvar, Mutex};
+use std::sync::{Arc, Condvar, Mutex, OnceLock};
 use std::time::Instant;
 
 /// Identifier of a submitted job (issued sequentially from 1).
@@ -194,6 +197,9 @@ pub struct ServiceCore {
     done_cv: Condvar,
     /// Durable state (WAL + snapshots), absent for in-memory-only cores.
     persist: Option<Persistence>,
+    /// Replication sink (cluster primaries): observes every WAL record
+    /// via the tap and gates acknowledgements at [`Self::repl_barrier`].
+    repl: OnceLock<Arc<dyn ReplicationSink>>,
 }
 
 impl ServiceCore {
@@ -222,7 +228,49 @@ impl ServiceCore {
             work_cv: Condvar::new(),
             done_cv: Condvar::new(),
             persist,
+            repl: OnceLock::new(),
         }
+    }
+
+    /// Install the replication sink of a cluster primary. The sink is
+    /// seeded with the full current durable state (as snapshot-style
+    /// records) and installed as the WAL tap inside ONE WAL critical
+    /// section, so no record can slip between the seed and the live
+    /// stream. From then on every ack point waits on
+    /// [`ReplicationSink::barrier`] before returning — acked means
+    /// replicated, at whatever strictness the sink's policy implements.
+    ///
+    /// # Errors
+    /// `replication requires a durable core` for in-memory cores;
+    /// `replication already configured` on a second call.
+    pub fn set_replication(&self, sink: Arc<dyn ReplicationSink>) -> Result<(), String> {
+        let Some(p) = &self.persist else {
+            return Err("replication requires a durable core".into());
+        };
+        p.with_wal(|wal| {
+            for record in self.snapshot_records() {
+                sink.record(record.as_bytes());
+            }
+            wal.set_tap(Arc::clone(&sink) as Arc<dyn WalTap>);
+        });
+        self.repl
+            .set(sink)
+            .map_err(|_| "replication already configured".to_string())
+    }
+
+    /// Block until the installed replication sink (if any) has
+    /// replicated everything published so far. Called at ack points,
+    /// never while holding the WAL or a state lock.
+    fn repl_barrier(&self) {
+        if let Some(sink) = self.repl.get() {
+            sink.barrier();
+        }
+    }
+
+    /// The installed replication sink's `STATS` lines (empty when this
+    /// core does not replicate).
+    pub fn replication_stats_lines(&self) -> Vec<String> {
+        self.repl.get().map(|s| s.stats_lines()).unwrap_or_default()
     }
 
     /// Open (or create) a state directory and rebuild a core from it:
@@ -540,6 +588,9 @@ impl ServiceCore {
         }
         self.stats.note_submitted();
         self.work_cv.notify_one();
+        // Ack-means-replicated: the id is not returned (and no OK goes
+        // out) until the accept record has reached the followers.
+        self.repl_barrier();
         self.maybe_snapshot();
         Ok(id)
     }
@@ -680,6 +731,8 @@ impl ServiceCore {
         });
         self.stats.set_wal_bytes(p.wal_bytes());
         self.work_cv.notify_all();
+        // One barrier covers the whole batch's accept records.
+        self.repl_barrier();
         self.maybe_snapshot();
         out
     }
@@ -742,6 +795,9 @@ impl ServiceCore {
             Ok(())
         });
         self.stats.set_wal_bytes(p.wal_bytes());
+        if result.is_ok() {
+            self.repl_barrier();
+        }
         result
     }
 
@@ -769,6 +825,7 @@ impl ServiceCore {
             format!("topologies {}", self.registry.len()),
         ];
         out.extend(self.stats.report_lines());
+        out.extend(self.replication_stats_lines());
         out
     }
 
@@ -952,6 +1009,10 @@ impl ServiceCore {
                     apply();
                 });
                 self.stats.set_wal_bytes(p.wal_bytes());
+                // A finish visible here must be visible after failover:
+                // a promoted follower must never re-run a job whose
+                // completion a client already observed via STATUS.
+                self.repl_barrier();
             }
             None => apply(),
         }
@@ -1038,6 +1099,7 @@ impl ServiceCore {
             if let Some(t) = self.registry.get(fp) {
                 self.log_record(&pstate::record_topo(&t), true);
             }
+            self.repl_barrier();
         }
         (fp, fresh)
     }
@@ -1247,6 +1309,9 @@ impl ServiceCore {
             format!("requeued {requeued}"),
         ];
         lines.extend(repair_lines);
+        // The fault (and successor-topology) records ride to the
+        // followers before the epoch bump is acknowledged.
+        self.repl_barrier();
         self.maybe_snapshot();
         Ok(lines)
     }

@@ -40,10 +40,12 @@ pub mod server;
 pub mod stats;
 
 pub use cache::{DistanceCache, RoutedTable, RoutingSpec, TableSpec};
-pub use client::Client;
+pub use client::{Client, ClientError, RetryPolicy};
 pub use jobs::{JobId, JobState, ServiceCore, ServiceCoreConfig, SubmitError};
-pub use persist::{FsyncPolicy, PersistError, PersistOptions, Persistence, RecoveryReport};
+pub use persist::{
+    FsyncPolicy, PersistError, PersistOptions, Persistence, RecoveryReport, ReplicationSink, WalTap,
+};
 pub use protocol::{JobKind, JobSpec, Request, TopoRef};
 pub use registry::TopologyRegistry;
-pub use server::{Server, ServerConfig, ServerHandle};
+pub use server::{ClusterHooks, RouteDecision, Server, ServerConfig, ServerHandle};
 pub use stats::ServiceStats;

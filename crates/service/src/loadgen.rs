@@ -94,8 +94,19 @@ pub struct LoadgenReport {
     pub jobs_sent: u64,
     /// Jobs positively acknowledged (`OK <id>` / batch-ack `Ok`).
     pub jobs_acked: u64,
-    /// Error acknowledgements (`ERR ...` / batch-ack `Err`).
+    /// Error acknowledgements (`ERR ...` / batch-ack `Err`) plus jobs
+    /// lost to dying connections — the sum of the per-class counts.
     pub errors: u64,
+    /// Errors that were `busy` rejections (connection cap shed us).
+    pub errors_busy: u64,
+    /// Errors that were cluster `MOVED` redirects (the generator does
+    /// not follow them; a redirect means the target was the wrong shard
+    /// owner and the job never ran).
+    pub errors_moved: u64,
+    /// Jobs written to a connection that died before acknowledging
+    /// them. Before this class existed such jobs vanished from the
+    /// report entirely.
+    pub errors_io: u64,
     /// Requests still unacknowledged when the drain window closed.
     pub in_flight_lost: u64,
     /// Wall time from first send to last ack.
@@ -123,13 +134,17 @@ impl LoadgenReport {
         format!(
             concat!(
                 "{{\"connections\":{},\"jobs_sent\":{},\"jobs_acked\":{},",
-                "\"errors\":{},\"in_flight_lost\":{},\"elapsed_secs\":{},",
+                "\"errors\":{},\"errors_busy\":{},\"errors_moved\":{},",
+                "\"errors_io\":{},\"in_flight_lost\":{},\"elapsed_secs\":{},",
                 "\"jobs_per_sec\":{},\"p50_ms\":{},\"p99_ms\":{},\"p999_ms\":{}}}"
             ),
             self.connections,
             self.jobs_sent,
             self.jobs_acked,
             self.errors,
+            self.errors_busy,
+            self.errors_moved,
+            self.errors_io,
             self.in_flight_lost,
             num(self.elapsed_secs),
             num(self.jobs_per_sec),
@@ -137,6 +152,62 @@ impl LoadgenReport {
             num(self.p99_ms),
             num(self.p999_ms),
         )
+    }
+}
+
+/// Why an acknowledgement (or its absence) counted as a failure.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum ErrClass {
+    /// `ERR busy ...` / binary `busy` payload: shed at the connection cap.
+    Busy,
+    /// `MOVED <shard> <addr>`: the node does not own the key's shard.
+    Moved,
+    /// The connection died with requests still unacknowledged.
+    Io,
+    /// Any other `ERR` (parse errors, `queue-full`, ...).
+    Other,
+}
+
+/// Running error tally, split by class (`total` includes `Other`).
+#[derive(Debug, Clone, Copy, Default)]
+struct ErrCounts {
+    total: u64,
+    busy: u64,
+    moved: u64,
+    io: u64,
+}
+
+impl ErrCounts {
+    fn count(&mut self, class: ErrClass, jobs: u64) {
+        self.total += jobs;
+        match class {
+            ErrClass::Busy => self.busy += jobs,
+            ErrClass::Moved => self.moved += jobs,
+            ErrClass::Io => self.io += jobs,
+            ErrClass::Other => {}
+        }
+    }
+}
+
+/// Classify a line-protocol error reply.
+fn classify_line(line: &[u8]) -> ErrClass {
+    if line.starts_with(b"MOVED") {
+        ErrClass::Moved
+    } else if line.starts_with(b"ERR busy") {
+        ErrClass::Busy
+    } else {
+        ErrClass::Other
+    }
+}
+
+/// Classify a batch-ack per-spec rejection or binary `OP_ERR` payload.
+fn classify_msg(msg: &str) -> ErrClass {
+    if msg.starts_with("moved") {
+        ErrClass::Moved
+    } else if msg.starts_with("busy") {
+        ErrClass::Busy
+    } else {
+        ErrClass::Other
     }
 }
 
@@ -256,7 +327,7 @@ pub fn run<A: ToSocketAddrs>(addr: A, config: &LoadgenConfig) -> Result<LoadgenR
     let mut rr = 0usize; // round-robin cursor
     let mut jobs_sent = 0u64;
     let mut jobs_acked = 0u64;
-    let mut errors = 0u64;
+    let mut errors = ErrCounts::default();
     let mut last_ack_at = start;
     let mut samples_us: Vec<u64> = Vec::new();
     let mut events: Vec<Event> = Vec::new();
@@ -302,7 +373,7 @@ pub fn run<A: ToSocketAddrs>(addr: A, config: &LoadgenConfig) -> Result<LoadgenR
                 conn.wbuf.extend_from_slice(&request);
                 jobs_sent += batch as u64;
                 if !flush_conn(conn) {
-                    drop_conn(&mut conns, idx, &mut poller);
+                    drop_conn(&mut conns, idx, &mut poller, &mut errors);
                 }
                 if interval.is_zero() {
                     // Unpaced: one request per live connection per
@@ -348,7 +419,7 @@ pub fn run<A: ToSocketAddrs>(addr: A, config: &LoadgenConfig) -> Result<LoadgenR
                 );
             }
             if dead {
-                drop_conn(&mut conns, idx, &mut poller);
+                drop_conn(&mut conns, idx, &mut poller, &mut errors);
             } else {
                 let conn = conns[idx].as_mut().expect("live conn");
                 let interest = Interest {
@@ -384,7 +455,10 @@ pub fn run<A: ToSocketAddrs>(addr: A, config: &LoadgenConfig) -> Result<LoadgenR
         connections,
         jobs_sent,
         jobs_acked,
-        errors,
+        errors: errors.total,
+        errors_busy: errors.busy,
+        errors_moved: errors.moved,
+        errors_io: errors.io,
         in_flight_lost,
         elapsed_secs: elapsed,
         jobs_per_sec: if elapsed > 0.0 {
@@ -422,7 +496,7 @@ fn drain_reads(
     conn: &mut GenConn,
     read_buf: &mut [u8],
     jobs_acked: &mut u64,
-    errors: &mut u64,
+    errors: &mut ErrCounts,
     samples_us: &mut Vec<u64>,
     last_ack_at: &mut Instant,
 ) -> bool {
@@ -442,11 +516,13 @@ fn drain_reads(
                 while let Some(nl) = buf[consumed..].iter().position(|&b| b == b'\n') {
                     let line = &buf[consumed..consumed + nl];
                     let ok = line.starts_with(b"OK");
+                    let class = classify_line(line);
                     consumed += nl + 1;
                     ack_one(
                         conn_in_flight(&mut conn.in_flight),
                         ok,
                         0,
+                        class,
                         jobs_acked,
                         errors,
                         samples_us,
@@ -462,20 +538,26 @@ fn drain_reads(
                         Ok(None) => break,
                         Ok(Some(f)) => match f.opcode {
                             frame::OP_BATCH_ACK => {
-                                let (oks, errs) = match frame::decode_batch_ack(&f.payload) {
+                                let oks = match frame::decode_batch_ack(&f.payload) {
                                     Ok(outcomes) => {
-                                        outcomes.iter().fold((0u64, 0u64), |acc, o| match o {
-                                            frame::BatchOutcome::Ok(_) => (acc.0 + 1, acc.1),
-                                            frame::BatchOutcome::Err(_) => (acc.0, acc.1 + 1),
-                                        })
+                                        let mut oks = 0u64;
+                                        for o in &outcomes {
+                                            match o {
+                                                frame::BatchOutcome::Ok(_) => oks += 1,
+                                                frame::BatchOutcome::Err(msg) => {
+                                                    errors.count(classify_msg(msg), 1);
+                                                }
+                                            }
+                                        }
+                                        oks
                                     }
-                                    Err(_) => (0, 0),
+                                    Err(_) => 0,
                                 };
-                                *errors += errs;
                                 ack_one(
                                     conn_in_flight(&mut conn.in_flight),
                                     true,
                                     oks,
+                                    ErrClass::Other,
                                     jobs_acked,
                                     errors,
                                     samples_us,
@@ -486,6 +568,27 @@ fn drain_reads(
                                 conn_in_flight(&mut conn.in_flight),
                                 true,
                                 0,
+                                ErrClass::Other,
+                                jobs_acked,
+                                errors,
+                                samples_us,
+                                last_ack_at,
+                            ),
+                            frame::OP_MOVED => ack_one(
+                                conn_in_flight(&mut conn.in_flight),
+                                false,
+                                0,
+                                ErrClass::Moved,
+                                jobs_acked,
+                                errors,
+                                samples_us,
+                                last_ack_at,
+                            ),
+                            frame::OP_ERR => ack_one(
+                                conn_in_flight(&mut conn.in_flight),
+                                false,
+                                0,
+                                classify_msg(&String::from_utf8_lossy(&f.payload)),
                                 jobs_acked,
                                 errors,
                                 samples_us,
@@ -495,6 +598,7 @@ fn drain_reads(
                                 conn_in_flight(&mut conn.in_flight),
                                 false,
                                 0,
+                                ErrClass::Other,
                                 jobs_acked,
                                 errors,
                                 samples_us,
@@ -515,13 +619,15 @@ fn conn_in_flight(q: &mut VecDeque<(Instant, u64)>) -> Option<(Instant, u64)> {
 
 /// Record one acknowledgement. `ok_override` replaces the job count
 /// from the in-flight entry when nonzero (batch acks carry their own
-/// per-job outcome counts).
+/// per-job outcome counts); `class` is the error class when `!ok`.
+#[allow(clippy::too_many_arguments)]
 fn ack_one(
     entry: Option<(Instant, u64)>,
     ok: bool,
     ok_override: u64,
+    class: ErrClass,
     jobs_acked: &mut u64,
-    errors: &mut u64,
+    errors: &mut ErrCounts,
     samples_us: &mut Vec<u64>,
     last_ack_at: &mut Instant,
 ) {
@@ -534,13 +640,25 @@ fn ack_one(
     if ok {
         *jobs_acked += if ok_override > 0 { ok_override } else { jobs };
     } else {
-        *errors += jobs;
+        errors.count(class, jobs);
     }
 }
 
-fn drop_conn(conns: &mut [Option<GenConn>], idx: usize, poller: &mut Poller) {
+/// Discard a dead connection, counting its unacknowledged jobs as io
+/// errors — they were offered to the server but will never be acked,
+/// and a report that drops them on the floor overstates health.
+fn drop_conn(
+    conns: &mut [Option<GenConn>],
+    idx: usize,
+    poller: &mut Poller,
+    errors: &mut ErrCounts,
+) {
     if let Some(conn) = conns[idx].take() {
         poller.deregister(conn.stream.as_raw_fd());
+        let lost: u64 = conn.in_flight.iter().map(|&(_, jobs)| jobs).sum();
+        if lost > 0 {
+            errors.count(ErrClass::Io, lost);
+        }
     }
 }
 
@@ -613,7 +731,10 @@ mod tests {
             connections: 8,
             jobs_sent: 100,
             jobs_acked: 99,
-            errors: 1,
+            errors: 3,
+            errors_busy: 1,
+            errors_moved: 1,
+            errors_io: 1,
             in_flight_lost: 0,
             elapsed_secs: 1.5,
             jobs_per_sec: 66.0,
@@ -625,5 +746,9 @@ mod tests {
         assert!(json.starts_with('{') && json.ends_with('}'));
         assert!(json.contains("\"jobs_per_sec\":66.000"));
         assert!(json.contains("\"p999_ms\":5.000"));
+        assert!(json.contains("\"errors\":3"));
+        assert!(json.contains("\"errors_busy\":1"));
+        assert!(json.contains("\"errors_moved\":1"));
+        assert!(json.contains("\"errors_io\":1"));
     }
 }

@@ -27,6 +27,28 @@ pub mod state;
 pub mod wal;
 
 pub use state::{RecoveredJob, RecoveredState};
+pub use wal::WalTap;
+
+/// A replication endpoint: observes every WAL record (through the
+/// [`WalTap`] supertrait, i.e. in authoritative commit order under the
+/// WAL lock) and can block an acknowledgement until the records behind
+/// it are replicated.
+///
+/// The core calls [`ReplicationSink::barrier`] at each ack point
+/// (submit, batch submit, cancel, finish, topology registration,
+/// fault) *after* releasing the WAL lock, so implementations may block
+/// on follower acknowledgements without stalling concurrent appends.
+pub trait ReplicationSink: wal::WalTap {
+    /// Block until every record published so far is replicated per the
+    /// configured policy. A no-op for asynchronous replication.
+    fn barrier(&self);
+
+    /// `key value` lines describing replication state, appended to the
+    /// service's `STATS` report.
+    fn stats_lines(&self) -> Vec<String> {
+        Vec::new()
+    }
+}
 
 use std::fs::File;
 use std::path::{Path, PathBuf};

@@ -11,6 +11,19 @@
 use std::fs::{File, OpenOptions};
 use std::io::{Seek, SeekFrom, Write};
 use std::path::Path;
+use std::sync::Arc;
+
+/// Observer of successfully appended WAL records, called with each
+/// payload *while the WAL lock is held* — so the order of `record`
+/// calls is exactly the order of records in the log. This is the hook
+/// WAL replication hangs off: a tap that ships every record to
+/// followers sees the authoritative commit order without any extra
+/// synchronization. Implementations must not call back into the WAL
+/// (the lock is held) and should be quick or buffered.
+pub trait WalTap: Send + Sync {
+    /// One record was durably appended (per the caller's sync policy).
+    fn record(&self, payload: &[u8]);
+}
 
 /// Frame overhead per record: 4-byte length + 8-byte checksum.
 pub const FRAME_HEADER_BYTES: u64 = 12;
@@ -36,6 +49,7 @@ pub fn fnv1a(bytes: &[u8]) -> u64 {
 pub struct WalWriter {
     file: File,
     bytes: u64,
+    tap: Option<Arc<dyn WalTap>>,
 }
 
 impl WalWriter {
@@ -50,7 +64,16 @@ impl WalWriter {
             .append(true)
             .open(path)?;
         let bytes = file.seek(SeekFrom::End(0))?;
-        Ok(Self { file, bytes })
+        Ok(Self {
+            file,
+            bytes,
+            tap: None,
+        })
+    }
+
+    /// Install (or replace) the [`WalTap`] observing appended records.
+    pub fn set_tap(&mut self, tap: Arc<dyn WalTap>) {
+        self.tap = Some(tap);
     }
 
     /// Append one framed record; `sync` forces the bytes to stable
@@ -79,6 +102,7 @@ impl WalWriter {
         sync: bool,
     ) -> std::io::Result<u64> {
         let mut frame = Vec::new();
+        let mut written: Vec<&'a [u8]> = Vec::new();
         for payload in payloads {
             let len = u32::try_from(payload.len()).map_err(|_| {
                 std::io::Error::new(std::io::ErrorKind::InvalidInput, "wal record too large")
@@ -86,6 +110,7 @@ impl WalWriter {
             frame.extend_from_slice(&len.to_le_bytes());
             frame.extend_from_slice(&fnv1a(payload).to_le_bytes());
             frame.extend_from_slice(payload);
+            written.push(payload);
         }
         if frame.is_empty() {
             return Ok(self.bytes);
@@ -95,6 +120,13 @@ impl WalWriter {
             self.file.sync_data()?;
         }
         self.bytes += frame.len() as u64;
+        // The tap fires only for records that actually hit the file, in
+        // append order (the caller holds the WAL lock across this).
+        if let Some(tap) = &self.tap {
+            for payload in written {
+                tap.record(payload);
+            }
+        }
         Ok(self.bytes)
     }
 

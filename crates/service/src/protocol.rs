@@ -116,6 +116,10 @@ pub enum Request {
     },
     /// Capability probe: what protocols/extensions this server speaks.
     Caps,
+    /// Cluster topology probe: shard id, role, and the member table of
+    /// the ring this node belongs to (a single-line `OK standalone` for
+    /// non-clustered daemons).
+    Cluster,
     /// Service counters and histograms.
     Stats,
     /// Prometheus-format dump of every metric registry in the process.
@@ -138,6 +142,22 @@ pub fn parse_fingerprint(s: &str) -> Option<u64> {
     (s.len() == 16)
         .then(|| u64::from_str_radix(s, 16).ok())
         .flatten()
+}
+
+/// Render a cluster redirect reply line: `MOVED <shard> <addr>`.
+pub fn format_moved(shard: u32, addr: &str) -> String {
+    format!("MOVED {shard} {addr}")
+}
+
+/// Parse the payload of a `MOVED` reply (the words after the `MOVED`
+/// keyword, or a whole `MOVED <shard> <addr>` line). Returns the owning
+/// shard and the address to retry against.
+pub fn parse_moved(text: &str) -> Option<(u32, String)> {
+    let rest = text.strip_prefix("MOVED").unwrap_or(text);
+    let mut words = rest.split_whitespace();
+    let shard = words.next()?.parse().ok()?;
+    let addr = words.next()?.to_string();
+    words.next().is_none().then_some((shard, addr))
 }
 
 fn parse_topo_ref(value: &str) -> Result<TopoRef, String> {
@@ -400,6 +420,7 @@ pub fn parse_request(line: &str) -> Result<Request, String> {
         ["RESULT", id] => Ok(Request::Result { job: job_id(id)? }),
         ["CANCEL", id] => Ok(Request::Cancel { job: job_id(id)? }),
         ["CAPS"] => Ok(Request::Caps),
+        ["CLUSTER"] => Ok(Request::Cluster),
         ["STATS"] => Ok(Request::Stats),
         ["METRICS"] => Ok(Request::Metrics),
         ["SNAPSHOT"] => Ok(Request::Snapshot),
@@ -589,6 +610,25 @@ mod tests {
         };
         let text = format_job_spec(&spec);
         assert_eq!(parse_job_spec(&text), Ok(spec), "spelling was '{text}'");
+    }
+
+    #[test]
+    fn parses_cluster_request_and_moved_replies() {
+        assert_eq!(parse_request("CLUSTER"), Ok(Request::Cluster));
+        assert!(parse_request("CLUSTER nodes").is_err());
+        assert_eq!(format_moved(3, "127.0.0.1:7480"), "MOVED 3 127.0.0.1:7480");
+        assert_eq!(
+            parse_moved("MOVED 3 127.0.0.1:7480"),
+            Some((3, "127.0.0.1:7480".to_string()))
+        );
+        // The frame payload form omits the keyword.
+        assert_eq!(
+            parse_moved("0 [::1]:9000"),
+            Some((0, "[::1]:9000".to_string()))
+        );
+        assert_eq!(parse_moved("MOVED"), None);
+        assert_eq!(parse_moved("MOVED x addr"), None);
+        assert_eq!(parse_moved("MOVED 1 addr trailing"), None);
     }
 
     #[test]

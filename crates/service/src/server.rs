@@ -18,6 +18,42 @@ use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 use std::thread::JoinHandle;
 
+/// Where a request should be served, as decided by [`ClusterHooks`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum RouteDecision {
+    /// This node owns the key (or the request is node-local); serve it.
+    Local,
+    /// Another shard owns the key; answer `MOVED <shard> <addr>`.
+    Moved {
+        /// The owning shard id.
+        shard: u32,
+        /// The owning node's client address.
+        addr: String,
+    },
+}
+
+/// Cluster integration points for the front end. A standalone daemon
+/// has none of this (every decision is [`RouteDecision::Local`]); a
+/// cluster node installs hooks that consult its hash ring.
+pub trait ClusterHooks: Send + Sync {
+    /// Route one parsed request by the topology key it names. Requests
+    /// without a routable key (PING, STATS, STATUS, ...) are `Local` —
+    /// job ids are shard-local, so clients query the shard that acked.
+    fn route(&self, request: &Request) -> RouteDecision;
+
+    /// Route an uploaded topology by its fingerprint (the `ADDTOPO`
+    /// path, where the key only exists after parsing the upload).
+    fn route_fingerprint(&self, fp: u64) -> RouteDecision;
+
+    /// Body lines of the `CLUSTER` response: node id, role, and the
+    /// member table.
+    fn cluster_lines(&self) -> Vec<String>;
+
+    /// Extra `key value` lines appended to `STATS` (per-shard routing
+    /// counters, replication lag).
+    fn stats_lines(&self) -> Vec<String>;
+}
+
 /// Daemon sizing: the core's knobs plus the worker-thread count and
 /// the event loop's connection limits.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -84,6 +120,21 @@ impl Server {
         net: NetConfig,
         core: Arc<ServiceCore>,
     ) -> std::io::Result<ServerHandle> {
+        Self::bind_with_hooks(addr, workers, net, core, None)
+    }
+
+    /// Bind a cluster node: like [`Self::bind_with_core_config`] plus
+    /// the routing hooks consulted before every request is served.
+    ///
+    /// # Errors
+    /// Propagates the bind failure.
+    pub fn bind_with_hooks<A: ToSocketAddrs>(
+        addr: A,
+        workers: usize,
+        net: NetConfig,
+        core: Arc<ServiceCore>,
+        hooks: Option<Arc<dyn ClusterHooks>>,
+    ) -> std::io::Result<ServerHandle> {
         let listener = TcpListener::bind(addr)?;
         let local_addr = listener.local_addr()?;
         let stop = Arc::new(AtomicBool::new(false));
@@ -101,6 +152,7 @@ impl Server {
                 let mut handler = ServiceHandler {
                     core: Arc::clone(&core),
                     stop: Arc::clone(&stop),
+                    hooks,
                 };
                 // Poller failures are unrecoverable for the front end;
                 // mark the daemon stopped so handles don't hang.
@@ -190,13 +242,24 @@ pub struct ConnState {
 struct ServiceHandler {
     core: Arc<ServiceCore>,
     stop: Arc<AtomicBool>,
+    hooks: Option<Arc<dyn ClusterHooks>>,
 }
 
 impl ServiceHandler {
-    /// Register an uploaded topology, producing the reply line.
+    /// Register an uploaded topology, producing the reply line. On a
+    /// cluster node the upload is routed by its fingerprint first:
+    /// uploads belong to the owning shard, so any node accepts the
+    /// bytes but only the owner registers them.
     fn finish_topo(&self, text: &str) -> String {
         match commsched_topology::from_text(text) {
             Ok(topo) => {
+                if let Some(hooks) = &self.hooks {
+                    if let RouteDecision::Moved { shard, addr } =
+                        hooks.route_fingerprint(topo.fingerprint())
+                    {
+                        return protocol::format_moved(shard, &addr);
+                    }
+                }
                 let (fp, _) = self.core.register_topology(topo);
                 format!("OK {}", protocol::format_fingerprint(fp))
             }
@@ -211,12 +274,29 @@ impl ServiceHandler {
     fn apply(&self, request: Request) -> (Vec<String>, Action) {
         let core = &self.core;
         let reply = |s: String| (vec![s], Action::Continue);
+        // Cluster routing first: a request whose topology key another
+        // shard owns is answered `MOVED <shard> <addr>` without
+        // touching this core at all.
+        if let Some(hooks) = &self.hooks {
+            if let RouteDecision::Moved { shard, addr } = hooks.route(&request) {
+                return reply(protocol::format_moved(shard, &addr));
+            }
+        }
         match request {
             Request::Ping => reply("OK pong".to_string()),
             Request::Caps => reply(format!(
-                "OK caps proto=line+binary version={} batch-submit=1 pipeline=1",
-                frame::PROTO_VERSION
+                "OK caps proto=line+binary version={} batch-submit=1 pipeline=1{}",
+                frame::PROTO_VERSION,
+                if self.hooks.is_some() {
+                    " cluster=1"
+                } else {
+                    ""
+                }
             )),
+            Request::Cluster => match &self.hooks {
+                Some(hooks) => (block("OK cluster", hooks.cluster_lines()), Action::Continue),
+                None => reply("OK standalone".to_string()),
+            },
             Request::Submit(spec) => match core.submit(spec) {
                 Ok(id) => reply(format!("OK {id}")),
                 Err(e) => reply(format!("ERR {e}")),
@@ -237,7 +317,13 @@ impl ServiceHandler {
                 Ok(lines) => (block("OK fault", lines), Action::Continue),
                 Err(e) => reply(format!("ERR {e}")),
             },
-            Request::Stats => (block("OK stats", core.stats_lines()), Action::Continue),
+            Request::Stats => {
+                let mut lines = core.stats_lines();
+                if let Some(hooks) = &self.hooks {
+                    lines.extend(hooks.stats_lines());
+                }
+                (block("OK stats", lines), Action::Continue)
+            }
             Request::Snapshot => match core.snapshot_now() {
                 Ok(bytes) => reply(format!("OK snapshot {bytes}")),
                 Err(e) => reply(format!("ERR {e}")),
@@ -304,10 +390,15 @@ fn queue_lines(out: &mut Vec<u8>, lines: &[String]) {
 }
 
 /// Encode reply lines as one binary frame: `OP_ERR` when the reply
-/// opens with `ERR`, `OP_OK` otherwise; the payload is the reply text
-/// joined with `\n` (no trailing newline).
+/// opens with `ERR`, `OP_MOVED` for a cluster redirect (payload is the
+/// `<shard> <addr>` tail), `OP_OK` otherwise; the payload is the reply
+/// text joined with `\n` (no trailing newline).
 fn queue_frame(out: &mut Vec<u8>, lines: &[String]) {
     if lines.is_empty() {
+        return;
+    }
+    if let Some(rest) = lines[0].strip_prefix("MOVED ") {
+        frame::encode_frame_into(out, frame::OP_MOVED, rest.as_bytes());
         return;
     }
     let opcode = if lines[0].starts_with("ERR") {
@@ -381,8 +472,23 @@ impl Handler for ServiceHandler {
                 Ok(specs) => {
                     // Parse every spec first; only well-formed ones
                     // reach the core's single-WAL-section batch path.
-                    let parsed: Vec<Result<protocol::JobSpec, String>> =
-                        specs.iter().map(|s| protocol::parse_job_spec(s)).collect();
+                    // On a cluster node each spec also routes by its
+                    // topology key: misrouted entries come back as
+                    // `moved <shard> <addr>` outcomes, never enqueued.
+                    let parsed: Vec<Result<protocol::JobSpec, String>> = specs
+                        .iter()
+                        .map(|s| {
+                            let spec = protocol::parse_job_spec(s)?;
+                            if let Some(hooks) = &self.hooks {
+                                if let RouteDecision::Moved { shard, addr } =
+                                    hooks.route(&Request::Submit(spec))
+                                {
+                                    return Err(format!("moved {shard} {addr}"));
+                                }
+                            }
+                            Ok(spec)
+                        })
+                        .collect();
                     let valid: Vec<protocol::JobSpec> = parsed
                         .iter()
                         .filter_map(|r| r.as_ref().ok().copied())

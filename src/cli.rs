@@ -7,6 +7,7 @@
 //! * `simulate`  — one flit-level simulation at a fixed offered load;
 //! * `sweep`     — the paper's S1..S9 load sweep for a mapping;
 //! * `serve`     — run the long-running scheduling daemon;
+//! * `cluster`   — run one node of a sharded, WAL-replicated cluster;
 //! * `submit`    — enqueue a job on a daemon and print its id;
 //! * `status`    — poll a daemon job's state;
 //! * `metrics`   — dump a daemon's Prometheus-format metrics;
@@ -124,6 +125,31 @@ pub enum Command {
         max_conns: usize,
         /// Close connections idle for this many seconds (0 = never).
         idle_timeout_secs: u64,
+    },
+    /// Run one node of a sharded scheduler cluster.
+    Cluster {
+        /// Shard this node serves (primary) or stands by for (follower).
+        node_id: u32,
+        /// Static member table, identical on every node.
+        members: Vec<commsched_cluster::Member>,
+        /// Durable state directory (always persistent — replication is
+        /// WAL shipping).
+        state_dir: String,
+        /// Replication strictness (`sync`: acked means replicated).
+        repl: commsched_cluster::ReplMode,
+        /// Primary: accept followers here (`None` = no replication).
+        repl_listen: Option<String>,
+        /// Follower: stream the primary's WAL from here, promote when
+        /// the primary dies.
+        follow: Option<String>,
+        /// Worker threads.
+        workers: usize,
+        /// Queue capacity before submissions bounce.
+        queue_cap: usize,
+        /// Distance-table cache entries.
+        cache_cap: usize,
+        /// Virtual points per shard on the hash ring.
+        vnodes: usize,
     },
     /// Drive a daemon with an open-loop load and report latency.
     Loadgen {
@@ -311,6 +337,10 @@ USAGE:
   commsched submit   --server HOST:PORT [--type schedule|sweep]
                      <topology flags> [--clusters M] [--seed S] [--points P]
                      [--strategy flat|multilevel] [--approx-eps E]
+  commsched cluster  --node-id K --members 0=H:P,1=H:P,... [--state-dir DIR]
+                     [--repl sync|async] [--repl-listen HOST:PORT]
+                     [--follow HOST:PORT] [--workers N] [--queue-cap N]
+                     [--cache-cap N] [--vnodes N]
   commsched loadgen  --server HOST:PORT [--connections N] [--rate JOBS_PER_S]
                      [--batch N] [--duration SECS] [--mode line|binary]
                      [--spec 'NOOP'] [--max-in-flight N] [--out FILE.json]
@@ -483,6 +513,28 @@ pub fn parse(args: &[String]) -> Result<Command, String> {
             idle_timeout_secs: get("idle-timeout", "0")
                 .parse()
                 .map_err(|_| "bad --idle-timeout")?,
+        }),
+        "cluster" => Ok(Command::Cluster {
+            node_id: get("node-id", "")
+                .parse()
+                .map_err(|_| "cluster needs --node-id <shard>")?,
+            members: commsched_cluster::parse_members(
+                flags
+                    .get("members")
+                    .ok_or("cluster needs --members shard=addr,...")?,
+            )?,
+            state_dir: get("state-dir", "commsched-cluster-state"),
+            repl: commsched_cluster::ReplMode::parse(&get("repl", "sync"))?,
+            repl_listen: flags.get("repl-listen").cloned(),
+            follow: flags.get("follow").cloned(),
+            workers: get("workers", "2").parse().map_err(|_| "bad --workers")?,
+            queue_cap: get("queue-cap", "16")
+                .parse()
+                .map_err(|_| "bad --queue-cap")?,
+            cache_cap: get("cache-cap", "8")
+                .parse()
+                .map_err(|_| "bad --cache-cap")?,
+            vnodes: get("vnodes", "128").parse().map_err(|_| "bad --vnodes")?,
         }),
         "loadgen" => Ok(Command::Loadgen {
             server: server.ok_or("loadgen needs --server <host:port>")?,
@@ -919,6 +971,70 @@ fn run_inner(cmd: &Command) -> Result<String, String> {
             let job = client.submit_raw(&line).map_err(|e| e.to_string())?;
             writeln!(out, "job {job}").expect("write to string");
         }
+        Command::Cluster {
+            node_id,
+            members,
+            state_dir,
+            repl,
+            repl_listen,
+            follow,
+            workers,
+            queue_cap,
+            cache_cap,
+            vnodes,
+        } => {
+            let mut config =
+                commsched_cluster::ClusterConfig::new(*node_id, members.clone(), state_dir);
+            config.repl = *repl;
+            config.repl_listen = repl_listen.clone();
+            config.follow = follow.clone();
+            config.workers = *workers;
+            config.vnodes = *vnodes;
+            config.core = ServiceCoreConfig {
+                queue_capacity: *queue_cap,
+                cache_capacity: *cache_cap,
+                ..Default::default()
+            };
+            if follow.is_some() {
+                // Standby: stream the primary's WAL; when the primary
+                // dies, promote and keep serving until shutdown.
+                println!(
+                    "commsched-cluster node {node_id} following {}",
+                    follow.as_deref().unwrap_or_default()
+                );
+                let stop = std::sync::atomic::AtomicBool::new(false);
+                let progress = std::sync::Arc::new(commsched_cluster::FollowerProgress::default());
+                match commsched_cluster::follow_and_promote(&config, &stop, &progress)? {
+                    None => {
+                        writeln!(out, "follower stopped before promotion").expect("write to string")
+                    }
+                    Some(node) => {
+                        println!(
+                            "commsched-cluster node {node_id} promoted, listening on {}",
+                            node.addr()
+                        );
+                        node.join();
+                        writeln!(out, "promoted node drained and stopped")
+                            .expect("write to string");
+                    }
+                }
+            } else {
+                let node = commsched_cluster::start_primary(&config)?;
+                println!(
+                    "recovered from {state_dir}: {} jobs requeued, {} topologies",
+                    node.recovery.recovered_jobs, node.recovery.recovered_topologies
+                );
+                if let Some(hub) = node.hub() {
+                    println!("replication listening on {}", hub.listen_addr());
+                }
+                println!(
+                    "commsched-cluster node {node_id} primary listening on {}",
+                    node.addr()
+                );
+                node.join();
+                writeln!(out, "cluster node drained and stopped").expect("write to string");
+            }
+        }
         Command::Loadgen {
             server,
             config,
@@ -1173,6 +1289,53 @@ mod tests {
             }
             other => panic!("wrong parse: {other:?}"),
         }
+    }
+
+    #[test]
+    fn parse_cluster_subcommand() {
+        assert_eq!(
+            parse(&argv(
+                "cluster --node-id 1 --members 0=127.0.0.1:7478,1=127.0.0.1:7479 \
+                 --state-dir /tmp/cs-node1 --repl async --repl-listen 127.0.0.1:7500 \
+                 --workers 3 --vnodes 64"
+            ))
+            .unwrap(),
+            Command::Cluster {
+                node_id: 1,
+                members: commsched_cluster::parse_members("0=127.0.0.1:7478,1=127.0.0.1:7479")
+                    .unwrap(),
+                state_dir: "/tmp/cs-node1".into(),
+                repl: commsched_cluster::ReplMode::Async,
+                repl_listen: Some("127.0.0.1:7500".into()),
+                follow: None,
+                workers: 3,
+                queue_cap: 16,
+                cache_cap: 8,
+                vnodes: 64,
+            }
+        );
+        // A follower names the primary's replication stream.
+        match parse(&argv(
+            "cluster --node-id 0 --members 0=127.0.0.1:7478 --follow 127.0.0.1:7500",
+        ))
+        .unwrap()
+        {
+            Command::Cluster { repl, follow, .. } => {
+                assert_eq!(repl, commsched_cluster::ReplMode::Sync);
+                assert_eq!(follow, Some("127.0.0.1:7500".into()));
+            }
+            other => panic!("wrong parse: {other:?}"),
+        }
+        assert!(parse(&argv("cluster --members 0=h:1")).is_err(), "node id");
+        assert!(parse(&argv("cluster --node-id 0")).is_err(), "members");
+        assert!(
+            parse(&argv("cluster --node-id 0 --members 0=h:1,0=h:2")).is_err(),
+            "duplicate shard"
+        );
+        assert!(
+            parse(&argv("cluster --node-id 0 --members 0=h:1 --repl maybe")).is_err(),
+            "repl mode"
+        );
     }
 
     #[test]
