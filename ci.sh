@@ -24,8 +24,8 @@ cargo test -q --workspace
 echo "==> cargo bench --workspace --no-run"
 cargo bench --workspace --no-run
 
-echo "==> perfbase --smoke (perf sanity: sparse == dense, tabu determinism, dynamics repair >= 3x rebuild, net front-end sweep, multilevel scale gate)"
-./target/release/perfbase --smoke --out /tmp/perfbase_smoke.json --out-dynamics /tmp/perfbase_smoke_pr4.json --out-service /tmp/perfbase_smoke_pr5.json --out-net /tmp/perfbase_smoke_pr6.json --out-scale /tmp/perfbase_smoke_pr7.json
+echo "==> perfbase --smoke (perf sanity: sparse == dense, tabu determinism, dynamics repair >= 3x rebuild, net front-end sweep, multilevel scale gate, scenario warm-remap >= 3x cold + thread-count bit-identity)"
+./target/release/perfbase --smoke --out /tmp/perfbase_smoke.json --out-dynamics /tmp/perfbase_smoke_pr4.json --out-service /tmp/perfbase_smoke_pr5.json --out-net /tmp/perfbase_smoke_pr6.json --out-scale /tmp/perfbase_smoke_pr7.json --out-scenarios /tmp/perfbase_smoke_pr9.json
 
 echo "==> perfbase --smoke --only-cluster (shard scaling gates: >= 1.7x at 2, >= 3x at 4; sync replication row)"
 ./target/release/perfbase --smoke --only-cluster --out-cluster /tmp/perfbase_smoke_pr8.json
@@ -112,6 +112,33 @@ grep -q '"jobs_acked":0,' "$SMOKE_DIR/loadgen.json" \
 kill -9 "$SERVE_PID" 2>/dev/null || true
 wait "$SERVE_PID" 2>/dev/null || true
 echo "loadgen smoke: ok"
+
+echo "==> scenario smoke (20s Poisson closed loop vs live daemon: zero misses at low rate, mirror acked)"
+./target/release/commsched serve --addr 127.0.0.1:0 --workers 2 --no-persist \
+    --queue-cap 100000 >"$SMOKE_DIR/serve4.log" 2>&1 &
+SERVE_PID=$!
+ADDR=""
+for _ in $(seq 1 100); do
+    ADDR=$(sed -n 's/^commsched-service listening on //p' "$SMOKE_DIR/serve4.log")
+    if [ -n "$ADDR" ] && ./target/release/commsched metrics --server "$ADDR" >/dev/null 2>&1; then
+        break
+    fi
+    ADDR=""
+    sleep 0.1
+done
+[ -n "$ADDR" ] || { echo "scenario smoke: server never came up"; cat "$SMOKE_DIR/serve4.log"; exit 1; }
+./target/release/commsched scenario --arrivals poisson:20 --duration 20 --seed 7 \
+    --migration threshold:0.1 --server "$ADDR" >"$SMOKE_DIR/scenario.out" \
+    || { echo "scenario smoke: run failed"; cat "$SMOKE_DIR/scenario.out"; exit 1; }
+grep -q '^slo policy=threshold:0.1 ' "$SMOKE_DIR/scenario.out" \
+    || { echo "scenario smoke: no SLO report"; cat "$SMOKE_DIR/scenario.out"; exit 1; }
+grep -q '^slo deadline .* miss=0 ' "$SMOKE_DIR/scenario.out" \
+    || { echo "scenario smoke: deadline misses at low rate"; cat "$SMOKE_DIR/scenario.out"; exit 1; }
+grep -q '^daemon mirror: ' "$SMOKE_DIR/scenario.out" \
+    || { echo "scenario smoke: no daemon mirror line"; cat "$SMOKE_DIR/scenario.out"; exit 1; }
+kill -9 "$SERVE_PID" 2>/dev/null || true
+wait "$SERVE_PID" 2>/dev/null || true
+echo "scenario smoke: ok"
 
 echo "==> cluster failover smoke (primary + standby -> submit -> SIGKILL primary -> promoted node serves)"
 # Reserve a concrete port for the member address: the standby re-binds

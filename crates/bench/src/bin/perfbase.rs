@@ -53,10 +53,17 @@
 //! same load against a sync-replicated primary with a live follower
 //! and captures the replication-lag/barrier histogram from `METRICS`.
 //!
+//! A seventh section gates the online scenario engine
+//! (`BENCH_pr9.json`): one churn trace (the skewed Poisson mix) runs
+//! with cost-charged migration and a cold reference search at every
+//! remap point — warm-started remapping must spend ≤ 1/3 of the cold
+//! searches' tabu iterations — and the same run at tabu thread counts
+//! 1 and 2 must produce bit-identical event-log digests.
+//!
 //! Usage: `perfbase [--smoke] [--only-cluster] [--out PATH]
 //!                  [--out-dynamics PATH] [--out-service PATH]
 //!                  [--out-net PATH] [--out-scale PATH]
-//!                  [--out-cluster PATH]`
+//!                  [--out-cluster PATH] [--out-scenarios PATH]`
 //!
 //! `--only-cluster` skips the pr2..pr7 sections and runs just the
 //! cluster sweep — the earlier baselines are expensive full-machine
@@ -77,6 +84,8 @@
 //!   (default `BENCH_pr7.json`).
 //! * `--out-cluster PATH` — where to write the cluster-scaling JSON
 //!   (default `BENCH_pr8.json`).
+//! * `--out-scenarios PATH` — where to write the scenario-engine JSON
+//!   (default `BENCH_pr9.json`).
 
 use commsched_bench::{Testbed, SEARCH_SEED};
 use commsched_cluster::follower::run_follower;
@@ -349,6 +358,8 @@ fn time_submits(core: &ServiceCore, submits: usize) -> f64 {
         },
         strategy: commsched_search::MapStrategy::Flat,
         approx_eps_micros: 0,
+        deadline_ms: None,
+        mem: 0,
     };
     let t0 = Instant::now();
     for _ in 0..submits {
@@ -561,6 +572,7 @@ fn measure_net(smoke: bool) -> NetReport {
                     mode,
                     spec: "NOOP".to_string(),
                     max_in_flight: 32,
+                    deadline_ms: None,
                 },
             )
             .expect("loadgen run");
@@ -612,6 +624,7 @@ fn measure_net(smoke: bool) -> NetReport {
             mode: WireMode::Line,
             spec: "NOOP".to_string(),
             max_in_flight: 0,
+            deadline_ms: None,
         },
     )
     .expect("sustain loadgen run");
@@ -978,6 +991,7 @@ fn measure_cluster(smoke: bool) -> ClusterBench {
         mode: WireMode::Binary,
         spec: "NOOP".to_string(),
         max_in_flight: 64,
+        deadline_ms: None,
     };
 
     let mut rows = Vec::new();
@@ -1171,6 +1185,12 @@ fn main() {
         .and_then(|i| args.get(i + 1))
         .cloned()
         .unwrap_or_else(|| "BENCH_pr8.json".to_string());
+    let scenarios_out_path = args
+        .iter()
+        .position(|a| a == "--out-scenarios")
+        .and_then(|i| args.get(i + 1))
+        .cloned()
+        .unwrap_or_else(|| "BENCH_pr9.json".to_string());
 
     let (sizes, reps): (&[usize], usize) = if smoke {
         (&[16, 24], 1)
@@ -1497,4 +1517,135 @@ fn main() {
     json.push_str("  ]\n}\n");
     std::fs::write(&cluster_out_path, &json).expect("write cluster benchmark json");
     println!("perfbase: wrote {cluster_out_path}");
+
+    if !only_cluster {
+        // The scenario-engine gate: warm remaps must stay cheap and the
+        // run must be thread-count invariant. Asserts in every run,
+        // smoke included.
+        eprintln!("perfbase: scenario engine gate ...");
+        let sc = measure_scenarios(smoke);
+        eprintln!(
+            "  churn {} arrivals, {} remaps: warm {} it vs cold {} it ({:.2}x); \
+             digests t1/t2 {}; attainment {:.1}% vs static {:.1}%",
+            sc.arrivals,
+            sc.remaps,
+            sc.warm_iterations,
+            sc.cold_iterations,
+            sc.warm_vs_cold_ratio,
+            if sc.digests_identical {
+                "identical"
+            } else {
+                "DIVERGED"
+            },
+            sc.attainment_migrating * 100.0,
+            sc.attainment_static * 100.0,
+        );
+        let json = format!(
+            "{{\n  \"bench\": \"pr9-scenarios\",\n  \"smoke\": {smoke},\n  \"machine_threads\": {threads},\n  \"arrival_rate_jobs_per_sec\": {:.0},\n  \"virtual_duration_us\": {},\n  \"arrivals\": {},\n  \"remaps\": {},\n  \"warm_iterations\": {},\n  \"cold_iterations\": {},\n  \"warm_vs_cold_ratio\": {:.3},\n  \"digest_threads_1\": \"{:#018x}\",\n  \"digest_threads_2\": \"{:#018x}\",\n  \"digests_identical\": {},\n  \"migrations_accepted\": {},\n  \"migrations_rejected\": {},\n  \"migration_cost\": {:.3},\n  \"attainment_migrating\": {:.4},\n  \"attainment_static\": {:.4},\n  \"p99_migrating_us\": {},\n  \"p99_static_us\": {}\n}}\n",
+            sc.rate,
+            sc.duration_us,
+            sc.arrivals,
+            sc.remaps,
+            sc.warm_iterations,
+            sc.cold_iterations,
+            sc.warm_vs_cold_ratio,
+            sc.digest_t1,
+            sc.digest_t2,
+            sc.digests_identical,
+            sc.migrations_accepted,
+            sc.migrations_rejected,
+            sc.migration_cost,
+            sc.attainment_migrating,
+            sc.attainment_static,
+            sc.p99_migrating_us,
+            sc.p99_static_us,
+        );
+        std::fs::write(&scenarios_out_path, &json).expect("write scenarios benchmark json");
+        println!("perfbase: wrote {scenarios_out_path}");
+    }
+}
+
+struct ScenarioBench {
+    rate: f64,
+    duration_us: u64,
+    arrivals: u64,
+    remaps: u64,
+    warm_iterations: u64,
+    cold_iterations: u64,
+    warm_vs_cold_ratio: f64,
+    digest_t1: u64,
+    digest_t2: u64,
+    digests_identical: bool,
+    migrations_accepted: u64,
+    migrations_rejected: u64,
+    migration_cost: f64,
+    attainment_migrating: f64,
+    attainment_static: f64,
+    p99_migrating_us: u64,
+    p99_static_us: u64,
+}
+
+/// The PR-9 scenario gate: one skewed churn trace on the paper network.
+/// Gate 1 — across the whole trace, warm-started remaps must spend at
+/// most 1/3 of the tabu iterations the cold reference searches spend at
+/// the same decision points. Gate 2 — the run is bit-deterministic for
+/// a fixed seed across tabu thread counts {1, 2}.
+fn measure_scenarios(smoke: bool) -> ScenarioBench {
+    use commsched_scenarios::{
+        poisson_trace, run_scenario, MigrationPolicy, ScenarioConfig, WorkloadShape,
+    };
+    let topo = commsched_topology::designed::paper_24_switch();
+    let rate = 80.0;
+    let duration_us: u64 = if smoke { 2_000_000 } else { 20_000_000 };
+    let shape = WorkloadShape::skewed(topo.num_switches(), topo.hosts_per_switch());
+    let trace = poisson_trace(rate, duration_us, 7, &shape);
+
+    let mut cfg = ScenarioConfig::new(topo);
+    cfg.migration = MigrationPolicy::Threshold(0.1);
+    cfg.seed = 7;
+    cfg.threads = 1;
+    cfg.compare_cold = true;
+    let warm = run_scenario(&cfg, &trace).expect("scenario run");
+    assert!(warm.remaps > 0, "churn trace produced no remap points");
+    let ratio = warm.cold_iterations as f64 / warm.remap_iterations.max(1) as f64;
+    assert!(
+        ratio >= 3.0,
+        "warm remap gate: cold spent {} iterations vs warm {} ({ratio:.2}x < 3x)",
+        warm.cold_iterations,
+        warm.remap_iterations
+    );
+
+    cfg.compare_cold = false;
+    let t1 = run_scenario(&cfg, &trace).expect("threads=1 run");
+    cfg.threads = 2;
+    let t2 = run_scenario(&cfg, &trace).expect("threads=2 run");
+    assert_eq!(
+        t1.event_digest, t2.event_digest,
+        "scenario run diverged across tabu thread counts"
+    );
+    assert_eq!(t1.events, t2.events, "event logs diverged despite digests");
+
+    let mut static_cfg = cfg.clone();
+    static_cfg.migration = MigrationPolicy::Off;
+    let st = run_scenario(&static_cfg, &trace).expect("static baseline run");
+
+    ScenarioBench {
+        rate,
+        duration_us,
+        arrivals: warm.arrivals,
+        remaps: warm.remaps,
+        warm_iterations: warm.remap_iterations,
+        cold_iterations: warm.cold_iterations,
+        warm_vs_cold_ratio: ratio,
+        digest_t1: t1.event_digest,
+        digest_t2: t2.event_digest,
+        digests_identical: t1.event_digest == t2.event_digest,
+        migrations_accepted: warm.migrations_accepted,
+        migrations_rejected: warm.migrations_rejected,
+        migration_cost: warm.migration_cost,
+        attainment_migrating: warm.deadline_attainment(),
+        attainment_static: st.deadline_attainment(),
+        p99_migrating_us: warm.response_p99_us,
+        p99_static_us: st.response_p99_us,
+    }
 }

@@ -1,0 +1,63 @@
+#![warn(missing_docs)]
+
+//! Online-workload scenarios for the communication-aware scheduler:
+//! arrival streams, deadlines, data-aware task graphs, and cost-charged
+//! migration.
+//!
+//! The paper maps a fixed process graph once. Real systems see jobs
+//! *arrive*: each carries a task graph with data volumes on the edges, a
+//! memory demand, and possibly a deadline, and the mapping that was
+//! optimal at admission decays as neighbours come and go. This crate
+//! closes that loop with a deterministic, seedable discrete-event engine
+//! ([`run_scenario`]): Poisson or trace-driven arrivals
+//! ([`poisson_trace`], [`parse_trace`]), first-fit capacitated
+//! admission, and — under [`MigrationPolicy::Threshold`] — warm-started
+//! tabu remaps on every arrival and departure whose proposals are
+//! charged the migration bill (bytes moved × distance) before being
+//! accepted against the `F_G` gain.
+//!
+//! Determinism is load-bearing: the same `(config, trace)` produces a
+//! byte-identical event log and [`SloReport`] at every tabu thread
+//! count, so SLO comparisons (migrating vs static) and the warm-vs-cold
+//! iteration gate in the bench suite are exactly reproducible.
+
+pub mod engine;
+pub mod report;
+pub mod trace;
+
+pub use engine::{run_scenario, MigrationPolicy, ScenarioConfig, ScenarioError};
+pub use report::SloReport;
+pub use trace::{format_trace, parse_trace, poisson_trace, JobArrival, TraceError, WorkloadShape};
+
+use commsched_telemetry as telemetry;
+use std::sync::OnceLock;
+
+/// Telemetry handles for the scenario engine, resolved once per process.
+pub(crate) struct ScnMetrics {
+    pub(crate) arrivals: telemetry::Counter,
+    pub(crate) deadline_miss: telemetry::Counter,
+    pub(crate) migrations: telemetry::Counter,
+    pub(crate) remap_iters: telemetry::Histo,
+}
+
+pub(crate) fn metrics() -> &'static ScnMetrics {
+    static METRICS: OnceLock<ScnMetrics> = OnceLock::new();
+    METRICS.get_or_init(|| {
+        let r = telemetry::global();
+        ScnMetrics {
+            arrivals: r.counter("scn_arrivals", "Scenario job arrivals processed"),
+            deadline_miss: r.counter(
+                "scn_deadline_miss",
+                "Scenario jobs that missed their deadline",
+            ),
+            migrations: r.counter(
+                "scn_migrations",
+                "Accepted remap proposals that moved a resident job",
+            ),
+            remap_iters: r.histogram(
+                "scn_remap_iters",
+                "Tabu iterations per warm-started scenario remap",
+            ),
+        }
+    })
+}

@@ -1,0 +1,165 @@
+//! The SLO report a scenario run produces: deadline attainment,
+//! latency percentiles, and the migration ledger, plus the event-log
+//! digest that identifies the run for determinism checks.
+
+use std::fmt;
+
+/// Aggregate outcome of one scenario run.
+///
+/// All counters are in virtual time/events; `events` is the full
+/// chronological log (one line per engine event) and `event_digest` its
+/// FNV-1a fingerprint — two runs are bit-identical iff the digests
+/// match.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SloReport {
+    /// The migration policy the run used (`off` or `threshold:X`).
+    pub policy: String,
+    /// Jobs that arrived.
+    pub arrivals: u64,
+    /// Arrivals no placement could ever satisfy (too wide / too heavy).
+    pub rejected: u64,
+    /// Arrivals that had to wait in the FIFO queue.
+    pub queued: u64,
+    /// Jobs that ran to completion.
+    pub completed: u64,
+    /// Completed jobs that carried a deadline.
+    pub deadline_total: u64,
+    /// ... of which finished on time.
+    pub deadline_met: u64,
+    /// ... of which finished late.
+    pub deadline_missed: u64,
+    /// Virtual time of the last completion.
+    pub makespan_us: u64,
+    /// Mean response time (arrival → completion, queue wait included).
+    pub response_mean_us: u64,
+    /// Median response time.
+    pub response_p50_us: u64,
+    /// 99th-percentile response time.
+    pub response_p99_us: u64,
+    /// Warm remap rounds executed.
+    pub remaps: u64,
+    /// Total tabu iterations spent across all warm remaps.
+    pub remap_iterations: u64,
+    /// Iterations the cold reference searches spent (only populated
+    /// when the run compared against cold mapping).
+    pub cold_iterations: u64,
+    /// Remap proposals accepted that moved at least one resident job.
+    pub migrations_accepted: u64,
+    /// Remap proposals rejected as unprofitable (or capacity-infeasible)
+    /// that would have moved a resident job.
+    pub migrations_rejected: u64,
+    /// Switches reassigned between resident jobs by accepted proposals.
+    pub switches_moved: u64,
+    /// Total migration bill charged: Σ bytes moved × distance.
+    pub migration_cost: f64,
+    /// FNV-1a fingerprint of `events`.
+    pub event_digest: u64,
+    /// Chronological event log.
+    pub events: Vec<String>,
+}
+
+impl SloReport {
+    pub(crate) fn new(policy: &str) -> Self {
+        Self {
+            policy: policy.to_string(),
+            arrivals: 0,
+            rejected: 0,
+            queued: 0,
+            completed: 0,
+            deadline_total: 0,
+            deadline_met: 0,
+            deadline_missed: 0,
+            makespan_us: 0,
+            response_mean_us: 0,
+            response_p50_us: 0,
+            response_p99_us: 0,
+            remaps: 0,
+            remap_iterations: 0,
+            cold_iterations: 0,
+            migrations_accepted: 0,
+            migrations_rejected: 0,
+            switches_moved: 0,
+            migration_cost: 0.0,
+            event_digest: 0,
+            events: Vec::new(),
+        }
+    }
+
+    /// Fraction of deadline-carrying completions that met their
+    /// deadline (1.0 when none carried one).
+    pub fn deadline_attainment(&self) -> f64 {
+        if self.deadline_total == 0 {
+            1.0
+        } else {
+            self.deadline_met as f64 / self.deadline_total as f64
+        }
+    }
+}
+
+impl fmt::Display for SloReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "slo policy={} arrivals={} rejected={} queued={} completed={}",
+            self.policy, self.arrivals, self.rejected, self.queued, self.completed
+        )?;
+        writeln!(
+            f,
+            "slo deadline total={} met={} miss={} attainment={:.2}%",
+            self.deadline_total,
+            self.deadline_met,
+            self.deadline_missed,
+            self.deadline_attainment() * 100.0
+        )?;
+        writeln!(
+            f,
+            "slo latency makespan={}us mean={}us p50={}us p99={}us",
+            self.makespan_us, self.response_mean_us, self.response_p50_us, self.response_p99_us
+        )?;
+        writeln!(
+            f,
+            "slo remap rounds={} iterations={} cold-iterations={}",
+            self.remaps, self.remap_iterations, self.cold_iterations
+        )?;
+        writeln!(
+            f,
+            "slo migration accepted={} rejected={} switches-moved={} cost={:.3}",
+            self.migrations_accepted,
+            self.migrations_rejected,
+            self.switches_moved,
+            self.migration_cost
+        )?;
+        write!(f, "slo digest={:#018x}", self.event_digest)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn attainment_handles_zero_deadlines() {
+        let mut r = SloReport::new("off");
+        assert_eq!(r.deadline_attainment(), 1.0);
+        r.deadline_total = 4;
+        r.deadline_met = 3;
+        assert!((r.deadline_attainment() - 0.75).abs() < 1e-12);
+    }
+
+    #[test]
+    fn display_names_every_slo_dimension() {
+        let r = SloReport::new("threshold:0.1");
+        let text = r.to_string();
+        for needle in [
+            "policy=threshold:0.1",
+            "deadline total=",
+            "miss=",
+            "p99=",
+            "cold-iterations=",
+            "switches-moved=",
+            "digest=0x",
+        ] {
+            assert!(text.contains(needle), "missing {needle} in:\n{text}");
+        }
+    }
+}

@@ -1,0 +1,576 @@
+//! Arrival traces: the input of a scenario run.
+//!
+//! A trace is an ordered list of [`JobArrival`]s in virtual microseconds.
+//! Traces come from two sources — a seeded Poisson generator
+//! ([`poisson_trace`]) or a JSONL file ([`parse_trace`]) — and both feed
+//! the same engine, so a generated workload can be dumped with
+//! [`format_trace`], edited by hand, and replayed bit-identically.
+//!
+//! The JSONL grammar is deliberately tiny (no external JSON dependency):
+//! one object per line, integer scalars only,
+//!
+//! ```text
+//! {"t_us":1000,"base_us":20000,"mem":[256,256],"edges":[[0,1,4096]],"deadline_us":60000}
+//! ```
+//!
+//! `deadline_us` may be omitted or `null` for best-effort jobs.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::fmt;
+
+/// One job entering the system at virtual time `t_us`.
+///
+/// The job is a task graph: `mem[k]` is task `k`'s resident-memory
+/// demand in bytes, and each `(a, b, vol)` edge moves `vol` bytes
+/// between tasks `a` and `b` for the lifetime of the job. `base_us` is
+/// the service demand at communication-free speed; the engine stretches
+/// it by the placement's weighted distance.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct JobArrival {
+    /// Arrival instant, virtual microseconds from scenario start.
+    pub t_us: u64,
+    /// Per-task memory demand in bytes (`mem.len()` is the task count).
+    pub mem: Vec<u64>,
+    /// Task-graph edges `(task_a, task_b, bytes)` with data volumes.
+    pub edges: Vec<(usize, usize, u64)>,
+    /// Service demand in virtual microseconds at speed 1.
+    pub base_us: u64,
+    /// Absolute completion deadline (virtual microseconds), if any.
+    pub deadline_us: Option<u64>,
+}
+
+impl JobArrival {
+    /// Total memory demand across all tasks.
+    pub fn total_mem(&self) -> u64 {
+        self.mem.iter().sum()
+    }
+
+    /// Total data volume across all edges.
+    pub fn total_volume(&self) -> u64 {
+        self.edges.iter().map(|&(_, _, v)| v).sum()
+    }
+
+    /// Validate internal consistency (edge endpoints in range, at least
+    /// one task).
+    pub fn validate(&self) -> Result<(), String> {
+        if self.mem.is_empty() {
+            return Err("job has no tasks".into());
+        }
+        for &(a, b, _) in &self.edges {
+            if a >= self.mem.len() || b >= self.mem.len() {
+                return Err(format!(
+                    "edge ({a},{b}) out of range for {} tasks",
+                    self.mem.len()
+                ));
+            }
+        }
+        Ok(())
+    }
+}
+
+/// Error from [`parse_trace`]: the offending 1-based line and what went
+/// wrong there.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TraceError {
+    /// 1-based line number in the JSONL input.
+    pub line: usize,
+    /// Human-readable description of the problem.
+    pub msg: String,
+}
+
+impl fmt::Display for TraceError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "trace line {}: {}", self.line, self.msg)
+    }
+}
+
+impl std::error::Error for TraceError {}
+
+// ---------------------------------------------------------------------
+// Minimal JSON reader for the fixed trace schema. Supports objects,
+// arrays, unsigned integers, `null`, and double-quoted keys — exactly
+// what the grammar above needs, nothing more.
+// ---------------------------------------------------------------------
+
+#[derive(Debug, Clone, PartialEq)]
+enum Json {
+    Num(u64),
+    Arr(Vec<Json>),
+    Obj(Vec<(String, Json)>),
+    Null,
+}
+
+struct Reader<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Reader<'a> {
+    fn new(s: &'a str) -> Self {
+        Self {
+            bytes: s.as_bytes(),
+            pos: 0,
+        }
+    }
+
+    fn skip_ws(&mut self) {
+        while self.pos < self.bytes.len() && self.bytes[self.pos].is_ascii_whitespace() {
+            self.pos += 1;
+        }
+    }
+
+    fn peek(&mut self) -> Option<u8> {
+        self.skip_ws();
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn expect(&mut self, c: u8) -> Result<(), String> {
+        match self.peek() {
+            Some(b) if b == c => {
+                self.pos += 1;
+                Ok(())
+            }
+            Some(b) => Err(format!(
+                "expected '{}' at byte {}, found '{}'",
+                c as char, self.pos, b as char
+            )),
+            None => Err(format!("expected '{}' at end of line", c as char)),
+        }
+    }
+
+    fn value(&mut self) -> Result<Json, String> {
+        match self.peek() {
+            Some(b'{') => self.object(),
+            Some(b'[') => self.array(),
+            Some(b'n') => {
+                if self.bytes[self.pos..].starts_with(b"null") {
+                    self.pos += 4;
+                    Ok(Json::Null)
+                } else {
+                    Err(format!("bad literal at byte {}", self.pos))
+                }
+            }
+            Some(b) if b.is_ascii_digit() => self.number(),
+            Some(b) => Err(format!("unexpected '{}' at byte {}", b as char, self.pos)),
+            None => Err("unexpected end of line".into()),
+        }
+    }
+
+    fn number(&mut self) -> Result<Json, String> {
+        let start = self.pos;
+        while self.pos < self.bytes.len() && self.bytes[self.pos].is_ascii_digit() {
+            self.pos += 1;
+        }
+        let text = std::str::from_utf8(&self.bytes[start..self.pos]).unwrap();
+        text.parse::<u64>()
+            .map(Json::Num)
+            .map_err(|_| format!("integer '{text}' out of range"))
+    }
+
+    fn string(&mut self) -> Result<String, String> {
+        self.expect(b'"')?;
+        let start = self.pos;
+        while self.pos < self.bytes.len() && self.bytes[self.pos] != b'"' {
+            if self.bytes[self.pos] == b'\\' {
+                return Err("escape sequences are not supported in trace keys".into());
+            }
+            self.pos += 1;
+        }
+        if self.pos >= self.bytes.len() {
+            return Err("unterminated string".into());
+        }
+        let s = std::str::from_utf8(&self.bytes[start..self.pos])
+            .map_err(|_| "non-UTF-8 key".to_string())?
+            .to_string();
+        self.pos += 1;
+        Ok(s)
+    }
+
+    fn array(&mut self) -> Result<Json, String> {
+        self.expect(b'[')?;
+        let mut items = Vec::new();
+        if self.peek() == Some(b']') {
+            self.pos += 1;
+            return Ok(Json::Arr(items));
+        }
+        loop {
+            items.push(self.value()?);
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b']') => {
+                    self.pos += 1;
+                    return Ok(Json::Arr(items));
+                }
+                _ => return Err(format!("expected ',' or ']' at byte {}", self.pos)),
+            }
+        }
+    }
+
+    fn object(&mut self) -> Result<Json, String> {
+        self.expect(b'{')?;
+        let mut fields = Vec::new();
+        if self.peek() == Some(b'}') {
+            self.pos += 1;
+            return Ok(Json::Obj(fields));
+        }
+        loop {
+            let key = self.string()?;
+            self.expect(b':')?;
+            let val = self.value()?;
+            fields.push((key, val));
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b'}') => {
+                    self.pos += 1;
+                    return Ok(Json::Obj(fields));
+                }
+                _ => return Err(format!("expected ',' or '}}' at byte {}", self.pos)),
+            }
+        }
+    }
+}
+
+fn field<'j>(obj: &'j [(String, Json)], key: &str) -> Option<&'j Json> {
+    obj.iter().find(|(k, _)| k == key).map(|(_, v)| v)
+}
+
+fn num_field(obj: &[(String, Json)], key: &str) -> Result<u64, String> {
+    match field(obj, key) {
+        Some(Json::Num(n)) => Ok(*n),
+        Some(_) => Err(format!("'{key}' must be an unsigned integer")),
+        None => Err(format!("missing required key '{key}'")),
+    }
+}
+
+fn arrival_from_json(value: &Json) -> Result<JobArrival, String> {
+    let Json::Obj(obj) = value else {
+        return Err("each trace line must be a JSON object".into());
+    };
+    for (k, _) in obj {
+        if !matches!(
+            k.as_str(),
+            "t_us" | "base_us" | "mem" | "edges" | "deadline_us"
+        ) {
+            return Err(format!("unknown key '{k}'"));
+        }
+    }
+    let t_us = num_field(obj, "t_us")?;
+    let base_us = num_field(obj, "base_us")?;
+    let mem = match field(obj, "mem") {
+        Some(Json::Arr(items)) => items
+            .iter()
+            .map(|v| match v {
+                Json::Num(n) => Ok(*n),
+                _ => Err("'mem' entries must be unsigned integers".to_string()),
+            })
+            .collect::<Result<Vec<_>, _>>()?,
+        Some(_) => return Err("'mem' must be an array".into()),
+        None => return Err("missing required key 'mem'".into()),
+    };
+    let edges = match field(obj, "edges") {
+        Some(Json::Arr(items)) => items
+            .iter()
+            .map(|v| match v {
+                Json::Arr(triple) => match triple.as_slice() {
+                    [Json::Num(a), Json::Num(b), Json::Num(vol)] => {
+                        Ok((*a as usize, *b as usize, *vol))
+                    }
+                    _ => Err("each edge must be [task_a, task_b, bytes]".to_string()),
+                },
+                _ => Err("'edges' entries must be arrays".to_string()),
+            })
+            .collect::<Result<Vec<_>, _>>()?,
+        Some(_) => return Err("'edges' must be an array".into()),
+        None => Vec::new(),
+    };
+    let deadline_us = match field(obj, "deadline_us") {
+        Some(Json::Num(n)) => Some(*n),
+        Some(Json::Null) | None => None,
+        Some(_) => return Err("'deadline_us' must be an unsigned integer or null".into()),
+    };
+    let arrival = JobArrival {
+        t_us,
+        mem,
+        edges,
+        base_us,
+        deadline_us,
+    };
+    arrival.validate()?;
+    Ok(arrival)
+}
+
+/// Parse a JSONL trace. Blank lines and `#` comment lines are skipped.
+/// Arrivals must be sorted by `t_us` (ties allowed — file order is the
+/// tie-break, and the engine preserves it).
+///
+/// # Errors
+/// [`TraceError`] pinpoints the first malformed line.
+pub fn parse_trace(text: &str) -> Result<Vec<JobArrival>, TraceError> {
+    let mut out = Vec::new();
+    let mut last_t = 0u64;
+    for (idx, line) in text.lines().enumerate() {
+        let lineno = idx + 1;
+        let trimmed = line.trim();
+        if trimmed.is_empty() || trimmed.starts_with('#') {
+            continue;
+        }
+        let mut reader = Reader::new(trimmed);
+        let value = reader
+            .value()
+            .map_err(|msg| TraceError { line: lineno, msg })?;
+        reader.skip_ws();
+        if reader.pos != reader.bytes.len() {
+            return Err(TraceError {
+                line: lineno,
+                msg: format!("trailing garbage after object at byte {}", reader.pos),
+            });
+        }
+        let arrival = arrival_from_json(&value).map_err(|msg| TraceError { line: lineno, msg })?;
+        if arrival.t_us < last_t {
+            return Err(TraceError {
+                line: lineno,
+                msg: format!(
+                    "arrivals out of order: t_us {} after {}",
+                    arrival.t_us, last_t
+                ),
+            });
+        }
+        last_t = arrival.t_us;
+        out.push(arrival);
+    }
+    Ok(out)
+}
+
+/// Render a trace back to the JSONL grammar accepted by [`parse_trace`].
+/// Key order is fixed, so format → parse → format is the identity.
+pub fn format_trace(trace: &[JobArrival]) -> String {
+    let mut out = String::new();
+    for a in trace {
+        out.push_str(&format!(
+            "{{\"t_us\":{},\"base_us\":{},\"mem\":[",
+            a.t_us, a.base_us
+        ));
+        for (i, m) in a.mem.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str(&m.to_string());
+        }
+        out.push_str("],\"edges\":[");
+        for (i, &(x, y, v)) in a.edges.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str(&format!("[{x},{y},{v}]"));
+        }
+        out.push(']');
+        if let Some(d) = a.deadline_us {
+            out.push_str(&format!(",\"deadline_us\":{d}"));
+        }
+        out.push_str("}\n");
+    }
+    out
+}
+
+/// Shape of the synthetic Poisson workload: a skewed two-class mix of
+/// small churny jobs and wide communication-heavy jobs.
+///
+/// The small class turns over quickly and fragments the free-switch
+/// list; the wide class then lands on scattered switches, which is
+/// exactly the situation migration is supposed to repair. Deadlines are
+/// sized from `base_us` with class-specific slack.
+#[derive(Debug, Clone, PartialEq)]
+pub struct WorkloadShape {
+    /// Tasks in a small job.
+    pub small_tasks: usize,
+    /// Tasks in a wide job.
+    pub wide_tasks: usize,
+    /// Probability an arrival is a wide job.
+    pub wide_fraction: f64,
+    /// Service demand range for small jobs, virtual µs.
+    pub small_base_us: (u64, u64),
+    /// Service demand range for wide jobs, virtual µs.
+    pub wide_base_us: (u64, u64),
+    /// Memory demand per task, bytes.
+    pub mem_per_task: u64,
+    /// Data volume per task-graph edge, bytes.
+    pub vol_per_edge: u64,
+    /// Deadline slack: deadline = arrival + slack × base (None = no
+    /// deadline for that class).
+    pub small_slack: Option<f64>,
+    /// Deadline slack for wide jobs.
+    pub wide_slack: Option<f64>,
+}
+
+impl WorkloadShape {
+    /// The default skewed mix, scaled to a network of `switches`
+    /// switches with `hosts_per_switch` hosts each: wide jobs span about
+    /// a third of the network, small jobs a single switch.
+    pub fn skewed(switches: usize, hosts_per_switch: usize) -> Self {
+        let h = hosts_per_switch.max(1);
+        Self {
+            small_tasks: h,
+            wide_tasks: (switches / 6).max(2) * h,
+            wide_fraction: 0.35,
+            small_base_us: (40_000, 120_000),
+            wide_base_us: (120_000, 220_000),
+            mem_per_task: 64,
+            vol_per_edge: 4_096,
+            small_slack: None,
+            wide_slack: Some(2.5),
+        }
+    }
+}
+
+/// Generate a Poisson arrival stream: exponential inter-arrival times at
+/// `rate_per_sec`, jobs drawn from `shape`, bounded by `duration_us`.
+/// Fully determined by `seed`.
+///
+/// Wide jobs get a ring task graph plus a few random chords (data-aware:
+/// every edge carries `vol_per_edge` bytes); small jobs get a chain.
+pub fn poisson_trace(
+    rate_per_sec: f64,
+    duration_us: u64,
+    seed: u64,
+    shape: &WorkloadShape,
+) -> Vec<JobArrival> {
+    assert!(rate_per_sec > 0.0, "arrival rate must be positive");
+    let rate_per_us = rate_per_sec / 1e6;
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut t = 0.0f64;
+    let mut out = Vec::new();
+    loop {
+        let u: f64 = rng.gen_range(0.0..1.0);
+        // Inverse-CDF exponential sample; 1-u is in (0, 1] so ln is finite.
+        t += -(1.0 - u).ln() / rate_per_us;
+        let t_us = t as u64;
+        if t_us >= duration_us {
+            return out;
+        }
+        let wide = rng.gen_bool(shape.wide_fraction);
+        let (tasks, (lo, hi), slack) = if wide {
+            (shape.wide_tasks, shape.wide_base_us, shape.wide_slack)
+        } else {
+            (shape.small_tasks, shape.small_base_us, shape.small_slack)
+        };
+        let base_us = rng.gen_range(lo..=hi);
+        let mem = vec![shape.mem_per_task; tasks];
+        let mut edges = Vec::new();
+        if tasks > 1 {
+            // Ring backbone: every task talks to its neighbour.
+            for k in 0..tasks {
+                edges.push((k, (k + 1) % tasks, shape.vol_per_edge));
+            }
+            // Chords make wide graphs non-local (harder to place well).
+            if wide {
+                for _ in 0..tasks / 2 {
+                    let a = rng.gen_range(0..tasks);
+                    let b = rng.gen_range(0..tasks);
+                    if a != b {
+                        edges.push((a, b, shape.vol_per_edge));
+                    }
+                }
+            }
+        }
+        let deadline_us = slack.map(|s| t_us + (s * base_us as f64) as u64);
+        out.push(JobArrival {
+            t_us,
+            mem,
+            edges,
+            base_us,
+            deadline_us,
+        });
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn jsonl_round_trips() {
+        let trace = vec![
+            JobArrival {
+                t_us: 10,
+                mem: vec![64, 64],
+                edges: vec![(0, 1, 4096)],
+                base_us: 1000,
+                deadline_us: Some(5000),
+            },
+            JobArrival {
+                t_us: 20,
+                mem: vec![128],
+                edges: vec![],
+                base_us: 500,
+                deadline_us: None,
+            },
+        ];
+        let text = format_trace(&trace);
+        assert_eq!(parse_trace(&text).unwrap(), trace);
+        // And the text form is stable.
+        assert_eq!(format_trace(&parse_trace(&text).unwrap()), text);
+    }
+
+    #[test]
+    fn parser_accepts_comments_null_deadline_and_key_reorder() {
+        let text = "# a comment\n\n{\"mem\":[1],\"t_us\":5,\"base_us\":9,\"deadline_us\":null,\"edges\":[]}\n";
+        let trace = parse_trace(text).unwrap();
+        assert_eq!(trace.len(), 1);
+        assert_eq!(trace[0].t_us, 5);
+        assert_eq!(trace[0].deadline_us, None);
+    }
+
+    #[test]
+    fn parser_rejects_malformed_lines_with_line_numbers() {
+        for (text, needle) in [
+            ("{\"t_us\":1,\"base_us\":1}", "missing required key 'mem'"),
+            ("{\"t_us\":1,\"base_us\":1,\"mem\":[]}", "no tasks"),
+            (
+                "{\"t_us\":1,\"base_us\":1,\"mem\":[1],\"edges\":[[0,5,9]]}",
+                "out of range",
+            ),
+            (
+                "{\"t_us\":1,\"base_us\":1,\"mem\":[1],\"bogus\":2}",
+                "unknown key",
+            ),
+            (
+                "{\"t_us\":1,\"base_us\":1,\"mem\":[1]} trailing",
+                "trailing garbage",
+            ),
+            ("not json", "bad literal"),
+            ("?what", "unexpected"),
+        ] {
+            let err = parse_trace(text).expect_err(text);
+            assert_eq!(err.line, 1, "{text}");
+            assert!(err.msg.contains(needle), "{text}: {err}");
+        }
+        let err = parse_trace(
+            "{\"t_us\":9,\"base_us\":1,\"mem\":[1]}\n{\"t_us\":3,\"base_us\":1,\"mem\":[1]}\n",
+        )
+        .expect_err("out of order");
+        assert_eq!(err.line, 2);
+        assert!(err.msg.contains("out of order"));
+    }
+
+    #[test]
+    fn poisson_trace_is_deterministic_and_bounded() {
+        let shape = WorkloadShape::skewed(24, 1);
+        let a = poisson_trace(50.0, 2_000_000, 7, &shape);
+        let b = poisson_trace(50.0, 2_000_000, 7, &shape);
+        assert_eq!(a, b);
+        assert!(!a.is_empty());
+        assert!(a.iter().all(|j| j.t_us < 2_000_000));
+        assert!(a.windows(2).all(|w| w[0].t_us <= w[1].t_us));
+        // ~50/s over 2 virtual seconds: around 100 arrivals.
+        assert!(a.len() > 40 && a.len() < 220, "len {}", a.len());
+        // Both classes are present; every arrival validates.
+        assert!(a.iter().any(|j| j.mem.len() == shape.small_tasks));
+        assert!(a.iter().any(|j| j.mem.len() == shape.wide_tasks));
+        for j in &a {
+            j.validate().unwrap();
+        }
+        // A different seed yields a different stream.
+        assert_ne!(a, poisson_trace(50.0, 2_000_000, 8, &shape));
+    }
+}

@@ -97,6 +97,10 @@ pub enum SubmitError {
     /// The accept record could not be durably logged; the job was not
     /// enqueued (the acknowledgement would have been a lie).
     Persist(String),
+    /// The job's memory demand does not fit on any switch of its
+    /// (capacitated) topology given what admitted jobs already hold.
+    /// Rejected at admission — capacity is never over-committed.
+    Capacity(String),
 }
 
 impl std::fmt::Display for SubmitError {
@@ -105,6 +109,7 @@ impl std::fmt::Display for SubmitError {
             SubmitError::QueueFull => f.write_str("queue-full"),
             SubmitError::ShuttingDown => f.write_str("shutting-down"),
             SubmitError::Persist(e) => write!(f, "persist: {e}"),
+            SubmitError::Capacity(e) => write!(f, "capacity: {e}"),
         }
     }
 }
@@ -131,6 +136,81 @@ struct QueueState {
     /// still being written (the queue lock is not held across the I/O).
     /// Counted against capacity so backpressure stays exact.
     reserved: usize,
+}
+
+/// One admitted job's hold on switch memory: which switch of which
+/// topology it was placed on and how many bytes it charged.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+struct CapacityClaim {
+    fp: u64,
+    switch: usize,
+    bytes: u64,
+}
+
+/// Per-switch memory commitments of every capacitated topology, keyed
+/// by fingerprint. Admission places a job's whole demand on the
+/// least-committed switch that fits (ties broken by lowest index —
+/// deterministic, so recovery replays the same placement from the same
+/// admitted set). The ledger is rebuilt from the WAL's unfinished jobs
+/// on recovery rather than persisted separately.
+#[derive(Default)]
+struct CapacityLedger {
+    /// fingerprint -> committed bytes per switch.
+    committed: HashMap<u64, Vec<u64>>,
+    /// job -> its claim, for release on finish/cancel.
+    claims: HashMap<JobId, CapacityClaim>,
+}
+
+impl CapacityLedger {
+    /// Place `bytes` on the best fitting switch of `caps` or explain
+    /// why no switch fits.
+    fn claim(&mut self, fp: u64, caps: &[u64], bytes: u64) -> Result<CapacityClaim, String> {
+        let committed = self
+            .committed
+            .entry(fp)
+            .or_insert_with(|| vec![0; caps.len()]);
+        let mut best: Option<usize> = None;
+        for (s, (&cap, &used)) in caps.iter().zip(committed.iter()).enumerate() {
+            if cap.saturating_sub(used) >= bytes && best.is_none_or(|b| used < committed[b]) {
+                best = Some(s);
+            }
+        }
+        match best {
+            Some(s) => {
+                committed[s] += bytes;
+                Ok(CapacityClaim {
+                    fp,
+                    switch: s,
+                    bytes,
+                })
+            }
+            None => Err(format!(
+                "no switch fits {bytes} bytes on topology {} ({} switches)",
+                format_fingerprint(fp),
+                caps.len()
+            )),
+        }
+    }
+
+    /// Record which job owns a claim taken before its id existed.
+    fn bind(&mut self, id: JobId, claim: CapacityClaim) {
+        self.claims.insert(id, claim);
+    }
+
+    /// Return a claim's bytes without a bound job (admission failed
+    /// after the claim was taken).
+    fn unclaim(&mut self, claim: CapacityClaim) {
+        if let Some(committed) = self.committed.get_mut(&claim.fp) {
+            committed[claim.switch] = committed[claim.switch].saturating_sub(claim.bytes);
+        }
+    }
+
+    /// Release the claim a finished/cancelled job held, if any.
+    fn release(&mut self, id: JobId) {
+        if let Some(claim) = self.claims.remove(&id) {
+            self.unclaim(claim);
+        }
+    }
 }
 
 /// Epoch bookkeeping for dynamically reconfigured topologies.
@@ -188,6 +268,9 @@ pub struct ServiceCore {
     state: Mutex<QueueState>,
     /// Stale-fingerprint chains and per-fingerprint epoch indices.
     epochs: Mutex<EpochState>,
+    /// Per-switch memory commitments of capacitated topologies (leaf
+    /// lock: never held across resolve/WAL/queue operations).
+    capacity: Mutex<CapacityLedger>,
     /// Cross-epoch memo of compacted route circuits, shared by every
     /// repair this core performs.
     repair_memo: Mutex<RepairMemo>,
@@ -224,6 +307,7 @@ impl ServiceCore {
                 reserved: 0,
             }),
             epochs: Mutex::new(EpochState::default()),
+            capacity: Mutex::new(CapacityLedger::default()),
             repair_memo: Mutex::new(RepairMemo::new()),
             work_cv: Condvar::new(),
             done_cv: Condvar::new(),
@@ -376,6 +460,30 @@ impl ServiceCore {
             );
             report.restored_tables += 1;
         }
+        // Re-derive the capacity ledger from the recovered unfinished
+        // jobs: placement is deterministic (least-committed switch,
+        // lowest index first) and jobs replay in ascending id order, so
+        // the post-restart commitments equal the pre-crash ones for the
+        // same admitted set — no separate WAL record kind needed. A
+        // job that no longer fits (e.g. its topology was retargeted to
+        // a smaller epoch) stays admitted: accepted work is never
+        // dropped, the ledger just saturates.
+        let requeued: Vec<(JobId, JobSpec)> = {
+            let state = core.state.lock().expect("queue lock");
+            let mut jobs: Vec<(JobId, JobSpec)> = state
+                .jobs
+                .iter()
+                .filter(|(_, rec)| rec.state == JobState::Queued && rec.spec.mem > 0)
+                .map(|(&id, rec)| (id, rec.spec))
+                .collect();
+            jobs.sort_unstable_by_key(|&(id, _)| id);
+            jobs
+        };
+        for (id, spec) in requeued {
+            if let Ok(claim) = core.claim_capacity(&spec) {
+                core.bind_claim(id, claim);
+            }
+        }
         core.write_snapshot(core.persist.as_ref().expect("persistence set"))?;
         Ok((core, report))
     }
@@ -490,21 +598,78 @@ impl ServiceCore {
         p.end_auto_snapshot();
     }
 
+    /// Capacity admission for one spec, before any id is reserved.
+    /// `mem=0` jobs, jobs on uncapacitated topologies, and jobs whose
+    /// topology cannot be resolved (they will fail at execution with
+    /// the real error) are exempt and return `Ok(None)`. Otherwise the
+    /// demand is placed on the least-committed fitting switch and held
+    /// until [`Self::bind_claim`] or [`Self::unclaim`].
+    ///
+    /// Called without any lock held: resolving the topology may
+    /// register a builtin (registry + WAL locks), and the ledger lock
+    /// is a leaf taken afterwards.
+    fn claim_capacity(&self, spec: &JobSpec) -> Result<Option<CapacityClaim>, SubmitError> {
+        if spec.mem == 0 {
+            return Ok(None);
+        }
+        let Ok(topo) = self.resolve_topology(spec.topo) else {
+            return Ok(None);
+        };
+        let Some(caps) = topo.mem_capacities() else {
+            return Ok(None);
+        };
+        let fp = topo.fingerprint();
+        let mut ledger = self.capacity.lock().expect("capacity lock");
+        match ledger.claim(fp, caps, spec.mem) {
+            Ok(claim) => Ok(Some(claim)),
+            Err(e) => {
+                self.stats.note_rejected();
+                Err(SubmitError::Capacity(e))
+            }
+        }
+    }
+
+    /// Attach an admission-time claim to the job id it ended up with.
+    fn bind_claim(&self, id: JobId, claim: Option<CapacityClaim>) {
+        if let Some(claim) = claim {
+            self.capacity.lock().expect("capacity lock").bind(id, claim);
+        }
+    }
+
+    /// Give back a claim whose submission failed after admission.
+    fn unclaim(&self, claim: Option<CapacityClaim>) {
+        if let Some(claim) = claim {
+            self.capacity.lock().expect("capacity lock").unclaim(claim);
+        }
+    }
+
+    /// Release the capacity a finished/cancelled job held.
+    fn release_capacity(&self, id: JobId) {
+        self.capacity.lock().expect("capacity lock").release(id);
+    }
+
     /// Enqueue a job.
     ///
     /// # Errors
     /// [`SubmitError::QueueFull`] under backpressure,
-    /// [`SubmitError::ShuttingDown`] while draining.
+    /// [`SubmitError::ShuttingDown`] while draining,
+    /// [`SubmitError::Capacity`] when the job's memory demand fits on no
+    /// switch of its capacitated topology.
     pub fn submit(&self, spec: JobSpec) -> Result<JobId, SubmitError> {
+        let claim = self.claim_capacity(&spec)?;
         let Some(p) = &self.persist else {
             // In-memory core: accept under a single brief lock.
             let mut state = self.state.lock().expect("queue lock");
             if !state.accepting {
                 self.stats.note_rejected();
+                drop(state);
+                self.unclaim(claim);
                 return Err(SubmitError::ShuttingDown);
             }
             if state.pending.len() + state.reserved >= self.config.queue_capacity {
                 self.stats.note_rejected();
+                drop(state);
+                self.unclaim(claim);
                 return Err(SubmitError::QueueFull);
             }
             let id = state.next_id;
@@ -521,6 +686,8 @@ impl ServiceCore {
             );
             state.pending.push_back(id);
             self.stats.note_submitted();
+            drop(state);
+            self.bind_claim(id, claim);
             self.work_cv.notify_one();
             return Ok(id);
         };
@@ -531,10 +698,14 @@ impl ServiceCore {
             let mut state = self.state.lock().expect("queue lock");
             if !state.accepting {
                 self.stats.note_rejected();
+                drop(state);
+                self.unclaim(claim);
                 return Err(SubmitError::ShuttingDown);
             }
             if state.pending.len() + state.reserved >= self.config.queue_capacity {
                 self.stats.note_rejected();
+                drop(state);
+                self.unclaim(claim);
                 return Err(SubmitError::QueueFull);
             }
             let id = state.next_id;
@@ -542,6 +713,7 @@ impl ServiceCore {
             state.reserved += 1;
             id
         };
+        self.bind_claim(id, claim);
         // Phases 2+3 under the WAL lock: the durable accept record and
         // the in-memory enqueue are one atomic step as far as a
         // concurrent snapshot is concerned, so an acknowledged job can
@@ -584,6 +756,7 @@ impl ServiceCore {
         self.stats.set_wal_bytes(p.wal_bytes());
         if let Err(e) = outcome {
             self.stats.note_rejected();
+            self.release_capacity(id);
             return Err(e);
         }
         self.stats.note_submitted();
@@ -607,18 +780,32 @@ impl ServiceCore {
         if specs.is_empty() {
             return Vec::new();
         }
+        // Capacity admission per spec, before any ids exist. A claim
+        // taken here is released again on any later rejection.
+        let mut claims: Vec<Result<Option<CapacityClaim>, SubmitError>> =
+            specs.iter().map(|s| self.claim_capacity(s)).collect();
         let Some(p) = &self.persist else {
             // In-memory core: one lock for the whole batch.
             let mut out = Vec::with_capacity(specs.len());
+            let mut bound: Vec<(JobId, Option<CapacityClaim>)> = Vec::new();
             let mut state = self.state.lock().expect("queue lock");
-            for &spec in specs {
+            for (i, &spec) in specs.iter().enumerate() {
+                let claim = match std::mem::replace(&mut claims[i], Ok(None)) {
+                    Ok(c) => c,
+                    Err(e) => {
+                        out.push(Err(e));
+                        continue;
+                    }
+                };
                 if !state.accepting {
                     self.stats.note_rejected();
+                    self.unclaim(claim);
                     out.push(Err(SubmitError::ShuttingDown));
                     continue;
                 }
                 if state.pending.len() + state.reserved >= self.config.queue_capacity {
                     self.stats.note_rejected();
+                    self.unclaim(claim);
                     out.push(Err(SubmitError::QueueFull));
                     continue;
                 }
@@ -636,9 +823,13 @@ impl ServiceCore {
                 );
                 state.pending.push_back(id);
                 self.stats.note_submitted();
+                bound.push((id, claim));
                 out.push(Ok(id));
             }
             drop(state);
+            for (id, claim) in bound {
+                self.bind_claim(id, claim);
+            }
             self.work_cv.notify_all();
             return out;
         };
@@ -647,16 +838,26 @@ impl ServiceCore {
         // the single-job path; `out[i]` corresponds to `specs[i]`).
         let mut out: Vec<Result<JobId, SubmitError>> = Vec::with_capacity(specs.len());
         let mut accepted: Vec<(usize, JobId)> = Vec::new();
+        let mut bound: Vec<(JobId, Option<CapacityClaim>)> = Vec::new();
         {
             let mut state = self.state.lock().expect("queue lock");
-            for i in 0..specs.len() {
+            for (i, slot) in claims.iter_mut().enumerate() {
+                let claim = match std::mem::replace(slot, Ok(None)) {
+                    Ok(c) => c,
+                    Err(e) => {
+                        out.push(Err(e));
+                        continue;
+                    }
+                };
                 if !state.accepting {
                     self.stats.note_rejected();
+                    self.unclaim(claim);
                     out.push(Err(SubmitError::ShuttingDown));
                     continue;
                 }
                 if state.pending.len() + state.reserved >= self.config.queue_capacity {
                     self.stats.note_rejected();
+                    self.unclaim(claim);
                     out.push(Err(SubmitError::QueueFull));
                     continue;
                 }
@@ -664,8 +865,12 @@ impl ServiceCore {
                 state.next_id += 1;
                 state.reserved += 1;
                 accepted.push((i, id));
+                bound.push((id, claim));
                 out.push(Ok(id));
             }
+        }
+        for (id, claim) in bound {
+            self.bind_claim(id, claim);
         }
         if accepted.is_empty() {
             return out;
@@ -730,6 +935,13 @@ impl ServiceCore {
             }
         });
         self.stats.set_wal_bytes(p.wal_bytes());
+        // Give back the capacity of jobs withdrawn after admission
+        // (persist failure or a drain race flipped their slot to Err).
+        for &(i, id) in &accepted {
+            if out[i].is_err() {
+                self.release_capacity(id);
+            }
+        }
         self.work_cv.notify_all();
         // One barrier covers the whole batch's accept records.
         self.repl_barrier();
@@ -783,7 +995,11 @@ impl ServiceCore {
             }
         };
         let Some(p) = &self.persist else {
-            return cancel_in_state();
+            let result = cancel_in_state();
+            if result.is_ok() {
+                self.release_capacity(id);
+            }
+            return result;
         };
         // The guarded transition and its record share one WAL critical
         // section, so a concurrent snapshot cannot capture the job as
@@ -796,6 +1012,7 @@ impl ServiceCore {
         });
         self.stats.set_wal_bytes(p.wal_bytes());
         if result.is_ok() {
+            self.release_capacity(id);
             self.repl_barrier();
         }
         result
@@ -1016,6 +1233,9 @@ impl ServiceCore {
             }
             None => apply(),
         }
+        // The job no longer occupies its switch; later admissions may
+        // reuse the memory.
+        self.release_capacity(id);
     }
 
     /// The fingerprint currently at the end of `fp`'s epoch chain (`fp`
@@ -1437,6 +1657,8 @@ mod tests {
             routing: RoutingSpec::UpDown { root: 0 },
             strategy: MapStrategy::Flat,
             approx_eps_micros: 0,
+            deadline_ms: None,
+            mem: 0,
             kind: JobKind::Schedule { clusters: 2, seed },
         }
     }
@@ -1449,6 +1671,90 @@ mod tests {
             search_threads: 1,
             table_threads: 1,
         }))
+    }
+
+    fn capped_spec(fp: u64, mem: u64) -> JobSpec {
+        JobSpec {
+            topo: TopoRef::Registered(fp),
+            mem,
+            ..JobSpec::default()
+        }
+    }
+
+    #[test]
+    fn capacity_admission_never_over_commits() {
+        use commsched_topology::TopologyBuilder;
+        let core = small_core(16);
+        let topo = TopologyBuilder::new(2, 1)
+            .link(0, 1)
+            .uniform_mem_capacity(100)
+            .build()
+            .unwrap();
+        let (fp, _) = core.register_topology(topo);
+        // Two 60-byte jobs spread across the two switches; a third fits
+        // nowhere (40 bytes free on each switch).
+        let a = core.submit(capped_spec(fp, 60)).unwrap();
+        let _b = core.submit(capped_spec(fp, 60)).unwrap();
+        let err = core.submit(capped_spec(fp, 60)).unwrap_err();
+        assert!(matches!(err, SubmitError::Capacity(_)), "got {err:?}");
+        assert!(err.to_string().starts_with("capacity: "));
+        // Demand larger than any single switch is rejected outright.
+        let err = core.submit(capped_spec(fp, 101)).unwrap_err();
+        assert!(matches!(err, SubmitError::Capacity(_)));
+        // mem=0 jobs and uncapacitated topologies are exempt.
+        core.submit(capped_spec(fp, 0)).unwrap();
+        core.submit(tiny_spec(1)).unwrap();
+        // Cancelling an admitted job frees its switch for the next one.
+        core.cancel(a).unwrap();
+        core.submit(capped_spec(fp, 60)).unwrap();
+    }
+
+    #[test]
+    fn capacity_batch_rejects_only_the_overflow() {
+        use commsched_topology::TopologyBuilder;
+        let core = small_core(16);
+        let topo = TopologyBuilder::new(2, 1)
+            .link(0, 1)
+            .uniform_mem_capacity(100)
+            .build()
+            .unwrap();
+        let (fp, _) = core.register_topology(topo);
+        let out = core.submit_batch(&[
+            capped_spec(fp, 90),
+            capped_spec(fp, 90),
+            capped_spec(fp, 90),
+            capped_spec(fp, 0),
+        ]);
+        assert!(out[0].is_ok());
+        assert!(out[1].is_ok());
+        assert!(matches!(out[2], Err(SubmitError::Capacity(_))));
+        assert!(out[3].is_ok(), "exempt spec must ride through: {out:?}");
+    }
+
+    #[test]
+    fn capacity_released_when_jobs_finish() {
+        use commsched_topology::TopologyBuilder;
+        let core = small_core(16);
+        let topo = TopologyBuilder::new(1, 1)
+            .uniform_mem_capacity(100)
+            .build()
+            .unwrap();
+        let (fp, _) = core.register_topology(topo);
+        let worker = {
+            let core = Arc::clone(&core);
+            std::thread::spawn(move || core.worker_loop())
+        };
+        let id = core.submit(capped_spec(fp, 80)).unwrap();
+        while core.status(id) != Some(JobState::Done) {
+            std::thread::sleep(std::time::Duration::from_millis(1));
+        }
+        // The finished job's 80 bytes are free again.
+        let id2 = core.submit(capped_spec(fp, 80)).unwrap();
+        while core.status(id2) != Some(JobState::Done) {
+            std::thread::sleep(std::time::Duration::from_millis(1));
+        }
+        core.drain();
+        worker.join().unwrap();
     }
 
     #[test]
@@ -1487,6 +1793,8 @@ mod tests {
                 routing: RoutingSpec::UpDown { root: 0 },
                 strategy: MapStrategy::Flat,
                 approx_eps_micros: 0,
+                deadline_ms: None,
+                mem: 0,
                 kind: JobKind::Noop,
             })
             .collect();
@@ -1518,6 +1826,8 @@ mod tests {
             routing: RoutingSpec::UpDown { root: 0 },
             strategy: MapStrategy::Flat,
             approx_eps_micros: 0,
+            deadline_ms: None,
+            mem: 0,
             kind: JobKind::Noop,
         };
         {
@@ -1730,6 +2040,8 @@ mod tests {
                 routing: RoutingSpec::UpDown { root: 0 },
                 strategy: MapStrategy::Flat,
                 approx_eps_micros: 0,
+                deadline_ms: None,
+                mem: 0,
                 kind: JobKind::Schedule {
                     clusters: 4,
                     seed: 1,
@@ -1801,6 +2113,8 @@ mod tests {
                 routing: RoutingSpec::UpDown { root: 0 },
                 strategy: MapStrategy::Flat,
                 approx_eps_micros: 0,
+                deadline_ms: None,
+                mem: 0,
                 kind: JobKind::Schedule {
                     clusters: 4,
                     seed: 2,
@@ -1824,6 +2138,8 @@ mod tests {
                 routing: RoutingSpec::UpDown { root: 0 },
                 strategy: MapStrategy::Flat,
                 approx_eps_micros: 0,
+                deadline_ms: None,
+                mem: 0,
                 kind: JobKind::Schedule {
                     clusters: 4,
                     seed: 3,
@@ -1988,6 +2304,8 @@ mod tests {
             routing: RoutingSpec::UpDown { root: 0 },
             strategy: MapStrategy::Flat,
             approx_eps_micros: 0,
+            deadline_ms: None,
+            mem: 0,
             kind: JobKind::Schedule { clusters: 4, seed },
         };
         // Session 1: register paper24, warm its cache, drain.

@@ -69,6 +69,21 @@ pub struct LoadgenConfig {
     /// A connection at its cap is skipped until an ack frees a slot,
     /// turning the generator closed-loop at the cap.
     pub max_in_flight: usize,
+    /// Optional relative deadline attached to every job as
+    /// `deadline-ms=` (the daemon records it; scenario tooling scores
+    /// attainment against it).
+    pub deadline_ms: Option<u64>,
+}
+
+impl LoadgenConfig {
+    /// The `SUBMIT` argument string actually sent: `spec`, plus the
+    /// deadline key when one is configured.
+    pub fn effective_spec(&self) -> String {
+        match self.deadline_ms {
+            Some(ms) => format!("{} deadline-ms={ms}", self.spec),
+            None => self.spec.clone(),
+        }
+    }
 }
 
 impl Default for LoadgenConfig {
@@ -81,6 +96,7 @@ impl Default for LoadgenConfig {
             mode: WireMode::Line,
             spec: "NOOP".to_string(),
             max_in_flight: 0,
+            deadline_ms: None,
         }
     }
 }
@@ -289,16 +305,17 @@ pub fn run<A: ToSocketAddrs>(addr: A, config: &LoadgenConfig) -> Result<LoadgenR
     }
 
     // Pre-encode the request once; it is identical every time.
+    let spec = config.effective_spec();
     let request: Vec<u8> = match config.mode {
         WireMode::Line => {
-            let one = format!("SUBMIT {}\n", config.spec);
+            let one = format!("SUBMIT {spec}\n");
             one.repeat(batch).into_bytes()
         }
         WireMode::Binary if batch == 1 => {
-            frame::encode_frame(frame::OP_REQ, format!("SUBMIT {}", config.spec).as_bytes())
+            frame::encode_frame(frame::OP_REQ, format!("SUBMIT {spec}").as_bytes())
         }
         WireMode::Binary => {
-            let specs: Vec<String> = (0..batch).map(|_| config.spec.clone()).collect();
+            let specs: Vec<String> = (0..batch).map(|_| spec.clone()).collect();
             frame::encode_frame(frame::OP_SUBMIT_BATCH, &frame::encode_submit_batch(&specs))
         }
     };
@@ -690,6 +707,7 @@ mod tests {
                 duration: Duration::from_millis(400),
                 mode: WireMode::Line,
                 spec: "NOOP".to_string(),
+                deadline_ms: None,
                 max_in_flight: 0,
             },
         )
@@ -714,6 +732,7 @@ mod tests {
                 duration: Duration::from_millis(400),
                 mode: WireMode::Binary,
                 spec: "NOOP".to_string(),
+                deadline_ms: None,
                 max_in_flight: 0,
             },
         )

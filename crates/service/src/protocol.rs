@@ -74,8 +74,32 @@ pub struct JobSpec {
     /// Distance-table error budget from `approx-eps=<float>`, stored ×1e6
     /// (0 = exact solver, the default).
     pub approx_eps_micros: u32,
+    /// Soft completion deadline in milliseconds from acceptance, from
+    /// `deadline-ms=<u64>`; `None` (the default) means no deadline. The
+    /// service reports attainment, it does not kill late jobs.
+    pub deadline_ms: Option<u64>,
+    /// Aggregate memory demand in bytes, from `mem=<u64>`. Admission
+    /// charges it against the topology's per-switch memory capacities;
+    /// 0 (the default) bypasses capacity accounting entirely.
+    pub mem: u64,
     /// The computation.
     pub kind: JobKind,
+}
+
+impl Default for JobSpec {
+    /// The spec `SUBMIT NOOP` parses to: every key at its documented
+    /// default. Construction sites override the fields they care about.
+    fn default() -> Self {
+        Self {
+            topo: TopoRef::Paper24,
+            routing: crate::cache::RoutingSpec::UpDown { root: 0 },
+            strategy: commsched_search::MapStrategy::Flat,
+            approx_eps_micros: 0,
+            deadline_ms: None,
+            mem: 0,
+            kind: JobKind::Noop,
+        }
+    }
 }
 
 /// One parsed request line.
@@ -230,6 +254,8 @@ fn parse_submit(words: &[&str]) -> Result<JobSpec, String> {
     let mut clusters = 4usize;
     let mut seed = 42u64;
     let mut points = 9usize;
+    let mut deadline_ms: Option<u64> = None;
+    let mut mem = 0u64;
     for &word in kv {
         let Some((key, value)) = word.split_once('=') else {
             return Err(format!("expected key=value, got '{word}'"));
@@ -246,6 +272,14 @@ fn parse_submit(words: &[&str]) -> Result<JobSpec, String> {
             }
             "seed" => seed = value.parse().map_err(|_| format!("bad seed '{value}'"))?,
             "points" => points = value.parse().map_err(|_| format!("bad points '{value}'"))?,
+            "deadline-ms" => {
+                deadline_ms = Some(
+                    value
+                        .parse()
+                        .map_err(|_| format!("bad deadline-ms '{value}'"))?,
+                );
+            }
+            "mem" => mem = value.parse().map_err(|_| format!("bad mem '{value}'"))?,
             other => return Err(format!("unknown key '{other}'")),
         }
     }
@@ -270,6 +304,8 @@ fn parse_submit(words: &[&str]) -> Result<JobSpec, String> {
         routing,
         strategy,
         approx_eps_micros,
+        deadline_ms,
+        mem,
         kind,
     })
 }
@@ -299,7 +335,7 @@ pub fn format_job_spec(spec: &JobSpec) -> String {
     let routing = spec.routing;
     let strategy = spec.strategy;
     let eps = format_approx_eps(spec.approx_eps_micros);
-    match spec.kind {
+    let mut out = match spec.kind {
         JobKind::Schedule { clusters, seed } => format!(
             "SCHEDULE topo={topo} routing={routing} strategy={strategy} approx-eps={eps} \
              clusters={clusters} seed={seed}"
@@ -313,7 +349,16 @@ pub fn format_job_spec(spec: &JobSpec) -> String {
              clusters={clusters} seed={seed} points={points}"
         ),
         JobKind::Noop => format!("NOOP topo={topo} routing={routing}"),
+    };
+    // Spelled only when set so existing WAL records and tooling that
+    // compare spellings byte-for-byte keep their pre-deadline shape.
+    if let Some(ms) = spec.deadline_ms {
+        out.push_str(&format!(" deadline-ms={ms}"));
     }
+    if spec.mem != 0 {
+        out.push_str(&format!(" mem={}", spec.mem));
+    }
+    out
 }
 
 /// Parse the argument words of a `SUBMIT` request (the job-spec half of
@@ -462,6 +507,8 @@ mod tests {
                 routing: RoutingSpec::UpDown { root: 0 },
                 strategy: MapStrategy::Flat,
                 approx_eps_micros: 0,
+                deadline_ms: None,
+                mem: 0,
                 kind: JobKind::Schedule {
                     clusters: 4,
                     seed: 42
@@ -481,6 +528,8 @@ mod tests {
                 routing: RoutingSpec::ShortestPath,
                 strategy: MapStrategy::Flat,
                 approx_eps_micros: 0,
+                deadline_ms: None,
+                mem: 0,
                 kind: JobKind::Sweep {
                     clusters: 2,
                     seed: 7,
@@ -595,6 +644,8 @@ mod tests {
                 routing: RoutingSpec::UpDown { root: 0 },
                 strategy: MapStrategy::Flat,
                 approx_eps_micros: 0,
+                deadline_ms: None,
+                mem: 0,
                 kind: JobKind::Noop,
             }))
         );
@@ -606,6 +657,8 @@ mod tests {
             routing: RoutingSpec::ShortestPath,
             strategy: MapStrategy::Flat,
             approx_eps_micros: 0,
+            deadline_ms: None,
+            mem: 0,
             kind: JobKind::Noop,
         };
         let text = format_job_spec(&spec);
@@ -645,6 +698,8 @@ mod tests {
                 routing: RoutingSpec::UpDown { root: 3 },
                 strategy: MapStrategy::Flat,
                 approx_eps_micros: 0,
+                deadline_ms: None,
+                mem: 0,
                 kind: JobKind::Schedule {
                     clusters: 4,
                     seed: 42,
@@ -655,6 +710,8 @@ mod tests {
                 routing: RoutingSpec::ShortestPath,
                 strategy: MapStrategy::Flat,
                 approx_eps_micros: 0,
+                deadline_ms: None,
+                mem: 0,
                 kind: JobKind::Sweep {
                     clusters: 2,
                     seed: 7,
@@ -671,6 +728,8 @@ mod tests {
                 routing: RoutingSpec::UpDown { root: 0 },
                 strategy: MapStrategy::Flat,
                 approx_eps_micros: 0,
+                deadline_ms: None,
+                mem: 0,
                 kind: JobKind::Schedule {
                     clusters: 8,
                     seed: 0,
@@ -694,6 +753,56 @@ mod tests {
             parse_routing_spec(&RoutingSpec::ShortestPath.to_string()),
             Ok(RoutingSpec::ShortestPath)
         );
+    }
+
+    #[test]
+    fn parses_deadline_and_mem_keys() {
+        let r = parse_request("SUBMIT NOOP deadline-ms=250 mem=4096").unwrap();
+        match r {
+            Request::Submit(spec) => {
+                assert_eq!(spec.deadline_ms, Some(250));
+                assert_eq!(spec.mem, 4096);
+            }
+            other => panic!("wrong parse: {other:?}"),
+        }
+        // The keys ride along on every job kind and round-trip through
+        // the WAL spelling.
+        let spec = JobSpec {
+            deadline_ms: Some(1500),
+            mem: 1 << 20,
+            kind: JobKind::Schedule {
+                clusters: 4,
+                seed: 42,
+            },
+            ..JobSpec::default()
+        };
+        let text = format_job_spec(&spec);
+        assert!(text.contains("deadline-ms=1500"), "spelling was '{text}'");
+        assert!(text.contains("mem=1048576"), "spelling was '{text}'");
+        assert_eq!(parse_job_spec(&text), Ok(spec), "spelling was '{text}'");
+        // NOOP keeps the keys too (the loadgen submits NOOPs).
+        let noop = JobSpec {
+            deadline_ms: Some(30),
+            mem: 64,
+            ..JobSpec::default()
+        };
+        let text = format_job_spec(&noop);
+        assert_eq!(parse_job_spec(&text), Ok(noop), "spelling was '{text}'");
+        // Unset keys are not spelled at all: the WAL shape of old jobs
+        // is unchanged.
+        let plain = format_job_spec(&JobSpec::default());
+        assert!(!plain.contains("deadline-ms"), "spelling was '{plain}'");
+        assert!(!plain.contains("mem="), "spelling was '{plain}'");
+    }
+
+    #[test]
+    fn rejects_bad_deadline_and_mem_values() {
+        let err = parse_request("SUBMIT NOOP deadline-ms=soon").unwrap_err();
+        assert_eq!(err, "bad deadline-ms 'soon'");
+        let err = parse_request("SUBMIT NOOP deadline-ms=-1").unwrap_err();
+        assert_eq!(err, "bad deadline-ms '-1'");
+        let err = parse_request("SUBMIT NOOP mem=lots").unwrap_err();
+        assert_eq!(err, "bad mem 'lots'");
     }
 
     #[test]

@@ -108,6 +108,8 @@ fn run_workload(dir: &Path, seed: u64) -> GroundTruth {
         },
         strategy: commsched_search::MapStrategy::Flat,
         approx_eps_micros: 0,
+        deadline_ms: None,
+        mem: 0,
         kind: JobKind::Schedule {
             clusters: 2,
             seed: rng.gen_range(0_u64..100),

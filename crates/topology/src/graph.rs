@@ -112,6 +112,8 @@ pub struct TopologyBuilder {
     require_connected: bool,
     links: Vec<Link>,
     slowdowns: Vec<u32>,
+    uniform_mem: Option<u64>,
+    mem_caps: Vec<(SwitchId, u64)>,
 }
 
 impl TopologyBuilder {
@@ -125,7 +127,27 @@ impl TopologyBuilder {
             require_connected: true,
             links: Vec::new(),
             slowdowns: Vec::new(),
+            uniform_mem: None,
+            mem_caps: Vec::new(),
         }
+    }
+
+    /// Give every switch the same memory capacity in bytes (jobs placed on
+    /// a switch charge their per-task memory demand against it). Without
+    /// any capacity call the topology is *uncapacitated*: admission treats
+    /// every switch as unlimited and the fingerprint is unchanged from
+    /// earlier releases.
+    pub fn uniform_mem_capacity(mut self, bytes: u64) -> Self {
+        self.uniform_mem = Some(bytes);
+        self
+    }
+
+    /// Set the memory capacity of one switch in bytes, overriding any
+    /// uniform capacity. Switches never mentioned (and not covered by a
+    /// uniform capacity) default to unlimited (`u64::MAX`).
+    pub fn mem_capacity(mut self, s: SwitchId, bytes: u64) -> Self {
+        self.mem_caps.push((s, bytes));
+        self
     }
 
     /// Limit the inter-switch degree of every switch (e.g. 4 for the
@@ -228,11 +250,27 @@ impl TopologyBuilder {
         for nb in &mut adj {
             nb.sort_unstable();
         }
+        let mem_capacities = if self.uniform_mem.is_some() || !self.mem_caps.is_empty() {
+            let mut caps = vec![self.uniform_mem.unwrap_or(u64::MAX); n];
+            for &(s, bytes) in &self.mem_caps {
+                if s >= n {
+                    return Err(TopologyError::SwitchOutOfRange {
+                        switch: s,
+                        num_switches: n,
+                    });
+                }
+                caps[s] = bytes;
+            }
+            caps
+        } else {
+            Vec::new()
+        };
         let topo = Topology {
             hosts_per_switch: self.hosts_per_switch,
             links: self.links,
             slowdowns: self.slowdowns,
             adj,
+            mem_capacities,
         };
         if self.require_connected && !topo.is_connected() {
             return Err(TopologyError::Disconnected);
@@ -254,6 +292,10 @@ pub struct Topology {
     slowdowns: Vec<u32>,
     /// Sorted adjacency: for each switch, `(neighbour, link id)` pairs.
     adj: Vec<Vec<(SwitchId, LinkId)>>,
+    /// Per-switch memory capacity in bytes. Empty when the topology is
+    /// uncapacitated (every switch unlimited); otherwise `len == n` with
+    /// `u64::MAX` marking individually-unlimited switches.
+    mem_capacities: Vec<u64>,
 }
 
 impl Topology {
@@ -295,6 +337,28 @@ impl Topology {
     /// Whether every link runs at full speed (the paper's setting).
     pub fn is_link_homogeneous(&self) -> bool {
         self.slowdowns.iter().all(|&s| s == 1)
+    }
+
+    /// Whether any switch carries an explicit memory capacity. An
+    /// uncapacitated topology admits any memory demand.
+    pub fn has_mem_capacities(&self) -> bool {
+        !self.mem_capacities.is_empty()
+    }
+
+    /// Memory capacity of switch `s` in bytes; `None` when the topology
+    /// is uncapacitated (unlimited everywhere). `u64::MAX` marks a switch
+    /// that is individually unlimited in an otherwise capacitated network.
+    pub fn mem_capacity(&self, s: SwitchId) -> Option<u64> {
+        self.mem_capacities.get(s).copied()
+    }
+
+    /// The full per-switch capacity vector, `None` when uncapacitated.
+    pub fn mem_capacities(&self) -> Option<&[u64]> {
+        if self.mem_capacities.is_empty() {
+            None
+        } else {
+            Some(&self.mem_capacities)
+        }
     }
 
     /// Neighbours of `s` with the connecting link ids, sorted by neighbour.
@@ -456,6 +520,15 @@ impl Topology {
             eat(b as u64);
             eat(u64::from(s));
         }
+        // Memory capacities are hashed only when present so that every
+        // uncapacitated topology keeps the fingerprint it had before
+        // capacities existed (registry/WAL keys stay stable).
+        if !self.mem_capacities.is_empty() {
+            eat(0x6d65_6d63_6170); // "memcap" domain separator
+            for &c in &self.mem_capacities {
+                eat(c);
+            }
+        }
         h
     }
 
@@ -479,6 +552,9 @@ impl Topology {
             if id != failed {
                 b = b.link_with_slowdown(l.a, l.b, self.slowdowns[id]);
             }
+        }
+        for (s, &c) in self.mem_capacities.iter().enumerate() {
+            b = b.mem_capacity(s, c);
         }
         b.build()
     }
@@ -683,6 +759,75 @@ mod tests {
         assert_ne!(base.fingerprint(), different_link.fingerprint());
         assert_ne!(base.fingerprint(), different_slowdown.fingerprint());
         assert_ne!(base.fingerprint(), different_hosts.fingerprint());
+    }
+
+    #[test]
+    fn mem_capacities_default_to_unlimited() {
+        let t = triangle();
+        assert!(!t.has_mem_capacities());
+        assert_eq!(t.mem_capacity(0), None);
+        assert_eq!(t.mem_capacities(), None);
+    }
+
+    #[test]
+    fn uniform_and_per_switch_capacities() {
+        let t = TopologyBuilder::new(3, 4)
+            .links([(0, 1), (1, 2), (2, 0)])
+            .uniform_mem_capacity(1024)
+            .mem_capacity(1, 64)
+            .build()
+            .unwrap();
+        assert!(t.has_mem_capacities());
+        assert_eq!(t.mem_capacity(0), Some(1024));
+        assert_eq!(t.mem_capacity(1), Some(64));
+        assert_eq!(t.mem_capacity(2), Some(1024));
+        assert_eq!(t.mem_capacities(), Some(&[1024, 64, 1024][..]));
+    }
+
+    #[test]
+    fn mem_capacity_rejects_out_of_range_switch() {
+        let err = TopologyBuilder::new(2, 1)
+            .link(0, 1)
+            .mem_capacity(5, 100)
+            .build()
+            .unwrap_err();
+        assert!(matches!(
+            err,
+            TopologyError::SwitchOutOfRange { switch: 5, .. }
+        ));
+    }
+
+    #[test]
+    fn capacities_change_fingerprint_only_when_set() {
+        let plain = triangle();
+        let capped = TopologyBuilder::new(3, 4)
+            .links([(0, 1), (1, 2), (2, 0)])
+            .uniform_mem_capacity(1024)
+            .build()
+            .unwrap();
+        let capped_other = TopologyBuilder::new(3, 4)
+            .links([(0, 1), (1, 2), (2, 0)])
+            .uniform_mem_capacity(2048)
+            .build()
+            .unwrap();
+        assert_ne!(plain.fingerprint(), capped.fingerprint());
+        assert_ne!(capped.fingerprint(), capped_other.fingerprint());
+        // Uncapacitated fingerprints are byte-compatible with pre-capacity
+        // builds: building the same network twice still agrees.
+        assert_eq!(plain.fingerprint(), triangle().fingerprint());
+    }
+
+    #[test]
+    fn without_link_preserves_capacities() {
+        let t = TopologyBuilder::new(3, 4)
+            .links([(0, 1), (1, 2), (2, 0)])
+            .uniform_mem_capacity(512)
+            .mem_capacity(2, 8)
+            .build()
+            .unwrap();
+        let id = t.link_between(0, 1).unwrap();
+        let degraded = t.without_link(id).unwrap();
+        assert_eq!(degraded.mem_capacities(), Some(&[512, 512, 8][..]));
     }
 
     #[test]

@@ -74,6 +74,17 @@ pub fn to_text(topo: &Topology) -> String {
             writeln!(out, "link {} {} {slowdown}", l.a, l.b).expect("write to string");
         }
     }
+    if let Some(caps) = topo.mem_capacities() {
+        if let Some(&first) = caps.first() {
+            if caps.iter().all(|&c| c == first) {
+                writeln!(out, "mem_per_switch {first}").expect("write to string");
+            } else {
+                for (s, &c) in caps.iter().enumerate() {
+                    writeln!(out, "mem {s} {c}").expect("write to string");
+                }
+            }
+        }
+    }
     out
 }
 
@@ -86,6 +97,8 @@ pub fn from_text(text: &str) -> Result<Topology, ParseError> {
     let mut hosts: usize = 0;
     let mut hosts_seen = false;
     let mut links: Vec<(usize, usize, u32)> = Vec::new();
+    let mut uniform_mem: Option<u64> = None;
+    let mut mem_caps: Vec<(usize, u64)> = Vec::new();
 
     for (idx, raw) in text.lines().enumerate() {
         let line = idx + 1;
@@ -140,6 +153,33 @@ pub fn from_text(text: &str) -> Result<Topology, ParseError> {
                     }
                 }
             }
+            Some("mem_per_switch") => {
+                if uniform_mem.is_some() {
+                    return Err(ParseError::DuplicateDirective("mem_per_switch"));
+                }
+                let bytes =
+                    parts
+                        .next()
+                        .and_then(|v| v.parse().ok())
+                        .ok_or(ParseError::BadArgument {
+                            line,
+                            directive: "mem_per_switch",
+                        })?;
+                uniform_mem = Some(bytes);
+            }
+            Some("mem") => {
+                let s = parts.next().and_then(|v| v.parse().ok());
+                let bytes = parts.next().and_then(|v| v.parse().ok());
+                match (s, bytes) {
+                    (Some(s), Some(bytes)) => mem_caps.push((s, bytes)),
+                    _ => {
+                        return Err(ParseError::BadArgument {
+                            line,
+                            directive: "mem",
+                        })
+                    }
+                }
+            }
             _ => {
                 return Err(ParseError::BadLine {
                     line,
@@ -160,6 +200,12 @@ pub fn from_text(text: &str) -> Result<Topology, ParseError> {
     let mut b = TopologyBuilder::new(n, hosts);
     for (u, v, slowdown) in links {
         b = b.link_with_slowdown(u, v, slowdown);
+    }
+    if let Some(bytes) = uniform_mem {
+        b = b.uniform_mem_capacity(bytes);
+    }
+    for (s, bytes) in mem_caps {
+        b = b.mem_capacity(s, bytes);
     }
     b.build().map_err(ParseError::Invalid)
 }
@@ -261,6 +307,69 @@ mod tests {
         for id in 0..3 {
             assert_eq!(back.link_slowdown(id), t.link_slowdown(id));
         }
+    }
+
+    #[test]
+    fn mem_capacities_round_trip() {
+        // Uniform capacity serializes as a single directive.
+        let uniform = TopologyBuilder::new(3, 1)
+            .links([(0, 1), (1, 2)])
+            .uniform_mem_capacity(4096)
+            .build()
+            .unwrap();
+        let text = to_text(&uniform);
+        assert!(text.contains("mem_per_switch 4096"));
+        let back = from_text(&text).unwrap();
+        assert_eq!(back.mem_capacities(), uniform.mem_capacities());
+        assert_eq!(back.fingerprint(), uniform.fingerprint());
+
+        // Heterogeneous capacities serialize per switch.
+        let hetero = TopologyBuilder::new(3, 1)
+            .links([(0, 1), (1, 2)])
+            .uniform_mem_capacity(4096)
+            .mem_capacity(1, 128)
+            .build()
+            .unwrap();
+        let text = to_text(&hetero);
+        assert!(text.contains("mem 1 128"));
+        let back = from_text(&text).unwrap();
+        assert_eq!(back.mem_capacities(), hetero.mem_capacities());
+        assert_eq!(back.fingerprint(), hetero.fingerprint());
+
+        // Uncapacitated topologies emit no mem directives at all.
+        assert!(!to_text(&designed::ring(4, 1)).contains("mem"));
+    }
+
+    #[test]
+    fn mem_directives_rejected_when_malformed() {
+        assert!(matches!(
+            from_text("switches 2\nlink 0 1\nmem_per_switch lots\n").unwrap_err(),
+            ParseError::BadArgument {
+                directive: "mem_per_switch",
+                ..
+            }
+        ));
+        assert!(matches!(
+            from_text("switches 2\nlink 0 1\nmem 0\n").unwrap_err(),
+            ParseError::BadArgument {
+                directive: "mem",
+                ..
+            }
+        ));
+        // Trailing junk after a valid mem directive is rejected.
+        assert!(matches!(
+            from_text("switches 2\nlink 0 1\nmem 0 64 junk\n").unwrap_err(),
+            ParseError::BadLine { .. }
+        ));
+        assert_eq!(
+            from_text("switches 2\nlink 0 1\nmem_per_switch 1\nmem_per_switch 2\n").unwrap_err(),
+            ParseError::DuplicateDirective("mem_per_switch")
+        );
+        // Out-of-range switch in a mem directive fails validation.
+        assert!(matches!(
+            from_text("switches 2\nhosts_per_switch 1\nlink 0 1\nmem 9 64\n").unwrap_err(),
+            ParseError::Invalid(TopologyError::SwitchOutOfRange { switch: 9, .. })
+        ));
     }
 
     #[test]

@@ -12,7 +12,11 @@
 //! * `status`    — poll a daemon job's state;
 //! * `metrics`   — dump a daemon's Prometheus-format metrics;
 //! * `faults`    — inject a link/switch fault into a daemon's topology,
-//!   bumping its epoch and repair-refreshing the cached distance table.
+//!   bumping its epoch and repair-refreshing the cached distance table;
+//! * `scenario`  — replay an online workload (Poisson or JSONL trace)
+//!   through the deterministic scenario engine and print its SLO report,
+//!   optionally against the static-mapping baseline and optionally
+//!   mirroring the admitted jobs to a live daemon.
 //!
 //! `schedule` and `sweep` accept `--server host:port` to route through a
 //! running daemon (and its distance-table cache) instead of solving
@@ -191,6 +195,29 @@ pub enum Command {
         /// Daemon address.
         server: String,
     },
+    /// Run an online-workload scenario and print its SLO report.
+    Scenario {
+        /// Network the scenario runs on.
+        topology: TopologySpec,
+        /// Arrival source: `poisson:RATE` (jobs/s) or `trace:FILE`.
+        arrivals: String,
+        /// Virtual seconds of arrivals to generate (poisson source).
+        duration_secs: f64,
+        /// Master seed (arrival stream and all remap seeds).
+        seed: u64,
+        /// Migration policy: `off` or `threshold:X`.
+        migration: commsched_scenarios::MigrationPolicy,
+        /// Also run the static-mapping baseline and print the delta.
+        baseline: bool,
+        /// Mirror the trace to a live daemon as real submissions.
+        server: Option<String>,
+        /// Tabu worker threads (any value gives identical results).
+        threads: usize,
+        /// Communication slowdown weight β in the speed model.
+        beta: f64,
+        /// Write the (generated) trace as JSONL to this path.
+        dump_trace: Option<String>,
+    },
     /// Inject a fault into a daemon-registered topology.
     Faults {
         /// Daemon address.
@@ -343,7 +370,13 @@ USAGE:
                      [--cache-cap N] [--vnodes N]
   commsched loadgen  --server HOST:PORT [--connections N] [--rate JOBS_PER_S]
                      [--batch N] [--duration SECS] [--mode line|binary]
-                     [--spec 'NOOP'] [--max-in-flight N] [--out FILE.json]
+                     [--spec 'NOOP'] [--max-in-flight N] [--deadline-ms MS]
+                     [--out FILE.json]
+  commsched scenario [<topology flags>] [--arrivals poisson:RATE|trace:FILE]
+                     [--duration SECS] [--seed S]
+                     [--migration off|threshold:X] [--baseline]
+                     [--server HOST:PORT] [--threads N] [--beta B]
+                     [--dump-trace FILE.jsonl]
   commsched status   --server HOST:PORT --job ID
   commsched metrics  --server HOST:PORT
   commsched faults   --server HOST:PORT (--fp HEX | <topology flags>)
@@ -355,6 +388,8 @@ DEFAULTS: --kind random --switches 16 --degree 3 --hosts 4 --topo-seed 2000
           --strategy flat --max-coarse-n 256 --approx-eps 0 (exact table)
           --state-dir commsched-state --fsync on-ack --max-conns 10240
           loadgen: --connections 16 --rate 1000 --batch 1 --duration 5
+          scenario: --kind paper24 --arrivals poisson:50 --duration 10
+                    --migration off --threads 1 --beta 3
 ";
 
 fn parse_flags(args: &[String]) -> Result<std::collections::HashMap<String, String>, String> {
@@ -365,7 +400,8 @@ fn parse_flags(args: &[String]) -> Result<std::collections::HashMap<String, Stri
         let Some(key) = a.strip_prefix("--") else {
             return Err(format!("unexpected argument '{a}'"));
         };
-        if key == "compare-random" || key == "adaptive" || key == "no-persist" {
+        if key == "compare-random" || key == "adaptive" || key == "no-persist" || key == "baseline"
+        {
             map.insert(key.to_string(), "true".to_string());
             i += 1;
             continue;
@@ -552,8 +588,44 @@ pub fn parse(args: &[String]) -> Result<Command, String> {
                 max_in_flight: get("max-in-flight", "0")
                     .parse()
                     .map_err(|_| "bad --max-in-flight")?,
+                deadline_ms: match flags.get("deadline-ms") {
+                    None => None,
+                    Some(v) => Some(v.parse().map_err(|_| "bad --deadline-ms")?),
+                },
             },
             out: flags.get("out").cloned(),
+        }),
+        "scenario" => Ok(Command::Scenario {
+            // An online scenario defaults to the paper's network unless
+            // topology flags say otherwise.
+            topology: if flags.contains_key("kind") {
+                parse_topology(&flags)?
+            } else {
+                TopologySpec::Paper24
+            },
+            arrivals: get("arrivals", "poisson:50"),
+            duration_secs: {
+                let d: f64 = get("duration", "10")
+                    .parse()
+                    .map_err(|_| "bad --duration")?;
+                if !d.is_finite() || d <= 0.0 {
+                    return Err("bad --duration (need seconds > 0)".into());
+                }
+                d
+            },
+            seed,
+            migration: commsched_scenarios::MigrationPolicy::parse(&get("migration", "off"))?,
+            baseline: flags.contains_key("baseline"),
+            server,
+            threads: get("threads", "1").parse().map_err(|_| "bad --threads")?,
+            beta: {
+                let b: f64 = get("beta", "3").parse().map_err(|_| "bad --beta")?;
+                if !b.is_finite() || b < 0.0 {
+                    return Err("bad --beta (need a finite weight >= 0)".into());
+                }
+                b
+            },
+            dump_trace: flags.get("dump-trace").cloned(),
         }),
         "submit" => {
             let (strategy, _, approx_eps_micros) = parse_scale_flags(&flags)?;
@@ -625,6 +697,83 @@ fn remote_scale_args(strategy: MapStrategy, approx_eps_micros: u32) -> String {
             .expect("write to string");
     }
     extra
+}
+
+/// Materialize a scenario arrival stream from its CLI spelling:
+/// `poisson:RATE` generates the skewed synthetic mix sized to the
+/// topology; `trace:FILE` replays a JSONL file.
+fn build_scenario_trace(
+    arrivals: &str,
+    topo: &Topology,
+    duration_secs: f64,
+    seed: u64,
+) -> Result<Vec<commsched_scenarios::JobArrival>, String> {
+    if let Some(rate) = arrivals.strip_prefix("poisson:") {
+        let rate: f64 = rate
+            .parse()
+            .map_err(|_| format!("bad poisson rate '{rate}'"))?;
+        if !rate.is_finite() || rate <= 0.0 {
+            return Err("poisson rate must be > 0 jobs/s".into());
+        }
+        let shape = commsched_scenarios::WorkloadShape::skewed(
+            topo.num_switches(),
+            topo.hosts_per_switch(),
+        );
+        let duration_us = (duration_secs * 1e6) as u64;
+        return Ok(commsched_scenarios::poisson_trace(
+            rate,
+            duration_us,
+            seed,
+            &shape,
+        ));
+    }
+    if let Some(path) = arrivals.strip_prefix("trace:") {
+        let text =
+            std::fs::read_to_string(path).map_err(|e| format!("cannot read '{path}': {e}"))?;
+        return commsched_scenarios::parse_trace(&text).map_err(|e| e.to_string());
+    }
+    Err(format!(
+        "bad --arrivals '{arrivals}' (expected poisson:RATE | trace:FILE)"
+    ))
+}
+
+/// Mirror a scenario trace to a live daemon: every arrival becomes a
+/// real `NOOP` submission carrying its memory demand and (relative)
+/// deadline, batched over one connection, then awaited. Returns how
+/// many ran to `done`.
+fn mirror_scenario_trace(
+    server: &str,
+    trace: &[commsched_scenarios::JobArrival],
+) -> Result<u64, String> {
+    let mut client =
+        Client::connect(server).map_err(|e| format!("cannot reach server '{server}': {e}"))?;
+    let specs: Vec<String> = trace
+        .iter()
+        .map(|a| {
+            let mut spec = "NOOP".to_string();
+            if let Some(d) = a.deadline_us {
+                let rel_ms = d.saturating_sub(a.t_us).div_ceil(1000).max(1);
+                write!(spec, " deadline-ms={rel_ms}").expect("write to string");
+            }
+            let mem = a.total_mem();
+            if mem > 0 {
+                write!(spec, " mem={mem}").expect("write to string");
+            }
+            spec
+        })
+        .collect();
+    let acks = client.submit_batch(&specs).map_err(|e| e.to_string())?;
+    let mut done = 0u64;
+    for ack in acks {
+        let id = ack.map_err(|e| format!("daemon rejected mirrored job: {e}"))?;
+        let state = client
+            .wait(id, Duration::from_millis(5))
+            .map_err(|e| e.to_string())?;
+        if state == "done" {
+            done += 1;
+        }
+    }
+    Ok(done)
 }
 
 /// Submit over the wire, wait, and return the result payload lines.
@@ -1061,6 +1210,68 @@ fn run_inner(cmd: &Command) -> Result<String, String> {
                 writeln!(out, "{l}").expect("write to string");
             }
         }
+        Command::Scenario {
+            topology,
+            arrivals,
+            duration_secs,
+            seed,
+            migration,
+            baseline,
+            server,
+            threads,
+            beta,
+            dump_trace,
+        } => {
+            let topo = topology.build()?;
+            let trace = build_scenario_trace(arrivals, &topo, *duration_secs, *seed)?;
+            if let Some(path) = dump_trace {
+                std::fs::write(path, commsched_scenarios::format_trace(&trace))
+                    .map_err(|e| format!("cannot write '{path}': {e}"))?;
+                writeln!(out, "trace: {} arrivals written to {path}", trace.len())
+                    .expect("write to string");
+            }
+            let mut cfg = commsched_scenarios::ScenarioConfig::new(topo);
+            cfg.migration = *migration;
+            cfg.seed = *seed;
+            cfg.threads = *threads;
+            cfg.beta = *beta;
+            let report =
+                commsched_scenarios::run_scenario(&cfg, &trace).map_err(|e| e.to_string())?;
+            if *baseline {
+                let mut base_cfg = cfg.clone();
+                base_cfg.migration = commsched_scenarios::MigrationPolicy::Off;
+                let base = commsched_scenarios::run_scenario(&base_cfg, &trace)
+                    .map_err(|e| e.to_string())?;
+                writeln!(out, "--- baseline (static mapping) ---").expect("write to string");
+                writeln!(out, "{base}").expect("write to string");
+                writeln!(out, "--- scenario ({}) ---", cfg.migration).expect("write to string");
+                writeln!(out, "{report}").expect("write to string");
+                writeln!(
+                    out,
+                    "compare attainment={:.2}% vs baseline {:.2}% ({:+.2} pp)  \
+                     p99={}us vs {}us  makespan={}us vs {}us",
+                    report.deadline_attainment() * 100.0,
+                    base.deadline_attainment() * 100.0,
+                    (report.deadline_attainment() - base.deadline_attainment()) * 100.0,
+                    report.response_p99_us,
+                    base.response_p99_us,
+                    report.makespan_us,
+                    base.makespan_us,
+                )
+                .expect("write to string");
+            } else {
+                writeln!(out, "{report}").expect("write to string");
+            }
+            if let Some(server) = server {
+                let acked = mirror_scenario_trace(server, &trace)?;
+                writeln!(
+                    out,
+                    "daemon mirror: {acked}/{} jobs done on {server}",
+                    trace.len()
+                )
+                .expect("write to string");
+            }
+        }
         Command::Faults {
             server,
             fp,
@@ -1240,6 +1451,7 @@ mod tests {
                     mode: commsched_service::loadgen::WireMode::Binary,
                     spec: "NOOP".into(),
                     max_in_flight: 32,
+                    deadline_ms: None,
                 },
                 out: Some("/tmp/lg.json".into()),
             }
@@ -1392,6 +1604,99 @@ mod tests {
         assert!(parse(&argv("faults --server h:1 --kind paper24")).is_err());
         assert!(parse(&argv("faults --server h:1 --kill 0:1 --restore 0:1")).is_err());
         assert!(parse(&argv("faults --kind paper24 --kill 0:1")).is_err());
+    }
+
+    #[test]
+    fn parse_scenario_subcommand() {
+        assert_eq!(
+            parse(&argv(
+                "scenario --arrivals poisson:50 --duration 30 --seed 7 \
+                 --migration threshold:0.1 --baseline --threads 2"
+            ))
+            .unwrap(),
+            Command::Scenario {
+                topology: TopologySpec::Paper24,
+                arrivals: "poisson:50".into(),
+                duration_secs: 30.0,
+                seed: 7,
+                migration: commsched_scenarios::MigrationPolicy::Threshold(0.1),
+                baseline: true,
+                server: None,
+                threads: 2,
+                beta: 3.0,
+                dump_trace: None,
+            }
+        );
+        // Topology flags override the paper24 default.
+        match parse(&argv("scenario --kind ring --switches 8 --hosts 1")).unwrap() {
+            Command::Scenario {
+                topology,
+                migration,
+                baseline,
+                ..
+            } => {
+                assert_eq!(
+                    topology,
+                    TopologySpec::Ring {
+                        switches: 8,
+                        hosts: 1
+                    }
+                );
+                assert_eq!(migration, commsched_scenarios::MigrationPolicy::Off);
+                assert!(!baseline);
+            }
+            other => panic!("wrong parse: {other:?}"),
+        }
+        assert!(parse(&argv("scenario --migration sometimes")).is_err());
+        assert!(parse(&argv("scenario --migration threshold:-1")).is_err());
+        assert!(parse(&argv("scenario --duration 0")).is_err());
+        assert!(parse(&argv("scenario --beta -2")).is_err());
+    }
+
+    #[test]
+    fn run_scenario_replays_a_trace_file() {
+        let dir = std::env::temp_dir().join(format!("commsched-cli-scn-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("trace.jsonl");
+        std::fs::write(
+            &path,
+            "{\"t_us\":0,\"base_us\":10000,\"mem\":[64,64],\"edges\":[[0,1,4096]],\"deadline_us\":90000}\n\
+             {\"t_us\":5,\"base_us\":10000,\"mem\":[64],\"edges\":[]}\n",
+        )
+        .unwrap();
+        let out = run(&Command::Scenario {
+            topology: TopologySpec::Ring {
+                switches: 6,
+                hosts: 1,
+            },
+            arrivals: format!("trace:{}", path.display()),
+            duration_secs: 1.0,
+            seed: 1,
+            migration: commsched_scenarios::MigrationPolicy::Threshold(0.1),
+            baseline: true,
+            server: None,
+            threads: 1,
+            beta: 3.0,
+            dump_trace: None,
+        })
+        .unwrap();
+        assert!(out.contains("slo policy=threshold:0.1"), "{out}");
+        assert!(out.contains("baseline (static mapping)"), "{out}");
+        assert!(out.contains("compare attainment="), "{out}");
+        assert!(out.contains("deadline total=1 met=1"), "{out}");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn parse_loadgen_deadline_flag() {
+        match parse(&argv("loadgen --server h:1 --deadline-ms 250")).unwrap() {
+            Command::Loadgen { config, .. } => {
+                assert_eq!(config.deadline_ms, Some(250));
+                assert_eq!(config.effective_spec(), "NOOP deadline-ms=250");
+            }
+            other => panic!("wrong parse: {other:?}"),
+        }
+        assert!(parse(&argv("loadgen --server h:1 --deadline-ms soon")).is_err());
     }
 
     #[test]
