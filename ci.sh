@@ -24,8 +24,8 @@ cargo test -q --workspace
 echo "==> cargo bench --workspace --no-run"
 cargo bench --workspace --no-run
 
-echo "==> perfbase --smoke (perf sanity: sparse == dense, tabu determinism, dynamics repair >= 3x rebuild, net front-end sweep, multilevel scale gate, scenario warm-remap >= 3x cold + thread-count bit-identity)"
-./target/release/perfbase --smoke --out /tmp/perfbase_smoke.json --out-dynamics /tmp/perfbase_smoke_pr4.json --out-service /tmp/perfbase_smoke_pr5.json --out-net /tmp/perfbase_smoke_pr6.json --out-scale /tmp/perfbase_smoke_pr7.json --out-scenarios /tmp/perfbase_smoke_pr9.json
+echo "==> perfbase --smoke (perf sanity: sparse == dense, tabu determinism, dynamics repair >= 3x rebuild, net front-end sweep, multilevel scale gate, scenario warm-remap >= 3x cold + thread-count bit-identity, congestion-regime OP-vs-random sign + off-mode purity)"
+./target/release/perfbase --smoke --out /tmp/perfbase_smoke.json --out-dynamics /tmp/perfbase_smoke_pr4.json --out-service /tmp/perfbase_smoke_pr5.json --out-net /tmp/perfbase_smoke_pr6.json --out-scale /tmp/perfbase_smoke_pr7.json --out-scenarios /tmp/perfbase_smoke_pr9.json --out-netsim /tmp/perfbase_smoke_pr10.json
 
 echo "==> perfbase --smoke --only-cluster (shard scaling gates: >= 1.7x at 2, >= 3x at 4; sync replication row)"
 ./target/release/perfbase --smoke --only-cluster --out-cluster /tmp/perfbase_smoke_pr8.json
@@ -43,6 +43,20 @@ grep -q '^approx table: eps = 0.05' /tmp/ml_smoke.out \
 [ "$ML_ELAPSED" -le 120 ] \
     || { echo "multilevel smoke: N=1024 took ${ML_ELAPSED}s (> 120s budget)"; exit 1; }
 echo "multilevel smoke: ok (${ML_ELAPSED}s)"
+
+echo "==> congestion sweep smoke (S1..S9 sweep under ECN+AIMD with adaptive misrouting)"
+./target/release/commsched sweep --kind ring --switches 8 --hosts 2 --clusters 2 \
+    --congestion ecn-aimd --vcs 2 --misroute >/tmp/congestion_sweep_smoke.out \
+    || { echo "congestion sweep smoke: run failed"; cat /tmp/congestion_sweep_smoke.out; exit 1; }
+grep -q '^regime: ecn-aimd+misroute' /tmp/congestion_sweep_smoke.out \
+    || { echo "congestion sweep smoke: no regime line"; cat /tmp/congestion_sweep_smoke.out; exit 1; }
+grep -q '^S1' /tmp/congestion_sweep_smoke.out \
+    || { echo "congestion sweep smoke: no sweep points"; cat /tmp/congestion_sweep_smoke.out; exit 1; }
+grep -q 'NaN' /tmp/congestion_sweep_smoke.out \
+    && { echo "congestion sweep smoke: NaN leaked into output"; cat /tmp/congestion_sweep_smoke.out; exit 1; }
+grep -q 'DEADLOCK' /tmp/congestion_sweep_smoke.out \
+    && { echo "congestion sweep smoke: deadlock reported"; cat /tmp/congestion_sweep_smoke.out; exit 1; }
+echo "congestion sweep smoke: ok"
 
 echo "==> recovery smoke (serve -> submit -> SIGKILL -> restart -> recovered job visible)"
 SMOKE_DIR=$(mktemp -d /tmp/commsched-recovery-smoke.XXXXXX)

@@ -165,8 +165,10 @@ fn ablate_sim_params(testbed: &Testbed) {
             };
             let s = simulate(&testbed.topology, &testbed.routing, &clusters, cfg).expect("sim");
             println!(
-                "  {msg_len:<8} {buffer:<7} {:<18.4} {:.1}",
-                s.accepted_flits_per_switch_cycle, s.avg_network_latency
+                "  {msg_len:<8} {buffer:<7} {:<18.4} {}",
+                s.accepted_flits_per_switch_cycle,
+                s.network_latency()
+                    .map_or_else(|| "-".to_string(), |l| format!("{l:.1}"))
             );
         }
     }

@@ -45,16 +45,19 @@ fn correlation_experiment(testbed: &Testbed, num_random: u64) {
             .iter()
             .map(|s| s.points[k].stats.accepted_flits_per_switch_cycle)
             .collect();
-        let neg_latency: Vec<f64> = sweeps
+        // A point that delivered nothing has no average latency; dropping
+        // to "n/a" beats feeding NaN into the correlation.
+        let neg_latency: Option<Vec<f64>> = sweeps
             .iter()
-            .map(|s| -s.points[k].stats.avg_network_latency)
+            .map(|s| s.points[k].stats.network_latency().map(|l| -l))
             .collect();
         let r_acc = pearson(&ccs, &accepted)
             .map(|r| format!("{r:>8.3}"))
             .unwrap_or_else(|_| "     n/a".into());
-        let r_lat = pearson(&ccs, &neg_latency)
+        let r_lat = neg_latency
+            .and_then(|nl| pearson(&ccs, &nl).ok())
             .map(|r| format!("{r:>8.3}"))
-            .unwrap_or_else(|_| "     n/a".into());
+            .unwrap_or_else(|| "     n/a".into());
         println!("  S{:<5} {r_acc}          {r_lat}", k + 1);
     }
     // Throughput-level correlation (one number per network).

@@ -60,15 +60,30 @@
 //! searches' tabu iterations — and the same run at tabu thread counts
 //! 1 and 2 must produce bit-identical event-log digests.
 //!
-//! Usage: `perfbase [--smoke] [--only-cluster] [--out PATH]
-//!                  [--out-dynamics PATH] [--out-service PATH]
-//!                  [--out-net PATH] [--out-scale PATH]
-//!                  [--out-cluster PATH] [--out-scenarios PATH]`
+//! An eighth section gates the congestion-aware simulator
+//! (`BENCH_pr10.json`): the paper's OP-vs-random comparison re-runs on
+//! the 16-switch network under every congestion regime (off, PFC,
+//! ECN+AIMD, ECN+DCTCP, adaptive misrouting). Gates, asserted in every
+//! run including `--smoke`: (a) the communication-aware mapping
+//! out-accepts the random one under each regime, (b) ECN+AIMD accepted
+//! traffic at low offered load is within 10 % of the uncontrolled
+//! simulator's, and (c) congestion `off` is bit-identical regardless of
+//! the (inert) threshold knobs — the machinery adds no behaviour, and
+//! therefore no measurable cost, to the uncontrolled baseline. Wall
+//! times per regime are tracked numbers.
+//!
+//! Usage: `perfbase [--smoke] [--only-cluster] [--only-netsim]
+//!                  [--out PATH] [--out-dynamics PATH]
+//!                  [--out-service PATH] [--out-net PATH]
+//!                  [--out-scale PATH] [--out-cluster PATH]
+//!                  [--out-scenarios PATH] [--out-netsim PATH]`
 //!
 //! `--only-cluster` skips the pr2..pr7 sections and runs just the
 //! cluster sweep — the earlier baselines are expensive full-machine
 //! runs whose tracked numbers should not churn when only the cluster
-//! layer changed.
+//! layer changed. `--only-netsim` likewise runs just the
+//! congestion-regime section, which is cheap enough for a full-budget
+//! run on its own.
 //!
 //! * `--smoke` — N ∈ {16, 24} and one repetition: a seconds-fast CI run
 //!   that still exercises every measured code path (the dynamics guard
@@ -86,6 +101,8 @@
 //!   (default `BENCH_pr8.json`).
 //! * `--out-scenarios PATH` — where to write the scenario-engine JSON
 //!   (default `BENCH_pr9.json`).
+//! * `--out-netsim PATH` — where to write the congestion-regime JSON
+//!   (default `BENCH_pr10.json`).
 
 use commsched_bench::{Testbed, SEARCH_SEED};
 use commsched_cluster::follower::run_follower;
@@ -99,6 +116,7 @@ use commsched_distance::{
 };
 use commsched_dynamics::{repair_table, warm_remap, FaultEvent, TopologyEpoch};
 use commsched_net::NetConfig;
+use commsched_netsim::{regime_configs, simulate, sweep, SimConfig};
 use commsched_routing::UpDownRouting;
 use commsched_search::{
     multilevel_map, Mapper, MultilevelParams, MultilevelStats, TabuParams, TabuSearch,
@@ -1149,6 +1167,7 @@ fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let smoke = args.iter().any(|a| a == "--smoke");
     let only_cluster = args.iter().any(|a| a == "--only-cluster");
+    let only_netsim = args.iter().any(|a| a == "--only-netsim");
     let out_path = args
         .iter()
         .position(|a| a == "--out")
@@ -1191,6 +1210,12 @@ fn main() {
         .and_then(|i| args.get(i + 1))
         .cloned()
         .unwrap_or_else(|| "BENCH_pr9.json".to_string());
+    let netsim_out_path = args
+        .iter()
+        .position(|a| a == "--out-netsim")
+        .and_then(|i| args.get(i + 1))
+        .cloned()
+        .unwrap_or_else(|| "BENCH_pr10.json".to_string());
 
     let (sizes, reps): (&[usize], usize) = if smoke {
         (&[16, 24], 1)
@@ -1199,7 +1224,7 @@ fn main() {
     };
     let threads = std::thread::available_parallelism().map_or(1, usize::from);
 
-    if !only_cluster {
+    if !only_cluster && !only_netsim {
         let mut rows = Vec::new();
         for &n in sizes {
             eprintln!("perfbase: measuring N = {n} ...");
@@ -1461,64 +1486,66 @@ fn main() {
     // open-loop rate, plus one sync-replicated row whose METRICS dump
     // carries the replication-lag/barrier histogram. The scaling gates
     // assert in every run, smoke included.
-    eprintln!("perfbase: cluster scaling sweep ...");
-    let c = measure_cluster(smoke);
-    let mut json = String::new();
-    json.push_str("{\n");
-    json.push_str("  \"bench\": \"pr8-cluster\",\n");
-    json.push_str(&format!("  \"smoke\": {smoke},\n"));
-    json.push_str(&format!("  \"machine_threads\": {threads},\n"));
-    json.push_str(&format!(
-        "  \"rate_per_shard_jobs_per_sec\": {:.0},\n",
-        c.rate_per_shard
-    ));
-    json.push_str("  \"rows\": [\n");
-    for (i, r) in c.rows.iter().enumerate() {
+    if !only_netsim {
+        eprintln!("perfbase: cluster scaling sweep ...");
+        let c = measure_cluster(smoke);
+        let mut json = String::new();
+        json.push_str("{\n");
+        json.push_str("  \"bench\": \"pr8-cluster\",\n");
+        json.push_str(&format!("  \"smoke\": {smoke},\n"));
+        json.push_str(&format!("  \"machine_threads\": {threads},\n"));
         json.push_str(&format!(
-            "    {{\"shards\": {}, \"aggregate_jobs_per_sec\": {:.1}, \"per_shard\": [",
-            r.shards, r.aggregate_jobs_per_sec
+            "  \"rate_per_shard_jobs_per_sec\": {:.0},\n",
+            c.rate_per_shard
         ));
-        for (j, s) in r.per_shard.iter().enumerate() {
-            if j > 0 {
-                json.push_str(", ");
+        json.push_str("  \"rows\": [\n");
+        for (i, r) in c.rows.iter().enumerate() {
+            json.push_str(&format!(
+                "    {{\"shards\": {}, \"aggregate_jobs_per_sec\": {:.1}, \"per_shard\": [",
+                r.shards, r.aggregate_jobs_per_sec
+            ));
+            for (j, s) in r.per_shard.iter().enumerate() {
+                if j > 0 {
+                    json.push_str(", ");
+                }
+                json.push_str(&s.to_json());
             }
-            json.push_str(&s.to_json());
+            json.push_str(&format!(
+                "]}}{}\n",
+                if i + 1 < c.rows.len() { "," } else { "" }
+            ));
         }
+        json.push_str("  ],\n");
         json.push_str(&format!(
-            "]}}{}\n",
-            if i + 1 < c.rows.len() { "," } else { "" }
+            "  \"speedup_2_shards\": {:.3},\n  \"speedup_4_shards\": {:.3},\n",
+            c.speedup_2, c.speedup_4
         ));
-    }
-    json.push_str("  ],\n");
-    json.push_str(&format!(
-        "  \"speedup_2_shards\": {:.3},\n  \"speedup_4_shards\": {:.3},\n",
-        c.speedup_2, c.speedup_4
-    ));
-    json.push_str(&format!(
-        "  \"replicated_sync\": {},\n",
-        c.repl_report.to_json()
-    ));
-    json.push_str(&format!(
-        "  \"replicated_follower_applied_records\": {},\n",
-        c.repl_follower_applied
-    ));
-    json.push_str("  \"replication_metrics\": [\n");
-    for (i, l) in c.repl_metrics.iter().enumerate() {
         json.push_str(&format!(
-            "    \"{}\"{}\n",
-            l.replace('\\', "\\\\").replace('"', "\\\""),
-            if i + 1 < c.repl_metrics.len() {
-                ","
-            } else {
-                ""
-            }
+            "  \"replicated_sync\": {},\n",
+            c.repl_report.to_json()
         ));
+        json.push_str(&format!(
+            "  \"replicated_follower_applied_records\": {},\n",
+            c.repl_follower_applied
+        ));
+        json.push_str("  \"replication_metrics\": [\n");
+        for (i, l) in c.repl_metrics.iter().enumerate() {
+            json.push_str(&format!(
+                "    \"{}\"{}\n",
+                l.replace('\\', "\\\\").replace('"', "\\\""),
+                if i + 1 < c.repl_metrics.len() {
+                    ","
+                } else {
+                    ""
+                }
+            ));
+        }
+        json.push_str("  ]\n}\n");
+        std::fs::write(&cluster_out_path, &json).expect("write cluster benchmark json");
+        println!("perfbase: wrote {cluster_out_path}");
     }
-    json.push_str("  ]\n}\n");
-    std::fs::write(&cluster_out_path, &json).expect("write cluster benchmark json");
-    println!("perfbase: wrote {cluster_out_path}");
 
-    if !only_cluster {
+    if !only_cluster && !only_netsim {
         // The scenario-engine gate: warm remaps must stay cheap and the
         // run must be thread-count invariant. Asserts in every run,
         // smoke included.
@@ -1562,6 +1589,204 @@ fn main() {
         );
         std::fs::write(&scenarios_out_path, &json).expect("write scenarios benchmark json");
         println!("perfbase: wrote {scenarios_out_path}");
+    }
+
+    if !only_cluster {
+        // The congestion-regime gate: OP-vs-random under every regime,
+        // plus the low-load ECN delta and off-mode purity checks.
+        // Asserts in every run, smoke included.
+        eprintln!("perfbase: congestion-regime gate ...");
+        let ns = measure_netsim(smoke);
+        let mut json = String::new();
+        json.push_str("{\n");
+        json.push_str("  \"bench\": \"pr10-netsim-congestion\",\n");
+        json.push_str(&format!("  \"smoke\": {smoke},\n"));
+        json.push_str(&format!("  \"machine_threads\": {threads},\n"));
+        json.push_str(&format!("  \"low_rate\": {:.3},\n", ns.low_rate));
+        json.push_str(&format!("  \"high_rate\": {:.3},\n", ns.high_rate));
+        json.push_str("  \"regimes\": [\n");
+        for (i, r) in ns.rows.iter().enumerate() {
+            json.push_str("    {\n");
+            json.push_str(&format!("      \"regime\": \"{}\",\n", r.name));
+            json.push_str(&format!(
+                "      \"op_accepted_low\": {:.6},\n",
+                r.op_accepted_low
+            ));
+            json.push_str(&format!(
+                "      \"op_accepted_high\": {:.6},\n",
+                r.op_accepted_high
+            ));
+            json.push_str(&format!(
+                "      \"random_accepted_high\": {:.6},\n",
+                r.rnd_accepted_high
+            ));
+            json.push_str(&format!(
+                "      \"op_vs_random_ratio\": {:.4},\n",
+                r.op_accepted_high / r.rnd_accepted_high.max(1e-12)
+            ));
+            json.push_str(&format!(
+                "      \"op_latency_low_cycles\": {},\n",
+                r.op_latency_low
+                    .map_or_else(|| "null".to_string(), |l| format!("{l:.2}"))
+            ));
+            json.push_str(&format!("      \"ecn_marks\": {},\n", r.ecn_marks));
+            json.push_str(&format!("      \"pfc_pauses\": {},\n", r.pfc_pauses));
+            json.push_str(&format!("      \"misroutes\": {},\n", r.misroutes));
+            json.push_str(&format!("      \"wall_ms\": {:.3}\n", r.wall_ms));
+            json.push_str(if i + 1 < ns.rows.len() {
+                "    },\n"
+            } else {
+                "    }\n"
+            });
+        }
+        json.push_str("  ],\n");
+        json.push_str(&format!(
+            "  \"ecn_aimd_low_load_delta_vs_off\": {:.4},\n",
+            ns.aimd_low_delta
+        ));
+        json.push_str(&format!("  \"off_mode_bit_pure\": {}\n", ns.off_bit_pure));
+        json.push_str("}\n");
+        std::fs::write(&netsim_out_path, &json).expect("write netsim benchmark json");
+        println!("perfbase: wrote {netsim_out_path}");
+    }
+}
+
+struct NetsimRegimeRow {
+    name: &'static str,
+    op_accepted_low: f64,
+    op_accepted_high: f64,
+    rnd_accepted_high: f64,
+    op_latency_low: Option<f64>,
+    ecn_marks: u64,
+    pfc_pauses: u64,
+    misroutes: u64,
+    wall_ms: f64,
+}
+
+struct NetsimBench {
+    low_rate: f64,
+    high_rate: f64,
+    rows: Vec<NetsimRegimeRow>,
+    aimd_low_delta: f64,
+    off_bit_pure: bool,
+}
+
+/// The PR-10 congestion gate: the paper's OP-vs-random comparison on
+/// the 16-switch network, once per congestion regime. Gate 1 — the
+/// communication-aware mapping out-accepts the random one under every
+/// regime (the Cc↔throughput sign survives realistic backpressure).
+/// Gate 2 — ECN+AIMD accepted traffic at low load stays within 10 % of
+/// the uncontrolled simulator's (flow control must not tax an
+/// uncongested network). Gate 3 — congestion `off` is bit-identical no
+/// matter how the (inert) threshold knobs are set, which is how the
+/// "≤ 10 % slowdown with congestion off" criterion is met: the off
+/// path executes no congestion code at all.
+fn measure_netsim(smoke: bool) -> NetsimBench {
+    let t = Testbed::paper_16();
+    let (op, q_op, _) = t.tabu_mapping();
+    let (rnd, q_r) = t.random_mapping(1);
+    assert!(q_op.cc > q_r.cc, "testbed invariant: OP clusters better");
+    let op_clusters = t.host_clusters(&op);
+    let rnd_clusters = t.host_clusters(&rnd);
+    let base = if smoke {
+        SimConfig {
+            warmup_cycles: 300,
+            measure_cycles: 1_500,
+            ..t.sim_config()
+        }
+    } else {
+        t.sim_config()
+    };
+    let (low_rate, high_rate) = (0.1, 0.5);
+    let rates = [low_rate, high_rate];
+
+    let mut rows = Vec::new();
+    for (name, cfg) in regime_configs(base) {
+        let t0 = Instant::now();
+        let s_op = sweep(&t.topology, &t.routing, &op_clusters, cfg, &rates).expect("op sweep");
+        let s_r = sweep(&t.topology, &t.routing, &rnd_clusters, cfg, &rates).expect("rnd sweep");
+        let wall_ms = t0.elapsed().as_secs_f64() * 1e3;
+        for p in s_op.points.iter().chain(s_r.points.iter()) {
+            assert!(!p.stats.deadlocked, "{name}: up*/down* deadlocked");
+        }
+        let op_high = s_op.points[1].stats.accepted_flits_per_switch_cycle;
+        let rnd_high = s_r.points[1].stats.accepted_flits_per_switch_cycle;
+        assert!(
+            op_high > rnd_high,
+            "{name}: sign gate failed — OP {op_high} vs random {rnd_high}"
+        );
+        let high = &s_op.points[1].stats;
+        rows.push(NetsimRegimeRow {
+            name,
+            op_accepted_low: s_op.points[0].stats.accepted_flits_per_switch_cycle,
+            op_accepted_high: op_high,
+            rnd_accepted_high: rnd_high,
+            op_latency_low: s_op.points[0].stats.network_latency(),
+            ecn_marks: high.ecn_marks,
+            pfc_pauses: high.pfc_pauses,
+            misroutes: high.misroutes,
+            wall_ms,
+        });
+        eprintln!(
+            "  {name:<9} OP {op_high:.4} vs random {rnd_high:.4} f/sw/cy ({:.2}x)  {wall_ms:.0} ms",
+            op_high / rnd_high.max(1e-12)
+        );
+    }
+
+    let off_low = rows[0].op_accepted_low;
+    let aimd_low = rows
+        .iter()
+        .find(|r| r.name == "ecn-aimd")
+        .expect("ecn-aimd regime row")
+        .op_accepted_low;
+    let aimd_low_delta = (aimd_low - off_low).abs() / off_low.max(1e-12);
+    assert!(
+        aimd_low_delta <= 0.10,
+        "low-load ECN gate: AIMD accepted {aimd_low} vs uncontrolled {off_low} \
+         ({:.1} % > 10 %)",
+        aimd_low_delta * 100.0
+    );
+
+    // Off-mode purity: the threshold knobs are inert when congestion is
+    // off — identical bits, so zero added cost on the uncontrolled path.
+    let plain = simulate(
+        &t.topology,
+        &t.routing,
+        &op_clusters,
+        SimConfig {
+            injection_rate: high_rate,
+            ..base
+        },
+    )
+    .expect("plain off run");
+    let knobs = simulate(
+        &t.topology,
+        &t.routing,
+        &op_clusters,
+        SimConfig {
+            injection_rate: high_rate,
+            pfc_xoff: 1,
+            pfc_xon: 0,
+            ecn_threshold: 1,
+            max_misroutes: 99,
+            ..base
+        },
+    )
+    .expect("off run with knobs");
+    let off_bit_pure = plain.delivered_flits == knobs.delivered_flits
+        && plain.generated_messages == knobs.generated_messages
+        && plain.avg_network_latency.to_bits() == knobs.avg_network_latency.to_bits()
+        && plain.ecn_marks == 0
+        && knobs.ecn_marks == 0
+        && knobs.pfc_pauses == 0;
+    assert!(off_bit_pure, "off-mode purity gate failed");
+
+    NetsimBench {
+        low_rate,
+        high_rate,
+        rows,
+        aimd_low_delta,
+        off_bit_pure,
     }
 }
 

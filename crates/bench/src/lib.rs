@@ -164,11 +164,13 @@ pub fn print_sweep(label: &str, cc: f64, sweep: &LoadSweep, hosts_per_switch: us
     println!("  point  offered(f/sw/cy)  accepted(f/sw/cy)  latency(cycles)");
     for (i, p) in sweep.points.iter().enumerate() {
         println!(
-            "  S{:<5} {:>16.4} {:>18.4} {:>16.1}",
+            "  S{:<5} {:>16.4} {:>18.4} {:>16}",
             i + 1,
             p.rate * hosts_per_switch as f64,
             p.stats.accepted_flits_per_switch_cycle,
-            p.stats.avg_network_latency,
+            p.stats
+                .network_latency()
+                .map_or_else(|| "-".to_string(), |l| format!("{l:.1}")),
         );
     }
     println!(

@@ -1,5 +1,7 @@
 //! Simulator configuration.
 
+use crate::congestion::CongestionMode;
+
 /// How a header chooses among the free minimal-route output channels.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub enum SelectionPolicy {
@@ -45,6 +47,28 @@ pub struct SimConfig {
     /// escape channel restricted to the supplied router. Ignored when
     /// `virtual_channels < 2`.
     pub fully_adaptive: bool,
+    /// Congestion-response regime (marking, pausing, source windows).
+    /// `Off` reproduces the paper's open-loop behaviour bit for bit.
+    pub congestion: CongestionMode,
+    /// PFC XOFF threshold: an input VC asserts pause when its buffer
+    /// occupancy reaches this many flits ([`CongestionMode::Pfc`] only).
+    pub pfc_xoff: usize,
+    /// PFC XON threshold: a paused VC releases pause when its occupancy
+    /// drains to this many flits or fewer. Must be below `pfc_xoff`.
+    pub pfc_xon: usize,
+    /// ECN marking threshold: a flit enqueued into a switch input buffer
+    /// whose occupancy then reaches this many flits marks its message
+    /// (ECN modes only).
+    pub ecn_threshold: usize,
+    /// Adaptive misrouting: a header blocked on every minimal hop may
+    /// take a non-minimal hop that stays legal under the supplied
+    /// router's predicate (up*/down* never goes up after down, so such
+    /// detours preserve deadlock freedom). Applies to the base router
+    /// only; ignored under `fully_adaptive`.
+    pub adaptive_misroute: bool,
+    /// Per-message budget of misroute hops (bounds detour length and
+    /// rules out livelock).
+    pub max_misroutes: u32,
 }
 
 impl Default for SimConfig {
@@ -61,6 +85,12 @@ impl Default for SimConfig {
             deadlock_threshold: 20_000,
             virtual_channels: 1,
             fully_adaptive: false,
+            congestion: CongestionMode::default(),
+            pfc_xoff: 3,
+            pfc_xon: 1,
+            ecn_threshold: 2,
+            adaptive_misroute: false,
+            max_misroutes: 4,
         }
     }
 }
@@ -103,6 +133,22 @@ impl SimConfig {
         }
         if self.virtual_channels > 16 {
             return Err("virtual_channels implausibly large (max 16)");
+        }
+        if self.congestion.uses_pfc() {
+            if self.pfc_xoff == 0 || self.pfc_xoff > self.buffer_flits {
+                return Err("pfc_xoff must be in 1..=buffer_flits");
+            }
+            if self.pfc_xon >= self.pfc_xoff {
+                return Err("pfc_xon must be below pfc_xoff (hysteresis)");
+            }
+        }
+        if self.congestion.uses_ecn()
+            && (self.ecn_threshold == 0 || self.ecn_threshold > self.buffer_flits)
+        {
+            return Err("ecn_threshold must be in 1..=buffer_flits");
+        }
+        if self.adaptive_misroute && self.max_misroutes == 0 {
+            return Err("adaptive_misroute needs max_misroutes >= 1");
         }
         Ok(())
     }
@@ -168,6 +214,64 @@ mod tests {
         }
         .validate()
         .is_err());
+    }
+
+    #[test]
+    fn congestion_thresholds_validated() {
+        // PFC needs hysteresis inside the buffer.
+        let pfc = SimConfig {
+            congestion: CongestionMode::Pfc,
+            ..Default::default()
+        };
+        assert_eq!(pfc.validate(), Ok(()));
+        assert!(SimConfig { pfc_xoff: 0, ..pfc }.validate().is_err());
+        assert!(SimConfig { pfc_xoff: 9, ..pfc }.validate().is_err());
+        assert!(SimConfig { pfc_xon: 3, ..pfc }.validate().is_err());
+        // The same thresholds are ignored when PFC is off.
+        assert_eq!(
+            SimConfig {
+                pfc_xon: 3,
+                ..Default::default()
+            }
+            .validate(),
+            Ok(())
+        );
+        // ECN threshold must fit the buffer.
+        for mode in [CongestionMode::EcnAimd, CongestionMode::EcnDctcp] {
+            let ecn = SimConfig {
+                congestion: mode,
+                ..Default::default()
+            };
+            assert_eq!(ecn.validate(), Ok(()));
+            assert!(SimConfig {
+                ecn_threshold: 0,
+                ..ecn
+            }
+            .validate()
+            .is_err());
+            assert!(SimConfig {
+                ecn_threshold: 5,
+                ..ecn
+            }
+            .validate()
+            .is_err());
+        }
+        // Misrouting needs a positive hop budget.
+        assert!(SimConfig {
+            adaptive_misroute: true,
+            max_misroutes: 0,
+            ..Default::default()
+        }
+        .validate()
+        .is_err());
+        assert_eq!(
+            SimConfig {
+                adaptive_misroute: true,
+                ..Default::default()
+            }
+            .validate(),
+            Ok(())
+        );
     }
 
     #[test]

@@ -13,7 +13,11 @@
 //! * [`TrafficPattern`] — per-workstation logical-cluster labels and
 //!   destination sampling (uniform among intracluster peers);
 //! * [`sweep()`]/[`paper_sweep`] — the S1..S9 load-sweep protocol of
-//!   Figures 3 and 5, including automatic saturation-rate search.
+//!   Figures 3 and 5, including automatic saturation-rate search;
+//! * [`CongestionMode`]/[`CongestionControl`] — optional congestion
+//!   response (PFC pause, ECN marking, AIMD/DCTCP source windows,
+//!   up*/down*-legal adaptive misrouting) for re-running the paper's
+//!   comparisons under realistic backpressure.
 //!
 //! # Example
 //!
@@ -37,15 +41,18 @@
 //! ```
 
 pub mod config;
+pub mod congestion;
 pub mod engine;
 pub mod stats;
 pub mod sweep;
 pub mod traffic;
 
 pub use config::{SelectionPolicy, SimConfig};
-pub use engine::{simulate, SimError, Simulator};
+pub use congestion::{regime_configs, Aimd, CongestionControl, CongestionMode, Dctcp, Unlimited};
+pub use engine::{simulate, SimError, Simulator, StallReport};
 pub use stats::{BatchedStats, SimStats};
 pub use sweep::{
-    find_saturation_rate, paper_sweep, sweep, sweep_rates, LoadSweep, SweepConfig, SweepPoint,
+    find_saturation_rate, paper_sweep, regime_sweeps, sweep, sweep_rates, LoadSweep, SweepConfig,
+    SweepPoint,
 };
 pub use traffic::{DestinationPolicy, TrafficPattern};

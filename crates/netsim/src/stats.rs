@@ -26,8 +26,28 @@ pub struct SimStats {
     pub accepted_flits_per_host_cycle: f64,
     /// Largest source-queue length observed (diverges past saturation).
     pub max_source_queue: usize,
-    /// Whether the deadlock watchdog aborted the run.
+    /// Whether the run stalled in a true routing deadlock (a cycle of
+    /// flits each waiting on the next). Stalls caused by killed links or
+    /// flow-control pause are *not* deadlocks: they are reported through
+    /// the `stall_*` fields instead, with this flag false.
     pub deadlocked: bool,
+    /// Messages first marked ECN during the window (ECN modes).
+    pub ecn_marks: u64,
+    /// XOFF assertions during the window (PFC mode).
+    pub pfc_pauses: u64,
+    /// Sum over input VCs of cycles spent paused during the window.
+    pub pfc_pause_cycles: u64,
+    /// Non-minimal hops granted during the window (adaptive misrouting).
+    pub misroutes: u64,
+    /// Flits sitting in network buffers when the progress watchdog fired
+    /// (0 if it never fired).
+    pub stalled_flits: u64,
+    /// Of the stalled flits, those blocked (transitively) on a killed
+    /// link.
+    pub stall_dead_link_flits: u64,
+    /// Of the stalled flits, those blocked (transitively) on a
+    /// flow-control pause.
+    pub stall_paused_flits: u64,
 }
 
 impl SimStats {
@@ -35,6 +55,24 @@ impl SimStats {
     /// conventional "not saturated" test, accepted ≥ `threshold` × offered.
     pub fn is_unsaturated(&self, threshold: f64) -> bool {
         self.accepted_flits_per_host_cycle >= threshold * self.offered_flits_per_host_cycle
+    }
+
+    /// Mean network latency, or `None` when the window delivered nothing
+    /// (where `avg_network_latency` is `NaN`). Consumers that serialize
+    /// or compare latencies must go through this accessor so NaN never
+    /// reaches a JSON document or silently passes an assert.
+    pub fn network_latency(&self) -> Option<f64> {
+        self.avg_network_latency
+            .is_finite()
+            .then_some(self.avg_network_latency)
+    }
+
+    /// Mean generation-to-delivery latency, or `None` when the window
+    /// delivered nothing.
+    pub fn total_latency(&self) -> Option<f64> {
+        self.avg_total_latency
+            .is_finite()
+            .then_some(self.avg_total_latency)
     }
 }
 
@@ -107,6 +145,13 @@ mod tests {
             accepted_flits_per_host_cycle: accepted,
             max_source_queue: 1,
             deadlocked: false,
+            ecn_marks: 0,
+            pfc_pauses: 0,
+            pfc_pause_cycles: 0,
+            misroutes: 0,
+            stalled_flits: 0,
+            stall_dead_link_flits: 0,
+            stall_paused_flits: 0,
         }
     }
 
@@ -114,6 +159,24 @@ mod tests {
     fn unsaturated_test() {
         assert!(stats(0.1, 0.099).is_unsaturated(0.95));
         assert!(!stats(0.1, 0.05).is_unsaturated(0.95));
+    }
+
+    #[test]
+    fn latency_accessors_hide_nan() {
+        let ok = stats(0.1, 0.1);
+        assert_eq!(ok.network_latency(), Some(20.0));
+        assert_eq!(ok.total_latency(), Some(22.0));
+        // A zero-delivery window carries NaN latencies; the accessors
+        // must surface that as None, never as NaN.
+        let empty = SimStats {
+            delivered_messages: 0,
+            delivered_flits: 0,
+            avg_network_latency: f64::NAN,
+            avg_total_latency: f64::NAN,
+            ..stats(0.1, 0.0)
+        };
+        assert_eq!(empty.network_latency(), None);
+        assert_eq!(empty.total_latency(), None);
     }
 
     #[test]

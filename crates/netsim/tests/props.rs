@@ -1,7 +1,7 @@
 //! Property tests for the flit-level simulator: conservation, latency
 //! bounds, and determinism over random configurations.
 
-use commsched_netsim::{SelectionPolicy, SimConfig, Simulator, TrafficPattern};
+use commsched_netsim::{CongestionMode, SelectionPolicy, SimConfig, Simulator, TrafficPattern};
 use commsched_routing::{Routing, UpDownRouting};
 use commsched_topology::{random_regular, RandomTopologyConfig, Topology};
 use proptest::prelude::*;
@@ -137,6 +137,49 @@ proptest! {
         prop_assert_eq!(a.delivered_flits, b.delivered_flits);
         prop_assert_eq!(a.generated_messages, b.generated_messages);
         prop_assert_eq!(a.avg_network_latency.to_bits(), b.avg_network_latency.to_bits());
+    }
+
+    /// Conservation and bit-for-bit determinism hold under every
+    /// congestion regime (PFC pause, ECN windows, adaptive misrouting):
+    /// flow control may delay flits but must never lose, duplicate, or
+    /// reorder the stats across identical runs.
+    #[test]
+    fn congestion_regimes_conserve_and_determinize(
+        topo_seed in any::<u64>(),
+        sim_seed in any::<u64>(),
+        rate in 0.05f64..0.8,
+        mode_idx in 0usize..4,
+        misroute in any::<bool>(),
+    ) {
+        let topo = small_net(topo_seed);
+        let routing = UpDownRouting::new(&topo, 0).unwrap();
+        let clusters: Vec<usize> = (0..16).map(|h| (h / 2) / 4).collect();
+        let cfg = SimConfig {
+            injection_rate: rate,
+            warmup_cycles: 100,
+            measure_cycles: 800,
+            seed: sim_seed,
+            congestion: CongestionMode::ALL[mode_idx],
+            adaptive_misroute: misroute,
+            ..Default::default()
+        };
+        prop_assert!(cfg.validate().is_ok());
+        let run = || {
+            let pattern = TrafficPattern::new(clusters.clone());
+            let mut sim = Simulator::new(&topo, &routing, pattern, cfg).unwrap();
+            sim.run()
+        };
+        let (a, b) = (run(), run());
+        prop_assert!(!a.deadlocked, "up*/down* must not deadlock under {:?}", cfg.congestion);
+        prop_assert_eq!(a.delivered_flits, b.delivered_flits);
+        prop_assert_eq!(a.generated_messages, b.generated_messages);
+        prop_assert_eq!(a.ecn_marks, b.ecn_marks);
+        prop_assert_eq!(a.pfc_pauses, b.pfc_pauses);
+        prop_assert_eq!(a.misroutes, b.misroutes);
+        prop_assert_eq!(
+            a.avg_network_latency.to_bits(),
+            b.avg_network_latency.to_bits()
+        );
     }
 
     /// Throughput can never exceed what the hosts inject or the links

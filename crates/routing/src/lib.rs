@@ -135,6 +135,19 @@ pub trait Routing: Send + Sync {
     /// `dst`. Empty iff `state.node == dst`.
     fn next_hops(&self, state: RouteState, dst: SwitchId) -> Vec<RouteState>;
 
+    /// Legal *non-minimal* next states from `state` that can still reach
+    /// `dst` — the candidate set for adaptive misrouting. Every returned
+    /// state must be reachable by a transition the algorithm's legality
+    /// predicate permits (so a router whose legal channel ordering is
+    /// acyclic, like up*/down*, stays deadlock-free under misrouting),
+    /// and must not already appear in [`Routing::next_hops`]. The default
+    /// offers no detours, which disables misrouting for routers that do
+    /// not opt in.
+    fn misroute_hops(&self, state: RouteState, dst: SwitchId) -> Vec<RouteState> {
+        let _ = (state, dst);
+        Vec::new()
+    }
+
     /// Downcast hook for incremental fault analysis
     /// ([`UpDownRouting::changed_route_pairs`]); `None` for routers
     /// without that structure.

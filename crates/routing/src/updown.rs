@@ -391,6 +391,28 @@ impl Routing for UpDownRouting {
             .collect()
     }
 
+    fn misroute_hops(&self, state: RouteState, dst: SwitchId) -> Vec<RouteState> {
+        if state.node == dst {
+            return Vec::new();
+        }
+        let here = sid(state.node, state.descended);
+        let remaining = &self.dist_to[dst];
+        let d = remaining[here];
+        if d == u32::MAX {
+            return Vec::new();
+        }
+        // Any forward transition of the state graph is a legal up*/down*
+        // move (never up after down), so taking one keeps the channel
+        // ordering — and hence deadlock freedom — intact. A detour is
+        // useful only if the destination stays reachable from the new
+        // state; minimal transitions are excluded (they are `next_hops`).
+        self.fwd[here]
+            .iter()
+            .filter(|&&(t, _)| remaining[t] != u32::MAX && remaining[t] + 1 != d)
+            .map(|&(t, _)| state_of(t))
+            .collect()
+    }
+
     fn name(&self) -> &'static str {
         "up*/down*"
     }
@@ -559,6 +581,53 @@ mod tests {
                 }
                 assert!(frontier.iter().any(|s| s.node == dst));
             }
+        }
+    }
+
+    #[test]
+    fn misroute_hops_are_legal_non_minimal_and_reach_destination() {
+        let topologies = [
+            designed::ring(6, 1),
+            designed::mesh(3, 3, 1),
+            designed::hypercube(4, 1),
+        ];
+        for t in &topologies {
+            let r = UpDownRouting::new(t, 0).unwrap();
+            let n = t.num_switches();
+            let mut any_detour = false;
+            for src in 0..n {
+                for dst in 0..n {
+                    for phase in [false, true] {
+                        let state = RouteState {
+                            node: src,
+                            descended: phase,
+                        };
+                        let minimal = r.next_hops(state, dst);
+                        let detours = r.misroute_hops(state, dst);
+                        if src == dst {
+                            assert!(detours.is_empty());
+                            continue;
+                        }
+                        any_detour |= !detours.is_empty();
+                        for hop in &detours {
+                            // Disjoint from the minimal candidate set.
+                            assert!(!minimal.contains(hop), "{src}->{dst}: {hop:?} is minimal");
+                            // A legal up*/down* transition: never up after
+                            // down, and the phase bit tracks the move.
+                            let up = r.is_up_move(src, hop.node);
+                            assert!(!(phase && up), "up move after descending");
+                            assert_eq!(hop.descended, phase || !up);
+                            // The destination stays reachable, one hop
+                            // longer than the minimal route at least.
+                            let rem = r.dist_to[dst][super::sid(hop.node, hop.descended)];
+                            assert_ne!(rem, u32::MAX);
+                            let here = r.dist_to[dst][super::sid(src, phase)];
+                            assert!(rem + 1 > here);
+                        }
+                    }
+                }
+            }
+            assert!(any_detour, "topology offered no detours at all");
         }
     }
 

@@ -1634,9 +1634,16 @@ impl ServiceCore {
             .map_err(|e| e.to_string())?;
             lines.push(format!("saturation {sat:.6}"));
             for p in &sweep.points {
+                // `-` stands in for the average when a point delivered
+                // nothing: a literal NaN on the wire would poison any
+                // client that parses the column numerically.
+                let latency = p
+                    .stats
+                    .network_latency()
+                    .map_or_else(|| "-".to_string(), |l| format!("{l:.2}"));
                 lines.push(format!(
-                    "point {:.6} {:.6} {:.2}",
-                    p.rate, p.stats.accepted_flits_per_switch_cycle, p.stats.avg_network_latency
+                    "point {:.6} {:.6} {latency}",
+                    p.rate, p.stats.accepted_flits_per_switch_cycle
                 ));
             }
         }

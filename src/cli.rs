@@ -26,7 +26,7 @@
 
 use crate::{RoutingKind, Scheduler, SchedulerOptions};
 use commsched_core::{weighted_similarity_fg, Workload};
-use commsched_netsim::{paper_sweep, simulate, SimConfig, SweepConfig};
+use commsched_netsim::{paper_sweep, simulate, CongestionMode, SimConfig, SweepConfig};
 use commsched_search::MapStrategy;
 use commsched_service::{
     Client, PersistOptions, Server, ServerConfig, ServiceCore, ServiceCoreConfig,
@@ -95,6 +95,10 @@ pub enum Command {
         vcs: usize,
         /// Duato's fully adaptive protocol (needs vcs >= 2).
         adaptive: bool,
+        /// Congestion regime (off, pfc, ecn-aimd, ecn-dctcp).
+        congestion: CongestionMode,
+        /// Allow up*/down*-legal adaptive misrouting around hotspots.
+        misroute: bool,
     },
     /// Run the paper's S1..S9 sweep.
     Sweep {
@@ -108,6 +112,14 @@ pub enum Command {
         server: Option<String>,
         /// Write a JSONL span trace of the local run to this path.
         trace_out: Option<String>,
+        /// Virtual channels per physical channel.
+        vcs: usize,
+        /// Duato's fully adaptive protocol (needs vcs >= 2).
+        adaptive: bool,
+        /// Congestion regime (off, pfc, ecn-aimd, ecn-dctcp).
+        congestion: CongestionMode,
+        /// Allow up*/down*-legal adaptive misrouting around hotspots.
+        misroute: bool,
     },
     /// Run the scheduling daemon until a client sends `SHUTDOWN`.
     Serve {
@@ -355,8 +367,11 @@ USAGE:
                      [--approx-eps E]
   commsched simulate <topology flags> [--clusters M] [--seed S] [--rate R]
                      [--compare-random] [--vcs V] [--adaptive]
+                     [--congestion off|pfc|ecn-aimd|ecn-dctcp] [--misroute]
   commsched sweep    <topology flags> [--clusters M] [--seed S]
                      [--server HOST:PORT] [--trace-out FILE.jsonl]
+                     [--vcs V] [--adaptive]
+                     [--congestion off|pfc|ecn-aimd|ecn-dctcp] [--misroute]
   commsched serve    [--addr HOST:PORT] [--workers N] [--queue-cap N]
                      [--cache-cap N] [--state-dir DIR] [--no-persist]
                      [--fsync always|on-ack|never] [--max-conns N]
@@ -384,13 +399,20 @@ USAGE:
   commsched help
 
 DEFAULTS: --kind random --switches 16 --degree 3 --hosts 4 --topo-seed 2000
-          --clusters 4 --seed 42 --rate 0.1 --addr 127.0.0.1:7477
+          --clusters 4 --seed 42 --rate 0.1 --vcs 1 --congestion off
+          --addr 127.0.0.1:7477
           --strategy flat --max-coarse-n 256 --approx-eps 0 (exact table)
           --state-dir commsched-state --fsync on-ack --max-conns 10240
           loadgen: --connections 16 --rate 1000 --batch 1 --duration 5
           scenario: --kind paper24 --arrivals poisson:50 --duration 10
                     --migration off --threads 1 --beta 3
 ";
+
+/// Render an average latency for humans: `"-"` when nothing was
+/// delivered (the accessor hides the NaN), one decimal otherwise.
+fn fmt_latency(lat: Option<f64>) -> String {
+    lat.map_or_else(|| "-".to_string(), |l| format!("{l:.1}"))
+}
 
 fn parse_flags(args: &[String]) -> Result<std::collections::HashMap<String, String>, String> {
     let mut map = std::collections::HashMap::new();
@@ -400,7 +422,11 @@ fn parse_flags(args: &[String]) -> Result<std::collections::HashMap<String, Stri
         let Some(key) = a.strip_prefix("--") else {
             return Err(format!("unexpected argument '{a}'"));
         };
-        if key == "compare-random" || key == "adaptive" || key == "no-persist" || key == "baseline"
+        if key == "compare-random"
+            || key == "adaptive"
+            || key == "misroute"
+            || key == "no-persist"
+            || key == "baseline"
         {
             map.insert(key.to_string(), "true".to_string());
             i += 1;
@@ -518,6 +544,8 @@ pub fn parse(args: &[String]) -> Result<Command, String> {
             compare_random: flags.contains_key("compare-random"),
             vcs: get("vcs", "1").parse().map_err(|_| "bad --vcs")?,
             adaptive: flags.contains_key("adaptive"),
+            congestion: CongestionMode::parse(&get("congestion", "off"))?,
+            misroute: flags.contains_key("misroute"),
         }),
         "sweep" => Ok(Command::Sweep {
             topology: parse_topology(&flags)?,
@@ -525,6 +553,10 @@ pub fn parse(args: &[String]) -> Result<Command, String> {
             seed,
             server,
             trace_out,
+            vcs: get("vcs", "1").parse().map_err(|_| "bad --vcs")?,
+            adaptive: flags.contains_key("adaptive"),
+            congestion: CongestionMode::parse(&get("congestion", "off"))?,
+            misroute: flags.contains_key("misroute"),
         }),
         "serve" => Ok(Command::Serve {
             addr: get("addr", "127.0.0.1:7477"),
@@ -941,6 +973,8 @@ fn run_inner(cmd: &Command) -> Result<String, String> {
             compare_random,
             vcs,
             adaptive,
+            congestion,
+            misroute,
         } => {
             let sched = build_scheduler(topology, SchedulerOptions::default())?;
             let wl = Workload::balanced(sched.topology(), *clusters).map_err(|e| e.to_string())?;
@@ -948,6 +982,8 @@ fn run_inner(cmd: &Command) -> Result<String, String> {
             let cfg = SimConfig {
                 virtual_channels: *vcs,
                 fully_adaptive: *adaptive,
+                congestion: *congestion,
+                adaptive_misroute: *misroute,
                 ..SimConfig::default().with_rate(*rate)
             };
             let stats = simulate(
@@ -959,12 +995,33 @@ fn run_inner(cmd: &Command) -> Result<String, String> {
             .map_err(|e| e.to_string())?;
             writeln!(
                 out,
-                "scheduled: accepted = {:.4} flits/switch/cycle, latency = {:.1} cycles{}",
+                "scheduled: accepted = {:.4} flits/switch/cycle, latency = {} cycles{}",
                 stats.accepted_flits_per_switch_cycle,
-                stats.avg_network_latency,
+                fmt_latency(stats.network_latency()),
                 if stats.deadlocked { " [DEADLOCK]" } else { "" }
             )
             .expect("write to string");
+            if *congestion != CongestionMode::Off || *misroute {
+                writeln!(
+                    out,
+                    "congestion ({congestion}{}): ecn_marks = {}  pfc_pauses = {}  \
+                     pause_cycles = {}  misroutes = {}",
+                    if *misroute { "+misroute" } else { "" },
+                    stats.ecn_marks,
+                    stats.pfc_pauses,
+                    stats.pfc_pause_cycles,
+                    stats.misroutes
+                )
+                .expect("write to string");
+            }
+            if stats.stalled_flits > 0 {
+                writeln!(
+                    out,
+                    "stalled: {} flits ({} behind dead links, {} flow-control paused)",
+                    stats.stalled_flits, stats.stall_dead_link_flits, stats.stall_paused_flits
+                )
+                .expect("write to string");
+            }
             if *compare_random {
                 let r = sched
                     .random_mapping(&wl, *seed)
@@ -978,8 +1035,9 @@ fn run_inner(cmd: &Command) -> Result<String, String> {
                 .map_err(|e| e.to_string())?;
                 writeln!(
                     out,
-                    "random:    accepted = {:.4} flits/switch/cycle, latency = {:.1} cycles",
-                    rs.accepted_flits_per_switch_cycle, rs.avg_network_latency
+                    "random:    accepted = {:.4} flits/switch/cycle, latency = {} cycles",
+                    rs.accepted_flits_per_switch_cycle,
+                    fmt_latency(rs.network_latency())
                 )
                 .expect("write to string");
             }
@@ -990,8 +1048,17 @@ fn run_inner(cmd: &Command) -> Result<String, String> {
             seed,
             server,
             trace_out: _,
+            vcs,
+            adaptive,
+            congestion,
+            misroute,
         } => {
             if let Some(server) = server {
+                if *congestion != CongestionMode::Off || *misroute || *adaptive || *vcs != 1 {
+                    return Err("--congestion/--misroute/--adaptive/--vcs are local-only; \
+                         drop --server to use them"
+                        .into());
+                }
                 let lines = run_remote_job(
                     server,
                     topology,
@@ -1006,14 +1073,29 @@ fn run_inner(cmd: &Command) -> Result<String, String> {
             let sched = build_scheduler(topology, SchedulerOptions::default())?;
             let wl = Workload::balanced(sched.topology(), *clusters).map_err(|e| e.to_string())?;
             let o = sched.schedule(&wl, *seed).map_err(|e| e.to_string())?;
+            let cfg = SimConfig {
+                virtual_channels: *vcs,
+                fully_adaptive: *adaptive,
+                congestion: *congestion,
+                adaptive_misroute: *misroute,
+                ..SimConfig::default()
+            };
             let (sweep, sat) = paper_sweep(
                 sched.topology(),
                 sched.routing(),
                 o.mapping.host_clusters(),
-                SimConfig::default(),
+                cfg,
                 SweepConfig::default(),
             )
             .map_err(|e| e.to_string())?;
+            if *congestion != CongestionMode::Off || *misroute {
+                writeln!(
+                    out,
+                    "regime: {congestion}{}",
+                    if *misroute { "+misroute" } else { "" }
+                )
+                .expect("write to string");
+            }
             writeln!(out, "saturation ~ {sat:.3} flits/host/cycle").expect("write to string");
             writeln!(
                 out,
@@ -1023,11 +1105,11 @@ fn run_inner(cmd: &Command) -> Result<String, String> {
             for (i, p) in sweep.points.iter().enumerate() {
                 writeln!(
                     out,
-                    "S{:<5} {:>14.4} {:>18.4} {:>12.1}",
+                    "S{:<5} {:>14.4} {:>18.4} {:>12}",
                     i + 1,
                     p.rate,
                     p.stats.accepted_flits_per_switch_cycle,
-                    p.stats.avg_network_latency
+                    fmt_latency(p.stats.network_latency())
                 )
                 .expect("write to string");
             }
@@ -1706,6 +1788,50 @@ mod tests {
         assert!(parse(&argv("schedule stray")).is_err());
         assert!(parse(&argv("simulate --rate")).is_err());
         assert!(parse(&argv("topology --kind dodecahedron")).is_err());
+        assert!(parse(&argv("simulate --congestion tcp-reno")).is_err());
+        assert!(parse(&argv("sweep --congestion maybe")).is_err());
+    }
+
+    #[test]
+    fn parse_congestion_flags() {
+        match parse(&argv(
+            "simulate --kind ring --congestion ecn-dctcp --misroute --vcs 2 --adaptive",
+        ))
+        .unwrap()
+        {
+            Command::Simulate {
+                congestion,
+                misroute,
+                vcs,
+                adaptive,
+                ..
+            } => {
+                assert_eq!(congestion, CongestionMode::EcnDctcp);
+                assert!(misroute);
+                assert_eq!(vcs, 2);
+                assert!(adaptive);
+            }
+            other => panic!("wrong parse: {other:?}"),
+        }
+        // Defaults: congestion off, no misrouting — bit-identical baseline.
+        match parse(&argv("simulate --kind ring")).unwrap() {
+            Command::Simulate {
+                congestion,
+                misroute,
+                ..
+            } => {
+                assert_eq!(congestion, CongestionMode::Off);
+                assert!(!misroute);
+            }
+            other => panic!("wrong parse: {other:?}"),
+        }
+        match parse(&argv("sweep --kind ring --congestion pfc")).unwrap() {
+            Command::Sweep { congestion, .. } => assert_eq!(congestion, CongestionMode::Pfc),
+            other => panic!("wrong parse: {other:?}"),
+        }
+        // Congestion regimes only run locally; a daemon sweep rejects them.
+        let cmd = parse(&argv("sweep --kind ring --server h:1 --congestion pfc")).unwrap();
+        assert!(run(&cmd).unwrap_err().contains("local-only"));
     }
 
     #[test]
